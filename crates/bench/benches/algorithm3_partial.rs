@@ -1,0 +1,55 @@
+//! Algorithm 3: partial-update detection over the transfer pattern.
+//!
+//! The cleaning phase's cost is the outer-join chain over the pattern's
+//! action relations; this bench times the full detect pass (history fetch,
+//! reduction, outer joins, null-row selection) at two corpus sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wiclean_bench::{bench_miner_config, soccer_world, transfer_window};
+use wiclean_core::partial::detect_partial_updates;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm3_partial");
+    group.sample_size(10);
+    for &seeds in &[100usize, 300] {
+        let world = soccer_world(seeds, 0xA13);
+        // The transfer template's expert working pattern.
+        let wp = {
+            use wiclean_core::abstract_action::AbstractAction;
+            use wiclean_core::pattern::WorkingPattern;
+            use wiclean_core::var::Var;
+            use wiclean_revstore::EditOp;
+            let tax = world.universe.taxonomy();
+            let player = tax.lookup("SoccerPlayer").unwrap();
+            let club = tax.lookup("SoccerClub").unwrap();
+            let cc = world.universe.lookup_relation("current_club").unwrap();
+            let squad = world.universe.lookup_relation("squad").unwrap();
+            let p = Var::new(player, 0);
+            let c1 = Var::new(club, 0);
+            let c2 = Var::new(club, 1);
+            WorkingPattern::from_actions(vec![
+                AbstractAction::new(EditOp::Add, p, cc, c1),
+                AbstractAction::new(EditOp::Add, c1, squad, p),
+                AbstractAction::new(EditOp::Remove, p, cc, c2),
+                AbstractAction::new(EditOp::Remove, c2, squad, p),
+            ])
+        };
+        group.bench_with_input(BenchmarkId::new("detect", seeds), &seeds, |b, _| {
+            b.iter(|| {
+                detect_partial_updates(
+                    &world.store,
+                    &world.universe,
+                    &bench_miner_config(0.4),
+                    &wp,
+                    world.seed_type,
+                    &transfer_window(),
+                    5,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ablation: the paper's realization-table caching optimization ("cashing
+//! of the computed frequencies/realization tables, to be reused if the
+//! same patterns are later re-examined with different thresholds").
+//! Benchmarks the full Algorithm 2 search with and without the cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wiclean_bench::soccer_world;
+use wiclean_core::windows::find_windows_and_patterns;
+use wiclean_eval::quality::default_wc_config;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_ablation");
+    group.sample_size(10);
+    let world = soccer_world(150, 0xCACE);
+    for &use_cache in &[true, false] {
+        let mut wc = default_wc_config(1);
+        wc.use_cache = use_cache;
+        let label = if use_cache { "cached" } else { "uncached" };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

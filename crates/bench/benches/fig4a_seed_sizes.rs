@@ -1,0 +1,41 @@
+//! Figure 4(a): mining time vs. seed-set size, PM vs PM−join.
+//!
+//! The paper reports stacked preprocessing + mining bars for 100/500/1000
+//! seeds; here Criterion times the combined crawl-parse-reduce-mine run for
+//! each variant so the relative shape (PM−join ≫ PM, both growing with
+//! seed count) is measured robustly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wiclean_baselines::{run_variant, Variant};
+use wiclean_bench::{bench_miner_config, soccer_world, transfer_window};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4a_seed_sizes");
+    group.sample_size(10);
+    for &seeds in &[50usize, 100, 200] {
+        let world = soccer_world(seeds, 0x41A);
+        for variant in [Variant::Pm, Variant::PmNoJoin] {
+            group.bench_with_input(
+                BenchmarkId::new(variant.name(), seeds),
+                &seeds,
+                |b, _| {
+                    b.iter(|| {
+                        run_variant(
+                            variant,
+                            &world.store,
+                            &world.universe,
+                            bench_miner_config(0.4),
+                            world.seed_type,
+                            &transfer_window(),
+                            2,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 4(b): mining time vs. frequency threshold, PM vs PM−join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wiclean_baselines::{run_variant, Variant};
+use wiclean_bench::{bench_miner_config, soccer_world, transfer_window};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4b_thresholds");
+    group.sample_size(10);
+    let world = soccer_world(150, 0x41B);
+    for &tau in &[0.7f64, 0.4, 0.2] {
+        for variant in [Variant::Pm, Variant::PmNoJoin] {
+            group.bench_with_input(
+                BenchmarkId::new(variant.name(), format!("tau{tau}")),
+                &tau,
+                |b, &tau| {
+                    b.iter(|| {
+                        run_variant(
+                            variant,
+                            &world.store,
+                            &world.universe,
+                            bench_miner_config(tau),
+                            world.seed_type,
+                            &transfer_window(),
+                            2,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

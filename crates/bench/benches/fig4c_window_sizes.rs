@@ -1,0 +1,39 @@
+//! Figure 4(c): mining time vs. window size (2/4/8 weeks), PM vs PM−join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wiclean_baselines::{run_variant, Variant};
+use wiclean_bench::{bench_miner_config, soccer_world};
+use wiclean_types::{Window, DAY, WEEK};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4c_window_sizes");
+    group.sample_size(10);
+    let world = soccer_world(150, 0x41C);
+    for &weeks in &[2u64, 4, 8] {
+        let end = 224 * DAY;
+        let window = Window::new(end - weeks * WEEK, end);
+        for variant in [Variant::Pm, Variant::PmNoJoin] {
+            group.bench_with_input(
+                BenchmarkId::new(variant.name(), format!("{weeks}w")),
+                &window,
+                |b, window| {
+                    b.iter(|| {
+                        run_variant(
+                            variant,
+                            &world.store,
+                            &world.universe,
+                            bench_miner_config(0.4),
+                            world.seed_type,
+                            window,
+                            2,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 4(d): multi-window mining, one worker vs. many.
+//!
+//! On a multi-core host the N-thread configuration approaches the paper's
+//! ≈4× speedup; on a single-core host (like some CI containers) both
+//! configurations measure alike — the bench still validates that the
+//! parallel path carries no significant overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wiclean_bench::{bench_miner_config, soccer_world};
+use wiclean_core::parallel::mine_windows_parallel;
+use wiclean_types::{Window, WEEK, YEAR};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4d_parallelism");
+    group.sample_size(10);
+    let world = soccer_world(150, 0x41D);
+    let windows = Window::split_span(2 * WEEK, YEAR, 2 * WEEK);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .max(2);
+    for &threads in &[1usize, max_threads] {
+        group.bench_with_input(
+            BenchmarkId::new("all_windows", format!("{threads}threads")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    mine_windows_parallel(
+                        &world.store,
+                        &world.universe,
+                        world.seed_type,
+                        &windows,
+                        bench_miner_config(0.41),
+                        threads,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! The small-data experiment (§6.2): incremental vs full-graph mining on a
+//! ~10-seed instance. The paper's headline is the candidate count (524 vs
+//! 125, reproduced by the `smalldata` binary); this bench times the two
+//! paths, including the closure materialization the `-inc` variant needs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wiclean_baselines::{run_variant, Variant};
+use wiclean_bench::{soccer_world, transfer_window};
+use wiclean_core::config::MinerConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smalldata_candidates");
+    group.sample_size(10);
+    let world = soccer_world(10, 0x54A11);
+    let config = MinerConfig {
+        tau: 0.2,
+        max_abstraction_height: 1,
+        mine_relative: false,
+        ..MinerConfig::default()
+    };
+    for variant in [Variant::Pm, Variant::PmInc] {
+        group.bench_function(variant.name(), |b| {
+            b.iter(|| {
+                run_variant(
+                    variant,
+                    &world.store,
+                    &world.universe,
+                    config,
+                    world.seed_type,
+                    &transfer_window(),
+                    2,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

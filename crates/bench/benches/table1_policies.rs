@@ -1,0 +1,37 @@
+//! Table 1: running time of the refinement policies (§6.4).
+//!
+//! Criterion times the full Algorithm 2 search under each sampled
+//! (window-multiplier, threshold-reduction) policy; the quality columns of
+//! Table 1 come from the `table1` binary in `wiclean-eval`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wiclean_bench::soccer_world;
+use wiclean_core::config::RefinePolicy;
+use wiclean_core::windows::find_windows_and_patterns;
+use wiclean_eval::quality::default_wc_config;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_policies");
+    group.sample_size(10);
+    let world = soccer_world(100, 0x7AB1);
+    for &(wf, tr) in &wiclean_eval::grid::PAPER_COMBOS {
+        let mut wc = default_wc_config(1);
+        wc.policy = RefinePolicy {
+            window_factor: wf,
+            tau_reduction: tr,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("policy", format!("{wf}x_{}pct", (tr * 100.0) as u32)),
+            &wc,
+            |b, wc| {
+                b.iter(|| {
+                    find_windows_and_patterns(&world.store, &world.universe, world.seed_type, wc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

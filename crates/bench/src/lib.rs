@@ -1,0 +1,38 @@
+//! Shared helpers for the WiClean benchmark suite.
+//!
+//! Each bench target regenerates one of the paper's evaluation artifacts
+//! (see DESIGN.md's experiment index). Bench-sized corpora are smaller than
+//! the experiment binaries' defaults so Criterion's repeated sampling stays
+//! affordable; the binaries in `wiclean-eval` produce the full-size runs.
+
+use wiclean_core::config::MinerConfig;
+use wiclean_synth::{generate, scenarios, SynthConfig, SynthWorld};
+use wiclean_types::{Window, DAY};
+
+/// Generates a soccer world of `seeds` seed entities (deterministic).
+pub fn soccer_world(seeds: usize, rng_seed: u64) -> SynthWorld {
+    generate(
+        scenarios::soccer(),
+        SynthConfig {
+            seed_count: seeds,
+            rng_seed,
+            ..SynthConfig::default()
+        },
+    )
+}
+
+/// The planted transfer window (first two weeks of "August").
+pub fn transfer_window() -> Window {
+    Window::new(210 * DAY, 224 * DAY)
+}
+
+/// Miner configuration used by the runtime benches.
+pub fn bench_miner_config(tau: f64) -> MinerConfig {
+    MinerConfig {
+        tau,
+        max_abstraction_height: 1,
+        max_pattern_actions: 4,
+        mine_relative: false,
+        ..MinerConfig::default()
+    }
+}

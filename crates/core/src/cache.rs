@@ -1,0 +1,168 @@
+//! Cross-iteration realization caching.
+//!
+//! Algorithm 2 re-mines the same windows repeatedly while only the
+//! frequency threshold changes; every candidate pattern's realization
+//! table is then recomputed from scratch. The paper mentions the obvious
+//! remedy: "the cashing of the computed frequencies/realization tables, to
+//! be reused if the same patterns are later re-examined with different
+//! thresholds". This module implements that cache.
+//!
+//! Correctness: a pattern's realization table depends on the set of
+//! revision histories loaded when it was computed (the incremental
+//! construction loads types on demand, so the same pattern examined in a
+//! later round could see more rows). A cache entry therefore records the
+//! *fetched-type set* at computation time and only hits when the current
+//! miner state has loaded exactly the same types — guaranteeing a hit
+//! returns byte-identical results to a recomputation.
+
+use crate::pattern::Pattern;
+use parking_lot::RwLock;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use wiclean_rel::Table;
+use wiclean_types::{TypeId, Window};
+
+/// Key: the mined window plus the candidate's canonical pattern.
+type CacheKey = (Window, Pattern);
+
+struct CacheEntry {
+    fetched: BTreeSet<TypeId>,
+    table: Table,
+    support: usize,
+    freq: f64,
+}
+
+/// Shared, thread-safe cache of candidate realization tables.
+#[derive(Default)]
+pub struct RealizationCache {
+    inner: RwLock<HashMap<CacheKey, CacheEntry>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl RealizationCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a candidate computed under the same fetched-type set.
+    pub fn get(
+        &self,
+        window: &Window,
+        pattern: &Pattern,
+        fetched: &BTreeSet<TypeId>,
+    ) -> Option<(Table, usize, f64)> {
+        let guard = self.inner.read();
+        match guard.get(&(*window, pattern.clone())) {
+            Some(entry) if entry.fetched == *fetched => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((entry.table.clone(), entry.support, entry.freq))
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a computed candidate (kept even when it failed the current
+    /// threshold — a later, lower threshold re-examines it for free).
+    pub fn put(
+        &self,
+        window: &Window,
+        pattern: &Pattern,
+        fetched: &BTreeSet<TypeId>,
+        table: &Table,
+        support: usize,
+        freq: f64,
+    ) {
+        self.inner.write().insert(
+            (*window, pattern.clone()),
+            CacheEntry {
+                fetched: fetched.clone(),
+                table: table.clone(),
+                support,
+                freq,
+            },
+        );
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of cached candidates.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstract_action::AbstractAction;
+    use crate::var::Var;
+    use wiclean_rel::Schema;
+    use wiclean_types::RelId;
+    use wiclean_wikitext::EditOp;
+
+    fn pattern() -> Pattern {
+        Pattern::canonical_from(&[AbstractAction::new(
+            EditOp::Add,
+            Var::new(TypeId::from_u32(1), 0),
+            RelId::from_u32(0),
+            Var::new(TypeId::from_u32(2), 0),
+        )])
+    }
+
+    fn fetched(tys: &[u32]) -> BTreeSet<TypeId> {
+        tys.iter().map(|&t| TypeId::from_u32(t)).collect()
+    }
+
+    #[test]
+    fn hit_requires_same_window_pattern_and_fetched_set() {
+        let cache = RealizationCache::new();
+        let w = Window::new(0, 10);
+        let p = pattern();
+        let t = Table::new(Schema::new(["a", "b"]));
+        cache.put(&w, &p, &fetched(&[1, 2]), &t, 3, 0.5);
+
+        assert!(cache.get(&w, &p, &fetched(&[1, 2])).is_some());
+        assert!(
+            cache.get(&w, &p, &fetched(&[1, 2, 3])).is_none(),
+            "different fetched set must miss"
+        );
+        assert!(
+            cache.get(&Window::new(0, 20), &p, &fetched(&[1, 2])).is_none(),
+            "different window must miss"
+        );
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (1, 2));
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn cached_values_round_trip() {
+        let cache = RealizationCache::new();
+        let w = Window::new(5, 15);
+        let p = pattern();
+        let mut t = Table::new(Schema::new(["x"]));
+        t.push_row(&[Some(wiclean_types::EntityId::from_u32(7))]);
+        cache.put(&w, &p, &fetched(&[1]), &t, 1, 0.25);
+        let (table, support, freq) = cache.get(&w, &p, &fetched(&[1])).unwrap();
+        assert_eq!(table.len(), 1);
+        assert_eq!(support, 1);
+        assert!((freq - 0.25).abs() < 1e-12);
+    }
+}

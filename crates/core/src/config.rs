@@ -1,0 +1,177 @@
+//! Configuration of the miner and of the window/threshold search.
+
+use serde::{Deserialize, Serialize};
+use wiclean_types::{Timestamp, WEEK, YEAR};
+
+/// Which join implementation computes pattern realizations.
+///
+/// The paper's `PM` uses dedicated join-based queries (hash joins here);
+/// the `PM−join` ablation computes the identical relation "via conventional
+/// main memory nested loop".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinImpl {
+    /// Hash equijoin with inequality post-filters (WiClean's optimized path).
+    Hash,
+    /// Nested loop over the cross product (`PM−join`).
+    NestedLoop,
+    /// Sort–merge join: an alternative optimized strategy, useful when the
+    /// realization tables grow large enough that cache-friendly sorted
+    /// merging beats hash probing.
+    SortMerge,
+}
+
+/// How the edits graph is obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExpansionMode {
+    /// WiClean's incremental construction: only revision histories of
+    /// entity types reachable through frequent patterns are fetched.
+    Incremental,
+    /// Conventional graph mining: the caller materializes the full window
+    /// edits graph up front ([`crate::miner::WindowMiner::mine_window_materialized`]);
+    /// candidate singletons are seeded from *every* type in it (`PM−inc`).
+    Materialized,
+}
+
+/// Parameters of one [`crate::miner::WindowMiner`] run (Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinerConfig {
+    /// Frequency threshold τ (Def. 3.3).
+    pub tau: f64,
+    /// Relative frequency threshold τ_rel (Def. 3.5).
+    pub tau_rel: f64,
+    /// Maximum number of abstract actions per pattern. The paper's
+    /// discovered patterns have a handful of edges; bounding the size keeps
+    /// the grow-and-store expansion finite.
+    pub max_pattern_actions: usize,
+    /// How many taxonomy levels above the concrete entity type abstraction
+    /// may climb (`u32::MAX` = unbounded, up to the root).
+    pub max_abstraction_height: u32,
+    /// Maximum number of same-type variables per pattern, bounding the
+    /// new-variable gluing fan-out.
+    pub max_vars_per_type: u8,
+    /// Join implementation for realization tables.
+    pub join_impl: JoinImpl,
+    /// Graph construction strategy.
+    pub expansion: ExpansionMode,
+    /// Whether relative frequent patterns are mined for each found pattern.
+    pub mine_relative: bool,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        Self {
+            tau: 0.8,
+            tau_rel: 0.5,
+            max_pattern_actions: 4,
+            max_abstraction_height: 1,
+            max_vars_per_type: 2,
+            join_impl: JoinImpl::Hash,
+            expansion: ExpansionMode::Incremental,
+            mine_relative: true,
+        }
+    }
+}
+
+/// The refinement policy of Algorithm 2: how window width and threshold
+/// change between iterations. The paper's default — arrived at by the grid
+/// search its Table 1 samples — multiplies the window by 2 and reduces the
+/// threshold by 20%, alternating.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RefinePolicy {
+    /// Multiplier applied to the window width on window-refinement steps.
+    pub window_factor: f64,
+    /// Fractional reduction applied to τ on threshold-refinement steps
+    /// (0.2 = "reduce by 20%").
+    pub tau_reduction: f64,
+}
+
+impl Default for RefinePolicy {
+    fn default() -> Self {
+        Self {
+            window_factor: 2.0,
+            tau_reduction: 0.2,
+        }
+    }
+}
+
+/// Full configuration of Algorithm 2 (window and threshold search).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WcConfig {
+    /// Initial (minimal) window width `W_min`; system default two weeks.
+    pub w_min: u64,
+    /// Initial frequency threshold; system default 0.8.
+    pub tau0: f64,
+    /// Maximal window width; default one year.
+    pub max_window: u64,
+    /// Minimal threshold value; default 0.2.
+    pub min_tau: f64,
+    /// Refinement policy.
+    pub policy: RefinePolicy,
+    /// Start of the observed timeline.
+    pub timeline_start: Timestamp,
+    /// End of the observed timeline.
+    pub timeline_end: Timestamp,
+    /// Per-window miner parameters (τ/τ_rel fields are overridden by the
+    /// refinement loop).
+    pub miner: MinerConfig,
+    /// Worker threads for per-window parallelism (1 = sequential).
+    pub threads: usize,
+    /// Hard cap on refinement iterations (degenerate policies — window
+    /// factor 1.0 or zero threshold reduction, as Table 1's grid samples —
+    /// would otherwise never exhaust their bounds).
+    pub max_iterations: usize,
+    /// Reuse candidate realization tables across refinement iterations
+    /// (the paper's caching optimization). Disable for ablation.
+    pub use_cache: bool,
+}
+
+impl Default for WcConfig {
+    fn default() -> Self {
+        Self {
+            w_min: 2 * WEEK,
+            tau0: 0.8,
+            max_window: YEAR,
+            min_tau: 0.2,
+            policy: RefinePolicy::default(),
+            timeline_start: 0,
+            timeline_end: YEAR,
+            miner: MinerConfig::default(),
+            threads: 1,
+            max_iterations: 64,
+            use_cache: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = WcConfig::default();
+        assert_eq!(c.w_min, 2 * WEEK);
+        assert!((c.tau0 - 0.8).abs() < 1e-9);
+        assert_eq!(c.max_window, YEAR);
+        assert!((c.min_tau - 0.2).abs() < 1e-9);
+        assert!((c.policy.window_factor - 2.0).abs() < 1e-9);
+        assert!((c.policy.tau_reduction - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miner_defaults() {
+        let m = MinerConfig::default();
+        assert_eq!(m.join_impl, JoinImpl::Hash);
+        assert_eq!(m.expansion, ExpansionMode::Incremental);
+        assert!(m.mine_relative);
+        assert!(m.max_pattern_actions >= 2);
+    }
+
+    #[test]
+    fn configs_serialize() {
+        let c = WcConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: WcConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

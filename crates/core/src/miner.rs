@@ -1,0 +1,953 @@
+//! Algorithm 1 — mining the most specific frequent connected patterns in a
+//! time window.
+//!
+//! Follows the "grow and store" scheme of single-graph pattern miners,
+//! adapted per the paper with:
+//!
+//! 1. **Join-based realization tables.** Each pattern's realizations live
+//!    in a relational table; extending a pattern joins its table with the
+//!    new abstract action's table (equi-join on the glued variable,
+//!    inequality post-filter for the fresh variable). The `PM−join`
+//!    ablation flips [`JoinImpl`] to a nested loop.
+//! 2. **Incremental graph construction.** Only revision histories of
+//!    entity types that occur in frequent patterns found so far are
+//!    fetched, parsed and reduced (Algorithm 1 lines 4–8). The `PM−inc`
+//!    ablation instead receives a fully materialized window graph
+//!    ([`WindowMiner::mine_window_materialized`]) and seeds candidates
+//!    from every type in it.
+//! 3. **Type-hierarchy abstraction.** Every concrete action contributes
+//!    realization rows to all its abstraction shapes within the configured
+//!    height, so patterns are discovered at every abstraction level and
+//!    the most specific frequent ones are selected at the end (Def. 3.3).
+
+use crate::abstract_action::AbstractAction;
+use crate::cache::RealizationCache;
+use crate::config::{ExpansionMode, JoinImpl, MinerConfig};
+use crate::pattern::{Pattern, WorkingPattern};
+use crate::realization::{
+    action_realizations, frequency, relative_frequency, shape_of, support_count, Shape,
+};
+use crate::var::Var;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wiclean_rel::{join_glue, join_glue_nested, join_glue_sort_merge, outer_join_glue, ColumnGlue, Table};
+use wiclean_revstore::{extract_actions, reduce_actions, RevisionStore};
+use wiclean_types::{EntityId, TypeId, Universe, Window};
+
+/// Counters and timings of one window mining run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MineStats {
+    /// Time spent crawling/parsing/reducing revision histories.
+    pub preprocess: Duration,
+    /// Time spent in pattern expansion (joins, frequency tests).
+    pub mine: Duration,
+    /// Pattern candidates considered (the paper's small-data metric).
+    pub candidates_considered: usize,
+    /// Realization joins executed.
+    pub joins_executed: usize,
+    /// Entities whose revision histories were fetched.
+    pub entities_processed: usize,
+    /// Raw actions extracted from revision histories.
+    pub actions_extracted: usize,
+    /// Actions surviving reduction.
+    pub reduced_actions: usize,
+    /// Frequent patterns found (all levels of abstraction).
+    pub patterns_found: usize,
+    /// Most specific frequent patterns among them.
+    pub most_specific_found: usize,
+    /// Realization-cache hits (0 when caching is off).
+    pub cache_hits: usize,
+    /// Realization-cache misses (0 when caching is off).
+    pub cache_misses: usize,
+}
+
+impl MineStats {
+    /// Merges another run's counters into this one (used when aggregating
+    /// across windows).
+    pub fn absorb(&mut self, other: &MineStats) {
+        self.preprocess += other.preprocess;
+        self.mine += other.mine;
+        self.candidates_considered += other.candidates_considered;
+        self.joins_executed += other.joins_executed;
+        self.entities_processed += other.entities_processed;
+        self.actions_extracted += other.actions_extracted;
+        self.reduced_actions += other.reduced_actions;
+        self.patterns_found += other.patterns_found;
+        self.most_specific_found += other.most_specific_found;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+}
+
+/// A relative frequent pattern (Def. 3.5) refined from a parent pattern.
+#[derive(Debug, Clone)]
+pub struct RelPattern {
+    /// Canonical form.
+    pub pattern: Pattern,
+    /// Construction-order form (variable order = table columns).
+    pub working: WorkingPattern,
+    /// Distinct seed entities realizing it.
+    pub support: usize,
+    /// Absolute frequency w.r.t. the seed type.
+    pub frequency: f64,
+    /// Frequency relative to the parent pattern (Def. 3.4).
+    pub rel_frequency: f64,
+}
+
+/// One discovered frequent pattern with its realization table.
+#[derive(Debug, Clone)]
+pub struct FoundPattern {
+    /// Canonical form (identity).
+    pub pattern: Pattern,
+    /// Construction-order form matching `table`'s columns.
+    pub working: WorkingPattern,
+    /// Realization table (one column per variable).
+    pub table: Table,
+    /// Distinct seed entities appearing as the source variable.
+    pub support: usize,
+    /// Frequency (Def. 3.2).
+    pub frequency: f64,
+    /// Whether this pattern is most specific among the frequent set.
+    pub most_specific: bool,
+    /// Relative frequent patterns mined from this pattern.
+    pub rel_patterns: Vec<RelPattern>,
+}
+
+/// Result of mining one window.
+#[derive(Debug, Clone)]
+pub struct WindowResult {
+    /// The mined window.
+    pub window: Window,
+    /// The seed type.
+    pub seed: TypeId,
+    /// Every frequent pattern found (most specific ones flagged).
+    pub patterns: Vec<FoundPattern>,
+    /// Run counters.
+    pub stats: MineStats,
+}
+
+impl WindowResult {
+    /// The most specific frequent patterns (the algorithm's output set).
+    pub fn most_specific(&self) -> impl Iterator<Item = &FoundPattern> {
+        self.patterns.iter().filter(|p| p.most_specific)
+    }
+}
+
+/// Algorithm 1, bound to a revision store and universe.
+pub struct WindowMiner<'a> {
+    store: &'a RevisionStore,
+    universe: &'a Universe,
+    config: MinerConfig,
+    cache: Option<Arc<RealizationCache>>,
+}
+
+/// Internal expansion node: a frequent pattern under construction.
+struct Node {
+    wp: WorkingPattern,
+    canonical: Pattern,
+    table: Table,
+    support: usize,
+    freq: f64,
+}
+
+/// Mutable mining state for one window.
+struct MineState {
+    /// Concrete reduced pairs per abstraction shape (already lifted to all
+    /// admissible heights).
+    rows: HashMap<Shape, Vec<(EntityId, EntityId)>>,
+    fetched_types: HashSet<TypeId>,
+    fetched_entities: HashSet<EntityId>,
+    stats: MineStats,
+}
+
+impl<'a> WindowMiner<'a> {
+    /// Creates a miner over `store`/`universe` with the given config.
+    pub fn new(store: &'a RevisionStore, universe: &'a Universe, config: MinerConfig) -> Self {
+        Self {
+            store,
+            universe,
+            config,
+            cache: None,
+        }
+    }
+
+    /// Attaches a shared realization cache (see [`RealizationCache`]);
+    /// Algorithm 2 shares one across its refinement iterations.
+    pub fn with_cache(mut self, cache: Arc<RealizationCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MinerConfig {
+        &self.config
+    }
+
+    /// Mines the most specific frequent (and relative frequent) patterns
+    /// of `window` w.r.t. `seed`, constructing the edits graph
+    /// incrementally from the seed type outward.
+    pub fn mine_window(&self, seed: TypeId, window: &Window) -> WindowResult {
+        assert_eq!(
+            self.config.expansion,
+            ExpansionMode::Incremental,
+            "use mine_window_materialized for ExpansionMode::Materialized"
+        );
+        let mut state = MineState::new();
+        // Line 1: fetch + reduce + abstract the seed entities' actions.
+        self.load_entities(&mut state, self.universe.entities_of(seed), window);
+        self.run_expansion(state, seed, window, false)
+    }
+
+    /// The `PM−inc` entry point: the caller supplies the full entity set of
+    /// a pre-materialized window graph; everything is loaded up front and
+    /// candidate singletons are seeded from every shape present (no
+    /// incremental fetching).
+    pub fn mine_window_materialized(
+        &self,
+        seed: TypeId,
+        window: &Window,
+        entities: impl IntoIterator<Item = EntityId>,
+    ) -> WindowResult {
+        let mut state = MineState::new();
+        self.load_entities(&mut state, entities, window);
+        self.run_expansion(state, seed, window, true)
+    }
+
+    /// Fetches, extracts, reduces and abstracts the actions of `entities`
+    /// within `window`, extending the per-shape row store.
+    fn load_entities(
+        &self,
+        state: &mut MineState,
+        entities: impl IntoIterator<Item = EntityId>,
+        window: &Window,
+    ) {
+        let t0 = Instant::now();
+        let tax = self.universe.taxonomy();
+        for e in entities {
+            if !state.fetched_entities.insert(e) {
+                continue;
+            }
+            state.stats.entities_processed += 1;
+            let outcome = extract_actions(self.store, self.universe, e, window);
+            state.stats.actions_extracted += outcome.actions.len();
+            let reduced = reduce_actions(&outcome.actions);
+            state.stats.reduced_actions += reduced.len();
+            for a in &reduced {
+                let base = shape_of(a, self.universe);
+                let pair = (a.source, a.target);
+                // Lift to every admissible abstraction shape.
+                for (i, s) in tax.ancestors(base.1).enumerate() {
+                    if i as u32 > self.config.max_abstraction_height {
+                        break;
+                    }
+                    for (j, t) in tax.ancestors(base.3).enumerate() {
+                        if j as u32 > self.config.max_abstraction_height {
+                            break;
+                        }
+                        state
+                            .rows
+                            .entry((base.0, s, base.2, t))
+                            .or_default()
+                            .push(pair);
+                    }
+                }
+            }
+        }
+        state.stats.preprocess += t0.elapsed();
+    }
+
+    /// Whether a singleton with source type `s` is eligible w.r.t. `seed`:
+    /// the types are comparable, so seed entities can realize the source.
+    fn seed_comparable(&self, s: TypeId, seed: TypeId) -> bool {
+        let tax = self.universe.taxonomy();
+        tax.is_subtype(seed, s) || tax.is_subtype(s, seed)
+    }
+
+    /// The main expansion loop shared by both entry points.
+    fn run_expansion(
+        &self,
+        mut state: MineState,
+        seed: TypeId,
+        window: &Window,
+        materialized: bool,
+    ) -> WindowResult {
+        let t0 = Instant::now();
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut found: HashMap<Pattern, usize> = HashMap::new();
+        let mut tested: HashSet<(Pattern, Shape)> = HashSet::new();
+
+        // Line 2: frequent singleton patterns.
+        self.seed_singletons(&mut state, seed, &mut nodes, &mut found, materialized);
+
+        // Lines 4–15: interleave type fetching with pattern expansion.
+        loop {
+            self.expand_fixpoint(&mut state, seed, window, &mut nodes, &mut found, &mut tested);
+            if materialized {
+                break; // everything was loaded up front
+            }
+            // Which variable types in frequent patterns are new?
+            let mentioned: BTreeSet<TypeId> = nodes
+                .iter()
+                .flat_map(|n| n.canonical.types())
+                .collect();
+            let new_types: Vec<TypeId> = mentioned
+                .into_iter()
+                .filter(|t| !state.fetched_types.contains(t))
+                .collect();
+            if new_types.is_empty() {
+                break;
+            }
+            let t_mine = t0.elapsed();
+            for ty in new_types {
+                state.fetched_types.insert(ty);
+                self.load_entities(&mut state, self.universe.entities_of(ty), window);
+            }
+            // `load_entities` accrues into preprocess; keep mine timing by
+            // subtracting later — simplest is to track mine as total minus
+            // preprocess at the end.
+            let _ = t_mine;
+        }
+
+        // Line 16: select the most specific frequent patterns.
+        let all_patterns: Vec<Pattern> = nodes.iter().map(|n| n.canonical.clone()).collect();
+        let keep = crate::pattern::most_specific(&all_patterns, self.universe.taxonomy());
+        let keep: HashSet<Pattern> = keep.into_iter().collect();
+
+        let mut patterns: Vec<FoundPattern> = Vec::new();
+        for node in &nodes {
+            let most = keep.contains(&node.canonical);
+            patterns.push(FoundPattern {
+                pattern: node.canonical.clone(),
+                working: node.wp.clone(),
+                table: node.table.clone(),
+                support: node.support,
+                frequency: node.freq,
+                most_specific: most,
+                rel_patterns: Vec::new(),
+            });
+        }
+
+        // Relative frequent patterns, mined from each most specific pattern.
+        if self.config.mine_relative {
+            for i in 0..patterns.len() {
+                if !patterns[i].most_specific {
+                    continue;
+                }
+                let rels = self.mine_relative(&state, seed, &patterns[i], &mut tested);
+                // `tested` is shared so absolute-phase pairs are not redone,
+                // but counters accrue into the same stats.
+                state.stats.candidates_considered += rels.1;
+                state.stats.joins_executed += rels.2;
+                patterns[i].rel_patterns = rels.0;
+            }
+        }
+
+        let mut stats = state.stats;
+        stats.patterns_found = patterns.len();
+        stats.most_specific_found = patterns.iter().filter(|p| p.most_specific).count();
+        stats.mine = t0.elapsed().saturating_sub(stats.preprocess);
+
+        WindowResult {
+            window: *window,
+            seed,
+            patterns,
+            stats,
+        }
+    }
+
+    /// Builds the frequent singleton patterns (Algorithm 1 line 2).
+    fn seed_singletons(
+        &self,
+        state: &mut MineState,
+        seed: TypeId,
+        nodes: &mut Vec<Node>,
+        found: &mut HashMap<Pattern, usize>,
+        materialized: bool,
+    ) {
+        state.fetched_types.insert(seed);
+        let mut shapes: Vec<Shape> = state.rows.keys().copied().collect();
+        shapes.sort();
+        for shape in shapes {
+            let (op, s, r, t) = shape;
+            let eligible = self.seed_comparable(s, seed);
+            if materialized {
+                // Conventional mining considers every singleton in the full
+                // graph; ineligible ones are pruned by the frequency test
+                // (their seed-relative frequency is 0) but still count.
+                state.stats.candidates_considered += 1;
+                if !eligible {
+                    continue;
+                }
+            } else {
+                if !eligible {
+                    continue;
+                }
+                state.stats.candidates_considered += 1;
+            }
+            let wp = WorkingPattern::singleton(op, s, r, t);
+            let action = wp.actions()[0];
+            let table = action_realizations(&action, &state.rows[&shape], self.universe);
+            let support = support_count(&table, 0, seed, self.universe);
+            let freq = frequency(&table, 0, seed, self.universe);
+            if freq >= self.config.tau {
+                let canonical = wp.canonical();
+                if !found.contains_key(&canonical) {
+                    found.insert(canonical.clone(), nodes.len());
+                    nodes.push(Node {
+                        wp,
+                        canonical,
+                        table,
+                        support,
+                        freq,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Expands every (pattern, shape) pair not yet tested, until no new
+    /// frequent pattern emerges (Algorithm 1 lines 9–14).
+    fn expand_fixpoint(
+        &self,
+        state: &mut MineState,
+        seed: TypeId,
+        window: &Window,
+        nodes: &mut Vec<Node>,
+        found: &mut HashMap<Pattern, usize>,
+        tested: &mut HashSet<(Pattern, Shape)>,
+    ) {
+        let MineState {
+            rows,
+            stats,
+            fetched_types,
+            ..
+        } = state;
+        let fetched: BTreeSet<TypeId> = fetched_types.iter().copied().collect();
+        let mut shapes: Vec<Shape> = rows.keys().copied().collect();
+        shapes.sort();
+        let mut i = 0;
+        while i < nodes.len() {
+            for &shape in &shapes {
+                let key = (nodes[i].canonical.clone(), shape);
+                if tested.contains(&key) {
+                    continue;
+                }
+                tested.insert(key);
+                self.try_extensions(
+                    rows,
+                    stats,
+                    seed,
+                    Some((window, &fetched)),
+                    i,
+                    shape,
+                    nodes,
+                    |_support, _parent_support, freq, _| freq,
+                    self.config.tau,
+                    found,
+                );
+            }
+            i += 1;
+        }
+    }
+
+    /// Attempts every gluing of `shape` onto `nodes[ni]`; extensions whose
+    /// score (computed by `score(support, parent_support, freq, rel)`)
+    /// meets `threshold` are added to `nodes`/`found`. Returns the number
+    /// of accepted extensions.
+    #[allow(clippy::too_many_arguments)]
+    fn try_extensions(
+        &self,
+        rows: &HashMap<Shape, Vec<(EntityId, EntityId)>>,
+        stats: &mut MineStats,
+        seed: TypeId,
+        cache_ctx: Option<(&Window, &BTreeSet<TypeId>)>,
+        ni: usize,
+        shape: Shape,
+        nodes: &mut Vec<Node>,
+        score: impl Fn(usize, usize, f64, f64) -> f64,
+        threshold: f64,
+        found: &mut HashMap<Pattern, usize>,
+    ) -> usize {
+        let (op, s, r, t) = shape;
+        let parent_support = nodes[ni].support;
+        let wp = nodes[ni].wp.clone();
+        if wp.len() >= self.config.max_pattern_actions {
+            return 0;
+        }
+        let vars = wp.vars();
+        let mut accepted = 0;
+
+        // Candidate gluings: the action's source must glue onto an existing
+        // same-type variable (this preserves connectivity by construction).
+        let tax = self.universe.taxonomy();
+        for &vs in vars.iter().filter(|v| v.ty == s) {
+            // (a) target as a fresh variable. The per-type cap counts
+            // *comparable*-type variables: otherwise a pattern needing
+            // three same-family variables would sneak in as a mixed
+            // abstraction-level variant (two at the leaf, one lifted) and
+            // escape the most-specific filter.
+            let fresh_ok = vars
+                .iter()
+                .filter(|v| tax.is_subtype(v.ty, t) || tax.is_subtype(t, v.ty))
+                .count()
+                < self.config.max_vars_per_type as usize;
+            if fresh_ok {
+                let vt = Var::new(t, wp.next_index(t));
+                let action = AbstractAction::new(op, vs, r, vt);
+                if !wp.contains(&action) {
+                    accepted += self.test_candidate(
+                        rows,
+                        stats,
+                        seed,
+                        cache_ctx,
+                        ni,
+                        action,
+                        true,
+                        nodes,
+                        &score,
+                        threshold,
+                        parent_support,
+                        found,
+                    );
+                }
+            }
+            // (b) target glued onto each existing same-type variable.
+            for &vt in vars.iter().filter(|v| v.ty == t && **v != vs) {
+                let action = AbstractAction::new(op, vs, r, vt);
+                if wp.contains(&action) {
+                    continue;
+                }
+                accepted += self.test_candidate(
+                    rows,
+                    stats,
+                    seed,
+                    cache_ctx,
+                    ni,
+                    action,
+                    false,
+                    nodes,
+                    &score,
+                    threshold,
+                    parent_support,
+                    found,
+                );
+            }
+        }
+        accepted
+    }
+
+    /// Joins one candidate extension, tests its score, and stores it if it
+    /// qualifies. Returns 1 if accepted.
+    #[allow(clippy::too_many_arguments)]
+    fn test_candidate(
+        &self,
+        rows_map: &HashMap<Shape, Vec<(EntityId, EntityId)>>,
+        stats: &mut MineStats,
+        seed: TypeId,
+        cache_ctx: Option<(&Window, &BTreeSet<TypeId>)>,
+        ni: usize,
+        action: AbstractAction,
+        target_is_new: bool,
+        nodes: &mut Vec<Node>,
+        score: &impl Fn(usize, usize, f64, f64) -> f64,
+        threshold: f64,
+        parent_support: usize,
+        found: &mut HashMap<Pattern, usize>,
+    ) -> usize {
+        stats.candidates_considered += 1;
+        let ext = nodes[ni].wp.extended_with(action);
+        let canonical = ext.canonical();
+        if found.contains_key(&canonical) {
+            return 0;
+        }
+
+        // Cache fast path: the same candidate computed in an earlier
+        // refinement iteration under the same fetched-type set.
+        if let (Some(cache), Some((window, fetched))) = (&self.cache, cache_ctx) {
+            if let Some((table, support, freq)) = cache.get(window, &canonical, fetched) {
+                stats.cache_hits += 1;
+                let rel = relative_frequency(support, parent_support);
+                if score(support, parent_support, freq, rel) >= threshold && support > 0 {
+                    found.insert(canonical.clone(), nodes.len());
+                    nodes.push(Node {
+                        wp: ext,
+                        canonical,
+                        table,
+                        support,
+                        freq,
+                    });
+                    return 1;
+                }
+                return 0;
+            }
+            stats.cache_misses += 1;
+        }
+
+        // Build the right-hand (action) relation.
+        let shape = action.shape();
+        let rows = &rows_map[&shape];
+        let right = action_realizations(&action, rows, self.universe);
+
+        // Glue spec: source always glued; target glued or new.
+        let left_cols = nodes[ni].wp.column_names();
+        let src_col = crate::realization::column_of(&left_cols, action.source);
+        let tgt_glue = if target_is_new {
+            // Inequality against every existing variable of a comparable
+            // type (distinct variables ⇒ distinct entities).
+            let tax = self.universe.taxonomy();
+            let distinct_from: Vec<usize> = nodes[ni]
+                .wp
+                .vars()
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| {
+                    tax.is_subtype(v.ty, action.target.ty) || tax.is_subtype(action.target.ty, v.ty)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            ColumnGlue::New {
+                name: action.target.column_name(),
+                distinct_from,
+            }
+        } else {
+            ColumnGlue::Glued(crate::realization::column_of(&left_cols, action.target))
+        };
+        let glue = vec![ColumnGlue::Glued(src_col), tgt_glue];
+
+        stats.joins_executed += 1;
+        let mut table = match self.config.join_impl {
+            JoinImpl::Hash => join_glue(&nodes[ni].table, &right, &glue),
+            JoinImpl::NestedLoop => join_glue_nested(&nodes[ni].table, &right, &glue),
+            JoinImpl::SortMerge => join_glue_sort_merge(&nodes[ni].table, &right, &glue),
+        };
+        table.dedup();
+
+        let support = support_count(&table, 0, seed, self.universe);
+        let freq = frequency(&table, 0, seed, self.universe);
+        if let (Some(cache), Some((window, fetched))) = (&self.cache, cache_ctx) {
+            cache.put(window, &canonical, fetched, &table, support, freq);
+        }
+        let rel = relative_frequency(support, parent_support);
+        if score(support, parent_support, freq, rel) >= threshold && support > 0 {
+            found.insert(canonical.clone(), nodes.len());
+            nodes.push(Node {
+                wp: ext,
+                canonical,
+                table,
+                support,
+                freq,
+            });
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Mines the relative frequent patterns of `parent` (Def. 3.5): the
+    /// expansion restarts from the parent pattern itself, accepting
+    /// extensions whose *relative* frequency meets τ_rel but whose absolute
+    /// frequency fell below τ. Returns (patterns, candidates, joins).
+    fn mine_relative(
+        &self,
+        state: &MineState,
+        seed: TypeId,
+        parent: &FoundPattern,
+        tested: &mut HashSet<(Pattern, Shape)>,
+    ) -> (Vec<RelPattern>, usize, usize) {
+        let rows = &state.rows;
+        let mut stats = MineStats::default();
+
+        let mut nodes = vec![Node {
+            wp: parent.working.clone(),
+            canonical: parent.pattern.clone(),
+            table: parent.table.clone(),
+            support: parent.support,
+            freq: parent.frequency,
+        }];
+        let mut found: HashMap<Pattern, usize> = HashMap::new();
+        found.insert(parent.pattern.clone(), 0);
+
+        let parent_support = parent.support;
+        let mut shapes: Vec<Shape> = rows.keys().copied().collect();
+        shapes.sort();
+        if std::env::var_os("WICLEAN_TRACE").is_some() {
+            eprintln!(
+                "[rel] parent support={} len={} shapes={} tau_rel={}",
+                parent_support,
+                parent.working.len(),
+                shapes.len(),
+                self.config.tau_rel
+            );
+        }
+        // Note: the absolute phase's `tested` set is deliberately ignored
+        // here — extensions that failed τ were discarded there but may
+        // clear τ_rel now.
+        let _ = tested;
+
+        let mut i = 0;
+        while i < nodes.len() {
+            for &shape in &shapes {
+                self.try_extensions(
+                    rows,
+                    &mut stats,
+                    seed,
+                    None,
+                    i,
+                    shape,
+                    &mut nodes,
+                    // rel-frequency score: child support is always measured
+                    // against the *original* parent.
+                    |support, _ignored, _freq, _| {
+                        relative_frequency(support, parent_support)
+                    },
+                    self.config.tau_rel,
+                    &mut found,
+                );
+            }
+            i += 1;
+        }
+
+        // Most specific among the relative patterns (excluding the parent).
+        let rel_nodes: Vec<&Node> = nodes.iter().skip(1).collect();
+        let pats: Vec<Pattern> = rel_nodes.iter().map(|n| n.canonical.clone()).collect();
+        let keep: HashSet<Pattern> =
+            crate::pattern::most_specific(&pats, self.universe.taxonomy())
+                .into_iter()
+                .collect();
+
+        if std::env::var_os("WICLEAN_TRACE").is_some() {
+            eprintln!(
+                "[rel] raw rel nodes: {} (candidates {}, joins {})",
+                pats.len(),
+                stats.candidates_considered,
+                stats.joins_executed
+            );
+        }
+        let rels = rel_nodes
+            .into_iter()
+            .filter(|n| keep.contains(&n.canonical))
+            .map(|n| RelPattern {
+                pattern: n.canonical.clone(),
+                working: n.wp.clone(),
+                support: n.support,
+                frequency: n.freq,
+                rel_frequency: relative_frequency(n.support, parent_support),
+            })
+            .collect();
+        (rels, stats.candidates_considered, stats.joins_executed)
+    }
+
+    /// Builds the realization table of an arbitrary working pattern by
+    /// chaining joins over its actions — used by Algorithm 3 and tests. The
+    /// traversal follows construction order, which is valid for patterns
+    /// built by this miner (every action's source variable is already
+    /// bound). `outer` switches the inner joins to full outer joins.
+    pub fn realize_pattern(
+        &self,
+        state_rows: &HashMap<Shape, Vec<(EntityId, EntityId)>>,
+        wp: &WorkingPattern,
+    ) -> Table {
+        self.realize_pattern_impl(state_rows, wp, false)
+    }
+
+    /// Full-outer-join variant of [`WindowMiner::realize_pattern`]:
+    /// null-padded rows are partial realizations (Algorithm 3).
+    pub fn realize_pattern_outer(
+        &self,
+        state_rows: &HashMap<Shape, Vec<(EntityId, EntityId)>>,
+        wp: &WorkingPattern,
+    ) -> Table {
+        self.realize_pattern_impl(state_rows, wp, true)
+    }
+
+    fn realize_pattern_impl(
+        &self,
+        state_rows: &HashMap<Shape, Vec<(EntityId, EntityId)>>,
+        wp: &WorkingPattern,
+        outer: bool,
+    ) -> Table {
+        let empty: Vec<(EntityId, EntityId)> = Vec::new();
+        let actions = wp.actions();
+        let first = actions[0];
+        let rows0 = state_rows.get(&first.shape()).unwrap_or(&empty);
+        let mut table = action_realizations(&first, rows0, self.universe);
+        let mut bound: Vec<Var> = vec![first.source, first.target];
+
+        for a in &actions[1..] {
+            let rows = state_rows.get(&a.shape()).unwrap_or(&empty);
+            let right = action_realizations(a, rows, self.universe);
+            let names: Vec<String> = bound.iter().map(Var::column_name).collect();
+            let src_col = crate::realization::column_of(&names, a.source);
+            let tgt_glue = if bound.contains(&a.target) {
+                ColumnGlue::Glued(crate::realization::column_of(&names, a.target))
+            } else {
+                let tax = self.universe.taxonomy();
+                let distinct_from: Vec<usize> = bound
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| {
+                        tax.is_subtype(v.ty, a.target.ty) || tax.is_subtype(a.target.ty, v.ty)
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                bound.push(a.target);
+                ColumnGlue::New {
+                    name: a.target.column_name(),
+                    distinct_from,
+                }
+            };
+            let glue = vec![ColumnGlue::Glued(src_col), tgt_glue];
+            table = if outer {
+                outer_join_glue(&table, &right, &glue)
+            } else {
+                match self.config.join_impl {
+                    JoinImpl::Hash => join_glue(&table, &right, &glue),
+                    JoinImpl::NestedLoop => join_glue_nested(&table, &right, &glue),
+                    JoinImpl::SortMerge => join_glue_sort_merge(&table, &right, &glue),
+                }
+            };
+            table.dedup();
+        }
+        table
+    }
+
+    /// Loads a window's reduced, shape-grouped rows for an entity set —
+    /// the preprocessing step exposed for Algorithm 3 and the baselines.
+    pub fn load_shape_rows(
+        &self,
+        entities: impl IntoIterator<Item = EntityId>,
+        window: &Window,
+    ) -> (HashMap<Shape, Vec<(EntityId, EntityId)>>, MineStats) {
+        let mut state = MineState::new();
+        self.load_entities(&mut state, entities, window);
+        (state.rows, state.stats)
+    }
+}
+
+impl MineState {
+    fn new() -> Self {
+        Self {
+            rows: HashMap::new(),
+            fetched_types: HashSet::new(),
+            fetched_entities: HashSet::new(),
+            stats: MineStats::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::soccer_fixture;
+
+    #[test]
+    fn finds_transfer_pattern_in_fixture() {
+        let fx = soccer_fixture();
+        let miner = WindowMiner::new(&fx.store, &fx.universe, fx.config());
+        let result = miner.mine_window(fx.player_ty, &fx.window);
+
+        // The planted pattern: player adds current_club to the new team and
+        // the team adds the player to its squad.
+        assert!(
+            result
+                .most_specific()
+                .any(|p| p.pattern == fx.expected_pair_pattern()),
+            "expected transfer pattern among most specific; found: {}",
+            result
+                .patterns
+                .iter()
+                .map(|p| format!(
+                    "[ms={} f={:.2}] {}",
+                    p.most_specific,
+                    p.frequency,
+                    p.pattern.display(&fx.universe)
+                ))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(result.stats.entities_processed > 0);
+        assert!(result.stats.candidates_considered > 0);
+    }
+
+    #[test]
+    fn frequency_threshold_prunes() {
+        let fx = soccer_fixture();
+        let mut config = fx.config();
+        config.tau = 1.01; // impossible threshold
+        let miner = WindowMiner::new(&fx.store, &fx.universe, config);
+        let result = miner.mine_window(fx.player_ty, &fx.window);
+        assert!(result.patterns.is_empty());
+    }
+
+    #[test]
+    fn nested_loop_agrees_with_hash() {
+        let fx = soccer_fixture();
+        let mut config = fx.config();
+        let miner_h = WindowMiner::new(&fx.store, &fx.universe, config);
+        let rh = miner_h.mine_window(fx.player_ty, &fx.window);
+        config.join_impl = JoinImpl::NestedLoop;
+        let miner_n = WindowMiner::new(&fx.store, &fx.universe, config);
+        let rn = miner_n.mine_window(fx.player_ty, &fx.window);
+
+        let ph: BTreeSet<Pattern> = rh.patterns.iter().map(|p| p.pattern.clone()).collect();
+        let pn: BTreeSet<Pattern> = rn.patterns.iter().map(|p| p.pattern.clone()).collect();
+        assert_eq!(ph, pn, "PM and PM−join must find identical patterns");
+    }
+
+    #[test]
+    fn materialized_mode_finds_same_most_specific_patterns() {
+        let fx = soccer_fixture();
+        let miner = WindowMiner::new(&fx.store, &fx.universe, fx.config());
+        let inc = miner.mine_window(fx.player_ty, &fx.window);
+
+        let all: Vec<_> = fx.universe.entities().iter().collect();
+        let mat = miner.mine_window_materialized(fx.player_ty, &fx.window, all);
+
+        let pi: BTreeSet<Pattern> = inc
+            .most_specific()
+            .map(|p| p.pattern.clone())
+            .collect();
+        let pm: BTreeSet<Pattern> = mat
+            .most_specific()
+            .map(|p| p.pattern.clone())
+            .collect();
+        assert_eq!(pi, pm);
+        // The full-graph variant must have considered at least as many
+        // candidates (it seeds from every type).
+        assert!(mat.stats.candidates_considered >= inc.stats.candidates_considered);
+    }
+
+    #[test]
+    fn stats_track_work() {
+        let fx = soccer_fixture();
+        let miner = WindowMiner::new(&fx.store, &fx.universe, fx.config());
+        let r = miner.mine_window(fx.player_ty, &fx.window);
+        assert!(r.stats.actions_extracted >= r.stats.reduced_actions);
+        assert!(r.stats.joins_executed > 0);
+        assert_eq!(
+            r.stats.most_specific_found,
+            r.most_specific().count()
+        );
+        assert_eq!(r.stats.patterns_found, r.patterns.len());
+    }
+
+    #[test]
+    fn realize_pattern_matches_mined_table() {
+        let fx = soccer_fixture();
+        let miner = WindowMiner::new(&fx.store, &fx.universe, fx.config());
+        let result = miner.mine_window(fx.player_ty, &fx.window);
+        let target = result
+            .patterns
+            .iter()
+            .find(|p| p.pattern == fx.expected_pair_pattern())
+            .expect("pattern found");
+
+        // Recompute the realization table from scratch; must agree.
+        let all: Vec<_> = fx.universe.entities().iter().collect();
+        let (rows, _) = miner.load_shape_rows(all, &fx.window);
+        let redone = miner.realize_pattern(&rows, &target.working);
+        assert_eq!(redone.sorted_rows(), target.table.sorted_rows());
+    }
+}

@@ -1,0 +1,154 @@
+//! Embarrassingly parallel multi-window mining.
+//!
+//! WiClean restricts itself to non-overlapping windows precisely so that
+//! the per-window action sets — and hence the mining runs — are
+//! independent (paper §4.3); "this is easily exploitable in a multi-core
+//! setting" (§6.2, Figure 4(d)). Windows are distributed over a scoped
+//! thread pool through an atomic work index.
+
+use crate::cache::RealizationCache;
+use crate::config::MinerConfig;
+use crate::miner::{WindowMiner, WindowResult};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use wiclean_revstore::RevisionStore;
+use wiclean_types::{TypeId, Universe, Window};
+
+/// Mines every window in `windows` w.r.t. `seed`, fanning the independent
+/// runs out over `threads` workers (1 = fully sequential). Results are
+/// returned in window order.
+pub fn mine_windows_parallel(
+    store: &RevisionStore,
+    universe: &Universe,
+    seed: TypeId,
+    windows: &[Window],
+    config: MinerConfig,
+    threads: usize,
+) -> Vec<WindowResult> {
+    mine_windows_parallel_cached(store, universe, seed, windows, config, threads, None)
+}
+
+/// [`mine_windows_parallel`] with an optional shared realization cache —
+/// Algorithm 2 passes one so refinement iterations reuse candidate tables.
+#[allow(clippy::too_many_arguments)]
+pub fn mine_windows_parallel_cached(
+    store: &RevisionStore,
+    universe: &Universe,
+    seed: TypeId,
+    windows: &[Window],
+    config: MinerConfig,
+    threads: usize,
+    cache: Option<Arc<RealizationCache>>,
+) -> Vec<WindowResult> {
+    assert!(threads >= 1, "need at least one worker");
+    if windows.is_empty() {
+        return Vec::new();
+    }
+
+    let make_miner = || {
+        let miner = WindowMiner::new(store, universe, config);
+        match &cache {
+            Some(c) => miner.with_cache(Arc::clone(c)),
+            None => miner,
+        }
+    };
+
+    let workers = threads.min(windows.len());
+    if workers == 1 {
+        let miner = make_miner();
+        return windows.iter().map(|w| miner.mine_window(seed, w)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<WindowResult>>> =
+        Mutex::new((0..windows.len()).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let miner = make_miner();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= windows.len() {
+                        break;
+                    }
+                    let result = miner.mine_window(seed, &windows[i]);
+                    results.lock()[i] = Some(result);
+                }
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every window mined"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+    use crate::testutil::soccer_fixture;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let fx = soccer_fixture();
+        // Split the fixture window into 4 sub-windows.
+        let windows = Window::split_span(fx.window.start, fx.window.end, fx.window.len() / 4);
+        let seq = mine_windows_parallel(
+            &fx.store,
+            &fx.universe,
+            fx.player_ty,
+            &windows,
+            fx.config(),
+            1,
+        );
+        let par = mine_windows_parallel(
+            &fx.store,
+            &fx.universe,
+            fx.player_ty,
+            &windows,
+            fx.config(),
+            4,
+        );
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.window, p.window);
+            let sp: BTreeSet<Pattern> = s.patterns.iter().map(|x| x.pattern.clone()).collect();
+            let pp: BTreeSet<Pattern> = p.patterns.iter().map(|x| x.pattern.clone()).collect();
+            assert_eq!(sp, pp);
+        }
+    }
+
+    #[test]
+    fn empty_window_list() {
+        let fx = soccer_fixture();
+        let out = mine_windows_parallel(
+            &fx.store,
+            &fx.universe,
+            fx.player_ty,
+            &[],
+            fx.config(),
+            4,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_windows_is_fine() {
+        let fx = soccer_fixture();
+        let out = mine_windows_parallel(
+            &fx.store,
+            &fx.universe,
+            fx.player_ty,
+            &[fx.window],
+            fx.config(),
+            16,
+        );
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,427 @@
+//! Algorithm 3 — identifying partial updates via full outer joins.
+//!
+//! The pattern's graph is traversed in construction order; at each step the
+//! accumulated relation is **full-outer-joined** with the next action's
+//! realization relation. Unlike the inner join of the mining phase, the
+//! outer join retains left tuples with no matching action and action tuples
+//! with no surrounding partial pattern, padding the other side with nulls.
+//! Tuples containing nulls are exactly the *partial* realizations — the
+//! potential errors WiClean reports to editors.
+//!
+//! Following the paper ("a result table keeping the attributes of original
+//! action relations is kept to record which missing updates cause null
+//! values"), every action contributes a *marker* column — a copy of its
+//! source value, always non-null in its own relation. After the chain, a
+//! null marker in column `i` means action `i` of the pattern did not occur
+//! for that tuple; this recovers the missing-action set even when the
+//! action introduces no new pattern variable.
+
+use crate::abstract_action::AbstractAction;
+use crate::config::MinerConfig;
+use crate::miner::WindowMiner;
+use crate::pattern::{Pattern, WorkingPattern};
+use crate::realization::{action_realizations, column_of, frequency, Shape};
+use crate::var::Var;
+use std::collections::{BTreeSet, HashMap};
+use wiclean_rel::{outer_join_glue, ColumnGlue, Schema, Table};
+use wiclean_revstore::RevisionStore;
+use wiclean_types::{EntityId, TypeId, Universe, Window};
+
+/// One partial realization: a potential error to surface to editors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialUpdate {
+    /// Assignment of pattern variables; `None` where the realization never
+    /// bound the variable.
+    pub assignment: Vec<(Var, Option<EntityId>)>,
+    /// The pattern actions this occurrence is missing (the suggested
+    /// completion).
+    pub missing: Vec<AbstractAction>,
+    /// The pattern actions that did occur.
+    pub present: Vec<AbstractAction>,
+}
+
+impl PartialUpdate {
+    /// Whether `e` participates in this partial occurrence.
+    pub fn involves(&self, e: EntityId) -> bool {
+        self.assignment.iter().any(|(_, v)| *v == Some(e))
+    }
+
+    /// Human-readable summary.
+    pub fn display(&self, universe: &Universe) -> String {
+        let bind = self
+            .assignment
+            .iter()
+            .map(|(v, e)| {
+                format!(
+                    "{}={}",
+                    v.display(universe.taxonomy()),
+                    e.map_or_else(|| "?".to_owned(), |e| universe.entity_name(e).to_owned())
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let missing = self
+            .missing
+            .iter()
+            .map(|a| a.display(universe))
+            .collect::<Vec<_>>()
+            .join("; ");
+        format!("[{bind}] missing: {missing}")
+    }
+}
+
+/// The outcome of running Algorithm 3 for one (window, pattern) pair.
+#[derive(Debug, Clone)]
+pub struct PartialReport {
+    /// The examined window.
+    pub window: Window,
+    /// Canonical pattern.
+    pub pattern: Pattern,
+    /// Working form whose variables index `PartialUpdate::assignment`.
+    pub working: WorkingPattern,
+    /// The flagged partial realizations.
+    pub partials: Vec<PartialUpdate>,
+    /// Sample complete realizations, shown to editors as evidence of how
+    /// the pattern is normally completed.
+    pub complete_examples: Vec<Vec<(Var, EntityId)>>,
+    /// Number of complete realizations in the window.
+    pub complete_count: usize,
+    /// The pattern's frequency in this window (statistical metadata for an
+    /// informed course of action).
+    pub frequency: f64,
+}
+
+/// Builds the marker-augmented outer-join chain for `wp` over the given
+/// shape rows and returns the combined relation.
+///
+/// Schema: one column per pattern variable (first-appearance order), then
+/// one marker column `@a{i}` per action.
+fn outer_chain(
+    miner_universe: &Universe,
+    rows: &HashMap<Shape, Vec<(EntityId, EntityId)>>,
+    wp: &WorkingPattern,
+) -> Table {
+    let empty: Vec<(EntityId, EntityId)> = Vec::new();
+    let actions = wp.actions();
+    let tax = miner_universe.taxonomy();
+
+    // Left-hand start: action 0's realization plus its marker.
+    let first = actions[0];
+    let base = action_realizations(&first, rows.get(&first.shape()).unwrap_or(&empty), miner_universe);
+    let mut names: Vec<String> = base.schema().names().to_vec();
+    names.push("@a0".to_owned());
+    let mut table = Table::new(Schema::new(names));
+    {
+        let mut row = Vec::with_capacity(table.width());
+        for r in base.rows() {
+            row.clear();
+            row.extend_from_slice(r);
+            row.push(r[0]); // marker duplicates the source value
+            table.push_row(&row);
+        }
+    }
+    let mut bound: Vec<Var> = if first.source == first.target {
+        vec![first.source]
+    } else {
+        vec![first.source, first.target]
+    };
+
+    for (i, a) in actions.iter().enumerate().skip(1) {
+        // Right: [src, tgt, marker].
+        let act = action_realizations(a, rows.get(&a.shape()).unwrap_or(&empty), miner_universe);
+        let mut rnames: Vec<String> = act.schema().names().to_vec();
+        rnames.push(format!("@a{i}"));
+        let mut right = Table::new(Schema::new(rnames));
+        {
+            let mut row = Vec::with_capacity(right.width());
+            for r in act.rows() {
+                row.clear();
+                row.extend_from_slice(r);
+                row.push(r[0]);
+                right.push_row(&row);
+            }
+        }
+
+        let left_names: Vec<String> = table.schema().names().to_vec();
+        let src_col = column_of(&left_names, a.source);
+        let tgt_glue = if bound.contains(&a.target) {
+            ColumnGlue::Glued(column_of(&left_names, a.target))
+        } else {
+            let distinct_from: Vec<usize> = bound
+                .iter()
+                .map(|v| column_of(&left_names, *v))
+                .zip(bound.iter())
+                .filter(|(_, v)| {
+                    tax.is_subtype(v.ty, a.target.ty) || tax.is_subtype(a.target.ty, v.ty)
+                })
+                .map(|(c, _)| c)
+                .collect();
+            bound.push(a.target);
+            ColumnGlue::New {
+                name: a.target.column_name(),
+                distinct_from,
+            }
+        };
+        let glue = vec![
+            ColumnGlue::Glued(src_col),
+            tgt_glue,
+            ColumnGlue::New {
+                name: format!("@a{i}"),
+                distinct_from: vec![],
+            },
+        ];
+        table = outer_join_glue(&table, &right, &glue);
+        table.dedup();
+    }
+    table
+}
+
+/// Runs Algorithm 3: finds the partial realizations of `wp` within
+/// `window`, examining the revision histories of all entities whose types
+/// occur in the pattern.
+pub fn detect_partial_updates(
+    store: &RevisionStore,
+    universe: &Universe,
+    config: &MinerConfig,
+    wp: &WorkingPattern,
+    seed: TypeId,
+    window: &Window,
+    max_examples: usize,
+) -> PartialReport {
+    let miner = WindowMiner::new(store, universe, *config);
+
+    // Line 1–2: S = entity types in p; fetch and reduce their histories.
+    let types: BTreeSet<TypeId> = wp.vars().into_iter().map(|v| v.ty).collect();
+    let mut entities: BTreeSet<EntityId> = BTreeSet::new();
+    for ty in types {
+        entities.extend(universe.entities_of(ty));
+    }
+    let (rows, _stats) = miner.load_shape_rows(entities, window);
+
+    report_from_rows(universe, &rows, wp, seed, window, max_examples)
+}
+
+/// Algorithm 3 core, over pre-extracted shape rows (exposed so the eval
+/// harness can reuse one preprocessing pass across many patterns).
+pub fn report_from_rows(
+    universe: &Universe,
+    rows: &HashMap<Shape, Vec<(EntityId, EntityId)>>,
+    wp: &WorkingPattern,
+    seed: TypeId,
+    window: &Window,
+    max_examples: usize,
+) -> PartialReport {
+    let table = outer_chain(universe, rows, wp);
+    let vars = wp.vars();
+    let nvars = vars.len();
+    let nacts = wp.actions().len();
+
+    // The chained outer joins interleave marker columns with variable
+    // columns (each join appends its new variable, then its marker), so
+    // resolve positions from the schema rather than assuming a layout.
+    let names = table.schema().names();
+    let var_cols: Vec<usize> = vars
+        .iter()
+        .map(|v| column_of(names, *v))
+        .collect();
+    let marker_cols: Vec<usize> = (0..nacts)
+        .map(|i| {
+            let want = format!("@a{i}");
+            names
+                .iter()
+                .position(|n| *n == want)
+                .expect("marker column present")
+        })
+        .collect();
+
+    let mut partials = Vec::new();
+    let mut complete_examples = Vec::new();
+    let mut complete_count = 0usize;
+
+    // A (partial) realization must still assign *distinct* entities to
+    // distinct variables. The join enforces this only between columns that
+    // are both non-null at join time; a null-padded row can later acquire
+    // a clashing value through a glued column, so re-check here.
+    let tax = universe.taxonomy();
+    let violates_injectivity = |r: &[wiclean_rel::Value]| {
+        for i in 0..nvars {
+            for j in (i + 1)..nvars {
+                if let (Some(a), Some(b)) = (r[var_cols[i]], r[var_cols[j]]) {
+                    if a == b
+                        && (tax.is_subtype(vars[i].ty, vars[j].ty)
+                            || tax.is_subtype(vars[j].ty, vars[i].ty))
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    };
+
+    for r in table.rows() {
+        if violates_injectivity(r) {
+            continue;
+        }
+        let missing_ix: Vec<usize> = marker_cols
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| r[c].is_none().then_some(i))
+            .collect();
+        if missing_ix.is_empty() {
+            complete_count += 1;
+            if complete_examples.len() < max_examples {
+                complete_examples.push(
+                    vars.iter()
+                        .enumerate()
+                        .filter_map(|(i, v)| r[var_cols[i]].map(|e| (*v, e)))
+                        .collect(),
+                );
+            }
+        } else {
+            let missing = missing_ix
+                .iter()
+                .map(|&i| wp.actions()[i])
+                .collect::<Vec<_>>();
+            let present = wp
+                .actions()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !missing_ix.contains(i))
+                .map(|(_, a)| *a)
+                .collect::<Vec<_>>();
+            partials.push(PartialUpdate {
+                assignment: vars
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (*v, r[var_cols[i]]))
+                    .collect(),
+                missing,
+                present,
+            });
+        }
+    }
+
+    // Frequency metadata from the inner (complete) portion.
+    let inner = {
+        // Project the complete rows' variable columns into a table.
+        let mut t = Table::new(Schema::new(vars.iter().map(Var::column_name)));
+        let mut row = Vec::with_capacity(nvars);
+        for r in table.rows() {
+            if marker_cols.iter().all(|&c| r[c].is_some()) {
+                row.clear();
+                row.extend(var_cols.iter().map(|&c| r[c]));
+                t.push_row(&row);
+            }
+        }
+        t.dedup();
+        t
+    };
+    let freq = if inner.is_empty() {
+        0.0
+    } else {
+        frequency(&inner, 0, seed, universe)
+    };
+
+    PartialReport {
+        window: *window,
+        pattern: wp.canonical(),
+        working: wp.clone(),
+        partials,
+        complete_examples,
+        complete_count,
+        frequency: freq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::soccer_fixture;
+
+    #[test]
+    fn flags_the_partial_transfer() {
+        let fx = soccer_fixture();
+        let wp = fx.expected_pair_working();
+        let report = detect_partial_updates(
+            &fx.store,
+            &fx.universe,
+            &fx.config(),
+            &wp,
+            fx.player_ty,
+            &fx.window,
+            10,
+        );
+
+        assert_eq!(report.complete_count, 4, "four complete transfers");
+        // Exactly one partial: player 4's club never reciprocated.
+        assert_eq!(report.partials.len(), 1);
+        let p = &report.partials[0];
+        assert!(p.involves(fx.partial_player));
+        assert_eq!(p.missing.len(), 1);
+        // The missing action is the club-side squad addition.
+        let squad = fx.universe.lookup_relation("squad").unwrap();
+        assert_eq!(p.missing[0].rel, squad);
+        assert_eq!(p.present.len(), 1);
+    }
+
+    #[test]
+    fn complete_examples_are_sampled() {
+        let fx = soccer_fixture();
+        let wp = fx.expected_pair_working();
+        let report = detect_partial_updates(
+            &fx.store,
+            &fx.universe,
+            &fx.config(),
+            &wp,
+            fx.player_ty,
+            &fx.window,
+            2,
+        );
+        assert_eq!(report.complete_examples.len(), 2, "capped at max_examples");
+        assert!(report.frequency > 0.0);
+    }
+
+    #[test]
+    fn display_mentions_missing_relation() {
+        let fx = soccer_fixture();
+        let wp = fx.expected_pair_working();
+        let report = detect_partial_updates(
+            &fx.store,
+            &fx.universe,
+            &fx.config(),
+            &wp,
+            fx.player_ty,
+            &fx.window,
+            0,
+        );
+        let text = report.partials[0].display(&fx.universe);
+        assert!(text.contains("missing"), "{text}");
+        assert!(text.contains("squad"), "{text}");
+    }
+
+    #[test]
+    fn no_partials_when_all_edits_complete() {
+        let fx = soccer_fixture();
+        // A singleton pattern can never be partial: any realization of its
+        // only action is complete.
+        let cc = fx.universe.lookup_relation("current_club").unwrap();
+        let wp = WorkingPattern::from_actions(vec![AbstractAction::new(
+            wiclean_revstore::EditOp::Add,
+            Var::new(fx.player_ty, 0),
+            cc,
+            Var::new(fx.club_ty, 0),
+        )]);
+        let report = detect_partial_updates(
+            &fx.store,
+            &fx.universe,
+            &fx.config(),
+            &wp,
+            fx.player_ty,
+            &fx.window,
+            0,
+        );
+        assert!(report.partials.is_empty());
+        assert_eq!(report.complete_count, 5);
+    }
+}

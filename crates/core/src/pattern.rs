@@ -1,0 +1,655 @@
+//! Patterns: sets of abstract actions, up to variable isomorphism.
+//!
+//! Two representations cooperate:
+//!
+//! * [`Pattern`] — the *canonical* form: actions sorted after relabeling
+//!   same-type variable indices to the lexicographically minimal choice.
+//!   Canonical patterns are hashable keys — "we consider two patterns
+//!   identical if they are the same up to isomorphism on the variable names
+//!   of the same type" (paper §3).
+//! * [`WorkingPattern`] — the miner's construction-order form, whose
+//!   variable order matches the columns of the pattern's realization table
+//!   (new variables append on the right, exactly as the glue join appends
+//!   output columns).
+//!
+//! The module also implements the specificity partial order `≺`
+//! ([`Pattern::more_specific_than`]): `p ≺ p'` iff `p'` can be obtained
+//! from `p` by removing abstract actions, generalizing variable types
+//! upward in the taxonomy, or both. [`most_specific`] filters a frequent
+//! set down to its minimal elements (Def. 3.3).
+
+use crate::abstract_action::AbstractAction;
+use crate::var::Var;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use wiclean_types::{Taxonomy, TypeId, Universe};
+
+/// A canonical pattern: a non-empty, sorted, minimally-relabeled set of
+/// abstract actions. Construct via [`Pattern::canonical_from`] or
+/// [`WorkingPattern::canonical`].
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Pattern {
+    actions: Vec<AbstractAction>,
+}
+
+impl Pattern {
+    /// Canonicalizes a set of abstract actions.
+    ///
+    /// Enumerates all permutations of same-type variable indices, relabels,
+    /// sorts the action list, and keeps the lexicographically smallest
+    /// result. Patterns are small (a handful of variables per type), so the
+    /// permutation product is tiny.
+    ///
+    /// ```
+    /// use wiclean_core::abstract_action::AbstractAction;
+    /// use wiclean_core::pattern::Pattern;
+    /// use wiclean_core::var::Var;
+    /// use wiclean_revstore::EditOp;
+    /// use wiclean_types::{RelId, TypeId};
+    ///
+    /// let (player, club, rel) = (TypeId::from_u32(1), TypeId::from_u32(2), RelId::from_u32(0));
+    /// let a = AbstractAction::new(EditOp::Add, Var::new(player, 0), rel, Var::new(club, 0));
+    /// let b = AbstractAction::new(EditOp::Add, Var::new(player, 0), rel, Var::new(club, 1));
+    /// // Swapping which club variable is "first" yields the same pattern.
+    /// let c = AbstractAction::new(EditOp::Add, Var::new(player, 0), rel, Var::new(club, 1));
+    /// let d = AbstractAction::new(EditOp::Add, Var::new(player, 0), rel, Var::new(club, 0));
+    /// assert_eq!(Pattern::canonical_from(&[a, b]), Pattern::canonical_from(&[c, d]));
+    /// ```
+    pub fn canonical_from(actions: &[AbstractAction]) -> Pattern {
+        assert!(!actions.is_empty(), "empty pattern");
+        // Collect distinct variables per type.
+        let mut by_type: BTreeMap<TypeId, BTreeSet<u8>> = BTreeMap::new();
+        for a in actions {
+            by_type.entry(a.source.ty).or_default().insert(a.source.ix);
+            by_type.entry(a.target.ty).or_default().insert(a.target.ix);
+        }
+
+        // All relabelings: per type, every bijection old-index → 0..n.
+        let groups: Vec<(TypeId, Vec<u8>)> = by_type
+            .into_iter()
+            .map(|(ty, ixs)| (ty, ixs.into_iter().collect()))
+            .collect();
+
+        let mut best: Option<Vec<AbstractAction>> = None;
+        let mut assignment: HashMap<(TypeId, u8), u8> = HashMap::new();
+        permute_groups(&groups, 0, &mut assignment, &mut |assignment| {
+            let mut relabeled: Vec<AbstractAction> = actions
+                .iter()
+                .map(|a| AbstractAction {
+                    op: a.op,
+                    source: Var::new(a.source.ty, assignment[&(a.source.ty, a.source.ix)]),
+                    rel: a.rel,
+                    target: Var::new(a.target.ty, assignment[&(a.target.ty, a.target.ix)]),
+                })
+                .collect();
+            relabeled.sort();
+            relabeled.dedup();
+            if best.as_ref().is_none_or(|b| relabeled < *b) {
+                best = Some(relabeled);
+            }
+        });
+        Pattern {
+            actions: best.expect("at least one relabeling"),
+        }
+    }
+
+    /// The canonical action list.
+    pub fn actions(&self) -> &[AbstractAction] {
+        &self.actions
+    }
+
+    /// Number of abstract actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Patterns are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether this is a single-action pattern.
+    pub fn is_singleton(&self) -> bool {
+        self.actions.len() == 1
+    }
+
+    /// Distinct variables, sorted.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut vs: BTreeSet<Var> = BTreeSet::new();
+        for a in &self.actions {
+            vs.insert(a.source);
+            vs.insert(a.target);
+        }
+        vs.into_iter().collect()
+    }
+
+    /// Variables of `ty` exactly.
+    pub fn vars_of_type(&self, ty: TypeId) -> Vec<Var> {
+        self.vars().into_iter().filter(|v| v.ty == ty).collect()
+    }
+
+    /// The distinct variable types occurring in the pattern (the "type
+    /// names found in patterns" of Algorithm 1 line 4).
+    pub fn types(&self) -> BTreeSet<TypeId> {
+        self.vars().into_iter().map(|v| v.ty).collect()
+    }
+
+    /// Variables reachable from `start` along the directed action edges.
+    fn reachable(&self, start: Var) -> BTreeSet<Var> {
+        let mut seen = BTreeSet::new();
+        seen.insert(start);
+        let mut stack = vec![start];
+        while let Some(cur) = stack.pop() {
+            for a in &self.actions {
+                if a.source == cur && seen.insert(a.target) {
+                    stack.push(a.target);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether `v` could be a source for seed type `t`: its type is
+    /// comparable with `t` (equal, generalizing — an abstracted pattern —
+    /// or specializing — a pattern specific to a subtype of the seed).
+    fn source_candidate(v: Var, taxonomy: &Taxonomy, t: TypeId) -> bool {
+        taxonomy.is_subtype(t, v.ty) || taxonomy.is_subtype(v.ty, t)
+    }
+
+    /// The pattern's distinguished source variable w.r.t. seed type `t`
+    /// (Def. 3.1): the smallest variable whose type is comparable with `t`
+    /// and from which every other variable is reachable. `None` iff the
+    /// pattern is not connected w.r.t. `t`.
+    pub fn source_var(&self, taxonomy: &Taxonomy, t: TypeId) -> Option<Var> {
+        let all: BTreeSet<Var> = self.vars().into_iter().collect();
+        self.vars()
+            .into_iter()
+            .filter(|v| Self::source_candidate(*v, taxonomy, t))
+            .find(|v| self.reachable(*v) == all)
+    }
+
+    /// Whether the pattern is connected w.r.t. `t` (Def. 3.1).
+    pub fn is_connected(&self, taxonomy: &Taxonomy, t: TypeId) -> bool {
+        self.source_var(taxonomy, t).is_some()
+    }
+
+    /// Tests `self ≺ other`: `other` is strictly more general — obtainable
+    /// from `self` by removing actions and/or generalizing variable types.
+    ///
+    /// Implemented as an injective embedding search: every action of
+    /// `other` must map to a distinct action of `self` with equal op and
+    /// relation, under a consistent injective variable mapping `σ` with
+    /// `σ(v).ty ≤ v.ty` for every variable `v` of `other`.
+    pub fn more_specific_than(&self, other: &Pattern, taxonomy: &Taxonomy) -> bool {
+        if self == other {
+            return false;
+        }
+        if other.actions.len() > self.actions.len() {
+            return false;
+        }
+        embeds(&other.actions, &self.actions, taxonomy)
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn display(&self, universe: &Universe) -> String {
+        self.actions
+            .iter()
+            .map(|a| a.display(universe))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+/// Depth-first enumeration of per-type index permutations.
+fn permute_groups(
+    groups: &[(TypeId, Vec<u8>)],
+    depth: usize,
+    assignment: &mut HashMap<(TypeId, u8), u8>,
+    visit: &mut dyn FnMut(&HashMap<(TypeId, u8), u8>),
+) {
+    if depth == groups.len() {
+        visit(assignment);
+        return;
+    }
+    let (ty, ixs) = &groups[depth];
+    let n = ixs.len();
+    let mut perm: Vec<u8> = (0..n as u8).collect();
+    // Heap's algorithm, iterative over all permutations of 0..n.
+    let mut c = vec![0usize; n];
+    let apply = |perm: &[u8],
+                     assignment: &mut HashMap<(TypeId, u8), u8>,
+                     visit: &mut dyn FnMut(&HashMap<(TypeId, u8), u8>)| {
+        for (k, &old_ix) in ixs.iter().enumerate() {
+            assignment.insert((*ty, old_ix), perm[k]);
+        }
+        permute_groups(groups, depth + 1, assignment, visit);
+    };
+    apply(&perm, assignment, visit);
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            apply(&perm, assignment, visit);
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Whether `general` embeds into `specific`: an injective mapping of
+/// actions and variables such that each general action matches a specific
+/// action with `specific_var.ty ≤ general_var.ty`.
+fn embeds(general: &[AbstractAction], specific: &[AbstractAction], taxonomy: &Taxonomy) -> bool {
+    fn rec(
+        gi: usize,
+        general: &[AbstractAction],
+        specific: &[AbstractAction],
+        used: &mut Vec<bool>,
+        var_map: &mut HashMap<Var, Var>,
+        mapped_to: &mut BTreeSet<Var>,
+        taxonomy: &Taxonomy,
+    ) -> bool {
+        if gi == general.len() {
+            return true;
+        }
+        let g = &general[gi];
+        for (si, s) in specific.iter().enumerate() {
+            if used[si] || s.op != g.op || s.rel != g.rel {
+                continue;
+            }
+            if !taxonomy.is_subtype(s.source.ty, g.source.ty)
+                || !taxonomy.is_subtype(s.target.ty, g.target.ty)
+            {
+                continue;
+            }
+            // Try extending the variable mapping.
+            let mut added = Vec::new();
+            let mut ok = true;
+            for (gv, sv) in [(g.source, s.source), (g.target, s.target)] {
+                match var_map.get(&gv) {
+                    Some(&prev) if prev != sv => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        if mapped_to.contains(&sv) {
+                            // injectivity violated
+                            ok = false;
+                            break;
+                        }
+                        var_map.insert(gv, sv);
+                        mapped_to.insert(sv);
+                        added.push((gv, sv));
+                    }
+                }
+            }
+            if ok {
+                used[si] = true;
+                if rec(gi + 1, general, specific, used, var_map, mapped_to, taxonomy) {
+                    return true;
+                }
+                used[si] = false;
+            }
+            for (gv, sv) in added {
+                var_map.remove(&gv);
+                mapped_to.remove(&sv);
+            }
+        }
+        false
+    }
+
+    let mut used = vec![false; specific.len()];
+    let mut var_map = HashMap::new();
+    let mut mapped_to = BTreeSet::new();
+    rec(
+        0,
+        general,
+        specific,
+        &mut used,
+        &mut var_map,
+        &mut mapped_to,
+        taxonomy,
+    )
+}
+
+/// Filters a set of frequent patterns down to the most specific ones
+/// (Def. 3.3): `p` survives iff no other pattern in the set is strictly
+/// more specific than `p`.
+pub fn most_specific(patterns: &[Pattern], taxonomy: &Taxonomy) -> Vec<Pattern> {
+    patterns
+        .iter()
+        .filter(|p| {
+            !patterns
+                .iter()
+                .any(|q| q != *p && q.more_specific_than(p, taxonomy))
+        })
+        .cloned()
+        .collect()
+}
+
+/// The miner's construction-order pattern: actions in the order they were
+/// added, variables in first-appearance order — matching the realization
+/// table's column order exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkingPattern {
+    actions: Vec<AbstractAction>,
+}
+
+impl WorkingPattern {
+    /// A single-action pattern. The source variable gets index 0; the
+    /// target gets index 0 too unless it shares the source's type (then 1).
+    pub fn singleton(op: wiclean_wikitext::EditOp, src_ty: TypeId, rel: wiclean_types::RelId, tgt_ty: TypeId) -> Self {
+        let source = Var::new(src_ty, 0);
+        let target = Var::new(tgt_ty, if tgt_ty == src_ty { 1 } else { 0 });
+        Self {
+            actions: vec![AbstractAction::new(op, source, rel, target)],
+        }
+    }
+
+    /// Wraps an explicit action list (tests / Algorithm 3 input).
+    pub fn from_actions(actions: Vec<AbstractAction>) -> Self {
+        assert!(!actions.is_empty(), "empty pattern");
+        Self { actions }
+    }
+
+    /// The actions in construction order.
+    pub fn actions(&self) -> &[AbstractAction] {
+        &self.actions
+    }
+
+    /// Number of actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Variables in first-appearance order (source before target within an
+    /// action) — the realization table's column order.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut seen = Vec::new();
+        for a in &self.actions {
+            if !seen.contains(&a.source) {
+                seen.push(a.source);
+            }
+            if !seen.contains(&a.target) {
+                seen.push(a.target);
+            }
+        }
+        seen
+    }
+
+    /// Whether the pattern already contains this exact abstract action.
+    pub fn contains(&self, a: &AbstractAction) -> bool {
+        self.actions.contains(a)
+    }
+
+    /// The next free index for variables of `ty`.
+    pub fn next_index(&self, ty: TypeId) -> u8 {
+        self.vars()
+            .into_iter()
+            .filter(|v| v.ty == ty)
+            .map(|v| v.ix + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// A new working pattern with `a` appended.
+    pub fn extended_with(&self, a: AbstractAction) -> Self {
+        let mut actions = self.actions.clone();
+        actions.push(a);
+        Self { actions }
+    }
+
+    /// The canonical form (key for dedup and reporting).
+    pub fn canonical(&self) -> Pattern {
+        Pattern::canonical_from(&self.actions)
+    }
+
+    /// Column names for the realization table, in variable order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.vars().iter().map(Var::column_name).collect()
+    }
+
+    /// Human-readable rendering.
+    pub fn display(&self, universe: &Universe) -> String {
+        self.actions
+            .iter()
+            .map(|a| a.display(universe))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiclean_types::RelId;
+    use wiclean_wikitext::EditOp;
+
+    fn taxonomy() -> (Taxonomy, TypeId, TypeId, TypeId, TypeId) {
+        let mut tax = Taxonomy::new("Thing");
+        let person = tax.add("Person", tax.root()).unwrap();
+        let athlete = tax.add("Athlete", person).unwrap();
+        let player = tax.add("SoccerPlayer", athlete).unwrap();
+        let club = tax.add("SoccerClub", tax.root()).unwrap();
+        (tax, person, athlete, player, club)
+    }
+
+    fn aa(op: EditOp, s: Var, rel: u32, t: Var) -> AbstractAction {
+        AbstractAction::new(op, s, RelId::from_u32(rel), t)
+    }
+
+    #[test]
+    fn canonicalization_is_invariant_under_renaming() {
+        let (_tax, _p, _a, player, club) = taxonomy();
+        let (p0, p1) = (Var::new(player, 0), Var::new(player, 1));
+        let (c0, c1) = (Var::new(club, 0), Var::new(club, 1));
+        // Same pattern with the club variables swapped.
+        let a = [
+            aa(EditOp::Add, p0, 0, c0),
+            aa(EditOp::Remove, p0, 0, c1),
+            aa(EditOp::Add, p1, 1, c0),
+        ];
+        let b = [
+            aa(EditOp::Add, p0, 0, c1),
+            aa(EditOp::Remove, p0, 0, c0),
+            aa(EditOp::Add, p1, 1, c1),
+        ];
+        assert_eq!(Pattern::canonical_from(&a), Pattern::canonical_from(&b));
+        // But a genuinely different wiring is distinct.
+        let c = [
+            aa(EditOp::Add, p0, 0, c0),
+            aa(EditOp::Remove, p0, 0, c1),
+            aa(EditOp::Add, p1, 1, c1),
+        ];
+        assert_ne!(Pattern::canonical_from(&a), Pattern::canonical_from(&c));
+    }
+
+    #[test]
+    fn canonicalization_dedups_actions() {
+        let (_tax, _p, _a, player, club) = taxonomy();
+        let x = aa(EditOp::Add, Var::new(player, 0), 0, Var::new(club, 0));
+        let p = Pattern::canonical_from(&[x, x]);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn connectivity_figure2() {
+        let (tax, _p, _a, player, club) = taxonomy();
+        let league = club; // stand-in second type
+        let p1 = Var::new(player, 0);
+        let p2 = Var::new(player, 1);
+        let t1 = Var::new(league, 0);
+        let t2 = Var::new(league, 1);
+
+        // Figure 2(a): all edges from player_1 — connected.
+        let connected = Pattern::canonical_from(&[
+            aa(EditOp::Add, p1, 0, t1),
+            aa(EditOp::Remove, p1, 0, t2),
+        ]);
+        assert!(connected.is_connected(&tax, player));
+        assert_eq!(connected.source_var(&tax, player).unwrap().ty, player);
+
+        // Figure 2(b): second edge hangs off a different player — the
+        // pattern splits into two components, not connected.
+        let disconnected = Pattern::canonical_from(&[
+            aa(EditOp::Add, p1, 0, t1),
+            aa(EditOp::Remove, p2, 0, t2),
+        ]);
+        assert!(!disconnected.is_connected(&tax, player));
+    }
+
+    #[test]
+    fn back_edges_keep_connectivity() {
+        let (tax, _p, _a, player, club) = taxonomy();
+        let p1 = Var::new(player, 0);
+        let c1 = Var::new(club, 0);
+        // player → club and club → player: connected from player.
+        let p = Pattern::canonical_from(&[
+            aa(EditOp::Add, p1, 0, c1),
+            aa(EditOp::Add, c1, 1, p1),
+        ]);
+        assert!(p.is_connected(&tax, player));
+        // Also connected w.r.t. club (club var reaches player var).
+        assert!(p.is_connected(&tax, club));
+    }
+
+    #[test]
+    fn source_candidate_accepts_abstracted_vars() {
+        let (tax, _person, athlete, player, club) = taxonomy();
+        // Pattern over Athlete variables is connected w.r.t. SoccerPlayer:
+        // player ≤ athlete, so player entities realize the athlete var.
+        let a1 = Var::new(athlete, 0);
+        let c1 = Var::new(club, 0);
+        let p = Pattern::canonical_from(&[aa(EditOp::Add, a1, 0, c1)]);
+        assert!(p.is_connected(&tax, player));
+        assert!(p.is_connected(&tax, athlete));
+        assert!(!p.is_connected(&tax, club), "club var has no out-path to all");
+    }
+
+    #[test]
+    fn specificity_order_matches_paper_example() {
+        let (tax, _person, athlete, player, club) = taxonomy();
+        // p1 = {+(player_1, cc, team_1), −(player_1, cc, team_2)}
+        // p2 = {+(athlete_1, cc, team_1), −(athlete_1, cc, team_2)}
+        // p3 = {+(athlete_1, cc, team_1)}         with p1 ≺ p2 ≺ p3.
+        let p1 = Pattern::canonical_from(&[
+            aa(EditOp::Add, Var::new(player, 0), 0, Var::new(club, 0)),
+            aa(EditOp::Remove, Var::new(player, 0), 0, Var::new(club, 1)),
+        ]);
+        let p2 = Pattern::canonical_from(&[
+            aa(EditOp::Add, Var::new(athlete, 0), 0, Var::new(club, 0)),
+            aa(EditOp::Remove, Var::new(athlete, 0), 0, Var::new(club, 1)),
+        ]);
+        let p3 = Pattern::canonical_from(&[aa(
+            EditOp::Add,
+            Var::new(athlete, 0),
+            0,
+            Var::new(club, 0),
+        )]);
+
+        assert!(p1.more_specific_than(&p2, &tax));
+        assert!(p2.more_specific_than(&p3, &tax));
+        assert!(p1.more_specific_than(&p3, &tax), "transitivity");
+        assert!(!p2.more_specific_than(&p1, &tax));
+        assert!(!p3.more_specific_than(&p1, &tax));
+        assert!(!p1.more_specific_than(&p1, &tax), "strictness");
+    }
+
+    #[test]
+    fn most_specific_filter() {
+        let (tax, _person, athlete, player, club) = taxonomy();
+        let p1 = Pattern::canonical_from(&[
+            aa(EditOp::Add, Var::new(player, 0), 0, Var::new(club, 0)),
+            aa(EditOp::Remove, Var::new(player, 0), 0, Var::new(club, 1)),
+        ]);
+        let p3 = Pattern::canonical_from(&[aa(
+            EditOp::Add,
+            Var::new(athlete, 0),
+            0,
+            Var::new(club, 0),
+        )]);
+        let other = Pattern::canonical_from(&[aa(
+            EditOp::Remove,
+            Var::new(player, 0),
+            1,
+            Var::new(club, 0),
+        )]);
+        let kept = most_specific(&[p1.clone(), p3.clone(), other.clone()], &tax);
+        assert!(kept.contains(&p1));
+        assert!(!kept.contains(&p3), "p1 ≺ p3 kills p3");
+        assert!(kept.contains(&other), "incomparable pattern survives");
+    }
+
+    #[test]
+    fn embedding_requires_distinct_variables() {
+        let (tax, ..) = taxonomy();
+        let player = tax.lookup("SoccerPlayer").unwrap();
+        let club = tax.lookup("SoccerClub").unwrap();
+        // q: two actions on DISTINCT club vars; p: both on the same var.
+        // q must not embed into p.
+        let q = Pattern::canonical_from(&[
+            aa(EditOp::Add, Var::new(player, 0), 0, Var::new(club, 0)),
+            aa(EditOp::Remove, Var::new(player, 0), 0, Var::new(club, 1)),
+        ]);
+        let p = Pattern::canonical_from(&[
+            aa(EditOp::Add, Var::new(player, 0), 0, Var::new(club, 0)),
+            aa(EditOp::Remove, Var::new(player, 0), 0, Var::new(club, 0)),
+        ]);
+        assert!(!p.more_specific_than(&q, &tax));
+    }
+
+    #[test]
+    fn working_pattern_var_order_tracks_construction() {
+        let (_tax, _p, _a, player, club) = taxonomy();
+        let rel = RelId::from_u32(0);
+        let wp = WorkingPattern::singleton(EditOp::Add, player, rel, club);
+        assert_eq!(wp.vars(), vec![Var::new(player, 0), Var::new(club, 0)]);
+        assert_eq!(wp.next_index(club), 1);
+        assert_eq!(wp.next_index(player), 1);
+
+        let ext = wp.extended_with(aa(
+            EditOp::Remove,
+            Var::new(player, 0),
+            0,
+            Var::new(club, 1),
+        ));
+        assert_eq!(
+            ext.vars(),
+            vec![Var::new(player, 0), Var::new(club, 0), Var::new(club, 1)]
+        );
+        assert_eq!(ext.column_names().len(), 3);
+        assert_eq!(ext.len(), 2);
+        assert!(ext.contains(ext.actions().last().unwrap()));
+    }
+
+    #[test]
+    fn singleton_with_same_types_uses_distinct_vars() {
+        let (_tax, person, ..) = taxonomy();
+        let wp = WorkingPattern::singleton(EditOp::Add, person, RelId::from_u32(2), person);
+        let vars = wp.vars();
+        assert_eq!(vars.len(), 2);
+        assert_ne!(vars[0], vars[1]);
+    }
+
+    #[test]
+    fn canonical_of_working_is_stable() {
+        let (_tax, _p, _a, player, club) = taxonomy();
+        let rel = RelId::from_u32(0);
+        let wp = WorkingPattern::singleton(EditOp::Add, player, rel, club);
+        let ext1 = wp.extended_with(aa(EditOp::Remove, Var::new(player, 0), 0, Var::new(club, 1)));
+        // Build "the same" pattern with club indices swapped.
+        let wp2 = WorkingPattern::from_actions(vec![
+            aa(EditOp::Add, Var::new(player, 0), 0, Var::new(club, 1)),
+            aa(EditOp::Remove, Var::new(player, 0), 0, Var::new(club, 0)),
+        ]);
+        assert_eq!(ext1.canonical(), wp2.canonical());
+    }
+}

@@ -1,0 +1,233 @@
+//! Realization tables and the frequency definitions.
+//!
+//! The paper represents the realizations of a pattern as a relational table
+//! whose attributes are the pattern's variables and whose tuples are the
+//! qualifying assignments of graph nodes. This module builds the base
+//! tables (per abstract action) and computes frequency (Def. 3.2) and
+//! relative frequency (Def. 3.4) via distinct counts on the source column.
+
+use crate::abstract_action::AbstractAction;
+use crate::var::Var;
+use wiclean_rel::{Schema, Table};
+use wiclean_revstore::Action;
+use wiclean_types::{EntityId, TypeId, Universe};
+
+/// An abstraction *shape* — an abstract action without variable indices.
+pub type Shape = (wiclean_wikitext::EditOp, TypeId, wiclean_types::RelId, TypeId);
+
+/// Builds the realization table of one abstract action from the reduced
+/// concrete actions whose shape admits it.
+///
+/// * `action` supplies the column names (its two variables, or one for a
+///   self-loop where source and target variables coincide).
+/// * Injectivity: distinct variables must realize as distinct entities, so
+///   for distinct variables of *comparable* types (where entity sets can
+///   overlap) rows with `u == v` are excluded.
+pub fn action_realizations(
+    action: &AbstractAction,
+    rows: &[(EntityId, EntityId)],
+    universe: &Universe,
+) -> Table {
+    if action.source == action.target {
+        // Self-loop variable: one column, u must equal v.
+        let mut t = Table::new(Schema::new([action.source.column_name()]));
+        for &(u, v) in rows {
+            if u == v {
+                t.push_row(&[Some(u)]);
+            }
+        }
+        t.dedup();
+        return t;
+    }
+    let comparable = universe.is_subtype(action.source.ty, action.target.ty)
+        || universe.is_subtype(action.target.ty, action.source.ty);
+    let mut t = Table::new(Schema::new([
+        action.source.column_name(),
+        action.target.column_name(),
+    ]));
+    for &(u, v) in rows {
+        if comparable && u == v {
+            continue;
+        }
+        t.push_row(&[Some(u), Some(v)]);
+    }
+    t.dedup();
+    t
+}
+
+/// Collects the concrete `(source, target)` pairs of a reduced action set,
+/// grouped later by shape via [`shape_of`].
+pub fn concrete_pair(a: &Action) -> (EntityId, EntityId) {
+    (a.source, a.target)
+}
+
+/// The most specific shape of a concrete action (no abstraction).
+pub fn shape_of(a: &Action, universe: &Universe) -> Shape {
+    (
+        a.op,
+        universe.entity_type(a.source),
+        a.rel,
+        universe.entity_type(a.target),
+    )
+}
+
+/// Frequency (Def. 3.2) of a pattern with realization table `table` whose
+/// source variable occupies `source_col`: the fraction of `entities(t)`
+/// appearing in that column.
+pub fn frequency(table: &Table, source_col: usize, seed: TypeId, universe: &Universe) -> f64 {
+    let denom = universe.count_entities_of(seed);
+    if denom == 0 {
+        return 0.0;
+    }
+    let support = support_count(table, source_col, seed, universe);
+    support as f64 / denom as f64
+}
+
+/// The numerator of Def. 3.2: distinct entities of the seed type in the
+/// source column. With an abstracted source variable the column may also
+/// contain entities of sibling types, which do not count.
+pub fn support_count(table: &Table, source_col: usize, seed: TypeId, universe: &Universe) -> usize {
+    table
+        .distinct_values(source_col)
+        .into_iter()
+        .filter(|&e| universe.entity_has_type(e, seed))
+        .count()
+}
+
+/// Relative frequency (Def. 3.4) of a refinement `p'` w.r.t. its parent
+/// `p`, from their respective support counts. Returns 0 when the parent
+/// has no support.
+pub fn relative_frequency(child_support: usize, parent_support: usize) -> f64 {
+    if parent_support == 0 {
+        0.0
+    } else {
+        child_support as f64 / parent_support as f64
+    }
+}
+
+/// Locates the column of `var` in a column-name list (panics if absent —
+/// always a miner bookkeeping bug).
+pub fn column_of(names: &[String], var: Var) -> usize {
+    let want = var.column_name();
+    names
+        .iter()
+        .position(|n| *n == want)
+        .unwrap_or_else(|| panic!("variable column `{want}` missing from realization table"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiclean_types::RelId;
+    use wiclean_wikitext::EditOp;
+
+    fn setup() -> (Universe, TypeId, TypeId, Vec<EntityId>) {
+        let mut u = Universe::new("Thing");
+        let root = u.taxonomy().root();
+        let player = u.taxonomy_mut().add("SoccerPlayer", root).unwrap();
+        let club = u.taxonomy_mut().add("SoccerClub", root).unwrap();
+        u.relation("current_club");
+        let mut ids = Vec::new();
+        for n in ["P1", "P2", "P3", "P4", "P5"] {
+            ids.push(u.add_entity(n, player).unwrap());
+        }
+        for n in ["C1", "C2"] {
+            ids.push(u.add_entity(n, club).unwrap());
+        }
+        (u, player, club, ids)
+    }
+
+    #[test]
+    fn action_table_has_variable_columns() {
+        let (u, player, club, ids) = setup();
+        let rel = u.lookup_relation("current_club").unwrap();
+        let aa = AbstractAction::new(EditOp::Add, Var::new(player, 0), rel, Var::new(club, 0));
+        let rows = vec![(ids[0], ids[5]), (ids[1], ids[6]), (ids[0], ids[5])];
+        let t = action_realizations(&aa, &rows, &u);
+        assert_eq!(t.schema().names().len(), 2);
+        assert_eq!(t.len(), 2, "duplicates removed");
+    }
+
+    #[test]
+    fn incomparable_types_skip_injectivity_check() {
+        let (u, player, club, ids) = setup();
+        let rel = u.lookup_relation("current_club").unwrap();
+        let aa = AbstractAction::new(EditOp::Add, Var::new(player, 0), rel, Var::new(club, 0));
+        // Same id on both sides cannot happen for incomparable types in
+        // practice, but the filter must not reject legitimate rows.
+        let t = action_realizations(&aa, &[(ids[0], ids[5])], &u);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn comparable_types_enforce_injectivity() {
+        let (u, player, _club, ids) = setup();
+        let rel = u.lookup_relation("current_club").unwrap();
+        let aa = AbstractAction::new(
+            EditOp::Add,
+            Var::new(player, 0),
+            rel,
+            Var::new(player, 1),
+        );
+        let t = action_realizations(&aa, &[(ids[0], ids[0]), (ids[0], ids[1])], &u);
+        assert_eq!(t.len(), 1, "u == v excluded for same-type distinct vars");
+    }
+
+    #[test]
+    fn self_loop_variable_requires_equality() {
+        let (u, player, _club, ids) = setup();
+        let rel = u.lookup_relation("current_club").unwrap();
+        let v = Var::new(player, 0);
+        let aa = AbstractAction::new(EditOp::Add, v, rel, v);
+        let t = action_realizations(&aa, &[(ids[0], ids[0]), (ids[0], ids[1])], &u);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.width(), 1);
+    }
+
+    #[test]
+    fn frequency_counts_seed_entities_only() {
+        let (u, player, club, ids) = setup();
+        let rel = u.lookup_relation("current_club").unwrap();
+        let aa = AbstractAction::new(EditOp::Add, Var::new(player, 0), rel, Var::new(club, 0));
+        // One player (of five) participates → frequency 0.2 (the paper's
+        // running example).
+        let t = action_realizations(&aa, &[(ids[0], ids[5])], &u);
+        let f = frequency(&t, 0, player, &u);
+        assert!((f - 0.2).abs() < 1e-9);
+        // Two players → 0.4.
+        let t2 = action_realizations(&aa, &[(ids[0], ids[5]), (ids[1], ids[6])], &u);
+        assert!((frequency(&t2, 0, player, &u) - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_ignores_non_seed_entities_in_source_column() {
+        let (mut u, _player, club, ids) = setup();
+        // Source var abstracted to Thing: clubs in the column don't count
+        // toward player frequency.
+        let root = u.taxonomy().root();
+        let rel = u.relation("r2");
+        let aa = AbstractAction::new(EditOp::Add, Var::new(root, 0), rel, Var::new(club, 1));
+        let t = action_realizations(&aa, &[(ids[0], ids[5]), (ids[6], ids[5])], &u);
+        let player = u.taxonomy().lookup("SoccerPlayer").unwrap();
+        assert_eq!(support_count(&t, 0, player, &u), 1);
+    }
+
+    #[test]
+    fn relative_frequency_definition() {
+        assert!((relative_frequency(2, 4) - 0.5).abs() < 1e-9);
+        assert_eq!(relative_frequency(1, 0), 0.0);
+    }
+
+    #[test]
+    fn column_of_finds_variables() {
+        let names = vec!["t3#0".to_string(), "t4#1".to_string()];
+        assert_eq!(column_of(&names, Var::new(TypeId::from_u32(4), 1)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing")]
+    fn column_of_panics_on_absent() {
+        let names = vec!["t3#0".to_string()];
+        column_of(&names, Var::new(TypeId::from_u32(9), 0));
+    }
+}

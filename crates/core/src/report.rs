@@ -1,0 +1,131 @@
+//! Serializable reports of mining runs (JSON export for dashboards and the
+//! experiment harness).
+
+use crate::miner::MineStats;
+use crate::windows::WcResult;
+use serde::{Deserialize, Serialize};
+use wiclean_types::{Universe, Window};
+
+/// One pattern in a serialized report.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct PatternReport {
+    /// Human-readable pattern text, e.g.
+    /// `+ (SoccerPlayer_1, current_club, SoccerClub_1); …`.
+    pub display: String,
+    /// Frequency at discovery.
+    pub frequency: f64,
+    /// Distinct seed entities supporting it.
+    pub support: usize,
+    /// The discovering window.
+    pub window: Window,
+    /// Window width of the discovering iteration (seconds).
+    pub window_width: u64,
+    /// Threshold of the discovering iteration.
+    pub tau: f64,
+    /// Relative frequent refinements: (display, relative frequency).
+    pub rel_patterns: Vec<(String, f64)>,
+}
+
+/// A full serialized WiClean run.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct WcReport {
+    /// Seed type name.
+    pub seed_type: String,
+    /// Refinement iterations executed.
+    pub iterations: usize,
+    /// Final window width (seconds).
+    pub final_width: u64,
+    /// Final threshold.
+    pub final_tau: f64,
+    /// Discovered most specific patterns.
+    pub patterns: Vec<PatternReport>,
+    /// Aggregated statistics.
+    pub stats: MineStats,
+}
+
+impl WcReport {
+    /// Builds a report from a [`WcResult`].
+    pub fn from_result(result: &WcResult, universe: &Universe) -> Self {
+        Self {
+            seed_type: universe.type_name(result.seed).to_owned(),
+            iterations: result.iterations,
+            final_width: result.final_width,
+            final_tau: result.final_tau,
+            patterns: result
+                .discovered
+                .iter()
+                .map(|d| PatternReport {
+                    display: d.pattern.display(universe),
+                    frequency: d.frequency,
+                    support: d.support,
+                    window: d.window,
+                    window_width: d.window_width,
+                    tau: d.tau,
+                    rel_patterns: d
+                        .rel_patterns
+                        .iter()
+                        .map(|r| (r.pattern.display(universe), r.rel_frequency))
+                        .collect(),
+                })
+                .collect(),
+            stats: result.stats.clone(),
+        }
+    }
+
+    /// Pretty JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parses a report back from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WcConfig;
+    use crate::testutil::soccer_fixture;
+    use crate::windows::find_windows_and_patterns;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let fx = soccer_fixture();
+        let config = WcConfig {
+            w_min: fx.window.len(),
+            max_window: fx.window.len(),
+            timeline_start: 0,
+            timeline_end: fx.window.end,
+            miner: fx.config(),
+            ..WcConfig::default()
+        };
+        let result = find_windows_and_patterns(&fx.store, &fx.universe, fx.player_ty, &config);
+        let report = WcReport::from_result(&result, &fx.universe);
+        assert_eq!(report.seed_type, "SoccerPlayer");
+        assert!(!report.patterns.is_empty());
+        let json = report.to_json();
+        let back = WcReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn report_display_is_readable() {
+        let fx = soccer_fixture();
+        let config = WcConfig {
+            w_min: fx.window.len(),
+            max_window: fx.window.len(),
+            timeline_start: 0,
+            timeline_end: fx.window.end,
+            miner: fx.config(),
+            ..WcConfig::default()
+        };
+        let result = find_windows_and_patterns(&fx.store, &fx.universe, fx.player_ty, &config);
+        let report = WcReport::from_result(&result, &fx.universe);
+        assert!(report
+            .patterns
+            .iter()
+            .any(|p| p.display.contains("current_club")));
+    }
+}

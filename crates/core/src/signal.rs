@@ -1,0 +1,141 @@
+//! Signaling significant time frames from edit volume.
+//!
+//! "Given an entity type `t` of interest, we wish to signal out significant
+//! time frames and identify the most specific frequent patterns in them"
+//! (paper §4). Before any mining, the revision *volume* of the seed type
+//! already betrays the candidate windows: coordinated events (transfer
+//! windows, elections) concentrate edits. This module computes per-window
+//! edit volumes and their z-scores, giving Algorithm 2 a cheap prefilter —
+//! windows whose volume is not significantly above the yearly baseline can
+//! be skipped or batched.
+
+use wiclean_revstore::RevisionStore;
+use wiclean_types::{Timestamp, TypeId, Universe, Window};
+
+/// Edit volume of one window, with its deviation from the timeline mean.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSignal {
+    /// The window.
+    pub window: Window,
+    /// Revisions of seed-type pages saved within the window.
+    pub edits: usize,
+    /// Standard-score of `edits` against all windows of the split.
+    pub zscore: f64,
+}
+
+/// Computes per-window revision volumes for `entities(seed)` over the
+/// timeline `[start, end)` split into `width`-sized windows.
+pub fn edit_volume_signal(
+    store: &RevisionStore,
+    universe: &Universe,
+    seed: TypeId,
+    start: Timestamp,
+    end: Timestamp,
+    width: u64,
+) -> Vec<WindowSignal> {
+    let windows = Window::split_span(start, end, width);
+    let entities = universe.entities_of(seed);
+
+    let mut volumes = vec![0usize; windows.len()];
+    for e in entities {
+        let Some(history) = store.fetch(e) else { continue };
+        for (i, w) in windows.iter().enumerate() {
+            volumes[i] += history.revisions_in(w).len();
+        }
+    }
+
+    let n = volumes.len().max(1) as f64;
+    let mean = volumes.iter().sum::<usize>() as f64 / n;
+    let var = volumes
+        .iter()
+        .map(|&v| (v as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    let std = var.sqrt();
+
+    windows
+        .into_iter()
+        .zip(volumes)
+        .map(|(window, edits)| WindowSignal {
+            window,
+            edits,
+            zscore: if std > 0.0 {
+                (edits as f64 - mean) / std
+            } else {
+                0.0
+            },
+        })
+        .collect()
+}
+
+/// The windows whose edit volume is at least `min_z` standard deviations
+/// above the mean — the "significant time frames" worth mining first.
+pub fn significant_windows(signals: &[WindowSignal], min_z: f64) -> Vec<Window> {
+    signals
+        .iter()
+        .filter(|s| s.zscore >= min_z)
+        .map(|s| s.window)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::soccer_fixture;
+
+    #[test]
+    fn fixture_edits_concentrate_in_their_window() {
+        let fx = soccer_fixture();
+        // Fixture edits happen between t=20 and ~t=70; measure over
+        // [0, 1000) in 100-wide windows.
+        let signals = edit_volume_signal(
+            &fx.store,
+            &fx.universe,
+            fx.player_ty,
+            0,
+            1000,
+            100,
+        );
+        assert_eq!(signals.len(), 10);
+        // The first window holds every player edit; later windows are flat.
+        assert!(signals[0].edits > 0);
+        assert!(signals[1..].iter().all(|s| s.edits == 0));
+        assert!(signals[0].zscore > 2.0, "z = {}", signals[0].zscore);
+
+        let hot = significant_windows(&signals, 2.0);
+        assert_eq!(hot, vec![Window::new(0, 100)]);
+    }
+
+    #[test]
+    fn flat_volume_has_no_significant_windows() {
+        let fx = soccer_fixture();
+        // One window covering everything: a single sample has z = 0.
+        let signals = edit_volume_signal(
+            &fx.store,
+            &fx.universe,
+            fx.player_ty,
+            0,
+            1000,
+            1000,
+        );
+        assert_eq!(signals.len(), 1);
+        assert_eq!(signals[0].zscore, 0.0);
+        assert!(significant_windows(&signals, 1.0).is_empty());
+    }
+
+    #[test]
+    fn zscores_are_zero_mean_ish() {
+        let fx = soccer_fixture();
+        let signals = edit_volume_signal(
+            &fx.store,
+            &fx.universe,
+            fx.player_ty,
+            0,
+            1000,
+            100,
+        );
+        let mean_z: f64 =
+            signals.iter().map(|s| s.zscore).sum::<f64>() / signals.len() as f64;
+        assert!(mean_z.abs() < 1e-9);
+    }
+}

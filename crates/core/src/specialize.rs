@@ -1,0 +1,236 @@
+//! Value-specific pattern instantiations — the paper's future-work item
+//! "enriching the expressiveness of the patterns to support value-specific
+//! instantiations (e.g., a pattern specific to PSG, but not to football
+//! clubs in general)".
+//!
+//! A mined pattern's realization table makes this a counting problem: if a
+//! non-seed variable's column is dominated by a single entity (say, 85% of
+//! the realizations bind `club_1` to PSG), the pattern effectively holds
+//! *for that entity* rather than for the type — worth surfacing to editors
+//! as a sharper rule ("players joining **PSG** also get added to PSG's
+//! squad page"), and worth excluding from generalization when suggesting
+//! completions.
+
+use crate::miner::FoundPattern;
+use crate::pattern::Pattern;
+use crate::realization::column_of;
+use crate::var::Var;
+use std::collections::HashMap;
+use wiclean_types::{EntityId, TypeId, Universe};
+
+/// One value-specific instantiation of a mined pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Specialization {
+    /// The pattern being specialized.
+    pub pattern: Pattern,
+    /// The variable that is effectively constant.
+    pub var: Var,
+    /// The dominating entity.
+    pub entity: EntityId,
+    /// Fraction of the pattern's realizations binding `var` to `entity`.
+    pub share: f64,
+    /// Distinct seed entities among those realizations.
+    pub support: usize,
+}
+
+impl Specialization {
+    /// Human-readable rendering, e.g.
+    /// `SoccerClub_1 ≡ "PSG F.C." (share 86%, support 41)`.
+    pub fn display(&self, universe: &Universe) -> String {
+        format!(
+            "{} ≡ \"{}\" (share {:.0}%, support {})",
+            self.var.display(universe.taxonomy()),
+            universe.entity_name(self.entity),
+            self.share * 100.0,
+            self.support
+        )
+    }
+}
+
+/// Scans a found pattern's realization table for variables dominated by a
+/// single entity.
+///
+/// * `min_share` — minimal fraction of realizations the entity must
+///   account for (e.g. 0.8);
+/// * `min_support` — minimal number of distinct seed entities still
+///   realizing the specialized pattern (guards against "domination" that
+///   is just a tiny sample).
+///
+/// The pattern's source variable (first variable of the working pattern)
+/// is never specialized: pinning the seed would change the frequency
+/// semantics rather than sharpen the rule.
+pub fn specialize_pattern(
+    found: &FoundPattern,
+    universe: &Universe,
+    seed: TypeId,
+    min_share: f64,
+    min_support: usize,
+) -> Vec<Specialization> {
+    let vars = found.working.vars();
+    let names: Vec<String> = found.table.schema().names().to_vec();
+    let mut out = Vec::new();
+
+    for var in vars.iter().skip(1) {
+        let col = column_of(&names, *var);
+        // Value histogram over the realization rows.
+        let mut histogram: HashMap<EntityId, usize> = HashMap::new();
+        let mut total = 0usize;
+        for row in found.table.rows() {
+            if let Some(e) = row[col] {
+                *histogram.entry(e).or_default() += 1;
+                total += 1;
+            }
+        }
+        if total == 0 {
+            continue;
+        }
+        let Some((&entity, &count)) = histogram.iter().max_by_key(|(_, c)| **c) else {
+            continue;
+        };
+        let share = count as f64 / total as f64;
+        if share < min_share {
+            continue;
+        }
+        // Support of the specialized pattern: distinct seed entities among
+        // the rows that bind `var` to `entity`.
+        let src_col = column_of(&names, vars[0]);
+        let mut seeds: std::collections::HashSet<EntityId> = Default::default();
+        for row in found.table.rows() {
+            if row[col] == Some(entity) {
+                if let Some(s) = row[src_col] {
+                    if universe.entity_has_type(s, seed) {
+                        seeds.insert(s);
+                    }
+                }
+            }
+        }
+        if seeds.len() < min_support {
+            continue;
+        }
+        out.push(Specialization {
+            pattern: found.pattern.clone(),
+            var: *var,
+            entity,
+            share,
+            support: seeds.len(),
+        });
+    }
+    // Strongest specializations first.
+    out.sort_by(|a, b| b.share.total_cmp(&a.share));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MinerConfig;
+    use crate::miner::WindowMiner;
+    use wiclean_revstore::RevisionStore;
+    use wiclean_types::{TypeId, Universe, Window};
+    use wiclean_wikitext::render::render_links;
+    use wiclean_wikitext::PageLinks;
+
+    /// Six players all transfer to the SAME club ("PSG"); one goes
+    /// elsewhere. The join pattern should specialize its club variable.
+    fn psg_world() -> (Universe, RevisionStore, TypeId, Window) {
+        let mut u = Universe::new("Thing");
+        let root = u.taxonomy().root();
+        let player = u.taxonomy_mut().add("SoccerPlayer", root).unwrap();
+        let club = u.taxonomy_mut().add("SoccerClub", root).unwrap();
+        u.relation("current_club");
+        u.relation("squad");
+
+        let players: Vec<_> = (0..7)
+            .map(|i| u.add_entity(&format!("P{i}"), player).unwrap())
+            .collect();
+        let psg = u.add_entity("PSG", club).unwrap();
+        let other = u.add_entity("Elsewhere FC", club).unwrap();
+
+        let mut store = RevisionStore::new();
+        let mut psg_links = PageLinks::new();
+        let mut other_links = PageLinks::new();
+        store.record(psg, 1, render_links("PSG", "club", &psg_links));
+        store.record(other, 1, render_links("Elsewhere FC", "club", &other_links));
+        for (i, &p) in players.iter().enumerate() {
+            store.record(p, 1, render_links(u.entity_name(p), "bio", &PageLinks::new()));
+            let target = if i < 6 { psg } else { other };
+            let tname = u.entity_name(target).to_owned();
+            let mut pl = PageLinks::new();
+            pl.insert("current_club", &tname);
+            store.record(p, 100 + i as u64, render_links(u.entity_name(p), "bio", &pl));
+            let pname = u.entity_name(p).to_owned();
+            let (links, title) = if i < 6 {
+                psg_links.insert("squad", &pname);
+                (&psg_links, "PSG")
+            } else {
+                other_links.insert("squad", &pname);
+                (&other_links, "Elsewhere FC")
+            };
+            store.record(target, 110 + i as u64, render_links(title, "club", links));
+        }
+        (u, store, player, Window::new(50, 1000))
+    }
+
+    fn mine_pair(
+        u: &Universe,
+        store: &RevisionStore,
+        seed: TypeId,
+        window: &Window,
+    ) -> FoundPattern {
+        let config = MinerConfig {
+            tau: 0.5,
+            max_abstraction_height: 0,
+            max_vars_per_type: 1,
+            mine_relative: false,
+            ..MinerConfig::default()
+        };
+        let miner = WindowMiner::new(store, u, config);
+        let result = miner.mine_window(seed, window);
+        result
+            .patterns
+            .iter()
+            .find(|p| p.most_specific && p.pattern.len() == 2)
+            .expect("join pattern mined")
+            .clone()
+    }
+
+    #[test]
+    fn dominated_club_variable_is_specialized() {
+        let (u, store, seed, window) = psg_world();
+        let found = mine_pair(&u, &store, seed, &window);
+        let specs = specialize_pattern(&found, &u, seed, 0.8, 3);
+        assert_eq!(specs.len(), 1, "exactly the club variable specializes");
+        let s = &specs[0];
+        assert_eq!(u.entity_name(s.entity), "PSG");
+        assert!(s.share >= 6.0 / 7.0 - 1e-9);
+        assert_eq!(s.support, 6);
+        let text = s.display(&u);
+        assert!(text.contains("PSG"), "{text}");
+        assert!(text.contains("share"), "{text}");
+    }
+
+    #[test]
+    fn high_share_threshold_suppresses_specialization() {
+        let (u, store, seed, window) = psg_world();
+        let found = mine_pair(&u, &store, seed, &window);
+        let specs = specialize_pattern(&found, &u, seed, 0.95, 3);
+        assert!(specs.is_empty(), "6/7 ≈ 0.86 < 0.95");
+    }
+
+    #[test]
+    fn min_support_guards_small_samples() {
+        let (u, store, seed, window) = psg_world();
+        let found = mine_pair(&u, &store, seed, &window);
+        let specs = specialize_pattern(&found, &u, seed, 0.8, 10);
+        assert!(specs.is_empty(), "support 6 < 10");
+    }
+
+    #[test]
+    fn seed_variable_is_never_specialized() {
+        let (u, store, seed, window) = psg_world();
+        let found = mine_pair(&u, &store, seed, &window);
+        // Even with trivial thresholds, the source variable is skipped.
+        let specs = specialize_pattern(&found, &u, seed, 0.0, 0);
+        assert!(specs.iter().all(|s| s.var != found.working.vars()[0]));
+    }
+}

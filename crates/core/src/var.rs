@@ -1,0 +1,76 @@
+//! Typed pattern variables.
+//!
+//! The paper associates with each entity type `t` an infinite family of
+//! variables `t_1, t_2, …`. A [`Var`] is one such variable: a type plus an
+//! index distinguishing same-type variables within one pattern. Patterns
+//! are identified up to *isomorphism on the variable names of the same
+//! type*, i.e. up to permuting these indices — see
+//! [`crate::pattern::Pattern`]'s canonicalization.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wiclean_types::{Taxonomy, TypeId};
+
+/// A typed pattern variable `tᵢ`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Var {
+    /// The variable's type.
+    pub ty: TypeId,
+    /// Index distinguishing same-type variables within a pattern.
+    pub ix: u8,
+}
+
+impl Var {
+    /// Creates the variable `ty_ix`.
+    pub fn new(ty: TypeId, ix: u8) -> Self {
+        Self { ty, ix }
+    }
+
+    /// Column name used for this variable in realization tables, e.g.
+    /// `t3#0`. Stable across runs because type ids are allocated in schema
+    /// registration order.
+    pub fn column_name(&self) -> String {
+        format!("{}#{}", self.ty, self.ix)
+    }
+
+    /// Human-readable rendering, e.g. `SoccerPlayer_1`.
+    pub fn display(&self, taxonomy: &Taxonomy) -> String {
+        format!("{}_{}", taxonomy.name(self.ty), self.ix + 1)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.ty, self.ix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_names_are_unique_per_var() {
+        let a = Var::new(TypeId::from_u32(3), 0);
+        let b = Var::new(TypeId::from_u32(3), 1);
+        let c = Var::new(TypeId::from_u32(4), 0);
+        assert_ne!(a.column_name(), b.column_name());
+        assert_ne!(a.column_name(), c.column_name());
+        assert_eq!(a.column_name(), "t3#0");
+    }
+
+    #[test]
+    fn display_uses_taxonomy_names() {
+        let mut tax = Taxonomy::new("Thing");
+        let player = tax.add("SoccerPlayer", tax.root()).unwrap();
+        let v = Var::new(player, 0);
+        assert_eq!(v.display(&tax), "SoccerPlayer_1");
+    }
+
+    #[test]
+    fn ordering_is_by_type_then_index() {
+        let a = Var::new(TypeId::from_u32(1), 5);
+        let b = Var::new(TypeId::from_u32(2), 0);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests for the pattern model.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use wiclean_core::abstract_action::AbstractAction;
+use wiclean_core::pattern::{most_specific, Pattern};
+use wiclean_core::var::Var;
+use wiclean_revstore::EditOp;
+use wiclean_types::{RelId, Taxonomy, TypeId};
+
+/// A fixed 3-level taxonomy: Thing → {A → A1, B → B1}.
+fn taxonomy() -> Taxonomy {
+    let mut tax = Taxonomy::new("Thing");
+    let a = tax.add("A", tax.root()).unwrap();
+    tax.add("A1", a).unwrap();
+    let b = tax.add("B", tax.root()).unwrap();
+    tax.add("B1", b).unwrap();
+    tax
+}
+
+/// Type ids in the fixed taxonomy: 0 root, 1 A, 2 A1, 3 B, 4 B1.
+fn ty(i: u32) -> TypeId {
+    TypeId::from_u32(i)
+}
+
+fn action_strategy() -> impl Strategy<Value = AbstractAction> {
+    (
+        prop::bool::ANY,
+        1u32..5,
+        0u8..3,
+        0u32..3,
+        1u32..5,
+        0u8..3,
+    )
+        .prop_map(|(add, sty, six, rel, tty, tix)| {
+            AbstractAction::new(
+                if add { EditOp::Add } else { EditOp::Remove },
+                Var::new(ty(sty), six),
+                RelId::from_u32(rel),
+                Var::new(ty(tty), tix),
+            )
+        })
+}
+
+fn actions_strategy() -> impl Strategy<Value = Vec<AbstractAction>> {
+    proptest::collection::vec(action_strategy(), 1..6)
+}
+
+/// Renames same-type variable indices with a random bijection.
+fn permute_vars(actions: &[AbstractAction], seed: u64) -> Vec<AbstractAction> {
+    use std::collections::BTreeSet;
+    // Collect indices per type, derive a rotation per type from `seed`.
+    let mut per_type: HashMap<TypeId, BTreeSet<u8>> = HashMap::new();
+    for a in actions {
+        per_type.entry(a.source.ty).or_default().insert(a.source.ix);
+        per_type.entry(a.target.ty).or_default().insert(a.target.ix);
+    }
+    let mut mapping: HashMap<(TypeId, u8), u8> = HashMap::new();
+    for (t, ixs) in &per_type {
+        let ixs: Vec<u8> = ixs.iter().copied().collect();
+        let rot = (seed as usize) % ixs.len().max(1);
+        for (k, &old) in ixs.iter().enumerate() {
+            let new = ixs[(k + rot) % ixs.len()];
+            mapping.insert((*t, old), new);
+        }
+    }
+    actions
+        .iter()
+        .map(|a| {
+            AbstractAction::new(
+                a.op,
+                Var::new(a.source.ty, mapping[&(a.source.ty, a.source.ix)]),
+                a.rel,
+                Var::new(a.target.ty, mapping[&(a.target.ty, a.target.ix)]),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    /// Canonicalization is invariant under same-type variable renaming.
+    #[test]
+    fn canonical_invariant_under_renaming(
+        actions in actions_strategy(),
+        seed in 0u64..7,
+    ) {
+        let renamed = permute_vars(&actions, seed);
+        prop_assert_eq!(
+            Pattern::canonical_from(&actions),
+            Pattern::canonical_from(&renamed)
+        );
+    }
+
+    /// Canonicalization is idempotent: canonicalizing a canonical action
+    /// list yields the same pattern.
+    #[test]
+    fn canonical_idempotent(actions in actions_strategy()) {
+        let once = Pattern::canonical_from(&actions);
+        let twice = Pattern::canonical_from(once.actions());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// `≺` is irreflexive and antisymmetric.
+    #[test]
+    fn specificity_is_a_strict_order(
+        a in actions_strategy(),
+        b in actions_strategy(),
+    ) {
+        let tax = taxonomy();
+        let pa = Pattern::canonical_from(&a);
+        let pb = Pattern::canonical_from(&b);
+        prop_assert!(!pa.more_specific_than(&pa, &tax), "irreflexive");
+        if pa.more_specific_than(&pb, &tax) {
+            prop_assert!(!pb.more_specific_than(&pa, &tax), "antisymmetric");
+        }
+    }
+
+    /// Removing an action always yields a more general pattern.
+    #[test]
+    fn subset_is_more_general(actions in actions_strategy()) {
+        prop_assume!(actions.len() >= 2);
+        let tax = taxonomy();
+        let full = Pattern::canonical_from(&actions);
+        let sub = Pattern::canonical_from(&actions[..actions.len() - 1]);
+        if full != sub {
+            prop_assert!(full.more_specific_than(&sub, &tax));
+        }
+    }
+
+    /// Lifting every variable to a supertype — injectively, so distinct
+    /// variables stay distinct — yields a more general pattern.
+    #[test]
+    fn lifted_types_are_more_general(actions in actions_strategy()) {
+        let tax = taxonomy();
+        // Injective lift: every distinct (type, index) variable gets a
+        // fresh index within its lifted type.
+        let mut mapping: HashMap<Var, Var> = HashMap::new();
+        let mut counters: HashMap<TypeId, u8> = HashMap::new();
+        let mut lift = |v: Var| -> Var {
+            *mapping.entry(v).or_insert_with(|| {
+                let lifted_ty = match tax.parent(v.ty) {
+                    Some(p) if p != tax.root() => p,
+                    _ => v.ty,
+                };
+                let c = counters.entry(lifted_ty).or_insert(0);
+                let out = Var::new(lifted_ty, *c);
+                *c += 1;
+                out
+            })
+        };
+        let lifted: Vec<AbstractAction> = actions
+            .iter()
+            .map(|a| AbstractAction::new(a.op, lift(a.source), a.rel, lift(a.target)))
+            .collect();
+        let p = Pattern::canonical_from(&actions);
+        let q = Pattern::canonical_from(&lifted);
+        if p != q {
+            prop_assert!(p.more_specific_than(&q, &tax));
+        }
+    }
+
+    /// `most_specific` returns an antichain: no survivor is more specific
+    /// than another, and every dropped pattern has a surviving refinement.
+    #[test]
+    fn most_specific_is_an_antichain(
+        sets in proptest::collection::vec(actions_strategy(), 1..5),
+    ) {
+        let tax = taxonomy();
+        let patterns: Vec<Pattern> =
+            sets.iter().map(|a| Pattern::canonical_from(a)).collect();
+        let kept = most_specific(&patterns, &tax);
+        for x in &kept {
+            for y in &kept {
+                if x != y {
+                    prop_assert!(!x.more_specific_than(y, &tax));
+                }
+            }
+        }
+        for dropped in patterns.iter().filter(|p| !kept.contains(p)) {
+            prop_assert!(
+                kept.iter().any(|k| k.more_specific_than(dropped, &tax)),
+                "dropped pattern has no surviving refinement"
+            );
+        }
+    }
+}

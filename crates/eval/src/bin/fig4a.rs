@@ -1,0 +1,20 @@
+//! Figure 4(a): running time vs. seed-set size, PM vs PM−join.
+//!
+//! Usage: `fig4a [size ...]` (defaults to the paper's 100 500 1000).
+
+use wiclean_eval::runtime::{fig4a, render_timed};
+
+fn main() {
+    let sizes: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("sizes must be integers"))
+        .collect();
+    let sizes = if sizes.is_empty() {
+        vec![100, 500, 1000]
+    } else {
+        sizes
+    };
+    eprintln!("Figure 4(a): runtime vs seed-set size {sizes:?} (soccer, tau=0.4, transfer window)");
+    let rows = fig4a(&sizes, 0x41A);
+    println!("{}", render_timed(&rows, "seeds"));
+}

@@ -1,0 +1,22 @@
+//! Figure 4(b): running time vs. frequency threshold, PM vs PM−join.
+//!
+//! Usage: `fig4b [seeds] [tau ...]` (defaults: 500 seeds, τ ∈ {0.7, 0.4, 0.2}).
+
+use wiclean_eval::runtime::{fig4b, render_timed};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seeds: usize = args.first().map_or(500, |a| a.parse().expect("seed count"));
+    let taus: Vec<f64> = args[1.min(args.len())..]
+        .iter()
+        .map(|a| a.parse().expect("thresholds must be numbers"))
+        .collect();
+    let taus = if taus.is_empty() {
+        vec![0.7, 0.4, 0.2]
+    } else {
+        taus
+    };
+    eprintln!("Figure 4(b): runtime vs threshold {taus:?} ({seeds} seeds, transfer window)");
+    let rows = fig4b(&taus, seeds, 0x41B);
+    println!("{}", render_timed(&rows, "tau"));
+}

@@ -1,0 +1,18 @@
+//! Figure 4(c): running time vs. window size, PM vs PM−join.
+//!
+//! Usage: `fig4c [seeds] [weeks ...]` (defaults: 500 seeds, 2/4/8 weeks).
+
+use wiclean_eval::runtime::{fig4c, render_timed};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seeds: usize = args.first().map_or(500, |a| a.parse().expect("seed count"));
+    let weeks: Vec<u64> = args[1.min(args.len())..]
+        .iter()
+        .map(|a| a.parse().expect("weeks must be integers"))
+        .collect();
+    let weeks = if weeks.is_empty() { vec![2, 4, 8] } else { weeks };
+    eprintln!("Figure 4(c): runtime vs window size {weeks:?} weeks ({seeds} seeds, tau=0.4)");
+    let rows = fig4c(&weeks, seeds, 0x41C);
+    println!("{}", render_timed(&rows, "window"));
+}

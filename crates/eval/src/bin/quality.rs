@@ -1,0 +1,41 @@
+//! §6.3 quality analysis over the three domains.
+//!
+//! Usage: `quality [seeds]` (default 1000, as in the paper's quality
+//! experiments).
+
+use wiclean_eval::quality::{evaluate_domain, render_report};
+use wiclean_synth::{scenarios, SynthConfig};
+
+fn main() {
+    let seeds: usize = std::env::args()
+        .nth(1)
+        .map_or(1000, |a| a.parse().expect("seed count"));
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
+
+    // Per-domain correction rates calibrated to §6.3's corrected-in-2019
+    // fractions (71.6% / 67.8% / 67.8%).
+    let configs = [
+        (scenarios::soccer(), 0.74, 20180801u64),
+        (scenarios::cinema(), 0.76, 20181101),
+        (scenarios::politics(), 0.72, 777),
+    ];
+
+    println!("§6.3 quality analysis ({seeds} seeds per domain, {threads} threads)\n");
+    for (domain, correction_rate, rng) in configs {
+        let synth = SynthConfig {
+            seed_count: seeds,
+            rng_seed: rng,
+            correction_rate,
+            ..SynthConfig::default()
+        };
+        let report = evaluate_domain(domain, synth, threads);
+        println!("{}", render_report(&report));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+        println!();
+    }
+}

@@ -1,0 +1,14 @@
+//! The small-data candidate-count experiment (§6.2).
+//!
+//! Usage: `smalldata [seeds]` (default 10, as in the paper).
+
+use wiclean_eval::smalldata::{render, run_smalldata};
+
+fn main() {
+    let seeds: usize = std::env::args()
+        .nth(1)
+        .map_or(10, |a| a.parse().expect("seed count"));
+    eprintln!("Small-data experiment: incremental vs full-graph candidate counts ({seeds} seeds)");
+    let report = run_smalldata(seeds, 0x54A11);
+    println!("{}", render(&report));
+}

@@ -1,0 +1,17 @@
+//! Table 1: the refinement-heuristic grid (§6.4).
+//!
+//! Usage: `table1 [seeds]` (default 400).
+
+use wiclean_eval::grid::{render, run_grid};
+
+fn main() {
+    let seeds: usize = std::env::args()
+        .nth(1)
+        .map_or(400, |a| a.parse().expect("seed count"));
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
+    eprintln!("Table 1: refinement-policy grid over the soccer domain ({seeds} seeds)");
+    let rows = run_grid(seeds, 20180801, threads);
+    println!("{}", render(&rows));
+}

@@ -1,0 +1,154 @@
+//! Table 1 — the refinement-heuristic grid search (§6.4).
+//!
+//! The paper samples combinations of (window multiplier, threshold
+//! reduction) and reports running time, precision, recall and F1 against
+//! the expert patterns; the balanced (2.0×, 20%) policy wins. This module
+//! reruns the same grid over the synthetic soccer corpus.
+
+use crate::metrics::pattern_metrics;
+use crate::quality::default_wc_config;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use wiclean_core::config::RefinePolicy;
+use wiclean_core::pattern::Pattern;
+use wiclean_core::windows::find_windows_and_patterns;
+use wiclean_synth::{generate, scenarios, SynthConfig, SynthWorld};
+
+/// One grid row (one refinement policy).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridRow {
+    /// Window multiplier per refinement step.
+    pub window_factor: f64,
+    /// Threshold reduction per refinement step (fraction).
+    pub tau_reduction: f64,
+    /// Wall-clock minutes.
+    pub runtime_min: f64,
+    /// Precision vs the expert list.
+    pub precision: f64,
+    /// Recall vs the expert list.
+    pub recall: f64,
+    /// F1 score.
+    pub f1: f64,
+    /// Refinement iterations executed.
+    pub iterations: usize,
+}
+
+/// The paper's sampled combinations (Table 1, first row = WC's default).
+pub const PAPER_COMBOS: [(f64, f64); 5] = [
+    (2.0, 0.20),
+    (1.0, 0.20),
+    (2.0, 0.00),
+    (1.5, 0.10),
+    (3.0, 0.40),
+];
+
+/// Runs one policy over an existing world.
+pub fn run_policy(world: &SynthWorld, threads: usize, policy: RefinePolicy) -> GridRow {
+    let mut wc = default_wc_config(threads);
+    wc.policy = policy;
+    let t0 = Instant::now();
+    let result = find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
+    let runtime = t0.elapsed();
+
+    let expert: Vec<Pattern> = world
+        .expert_list()
+        .into_iter()
+        .map(|(_, p, _)| p)
+        .collect();
+    let discovered: Vec<Pattern> = result.discovered.iter().map(|d| d.pattern.clone()).collect();
+    let m = pattern_metrics(&discovered, &expert);
+
+    GridRow {
+        window_factor: policy.window_factor,
+        tau_reduction: policy.tau_reduction,
+        runtime_min: runtime.as_secs_f64() / 60.0,
+        precision: m.precision,
+        recall: m.recall,
+        f1: m.f1,
+        iterations: result.iterations,
+    }
+}
+
+/// Runs the full grid on a fresh soccer world.
+pub fn run_grid(seed_count: usize, rng: u64, threads: usize) -> Vec<GridRow> {
+    let world = generate(
+        scenarios::soccer(),
+        SynthConfig {
+            seed_count,
+            rng_seed: rng,
+            ..SynthConfig::default()
+        },
+    );
+    PAPER_COMBOS
+        .iter()
+        .map(|&(wf, tr)| {
+            run_policy(
+                &world,
+                threads,
+                RefinePolicy {
+                    window_factor: wf,
+                    tau_reduction: tr,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Renders Table 1.
+pub fn render(rows: &[GridRow]) -> String {
+    let mut s = format!(
+        "{:>12} {:>14} {:>10} {:>10} {:>8} {:>8} {:>6}\n",
+        "(w, tau)", "runtime(min)", "precision", "recall", "F1", "iters", ""
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:>5.1}x,{:>4.0}% {:>14.2} {:>10.2} {:>10.2} {:>8.2} {:>8} {}\n",
+            r.window_factor,
+            r.tau_reduction * 100.0,
+            r.runtime_min,
+            r.precision,
+            r.recall,
+            r.f1,
+            r.iterations,
+            ""
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_combos_match_table1_sample() {
+        assert_eq!(PAPER_COMBOS.len(), 5);
+        assert_eq!(PAPER_COMBOS[0], (2.0, 0.20), "first row is WC's default");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "full grid — run with --release")]
+    fn default_policy_dominates_aggressive_policy() {
+        let rows = run_grid(400, 20180801, 2);
+        let default = &rows[0];
+        let aggressive = &rows[4];
+        assert!(default.precision > aggressive.precision);
+        assert!(default.f1 > aggressive.f1);
+    }
+
+    #[test]
+    fn render_formats_all_rows() {
+        let rows = vec![GridRow {
+            window_factor: 2.0,
+            tau_reduction: 0.2,
+            runtime_min: 0.5,
+            precision: 1.0,
+            recall: 0.8,
+            f1: 0.89,
+            iterations: 9,
+        }];
+        let s = render(&rows);
+        assert!(s.contains("2.0x"));
+        assert!(s.contains("0.89"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Pattern-quality metrics: precision / recall / F1 against an expert list.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use wiclean_core::pattern::Pattern;
+
+/// Precision/recall/F1 of a discovered pattern set vs. the ground truth
+/// expert list (the paper compares against per-domain expert lists, §6.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternMetrics {
+    /// Number of discovered patterns.
+    pub discovered: usize,
+    /// Expert patterns in total.
+    pub expert_total: usize,
+    /// Discovered patterns that are expert patterns.
+    pub true_positives: usize,
+    /// Precision = TP / discovered (1.0 when nothing was discovered, by
+    /// the usual convention that an empty answer makes no false claim).
+    pub precision: f64,
+    /// Recall = TP / expert_total.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Computes the metrics. Patterns match by canonical equality.
+pub fn pattern_metrics(discovered: &[Pattern], expert: &[Pattern]) -> PatternMetrics {
+    let expert_set: BTreeSet<&Pattern> = expert.iter().collect();
+    let discovered_set: BTreeSet<&Pattern> = discovered.iter().collect();
+    let tp = discovered_set
+        .iter()
+        .filter(|p| expert_set.contains(*p))
+        .count();
+    let precision = if discovered_set.is_empty() {
+        1.0
+    } else {
+        tp as f64 / discovered_set.len() as f64
+    };
+    let recall = if expert.is_empty() {
+        1.0
+    } else {
+        tp as f64 / expert_set.len() as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PatternMetrics {
+        discovered: discovered_set.len(),
+        expert_total: expert_set.len(),
+        true_positives: tp,
+        precision,
+        recall,
+        f1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiclean_core::abstract_action::AbstractAction;
+    use wiclean_core::var::Var;
+    use wiclean_types::{RelId, TypeId};
+    use wiclean_revstore::EditOp;
+
+    fn pat(rel: u32) -> Pattern {
+        Pattern::canonical_from(&[AbstractAction::new(
+            EditOp::Add,
+            Var::new(TypeId::from_u32(1), 0),
+            RelId::from_u32(rel),
+            Var::new(TypeId::from_u32(2), 0),
+        )])
+    }
+
+    #[test]
+    fn perfect_match() {
+        let e = vec![pat(0), pat(1)];
+        let m = pattern_metrics(&e, &e);
+        assert_eq!(m.true_positives, 2);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn partial_recall_full_precision() {
+        let expert = vec![pat(0), pat(1), pat(2), pat(3)];
+        let found = vec![pat(0), pat(1), pat(2)];
+        let m = pattern_metrics(&found, &expert);
+        assert_eq!(m.precision, 1.0);
+        assert!((m.recall - 0.75).abs() < 1e-9);
+        assert!((m.f1 - 2.0 * 0.75 / 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn false_positive_hits_precision() {
+        let expert = vec![pat(0)];
+        let found = vec![pat(0), pat(9)];
+        let m = pattern_metrics(&found, &expert);
+        assert!((m.precision - 0.5).abs() < 1e-9);
+        assert_eq!(m.recall, 1.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let m = pattern_metrics(&[], &[pat(0)]);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+        let m2 = pattern_metrics(&[], &[]);
+        assert_eq!(m2.f1, 1.0);
+    }
+
+    #[test]
+    fn duplicates_counted_once() {
+        let expert = vec![pat(0)];
+        let found = vec![pat(0), pat(0)];
+        let m = pattern_metrics(&found, &expert);
+        assert_eq!(m.discovered, 1);
+        assert_eq!(m.precision, 1.0);
+    }
+}

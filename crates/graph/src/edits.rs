@@ -1,0 +1,173 @@
+//! The (concrete) actions graph `g_A`.
+//!
+//! Given a set of actions `A`, `g_A` has one node per entity occurring in
+//! `A` and one edge per action, labeled `[op, l]` (paper §3, "(Abstract)
+//! actions graph"). Pattern realizations are isomorphisms into this graph;
+//! the `PM-inc` baselines take the *full* window `g_A` as input, which is
+//! exactly what the paper shows to be infeasible at scale.
+
+use std::collections::{HashMap, HashSet};
+use wiclean_revstore::Action;
+use wiclean_types::{EntityId, RelId};
+use wiclean_wikitext::EditOp;
+
+/// Graph view of a (reduced) action set.
+#[derive(Debug, Clone, Default)]
+pub struct EditsGraph {
+    nodes: HashSet<EntityId>,
+    edges: Vec<(EditOp, EntityId, RelId, EntityId)>,
+    out: HashMap<EntityId, Vec<(EditOp, RelId, EntityId)>>,
+}
+
+impl EditsGraph {
+    /// Creates an empty edits graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds `g_A` from an action set (ops and edges only — timestamps are
+    /// irrelevant for reduced sets).
+    pub fn from_actions(actions: &[Action]) -> Self {
+        let mut g = Self::new();
+        for a in actions {
+            g.add_action(a);
+        }
+        g
+    }
+
+    /// Adds one action's edge.
+    pub fn add_action(&mut self, a: &Action) {
+        self.nodes.insert(a.source);
+        self.nodes.insert(a.target);
+        self.edges.push((a.op, a.source, a.rel, a.target));
+        self.out
+            .entry(a.source)
+            .or_default()
+            .push((a.op, a.rel, a.target));
+    }
+
+    /// Number of entity nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of action edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether `e` occurs in the graph.
+    pub fn contains(&self, e: EntityId) -> bool {
+        self.nodes.contains(&e)
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = EntityId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// All edges as `(op, u, l, v)`.
+    pub fn edges(&self) -> &[(EditOp, EntityId, RelId, EntityId)] {
+        &self.edges
+    }
+
+    /// Outgoing action edges of `u`.
+    pub fn out_edges(&self, u: EntityId) -> impl Iterator<Item = (EditOp, RelId, EntityId)> + '_ {
+        self.out.get(&u).into_iter().flatten().copied()
+    }
+
+    /// Entities reachable from `start` along action edges (directed),
+    /// including `start` itself if present in the graph.
+    pub fn reachable_from(&self, start: EntityId) -> HashSet<EntityId> {
+        let mut seen = HashSet::new();
+        if !self.nodes.contains(&start) {
+            return seen;
+        }
+        let mut stack = vec![start];
+        seen.insert(start);
+        while let Some(cur) = stack.pop() {
+            for (_, _, v) in self.out_edges(cur) {
+                if seen.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether every node of the graph is reachable from `start` — the
+    /// paper's connectivity condition for a pattern graph, applied here to
+    /// concrete graphs in tests.
+    pub fn connected_from(&self, start: EntityId) -> bool {
+        self.reachable_from(start).len() == self.nodes.len() && self.contains(start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId::from_u32(i)
+    }
+    fn act(op: EditOp, s: u32, rel: u32, t: u32) -> Action {
+        Action::new(op, e(s), RelId::from_u32(rel), e(t), 0)
+    }
+
+    #[test]
+    fn builds_nodes_and_edges() {
+        let g = EditsGraph::from_actions(&[
+            act(EditOp::Add, 1, 0, 2),
+            act(EditOp::Remove, 1, 0, 3),
+            act(EditOp::Add, 2, 1, 1),
+        ]);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.contains(e(3)));
+        assert!(!g.contains(e(9)));
+        assert_eq!(g.out_edges(e(1)).count(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_with_different_ops_allowed() {
+        // g_A is a multigraph: + and − on the same (u,l,v) are distinct
+        // edges (e.g. a club both adding and removing players).
+        let g = EditsGraph::from_actions(&[
+            act(EditOp::Add, 1, 0, 2),
+            act(EditOp::Remove, 1, 0, 2),
+        ]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn reachability_follows_direction() {
+        let g = EditsGraph::from_actions(&[
+            act(EditOp::Add, 1, 0, 2),
+            act(EditOp::Add, 2, 0, 3),
+        ]);
+        let from1 = g.reachable_from(e(1));
+        assert_eq!(from1.len(), 3);
+        let from3 = g.reachable_from(e(3));
+        assert_eq!(from3.len(), 1, "edges are directed");
+        assert!(g.connected_from(e(1)));
+        assert!(!g.connected_from(e(3)));
+    }
+
+    #[test]
+    fn disconnected_components_detected() {
+        // Figure 2(b): splitting the player variable disconnects the graph.
+        let g = EditsGraph::from_actions(&[
+            act(EditOp::Add, 1, 0, 2),
+            act(EditOp::Add, 3, 0, 4),
+        ]);
+        assert!(!g.connected_from(e(1)));
+        assert_eq!(g.reachable_from(e(1)).len(), 2);
+    }
+
+    #[test]
+    fn reachable_from_absent_node_is_empty() {
+        let g = EditsGraph::from_actions(&[act(EditOp::Add, 1, 0, 2)]);
+        assert!(g.reachable_from(e(9)).is_empty());
+    }
+}

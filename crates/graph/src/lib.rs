@@ -1,0 +1,26 @@
+//! Graph models for WiClean.
+//!
+//! Two graphs appear in the paper:
+//!
+//! * the **Wikipedia graph** `G(V,E)` — the link *state* at a point in time:
+//!   typed entity nodes, labeled edges ([`WikiGraph`]). Action sets are
+//!   applied to it, and the paper's action-set equivalence ("yield the same
+//!   graph") is stated over it.
+//! * the **(abstract) actions graph** `g_A` — the graph *of an action set*:
+//!   one node per entity occurring in the actions, one edge per action,
+//!   labeled `[op, l]` ([`EditsGraph`]). Connectivity of patterns and the
+//!   full-graph-materializing baselines are defined over it.
+//!
+//! [`materialize`] holds the expensive full-window edits-graph construction
+//! (what the `PM-inc` baselines require as input) and the incremental 1-hop
+//! neighborhood closure used in the paper's small-data experiment.
+
+pub mod audit;
+pub mod edits;
+pub mod materialize;
+pub mod state;
+
+pub use audit::{audit_reciprocity, state_graph_at, ReciprocalRule, ReciprocityViolation};
+pub use edits::EditsGraph;
+pub use materialize::{materialize_window_graph, neighborhood_closure};
+pub use state::{GraphError, WikiGraph};

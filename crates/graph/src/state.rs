@@ -1,0 +1,227 @@
+//! The Wikipedia link-state graph `G(V, E)`.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use wiclean_revstore::Action;
+use wiclean_types::{EntityId, RelId};
+use wiclean_wikitext::EditOp;
+
+/// Errors from strict action application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphError {
+    /// Adding an edge that is already present.
+    EdgeExists(EntityId, RelId, EntityId),
+    /// Removing an edge that is absent.
+    EdgeMissing(EntityId, RelId, EntityId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EdgeExists(u, l, v) => write!(f, "edge ({u}, {l}, {v}) already exists"),
+            Self::EdgeMissing(u, l, v) => write!(f, "edge ({u}, {l}, {v}) is missing"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Link state of the encyclopedia: a set of labeled directed edges between
+/// entities. Node metadata (names, types) lives in the
+/// [`wiclean_types::Universe`]; the graph stores only structure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WikiGraph {
+    out: HashMap<EntityId, BTreeSet<(RelId, EntityId)>>,
+    edge_count: usize,
+}
+
+impl WikiGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the edge `u --l--> v` is present.
+    pub fn has_edge(&self, u: EntityId, l: RelId, v: EntityId) -> bool {
+        self.out
+            .get(&u)
+            .is_some_and(|set| set.contains(&(l, v)))
+    }
+
+    /// Inserts an edge, returning whether it was new.
+    pub fn insert_edge(&mut self, u: EntityId, l: RelId, v: EntityId) -> bool {
+        let fresh = self.out.entry(u).or_default().insert((l, v));
+        if fresh {
+            self.edge_count += 1;
+        }
+        fresh
+    }
+
+    /// Removes an edge, returning whether it was present.
+    pub fn remove_edge(&mut self, u: EntityId, l: RelId, v: EntityId) -> bool {
+        let removed = self
+            .out
+            .get_mut(&u)
+            .is_some_and(|set| set.remove(&(l, v)));
+        if removed {
+            self.edge_count -= 1;
+        }
+        removed
+    }
+
+    /// Applies one action strictly: adding a present edge or removing an
+    /// absent one is an error.
+    pub fn apply(&mut self, a: &Action) -> Result<(), GraphError> {
+        match a.op {
+            EditOp::Add => {
+                if !self.insert_edge(a.source, a.rel, a.target) {
+                    return Err(GraphError::EdgeExists(a.source, a.rel, a.target));
+                }
+            }
+            EditOp::Remove => {
+                if !self.remove_edge(a.source, a.rel, a.target) {
+                    return Err(GraphError::EdgeMissing(a.source, a.rel, a.target));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one action tolerantly, returning whether it changed the
+    /// graph. Wikipedia's real logs occasionally contain redundant edits;
+    /// tolerant application models MediaWiki's idempotent page saves.
+    pub fn apply_tolerant(&mut self, a: &Action) -> bool {
+        match a.op {
+            EditOp::Add => self.insert_edge(a.source, a.rel, a.target),
+            EditOp::Remove => self.remove_edge(a.source, a.rel, a.target),
+        }
+    }
+
+    /// Applies a whole action set in timestamp order (strict). This is the
+    /// paper's notion of "applying the actions on `G` in the order of their
+    /// timestamps".
+    pub fn apply_all(&mut self, actions: &[Action]) -> Result<(), GraphError> {
+        let mut order: Vec<&Action> = actions.iter().collect();
+        order.sort_by_key(|a| a.time);
+        for a in order {
+            self.apply(a)?;
+        }
+        Ok(())
+    }
+
+    /// The outgoing links of `u`.
+    pub fn out_edges(&self, u: EntityId) -> impl Iterator<Item = (RelId, EntityId)> + '_ {
+        self.out.get(&u).into_iter().flatten().copied()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of entities with at least one outgoing edge.
+    pub fn source_count(&self) -> usize {
+        self.out.values().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Iterates every edge as `(u, l, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (EntityId, RelId, EntityId)> + '_ {
+        self.out
+            .iter()
+            .flat_map(|(&u, set)| set.iter().map(move |&(l, v)| (u, l, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId::from_u32(i)
+    }
+    fn r(i: u32) -> RelId {
+        RelId::from_u32(i)
+    }
+    fn act(op: EditOp, s: u32, rel: u32, t: u32, time: u64) -> Action {
+        Action::new(op, e(s), r(rel), e(t), time)
+    }
+
+    #[test]
+    fn insert_and_remove() {
+        let mut g = WikiGraph::new();
+        assert!(g.insert_edge(e(1), r(0), e(2)));
+        assert!(!g.insert_edge(e(1), r(0), e(2)), "duplicate insert");
+        assert!(g.has_edge(e(1), r(0), e(2)));
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.remove_edge(e(1), r(0), e(2)));
+        assert!(!g.remove_edge(e(1), r(0), e(2)), "double remove");
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn strict_apply_errors() {
+        let mut g = WikiGraph::new();
+        g.apply(&act(EditOp::Add, 1, 0, 2, 1)).unwrap();
+        assert_eq!(
+            g.apply(&act(EditOp::Add, 1, 0, 2, 2)),
+            Err(GraphError::EdgeExists(e(1), r(0), e(2)))
+        );
+        assert_eq!(
+            g.apply(&act(EditOp::Remove, 1, 0, 3, 3)),
+            Err(GraphError::EdgeMissing(e(1), r(0), e(3)))
+        );
+    }
+
+    #[test]
+    fn tolerant_apply_reports_change() {
+        let mut g = WikiGraph::new();
+        assert!(g.apply_tolerant(&act(EditOp::Add, 1, 0, 2, 1)));
+        assert!(!g.apply_tolerant(&act(EditOp::Add, 1, 0, 2, 2)));
+        assert!(g.apply_tolerant(&act(EditOp::Remove, 1, 0, 2, 3)));
+        assert!(!g.apply_tolerant(&act(EditOp::Remove, 1, 0, 2, 4)));
+    }
+
+    #[test]
+    fn apply_all_sorts_by_time() {
+        let mut g = WikiGraph::new();
+        // Remove at t=2 only valid because add happens at t=1.
+        let actions = vec![
+            act(EditOp::Remove, 1, 0, 2, 2),
+            act(EditOp::Add, 1, 0, 2, 1),
+        ];
+        g.apply_all(&actions).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn reduced_and_raw_actions_yield_same_graph() {
+        // The semantic core of the paper's reduction: equivalence of the
+        // reduced set.
+        use wiclean_revstore::reduce_actions;
+        let mut base = WikiGraph::new();
+        base.insert_edge(e(1), r(0), e(9));
+        let actions = vec![
+            act(EditOp::Remove, 1, 0, 9, 1),
+            act(EditOp::Add, 1, 0, 8, 2),
+            act(EditOp::Add, 1, 0, 9, 3),
+            act(EditOp::Remove, 1, 0, 9, 4),
+        ];
+        let mut g_raw = base.clone();
+        g_raw.apply_all(&actions).unwrap();
+        let mut g_red = base.clone();
+        g_red.apply_all(&reduce_actions(&actions)).unwrap();
+        assert_eq!(g_raw, g_red);
+    }
+
+    #[test]
+    fn edge_iteration_and_counts() {
+        let mut g = WikiGraph::new();
+        g.insert_edge(e(1), r(0), e(2));
+        g.insert_edge(e(1), r(1), e(3));
+        g.insert_edge(e(2), r(0), e(1));
+        assert_eq!(g.edges().count(), 3);
+        assert_eq!(g.source_count(), 2);
+        assert_eq!(g.out_edges(e(1)).count(), 2);
+        assert_eq!(g.out_edges(e(9)).count(), 0);
+    }
+}

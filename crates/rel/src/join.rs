@@ -1,0 +1,502 @@
+//! Join operators with *gluing* semantics.
+//!
+//! Extending a pattern `p` with an abstract action `a` (paper §4.2) joins
+//! `realizations[p]` (the left relation, one column per pattern variable)
+//! with `realizations[a]` (the right relation, one column per action
+//! endpoint). Each right column is either
+//!
+//! * **glued** onto an existing left column — an equijoin condition on the
+//!   corresponding attributes, or
+//! * **new** — it extends the output schema, under *inequality* conditions
+//!   against the same-type left columns (the paper requires distinct
+//!   variables to realize as distinct entities).
+//!
+//! Three operators share these semantics:
+//! [`join_glue`] (hash join — WiClean's optimized path),
+//! [`join_glue_nested`] (nested loop — the `PM−join` ablation), and
+//! [`outer_join_glue`] (full outer join — Algorithm 3, where unmatched rows
+//! are retained null-padded and identify partial pattern realizations).
+
+use crate::schema::Schema;
+use crate::table::{Table, Value};
+use std::collections::HashMap;
+use wiclean_types::EntityId;
+
+/// How one right-hand column participates in a glue join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnGlue {
+    /// Equi-joined onto the left column at this index.
+    Glued(usize),
+    /// Introduces a new output column.
+    New {
+        /// Output column name (the fresh pattern variable).
+        name: String,
+        /// Left columns this value must differ from (same-type variables).
+        /// Comparisons against nulls are vacuously satisfied.
+        distinct_from: Vec<usize>,
+    },
+}
+
+fn output_schema(left: &Table, glue: &[ColumnGlue]) -> Schema {
+    let mut schema = left.schema().clone();
+    for g in glue {
+        if let ColumnGlue::New { name, .. } = g {
+            schema.push(name.clone());
+        }
+    }
+    schema
+}
+
+fn validate(left: &Table, right: &Table, glue: &[ColumnGlue]) {
+    assert_eq!(
+        glue.len(),
+        right.width(),
+        "glue spec arity must match right table width"
+    );
+    for g in glue {
+        match g {
+            ColumnGlue::Glued(i) => assert!(*i < left.width(), "glued column out of range"),
+            ColumnGlue::New { distinct_from, .. } => {
+                for i in distinct_from {
+                    assert!(*i < left.width(), "distinct_from column out of range");
+                }
+            }
+        }
+    }
+}
+
+/// Whether the (left row, right row) pair satisfies all glue conditions.
+/// SQL three-valued logic: null never equi-matches; `≠` against a null is
+/// vacuously satisfied.
+fn pair_matches(l: &[Value], r: &[Value], glue: &[ColumnGlue]) -> bool {
+    for (j, g) in glue.iter().enumerate() {
+        match g {
+            ColumnGlue::Glued(i) => match (l[*i], r[j]) {
+                (Some(a), Some(b)) if a == b => {}
+                _ => return false,
+            },
+            ColumnGlue::New { distinct_from, .. } => {
+                if let Some(b) = r[j] {
+                    for i in distinct_from {
+                        if l[*i] == Some(b) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Assembles the combined output row for a matched pair.
+fn combined_row(l: &[Value], r: &[Value], glue: &[ColumnGlue], out: &mut Vec<Value>) {
+    out.clear();
+    out.extend_from_slice(l);
+    for (j, g) in glue.iter().enumerate() {
+        if matches!(g, ColumnGlue::New { .. }) {
+            out.push(r[j]);
+        }
+    }
+}
+
+/// The glued-key columns of a right row, or `None` if any is null (a null
+/// key never matches).
+fn right_key(r: &[Value], glue: &[ColumnGlue]) -> Option<Vec<EntityId>> {
+    let mut key = Vec::new();
+    for (j, g) in glue.iter().enumerate() {
+        if matches!(g, ColumnGlue::Glued(_)) {
+            key.push(r[j]?);
+        }
+    }
+    Some(key)
+}
+
+/// The glued-key columns of a left row (in glue order), or `None` on null.
+fn left_key(l: &[Value], glue: &[ColumnGlue]) -> Option<Vec<EntityId>> {
+    let mut key = Vec::new();
+    for g in glue {
+        if let ColumnGlue::Glued(i) = g {
+            key.push(l[*i]?);
+        }
+    }
+    Some(key)
+}
+
+/// Hash equijoin with gluing semantics. Builds a hash index over the right
+/// relation keyed by its glued columns, probes with the left relation, and
+/// post-filters the `distinct_from` inequality conditions.
+///
+/// ```
+/// use wiclean_rel::{join_glue, ColumnGlue, Schema, Table};
+/// use wiclean_types::EntityId;
+///
+/// let v = |i| Some(EntityId::from_u32(i));
+/// let players = Table::from_rows(Schema::new(["player", "old"]), [vec![v(1), v(10)]]);
+/// let joins = Table::from_rows(Schema::new(["player", "new"]), [vec![v(1), v(11)]]);
+/// let glue = [
+///     ColumnGlue::Glued(0), // same player
+///     ColumnGlue::New { name: "new".into(), distinct_from: vec![1] }, // new ≠ old
+/// ];
+/// let out = join_glue(&players, &joins, &glue);
+/// assert_eq!(out.sorted_rows(), vec![vec![v(1), v(10), v(11)]]);
+/// ```
+pub fn join_glue(left: &Table, right: &Table, glue: &[ColumnGlue]) -> Table {
+    validate(left, right, glue);
+    let mut out = Table::new(output_schema(left, glue));
+
+    // Build: right rows grouped by glued key.
+    let mut index: HashMap<Vec<EntityId>, Vec<usize>> = HashMap::new();
+    for (ri, r) in right.rows().enumerate() {
+        if let Some(key) = right_key(r, glue) {
+            index.entry(key).or_default().push(ri);
+        }
+    }
+
+    let mut row = Vec::with_capacity(out.width());
+    for l in left.rows() {
+        let Some(key) = left_key(l, glue) else { continue };
+        let Some(candidates) = index.get(&key) else { continue };
+        for &ri in candidates {
+            let r = right.row(ri);
+            if pair_matches(l, r, glue) {
+                combined_row(l, r, glue, &mut row);
+                out.push_row(&row);
+            }
+        }
+    }
+    out
+}
+
+/// The same operator computed by sort–merge: both relations are sorted by
+/// their glued key and matching key groups are cross-checked. Chosen over
+/// the hash join when the inputs are large and a sorted output is useful
+/// downstream; semantically identical (property-tested).
+pub fn join_glue_sort_merge(left: &Table, right: &Table, glue: &[ColumnGlue]) -> Table {
+    validate(left, right, glue);
+    let mut out = Table::new(output_schema(left, glue));
+
+    // Decorate row indices with their (non-null) glued keys and sort.
+    let mut lkeys: Vec<(Vec<EntityId>, usize)> = left
+        .rows()
+        .enumerate()
+        .filter_map(|(i, r)| left_key(r, glue).map(|k| (k, i)))
+        .collect();
+    let mut rkeys: Vec<(Vec<EntityId>, usize)> = right
+        .rows()
+        .enumerate()
+        .filter_map(|(i, r)| right_key(r, glue).map(|k| (k, i)))
+        .collect();
+    lkeys.sort();
+    rkeys.sort();
+
+    let mut row = Vec::with_capacity(out.width());
+    let (mut li, mut ri) = (0usize, 0usize);
+    while li < lkeys.len() && ri < rkeys.len() {
+        match lkeys[li].0.cmp(&rkeys[ri].0) {
+            std::cmp::Ordering::Less => li += 1,
+            std::cmp::Ordering::Greater => ri += 1,
+            std::cmp::Ordering::Equal => {
+                // Delimit the equal-key groups on both sides.
+                let key = lkeys[li].0.clone();
+                let lhi = lkeys[li..].partition_point(|(k, _)| *k == key) + li;
+                let rhi = rkeys[ri..].partition_point(|(k, _)| *k == key) + ri;
+                for &(_, l_ix) in &lkeys[li..lhi] {
+                    let l = left.row(l_ix);
+                    for &(_, r_ix) in &rkeys[ri..rhi] {
+                        let r = right.row(r_ix);
+                        if pair_matches(l, r, glue) {
+                            combined_row(l, r, glue, &mut row);
+                            out.push_row(&row);
+                        }
+                    }
+                }
+                li = lhi;
+                ri = rhi;
+            }
+        }
+    }
+    out
+}
+
+/// The same operator computed by a conventional main-memory nested loop
+/// over the cross product — the paper's `PM−join` baseline. Semantically
+/// identical to [`join_glue`] (property-tested), asymptotically slower.
+pub fn join_glue_nested(left: &Table, right: &Table, glue: &[ColumnGlue]) -> Table {
+    validate(left, right, glue);
+    let mut out = Table::new(output_schema(left, glue));
+    let mut row = Vec::with_capacity(out.width());
+    for l in left.rows() {
+        for r in right.rows() {
+            if pair_matches(l, r, glue) {
+                combined_row(l, r, glue, &mut row);
+                out.push_row(&row);
+            }
+        }
+    }
+    out
+}
+
+/// Full outer join with gluing semantics (Algorithm 3).
+///
+/// Output rows:
+/// * matched pairs — as in [`join_glue`];
+/// * unmatched **left** rows — retained, new columns padded with nulls
+///   (a partial pattern realization missing the new action);
+/// * unmatched **right** rows — retained, with glued output columns taking
+///   the right values and all remaining left columns null (an action
+///   realization with no partial pattern around it).
+pub fn outer_join_glue(left: &Table, right: &Table, glue: &[ColumnGlue]) -> Table {
+    validate(left, right, glue);
+    let mut out = Table::new(output_schema(left, glue));
+
+    let mut index: HashMap<Vec<EntityId>, Vec<usize>> = HashMap::new();
+    for (ri, r) in right.rows().enumerate() {
+        if let Some(key) = right_key(r, glue) {
+            index.entry(key).or_default().push(ri);
+        }
+    }
+
+    let mut right_matched = vec![false; right.len()];
+    let mut row = Vec::with_capacity(out.width());
+
+    for l in left.rows() {
+        let mut l_matched = false;
+        if let Some(key) = left_key(l, glue) {
+            if let Some(candidates) = index.get(&key) {
+                for &ri in candidates {
+                    let r = right.row(ri);
+                    if pair_matches(l, r, glue) {
+                        combined_row(l, r, glue, &mut row);
+                        out.push_row(&row);
+                        l_matched = true;
+                        right_matched[ri] = true;
+                    }
+                }
+            }
+        }
+        if !l_matched {
+            combined_row(l, &vec![None; right.width()], glue, &mut row);
+            out.push_row(&row);
+        }
+    }
+
+    for (ri, r) in right.rows().enumerate() {
+        if right_matched[ri] {
+            continue;
+        }
+        // Left part: nulls except glued positions which take right values.
+        row.clear();
+        row.resize(left.width(), None);
+        for (j, g) in glue.iter().enumerate() {
+            if let ColumnGlue::Glued(i) = g {
+                row[*i] = r[j];
+            }
+        }
+        for (j, g) in glue.iter().enumerate() {
+            if matches!(g, ColumnGlue::New { .. }) {
+                row.push(r[j]);
+            }
+        }
+        out.push_row(&row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Value {
+        Some(EntityId::from_u32(i))
+    }
+
+    /// realizations[p]: pattern {−(player, club, team)} with columns
+    /// [player, old_team].
+    fn left_table() -> Table {
+        Table::from_rows(
+            Schema::new(["player", "old_team"]),
+            [vec![v(1), v(10)], vec![v(2), v(20)], vec![v(3), v(10)]],
+        )
+    }
+
+    /// realizations[a]: action {+(player, club, team)} with columns
+    /// [player, new_team].
+    fn right_table() -> Table {
+        Table::from_rows(
+            Schema::new(["player", "new_team"]),
+            [
+                vec![v(1), v(11)],
+                vec![v(2), v(20)], // same team as old → violates ≠
+                vec![v(9), v(30)], // no matching player
+            ],
+        )
+    }
+
+    fn glue() -> Vec<ColumnGlue> {
+        vec![
+            ColumnGlue::Glued(0),
+            ColumnGlue::New {
+                name: "new_team".into(),
+                distinct_from: vec![1],
+            },
+        ]
+    }
+
+    #[test]
+    fn hash_join_glues_and_filters() {
+        let out = join_glue(&left_table(), &right_table(), &glue());
+        assert_eq!(out.schema().names(), &["player", "old_team", "new_team"]);
+        // Player 1: old 10 → new 11 (kept). Player 2: 20 → 20 (≠ fails).
+        assert_eq!(out.sorted_rows(), vec![vec![v(1), v(10), v(11)]]);
+    }
+
+    #[test]
+    fn nested_loop_agrees_with_hash() {
+        let h = join_glue(&left_table(), &right_table(), &glue());
+        let n = join_glue_nested(&left_table(), &right_table(), &glue());
+        assert_eq!(h.sorted_rows(), n.sorted_rows());
+    }
+
+    #[test]
+    fn sort_merge_agrees_with_hash() {
+        let h = join_glue(&left_table(), &right_table(), &glue());
+        let m = join_glue_sort_merge(&left_table(), &right_table(), &glue());
+        assert_eq!(h.sorted_rows(), m.sorted_rows());
+    }
+
+    #[test]
+    fn sort_merge_handles_duplicate_keys() {
+        let left = Table::from_rows(
+            Schema::new(["player", "old_team"]),
+            [vec![v(1), v(10)], vec![v(1), v(20)], vec![v(2), v(30)]],
+        );
+        let right = Table::from_rows(
+            Schema::new(["player", "new_team"]),
+            [vec![v(1), v(11)], vec![v(1), v(12)]],
+        );
+        let h = join_glue(&left, &right, &glue());
+        let m = join_glue_sort_merge(&left, &right, &glue());
+        assert_eq!(h.sorted_rows(), m.sorted_rows());
+        assert_eq!(m.len(), 4, "2 left × 2 right key-1 rows");
+    }
+
+    #[test]
+    fn sort_merge_skips_null_keys() {
+        let left = Table::from_rows(
+            Schema::new(["player", "old_team"]),
+            [vec![None, v(10)], vec![v(1), v(10)]],
+        );
+        let m = join_glue_sort_merge(&left, &right_table(), &glue());
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn glue_all_columns_is_semijoin_shape() {
+        // Gluing both right columns onto left columns keeps only matching
+        // left rows, unextended.
+        let right = Table::from_rows(
+            Schema::new(["p", "t"]),
+            [vec![v(1), v(10)], vec![v(2), v(99)]],
+        );
+        let out = join_glue(
+            &left_table(),
+            &right,
+            &[ColumnGlue::Glued(0), ColumnGlue::Glued(1)],
+        );
+        assert_eq!(out.schema().width(), 2);
+        assert_eq!(out.sorted_rows(), vec![vec![v(1), v(10)]]);
+    }
+
+    #[test]
+    fn null_left_key_never_matches() {
+        let left = Table::from_rows(
+            Schema::new(["player", "old_team"]),
+            [vec![None, v(10)], vec![v(1), v(10)]],
+        );
+        let out = join_glue(&left, &right_table(), &glue());
+        assert_eq!(out.len(), 1, "null player cannot equi-match");
+    }
+
+    #[test]
+    fn neq_against_null_is_vacuous() {
+        let left = Table::from_rows(Schema::new(["player", "old_team"]), [vec![v(2), None]]);
+        // Right: player 2, new team 20. old_team is null → ≠ passes.
+        let out = join_glue(&left, &right_table(), &glue());
+        assert_eq!(out.sorted_rows(), vec![vec![v(2), None, v(20)]]);
+    }
+
+    #[test]
+    fn outer_join_retains_unmatched_left() {
+        let out = outer_join_glue(&left_table(), &right_table(), &glue());
+        let rows = out.sorted_rows();
+        // Matched: (1, 10, 11).
+        assert!(rows.contains(&vec![v(1), v(10), v(11)]));
+        // Unmatched left: players 2 (≠ failed) and 3 (no right row).
+        assert!(rows.contains(&vec![v(2), v(20), None]));
+        assert!(rows.contains(&vec![v(3), v(10), None]));
+        // Unmatched right: player 9's action, no surrounding pattern, and
+        // player 2's action (the ≠-failing pair leaves both sides
+        // unmatched, as in SQL).
+        assert!(rows.contains(&vec![v(9), None, v(30)]));
+        assert!(rows.contains(&vec![v(2), None, v(20)]));
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn outer_join_null_rows_are_detectable() {
+        let out = outer_join_glue(&left_table(), &right_table(), &glue());
+        let partial = out.rows_with_null();
+        assert_eq!(partial.len(), 4);
+    }
+
+    #[test]
+    fn outer_join_on_empty_right_pads_all_left() {
+        let right = Table::new(Schema::new(["player", "new_team"]));
+        let out = outer_join_glue(&left_table(), &right, &glue());
+        assert_eq!(out.len(), 3);
+        assert!(out.rows().all(|r| r[2].is_none()));
+    }
+
+    #[test]
+    fn outer_join_on_empty_left_pads_all_right() {
+        let left = Table::new(Schema::new(["player", "old_team"]));
+        let out = outer_join_glue(&left, &right_table(), &glue());
+        assert_eq!(out.len(), 3);
+        assert!(out.rows().all(|r| r[1].is_none()));
+        // Glued column carries the right value.
+        assert!(out.rows().all(|r| r[0].is_some()));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn glue_arity_checked() {
+        join_glue(&left_table(), &right_table(), &[ColumnGlue::Glued(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn glue_bounds_checked() {
+        join_glue(&left_table(), &right_table(), &[
+            ColumnGlue::Glued(7),
+            ColumnGlue::New {
+                name: "x".into(),
+                distinct_from: vec![],
+            },
+        ]);
+    }
+
+    #[test]
+    fn multiple_matches_fan_out() {
+        let left = Table::from_rows(
+            Schema::new(["player", "old_team"]),
+            [vec![v(1), v(10)]],
+        );
+        let right = Table::from_rows(
+            Schema::new(["player", "new_team"]),
+            [vec![v(1), v(11)], vec![v(1), v(12)]],
+        );
+        let out = join_glue(&left, &right, &glue());
+        assert_eq!(out.len(), 2);
+    }
+}

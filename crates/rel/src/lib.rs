@@ -1,0 +1,31 @@
+//! A small in-memory relational engine — WiClean's query substrate.
+//!
+//! The paper implements pattern realizations as relational tables and
+//! computes pattern extension, frequency, and partial-update detection with
+//! "SQL over pandas". This crate is the equivalent substrate in Rust:
+//!
+//! * [`Table`] — a flat, row-major relation of nullable `EntityId`
+//!   values, one column per pattern variable;
+//! * [`join::join_glue`] — the hash equijoin with *gluing* semantics used
+//!   to extend a pattern's realization table with a new abstract action's
+//!   realizations (equi-conditions on glued variables, `≠` constraints
+//!   against same-type columns for freshly introduced variables);
+//! * [`join::join_glue_nested`] — the identical operator computed by a
+//!   conventional main-memory nested loop (the paper's `PM−join` ablation);
+//! * [`join::outer_join_glue`] — the **full outer join** of Algorithm 3,
+//!   whose null-padded rows are exactly the partial pattern realizations;
+//! * selection/projection/distinct helpers ([`Table::rows_with_null`],
+//!   [`Table::project`], [`Table::distinct_count`], …).
+//!
+//! Null semantics follow SQL: a null never equi-matches, and `≠`
+//! constraints involving a null are vacuously satisfied (three-valued
+//! logic's `UNKNOWN` is acceptable for the retention use-case of
+//! Algorithm 3, where null-padded rows must survive subsequent joins).
+
+pub mod join;
+pub mod schema;
+pub mod table;
+
+pub use join::{join_glue, join_glue_nested, join_glue_sort_merge, outer_join_glue, ColumnGlue};
+pub use schema::Schema;
+pub use table::{Table, Value};

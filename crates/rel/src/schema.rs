@@ -1,0 +1,109 @@
+//! Relation schemas: ordered, named columns.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The ordered column names of a relation. Column names are pattern
+/// variable names (e.g. `SoccerPlayer#1`), so a schema *is* the variable
+/// list of the pattern whose realizations the table holds.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema from column names; names must be distinct.
+    pub fn new<S: Into<String>>(columns: impl IntoIterator<Item = S>) -> Self {
+        let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
+        for (i, c) in columns.iter().enumerate() {
+            assert!(
+                !columns[..i].contains(c),
+                "duplicate column name `{c}` in schema"
+            );
+        }
+        Self { columns }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Column name at `ix`.
+    pub fn name(&self, ix: usize) -> &str {
+        &self.columns[ix]
+    }
+
+    /// Position of a column by name.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// All column names in order.
+    pub fn names(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Appends a column, returning its index. Panics on duplicates.
+    pub fn push(&mut self, name: impl Into<String>) -> usize {
+        let name = name.into();
+        assert!(
+            self.position(&name).is_none(),
+            "duplicate column name `{name}` in schema"
+        );
+        self.columns.push(name);
+        self.columns.len() - 1
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.columns.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let s = Schema::new(["player_1", "team_1"]);
+        assert_eq!(s.width(), 2);
+        assert_eq!(s.name(0), "player_1");
+        assert_eq!(s.position("team_1"), Some(1));
+        assert_eq!(s.position("nope"), None);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_names_rejected() {
+        Schema::new(["a", "a"]);
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut s = Schema::new(["a"]);
+        assert_eq!(s.push("b"), 1);
+        assert_eq!(s.names(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn push_rejects_duplicates() {
+        let mut s = Schema::new(["a"]);
+        s.push("a");
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::new(["x", "y"]);
+        assert_eq!(s.to_string(), "(x, y)");
+    }
+}

@@ -1,0 +1,253 @@
+//! Flat row-major relations of nullable entity values.
+
+use crate::schema::Schema;
+use std::collections::HashSet;
+use wiclean_types::EntityId;
+
+/// A cell: an entity id, or SQL `NULL` (only produced by outer joins).
+pub type Value = Option<EntityId>;
+
+/// A relation: a [`Schema`] plus rows stored in one flat, row-major buffer
+/// (`width` cells per row) for cache-friendly scans.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    schema: Schema,
+    data: Vec<Value>,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Self {
+            schema,
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates a table and bulk-loads rows.
+    pub fn from_rows<R>(schema: Schema, rows: impl IntoIterator<Item = R>) -> Self
+    where
+        R: AsRef<[Value]>,
+    {
+        let mut t = Self::new(schema);
+        for r in rows {
+            t.push_row(r.as_ref());
+        }
+        t
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.schema.width()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        if self.schema.width() == 0 {
+            0
+        } else {
+            self.data.len() / self.schema.width()
+        }
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a row; its arity must match the schema.
+    pub fn push_row(&mut self, row: &[Value]) {
+        assert_eq!(
+            row.len(),
+            self.schema.width(),
+            "row arity does not match schema {}",
+            self.schema
+        );
+        self.data.extend_from_slice(row);
+    }
+
+    /// Row `i` as a cell slice.
+    pub fn row(&self, i: usize) -> &[Value] {
+        let w = self.schema.width();
+        &self.data[i * w..(i + 1) * w]
+    }
+
+    /// Iterates rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[Value]> {
+        self.data.chunks_exact(self.schema.width().max(1))
+    }
+
+    /// The cell at row `i`, column `col`.
+    pub fn cell(&self, i: usize, col: usize) -> Value {
+        self.row(i)[col]
+    }
+
+    /// Distinct non-null values in a column — the SQL
+    /// `COUNT(DISTINCT col)` the frequency computation issues against the
+    /// pattern's source column.
+    pub fn distinct_count(&self, col: usize) -> usize {
+        self.distinct_values(col).len()
+    }
+
+    /// The distinct non-null values of a column.
+    pub fn distinct_values(&self, col: usize) -> HashSet<EntityId> {
+        self.rows().filter_map(|r| r[col]).collect()
+    }
+
+    /// Projection onto the given columns (duplicates retained; call
+    /// [`Table::dedup`] for set semantics).
+    pub fn project(&self, cols: &[usize]) -> Table {
+        let schema = Schema::new(cols.iter().map(|&c| self.schema.name(c).to_owned()));
+        let mut out = Table::new(schema);
+        let mut row = Vec::with_capacity(cols.len());
+        for r in self.rows() {
+            row.clear();
+            row.extend(cols.iter().map(|&c| r[c]));
+            out.push_row(&row);
+        }
+        out
+    }
+
+    /// Removes duplicate rows (order-preserving, first occurrence wins).
+    pub fn dedup(&mut self) {
+        let w = self.schema.width();
+        if w == 0 || self.data.is_empty() {
+            return;
+        }
+        let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(self.len());
+        let mut out = Vec::with_capacity(self.data.len());
+        for r in self.data.chunks_exact(w) {
+            if seen.insert(r.to_vec()) {
+                out.extend_from_slice(r);
+            }
+        }
+        self.data = out;
+    }
+
+    /// Selection of the rows that contain at least one null — the partial
+    /// realizations in Algorithm 3's final step.
+    pub fn rows_with_null(&self) -> Table {
+        let mut out = Table::new(self.schema.clone());
+        for r in self.rows() {
+            if r.iter().any(Option::is_none) {
+                out.push_row(r);
+            }
+        }
+        out
+    }
+
+    /// Selection of the rows where `col` is non-null and satisfies `pred`.
+    pub fn filter_col(&self, col: usize, pred: impl Fn(EntityId) -> bool) -> Table {
+        let mut out = Table::new(self.schema.clone());
+        for r in self.rows() {
+            if r[col].is_some_and(&pred) {
+                out.push_row(r);
+            }
+        }
+        out
+    }
+
+    /// Sorted copy of the rows (null sorts first); used by tests to compare
+    /// relations under set semantics.
+    pub fn sorted_rows(&self) -> Vec<Vec<Value>> {
+        let mut rows: Vec<Vec<Value>> = self.rows().map(|r| r.to_vec()).collect();
+        rows.sort();
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Value {
+        Some(EntityId::from_u32(i))
+    }
+
+    fn sample() -> Table {
+        Table::from_rows(
+            Schema::new(["p", "t"]),
+            [
+                vec![v(1), v(10)],
+                vec![v(2), v(10)],
+                vec![v(1), None],
+                vec![v(3), v(30)],
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = sample();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.width(), 2);
+        assert_eq!(t.cell(0, 1), v(10));
+        assert_eq!(t.cell(2, 1), None);
+        assert_eq!(t.rows().count(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(Schema::new(["a", "b"]));
+        t.push_row(&[v(1)]);
+    }
+
+    #[test]
+    fn distinct_count_ignores_nulls_and_dups() {
+        let t = sample();
+        assert_eq!(t.distinct_count(0), 3); // 1, 2, 3
+        assert_eq!(t.distinct_count(1), 2); // 10, 30 (null ignored)
+    }
+
+    #[test]
+    fn projection_and_dedup() {
+        let t = sample();
+        let mut p = t.project(&[1]);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.schema().names(), &["t".to_string()]);
+        p.dedup();
+        assert_eq!(p.len(), 3); // 10, null, 30
+    }
+
+    #[test]
+    fn rows_with_null_selects_partials() {
+        let t = sample();
+        let partial = t.rows_with_null();
+        assert_eq!(partial.len(), 1);
+        assert_eq!(partial.row(0)[0], v(1));
+    }
+
+    #[test]
+    fn filter_col_skips_nulls() {
+        let t = sample();
+        let only1 = t.filter_col(0, |e| e == EntityId::from_u32(1));
+        assert_eq!(only1.len(), 2);
+        let none = t.filter_col(1, |e| e == EntityId::from_u32(999));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn dedup_is_order_preserving() {
+        let mut t = Table::from_rows(
+            Schema::new(["a"]),
+            [vec![v(2)], vec![v(1)], vec![v(2)], vec![v(1)]],
+        );
+        t.dedup();
+        assert_eq!(t.sorted_rows(), vec![vec![v(1)], vec![v(2)]]);
+        assert_eq!(t.row(0)[0], v(2), "first occurrence kept first");
+    }
+
+    #[test]
+    fn zero_width_table() {
+        let t = Table::new(Schema::new(Vec::<String>::new()));
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the relational engine.
+//!
+//! The central property is *differential*: the hash join must agree with
+//! the nested-loop join on every input — the two are the paper's `PM` vs
+//! `PM−join` realization computations, which must only differ in speed.
+
+use proptest::prelude::*;
+use wiclean_rel::{join_glue, join_glue_nested, join_glue_sort_merge, outer_join_glue, ColumnGlue, Schema, Table, Value};
+use wiclean_types::EntityId;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        3 => (0u32..6).prop_map(|i| Some(EntityId::from_u32(i))),
+        1 => Just(None),
+    ]
+}
+
+fn table_strategy(cols: &'static [&'static str]) -> impl Strategy<Value = Table> {
+    proptest::collection::vec(
+        proptest::collection::vec(value_strategy(), cols.len()),
+        0..12,
+    )
+    .prop_map(move |rows| Table::from_rows(Schema::new(cols.iter().copied()), rows))
+}
+
+/// Random glue spec over a 2-wide left and 2-wide right table.
+fn glue_strategy() -> impl Strategy<Value = Vec<ColumnGlue>> {
+    let col = 0usize..2;
+    let one = prop_oneof![
+        col.clone().prop_map(ColumnGlue::Glued),
+        proptest::collection::vec(0usize..2, 0..3).prop_map(|d| ColumnGlue::New {
+            name: "n0".into(),
+            distinct_from: d,
+        }),
+    ];
+    let two = prop_oneof![
+        col.prop_map(ColumnGlue::Glued),
+        proptest::collection::vec(0usize..2, 0..3).prop_map(|d| ColumnGlue::New {
+            name: "n1".into(),
+            distinct_from: d,
+        }),
+    ];
+    (one, two).prop_map(|(a, b)| vec![a, b])
+}
+
+proptest! {
+    /// Hash join ≡ nested loop join ≡ sort–merge join, on all inputs and
+    /// glue specs.
+    #[test]
+    fn hash_equals_nested_equals_sort_merge(
+        left in table_strategy(&["a", "b"]),
+        right in table_strategy(&["x", "y"]),
+        glue in glue_strategy(),
+    ) {
+        let h = join_glue(&left, &right, &glue);
+        let n = join_glue_nested(&left, &right, &glue);
+        let m = join_glue_sort_merge(&left, &right, &glue);
+        prop_assert_eq!(h.sorted_rows(), n.sorted_rows());
+        prop_assert_eq!(h.sorted_rows(), m.sorted_rows());
+    }
+
+    /// The inner join is a sub-multiset of the outer join, and the outer
+    /// join's extra rows all contain nulls.
+    #[test]
+    fn outer_extends_inner(
+        left in table_strategy(&["a", "b"]),
+        right in table_strategy(&["x", "y"]),
+        glue in glue_strategy(),
+    ) {
+        let inner = join_glue(&left, &right, &glue);
+        let outer = outer_join_glue(&left, &right, &glue);
+        prop_assert!(outer.len() >= inner.len());
+
+        let inner_rows = inner.sorted_rows();
+        let outer_rows = outer.sorted_rows();
+        // Every inner row appears in the outer result.
+        for r in &inner_rows {
+            prop_assert!(outer_rows.contains(r));
+        }
+        // Outer-only rows are null-padded — provided the join actually has
+        // columns to pad: unmatched left rows get nulls in New columns,
+        // unmatched right rows get nulls in left columns not covered by a
+        // glued right column. If no such column exists on either side,
+        // unmatched rows can be null-free.
+        let has_new = glue.iter().any(|g| matches!(g, ColumnGlue::New { .. }));
+        let covered: std::collections::HashSet<usize> = glue
+            .iter()
+            .filter_map(|g| match g {
+                ColumnGlue::Glued(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        let left_fully_covered = covered.len() == left.width();
+        if has_new && !left_fully_covered {
+            let extra = outer.len() - inner.len();
+            let nulls = outer.rows().filter(|r| r.iter().any(Option::is_none)).count();
+            prop_assert!(nulls >= extra);
+        }
+    }
+
+    /// Every left row is represented in the full outer join at least once.
+    #[test]
+    fn outer_covers_left(
+        left in table_strategy(&["a", "b"]),
+        right in table_strategy(&["x", "y"]),
+        glue in glue_strategy(),
+    ) {
+        let outer = outer_join_glue(&left, &right, &glue);
+        prop_assert!(outer.len() >= left.len());
+    }
+
+    /// Joining against an empty right yields: inner → empty, outer → left
+    /// padded with nulls on the new columns.
+    #[test]
+    fn empty_right_identities(
+        left in table_strategy(&["a", "b"]),
+        glue in glue_strategy(),
+    ) {
+        let right = Table::new(Schema::new(["x", "y"]));
+        prop_assert!(join_glue(&left, &right, &glue).is_empty());
+        let outer = outer_join_glue(&left, &right, &glue);
+        prop_assert_eq!(outer.len(), left.len());
+    }
+
+    /// Projection then dedup never grows a table.
+    #[test]
+    fn project_dedup_shrinks(t in table_strategy(&["a", "b"])) {
+        let mut p = t.project(&[0]);
+        p.dedup();
+        prop_assert!(p.len() <= t.len());
+        prop_assert_eq!(p.width(), 1);
+    }
+
+    /// distinct_count equals the length of a deduped non-null projection.
+    #[test]
+    fn distinct_count_consistent(t in table_strategy(&["a", "b"])) {
+        let dc = t.distinct_count(0);
+        let set = t.distinct_values(0);
+        prop_assert_eq!(dc, set.len());
+    }
+}

@@ -1,0 +1,120 @@
+//! Concrete revision actions — the paper's `(op, (u, l, v), t)` triplets.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wiclean_types::{EntityId, RelId, Timestamp};
+use wiclean_wikitext::EditOp;
+
+/// One link edit extracted from a revision history: addition (`+`) or
+/// removal (`-`) of the edge `source --rel--> target` at time `time`.
+///
+/// Actions always live in the revision history of their *source* entity —
+/// "the revision history of each article records the edits made to the
+/// outgoing links of the corresponding graph node" (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Action {
+    /// Add or remove.
+    pub op: EditOp,
+    /// The entity whose page was edited (edge source).
+    pub source: EntityId,
+    /// The link label.
+    pub rel: RelId,
+    /// The linked entity (edge target).
+    pub target: EntityId,
+    /// Edit timestamp.
+    pub time: Timestamp,
+}
+
+impl Action {
+    /// Convenience constructor.
+    pub fn new(op: EditOp, source: EntityId, rel: RelId, target: EntityId, time: Timestamp) -> Self {
+        Self {
+            op,
+            source,
+            rel,
+            target,
+            time,
+        }
+    }
+
+    /// The edited edge `(u, l, v)` without operation or time.
+    pub fn triple(&self) -> (EntityId, RelId, EntityId) {
+        (self.source, self.rel, self.target)
+    }
+
+    /// Whether `self` is the inverse of `earlier`: same edge, opposite
+    /// operation, applied afterwards — so applying both leaves the graph
+    /// unchanged (`a' = Inv(a)` in the paper).
+    pub fn is_inverse_of(&self, earlier: &Action) -> bool {
+        self.triple() == earlier.triple()
+            && self.op == earlier.op.inverse()
+            && self.time >= earlier.time
+    }
+
+    /// Same edge and operation, ignoring time. Reduced action sets compare
+    /// actions this way since "the timestamps are no longer important".
+    pub fn same_edit(&self, other: &Action) -> bool {
+        self.op == other.op && self.triple() == other.triple()
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {}, {}) @{}",
+            self.op, self.source, self.rel, self.target, self.time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn act(op: EditOp, s: u32, r: u32, t: u32, time: Timestamp) -> Action {
+        Action::new(
+            op,
+            EntityId::from_u32(s),
+            RelId::from_u32(r),
+            EntityId::from_u32(t),
+            time,
+        )
+    }
+
+    #[test]
+    fn triple_ignores_op_and_time() {
+        let a = act(EditOp::Add, 1, 2, 3, 10);
+        let b = act(EditOp::Remove, 1, 2, 3, 99);
+        assert_eq!(a.triple(), b.triple());
+    }
+
+    #[test]
+    fn inverse_requires_same_edge_opposite_op_later_time() {
+        let a = act(EditOp::Add, 1, 2, 3, 10);
+        assert!(act(EditOp::Remove, 1, 2, 3, 20).is_inverse_of(&a));
+        assert!(!act(EditOp::Add, 1, 2, 3, 20).is_inverse_of(&a), "same op");
+        assert!(
+            !act(EditOp::Remove, 1, 2, 4, 20).is_inverse_of(&a),
+            "different edge"
+        );
+        assert!(
+            !act(EditOp::Remove, 1, 2, 3, 5).is_inverse_of(&a),
+            "earlier in time"
+        );
+    }
+
+    #[test]
+    fn same_edit_ignores_time() {
+        let a = act(EditOp::Add, 1, 2, 3, 10);
+        let b = act(EditOp::Add, 1, 2, 3, 500);
+        assert!(a.same_edit(&b));
+        assert!(!a.same_edit(&act(EditOp::Remove, 1, 2, 3, 10)));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let a = act(EditOp::Add, 1, 2, 3, 10);
+        assert_eq!(a.to_string(), "+ (e1, r2, e3) @10");
+    }
+}

@@ -1,0 +1,27 @@
+//! Revision-history storage and action extraction.
+//!
+//! This crate is the "crawler side" of WiClean. It stores, per entity, the
+//! full wikitext snapshot of every revision (as MediaWiki does), and derives
+//! the timestamped link *actions* of the paper's model (§3) by parsing and
+//! diffing consecutive snapshots:
+//!
+//! * [`Action`] — `(op, (u, l, v), t)`: addition/removal of the edge
+//!   `u --l--> v` at time `t`, recorded in the revision history of the
+//!   *source* entity `u`;
+//! * [`RevisionStore`] — per-entity page histories with crawl-style access
+//!   and parse-cost accounting (the preprocessing bars of Figure 4);
+//! * [`extract::extract_actions`] — snapshot diffing within a time window;
+//! * [`reduce::reduce_actions`] — the paper's *reduced action set*: the
+//!   unique (up to timestamps) subset left after cancelling actions with
+//!   their inverses, so only net effects remain.
+
+pub mod action;
+pub mod extract;
+pub mod reduce;
+pub mod store;
+
+pub use action::Action;
+pub use extract::{extract_actions, extract_actions_for, ExtractOutcome};
+pub use reduce::{is_reduced, reduce_actions};
+pub use store::{CrawlStats, PageHistory, Revision, RevisionStore};
+pub use wiclean_wikitext::EditOp;

@@ -1,0 +1,204 @@
+//! Reduction of action sets: cancelling actions with their inverses.
+//!
+//! The paper (§3) defines two action sets as *equivalent* when applying them
+//! in timestamp order yields the same graph, and the *reduced* set as the
+//! one left after iteratively removing `(a, Inv(a))` pairs. Up to
+//! timestamps, the reduced set is unique — which lets the miner ignore time
+//! ordering inside a window entirely. Rows whose `R` column is `0` in the
+//! paper's Figure 1 are exactly the ones reduction removes.
+
+use crate::action::Action;
+use std::collections::HashMap;
+use wiclean_types::{EntityId, RelId};
+use wiclean_wikitext::EditOp;
+
+/// Reduces an action set, returning the surviving actions in their original
+/// relative order.
+///
+/// ```
+/// use wiclean_revstore::{reduce_actions, Action, EditOp};
+/// use wiclean_types::{EntityId, RelId};
+///
+/// let e = EntityId::from_u32;
+/// let add = Action::new(EditOp::Add, e(1), RelId::from_u32(0), e(2), 10);
+/// let revert = Action::new(EditOp::Remove, e(1), RelId::from_u32(0), e(2), 20);
+/// assert!(reduce_actions(&[add, revert]).is_empty(), "the pair cancels");
+/// ```
+///
+/// Within one source page, extraction produces strictly alternating ops per
+/// edge (a link is either present or absent), so per-edge cancellation is a
+/// stack discipline: an action cancels against the latest surviving action
+/// on the same edge with the opposite op. The implementation is general and
+/// handles non-alternating inputs (hand-built tests) identically.
+pub fn reduce_actions(actions: &[Action]) -> Vec<Action> {
+    // Sort indices by time (stable: ties keep input order) so "in the order
+    // of their timestamps" holds even if the caller concatenated several
+    // entities' logs.
+    let mut order: Vec<usize> = (0..actions.len()).collect();
+    order.sort_by_key(|&i| actions[i].time);
+
+    // Per-edge stack of surviving action indices.
+    let mut stacks: HashMap<(EntityId, RelId, EntityId), Vec<usize>> = HashMap::new();
+    let mut keep = vec![true; actions.len()];
+
+    for &i in &order {
+        let a = &actions[i];
+        let stack = stacks.entry(a.triple()).or_default();
+        match stack.last() {
+            Some(&j) if actions[j].op == a.op.inverse() => {
+                // a = Inv(previous survivor): cancel both.
+                keep[i] = false;
+                keep[j] = false;
+                stack.pop();
+            }
+            _ => stack.push(i),
+        }
+    }
+
+    actions
+        .iter()
+        .zip(keep)
+        .filter_map(|(a, k)| k.then(|| *a))
+        .collect()
+}
+
+/// Whether `actions` is already reduced (contains no action/inverse pair
+/// that reduction would cancel).
+pub fn is_reduced(actions: &[Action]) -> bool {
+    reduce_actions(actions).len() == actions.len()
+}
+
+/// The net edge effect of an action set: map from edge to `+`/`-` (or
+/// absence for cancelled-out edges). Two action sets are equivalent in the
+/// paper's sense iff their net effects are equal; tests use this as the
+/// semantic oracle for reduction.
+pub fn net_effect(actions: &[Action]) -> HashMap<(EntityId, RelId, EntityId), EditOp> {
+    let mut order: Vec<&Action> = actions.iter().collect();
+    order.sort_by_key(|a| a.time);
+    // Parity per edge: an odd number of alternating edits nets to the *last*
+    // op; an even number cancels. Track last op and flip count.
+    let mut state: HashMap<(EntityId, RelId, EntityId), (EditOp, usize)> = HashMap::new();
+    for a in order {
+        let entry = state.entry(a.triple()).or_insert((a.op, 0));
+        entry.0 = a.op;
+        entry.1 += 1;
+    }
+    state
+        .into_iter()
+        .filter_map(|(k, (op, n))| (n % 2 == 1).then_some((k, op)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiclean_types::Timestamp;
+
+    fn act(op: EditOp, s: u32, r: u32, t: u32, time: Timestamp) -> Action {
+        Action::new(
+            op,
+            EntityId::from_u32(s),
+            RelId::from_u32(r),
+            EntityId::from_u32(t),
+            time,
+        )
+    }
+
+    #[test]
+    fn cancels_simple_revert() {
+        let actions = vec![
+            act(EditOp::Add, 1, 1, 2, 10),
+            act(EditOp::Remove, 1, 1, 2, 20),
+        ];
+        assert!(reduce_actions(&actions).is_empty());
+        assert!(!is_reduced(&actions));
+    }
+
+    #[test]
+    fn odd_chain_leaves_net_action() {
+        // + − + nets to a single +.
+        let actions = vec![
+            act(EditOp::Add, 1, 1, 2, 10),
+            act(EditOp::Remove, 1, 1, 2, 20),
+            act(EditOp::Add, 1, 1, 2, 30),
+        ];
+        let red = reduce_actions(&actions);
+        assert_eq!(red.len(), 1);
+        assert_eq!(red[0].op, EditOp::Add);
+    }
+
+    #[test]
+    fn different_edges_do_not_interact() {
+        let actions = vec![
+            act(EditOp::Add, 1, 1, 2, 10),
+            act(EditOp::Remove, 1, 1, 3, 20), // different target
+            act(EditOp::Remove, 2, 1, 2, 30), // different source
+        ];
+        assert_eq!(reduce_actions(&actions).len(), 3);
+        assert!(is_reduced(&actions));
+    }
+
+    #[test]
+    fn figure1_style_merged_timeline() {
+        // Neymar's club edge toggles − + − over the window (a revert in the
+        // middle) while the PSG link is added once. The net effect is one
+        // removal of the Barca link plus the PSG addition; which physical
+        // action survives for the toggling edge is immaterial (timestamps
+        // are ignored downstream), ours keeps the latest.
+        let actions = vec![
+            act(EditOp::Remove, 1, 1, 10, 1),
+            act(EditOp::Add, 1, 1, 20, 3),
+            act(EditOp::Add, 1, 1, 10, 5),
+            act(EditOp::Remove, 1, 1, 10, 6),
+        ];
+        let red = reduce_actions(&actions);
+        assert_eq!(red.len(), 2);
+        assert_eq!(
+            red,
+            vec![
+                act(EditOp::Add, 1, 1, 20, 3),
+                act(EditOp::Remove, 1, 1, 10, 6),
+            ]
+        );
+        assert_eq!(net_effect(&actions), net_effect(&red));
+    }
+
+    #[test]
+    fn reduction_is_idempotent() {
+        let actions = vec![
+            act(EditOp::Add, 1, 1, 2, 10),
+            act(EditOp::Remove, 1, 1, 2, 20),
+            act(EditOp::Add, 1, 1, 3, 30),
+        ];
+        let once = reduce_actions(&actions);
+        let twice = reduce_actions(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn reduction_preserves_net_effect() {
+        let actions = vec![
+            act(EditOp::Add, 1, 1, 2, 10),
+            act(EditOp::Remove, 1, 1, 2, 20),
+            act(EditOp::Add, 1, 1, 2, 30),
+            act(EditOp::Remove, 1, 2, 5, 15),
+        ];
+        assert_eq!(net_effect(&actions), net_effect(&reduce_actions(&actions)));
+    }
+
+    #[test]
+    fn unordered_input_is_sorted_by_time() {
+        // Same revert pair, presented out of order.
+        let actions = vec![
+            act(EditOp::Remove, 1, 1, 2, 20),
+            act(EditOp::Add, 1, 1, 2, 10),
+        ];
+        assert!(reduce_actions(&actions).is_empty());
+    }
+
+    #[test]
+    fn empty_set_is_reduced() {
+        assert!(is_reduced(&[]));
+        assert!(reduce_actions(&[]).is_empty());
+    }
+}

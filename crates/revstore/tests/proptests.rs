@@ -1,0 +1,100 @@
+//! Property-based tests for action reduction.
+
+use proptest::prelude::*;
+use wiclean_revstore::{is_reduced, reduce_actions, Action, EditOp};
+use wiclean_revstore::reduce::net_effect;
+use wiclean_types::{EntityId, RelId};
+
+/// Arbitrary actions over a tiny id space so that edge collisions (and thus
+/// cancellations) actually occur.
+fn action_strategy() -> impl Strategy<Value = Action> {
+    (
+        prop::bool::ANY,
+        0u32..4,
+        0u32..3,
+        0u32..4,
+        0u64..1000,
+    )
+        .prop_map(|(add, s, r, t, time)| {
+            Action::new(
+                if add { EditOp::Add } else { EditOp::Remove },
+                EntityId::from_u32(s),
+                RelId::from_u32(r),
+                EntityId::from_u32(t),
+                time,
+            )
+        })
+}
+
+/// An *alternating* per-edge action sequence, as snapshot diffing actually
+/// produces: a link toggles between present and absent.
+fn alternating_actions() -> impl Strategy<Value = Vec<Action>> {
+    proptest::collection::vec((0u32..3, 0u32..2, 0u32..3, prop::bool::ANY), 0..24).prop_map(
+        |edges| {
+            use std::collections::HashMap;
+            let mut present: HashMap<(u32, u32, u32), bool> = HashMap::new();
+            let mut out = Vec::new();
+            let mut time = 0u64;
+            for (s, r, t, _seed) in edges {
+                let slot = present.entry((s, r, t)).or_insert(false);
+                let op = if *slot { EditOp::Remove } else { EditOp::Add };
+                *slot = !*slot;
+                time += 7;
+                out.push(Action::new(
+                    op,
+                    EntityId::from_u32(s),
+                    RelId::from_u32(r),
+                    EntityId::from_u32(t),
+                    time,
+                ));
+            }
+            out
+        },
+    )
+}
+
+proptest! {
+    /// Reduction output is always reduced (idempotence).
+    #[test]
+    fn reduction_idempotent(actions in proptest::collection::vec(action_strategy(), 0..32)) {
+        let once = reduce_actions(&actions);
+        prop_assert!(is_reduced(&once));
+        prop_assert_eq!(reduce_actions(&once), once);
+    }
+
+    /// Reduction preserves the net graph effect (the paper's equivalence).
+    #[test]
+    fn reduction_preserves_net_effect(actions in alternating_actions()) {
+        let red = reduce_actions(&actions);
+        prop_assert_eq!(net_effect(&actions), net_effect(&red));
+    }
+
+    /// On alternating histories the reduced set is exactly the net effect:
+    /// one action per surviving edge, matching op.
+    #[test]
+    fn reduced_matches_net_effect_exactly(actions in alternating_actions()) {
+        let red = reduce_actions(&actions);
+        let net = net_effect(&actions);
+        prop_assert_eq!(red.len(), net.len());
+        for a in &red {
+            prop_assert_eq!(net.get(&a.triple()).copied(), Some(a.op));
+        }
+    }
+
+    /// Reduction never invents actions: survivors are a subset of input.
+    #[test]
+    fn reduction_is_subset(actions in proptest::collection::vec(action_strategy(), 0..32)) {
+        let red = reduce_actions(&actions);
+        for a in &red {
+            prop_assert!(actions.contains(a));
+        }
+        prop_assert!(red.len() <= actions.len());
+    }
+
+    /// The size deficit is always even: cancellations remove pairs.
+    #[test]
+    fn cancellations_come_in_pairs(actions in proptest::collection::vec(action_strategy(), 0..32)) {
+        let red = reduce_actions(&actions);
+        prop_assert_eq!((actions.len() - red.len()) % 2, 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Generator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Knobs of the synthetic-corpus generator.
+///
+/// Defaults are calibrated so that the evaluation harness lands near the
+/// paper's §6.3 quality numbers; the calibration targets are documented on
+/// each field.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Number of seed-type entities to generate (the paper samples
+    /// 100–1000 seeds per domain).
+    pub seed_count: usize,
+    /// RNG seed for reproducibility.
+    pub rng_seed: u64,
+    /// Probability that a performed action is accompanied by a revert pair
+    /// (action, inverse, action) — the noise reduction removes.
+    pub revert_rate: f64,
+    /// Expected vandalism edits (red-link insert + revert) per hundred
+    /// entities.
+    pub vandalism_per_100_entities: f64,
+    /// Spurious one-sided edits, as a fraction of planted errors. These are
+    /// *intentional* partial-looking edits; they keep the verified-error
+    /// fraction below 100% (paper: 78–82%).
+    pub spurious_factor: f64,
+    /// Fraction of planted errors corrected during the second year
+    /// (paper: 67.8–71.6% per domain; domains override this).
+    pub correction_rate: f64,
+    /// Number of distractor entities (cities, bands, albums) whose churn
+    /// inflates the full edits graph the `PM−inc` baselines must
+    /// materialize.
+    pub distractor_entities: usize,
+    /// Expected number of distractor link edits per distractor entity over
+    /// the year.
+    pub distractor_edits_per_entity: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            seed_count: 500,
+            rng_seed: 0xC1EA11,
+            revert_rate: 0.12,
+            vandalism_per_100_entities: 4.0,
+            spurious_factor: 0.035,
+            correction_rate: 0.70,
+            distractor_entities: 200,
+            distractor_edits_per_entity: 3.0,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// A smaller, faster corpus for unit tests.
+    pub fn tiny(rng_seed: u64) -> Self {
+        Self {
+            seed_count: 40,
+            rng_seed,
+            distractor_entities: 20,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SynthConfig::default();
+        assert!(c.seed_count >= 100);
+        assert!((0.0..=1.0).contains(&c.revert_rate));
+        assert!((0.0..=1.0).contains(&c.correction_rate));
+    }
+
+    #[test]
+    fn tiny_is_smaller() {
+        let t = SynthConfig::tiny(1);
+        assert!(t.seed_count < SynthConfig::default().seed_count);
+        assert_eq!(t.rng_seed, 1);
+    }
+}

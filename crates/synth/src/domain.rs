@@ -1,0 +1,338 @@
+//! Domain specifications: taxonomy branches, populations, initial state
+//! rules and event templates for one Wikipedia domain.
+
+use crate::template::{EventTemplate, RoleBinding, TemplateAction};
+use serde::{Deserialize, Serialize};
+use wiclean_core::abstract_action::AbstractAction;
+use wiclean_core::pattern::Pattern;
+use wiclean_core::var::Var;
+use wiclean_types::{TypeId, Universe};
+
+/// How many entities a population gets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Count {
+    /// Exactly this many.
+    Fixed(usize),
+    /// `max(min, seed_count × ratio)`.
+    PerSeed {
+        /// Entities per seed entity.
+        ratio: f64,
+        /// Lower bound.
+        min: usize,
+    },
+}
+
+impl Count {
+    /// Resolves the count for a given seed population size.
+    pub fn resolve(&self, seed_count: usize) -> usize {
+        match *self {
+            Count::Fixed(n) => n,
+            Count::PerSeed { ratio, min } => ((seed_count as f64 * ratio) as usize).max(min),
+        }
+    }
+}
+
+/// One entity population of a domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Population {
+    /// Path of type names from the taxonomy root (created if missing).
+    pub ty_path: Vec<String>,
+    /// Entity name prefix, e.g. `Soccer Player`.
+    pub name_prefix: String,
+    /// Population size.
+    pub count: Count,
+}
+
+/// Initial-state rule: every entity of `src_ty` starts with `per_entity`
+/// links via `rel` to random entities of `tgt_ty`; if `reciprocal` is set,
+/// the target page links back via that relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InitLink {
+    /// Source entity type name.
+    pub src_ty: String,
+    /// Relation label.
+    pub rel: String,
+    /// Target entity type name.
+    pub tgt_ty: String,
+    /// Links per source entity.
+    pub per_entity: usize,
+    /// Optional reciprocal relation on the target page.
+    pub reciprocal: Option<String>,
+}
+
+/// A complete domain description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainSpec {
+    /// Domain name (`soccer`, `cinematography`, `us_politicians`).
+    pub name: String,
+    /// Seed type name (must match one population's leaf type).
+    pub seed_type: String,
+    /// Entity populations (the first must be the seed population).
+    pub populations: Vec<Population>,
+    /// All relation labels the domain uses.
+    pub relations: Vec<String>,
+    /// Initial-state rules applied before the simulated year starts.
+    pub init: Vec<InitLink>,
+    /// The scripted event templates — the domain's ground-truth "expert
+    /// pattern list".
+    pub templates: Vec<EventTemplate>,
+}
+
+impl DomainSpec {
+    /// Validates all templates.
+    pub fn validate(&self) {
+        assert!(
+            self.populations
+                .first()
+                .is_some_and(|p| p.ty_path.last() == Some(&self.seed_type)),
+            "domain `{}`: first population must be the seed type",
+            self.name
+        );
+        for t in &self.templates {
+            t.validate();
+        }
+    }
+
+    /// The type name a role binds to (base-template roles only).
+    pub fn role_type<'a>(&'a self, template: &'a EventTemplate, role: usize) -> &'a str {
+        match &template.roles[role].1 {
+            RoleBinding::Seed => &self.seed_type,
+            RoleBinding::Fresh { ty, .. } => ty,
+            RoleBinding::ExistingTarget { ty, .. } => ty,
+        }
+    }
+
+    /// The canonical expert pattern of a template (over the leaf types the
+    /// roles declare), as the miner should discover it.
+    pub fn expert_pattern(&self, template: &EventTemplate, universe: &Universe) -> Pattern {
+        let actions = template_abstract_actions(
+            &self.seed_type,
+            &template.roles,
+            &template.actions,
+            universe,
+        );
+        Pattern::canonical_from(&actions)
+    }
+
+    /// The expert pattern of a template extension: parent actions plus the
+    /// extension's, over the combined role list.
+    pub fn expert_extension_pattern(
+        &self,
+        template: &EventTemplate,
+        ext_ix: usize,
+        universe: &Universe,
+    ) -> Pattern {
+        let ext = &template.extensions[ext_ix];
+        let mut roles = template.roles.clone();
+        roles.extend(ext.roles.iter().cloned());
+        let mut actions = template.actions.clone();
+        actions.extend(ext.actions.iter().cloned());
+        let abstract_actions =
+            template_abstract_actions(&self.seed_type, &roles, &actions, universe);
+        Pattern::canonical_from(&abstract_actions)
+    }
+
+    /// All expert patterns with their names and windowed-ness — the list
+    /// handed to the evaluation as the paper handed expert lists to WC.
+    pub fn expert_list(&self, universe: &Universe) -> Vec<(String, Pattern, bool)> {
+        self.templates
+            .iter()
+            .map(|t| {
+                (
+                    t.name.clone(),
+                    self.expert_pattern(t, universe),
+                    t.window.is_windowed(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Maps template roles to typed variables (one index per same-type role)
+/// and template actions to abstract actions.
+fn template_abstract_actions(
+    seed_type: &str,
+    roles: &[(String, RoleBinding)],
+    actions: &[TemplateAction],
+    universe: &Universe,
+) -> Vec<AbstractAction> {
+    let tax = universe.taxonomy();
+    let type_of_role = |r: &RoleBinding| -> TypeId {
+        let name = match r {
+            RoleBinding::Seed => seed_type,
+            RoleBinding::Fresh { ty, .. } => ty,
+            RoleBinding::ExistingTarget { ty, .. } => ty,
+        };
+        tax.require(name)
+            .unwrap_or_else(|_| panic!("unknown role type `{name}`"))
+    };
+    // Assign per-type indices in role order.
+    let mut counters: std::collections::HashMap<TypeId, u8> = std::collections::HashMap::new();
+    let vars: Vec<Var> = roles
+        .iter()
+        .map(|(_, b)| {
+            let ty = type_of_role(b);
+            let c = counters.entry(ty).or_insert(0);
+            let v = Var::new(ty, *c);
+            *c += 1;
+            v
+        })
+        .collect();
+    actions
+        .iter()
+        .map(|a| {
+            let rel = universe
+                .lookup_relation(&a.rel)
+                .unwrap_or_else(|| panic!("unknown relation `{}`", a.rel));
+            AbstractAction::new(a.op, vars[a.source], rel, vars[a.target])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::WindowSpec;
+    use wiclean_wikitext::EditOp;
+
+    fn mini_domain() -> DomainSpec {
+        DomainSpec {
+            name: "mini".into(),
+            seed_type: "SoccerPlayer".into(),
+            populations: vec![
+                Population {
+                    ty_path: vec!["Agent".into(), "Person".into(), "SoccerPlayer".into()],
+                    name_prefix: "Player".into(),
+                    count: Count::PerSeed {
+                        ratio: 1.0,
+                        min: 1,
+                    },
+                },
+                Population {
+                    ty_path: vec!["Agent".into(), "Organisation".into(), "SoccerClub".into()],
+                    name_prefix: "Club".into(),
+                    count: Count::Fixed(4),
+                },
+            ],
+            relations: vec!["current_club".into(), "squad".into()],
+            init: vec![],
+            templates: vec![EventTemplate {
+                name: "transfer".into(),
+                roles: vec![
+                    ("player".into(), RoleBinding::Seed),
+                    (
+                        "club".into(),
+                        RoleBinding::Fresh {
+                            ty: "SoccerClub".into(),
+                            from_role: 0,
+                            rel: "current_club".into(),
+                        },
+                    ),
+                ],
+                actions: vec![
+                    TemplateAction::new(EditOp::Add, 0, "current_club", 1),
+                    TemplateAction::new(EditOp::Add, 1, "squad", 0),
+                ],
+                window: WindowSpec::Annual {
+                    start_day: 212,
+                    len_days: 14,
+                },
+                fire_rate: 0.5,
+                completion: 0.9,
+                extensions: vec![],
+                exclusive_group: None,
+            }],
+        }
+    }
+
+    fn mini_universe() -> Universe {
+        let mut u = Universe::new("Thing");
+        let root = u.taxonomy().root();
+        u.taxonomy_mut()
+            .add_path(root, &["Agent", "Person", "SoccerPlayer"])
+            .unwrap();
+        u.taxonomy_mut()
+            .add_path(root, &["Agent", "Organisation", "SoccerClub"])
+            .unwrap();
+        u.relation("current_club");
+        u.relation("squad");
+        u
+    }
+
+    #[test]
+    fn count_resolution() {
+        assert_eq!(Count::Fixed(7).resolve(1000), 7);
+        assert_eq!(
+            Count::PerSeed {
+                ratio: 0.1,
+                min: 4
+            }
+            .resolve(1000),
+            100
+        );
+        assert_eq!(
+            Count::PerSeed {
+                ratio: 0.1,
+                min: 4
+            }
+            .resolve(10),
+            4
+        );
+    }
+
+    #[test]
+    fn expert_pattern_is_canonical_two_action_pattern() {
+        let d = mini_domain();
+        d.validate();
+        let u = mini_universe();
+        let p = d.expert_pattern(&d.templates[0], &u);
+        assert_eq!(p.len(), 2);
+        // Both directions present: player→club and club→player.
+        let player = u.taxonomy().lookup("SoccerPlayer").unwrap();
+        assert!(p.is_connected(u.taxonomy(), player));
+    }
+
+    #[test]
+    fn expert_list_reports_windowedness() {
+        let d = mini_domain();
+        let u = mini_universe();
+        let list = d.expert_list(&u);
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].0, "transfer");
+        assert!(list[0].2);
+    }
+
+    #[test]
+    #[should_panic(expected = "first population must be the seed type")]
+    fn validate_checks_seed_population() {
+        let mut d = mini_domain();
+        d.populations.swap(0, 1);
+        d.validate();
+    }
+
+    #[test]
+    fn same_type_roles_get_distinct_vars() {
+        let mut d = mini_domain();
+        // Add an old-club role of the same type.
+        d.templates[0].roles.push((
+            "old_club".into(),
+            RoleBinding::ExistingTarget {
+                of_role: 0,
+                rel: "current_club".into(),
+                ty: "SoccerClub".into(),
+                avoid_cofiring: false,
+            },
+        ));
+        d.templates[0].actions.push(TemplateAction::new(
+            EditOp::Remove,
+            0,
+            "current_club",
+            2,
+        ));
+        let u = mini_universe();
+        let p = d.expert_pattern(&d.templates[0], &u);
+        assert_eq!(p.len(), 3);
+        let club = u.taxonomy().lookup("SoccerClub").unwrap();
+        assert_eq!(p.vars_of_type(club).len(), 2, "two distinct club vars");
+    }
+}

@@ -1,0 +1,868 @@
+//! The corpus generator: turns a [`DomainSpec`] into a universe, a
+//! two-year revision store, and exact ground truth.
+//!
+//! Everything the miner sees goes through the real pipeline: the generator
+//! keeps a live [`PageLinks`] state per page, and after every link edit it
+//! re-renders the page to wikitext and appends a revision — exactly like
+//! editors saving pages. Planted event instances are scheduled on a global
+//! clock, so per-page revision timestamps are naturally monotone.
+
+use crate::config::SynthConfig;
+use crate::domain::{DomainSpec, InitLink};
+use crate::template::{EventTemplate, RoleBinding, TemplateAction, WindowSpec};
+use crate::truth::{ConcreteEdit, GroundTruth, PlantedError, PlantedEvent, SpuriousEdit};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+use wiclean_revstore::RevisionStore;
+use wiclean_types::{EntityId, Timestamp, TypeId, Universe, DAY, HOUR, MINUTE, WEEK, YEAR};
+use wiclean_wikitext::render::render_links;
+use wiclean_wikitext::{EditOp, PageLinks};
+
+/// A generated world: universe + two-year revision store + ground truth.
+pub struct SynthWorld {
+    /// The vocabulary and entity catalog.
+    pub universe: Universe,
+    /// Two years of page revisions.
+    pub store: RevisionStore,
+    /// What was planted.
+    pub truth: GroundTruth,
+    /// The domain that produced it.
+    pub domain: DomainSpec,
+    /// The generator configuration used.
+    pub config: SynthConfig,
+    /// Resolved seed type.
+    pub seed_type: TypeId,
+    /// The seed entities.
+    pub seeds: Vec<EntityId>,
+}
+
+impl SynthWorld {
+    /// The mining timeline of "year one": starts after the page-creation
+    /// period (first two weeks) so creation edits don't masquerade as
+    /// coordinated patterns; ends at the year boundary.
+    pub fn mining_span(&self) -> (Timestamp, Timestamp) {
+        (2 * WEEK, YEAR)
+    }
+
+    /// The second-year span (the "2019" correction log).
+    pub fn year2_span(&self) -> (Timestamp, Timestamp) {
+        (YEAR, 2 * YEAR)
+    }
+
+    /// The expert pattern list for this world's domain.
+    pub fn expert_list(&self) -> Vec<(String, wiclean_core::pattern::Pattern, bool)> {
+        self.domain.expert_list(&self.universe)
+    }
+}
+
+/// Mutable world-building state.
+struct Engine {
+    universe: Universe,
+    store: RevisionStore,
+    state: HashMap<EntityId, PageLinks>,
+    infobox: HashMap<EntityId, String>,
+    rng: StdRng,
+    truth: GroundTruth,
+}
+
+impl Engine {
+    /// Records the current state of `e` as a revision at `time` (bumped to
+    /// stay monotone per page — `PageHistory` enforces this).
+    fn snapshot(&mut self, e: EntityId, time: Timestamp) {
+        let t = self
+            .store
+            .peek(e)
+            .and_then(|h| h.revisions().last().map(|r| r.time + 1))
+            .map_or(time, |min| time.max(min));
+        let kind = self.infobox.get(&e).cloned().unwrap_or_default();
+        let text = render_links(
+            self.universe.entity_name(e),
+            &kind,
+            self.state.get(&e).unwrap_or(&PageLinks::default()),
+        );
+        self.store.record(e, t, text);
+    }
+
+    /// Whether `edit` is applicable to the current state.
+    fn applicable(&self, edit: &ConcreteEdit) -> bool {
+        let rel = self
+            .universe
+            .relation_name(wiclean_types::RelId::from_u32(edit.rel))
+            .to_owned();
+        let target = self.universe.entity_name(edit.target).to_owned();
+        let has = self
+            .state
+            .get(&edit.source)
+            .is_some_and(|p| p.contains(&rel, &target));
+        match edit.op {
+            EditOp::Add => !has,
+            EditOp::Remove => has,
+        }
+    }
+
+    /// Applies `edit` to the page state and records the new revision.
+    /// Panics if inapplicable (callers must check).
+    fn apply(&mut self, edit: &ConcreteEdit, time: Timestamp) {
+        let rel = self
+            .universe
+            .relation_name(wiclean_types::RelId::from_u32(edit.rel))
+            .to_owned();
+        let target = self.universe.entity_name(edit.target).to_owned();
+        let page = self.state.entry(edit.source).or_default();
+        match edit.op {
+            EditOp::Add => {
+                assert!(page.insert(&rel, &target), "inapplicable add");
+            }
+            EditOp::Remove => {
+                assert!(
+                    page.links.remove(&(rel.clone(), target.clone())),
+                    "inapplicable remove"
+                );
+            }
+        }
+        self.snapshot(edit.source, time);
+    }
+
+    /// Applies `edit`, optionally wrapped in revert noise: the edit, its
+    /// inverse, and the edit again — the `R = 0` churn of Figure 1.
+    fn apply_noisy(&mut self, edit: &ConcreteEdit, time: Timestamp, revert_rate: f64) {
+        self.apply(edit, time);
+        if self.rng.gen_bool(revert_rate) {
+            let inverse = ConcreteEdit {
+                op: edit.op.inverse(),
+                ..*edit
+            };
+            self.apply(&inverse, time + 23 * MINUTE);
+            self.apply(edit, time + 61 * MINUTE);
+        }
+    }
+
+    /// Entities of a type (by name), exact leaf populations included.
+    fn entities_of(&self, ty_name: &str) -> Vec<EntityId> {
+        let ty = self
+            .universe
+            .taxonomy()
+            .require(ty_name)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.universe.entities_of(ty)
+    }
+
+    /// The entities currently linked from `page` via `rel`.
+    fn linked_targets(&self, page: EntityId, rel: &str) -> Vec<EntityId> {
+        let Some(links) = self.state.get(&page) else {
+            return Vec::new();
+        };
+        links
+            .links
+            .iter()
+            .filter(|(r, _)| r == rel)
+            .filter_map(|(_, t)| self.universe.entities().lookup(t))
+            .collect()
+    }
+
+    /// Whether `page` links to `target` via `rel`.
+    fn has_link(&self, page: EntityId, rel: &str, target: EntityId) -> bool {
+        self.state.get(&page).is_some_and(|p| {
+            p.contains(rel, self.universe.entity_name(target))
+        })
+    }
+}
+
+/// One scheduled job on the simulation clock.
+enum Job {
+    Event {
+        template_ix: usize,
+        seed: EntityId,
+    },
+    Spurious {
+        template_ix: usize,
+    },
+    Vandalism,
+    DistractorEdit,
+}
+
+/// Generates a world from a domain spec and configuration.
+pub fn generate(domain: DomainSpec, config: SynthConfig) -> SynthWorld {
+    domain.validate();
+    let mut rng = StdRng::seed_from_u64(config.rng_seed);
+
+    // ---- Universe -------------------------------------------------------
+    let mut universe = Universe::new("Thing");
+    let root = universe.taxonomy().root();
+    for rel in &domain.relations {
+        universe.relation(rel);
+    }
+    for rel in ["located_in", "band_member", "released_album"] {
+        universe.relation(rel);
+    }
+
+    let mut infobox: HashMap<EntityId, String> = HashMap::new();
+    let mut populations: HashMap<String, Vec<EntityId>> = HashMap::new();
+    for pop in &domain.populations {
+        let ty = {
+            let path: Vec<&str> = pop.ty_path.iter().map(String::as_str).collect();
+            universe.taxonomy_mut().add_path(root, &path).unwrap()
+        };
+        let n = pop.count.resolve(config.seed_count);
+        let leaf = pop.ty_path.last().unwrap().clone();
+        let mut ids = Vec::with_capacity(n);
+        for i in 0..n {
+            let e = universe
+                .add_entity(&format!("{} {i:04}", pop.name_prefix), ty)
+                .unwrap();
+            infobox.insert(e, leaf.to_lowercase());
+            ids.push(e);
+        }
+        populations.insert(leaf, ids);
+    }
+
+    // Distractor populations shared by every domain.
+    let mut distractors: Vec<EntityId> = Vec::new();
+    for (i, (path, prefix)) in [
+        (vec!["Place", "City"], "City"),
+        (vec!["Agent", "Organisation", "MusicBand"], "Band"),
+        (vec!["Work", "Album"], "Album"),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let ty = universe.taxonomy_mut().add_path(root, &path).unwrap();
+        let n = config.distractor_entities / 3 + usize::from(i == 0);
+        for j in 0..n {
+            let e = universe
+                .add_entity(&format!("{prefix} {j:04}"), ty)
+                .unwrap();
+            infobox.insert(e, prefix.to_lowercase());
+            distractors.push(e);
+        }
+    }
+
+    let seed_type = universe.taxonomy().require(&domain.seed_type).unwrap();
+    let seeds = populations[&domain.seed_type].clone();
+
+    let mut engine = Engine {
+        universe,
+        store: RevisionStore::new(),
+        state: HashMap::new(),
+        infobox,
+        rng: StdRng::seed_from_u64(config.rng_seed.wrapping_add(1)),
+        truth: GroundTruth::default(),
+    };
+
+    // ---- Initial state (day 0) ------------------------------------------
+    apply_init_rules(&mut engine, &domain.init, &populations, &mut rng);
+    // Creation revisions for every page within the first hour.
+    let mut all_entities: Vec<EntityId> = engine.universe.entities().iter().collect();
+    all_entities.sort_unstable();
+    for &e in &all_entities {
+        engine.state.entry(e).or_default();
+        let t = rng.gen_range(0..HOUR);
+        engine.snapshot(e, t);
+    }
+
+    // ---- Schedule year-one jobs -----------------------------------------
+    // Templates in the same exclusivity group draw *disjoint* seed samples
+    // (a player transfers or retires in a year, never both) so that
+    // year-wide reduction cannot cancel one event's edits against the
+    // other's. Each group keeps a shuffled pool and templates take their
+    // quota from its front.
+    let mut group_pools: HashMap<String, Vec<EntityId>> = HashMap::new();
+    for template in &domain.templates {
+        if let Some(g) = &template.exclusive_group {
+            group_pools.entry(g.clone()).or_insert_with(|| {
+                let mut pool = seeds.clone();
+                pool.shuffle(&mut rng);
+                pool
+            });
+        }
+    }
+
+    let mut jobs: Vec<(Timestamp, Job)> = Vec::new();
+    let mut expected_errors = 0.0f64;
+    let mut firing_sets: Vec<std::collections::HashSet<EntityId>> =
+        vec![Default::default(); domain.templates.len()];
+    engine.truth.planned_events = vec![0; domain.templates.len()];
+    engine.truth.skipped_events = vec![0; domain.templates.len()];
+    for (tix, template) in domain.templates.iter().enumerate() {
+        let (span_start, span_end) = match template.window {
+            WindowSpec::Annual { .. } => template.window.span(0),
+            // Window-less templates spread over the year, after creation.
+            WindowSpec::Uniform => (2 * WEEK, YEAR),
+        };
+        // Leave room for per-action jitter at the window tail.
+        let jitter_budget = ((span_end - span_start) / 5).max(HOUR);
+
+        let firing: Vec<EntityId> = match &template.exclusive_group {
+            Some(g) => {
+                let pool = group_pools.get_mut(g).expect("group pool exists");
+                let quota = ((seeds.len() as f64) * template.fire_rate).round() as usize;
+                let take = quota.min(pool.len());
+                pool.split_off(pool.len() - take)
+            }
+            None => seeds
+                .iter()
+                .copied()
+                .filter(|_| rng.gen_bool(template.fire_rate))
+                .collect(),
+        };
+        for seed in firing {
+            engine.truth.planned_events[tix] += 1;
+            firing_sets[tix].insert(seed);
+            let base = rng.gen_range(span_start..span_end - jitter_budget);
+            jobs.push((base, Job::Event {
+                template_ix: tix,
+                seed,
+            }));
+            expected_errors +=
+                (template.actions.len() - 1) as f64 * (1.0 - template.completion);
+        }
+    }
+
+    // Spurious one-sided edits, calibrated as a fraction of the expected
+    // planted errors (§6.3: they keep the verified fraction below 100%).
+    let windowed: Vec<usize> = domain
+        .templates
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.window.is_windowed() && t.actions.len() >= 2)
+        .map(|(i, _)| i)
+        .collect();
+    let spurious_target = (expected_errors * config.spurious_factor).round() as usize;
+    for _ in 0..spurious_target {
+        if windowed.is_empty() {
+            break;
+        }
+        let tix = windowed[rng.gen_range(0..windowed.len())];
+        let (s, e) = domain.templates[tix].window.span(0);
+        let t = rng.gen_range(s..e);
+        jobs.push((t, Job::Spurious { template_ix: tix }));
+    }
+
+    // Vandalism and distractor churn.
+    let vandal_count =
+        (all_entities.len() as f64 * config.vandalism_per_100_entities / 100.0) as usize;
+    for _ in 0..vandal_count {
+        jobs.push((rng.gen_range(2 * WEEK..YEAR), Job::Vandalism));
+    }
+    let distractor_edits =
+        (distractors.len() as f64 * config.distractor_edits_per_entity) as usize;
+    for _ in 0..distractor_edits {
+        jobs.push((rng.gen_range(2 * WEEK..YEAR), Job::DistractorEdit));
+    }
+
+    jobs.sort_by_key(|(t, _)| *t);
+
+    // ---- Execute year one -----------------------------------------------
+    for (time, job) in jobs {
+        match job {
+            Job::Event { template_ix, seed } => {
+                fire_event(
+                    &mut engine,
+                    &domain,
+                    template_ix,
+                    seed,
+                    time,
+                    &config,
+                    &firing_sets[template_ix],
+                );
+            }
+            Job::Spurious { template_ix } => {
+                fire_spurious(
+                    &mut engine,
+                    &domain,
+                    template_ix,
+                    &seeds,
+                    time,
+                    &firing_sets[template_ix],
+                );
+            }
+            Job::Vandalism => {
+                fire_vandalism(&mut engine, &all_entities, &domain, time);
+            }
+            Job::DistractorEdit => {
+                fire_distractor(&mut engine, &distractors, time);
+            }
+        }
+    }
+
+    // ---- Year two: corrections ------------------------------------------
+    let mut corrections: Vec<(Timestamp, usize)> = Vec::new();
+    for (ix, _) in engine.truth.errors.iter().enumerate() {
+        if engine.rng.gen_bool(config.correction_rate) {
+            corrections.push((engine.rng.gen_range(YEAR..2 * YEAR - DAY), ix));
+        }
+    }
+    corrections.sort_unstable();
+    for (time, ix) in corrections {
+        let missing = engine.truth.errors[ix].missing;
+        if engine.applicable(&missing) {
+            engine.apply(&missing, time);
+            engine.truth.errors[ix].corrected_in_y2 = true;
+            engine.truth.errors[ix].correction_time = Some(time);
+        }
+    }
+
+    SynthWorld {
+        universe: engine.universe,
+        store: engine.store,
+        truth: engine.truth,
+        domain,
+        config,
+        seed_type,
+        seeds,
+    }
+}
+
+/// Applies the domain's initial-state link rules (before any revision is
+/// recorded — the creation snapshot includes them).
+fn apply_init_rules(
+    engine: &mut Engine,
+    rules: &[InitLink],
+    populations: &HashMap<String, Vec<EntityId>>,
+    rng: &mut StdRng,
+) {
+    for rule in rules {
+        let sources = populations
+            .get(&rule.src_ty)
+            .unwrap_or_else(|| panic!("init rule: unknown type `{}`", rule.src_ty))
+            .clone();
+        let targets = populations
+            .get(&rule.tgt_ty)
+            .unwrap_or_else(|| panic!("init rule: unknown type `{}`", rule.tgt_ty))
+            .clone();
+        assert!(!targets.is_empty(), "init rule with empty target population");
+        for &src in &sources {
+            let mut chosen: Vec<EntityId> = Vec::new();
+            let mut guard = 0;
+            while chosen.len() < rule.per_entity && guard < 50 {
+                guard += 1;
+                let t = targets[rng.gen_range(0..targets.len())];
+                if t != src && !chosen.contains(&t) {
+                    chosen.push(t);
+                }
+            }
+            for t in chosen {
+                let tname = engine.universe.entity_name(t).to_owned();
+                engine
+                    .state
+                    .entry(src)
+                    .or_default()
+                    .insert(&rule.rel, &tname);
+                if let Some(rec) = &rule.reciprocal {
+                    let sname = engine.universe.entity_name(src).to_owned();
+                    engine.state.entry(t).or_default().insert(rec, &sname);
+                }
+            }
+        }
+    }
+}
+
+/// Resolves a role binding to an entity, given the already-bound roles.
+fn resolve_role(
+    engine: &mut Engine,
+    binding: &RoleBinding,
+    bound: &[EntityId],
+    seed: EntityId,
+    firing: &std::collections::HashSet<EntityId>,
+) -> Option<EntityId> {
+    match binding {
+        RoleBinding::Seed => Some(seed),
+        RoleBinding::Fresh { ty, from_role, rel } => {
+            let from = *bound.get(*from_role)?;
+            let pool = engine.entities_of(ty);
+            if pool.is_empty() {
+                return None;
+            }
+            for _ in 0..30 {
+                let cand = pool[engine.rng.gen_range(0..pool.len())];
+                if !bound.contains(&cand) && !engine.has_link(from, rel, cand) {
+                    return Some(cand);
+                }
+            }
+            None
+        }
+        RoleBinding::ExistingTarget {
+            of_role,
+            rel,
+            avoid_cofiring,
+            ..
+        } => {
+            let of = *bound.get(*of_role)?;
+            let mut targets = engine.linked_targets(of, rel);
+            targets.retain(|t| !bound.contains(t));
+            if *avoid_cofiring {
+                targets.retain(|t| !firing.contains(t));
+            }
+            if targets.is_empty() {
+                None
+            } else {
+                Some(targets[engine.rng.gen_range(0..targets.len())])
+            }
+        }
+    }
+}
+
+/// Resolves a template action against bound roles into a concrete edit.
+fn concretize(
+    engine: &Engine,
+    action: &TemplateAction,
+    bound: &[EntityId],
+) -> ConcreteEdit {
+    let rel = engine
+        .universe
+        .lookup_relation(&action.rel)
+        .unwrap_or_else(|| panic!("unknown relation `{}`", action.rel))
+        .as_u32();
+    ConcreteEdit {
+        op: action.op,
+        source: bound[action.source],
+        rel,
+        target: bound[action.target],
+    }
+}
+
+/// Fires one event instance: resolves roles, checks applicability, applies
+/// the performed actions, and records the ground truth.
+#[allow(clippy::too_many_arguments)]
+fn fire_event(
+    engine: &mut Engine,
+    domain: &DomainSpec,
+    template_ix: usize,
+    seed: EntityId,
+    base_time: Timestamp,
+    config: &SynthConfig,
+    firing: &std::collections::HashSet<EntityId>,
+) {
+    let template: &EventTemplate = &domain.templates[template_ix];
+
+    // Resolve base roles and check applicability, redrawing the random
+    // bindings on failure (e.g. an `avoid_cofiring` target whose only
+    // candidate is itself firing, or a Fresh draw colliding with state):
+    // a blocked editor would simply pick a different page, not abandon the
+    // edit. Give up after a few attempts so impossible events still skip.
+    let mut resolved: Option<(Vec<EntityId>, Vec<ConcreteEdit>)> = None;
+    for _attempt in 0..10 {
+        let mut bound: Vec<EntityId> = Vec::with_capacity(template.roles.len());
+        let mut ok = true;
+        for (_, binding) in &template.roles {
+            match resolve_role(engine, binding, &bound, seed, firing) {
+                Some(e) => bound.push(e),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // All base actions must be applicable for the instance to fire
+        // (keeps the ground truth free of state-conflict noise). Point
+        // checks suffice: template actions touch distinct link slots.
+        let edits: Vec<ConcreteEdit> = template
+            .actions
+            .iter()
+            .map(|a| concretize(engine, a, &bound))
+            .collect();
+        if edits.iter().all(|e| engine.applicable(e)) {
+            resolved = Some((bound, edits));
+            break;
+        }
+    }
+    let Some((mut bound, edits)) = resolved else {
+        engine.truth.skipped_events[template_ix] += 1;
+        return; // unresolvable — the event does not happen
+    };
+
+    // Decide which sub-flows fire and resolve their roles.
+    let mut ext_fired = Vec::with_capacity(template.extensions.len());
+    let mut ext_edits: Vec<Vec<ConcreteEdit>> = Vec::new();
+    for ext in &template.extensions {
+        let mut fired = engine.rng.gen_bool(ext.probability);
+        let mut resolved = Vec::new();
+        if fired {
+            let mut ext_bound = bound.clone();
+            for (_, binding) in &ext.roles {
+                match resolve_role(engine, binding, &ext_bound, seed, firing) {
+                    Some(e) => ext_bound.push(e),
+                    None => {
+                        fired = false;
+                        break;
+                    }
+                }
+            }
+            if fired {
+                resolved = ext
+                    .actions
+                    .iter()
+                    .map(|a| concretize(engine, a, &ext_bound))
+                    .collect();
+                if !resolved.iter().all(|e| engine.applicable(e)) {
+                    fired = false;
+                    resolved = Vec::new();
+                }
+                bound = ext_bound;
+            }
+        }
+        ext_fired.push(fired);
+        ext_edits.push(resolved);
+    }
+
+    // Perform the base actions with per-action jitter; skip non-trigger
+    // actions with probability 1 − completion (planting errors).
+    let event_ix = engine.truth.events.len();
+    let mut performed = Vec::with_capacity(edits.len());
+    let mut t = base_time;
+    for (i, edit) in edits.iter().enumerate() {
+        let done = i == 0 || engine.rng.gen_bool(template.completion);
+        performed.push(done);
+        if done {
+            engine.apply_noisy(edit, t, config.revert_rate);
+        } else {
+            engine.truth.errors.push(PlantedError {
+                event_ix,
+                action_ix: i,
+                missing: *edit,
+                corrected_in_y2: false,
+                correction_time: None,
+            });
+        }
+        t += engine.rng.gen_range(10 * MINUTE..4 * HOUR);
+    }
+
+    // Extension actions are fully performed when the sub-flow fires.
+    for resolved in &ext_edits {
+        for edit in resolved {
+            engine.apply_noisy(edit, t, config.revert_rate);
+            t += engine.rng.gen_range(10 * MINUTE..2 * HOUR);
+        }
+    }
+
+    engine.truth.events.push(PlantedEvent {
+        template_ix,
+        seed,
+        bindings: bound,
+        time: base_time,
+        performed,
+        extensions_fired: ext_fired,
+    });
+}
+
+/// Fires one spurious one-sided edit mimicking `template`'s second action,
+/// choosing participants so that no matching trigger exists.
+fn fire_spurious(
+    engine: &mut Engine,
+    domain: &DomainSpec,
+    template_ix: usize,
+    seeds: &[EntityId],
+    time: Timestamp,
+    firing: &std::collections::HashSet<EntityId>,
+) {
+    let template = &domain.templates[template_ix];
+    // Mimic the first non-trigger action.
+    let Some((action_ix, action)) = template
+        .actions
+        .iter()
+        .enumerate()
+        .find(|(i, a)| *i > 0 && a.source != 0)
+    else {
+        return;
+    };
+    let _ = action_ix;
+
+    // Resolve the roles the action touches: the seed role with a seed that
+    // did NOT fire this template, others via their bindings.
+    let fired_seeds: std::collections::HashSet<EntityId> = engine
+        .truth
+        .events_of_template(template_ix)
+        .map(|e| e.seed)
+        .collect();
+    let candidates: Vec<EntityId> = seeds
+        .iter()
+        .copied()
+        .filter(|s| !fired_seeds.contains(s))
+        .collect();
+    if candidates.is_empty() {
+        return;
+    }
+    let seed = candidates[engine.rng.gen_range(0..candidates.len())];
+
+    let mut bound: Vec<EntityId> = Vec::new();
+    for (_, binding) in &template.roles {
+        match resolve_role(engine, binding, &bound, seed, firing) {
+            Some(e) => bound.push(e),
+            None => return,
+        }
+    }
+    let edit = concretize(engine, action, &bound);
+    if !engine.applicable(&edit) {
+        return;
+    }
+    engine.apply(&edit, time);
+    engine.truth.spurious.push(SpuriousEdit {
+        template_ix,
+        edit,
+        time,
+    });
+}
+
+/// Adds a red link to a random page, reverted an hour later.
+fn fire_vandalism(
+    engine: &mut Engine,
+    entities: &[EntityId],
+    domain: &DomainSpec,
+    time: Timestamp,
+) {
+    let e = entities[engine.rng.gen_range(0..entities.len())];
+    let rel = domain.relations[engine.rng.gen_range(0..domain.relations.len())].clone();
+    let n = engine.truth.vandalism_count;
+    let red = format!("Vandal Target {n}");
+    let inserted = engine.state.entry(e).or_default().insert(&rel, &red);
+    if !inserted {
+        return;
+    }
+    engine.snapshot(e, time);
+    engine
+        .state
+        .get_mut(&e)
+        .unwrap()
+        .links
+        .remove(&(rel, red));
+    engine.snapshot(e, time + HOUR);
+    engine.truth.vandalism_count += 1;
+}
+
+/// Toggles a random distractor-to-distractor link.
+fn fire_distractor(engine: &mut Engine, distractors: &[EntityId], time: Timestamp) {
+    if distractors.len() < 2 {
+        return;
+    }
+    let a = distractors[engine.rng.gen_range(0..distractors.len())];
+    let mut b = a;
+    while b == a {
+        b = distractors[engine.rng.gen_range(0..distractors.len())];
+    }
+    let rel = ["located_in", "band_member", "released_album"]
+        [engine.rng.gen_range(0..3)]
+    .to_owned();
+    let bname = engine.universe.entity_name(b).to_owned();
+    let page = engine.state.entry(a).or_default();
+    if page.contains(&rel, &bname) {
+        page.links.remove(&(rel, bname));
+    } else {
+        page.insert(&rel, &bname);
+    }
+    engine.snapshot(a, time);
+    engine.truth.distractor_edit_count += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+
+    #[test]
+    fn generates_consistent_soccer_world() {
+        let world = generate(scenarios::soccer(), SynthConfig::tiny(7));
+        assert_eq!(world.seeds.len(), 40);
+        assert!(world.store.page_count() > 40);
+        assert!(!world.truth.events.is_empty(), "events fired");
+        assert!(!world.truth.errors.is_empty(), "errors planted");
+        // Every planted error's event exists and skipped the right action.
+        for err in &world.truth.errors {
+            let ev = &world.truth.events[err.event_ix];
+            assert!(!ev.performed[err.action_ix]);
+        }
+    }
+
+    #[test]
+    fn corrections_land_in_year_two() {
+        let world = generate(scenarios::soccer(), SynthConfig::tiny(11));
+        let corrected: Vec<_> = world
+            .truth
+            .errors
+            .iter()
+            .filter(|e| e.corrected_in_y2)
+            .collect();
+        assert!(!corrected.is_empty());
+        for e in &corrected {
+            let t = e.correction_time.unwrap();
+            assert!(t >= YEAR && t < 2 * YEAR);
+        }
+        // Correction fraction lands near the configured rate.
+        let frac = world.truth.correction_fraction();
+        assert!(
+            (frac - world.config.correction_rate).abs() < 0.2,
+            "correction fraction {frac} far from target"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(scenarios::politics(), SynthConfig::tiny(42));
+        let b = generate(scenarios::politics(), SynthConfig::tiny(42));
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.store.revision_count(), b.store.revision_count());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(scenarios::cinema(), SynthConfig::tiny(1));
+        let b = generate(scenarios::cinema(), SynthConfig::tiny(2));
+        assert_ne!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn revision_timestamps_are_monotone_per_page() {
+        let world = generate(scenarios::soccer(), SynthConfig::tiny(3));
+        for e in world.store.entities() {
+            let h = world.store.peek(e).unwrap();
+            let times: Vec<_> = h.revisions().iter().map(|r| r.time).collect();
+            for w in times.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn exclusive_groups_draw_disjoint_seeds() {
+        let mut domain = scenarios::soccer();
+        // Put transfer and retirement in one group and check disjointness.
+        domain.templates[0].exclusive_group = Some("career".into());
+        domain.templates[4].exclusive_group = Some("career".into());
+        assert_eq!(domain.templates[4].name, "retirement");
+        let world = generate(domain, SynthConfig::tiny(9));
+        let transfer_seeds: std::collections::HashSet<_> =
+            world.truth.events_of_template(0).map(|e| e.seed).collect();
+        let retire_seeds: std::collections::HashSet<_> =
+            world.truth.events_of_template(4).map(|e| e.seed).collect();
+        assert!(
+            transfer_seeds.is_disjoint(&retire_seeds),
+            "exclusive templates fired for a shared seed"
+        );
+        assert!(!transfer_seeds.is_empty());
+        assert!(!retire_seeds.is_empty());
+    }
+
+    #[test]
+    fn skip_accounting_is_consistent() {
+        let world = generate(scenarios::politics(), SynthConfig::tiny(5));
+        for (tix, _) in world.domain.templates.iter().enumerate() {
+            let fired = world.truth.events_of_template(tix).count();
+            assert_eq!(
+                fired + world.truth.skipped_events[tix],
+                world.truth.planned_events[tix],
+                "template {tix}: fired + skipped must equal planned"
+            );
+        }
+    }
+
+    #[test]
+    fn vandalism_targets_are_unresolvable() {
+        let world = generate(scenarios::soccer(), SynthConfig::tiny(5));
+        assert!(world.truth.vandalism_count > 0);
+        // Red-link names are not registered entities.
+        assert!(world.universe.entities().lookup("Vandal Target 0").is_none());
+    }
+}

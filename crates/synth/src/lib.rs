@@ -1,0 +1,38 @@
+//! Synthetic Wikipedia generator — WiClean's data substitution.
+//!
+//! The paper evaluates on crawled 2018/2019 English-Wikipedia revision
+//! logs; those are not available offline, so this crate generates an
+//! equivalent corpus that exercises the identical code path
+//! (wikitext snapshots → parse → diff → reduce → mine):
+//!
+//! * three domains matching the paper's — **soccer**, **cinematography**
+//!   and **US politicians** — each with a type taxonomy branch, entity
+//!   populations, and a list of scripted [`template::EventTemplate`]s
+//!   (the "expert pattern lists": 11 / 8 / 5 templates);
+//! * coordinated multi-page events that fire inside per-template time
+//!   windows, with **incomplete completions** (the planted errors),
+//!   **revert noise** (the `R = 0` rows of the paper's Figure 1),
+//!   **vandalism** (red links) and **distractor** entity churn;
+//! * a second simulated year in which a calibrated fraction of the planted
+//!   errors is corrected (the paper's corrected-in-2019 measurements), plus
+//!   deliberate *spurious* one-sided edits that look like errors but are
+//!   intentional (driving the verified-fraction below 100%, as the paper's
+//!   expert audits found);
+//! * exact [`truth::GroundTruth`] bookkeeping so the evaluation crate can
+//!   score precision/recall/F1 and error statistics without human experts.
+
+pub mod config;
+pub mod domain;
+pub mod generator;
+pub mod neymar;
+pub mod persist;
+pub mod scenarios;
+pub mod template;
+pub mod truth;
+
+pub use config::SynthConfig;
+pub use domain::DomainSpec;
+pub use generator::{generate, SynthWorld};
+pub use persist::{Corpus, CorpusError};
+pub use template::{EventTemplate, RoleBinding, TemplateAction, WindowSpec};
+pub use truth::{GroundTruth, PlantedError, PlantedEvent, SpuriousEdit};

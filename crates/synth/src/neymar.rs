@@ -1,0 +1,207 @@
+//! The paper's running example (Figure 1) as a scripted micro-world:
+//! Neymar's 2017 move from Barcelona F.C. to PSG F.C., plus Mbappé's
+//! parallel Monaco-to-PSG transfer, with the rumor-and-revert churn that
+//! makes the reduction column `R` of Figure 1 interesting.
+
+use wiclean_revstore::RevisionStore;
+use wiclean_types::{EntityId, TypeId, Universe, Window, DAY, HOUR};
+use wiclean_wikitext::render::render_links;
+use wiclean_wikitext::PageLinks;
+
+/// The micro-world of Figure 1.
+pub struct NeymarScenario {
+    /// Vocabulary and entities.
+    pub universe: Universe,
+    /// The revision store with the scripted timeline.
+    pub store: RevisionStore,
+    /// The seed type (`SoccerPlayer`).
+    pub player_ty: TypeId,
+    /// The transfer-window span covering all scripted edits.
+    pub window: Window,
+    /// Neymar's entity id.
+    pub neymar: EntityId,
+    /// PSG's entity id.
+    pub psg: EntityId,
+    /// Barcelona's entity id.
+    pub barcelona: EntityId,
+}
+
+/// Builds the Figure 1 world. The timeline includes a revert pair on
+/// Neymar's `current_club` link (rows whose `R` column the paper shows as
+/// `0`), so that reduction visibly removes churn.
+pub fn neymar_scenario() -> NeymarScenario {
+    let mut u = Universe::new("Thing");
+    let root = u.taxonomy().root();
+    let player_ty = u
+        .taxonomy_mut()
+        .add_path(root, &["Agent", "Person", "Athlete", "SoccerPlayer"])
+        .unwrap();
+    let club_ty = u
+        .taxonomy_mut()
+        .add_path(root, &["Agent", "Organisation", "SportsTeam", "SoccerClub"])
+        .unwrap();
+    let league_ty = u
+        .taxonomy_mut()
+        .add_path(root, &["Agent", "Organisation", "SportsLeague", "SoccerLeague"])
+        .unwrap();
+
+    for rel in ["current_club", "squad", "in_league"] {
+        u.relation(rel);
+    }
+
+    let neymar = u.add_entity("Neymar", player_ty).unwrap();
+    let buffon = u.add_entity("Gianluigi Buffon", player_ty).unwrap();
+    let mbappe = u.add_entity("Kylian Mbappe", player_ty).unwrap();
+    let barcelona = u.add_entity("Barcelona F.C.", club_ty).unwrap();
+    let psg = u.add_entity("PSG F.C.", club_ty).unwrap();
+    let juventus = u.add_entity("Juventus F.C.", club_ty).unwrap();
+    let monaco = u.add_entity("Monaco F.C.", club_ty).unwrap();
+    let la_liga = u.add_entity("La Liga", league_ty).unwrap();
+    let ligue1 = u.add_entity("Ligue 1", league_ty).unwrap();
+    let serie_a = u.add_entity("Serie A", league_ty).unwrap();
+    let _ = (juventus, monaco, la_liga, ligue1, serie_a, buffon);
+
+    let mut store = RevisionStore::new();
+    let mut state: std::collections::HashMap<EntityId, PageLinks> = Default::default();
+    let snap = |state: &std::collections::HashMap<EntityId, PageLinks>,
+                    store: &mut RevisionStore,
+                    u: &Universe,
+                    e: EntityId,
+                    t: u64| {
+        let text = render_links(u.entity_name(e), "page", &state[&e]);
+        store.record(e, t, text);
+    };
+
+    // Initial state (t = 0): Neymar at Barcelona in La Liga; Buffon at
+    // Juventus in Serie A; Mbappé at Monaco in Ligue 1.
+    let mut set = |e: EntityId, links: Vec<(&str, EntityId)>| {
+        let mut p = PageLinks::new();
+        for (rel, t) in links {
+            p.insert(rel, u.entity_name(t));
+        }
+        state.insert(e, p);
+    };
+    set(neymar, vec![("current_club", barcelona), ("in_league", la_liga)]);
+    set(buffon, vec![("current_club", juventus), ("in_league", serie_a)]);
+    set(mbappe, vec![("current_club", monaco), ("in_league", ligue1)]);
+    set(barcelona, vec![("squad", neymar), ("in_league", la_liga)]);
+    set(psg, vec![("in_league", ligue1)]);
+    set(juventus, vec![("squad", buffon), ("in_league", serie_a)]);
+    set(monaco, vec![("squad", mbappe), ("in_league", ligue1)]);
+    set(la_liga, vec![]);
+    set(ligue1, vec![]);
+    set(serie_a, vec![]);
+    for (i, e) in [
+        neymar, buffon, mbappe, barcelona, psg, juventus, monaco, la_liga, ligue1, serie_a,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        snap(&state, &mut store, &u, e, i as u64 * 60);
+    }
+
+    // The transfer saga, inside the window [day 1, day 14).
+    let base = DAY;
+    let mut edit = |e: EntityId, t: u64, f: &dyn Fn(&mut PageLinks, &Universe)| {
+        let p = state.get_mut(&e).unwrap();
+        f(p, &u);
+        snap(&state, &mut store, &u, e, t);
+    };
+
+    // t1: rumor — Neymar's Barca link removed.
+    edit(neymar, base + HOUR, &|p, u| {
+        p.links
+            .remove(&("current_club".into(), u.entity_name(barcelona).into()));
+    });
+    // t2: revert — link restored (this pair reduces away, R = 0).
+    edit(neymar, base + 2 * HOUR, &|p, u| {
+        p.insert("current_club", u.entity_name(barcelona));
+    });
+    // t3: the real transfer: Barca removed again, PSG added, league swap.
+    edit(neymar, base + DAY, &|p, u| {
+        p.links
+            .remove(&("current_club".into(), u.entity_name(barcelona).into()));
+        p.insert("current_club", u.entity_name(psg));
+    });
+    edit(neymar, base + DAY + HOUR, &|p, u| {
+        p.links
+            .remove(&("in_league".into(), u.entity_name(la_liga).into()));
+        p.insert("in_league", u.entity_name(ligue1));
+    });
+    // t4: club pages follow.
+    edit(psg, base + 2 * DAY, &|p, u| {
+        p.insert("squad", u.entity_name(neymar));
+    });
+    edit(barcelona, base + 2 * DAY + HOUR, &|p, u| {
+        p.links
+            .remove(&("squad".into(), u.entity_name(neymar).into()));
+    });
+    // t5: Mbappé's parallel transfer (Monaco → PSG), fully coordinated.
+    edit(mbappe, base + 3 * DAY, &|p, u| {
+        p.links
+            .remove(&("current_club".into(), u.entity_name(monaco).into()));
+        p.insert("current_club", u.entity_name(psg));
+    });
+    edit(psg, base + 3 * DAY + HOUR, &|p, u| {
+        p.insert("squad", u.entity_name(mbappe));
+    });
+    edit(monaco, base + 3 * DAY + 2 * HOUR, &|p, u| {
+        p.links
+            .remove(&("squad".into(), u.entity_name(mbappe).into()));
+    });
+
+    NeymarScenario {
+        universe: u,
+        store,
+        player_ty,
+        window: Window::new(DAY, 14 * DAY),
+        neymar,
+        psg,
+        barcelona,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiclean_revstore::{extract_actions_for, reduce_actions};
+
+    #[test]
+    fn revert_pair_reduces_away() {
+        let s = neymar_scenario();
+        let players = s.universe.entities_of(s.player_ty);
+        let out = extract_actions_for(
+            &s.store,
+            &s.universe,
+            &players,
+            &s.window,
+        );
+        let raw = out.actions.len();
+        let reduced = reduce_actions(&out.actions);
+        assert!(raw > reduced.len(), "reverts must cancel");
+        // Neymar's net player-page effect: −Barca, +PSG, −LaLiga, +Ligue1.
+        let neymar_actions: Vec<_> = reduced
+            .iter()
+            .filter(|a| a.source == s.neymar)
+            .collect();
+        assert_eq!(neymar_actions.len(), 4);
+    }
+
+    #[test]
+    fn transfers_are_complete_in_final_state() {
+        let s = neymar_scenario();
+        let h = s.store.peek(s.psg).unwrap();
+        let last = &h.revisions().last().unwrap().text;
+        assert!(last.contains("Neymar"));
+        assert!(last.contains("Kylian Mbappe"));
+        let barca = &s
+            .store
+            .peek(s.barcelona)
+            .unwrap()
+            .revisions()
+            .last()
+            .unwrap()
+            .text;
+        assert!(!barca.contains("squad"), "Neymar removed from Barca squad");
+    }
+}

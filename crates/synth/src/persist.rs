@@ -1,0 +1,211 @@
+//! Corpus persistence: save/load a generated world as JSON.
+//!
+//! A persisted corpus carries everything a downstream consumer needs to
+//! re-run mining and detection — the universe (taxonomy, relations,
+//! entities), the full two-year revision store, and (optionally) the
+//! ground truth for evaluation. The `wiclean` CLI's `generate` / `mine` /
+//! `detect` subcommands communicate through this format.
+
+use crate::config::SynthConfig;
+use crate::domain::DomainSpec;
+use crate::generator::SynthWorld;
+use crate::truth::GroundTruth;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+use wiclean_revstore::RevisionStore;
+use wiclean_types::{TypeId, Universe};
+
+/// A self-contained, serializable corpus.
+#[derive(Serialize, Deserialize)]
+pub struct Corpus {
+    /// Format version, for forward compatibility.
+    pub version: u32,
+    /// Vocabulary and entity catalog.
+    pub universe: Universe,
+    /// The revision store.
+    pub store: RevisionStore,
+    /// Name of the seed type to mine for.
+    pub seed_type: String,
+    /// Ground truth (present for synthetic corpora; absent for corpora
+    /// assembled from real revision logs).
+    pub truth: Option<GroundTruth>,
+    /// The generating domain spec, if synthetic.
+    pub domain: Option<DomainSpec>,
+    /// The generator configuration, if synthetic.
+    pub synth_config: Option<SynthConfig>,
+}
+
+/// Current corpus format version.
+pub const CORPUS_VERSION: u32 = 1;
+
+impl Corpus {
+    /// Wraps a generated world.
+    pub fn from_world(world: SynthWorld) -> Self {
+        Self {
+            version: CORPUS_VERSION,
+            seed_type: world.universe.type_name(world.seed_type).to_owned(),
+            universe: world.universe,
+            store: world.store,
+            truth: Some(world.truth),
+            domain: Some(world.domain),
+            synth_config: Some(world.config),
+        }
+    }
+
+    /// Resolves the seed type id in this corpus' universe.
+    pub fn seed_type_id(&self) -> TypeId {
+        self.universe
+            .taxonomy()
+            .require(&self.seed_type)
+            .expect("corpus seed type must exist in its own universe")
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("corpus serializes")
+    }
+
+    /// Parses from JSON, validating the version.
+    pub fn from_json(json: &str) -> Result<Self, CorpusError> {
+        let corpus: Corpus = serde_json::from_str(json)?;
+        if corpus.version != CORPUS_VERSION {
+            return Err(CorpusError::Version(corpus.version));
+        }
+        Ok(corpus)
+    }
+
+    /// Writes the corpus to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CorpusError> {
+        Ok(std::fs::write(path, self.to_json())?)
+    }
+
+    /// Loads a corpus from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CorpusError> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
+}
+
+/// Errors loading or saving a corpus.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// Malformed JSON.
+    Json(serde_json::Error),
+    /// Unknown format version.
+    Version(u32),
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "corpus i/o error: {e}"),
+            Self::Json(e) => write!(f, "corpus parse error: {e}"),
+            Self::Version(v) => write!(
+                f,
+                "unsupported corpus version {v} (expected {CORPUS_VERSION})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+impl From<io::Error> for CorpusError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CorpusError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, scenarios};
+
+    #[test]
+    fn corpus_round_trips_through_json() {
+        let world = generate(scenarios::politics(), SynthConfig::tiny(31));
+        let seed_type = world.seed_type;
+        let pages = world.store.page_count();
+        let revisions = world.store.revision_count();
+        let events = world.truth.events.len();
+
+        let corpus = Corpus::from_world(world);
+        let json = corpus.to_json();
+        let back = Corpus::from_json(&json).unwrap();
+
+        assert_eq!(back.seed_type_id(), seed_type);
+        assert_eq!(back.store.page_count(), pages);
+        assert_eq!(back.store.revision_count(), revisions);
+        assert_eq!(back.truth.as_ref().unwrap().events.len(), events);
+        assert_eq!(back.domain.as_ref().unwrap().name, "us_politicians");
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let world = generate(scenarios::politics(), SynthConfig::tiny(32));
+        let mut corpus = Corpus::from_world(world);
+        corpus.version = 99;
+        let json = corpus.to_json();
+        assert!(matches!(
+            Corpus::from_json(&json),
+            Err(CorpusError::Version(99))
+        ));
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let world = generate(scenarios::politics(), SynthConfig::tiny(33));
+        let corpus = Corpus::from_world(world);
+        let dir = std::env::temp_dir().join("wiclean_corpus_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.json");
+        corpus.save(&path).unwrap();
+        let back = Corpus::load(&path).unwrap();
+        assert_eq!(back.seed_type, corpus.seed_type);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mining_a_reloaded_corpus_matches_the_original() {
+        use wiclean_core::config::MinerConfig;
+        use wiclean_core::miner::WindowMiner;
+        use wiclean_types::{Window, DAY};
+
+        let world = generate(scenarios::politics(), SynthConfig::tiny(34));
+        let config = MinerConfig {
+            tau: 0.3,
+            max_abstraction_height: 1,
+            mine_relative: false,
+            ..MinerConfig::default()
+        };
+        let window = Window::new(14 * DAY, 28 * DAY);
+
+        let before: Vec<_> = {
+            let miner = WindowMiner::new(&world.store, &world.universe, config);
+            miner
+                .mine_window(world.seed_type, &window)
+                .most_specific()
+                .map(|p| p.pattern.clone())
+                .collect()
+        };
+
+        let corpus = Corpus::from_world(world);
+        let back = Corpus::from_json(&corpus.to_json()).unwrap();
+        let miner = WindowMiner::new(&back.store, &back.universe, config);
+        let after: Vec<_> = miner
+            .mine_window(back.seed_type_id(), &window)
+            .most_specific()
+            .map(|p| p.pattern.clone())
+            .collect();
+
+        assert_eq!(before, after);
+    }
+}

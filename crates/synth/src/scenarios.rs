@@ -1,0 +1,1049 @@
+//! The paper's three evaluation domains as domain specifications.
+//!
+//! Template counts match the paper's expert lists — **11** soccer patterns,
+//! **8** cinematography patterns, **5** US-politician patterns — and, per
+//! domain, all but the window-less ones are discoverable (the paper's
+//! recall: 9/11, 7/8, 4/5, with the misses being exactly the patterns "not
+//! clearly associated with any time window").
+//!
+//! Scheduling policy (keeps the evaluation predictable — see DESIGN.md):
+//! * every windowed template occupies its own two-week window aligned to
+//!   the 14-day mining grid (`start_day` is a multiple of 14, no two
+//!   windowed templates share a slot);
+//! * all windowed templates fire at rate 0.50 with completion 0.98, so
+//!   every full pattern clears the τ = 0.41 refinement band; the search
+//!   then goes barren and Algorithm 2 terminates *before* the
+//!   large-window/low-threshold regime where cross-template union patterns
+//!   (pairwise rate ≈ 0.25) would appear — exactly the degeneracy the
+//!   paper's Table 1 attributes to over-aggressive refinement policies;
+//! * window-less templates fire at 0.12, never frequent in any window.
+
+use crate::domain::{Count, DomainSpec, InitLink, Population};
+use crate::template::{EventTemplate, RoleBinding, TemplateAction, TemplateExtension, WindowSpec};
+use wiclean_wikitext::EditOp;
+
+fn pop(path: &[&str], prefix: &str, count: Count) -> Population {
+    Population {
+        ty_path: path.iter().map(|s| (*s).to_owned()).collect(),
+        name_prefix: prefix.to_owned(),
+        count,
+    }
+}
+
+fn init(src: &str, rel: &str, tgt: &str, n: usize, reciprocal: Option<&str>) -> InitLink {
+    InitLink {
+        src_ty: src.to_owned(),
+        rel: rel.to_owned(),
+        tgt_ty: tgt.to_owned(),
+        per_entity: n,
+        reciprocal: reciprocal.map(str::to_owned),
+    }
+}
+
+fn seed_role() -> (String, RoleBinding) {
+    ("seed".to_owned(), RoleBinding::Seed)
+}
+
+fn fresh(name: &str, ty: &str, from_role: usize, rel: &str) -> (String, RoleBinding) {
+    (
+        name.to_owned(),
+        RoleBinding::Fresh {
+            ty: ty.to_owned(),
+            from_role,
+            rel: rel.to_owned(),
+        },
+    )
+}
+
+fn existing(name: &str, of_role: usize, rel: &str, ty: &str) -> (String, RoleBinding) {
+    (
+        name.to_owned(),
+        RoleBinding::ExistingTarget {
+            of_role,
+            rel: rel.to_owned(),
+            ty: ty.to_owned(),
+            avoid_cofiring: false,
+        },
+    )
+}
+
+/// Like [`existing`], but the bound entity must not itself fire this
+/// template in the same window (prevents frequent "chained" events —
+/// see the binding's docs).
+fn existing_noncofiring(name: &str, of_role: usize, rel: &str, ty: &str) -> (String, RoleBinding) {
+    (
+        name.to_owned(),
+        RoleBinding::ExistingTarget {
+            of_role,
+            rel: rel.to_owned(),
+            ty: ty.to_owned(),
+            avoid_cofiring: true,
+        },
+    )
+}
+
+fn add(source: usize, rel: &str, target: usize) -> TemplateAction {
+    TemplateAction::new(EditOp::Add, source, rel, target)
+}
+
+fn del(source: usize, rel: &str, target: usize) -> TemplateAction {
+    TemplateAction::new(EditOp::Remove, source, rel, target)
+}
+
+fn windowed(start_day: u64) -> WindowSpec {
+    WindowSpec::Annual {
+        start_day,
+        len_days: 14,
+    }
+}
+
+/// A wider occurrence window: events spread over `len_days`, so at the
+/// minimal two-week mining width the pattern's per-window frequency falls
+/// below the threshold floor and only window widening recovers it — the
+/// patterns the paper's Table 1 shows the never-widen policy missing.
+fn windowed_long(start_day: u64, len_days: u64) -> WindowSpec {
+    WindowSpec::Annual {
+        start_day,
+        len_days,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn template(
+    name: &str,
+    roles: Vec<(String, RoleBinding)>,
+    actions: Vec<TemplateAction>,
+    window: WindowSpec,
+    fire_rate: f64,
+    completion: f64,
+    extensions: Vec<TemplateExtension>,
+) -> EventTemplate {
+    EventTemplate {
+        name: name.to_owned(),
+        roles,
+        actions,
+        window,
+        fire_rate,
+        completion,
+        extensions,
+        exclusive_group: None,
+    }
+}
+
+
+/// The soccer domain: players, clubs, leagues, awards, tournaments — 11
+/// expert patterns (9 windowed, 2 window-less).
+pub fn soccer() -> DomainSpec {
+    let templates = vec![
+        // 1. The flagship: the paper's summer transfer (Example 1.1 /
+        //    Figure 3), with the league-change sub-flow as the planted
+        //    relative pattern.
+        template(
+            "summer_transfer",
+            vec![
+                seed_role(),
+                fresh("new_club", "SoccerClub", 0, "current_club"),
+                existing("old_club", 0, "current_club", "SoccerClub"),
+            ],
+            vec![
+                add(0, "current_club", 1),
+                del(0, "current_club", 2),
+                add(1, "squad", 0),
+                del(2, "squad", 0),
+            ],
+            windowed(210), // first two weeks of August
+            0.50,
+            0.98,
+            vec![TemplateExtension {
+                probability: 0.45,
+                roles: vec![
+                    existing("old_league", 0, "in_league", "SoccerLeague"),
+                    existing("new_league", 1, "in_league", "SoccerLeague"),
+                ],
+                actions: vec![del(0, "in_league", 3), add(0, "in_league", 4)],
+            }],
+        ),
+        // 2. The winter loan window spans six weeks — long enough that no
+        //    two-week mining window captures a frequent share; only the
+        //    widened windows of Algorithm 2 discover it.
+        template(
+            "winter_loan",
+            vec![seed_role(), fresh("loan_club", "SoccerClub", 0, "loaned_to")],
+            vec![add(0, "loaned_to", 1), add(1, "loan_squad", 0)],
+            windowed_long(28, 42),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 3. End-of-season award (the "Goal of the Month" expert pattern).
+        template(
+            "season_award",
+            vec![seed_role(), fresh("award", "FootballAward", 0, "award_won")],
+            vec![add(0, "award_won", 1), add(1, "award_winner", 0)],
+            windowed(140),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 4. Captaincy handover (three pages involved). The club is drawn
+        //    fresh so the event can be re-rolled when the displaced
+        //    captain is itself firing (a deterministic binding could not
+        //    redraw); without the non-cofiring constraint, two same-club
+        //    captaincies in one window would cancel each other's
+        //    `+captain` edit under reduction and litter the ground truth
+        //    with unverifiable flags.
+        template(
+            "captaincy_change",
+            vec![
+                seed_role(),
+                fresh("club", "SoccerClub", 0, "captain_of"),
+                existing_noncofiring("old_captain", 1, "captain", "SoccerPlayer"),
+            ],
+            vec![
+                add(0, "captain_of", 1),
+                add(1, "captain", 0),
+                del(1, "captain", 2),
+            ],
+            windowed(182),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 5. Retirement — scheduled after the transfer window so that
+        //    removing `current_club` does not starve the transfer
+        //    template's bindings.
+        template(
+            "retirement",
+            vec![seed_role(), existing("club", 0, "current_club", "SoccerClub")],
+            vec![
+                del(0, "current_club", 1),
+                del(1, "squad", 0),
+                add(0, "former_club", 1),
+            ],
+            windowed(294),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 6. Youth-academy promotion.
+        template(
+            "youth_promotion",
+            vec![
+                seed_role(),
+                fresh("academy", "YouthAcademy", 0, "promoted_from"),
+            ],
+            vec![add(0, "promoted_from", 1), add(1, "academy_graduates", 0)],
+            windowed(112),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 7. National-team call-up.
+        template(
+            "national_callup",
+            vec![
+                seed_role(),
+                fresh("nt", "NationalTeam", 0, "national_team"),
+            ],
+            vec![add(0, "national_team", 1), add(1, "nt_squad", 0)],
+            windowed(238),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 8. Tournament squad registration.
+        template(
+            "tournament_squad",
+            vec![
+                seed_role(),
+                fresh("tournament", "FootballTournament", 0, "tournament_squad"),
+            ],
+            vec![add(0, "tournament_squad", 1), add(1, "squad_member", 0)],
+            windowed(168),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 9. Signing unveiling — deliberately shares the transfer window
+        //    (rate product 0.14 < the 0.2 floor, so no cross pattern).
+        template(
+            "stadium_unveiling",
+            vec![seed_role(), fresh("stadium", "Stadium", 0, "unveiled_at")],
+            vec![add(0, "unveiled_at", 1), add(1, "hosted_unveiling", 0)],
+            windowed(98),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 10. Window-less: historical career backfill (missed by design).
+        template(
+            "career_backfill",
+            vec![seed_role(), fresh("club", "SoccerClub", 0, "former_club")],
+            vec![add(0, "former_club", 1), add(1, "former_players", 0)],
+            WindowSpec::Uniform,
+            0.12,
+            0.90,
+            vec![],
+        ),
+        // 11. Window-less: teammate cross-linking (missed by design).
+        template(
+            "teammate_crosslink",
+            vec![
+                seed_role(),
+                fresh("teammate", "SoccerPlayer", 0, "linked_teammate"),
+            ],
+            vec![add(0, "linked_teammate", 1), add(1, "linked_teammate", 0)],
+            WindowSpec::Uniform,
+            0.12,
+            0.90,
+            vec![],
+        ),
+    ];
+
+    DomainSpec {
+        name: "soccer".to_owned(),
+        seed_type: "SoccerPlayer".to_owned(),
+        populations: vec![
+            pop(
+                &["Agent", "Person", "Athlete", "SoccerPlayer"],
+                "Soccer Player",
+                Count::PerSeed { ratio: 1.0, min: 1 },
+            ),
+            pop(
+                &["Agent", "Organisation", "SportsTeam", "SoccerClub"],
+                "Soccer Club",
+                Count::PerSeed {
+                    ratio: 2.5,
+                    min: 16,
+                },
+            ),
+            pop(
+                &["Agent", "Organisation", "SportsLeague", "SoccerLeague"],
+                "Soccer League",
+                Count::Fixed(6),
+            ),
+            pop(
+                &["Award", "SportsAward", "FootballAward"],
+                "Football Award",
+                Count::PerSeed {
+                    ratio: 1.2,
+                    min: 10,
+                },
+            ),
+            pop(
+                &["Agent", "Organisation", "SportsTeam", "YouthAcademy"],
+                "Youth Academy",
+                Count::PerSeed {
+                    ratio: 1.2,
+                    min: 10,
+                },
+            ),
+            pop(
+                &["Agent", "Organisation", "SportsTeam", "NationalTeam"],
+                "National Team",
+                Count::PerSeed {
+                    ratio: 1.2,
+                    min: 10,
+                },
+            ),
+            pop(
+                &["Event", "SportsEvent", "FootballTournament"],
+                "Football Tournament",
+                Count::PerSeed {
+                    ratio: 1.2,
+                    min: 10,
+                },
+            ),
+            pop(
+                &["Place", "Venue", "Stadium"],
+                "Stadium",
+                Count::PerSeed {
+                    ratio: 1.2,
+                    min: 10,
+                },
+            ),
+        ],
+        relations: [
+            "current_club",
+            "squad",
+            "in_league",
+            "captain",
+            "captain_of",
+            "former_club",
+            "former_players",
+            "loaned_to",
+            "loan_squad",
+            "award_won",
+            "award_winner",
+            "promoted_from",
+            "academy_graduates",
+            "national_team",
+            "nt_squad",
+            "tournament_squad",
+            "squad_member",
+            "unveiled_at",
+            "hosted_unveiling",
+            "linked_teammate",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect(),
+        init: vec![
+            init("SoccerPlayer", "current_club", "SoccerClub", 1, Some("squad")),
+            init("SoccerPlayer", "in_league", "SoccerLeague", 1, None),
+            init("SoccerClub", "in_league", "SoccerLeague", 1, None),
+            init("SoccerClub", "captain", "SoccerPlayer", 1, Some("captain_of")),
+        ],
+        templates,
+    }
+}
+
+/// The cinematography domain: actors, films, shows, awards, festivals — 8
+/// expert patterns (7 windowed, 1 window-less).
+pub fn cinema() -> DomainSpec {
+    let templates = vec![
+        // 1. Flagship: awards-season movie release consuming an announced
+        //    project.
+        template(
+            "movie_release",
+            vec![
+                seed_role(),
+                existing("movie", 0, "upcoming_project", "Film"),
+            ],
+            vec![
+                add(0, "starred_in", 1),
+                add(1, "cast_member", 0),
+                del(0, "upcoming_project", 1),
+            ],
+            windowed(308),
+            0.50,
+            0.98,
+            vec![TemplateExtension {
+                probability: 0.45,
+                roles: vec![],
+                actions: vec![add(0, "latest_work", 1)],
+            }],
+        ),
+        // 2. The paper's Oscar example: winner and award link each other.
+        template(
+            "award_win",
+            vec![
+                seed_role(),
+                fresh("award", "CinematographyAward", 0, "award_won"),
+            ],
+            vec![add(0, "award_won", 1), add(1, "award_winner", 0)],
+            windowed(56),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 3. Casting announcements.
+        template(
+            "casting_announcement",
+            vec![seed_role(), fresh("movie", "Film", 0, "upcoming_project")],
+            vec![add(0, "upcoming_project", 1), add(1, "announced_cast", 0)],
+            windowed(126),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 4. New TV season cast list.
+        template(
+            "tv_season_cast",
+            vec![
+                seed_role(),
+                fresh("season", "TelevisionSeason", 0, "appears_in_season"),
+            ],
+            vec![add(0, "appears_in_season", 1), add(1, "season_cast", 0)],
+            windowed(252),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 5. Joining a show as a regular.
+        template(
+            "series_regular",
+            vec![
+                seed_role(),
+                fresh("show", "TelevisionShow", 0, "stars_in_show"),
+            ],
+            vec![add(0, "stars_in_show", 1), add(1, "series_regulars", 0)],
+            windowed(182),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 6. Directorial debut.
+        template(
+            "directorial_debut",
+            vec![seed_role(), fresh("movie", "Film", 0, "directed")],
+            vec![add(0, "directed", 1), add(1, "director", 0)],
+            windowed(28),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 7. Festival appearances — shares the casting window (product
+        //    0.084 < floor).
+        template(
+            "festival_guest",
+            vec![
+                seed_role(),
+                fresh("festival", "FilmFestival", 0, "premiered_at"),
+            ],
+            vec![add(0, "premiered_at", 1), add(1, "festival_guests", 0)],
+            windowed(154),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 8. Window-less filmography backfill (missed by design).
+        template(
+            "filmography_backfill",
+            vec![seed_role(), fresh("movie", "Film", 0, "early_work")],
+            vec![add(0, "early_work", 1), add(1, "archive_cast", 0)],
+            WindowSpec::Uniform,
+            0.12,
+            0.90,
+            vec![],
+        ),
+    ];
+
+    DomainSpec {
+        name: "cinematography".to_owned(),
+        seed_type: "Actor".to_owned(),
+        populations: vec![
+            pop(
+                &["Agent", "Person", "Artist", "Actor"],
+                "Actor",
+                Count::PerSeed { ratio: 1.0, min: 1 },
+            ),
+            pop(
+                &["Work", "Film"],
+                "Film",
+                Count::PerSeed {
+                    ratio: 2.4,
+                    min: 30,
+                },
+            ),
+            pop(
+                &["Work", "TelevisionShow"],
+                "TV Show",
+                Count::PerSeed {
+                    ratio: 1.2,
+                    min: 10,
+                },
+            ),
+            pop(
+                &["Work", "TelevisionSeason"],
+                "TV Season",
+                Count::PerSeed {
+                    ratio: 1.2,
+                    min: 10,
+                },
+            ),
+            pop(
+                &["Award", "CinematographyAward"],
+                "Film Award",
+                Count::PerSeed {
+                    ratio: 1.2,
+                    min: 10,
+                },
+            ),
+            pop(
+                &["Event", "FilmFestival"],
+                "Film Festival",
+                Count::PerSeed {
+                    ratio: 1.2,
+                    min: 10,
+                },
+            ),
+        ],
+        relations: [
+            "starred_in",
+            "cast_member",
+            "upcoming_project",
+            "announced_cast",
+            "latest_work",
+            "award_won",
+            "award_winner",
+            "appears_in_season",
+            "season_cast",
+            "stars_in_show",
+            "series_regulars",
+            "directed",
+            "director",
+            "premiered_at",
+            "festival_guests",
+            "early_work",
+            "archive_cast",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect(),
+        init: vec![init(
+            "Actor",
+            "upcoming_project",
+            "Film",
+            1,
+            Some("announced_cast"),
+        )],
+        templates,
+    }
+}
+
+/// The US-politicians domain: senators, states, committees, bills — 5
+/// expert patterns (4 windowed, 1 window-less).
+pub fn politics() -> DomainSpec {
+    let templates = vec![
+        // 1. Flagship: the paper's senator-election pattern — new senator
+        //    and state link each other, the old senator's link is removed
+        //    from the state (but the old senator keeps pointing at the
+        //    state), and the new senator records a predecessor.
+        template(
+            "election",
+            vec![
+                seed_role(),
+                fresh("state", "USState", 0, "senator_of"),
+                existing_noncofiring("old_senator", 1, "senators", "Senator"),
+            ],
+            vec![
+                add(0, "senator_of", 1),
+                add(1, "senators", 0),
+                del(1, "senators", 2),
+                add(0, "preceded_by", 2),
+            ],
+            windowed(308), // November
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 2. Committee assignments at session start.
+        template(
+            "committee_assignment",
+            vec![
+                seed_role(),
+                fresh("committee", "Committee", 0, "member_of_committee"),
+            ],
+            vec![
+                add(0, "member_of_committee", 1),
+                add(1, "committee_members", 0),
+            ],
+            windowed(14),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 3. Leadership elections (three pages).
+        template(
+            "leadership_election",
+            vec![
+                seed_role(),
+                fresh("office", "SenateOffice", 0, "holds_office"),
+                existing_noncofiring("old_holder", 1, "held_by", "Senator"),
+            ],
+            vec![
+                add(0, "holds_office", 1),
+                add(1, "held_by", 0),
+                del(1, "held_by", 2),
+            ],
+            windowed(42),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 4. Bill sponsorships.
+        template(
+            "bill_sponsorship",
+            vec![seed_role(), fresh("bill", "Bill", 0, "sponsored_bill")],
+            vec![add(0, "sponsored_bill", 1), add(1, "bill_sponsor", 0)],
+            windowed(70),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 5. Window-less archive updates (missed by design).
+        template(
+            "archive_backfill",
+            vec![
+                seed_role(),
+                fresh("committee", "Committee", 0, "former_committee"),
+            ],
+            vec![add(0, "former_committee", 1), add(1, "former_member", 0)],
+            WindowSpec::Uniform,
+            0.12,
+            0.90,
+            vec![],
+        ),
+    ];
+
+    DomainSpec {
+        name: "us_politicians".to_owned(),
+        seed_type: "Senator".to_owned(),
+        populations: vec![
+            pop(
+                &["Agent", "Person", "Politician", "Senator"],
+                "Senator",
+                Count::PerSeed { ratio: 1.0, min: 1 },
+            ),
+            pop(
+                &["Place", "AdministrativeRegion", "USState"],
+                "US State",
+                Count::PerSeed {
+                    ratio: 1.2,
+                    min: 50,
+                },
+            ),
+            pop(
+                &["Agent", "Organisation", "Committee"],
+                "Committee",
+                Count::PerSeed {
+                    ratio: 1.2,
+                    min: 24,
+                },
+            ),
+            pop(
+                &["Work", "Bill"],
+                "Senate Bill",
+                Count::PerSeed {
+                    ratio: 1.2,
+                    min: 20,
+                },
+            ),
+            pop(
+                &["Agent", "Organisation", "SenateOffice"],
+                "Senate Office",
+                Count::PerSeed {
+                    ratio: 1.2,
+                    min: 12,
+                },
+            ),
+        ],
+        relations: [
+            "senator_of",
+            "senators",
+            "preceded_by",
+            "member_of_committee",
+            "committee_members",
+            "holds_office",
+            "held_by",
+            "sponsored_bill",
+            "bill_sponsor",
+            "former_committee",
+            "former_member",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect(),
+        init: vec![
+            init("USState", "senators", "Senator", 2, Some("senator_of")),
+            init("SenateOffice", "held_by", "Senator", 1, Some("holds_office")),
+        ],
+        templates,
+    }
+}
+
+/// The software-repository domain — the paper's future-work transfer
+/// target ("applying our ideas to other domains where revision histories
+/// are available and link consistency is important (e.g., software
+/// repositories)"). Seed type: software projects; coordinated edits are
+/// releases, maintainer handovers, dependency adoptions and license
+/// changes, each of which must be mirrored on two or more pages.
+pub fn software() -> DomainSpec {
+    let templates = vec![
+        // 1. Flagship: cutting a release — the project page gains the
+        //    release and swaps its "latest" pointer; the release page
+        //    points back.
+        template(
+            "release_cut",
+            vec![
+                seed_role(),
+                fresh("release", "SoftwareRelease", 0, "has_release"),
+                existing("old_latest", 0, "latest_release", "SoftwareRelease"),
+            ],
+            vec![
+                add(0, "has_release", 1),
+                add(1, "release_of", 0),
+                del(0, "latest_release", 2),
+                add(0, "latest_release", 1),
+            ],
+            windowed(210),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 2. Maintainer handover (four pages/links).
+        template(
+            "maintainer_change",
+            vec![
+                seed_role(),
+                fresh("new_maintainer", "Developer", 0, "maintained_by"),
+                existing("old_maintainer", 0, "maintained_by", "Developer"),
+            ],
+            vec![
+                add(0, "maintained_by", 1),
+                add(1, "maintains", 0),
+                del(0, "maintained_by", 2),
+                del(2, "maintains", 0),
+            ],
+            windowed(14),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 3. Dependency adoption — a seed-to-seed link pair.
+        template(
+            "dependency_adoption",
+            vec![
+                seed_role(),
+                fresh("dependency", "SoftwareProject", 0, "depends_on"),
+            ],
+            vec![add(0, "depends_on", 1), add(1, "dependents", 0)],
+            windowed(70),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 4. License change.
+        template(
+            "license_change",
+            vec![
+                seed_role(),
+                fresh("new_license", "License", 0, "licensed_under"),
+                existing("old_license", 0, "licensed_under", "License"),
+            ],
+            vec![
+                add(0, "licensed_under", 1),
+                del(0, "licensed_under", 2),
+                add(1, "licensees", 0),
+            ],
+            windowed(126),
+            0.50,
+            0.98,
+            vec![],
+        ),
+        // 5. Window-less archive backfill (missed by design).
+        template(
+            "history_backfill",
+            vec![
+                seed_role(),
+                fresh("emeritus", "Developer", 0, "former_maintainer"),
+            ],
+            vec![
+                add(0, "former_maintainer", 1),
+                add(1, "formerly_maintained", 0),
+            ],
+            WindowSpec::Uniform,
+            0.12,
+            0.90,
+            vec![],
+        ),
+    ];
+
+    DomainSpec {
+        name: "software_repos".to_owned(),
+        seed_type: "SoftwareProject".to_owned(),
+        populations: vec![
+            pop(
+                &["Work", "Software", "SoftwareProject"],
+                "Project",
+                Count::PerSeed { ratio: 1.0, min: 1 },
+            ),
+            pop(
+                &["Work", "Software", "SoftwareRelease"],
+                "Release",
+                Count::PerSeed {
+                    ratio: 2.4,
+                    min: 30,
+                },
+            ),
+            pop(
+                &["Agent", "Person", "Developer"],
+                "Developer",
+                Count::PerSeed {
+                    ratio: 1.2,
+                    min: 12,
+                },
+            ),
+            pop(
+                &["Work", "License"],
+                "License",
+                Count::PerSeed {
+                    ratio: 1.2,
+                    min: 10,
+                },
+            ),
+        ],
+        relations: [
+            "has_release",
+            "release_of",
+            "latest_release",
+            "maintained_by",
+            "maintains",
+            "depends_on",
+            "dependents",
+            "licensed_under",
+            "licensees",
+            "former_maintainer",
+            "formerly_maintained",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect(),
+        init: vec![
+            init(
+                "SoftwareProject",
+                "latest_release",
+                "SoftwareRelease",
+                1,
+                Some("release_of"),
+            ),
+            init(
+                "SoftwareProject",
+                "maintained_by",
+                "Developer",
+                1,
+                Some("maintains"),
+            ),
+            init("SoftwareProject", "licensed_under", "License", 1, None),
+        ],
+        templates,
+    }
+}
+
+/// All three paper domains, in the paper's order.
+pub fn all_domains() -> Vec<DomainSpec> {
+    vec![soccer(), cinema(), politics()]
+}
+
+/// The paper domains plus the future-work software-repository domain.
+pub fn all_domains_extended() -> Vec<DomainSpec> {
+    vec![soccer(), cinema(), politics(), software()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_counts_match_paper() {
+        assert_eq!(soccer().templates.len(), 11);
+        assert_eq!(cinema().templates.len(), 8);
+        assert_eq!(politics().templates.len(), 5);
+        assert_eq!(software().templates.len(), 5);
+    }
+
+    #[test]
+    fn windowless_counts_match_paper_recall() {
+        let misses = |d: &DomainSpec| {
+            d.templates
+                .iter()
+                .filter(|t| !t.window.is_windowed())
+                .count()
+        };
+        assert_eq!(misses(&soccer()), 2); // recall 9/11
+        assert_eq!(misses(&cinema()), 1); // recall 7/8
+        assert_eq!(misses(&politics()), 1); // recall 4/5
+    }
+
+    #[test]
+    fn all_domains_validate() {
+        for d in all_domains_extended() {
+            d.validate();
+        }
+    }
+
+    #[test]
+    fn windows_are_grid_aligned() {
+        for d in all_domains() {
+            for t in &d.templates {
+                if let WindowSpec::Annual {
+                    start_day,
+                    len_days,
+                } = t.window
+                {
+                    assert_eq!(start_day % 14, 0, "{} misaligned", t.name);
+                    assert_eq!(len_days % 14, 0, "{} length off-grid", t.name);
+                    assert!(start_day >= 14, "{} inside creation period", t.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn software_domain_keeps_the_calibration_contract() {
+        let d = software();
+        for t in d.templates.iter().filter(|t| t.window.is_windowed()) {
+            let full = t.fire_rate * t.completion.powi(t.actions.len() as i32 - 1);
+            assert!(full >= 0.44, "{} below the 0.41 band", t.name);
+        }
+    }
+
+    #[test]
+    fn rate_policy_supports_early_stopping() {
+        // The calibration contract (see module docs): every windowed full
+        // pattern clears the τ = 0.41 refinement band, while every
+        // cross-template pair stays below the τ = 0.328 band — so
+        // Algorithm 2 discovers all planted patterns and then terminates
+        // before union patterns can appear.
+        for d in all_domains_extended() {
+            let windowed: Vec<&EventTemplate> = d
+                .templates
+                .iter()
+                .filter(|t| t.window.is_windowed())
+                .collect();
+            for a in &windowed {
+                let full_freq =
+                    a.fire_rate * a.completion.powi(a.actions.len() as i32 - 1);
+                assert!(
+                    full_freq >= 0.44,
+                    "{}: full-pattern frequency {full_freq:.3} below the 0.41 band",
+                    a.name
+                );
+                for b in &windowed {
+                    if a.name != b.name {
+                        assert!(
+                            a.fire_rate * b.fire_rate <= 0.31,
+                            "{} × {} union could reach the 0.328 band",
+                            a.name,
+                            b.name
+                        );
+                    }
+                }
+            }
+            for t in d.templates.iter().filter(|t| !t.window.is_windowed()) {
+                assert!(t.fire_rate < 0.2, "window-less {} discoverable", t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_templates_have_disjoint_slots() {
+        for d in all_domains_extended() {
+            let mut slots = std::collections::HashSet::new();
+            for t in d.templates.iter().filter(|t| t.window.is_windowed()) {
+                if let WindowSpec::Annual { start_day, .. } = t.window {
+                    assert!(
+                        slots.insert(start_day),
+                        "{}: template {} shares slot day {}",
+                        d.name,
+                        t.name,
+                        start_day
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flagship_extension_stays_below_absolute_floor() {
+        let d = soccer();
+        let transfer = &d.templates[0];
+        let ext = &transfer.extensions[0];
+        // Never frequent in absolute terms at the search's stopping
+        // threshold (≈ 0.33) …
+        assert!(transfer.fire_rate * ext.probability < 0.33 * 0.9);
+        // … but clears a relative threshold of 0.3.
+        assert!(ext.probability >= 0.3);
+    }
+}

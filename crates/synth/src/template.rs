@@ -1,0 +1,280 @@
+//! Event templates: the scripted coordinated-edit patterns the generator
+//! plants (and the ground-truth "expert pattern lists").
+
+use serde::{Deserialize, Serialize};
+use wiclean_types::{Timestamp, DAY, YEAR};
+use wiclean_wikitext::EditOp;
+
+/// How a role is bound to a concrete entity when an event instance fires.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoleBinding {
+    /// The firing seed entity itself (role 0 is always `Seed`).
+    Seed,
+    /// A fresh random entity of the named type, distinct from the other
+    /// bound roles and not currently linked from `from_role` via `rel`
+    /// (so that the template's additions are valid).
+    Fresh {
+        /// Type name of the entity to draw.
+        ty: String,
+        /// Role whose page must not already link to the drawn entity.
+        from_role: usize,
+        /// The relation checked for absence.
+        rel: String,
+    },
+    /// The entity currently linked from `of_role`'s page via `rel` (so
+    /// that the template's removals are valid). If the page holds several
+    /// such links one is chosen at random; if none, the event does not
+    /// fire for this seed.
+    ExistingTarget {
+        /// Role whose page is inspected.
+        of_role: usize,
+        /// The relation followed.
+        rel: String,
+        /// Declared type name of the bound entity (for the expert-pattern
+        /// rendering of the template).
+        ty: String,
+        /// When true, never bind an entity that itself fires this template
+        /// in the same occurrence window. This models the real-world
+        /// constraint that e.g. a displaced senator is not simultaneously
+        /// winning another seat — without it, "chained" event patterns
+        /// (A displaces B while B fires elsewhere) become frequent enough
+        /// to pollute the most-specific pattern set.
+        #[serde(default)]
+        avoid_cofiring: bool,
+    },
+}
+
+/// One abstract action of a template, over role indices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemplateAction {
+    /// Add or remove.
+    pub op: EditOp,
+    /// Source role (whose page is edited).
+    pub source: usize,
+    /// Relation label.
+    pub rel: String,
+    /// Target role.
+    pub target: usize,
+}
+
+impl TemplateAction {
+    /// Shorthand constructor.
+    pub fn new(op: EditOp, source: usize, rel: &str, target: usize) -> Self {
+        Self {
+            op,
+            source,
+            rel: rel.to_owned(),
+            target,
+        }
+    }
+}
+
+/// When a template's occurrence window(s) fall within a year.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindowSpec {
+    /// One window per year: `[start_day, start_day + len_days)` days from
+    /// the year's start.
+    Annual {
+        /// Day offset of the window start within the year.
+        start_day: u64,
+        /// Window length in days.
+        len_days: u64,
+    },
+    /// No window: instances are spread uniformly over the whole year.
+    /// Window-less templates are exactly the patterns the paper reports
+    /// WiClean (by design) does not discover.
+    Uniform,
+}
+
+impl WindowSpec {
+    /// The half-open timestamp span of this spec's occurrence within the
+    /// year starting at `year_start`.
+    pub fn span(&self, year_start: Timestamp) -> (Timestamp, Timestamp) {
+        match *self {
+            WindowSpec::Annual {
+                start_day,
+                len_days,
+            } => (
+                year_start + start_day * DAY,
+                year_start + (start_day + len_days) * DAY,
+            ),
+            WindowSpec::Uniform => (year_start, year_start + YEAR),
+        }
+    }
+
+    /// Whether the template has a meaningful window.
+    pub fn is_windowed(&self) -> bool {
+        matches!(self, WindowSpec::Annual { .. })
+    }
+}
+
+/// An optional conditional sub-flow of a template: extra actions performed
+/// with some probability when the parent event fires — the source of the
+/// paper's *relative frequent* patterns (e.g. a transfer that also changes
+/// the player's league links).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemplateExtension {
+    /// Probability the sub-flow accompanies a fired event.
+    pub probability: f64,
+    /// Additional roles (indices continue after the parent's roles).
+    pub roles: Vec<(String, RoleBinding)>,
+    /// Additional actions, indexing the combined role list.
+    pub actions: Vec<TemplateAction>,
+}
+
+/// A scripted coordinated-edit event class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventTemplate {
+    /// Template name, e.g. `summer_transfer`.
+    pub name: String,
+    /// Roles: `(name, binding)`. Role 0 must be [`RoleBinding::Seed`].
+    pub roles: Vec<(String, RoleBinding)>,
+    /// The coordinated actions. Action 0 is the *trigger* on the seed's
+    /// page and is always performed; the others are each dropped with
+    /// probability `1 - completion` (planting an error).
+    pub actions: Vec<TemplateAction>,
+    /// Occurrence window.
+    pub window: WindowSpec,
+    /// Fraction of seed entities firing per occurrence.
+    pub fire_rate: f64,
+    /// Per-action completion probability.
+    pub completion: f64,
+    /// Conditional sub-flows (relative patterns).
+    pub extensions: Vec<TemplateExtension>,
+    /// Templates sharing a non-`None` group get *disjoint* seed samples —
+    /// e.g. a player transfers or retires in a given year, never both.
+    /// Without this, year-wide reduction cancels one event's edits against
+    /// the other's and the planted pattern loses its support.
+    #[serde(default)]
+    pub exclusive_group: Option<String>,
+}
+
+impl EventTemplate {
+    /// Validates internal consistency (role indices, seed role).
+    pub fn validate(&self) {
+        assert!(
+            matches!(self.roles.first(), Some((_, RoleBinding::Seed))),
+            "template `{}`: role 0 must be Seed",
+            self.name
+        );
+        assert!(
+            !self.actions.is_empty(),
+            "template `{}` has no actions",
+            self.name
+        );
+        let n = self.roles.len();
+        for a in &self.actions {
+            assert!(
+                a.source < n && a.target < n,
+                "template `{}`: action references missing role",
+                self.name
+            );
+        }
+        assert_eq!(
+            self.actions[0].source, 0,
+            "template `{}`: the trigger action must edit the seed page",
+            self.name
+        );
+        for ext in &self.extensions {
+            let m = n + ext.roles.len();
+            for a in &ext.actions {
+                assert!(
+                    a.source < m && a.target < m,
+                    "template `{}` extension references missing role",
+                    self.name
+                );
+            }
+            assert!((0.0..=1.0).contains(&ext.probability));
+        }
+        assert!((0.0..=1.0).contains(&self.fire_rate));
+        assert!((0.0..=1.0).contains(&self.completion));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EventTemplate {
+        EventTemplate {
+            name: "t".into(),
+            roles: vec![
+                ("player".into(), RoleBinding::Seed),
+                (
+                    "new_club".into(),
+                    RoleBinding::Fresh {
+                        ty: "SoccerClub".into(),
+                        from_role: 0,
+                        rel: "current_club".into(),
+                    },
+                ),
+            ],
+            actions: vec![
+                TemplateAction::new(EditOp::Add, 0, "current_club", 1),
+                TemplateAction::new(EditOp::Add, 1, "squad", 0),
+            ],
+            window: WindowSpec::Annual {
+                start_day: 212,
+                len_days: 14,
+            },
+            fire_rate: 0.5,
+            completion: 0.9,
+            extensions: vec![],
+            exclusive_group: None,
+        }
+    }
+
+    #[test]
+    fn annual_span() {
+        let w = WindowSpec::Annual {
+            start_day: 212,
+            len_days: 14,
+        };
+        let (s, e) = w.span(0);
+        assert_eq!(s, 212 * DAY);
+        assert_eq!(e, 226 * DAY);
+        assert!(w.is_windowed());
+    }
+
+    #[test]
+    fn uniform_span_covers_year() {
+        let w = WindowSpec::Uniform;
+        let (s, e) = w.span(100);
+        assert_eq!(e - s, YEAR);
+        assert!(!w.is_windowed());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        sample().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "role 0 must be Seed")]
+    fn validate_rejects_non_seed_role0() {
+        let mut t = sample();
+        t.roles[0].1 = RoleBinding::ExistingTarget {
+            of_role: 0,
+            rel: "x".into(),
+            ty: "SoccerClub".into(),
+            avoid_cofiring: false,
+        };
+        t.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "missing role")]
+    fn validate_rejects_bad_role_index() {
+        let mut t = sample();
+        t.actions.push(TemplateAction::new(EditOp::Add, 0, "r", 7));
+        t.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "trigger action")]
+    fn validate_rejects_non_seed_trigger() {
+        let mut t = sample();
+        t.actions[0].source = 1;
+        t.validate();
+    }
+}

@@ -1,0 +1,179 @@
+//! Ground-truth bookkeeping: what the generator planted, so the evaluation
+//! can score WiClean without human experts.
+
+use serde::{Deserialize, Serialize};
+use wiclean_types::{EntityId, Timestamp};
+use wiclean_wikitext::EditOp;
+
+/// One concrete edit a template action resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConcreteEdit {
+    /// Add or remove.
+    pub op: EditOp,
+    /// Page edited.
+    pub source: EntityId,
+    /// Relation (resolved id lives in the universe; the label is stored by
+    /// the generator for readability).
+    pub rel: u32,
+    /// Link target.
+    pub target: EntityId,
+}
+
+/// One fired event instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlantedEvent {
+    /// Index of the template in the domain's list.
+    pub template_ix: usize,
+    /// The firing seed entity.
+    pub seed: EntityId,
+    /// Role bindings (entity per role, base roles then extension roles).
+    pub bindings: Vec<EntityId>,
+    /// Base time of the instance.
+    pub time: Timestamp,
+    /// Whether each base action was performed.
+    pub performed: Vec<bool>,
+    /// Which extension sub-flows fired.
+    pub extensions_fired: Vec<bool>,
+}
+
+impl PlantedEvent {
+    /// Whether the instance is complete (no planted error).
+    pub fn is_complete(&self) -> bool {
+        self.performed.iter().all(|&p| p)
+    }
+}
+
+/// One planted error: a template action that should have happened but was
+/// skipped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlantedError {
+    /// Index into [`GroundTruth::events`].
+    pub event_ix: usize,
+    /// Which action of the template was skipped.
+    pub action_ix: usize,
+    /// The concrete edit that is missing.
+    pub missing: ConcreteEdit,
+    /// Whether the year-2 pass corrected it.
+    pub corrected_in_y2: bool,
+    /// When it was corrected.
+    pub correction_time: Option<Timestamp>,
+}
+
+/// A deliberate one-sided edit that *looks* like a partial pattern but is
+/// intentional — the generator's stand-in for the flagged-but-not-actually-
+/// wrong cases the paper's experts rejected.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpuriousEdit {
+    /// Template whose window/relations it mimics.
+    pub template_ix: usize,
+    /// The edit performed.
+    pub edit: ConcreteEdit,
+    /// When.
+    pub time: Timestamp,
+}
+
+/// Everything the generator planted.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Every fired event instance.
+    pub events: Vec<PlantedEvent>,
+    /// Every planted error.
+    pub errors: Vec<PlantedError>,
+    /// Every spurious (intentional) one-sided edit.
+    pub spurious: Vec<SpuriousEdit>,
+    /// Events planned per template (before resolution skips).
+    #[serde(default)]
+    pub planned_events: Vec<usize>,
+    /// Events skipped per template (unresolvable bindings / state
+    /// conflicts after retries).
+    #[serde(default)]
+    pub skipped_events: Vec<usize>,
+    /// Vandalism edits performed (red links; counted, not scored).
+    pub vandalism_count: usize,
+    /// Distractor edits performed.
+    pub distractor_edit_count: usize,
+}
+
+impl GroundTruth {
+    /// Errors not corrected in year 2 (the paper's "remaining cases").
+    pub fn uncorrected_errors(&self) -> impl Iterator<Item = &PlantedError> {
+        self.errors.iter().filter(|e| !e.corrected_in_y2)
+    }
+
+    /// Fraction of errors corrected in year 2.
+    pub fn correction_fraction(&self) -> f64 {
+        if self.errors.is_empty() {
+            return 0.0;
+        }
+        self.errors.iter().filter(|e| e.corrected_in_y2).count() as f64
+            / self.errors.len() as f64
+    }
+
+    /// Events fired from a given template.
+    pub fn events_of_template(&self, template_ix: usize) -> impl Iterator<Item = &PlantedEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.template_ix == template_ix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edit(s: u32, t: u32) -> ConcreteEdit {
+        ConcreteEdit {
+            op: EditOp::Add,
+            source: EntityId::from_u32(s),
+            rel: 0,
+            target: EntityId::from_u32(t),
+        }
+    }
+
+    #[test]
+    fn correction_fraction_counts() {
+        let mut gt = GroundTruth::default();
+        assert_eq!(gt.correction_fraction(), 0.0);
+        for i in 0..4 {
+            gt.errors.push(PlantedError {
+                event_ix: 0,
+                action_ix: 1,
+                missing: edit(i, i + 10),
+                corrected_in_y2: i < 3,
+                correction_time: (i < 3).then_some(1000),
+            });
+        }
+        assert!((gt.correction_fraction() - 0.75).abs() < 1e-9);
+        assert_eq!(gt.uncorrected_errors().count(), 1);
+    }
+
+    #[test]
+    fn event_completeness() {
+        let e = PlantedEvent {
+            template_ix: 0,
+            seed: EntityId::from_u32(1),
+            bindings: vec![EntityId::from_u32(1)],
+            time: 5,
+            performed: vec![true, false],
+            extensions_fired: vec![],
+        };
+        assert!(!e.is_complete());
+    }
+
+    #[test]
+    fn template_filter() {
+        let mut gt = GroundTruth::default();
+        for tix in [0, 1, 0] {
+            gt.events.push(PlantedEvent {
+                template_ix: tix,
+                seed: EntityId::from_u32(0),
+                bindings: vec![],
+                time: 0,
+                performed: vec![],
+                extensions_fired: vec![],
+            });
+        }
+        assert_eq!(gt.events_of_template(0).count(), 2);
+        assert_eq!(gt.events_of_template(1).count(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! The entity catalog: entity registration and the `entities(t)` index.
+//!
+//! Every Wikipedia article is an entity with a unique name and one most
+//! specific type. The catalog maintains the *inverse index* from a type to
+//! the entities of that type — the paper uses it in Algorithm 2 line 3
+//! (`get_entities(t)`) and in the frequency denominator `|entities(t)|`.
+
+use crate::error::TypesError;
+use crate::ids::{EntityId, TypeId};
+use crate::taxonomy::Taxonomy;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Registry of entities and the per-type inverse index.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EntityCatalog {
+    names: Vec<String>,
+    types: Vec<TypeId>,
+    by_name: HashMap<String, EntityId>,
+    /// Entities whose *most specific* type is exactly the key.
+    by_exact_type: HashMap<TypeId, Vec<EntityId>>,
+}
+
+impl EntityCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an entity with its most specific type.
+    pub fn add(&mut self, name: &str, ty: TypeId) -> Result<EntityId, TypesError> {
+        if self.by_name.contains_key(name) {
+            return Err(TypesError::DuplicateEntity(name.to_owned()));
+        }
+        let id = EntityId::from_usize(self.names.len());
+        self.names.push(name.to_owned());
+        self.types.push(ty);
+        self.by_name.insert(name.to_owned(), id);
+        self.by_exact_type.entry(ty).or_default().push(id);
+        Ok(id)
+    }
+
+    /// The entity's display name.
+    pub fn name(&self, e: EntityId) -> &str {
+        &self.names[e.index()]
+    }
+
+    /// The entity's most specific type (`type(e)` in the paper).
+    pub fn entity_type(&self, e: EntityId) -> TypeId {
+        self.types[e.index()]
+    }
+
+    /// Looks up an entity by name.
+    pub fn lookup(&self, name: &str) -> Option<EntityId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up an entity by name, erroring if absent.
+    pub fn require(&self, name: &str) -> Result<EntityId, TypesError> {
+        self.lookup(name)
+            .ok_or_else(|| TypesError::UnknownEntity(name.to_owned()))
+    }
+
+    /// Number of registered entities.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no entity is registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Entities whose most specific type is exactly `t`.
+    pub fn entities_of_exact(&self, t: TypeId) -> &[EntityId] {
+        self.by_exact_type.get(&t).map_or(&[], |v| v.as_slice())
+    }
+
+    /// `entities(t)`: all entities labeled by a type `t' ≤ t`, gathered by
+    /// walking the taxonomy's descendants of `t`.
+    pub fn entities_of(&self, taxonomy: &Taxonomy, t: TypeId) -> Vec<EntityId> {
+        let mut out = Vec::new();
+        for d in taxonomy.descendants(t) {
+            out.extend_from_slice(self.entities_of_exact(d));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// `|entities(t)|` without materializing the vector.
+    pub fn count_entities_of(&self, taxonomy: &Taxonomy, t: TypeId) -> usize {
+        taxonomy
+            .descendants(t)
+            .into_iter()
+            .map(|d| self.entities_of_exact(d).len())
+            .sum()
+    }
+
+    /// Whether `e ∈ entities(t)`.
+    pub fn entity_has_type(&self, taxonomy: &Taxonomy, e: EntityId, t: TypeId) -> bool {
+        taxonomy.is_subtype(self.entity_type(e), t)
+    }
+
+    /// Iterates all entity ids.
+    pub fn iter(&self) -> impl Iterator<Item = EntityId> + '_ {
+        (0..self.names.len()).map(EntityId::from_usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Taxonomy, EntityCatalog, TypeId, TypeId, TypeId) {
+        let mut tax = Taxonomy::new("Thing");
+        let person = tax.add("Person", tax.root()).unwrap();
+        let athlete = tax.add("Athlete", person).unwrap();
+        let player = tax.add("SoccerPlayer", athlete).unwrap();
+        let cat = EntityCatalog::new();
+        (tax, cat, person, athlete, player)
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let (_tax, mut cat, _person, _athlete, player) = setup();
+        let e = cat.add("Neymar", player).unwrap();
+        assert_eq!(cat.name(e), "Neymar");
+        assert_eq!(cat.entity_type(e), player);
+        assert_eq!(cat.lookup("Neymar"), Some(e));
+        assert_eq!(cat.require("Neymar").unwrap(), e);
+        assert!(cat.require("Messi").is_err());
+    }
+
+    #[test]
+    fn duplicate_entity_rejected() {
+        let (_tax, mut cat, _person, _athlete, player) = setup();
+        cat.add("Neymar", player).unwrap();
+        assert!(matches!(
+            cat.add("Neymar", player),
+            Err(TypesError::DuplicateEntity(_))
+        ));
+    }
+
+    #[test]
+    fn entities_of_includes_descendant_types() {
+        let (tax, mut cat, person, athlete, player) = setup();
+        let n = cat.add("Neymar", player).unwrap();
+        let u = cat.add("Usain Bolt", athlete).unwrap();
+        let p = cat.add("Alan Turing", person).unwrap();
+
+        assert_eq!(cat.entities_of(&tax, player), vec![n]);
+        let mut of_athlete = cat.entities_of(&tax, athlete);
+        of_athlete.sort();
+        assert_eq!(of_athlete, vec![n, u]);
+        assert_eq!(cat.entities_of(&tax, person).len(), 3);
+        assert_eq!(cat.count_entities_of(&tax, person), 3);
+        assert_eq!(cat.count_entities_of(&tax, player), 1);
+
+        assert!(cat.entity_has_type(&tax, n, person));
+        assert!(!cat.entity_has_type(&tax, p, athlete));
+    }
+
+    #[test]
+    fn exact_type_index_does_not_cross_levels() {
+        let (_tax, mut cat, _person, athlete, player) = setup();
+        cat.add("Neymar", player).unwrap();
+        assert!(cat.entities_of_exact(athlete).is_empty());
+        assert_eq!(cat.entities_of_exact(player).len(), 1);
+    }
+
+    #[test]
+    fn iter_covers_all() {
+        let (_tax, mut cat, person, ..) = setup();
+        cat.add("A", person).unwrap();
+        cat.add("B", person).unwrap();
+        assert_eq!(cat.iter().count(), 2);
+        assert_eq!(cat.len(), 2);
+        assert!(!cat.is_empty());
+    }
+}

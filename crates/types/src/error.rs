@@ -1,0 +1,51 @@
+//! Error type for vocabulary registration.
+
+use std::fmt;
+
+/// Errors raised while building the type taxonomy or entity catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypesError {
+    /// A type name was registered twice.
+    DuplicateType(String),
+    /// An entity name was registered twice.
+    DuplicateEntity(String),
+    /// A referenced type name is unknown.
+    UnknownType(String),
+    /// A referenced entity name is unknown.
+    UnknownEntity(String),
+    /// A taxonomy edge would create a cycle.
+    CyclicTaxonomy(String),
+}
+
+impl fmt::Display for TypesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateType(n) => write!(f, "type `{n}` is already registered"),
+            Self::DuplicateEntity(n) => write!(f, "entity `{n}` is already registered"),
+            Self::UnknownType(n) => write!(f, "unknown type `{n}`"),
+            Self::UnknownEntity(n) => write!(f, "unknown entity `{n}`"),
+            Self::CyclicTaxonomy(n) => {
+                write!(f, "adding type `{n}` would create a taxonomy cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            TypesError::DuplicateType("Athlete".into()).to_string(),
+            "type `Athlete` is already registered"
+        );
+        assert_eq!(
+            TypesError::UnknownEntity("Neymar".into()).to_string(),
+            "unknown entity `Neymar`"
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Copyable, densely allocated identifiers.
+//!
+//! All three identifier kinds are thin wrappers over `u32` indices into the
+//! owning registry ([`crate::Taxonomy`], [`crate::EntityCatalog`], or a
+//! relation [`crate::Interner`]). Keeping them distinct newtypes prevents
+//! accidentally joining an entity column against a type column — a bug class
+//! the relational layer would otherwise happily admit.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Wraps a raw index. Indices are allocated densely from zero by
+            /// the owning registry.
+            #[inline]
+            pub const fn from_u32(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Wraps a `usize` index, panicking if it does not fit in `u32`.
+            #[inline]
+            pub fn from_usize(raw: usize) -> Self {
+                Self(u32::try_from(raw).expect("id index overflows u32"))
+            }
+
+            /// The raw index.
+            #[inline]
+            pub const fn as_u32(self) -> u32 {
+                self.0
+            }
+
+            /// The raw index as a `usize`, for direct vector indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a Wikipedia entity (an article / graph node).
+    EntityId,
+    "e"
+);
+id_type!(
+    /// Identifier of an entity type in the taxonomy (e.g. `SoccerPlayer`).
+    TypeId,
+    "t"
+);
+id_type!(
+    /// Identifier of a relation label (e.g. `current_club`).
+    RelId,
+    "r"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32() {
+        let e = EntityId::from_u32(7);
+        assert_eq!(e.as_u32(), 7);
+        assert_eq!(e.index(), 7);
+    }
+
+    #[test]
+    fn roundtrip_usize() {
+        let t = TypeId::from_usize(12);
+        assert_eq!(t.index(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn from_usize_overflow_panics() {
+        let _ = RelId::from_usize(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(EntityId::from_u32(1) < EntityId::from_u32(2));
+    }
+
+    #[test]
+    fn debug_and_display_are_prefixed() {
+        assert_eq!(format!("{:?}", EntityId::from_u32(3)), "e3");
+        assert_eq!(format!("{}", TypeId::from_u32(4)), "t4");
+        assert_eq!(format!("{}", RelId::from_u32(5)), "r5");
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&EntityId::from_u32(9)).unwrap();
+        assert_eq!(json, "9");
+        let back: EntityId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, EntityId::from_u32(9));
+    }
+}

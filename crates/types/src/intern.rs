@@ -1,0 +1,160 @@
+//! A simple append-only string interner.
+//!
+//! WiClean deals with a bounded vocabulary (entity names, type names,
+//! relation labels) that is referenced from millions of revision actions.
+//! Interning turns every occurrence into a 4-byte index and makes equality
+//! comparisons O(1).
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::collections::HashMap;
+
+/// Append-only string interner mapping strings to dense `u32` indices.
+///
+/// The interner never forgets a string; indices are stable for the lifetime
+/// of the interner and allocated in insertion order starting from zero.
+/// Serializes as the plain string list; the reverse index is rebuilt on
+/// deserialization.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    index: HashMap<Box<str>, u32>,
+}
+
+impl Serialize for Interner {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.strings.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Interner {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let strings: Vec<Box<str>> = Vec::deserialize(deserializer)?;
+        let index = strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as u32))
+            .collect();
+        Ok(Self { strings, index })
+    }
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its dense index. Re-interning an existing
+    /// string returns the original index.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&ix) = self.index.get(s) {
+            return ix;
+        }
+        let ix = u32::try_from(self.strings.len()).expect("interner overflow");
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.index.insert(boxed, ix);
+        ix
+    }
+
+    /// Looks up the index of a previously interned string.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// Resolves an index back to its string. Panics on an out-of-range
+    /// index, which always indicates a cross-interner mixup.
+    pub fn resolve(&self, ix: u32) -> &str {
+        &self.strings[ix as usize]
+    }
+
+    /// Resolves an index if it is in range.
+    pub fn try_resolve(&self, ix: u32) -> Option<&str> {
+        self.strings.get(ix as usize).map(|s| &**s)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(index, string)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, &**s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("Neymar");
+        let b = i.intern("Neymar");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("a"), 0);
+        assert_eq!(i.intern("b"), 1);
+        assert_eq!(i.intern("a"), 0);
+        assert_eq!(i.intern("c"), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut i = Interner::new();
+        let ix = i.intern("current_club");
+        assert_eq!(i.resolve(ix), "current_club");
+        assert_eq!(i.get("current_club"), Some(ix));
+        assert_eq!(i.get("missing"), None);
+    }
+
+    #[test]
+    fn try_resolve_out_of_range() {
+        let i = Interner::new();
+        assert_eq!(i.try_resolve(0), None);
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let mut i = Interner::new();
+        i.intern("x");
+        i.intern("y");
+        let all: Vec<_> = i.iter().collect();
+        assert_eq!(all, vec![(0, "x"), (1, "y")]);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_index() {
+        let mut i = Interner::new();
+        i.intern("alpha");
+        i.intern("beta");
+        let json = serde_json::to_string(&i).unwrap();
+        assert_eq!(json, r#"["alpha","beta"]"#);
+        let back: Interner = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get("beta"), Some(1));
+        assert_eq!(back.resolve(0), "alpha");
+    }
+
+    #[test]
+    fn empty_checks() {
+        let mut i = Interner::new();
+        assert!(i.is_empty());
+        i.intern("z");
+        assert!(!i.is_empty());
+    }
+}

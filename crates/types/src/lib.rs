@@ -1,0 +1,34 @@
+//! Core identifier and vocabulary types for WiClean.
+//!
+//! This crate provides the foundational vocabulary shared by every other
+//! WiClean crate:
+//!
+//! * cheap copyable identifiers for entities, entity types and relations
+//!   ([`EntityId`], [`TypeId`], [`RelId`]),
+//! * a string [`intern::Interner`] so that identifiers map back to names,
+//! * the DBpedia-style type [`taxonomy::Taxonomy`] with subtype tests and
+//!   ancestor enumeration (the paper reports "typically around eight
+//!   hierarchy levels"),
+//! * an [`catalog::EntityCatalog`] with the inverse index from a type to
+//!   `entities(t)` — all entities whose most specific type is `t` or a
+//!   descendant of `t` — which the frequency definition (Def. 3.2 in the
+//!   paper) divides by,
+//! * a [`Universe`] bundling all of the above, and
+//! * timestamps ([`Timestamp`]) and calendar helpers for the simulated
+//!   revision timeline.
+
+pub mod catalog;
+pub mod error;
+pub mod ids;
+pub mod intern;
+pub mod taxonomy;
+pub mod time;
+pub mod universe;
+
+pub use catalog::EntityCatalog;
+pub use error::TypesError;
+pub use ids::{EntityId, RelId, TypeId};
+pub use intern::Interner;
+pub use taxonomy::Taxonomy;
+pub use time::{Timestamp, Window, DAY, HOUR, MINUTE, WEEK, YEAR};
+pub use universe::Universe;

@@ -1,0 +1,339 @@
+//! The entity-type taxonomy.
+//!
+//! Wikipedia types (derived in the paper through a DBpedia alignment) form a
+//! tree-shaped taxonomy, e.g. `SoccerPlayer ≤ Athlete ≤ Person ≤ Agent ≤
+//! Thing`. We write `t' ≤ t` when `t` equals or generalizes `t'`. Each
+//! entity carries one *most specific* type; `entities(t)` then denotes all
+//! entities labeled by some `t' ≤ t`.
+//!
+//! The taxonomy is used pervasively:
+//! * enumerating the *abstractions* of a concrete action walks the ancestors
+//!   of the source/target types (paper §3),
+//! * the pattern specificity order `≺` generalizes variables upward, and
+//! * the frequency denominator counts `entities(t)`.
+
+use crate::error::TypesError;
+use crate::ids::TypeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A rooted tree of entity types with O(depth) subtype tests.
+///
+/// The root type (`Thing` by convention) is created by [`Taxonomy::new`].
+/// Types are added under an existing parent with [`Taxonomy::add`].
+///
+/// ```
+/// use wiclean_types::Taxonomy;
+///
+/// let mut tax = Taxonomy::new("Thing");
+/// let person = tax.add("Person", tax.root()).unwrap();
+/// let player = tax.add_path(person, &["Athlete", "SoccerPlayer"]).unwrap();
+/// assert!(tax.is_subtype(player, person)); // SoccerPlayer ≤ Person
+/// assert_eq!(tax.ancestors(player).count(), 4); // up to Thing
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Taxonomy {
+    names: Vec<String>,
+    parents: Vec<Option<TypeId>>,
+    depths: Vec<u32>,
+    children: Vec<Vec<TypeId>>,
+    by_name: HashMap<String, TypeId>,
+}
+
+impl Taxonomy {
+    /// Creates a taxonomy containing only the given root type.
+    pub fn new(root_name: &str) -> Self {
+        let mut t = Self {
+            names: Vec::new(),
+            parents: Vec::new(),
+            depths: Vec::new(),
+            children: Vec::new(),
+            by_name: HashMap::new(),
+        };
+        t.push(root_name.to_owned(), None, 0);
+        t
+    }
+
+    fn push(&mut self, name: String, parent: Option<TypeId>, depth: u32) -> TypeId {
+        let id = TypeId::from_usize(self.names.len());
+        self.by_name.insert(name.clone(), id);
+        self.names.push(name);
+        self.parents.push(parent);
+        self.depths.push(depth);
+        self.children.push(Vec::new());
+        if let Some(p) = parent {
+            self.children[p.index()].push(id);
+        }
+        id
+    }
+
+    /// The root type.
+    pub fn root(&self) -> TypeId {
+        TypeId::from_u32(0)
+    }
+
+    /// Registers a new type under `parent`.
+    pub fn add(&mut self, name: &str, parent: TypeId) -> Result<TypeId, TypesError> {
+        if self.by_name.contains_key(name) {
+            return Err(TypesError::DuplicateType(name.to_owned()));
+        }
+        if parent.index() >= self.names.len() {
+            return Err(TypesError::UnknownType(format!("{parent:?}")));
+        }
+        let depth = self.depths[parent.index()] + 1;
+        Ok(self.push(name.to_owned(), Some(parent), depth))
+    }
+
+    /// Registers a whole chain `names[0] / names[1] / ...` under `parent`,
+    /// reusing segments that already exist. Returns the id of the last
+    /// segment.
+    pub fn add_path(&mut self, parent: TypeId, names: &[&str]) -> Result<TypeId, TypesError> {
+        let mut cur = parent;
+        for name in names {
+            cur = match self.by_name.get(*name) {
+                Some(&existing) => {
+                    if !self.is_subtype(existing, cur) {
+                        return Err(TypesError::CyclicTaxonomy((*name).to_owned()));
+                    }
+                    existing
+                }
+                None => self.add(name, cur)?,
+            };
+        }
+        Ok(cur)
+    }
+
+    /// Looks a type up by name.
+    pub fn lookup(&self, name: &str) -> Option<TypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks a type up by name, erroring if absent.
+    pub fn require(&self, name: &str) -> Result<TypeId, TypesError> {
+        self.lookup(name)
+            .ok_or_else(|| TypesError::UnknownType(name.to_owned()))
+    }
+
+    /// The name of a type.
+    pub fn name(&self, t: TypeId) -> &str {
+        &self.names[t.index()]
+    }
+
+    /// The parent of a type (`None` for the root).
+    pub fn parent(&self, t: TypeId) -> Option<TypeId> {
+        self.parents[t.index()]
+    }
+
+    /// Depth of a type; the root has depth 0.
+    pub fn depth(&self, t: TypeId) -> u32 {
+        self.depths[t.index()]
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.names.len() <= 1
+    }
+
+    /// Direct children of a type.
+    pub fn children(&self, t: TypeId) -> &[TypeId] {
+        &self.children[t.index()]
+    }
+
+    /// Tests `sub ≤ sup`: whether `sup` equals or generalizes `sub`.
+    pub fn is_subtype(&self, sub: TypeId, sup: TypeId) -> bool {
+        if self.depths[sub.index()] < self.depths[sup.index()] {
+            return false;
+        }
+        let mut cur = sub;
+        loop {
+            if cur == sup {
+                return true;
+            }
+            match self.parents[cur.index()] {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// Iterates `t` and all its ancestors up to the root, most specific
+    /// first. This is the abstraction ladder for a concrete action endpoint.
+    pub fn ancestors(&self, t: TypeId) -> Ancestors<'_> {
+        Ancestors {
+            taxonomy: self,
+            next: Some(t),
+        }
+    }
+
+    /// Iterates `t` and all its descendants in preorder.
+    pub fn descendants(&self, t: TypeId) -> Vec<TypeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![t];
+        while let Some(cur) = stack.pop() {
+            out.push(cur);
+            stack.extend(self.children[cur.index()].iter().copied());
+        }
+        out
+    }
+
+    /// Least common ancestor of two types.
+    pub fn lca(&self, a: TypeId, b: TypeId) -> TypeId {
+        let (mut a, mut b) = (a, b);
+        while self.depths[a.index()] > self.depths[b.index()] {
+            a = self.parents[a.index()].expect("non-root type has parent");
+        }
+        while self.depths[b.index()] > self.depths[a.index()] {
+            b = self.parents[b.index()].expect("non-root type has parent");
+        }
+        while a != b {
+            a = self.parents[a.index()].expect("root reached before lca");
+            b = self.parents[b.index()].expect("root reached before lca");
+        }
+        a
+    }
+
+    /// Iterates all type ids.
+    pub fn iter(&self) -> impl Iterator<Item = TypeId> + '_ {
+        (0..self.names.len()).map(TypeId::from_usize)
+    }
+}
+
+/// Iterator over a type and its ancestors (see [`Taxonomy::ancestors`]).
+pub struct Ancestors<'a> {
+    taxonomy: &'a Taxonomy,
+    next: Option<TypeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = TypeId;
+
+    fn next(&mut self) -> Option<TypeId> {
+        let cur = self.next?;
+        self.next = self.taxonomy.parent(cur);
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Taxonomy, TypeId, TypeId, TypeId, TypeId) {
+        let mut tax = Taxonomy::new("Thing");
+        let root = tax.root();
+        let person = tax.add("Person", root).unwrap();
+        let athlete = tax.add("Athlete", person).unwrap();
+        let player = tax.add("SoccerPlayer", athlete).unwrap();
+        (tax, root, person, athlete, player)
+    }
+
+    #[test]
+    fn depths_and_parents() {
+        let (tax, root, person, athlete, player) = sample();
+        assert_eq!(tax.depth(root), 0);
+        assert_eq!(tax.depth(player), 3);
+        assert_eq!(tax.parent(player), Some(athlete));
+        assert_eq!(tax.parent(person), Some(root));
+        assert_eq!(tax.parent(root), None);
+    }
+
+    #[test]
+    fn subtype_is_reflexive_and_transitive() {
+        let (tax, root, person, _athlete, player) = sample();
+        assert!(tax.is_subtype(player, player));
+        assert!(tax.is_subtype(player, person));
+        assert!(tax.is_subtype(player, root));
+        assert!(!tax.is_subtype(person, player));
+    }
+
+    #[test]
+    fn unrelated_branches_are_not_subtypes() {
+        let (mut tax, root, _person, _athlete, player) = sample();
+        let org = tax.add("Organisation", root).unwrap();
+        let club = tax.add("SoccerClub", org).unwrap();
+        assert!(!tax.is_subtype(player, club));
+        assert!(!tax.is_subtype(club, player));
+        assert_eq!(tax.lca(player, club), root);
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let (tax, root, person, athlete, player) = sample();
+        let chain: Vec<_> = tax.ancestors(player).collect();
+        assert_eq!(chain, vec![player, athlete, person, root]);
+    }
+
+    #[test]
+    fn descendants_include_self_and_all_below() {
+        let (tax, _root, person, athlete, player) = sample();
+        let mut d = tax.descendants(person);
+        d.sort();
+        let mut expected = vec![person, athlete, player];
+        expected.sort();
+        assert_eq!(d, expected);
+    }
+
+    #[test]
+    fn duplicate_type_rejected() {
+        let (mut tax, root, ..) = sample();
+        assert!(matches!(
+            tax.add("Person", root),
+            Err(TypesError::DuplicateType(_))
+        ));
+    }
+
+    #[test]
+    fn add_path_reuses_existing_segments() {
+        let (mut tax, root, person, athlete, player) = sample();
+        let again = tax
+            .add_path(root, &["Person", "Athlete", "SoccerPlayer"])
+            .unwrap();
+        assert_eq!(again, player);
+        let gk = tax
+            .add_path(person, &["Athlete", "Goalkeeper"])
+            .unwrap();
+        assert_eq!(tax.parent(gk), Some(athlete));
+    }
+
+    #[test]
+    fn add_path_detects_inconsistent_reuse() {
+        let (mut tax, root, ..) = sample();
+        let org = tax.add("Organisation", root).unwrap();
+        // "Person" exists but is not under Organisation.
+        assert!(matches!(
+            tax.add_path(org, &["Person"]),
+            Err(TypesError::CyclicTaxonomy(_))
+        ));
+    }
+
+    #[test]
+    fn lca_of_ancestor_is_ancestor() {
+        let (tax, _root, person, _athlete, player) = sample();
+        assert_eq!(tax.lca(player, person), person);
+        assert_eq!(tax.lca(person, player), person);
+    }
+
+    #[test]
+    fn lookup_and_require() {
+        let (tax, ..) = sample();
+        assert!(tax.lookup("Athlete").is_some());
+        assert!(tax.require("Nope").is_err());
+    }
+
+    #[test]
+    fn eight_level_hierarchy_supported() {
+        // The paper notes the Wikipedia taxonomy typically has ~8 levels.
+        let mut tax = Taxonomy::new("L0");
+        let mut cur = tax.root();
+        for i in 1..=8 {
+            cur = tax.add(&format!("L{i}"), cur).unwrap();
+        }
+        assert_eq!(tax.depth(cur), 8);
+        assert_eq!(tax.ancestors(cur).count(), 9);
+    }
+}

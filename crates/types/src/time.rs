@@ -1,0 +1,197 @@
+//! Timestamps and time windows over the simulated revision timeline.
+//!
+//! The paper splits the Wikipedia revision timeline into non-overlapping
+//! windows (§4.3) and mines each window independently. We model time as
+//! seconds since an epoch at the start of the observed year ("2018-01-01"
+//! in the experiments); calendar helpers below are deliberately simple —
+//! months are modeled with their true 2018 lengths so that "the month of
+//! August" from the paper's experiments is expressible.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Seconds since the start of the observed timeline.
+pub type Timestamp = u64;
+
+/// One minute in seconds.
+pub const MINUTE: u64 = 60;
+/// One hour in seconds.
+pub const HOUR: u64 = 60 * MINUTE;
+/// One day in seconds.
+pub const DAY: u64 = 24 * HOUR;
+/// One week in seconds.
+pub const WEEK: u64 = 7 * DAY;
+/// One (non-leap) year in seconds.
+pub const YEAR: u64 = 365 * DAY;
+
+/// Day lengths of the months of a non-leap year (2018).
+const MONTH_DAYS: [u64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// Returns the timestamp of the first second of the 1-based `month` of the
+/// first simulated year.
+///
+/// # Panics
+/// Panics if `month` is not in `1..=12`.
+pub fn month_start(month: u32) -> Timestamp {
+    assert!((1..=12).contains(&month), "month must be 1..=12");
+    MONTH_DAYS[..(month as usize - 1)].iter().sum::<u64>() * DAY
+}
+
+/// Returns the half-open window covering the 1-based `month` of the first
+/// simulated year.
+pub fn month_window(month: u32) -> Window {
+    let start = month_start(month);
+    let days = MONTH_DAYS[month as usize - 1];
+    Window::new(start, start + days * DAY)
+}
+
+/// A half-open time window `[start, end)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Window {
+    /// Inclusive start of the window.
+    pub start: Timestamp,
+    /// Exclusive end of the window.
+    pub end: Timestamp,
+}
+
+impl Window {
+    /// Creates a window; `start` must not exceed `end`.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        assert!(start <= end, "window start after end");
+        Self { start, end }
+    }
+
+    /// Window length in seconds.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the window covers zero seconds.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `t` falls within the window.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Whether two windows share any instant.
+    pub fn overlaps(&self, other: &Window) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// The smallest window covering both inputs (used when merging the rare
+    /// overlapping meaningful windows, §4.3).
+    pub fn merge(&self, other: &Window) -> Window {
+        Window::new(self.start.min(other.start), self.end.max(other.end))
+    }
+
+    /// Splits the half-open span `[start, end)` into consecutive windows of
+    /// `width` seconds; the final window is truncated at `end`.
+    ///
+    /// This is the timeline split of Algorithm 2 line 7.
+    pub fn split_span(start: Timestamp, end: Timestamp, width: u64) -> Vec<Window> {
+        assert!(width > 0, "window width must be positive");
+        let mut out = Vec::new();
+        let mut cur = start;
+        while cur < end {
+            let next = (cur + width).min(end);
+            out.push(Window::new(cur, next));
+            cur = next;
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+impl fmt::Display for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_day = |t: Timestamp| format!("d{}", t / DAY);
+        write!(f, "[{}, {})", fmt_day(self.start), fmt_day(self.end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn month_starts_accumulate() {
+        assert_eq!(month_start(1), 0);
+        assert_eq!(month_start(2), 31 * DAY);
+        assert_eq!(month_start(3), (31 + 28) * DAY);
+        // August starts after Jan..Jul = 31+28+31+30+31+30+31 = 212 days.
+        assert_eq!(month_start(8), 212 * DAY);
+    }
+
+    #[test]
+    fn august_window_is_31_days() {
+        let w = month_window(8);
+        assert_eq!(w.len(), 31 * DAY);
+        assert!(w.contains(month_start(8)));
+        assert!(!w.contains(month_start(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "month")]
+    fn month_zero_panics() {
+        month_start(0);
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let w = Window::new(10, 20);
+        assert!(w.contains(10));
+        assert!(w.contains(19));
+        assert!(!w.contains(20));
+        assert!(!w.contains(9));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Window::new(0, 10);
+        let b = Window::new(10, 20);
+        let c = Window::new(5, 15);
+        assert!(!a.overlaps(&b), "adjacent half-open windows do not overlap");
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+    }
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Window::new(0, 10);
+        let b = Window::new(25, 30);
+        let m = a.merge(&b);
+        assert_eq!(m, Window::new(0, 30));
+    }
+
+    #[test]
+    fn split_span_covers_and_truncates() {
+        let ws = Window::split_span(0, 10 * WEEK + DAY, 2 * WEEK);
+        assert_eq!(ws.len(), 6);
+        assert_eq!(ws[0], Window::new(0, 2 * WEEK));
+        assert_eq!(ws[5], Window::new(10 * WEEK, 10 * WEEK + DAY));
+        // Consecutive and non-overlapping.
+        for pair in ws.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+            assert!(!pair[0].overlaps(&pair[1]));
+        }
+    }
+
+    #[test]
+    fn split_span_empty_range() {
+        assert!(Window::split_span(5, 5, WEEK).is_empty());
+    }
+
+    #[test]
+    fn display_uses_days() {
+        let w = Window::new(0, 2 * WEEK);
+        assert_eq!(w.to_string(), "[d0, d14)");
+    }
+}

@@ -1,0 +1,156 @@
+//! The [`Universe`]: one bundle of taxonomy + relations + entities.
+//!
+//! Nearly every WiClean component needs the same three registries; bundling
+//! them avoids threading three references through every signature and keeps
+//! the identifier spaces consistent (an `EntityId` is only meaningful
+//! relative to the universe that allocated it).
+
+use crate::catalog::EntityCatalog;
+use crate::error::TypesError;
+use crate::ids::{EntityId, RelId, TypeId};
+use crate::intern::Interner;
+use crate::taxonomy::Taxonomy;
+use serde::{Deserialize, Serialize};
+
+/// The complete static vocabulary of a WiClean deployment: the type
+/// taxonomy, the relation-label interner and the entity catalog.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Universe {
+    taxonomy: Taxonomy,
+    relations: Interner,
+    entities: EntityCatalog,
+}
+
+impl Universe {
+    /// Creates a universe whose taxonomy contains only `root_type`.
+    pub fn new(root_type: &str) -> Self {
+        Self {
+            taxonomy: Taxonomy::new(root_type),
+            relations: Interner::new(),
+            entities: EntityCatalog::new(),
+        }
+    }
+
+    /// Shared access to the taxonomy.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// Mutable access to the taxonomy (schema building).
+    pub fn taxonomy_mut(&mut self) -> &mut Taxonomy {
+        &mut self.taxonomy
+    }
+
+    /// Shared access to the entity catalog.
+    pub fn entities(&self) -> &EntityCatalog {
+        &self.entities
+    }
+
+    /// Registers a relation label, returning its id.
+    pub fn relation(&mut self, label: &str) -> RelId {
+        RelId::from_u32(self.relations.intern(label))
+    }
+
+    /// Looks up an existing relation label.
+    pub fn lookup_relation(&self, label: &str) -> Option<RelId> {
+        self.relations.get(label).map(RelId::from_u32)
+    }
+
+    /// The label of a relation.
+    pub fn relation_name(&self, r: RelId) -> &str {
+        self.relations.resolve(r.as_u32())
+    }
+
+    /// Number of distinct relation labels.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Registers an entity with its most specific type.
+    pub fn add_entity(&mut self, name: &str, ty: TypeId) -> Result<EntityId, TypesError> {
+        self.entities.add(name, ty)
+    }
+
+    /// The display name of an entity.
+    pub fn entity_name(&self, e: EntityId) -> &str {
+        self.entities.name(e)
+    }
+
+    /// `type(e)` — the entity's most specific type.
+    pub fn entity_type(&self, e: EntityId) -> TypeId {
+        self.entities.entity_type(e)
+    }
+
+    /// `entities(t)` — every entity of type `t' ≤ t`.
+    pub fn entities_of(&self, t: TypeId) -> Vec<EntityId> {
+        self.entities.entities_of(&self.taxonomy, t)
+    }
+
+    /// `|entities(t)|`.
+    pub fn count_entities_of(&self, t: TypeId) -> usize {
+        self.entities.count_entities_of(&self.taxonomy, t)
+    }
+
+    /// Whether `e ∈ entities(t)`.
+    pub fn entity_has_type(&self, e: EntityId, t: TypeId) -> bool {
+        self.entities.entity_has_type(&self.taxonomy, e, t)
+    }
+
+    /// Tests the subtype relation `sub ≤ sup`.
+    pub fn is_subtype(&self, sub: TypeId, sup: TypeId) -> bool {
+        self.taxonomy.is_subtype(sub, sup)
+    }
+
+    /// Human-readable rendering of a type id.
+    pub fn type_name(&self, t: TypeId) -> &str {
+        self.taxonomy.name(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_round_trip() {
+        let mut u = Universe::new("Thing");
+        let person = u.taxonomy_mut().add("Person", TypeId::from_u32(0)).unwrap();
+        u.relation("knows");
+        let alice = u.add_entity("Alice", person).unwrap();
+        let json = serde_json::to_string(&u).unwrap();
+        let back: Universe = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.entity_name(alice), "Alice");
+        assert_eq!(back.lookup_relation("knows"), u.lookup_relation("knows"));
+        assert_eq!(back.taxonomy().lookup("Person"), Some(person));
+        assert_eq!(back.count_entities_of(person), 1);
+    }
+
+    #[test]
+    fn end_to_end_vocabulary() {
+        let mut u = Universe::new("Thing");
+        let person = u.taxonomy_mut().add("Person", TypeId::from_u32(0)).unwrap();
+        let player = u.taxonomy_mut().add("SoccerPlayer", person).unwrap();
+        let club = u
+            .taxonomy_mut()
+            .add("SoccerClub", TypeId::from_u32(0))
+            .unwrap();
+
+        let rel = u.relation("current_club");
+        assert_eq!(u.relation_name(rel), "current_club");
+        assert_eq!(u.relation("current_club"), rel, "relation ids stable");
+        assert_eq!(u.lookup_relation("current_club"), Some(rel));
+        assert_eq!(u.lookup_relation("squad"), None);
+        assert_eq!(u.relation_count(), 1);
+
+        let neymar = u.add_entity("Neymar", player).unwrap();
+        let psg = u.add_entity("PSG", club).unwrap();
+        assert_eq!(u.entity_name(neymar), "Neymar");
+        assert_eq!(u.entity_type(psg), club);
+        assert!(u.entity_has_type(neymar, person));
+        assert!(!u.entity_has_type(psg, person));
+        assert_eq!(u.entities_of(person), vec![neymar]);
+        assert_eq!(u.count_entities_of(person), 1);
+        assert!(u.is_subtype(player, person));
+        assert_eq!(u.type_name(player), "SoccerPlayer");
+    }
+}

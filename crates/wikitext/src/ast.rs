@@ -1,0 +1,169 @@
+//! Structured view of a parsed page and of a link edit.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Whether an edit adds (`+`) or removes (`-`) a link.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EditOp {
+    /// A link was added.
+    Add,
+    /// A link was removed.
+    Remove,
+}
+
+impl EditOp {
+    /// The opposite operation; applying an action followed by its inverse
+    /// leaves the page unchanged.
+    pub fn inverse(self) -> Self {
+        match self {
+            Self::Add => Self::Remove,
+            Self::Remove => Self::Add,
+        }
+    }
+
+    /// The `+` / `-` sigil used in the paper's figures.
+    pub fn sigil(self) -> char {
+        match self {
+            Self::Add => '+',
+            Self::Remove => '-',
+        }
+    }
+}
+
+impl fmt::Debug for EditOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Add => "Add",
+            Self::Remove => "Remove",
+        })
+    }
+}
+
+impl fmt::Display for EditOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.sigil())
+    }
+}
+
+/// The structured outgoing links of one page snapshot.
+///
+/// Each link is a `(relation, target)` pair; a page never records the same
+/// pair twice (set semantics, matching the Wikipedia graph where parallel
+/// identical edges cannot exist).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageLinks {
+    /// The infobox template name (e.g. `football biography`), if present.
+    pub infobox_kind: Option<String>,
+    /// The structured `(relation, target)` link pairs, ordered.
+    pub links: BTreeSet<(String, String)>,
+    /// Redirect target if the page is a `#REDIRECT [[...]]` stub; redirect
+    /// pages carry no structured links of their own.
+    #[serde(default)]
+    pub redirect: Option<String>,
+}
+
+impl PageLinks {
+    /// Creates an empty link set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a link, returning whether it was new.
+    pub fn insert(&mut self, relation: &str, target: &str) -> bool {
+        self.links
+            .insert((relation.to_owned(), target.to_owned()))
+    }
+
+    /// Whether the page links to `target` via `relation`.
+    pub fn contains(&self, relation: &str, target: &str) -> bool {
+        self.links
+            .contains(&(relation.to_owned(), target.to_owned()))
+    }
+
+    /// Number of structured links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the page has no structured links.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
+/// One link edit derived by diffing two consecutive snapshots of a page.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkEdit {
+    /// Add or remove.
+    pub op: EditOp,
+    /// The relation label (infobox field / section / table caption).
+    pub relation: String,
+    /// The linked page title.
+    pub target: String,
+}
+
+impl LinkEdit {
+    /// Convenience constructor.
+    pub fn new(op: EditOp, relation: &str, target: &str) -> Self {
+        Self {
+            op,
+            relation: relation.to_owned(),
+            target: target.to_owned(),
+        }
+    }
+
+    /// The inverse edit (same link, opposite operation).
+    pub fn inverse(&self) -> Self {
+        Self {
+            op: self.op.inverse(),
+            relation: self.relation.clone(),
+            target: self.target.clone(),
+        }
+    }
+}
+
+impl fmt::Display for LinkEdit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}=[[{}]]", self.op, self.relation, self.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_inverse_is_involutive() {
+        assert_eq!(EditOp::Add.inverse(), EditOp::Remove);
+        assert_eq!(EditOp::Remove.inverse().inverse(), EditOp::Remove);
+    }
+
+    #[test]
+    fn sigils() {
+        assert_eq!(EditOp::Add.to_string(), "+");
+        assert_eq!(EditOp::Remove.to_string(), "-");
+    }
+
+    #[test]
+    fn page_links_set_semantics() {
+        let mut p = PageLinks::new();
+        assert!(p.insert("squad", "Neymar"));
+        assert!(!p.insert("squad", "Neymar"), "duplicate insert is a no-op");
+        assert!(p.contains("squad", "Neymar"));
+        assert!(!p.contains("squad", "Mbappe"));
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn link_edit_inverse_and_display() {
+        let e = LinkEdit::new(EditOp::Add, "current_club", "PSG F.C.");
+        let inv = e.inverse();
+        assert_eq!(inv.op, EditOp::Remove);
+        assert_eq!(inv.relation, e.relation);
+        assert_eq!(inv.inverse(), e);
+        assert_eq!(e.to_string(), "+ current_club=[[PSG F.C.]]");
+    }
+}

@@ -1,0 +1,125 @@
+//! Diffing consecutive revisions into link edits.
+//!
+//! Wikipedia revision histories store full page text per revision; the link
+//! *actions* the paper mines (Figure 1) are reconstructed by parsing two
+//! consecutive snapshots and set-differencing their structured links.
+
+use crate::ast::{EditOp, LinkEdit, PageLinks};
+use crate::parse::parse_page;
+
+/// Diffs two already-parsed link sets.
+///
+/// Returns removals first, then additions, each ordered — a deterministic
+/// order downstream reduction relies on only for reproducibility (the paper
+/// shows the relative order within a revision is immaterial).
+pub fn diff_links(old: &PageLinks, new: &PageLinks) -> Vec<LinkEdit> {
+    let mut edits = Vec::new();
+    for (rel, target) in old.links.difference(&new.links) {
+        edits.push(LinkEdit::new(EditOp::Remove, rel, target));
+    }
+    for (rel, target) in new.links.difference(&old.links) {
+        edits.push(LinkEdit::new(EditOp::Add, rel, target));
+    }
+    edits
+}
+
+/// Parses and diffs two consecutive wikitext snapshots.
+pub fn diff_revisions(old_text: &str, new_text: &str) -> Vec<LinkEdit> {
+    diff_links(&parse_page(old_text), &parse_page(new_text))
+}
+
+/// Applies a list of edits to a link set, panicking on inconsistent edits
+/// (removing an absent link / adding a present one). Used by tests to state
+/// the `diff ∘ apply = identity` property and by the generator to evolve
+/// page state.
+pub fn apply_edits(links: &mut PageLinks, edits: &[LinkEdit]) {
+    for e in edits {
+        match e.op {
+            EditOp::Add => {
+                let fresh = links.insert(&e.relation, &e.target);
+                assert!(fresh, "adding already-present link {e}");
+            }
+            EditOp::Remove => {
+                let existed = links
+                    .links
+                    .remove(&(e.relation.clone(), e.target.clone()));
+                assert!(existed, "removing absent link {e}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn links(pairs: &[(&str, &str)]) -> PageLinks {
+        let mut p = PageLinks::new();
+        for (r, t) in pairs {
+            p.insert(r, t);
+        }
+        p
+    }
+
+    #[test]
+    fn diff_detects_add_and_remove() {
+        let old = links(&[("current_club", "Barcelona F.C.")]);
+        let new = links(&[("current_club", "PSG F.C.")]);
+        let edits = diff_links(&old, &new);
+        assert_eq!(
+            edits,
+            vec![
+                LinkEdit::new(EditOp::Remove, "current_club", "Barcelona F.C."),
+                LinkEdit::new(EditOp::Add, "current_club", "PSG F.C."),
+            ]
+        );
+    }
+
+    #[test]
+    fn diff_of_identical_pages_is_empty() {
+        let p = links(&[("squad", "Neymar"), ("in_league", "Ligue 1")]);
+        assert!(diff_links(&p, &p).is_empty());
+    }
+
+    #[test]
+    fn diff_revisions_parses_text() {
+        let old = "{{Infobox x\n| current_club = [[Barcelona F.C.]]\n}}\n";
+        let new = "{{Infobox x\n| current_club = [[PSG F.C.]]\n}}\n";
+        let edits = diff_revisions(old, new);
+        assert_eq!(edits.len(), 2);
+        assert!(edits.contains(&LinkEdit::new(EditOp::Add, "current_club", "PSG F.C.")));
+    }
+
+    #[test]
+    fn apply_then_diff_is_identity() {
+        let mut state = links(&[("squad", "A"), ("squad", "B")]);
+        let target = links(&[("squad", "B"), ("squad", "C"), ("in_league", "L")]);
+        let edits = diff_links(&state, &target);
+        apply_edits(&mut state, &edits);
+        assert_eq!(state, target);
+        assert!(diff_links(&state, &target).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already-present")]
+    fn apply_rejects_duplicate_add() {
+        let mut state = links(&[("squad", "A")]);
+        apply_edits(&mut state, &[LinkEdit::new(EditOp::Add, "squad", "A")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "absent")]
+    fn apply_rejects_phantom_remove() {
+        let mut state = links(&[]);
+        apply_edits(&mut state, &[LinkEdit::new(EditOp::Remove, "squad", "A")]);
+    }
+
+    #[test]
+    fn removals_are_ordered_before_additions() {
+        let old = links(&[("r", "X")]);
+        let new = links(&[("r", "Y")]);
+        let edits = diff_links(&old, &new);
+        assert_eq!(edits[0].op, EditOp::Remove);
+        assert_eq!(edits[1].op, EditOp::Add);
+    }
+}

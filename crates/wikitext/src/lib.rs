@@ -1,0 +1,36 @@
+//! A miniature wikitext substrate for WiClean.
+//!
+//! The paper had to *crawl and parse* Wikipedia pages because Wikipedia had
+//! no convincing API for its revision logs — preprocessing revision
+//! histories dominates the running time in every experiment (Figure 4's
+//! stacked bars). To reproduce that code path rather than stub it, WiClean
+//! stores every revision as a full wikitext page snapshot and re-derives
+//! link edits by parsing and diffing consecutive snapshots, exactly like a
+//! crawler over `action=history` exports would.
+//!
+//! The dialect implemented here covers the *structured* parts of a page the
+//! paper mines (infoboxes and tables):
+//!
+//! * `{{Infobox <type>}}` templates with `| field = value` parameters whose
+//!   values may contain one or more `[[links]]`;
+//! * section headings (`== squad ==`) followed by `*` bullet lists of links
+//!   (how list-valued relations such as a club's squad are laid out);
+//! * wikitables (`{| ... |}`) with a `|+ relation` caption, an alternative
+//!   layout for list-valued relations;
+//! * piped links `[[Target|display text]]`, HTML comments, and free prose
+//!   with embedded links (prose links are *not* structured data and are
+//!   deliberately excluded from extraction, mirroring the paper's focus).
+//!
+//! [`parse::parse_page`] extracts a [`ast::PageLinks`] from a snapshot, and
+//! [`diff::diff_revisions`] turns two consecutive snapshots into the set of
+//! link [`ast::LinkEdit`]s between them.
+
+pub mod ast;
+pub mod diff;
+pub mod parse;
+pub mod render;
+
+pub use ast::{EditOp, LinkEdit, PageLinks};
+pub use diff::diff_revisions;
+pub use parse::parse_page;
+pub use render::{render_page, PageSpec, RelationLayout};

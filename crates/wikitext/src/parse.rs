@@ -1,0 +1,385 @@
+//! Parsing wikitext snapshots into structured links.
+//!
+//! The parser is a single forward pass over the text, line-oriented for the
+//! block structure (infobox, sections, tables) with a small in-line scanner
+//! for `[[link]]` syntax. It tolerates the noise real pages carry: HTML
+//! comments, piped links, unknown templates, stray markup, and prose links
+//! (which are skipped — only infobox fields, relation sections, and captioned
+//! tables are structured data, per the paper's scope).
+
+use crate::ast::PageLinks;
+
+/// Namespaced links (`[[Category:...]]`, `[[File:...]]`, …) are metadata,
+/// not entity links, and are excluded from structured extraction.
+fn is_namespaced(target: &str) -> bool {
+    const NAMESPACES: [&str; 5] = ["Category:", "File:", "Image:", "Template:", "Help:"];
+    NAMESPACES.iter().any(|ns| target.starts_with(ns))
+}
+
+/// Extracts the link targets from an inline fragment, resolving piped links
+/// `[[Target|display]]` to `Target` and trimming whitespace. Malformed link
+/// openers without a closing `]]` and namespaced links (categories, files)
+/// are ignored.
+pub fn scan_links(fragment: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = fragment;
+    while let Some(start) = rest.find("[[") {
+        rest = &rest[start + 2..];
+        let Some(end) = rest.find("]]") else { break };
+        let inner = &rest[..end];
+        rest = &rest[end + 2..];
+        let target = match inner.find('|') {
+            Some(pipe) => &inner[..pipe],
+            None => inner,
+        };
+        let target = target.trim();
+        if !target.is_empty() && !is_namespaced(target) {
+            out.push(target);
+        }
+    }
+    out
+}
+
+/// Strips `<ref>…</ref>` footnotes (and self-closing `<ref … />` tags);
+/// reference bodies may contain links, but those cite sources rather than
+/// relate entities. Unterminated refs run to the end of the input.
+pub fn strip_refs(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(start) = rest.find("<ref") {
+        out.push_str(&rest[..start]);
+        rest = &rest[start..];
+        // Self-closing tag?
+        let close_tag = rest.find("/>");
+        let open_end = rest.find('>');
+        match (open_end, close_tag) {
+            (Some(oe), Some(ct)) if ct + 1 == oe => {
+                // `<ref ... />`
+                rest = &rest[oe + 1..];
+            }
+            (Some(_), _) => match rest.find("</ref>") {
+                Some(end) => rest = &rest[end + 6..],
+                None => return out,
+            },
+            (None, _) => return out,
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Strips `<!-- ... -->` comments. Unterminated comments run to the end of
+/// the input, like MediaWiki's sanitizer.
+pub fn strip_comments(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(start) = rest.find("<!--") {
+        out.push_str(&rest[..start]);
+        rest = &rest[start + 4..];
+        match rest.find("-->") {
+            Some(end) => rest = &rest[end + 3..],
+            None => return out,
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Block {
+    /// Top level prose; links here are unstructured and skipped.
+    Prose,
+    /// Inside `{{Infobox ...}}`.
+    Infobox,
+    /// Inside a `== relation ==` section; bullets are structured links.
+    Section,
+    /// Inside a `{| ... |}` table.
+    Table,
+}
+
+/// Parses one page snapshot into its structured links.
+///
+/// Recognized structure:
+/// * `{{Infobox KIND` opens an infobox; `| field = value` lines contribute
+///   `(field, target)` for every link in the value; `}}` closes it.
+/// * `== title ==` opens a section named `title`; `* ...` bullets inside it
+///   contribute `(title, target)` pairs.
+/// * `{|` opens a table; `|+ caption` names its relation; `| cell` and
+///   `! cell` lines contribute links under that caption; `|}` closes it.
+///   Tables without a caption are presentation-only and skipped.
+/// * everything else is prose and ignored.
+pub fn parse_page(text: &str) -> PageLinks {
+    let text = strip_refs(&strip_comments(text));
+    let mut page = PageLinks::new();
+    let mut block = Block::Prose;
+    let mut section_name = String::new();
+    let mut table_caption: Option<String> = None;
+    // Brace depth *inside* the infobox: nested templates ({{cite …}},
+    // {{formatnum:…}}) may span lines and must not contribute fields or
+    // close the infobox early.
+    let mut infobox_depth = 0i32;
+
+    // Redirect stubs: the whole page is just a pointer.
+    if let Some(rest) = text.trim_start().strip_prefix("#REDIRECT") {
+        if let Some(target) = scan_links(rest).first() {
+            page.redirect = Some((*target).to_owned());
+        }
+        return page;
+    }
+
+    for raw_line in text.lines() {
+        let line = raw_line.trim_end();
+        let trimmed = line.trim_start();
+
+        match block {
+            Block::Infobox => {
+                let opens = trimmed.matches("{{").count() as i32;
+                let closes = trimmed.matches("}}").count() as i32;
+                if infobox_depth == 0 {
+                    if let Some(rest) = trimmed.strip_prefix('|') {
+                        if let Some(eq) = rest.find('=') {
+                            let field = rest[..eq].trim();
+                            let value = &rest[eq + 1..];
+                            if !field.is_empty() {
+                                for target in scan_links(value) {
+                                    page.insert(field, target);
+                                }
+                            }
+                        }
+                    }
+                }
+                infobox_depth += opens - closes;
+                if infobox_depth < 0 {
+                    // The infobox's own `}}` closed it.
+                    block = Block::Prose;
+                    infobox_depth = 0;
+                }
+            }
+            Block::Table => {
+                if trimmed == "|}" {
+                    block = Block::Prose;
+                    table_caption = None;
+                } else if let Some(rest) = trimmed.strip_prefix("|+") {
+                    let caption = rest.trim();
+                    if !caption.is_empty() {
+                        table_caption = Some(caption.to_owned());
+                    }
+                } else if trimmed.starts_with("|-") {
+                    // row separator
+                } else if let Some(rest) = trimmed
+                    .strip_prefix('|')
+                    .or_else(|| trimmed.strip_prefix('!'))
+                {
+                    if let Some(caption) = &table_caption {
+                        for target in scan_links(rest) {
+                            page.insert(caption, target);
+                        }
+                    }
+                }
+            }
+            Block::Prose | Block::Section => {
+                if let Some(kind) = trimmed
+                    .strip_prefix("{{Infobox ")
+                    .or_else(|| trimmed.strip_prefix("{{infobox "))
+                {
+                    page.infobox_kind = Some(kind.trim().trim_end_matches('}').trim().to_owned());
+                    block = Block::Infobox;
+                    infobox_depth = 0;
+                } else if trimmed.starts_with("{|") {
+                    block = Block::Table;
+                    table_caption = None;
+                } else if let Some(title) = heading_title(trimmed) {
+                    section_name = title.to_owned();
+                    block = Block::Section;
+                } else if block == Block::Section {
+                    if let Some(rest) = trimmed.strip_prefix('*') {
+                        for target in scan_links(rest) {
+                            page.insert(&section_name, target);
+                        }
+                    } else if !trimmed.is_empty() && !trimmed.starts_with('*') {
+                        // Prose inside a section ends the structured list:
+                        // subsequent links are unstructured.
+                        if !trimmed.starts_with("[[") && !trimmed.contains("[[") {
+                            // pure prose: stay in section, bullets may resume
+                        } else {
+                            block = Block::Prose;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    page
+}
+
+/// If the line is a `== title ==` heading (any level ≥ 2), returns the title.
+fn heading_title(line: &str) -> Option<&str> {
+    if !line.starts_with("==") || !line.ends_with("==") || line.len() < 5 {
+        return None;
+    }
+    let inner = line.trim_matches('=').trim();
+    if inner.is_empty() {
+        None
+    } else {
+        Some(inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::render::{render_page, PageSpec, RelationLayout};
+
+    #[test]
+    fn scan_links_basic_and_piped() {
+        assert_eq!(scan_links("[[A]] and [[B|bee]]"), vec!["A", "B"]);
+        assert_eq!(scan_links("no links"), Vec::<&str>::new());
+        assert_eq!(scan_links("[[  Padded  ]]"), vec!["Padded"]);
+    }
+
+    #[test]
+    fn scan_links_malformed() {
+        assert_eq!(scan_links("[[unterminated"), Vec::<&str>::new());
+        assert_eq!(scan_links("[[]]"), Vec::<&str>::new(), "empty link skipped");
+        assert_eq!(scan_links("]] stray [[X]]"), vec!["X"]);
+    }
+
+    #[test]
+    fn strip_comments_variants() {
+        assert_eq!(strip_comments("a<!-- b -->c"), "ac");
+        assert_eq!(strip_comments("a<!-- unterminated"), "a");
+        assert_eq!(strip_comments("plain"), "plain");
+        assert_eq!(strip_comments("<!--x--><!--y-->z"), "z");
+    }
+
+    #[test]
+    fn parses_infobox_fields() {
+        let text = "{{Infobox football biography\n| name = Neymar\n| current_club = [[PSG F.C.]]\n}}\n";
+        let page = parse_page(text);
+        assert_eq!(page.infobox_kind.as_deref(), Some("football biography"));
+        assert!(page.contains("current_club", "PSG F.C."));
+        // `name = Neymar` has no link, so it contributes nothing.
+        assert_eq!(page.len(), 1);
+    }
+
+    #[test]
+    fn parses_multi_valued_infobox_field() {
+        let text = "{{Infobox x\n| member_of = [[A]]<br>[[B]]\n}}\n";
+        let page = parse_page(text);
+        assert!(page.contains("member_of", "A"));
+        assert!(page.contains("member_of", "B"));
+    }
+
+    #[test]
+    fn parses_bullet_sections() {
+        let text = "== squad ==\n* [[Neymar]]\n* [[Kylian Mbappe|Mbappe]]\n";
+        let page = parse_page(text);
+        assert!(page.contains("squad", "Neymar"));
+        assert!(page.contains("squad", "Kylian Mbappe"));
+    }
+
+    #[test]
+    fn parses_captioned_tables_and_skips_uncaptioned() {
+        let text = "{| class=\"wikitable\"\n|+ squad\n! Name\n|-\n| [[Neymar]]\n|}\n\n{|\n|-\n| [[Hidden]]\n|}\n";
+        let page = parse_page(text);
+        assert!(page.contains("squad", "Neymar"));
+        assert!(!page.links.iter().any(|(_, t)| t == "Hidden"));
+    }
+
+    #[test]
+    fn prose_links_are_not_structured() {
+        let text = "Some intro mentioning [[Unrelated Article]].\n";
+        let page = parse_page(text);
+        assert!(page.is_empty());
+    }
+
+    #[test]
+    fn comments_hide_links() {
+        let text = "== squad ==\n* <!-- [[Ghost]] --> [[Real]]\n";
+        let page = parse_page(text);
+        assert!(page.contains("squad", "Real"));
+        assert!(!page.links.iter().any(|(_, t)| t == "Ghost"));
+    }
+
+    #[test]
+    fn namespaced_links_are_skipped() {
+        assert_eq!(
+            scan_links("[[Category:Footballers]] [[Neymar]] [[File:pic.jpg]]"),
+            vec!["Neymar"]
+        );
+    }
+
+    #[test]
+    fn refs_are_stripped() {
+        assert_eq!(
+            strip_refs("a<ref>see [[Source]]</ref>b<ref name=x />c"),
+            "abc"
+        );
+        assert_eq!(strip_refs("a<ref>unterminated"), "a");
+        assert_eq!(strip_refs("plain"), "plain");
+    }
+
+    #[test]
+    fn ref_links_are_not_structured() {
+        let text = "== squad ==\n* [[Real]]<ref>cited at [[Ghost Source]]</ref>\n";
+        let page = parse_page(text);
+        assert!(page.contains("squad", "Real"));
+        assert_eq!(page.len(), 1);
+    }
+
+    #[test]
+    fn redirect_pages_have_no_links() {
+        let page = parse_page("#REDIRECT [[Neymar Jr.]]\n");
+        assert_eq!(page.redirect.as_deref(), Some("Neymar Jr."));
+        assert!(page.is_empty());
+    }
+
+    #[test]
+    fn nested_templates_in_infobox_are_opaque() {
+        let text = "{{Infobox club\n| ground = {{cite\n| url = [[Not A Field]]\n}}\n| in_league = [[Ligue 1]]\n}}\n";
+        let page = parse_page(text);
+        assert!(page.contains("in_league", "Ligue 1"));
+        assert!(
+            !page.links.iter().any(|(_, t)| t == "Not A Field"),
+            "nested template params must not become infobox fields: {:?}",
+            page.links
+        );
+    }
+
+    #[test]
+    fn inline_nested_template_in_value_is_fine() {
+        let text = "{{Infobox club\n| capacity = {{formatnum:47929}} seats at [[Parc des Princes]]\n}}\n";
+        let page = parse_page(text);
+        assert!(page.contains("capacity", "Parc des Princes"));
+    }
+
+    #[test]
+    fn heading_levels() {
+        assert_eq!(heading_title("== squad =="), Some("squad"));
+        assert_eq!(heading_title("=== seasons ==="), Some("seasons"));
+        assert_eq!(heading_title("not a heading"), None);
+        assert_eq!(heading_title("===="), None);
+    }
+
+    #[test]
+    fn full_round_trip() {
+        let spec = PageSpec::new("PSG F.C.", "football club")
+            .relation("in_league", RelationLayout::InfoboxField, vec!["Ligue 1"])
+            .relation(
+                "squad",
+                RelationLayout::BulletSection,
+                vec!["Neymar", "Kylian Mbappe"],
+            )
+            .relation("honours", RelationLayout::Table, vec!["Ligue 1 Trophy"])
+            .prose("The club also has fans like [[Some Person]].");
+        let text = render_page(&spec);
+        let page = parse_page(&text);
+        assert_eq!(page.infobox_kind.as_deref(), Some("football club"));
+        assert!(page.contains("in_league", "Ligue 1"));
+        assert!(page.contains("squad", "Neymar"));
+        assert!(page.contains("squad", "Kylian Mbappe"));
+        assert!(page.contains("honours", "Ligue 1 Trophy"));
+        // The prose link must NOT appear.
+        assert_eq!(page.len(), 4);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the wikitext substrate.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use wiclean_wikitext::render::render_links;
+use wiclean_wikitext::{diff::apply_edits, diff::diff_links, parse_page, PageLinks};
+
+/// Names that are safe as page titles / relation labels in our dialect:
+/// no wikitext metacharacters, no leading/trailing whitespace.
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9 _.]{0,18}[A-Za-z0-9]".prop_map(|s| s.trim().to_owned())
+}
+
+fn links_strategy() -> impl Strategy<Value = PageLinks> {
+    proptest::collection::btree_set((name_strategy(), name_strategy()), 0..12).prop_map(|set| {
+        let mut p = PageLinks::new();
+        p.links = set
+            .into_iter()
+            .collect::<BTreeSet<(String, String)>>();
+        p
+    })
+}
+
+proptest! {
+    /// render → parse recovers exactly the structured links.
+    #[test]
+    fn render_parse_round_trip(links in links_strategy()) {
+        let text = render_links("Test Page", "thing", &links);
+        let parsed = parse_page(&text);
+        prop_assert_eq!(parsed.links, links.links);
+    }
+
+    /// Diffing a page against itself yields no edits.
+    #[test]
+    fn self_diff_is_empty(links in links_strategy()) {
+        prop_assert!(diff_links(&links, &links).is_empty());
+    }
+
+    /// Applying the diff of (old → new) to old yields new.
+    #[test]
+    fn diff_apply_identity(old in links_strategy(), new in links_strategy()) {
+        let edits = diff_links(&old, &new);
+        let mut state = old.clone();
+        apply_edits(&mut state, &edits);
+        prop_assert_eq!(state.links, new.links);
+    }
+
+    /// The diff is minimal: |edits| = |symmetric difference|.
+    #[test]
+    fn diff_is_minimal(old in links_strategy(), new in links_strategy()) {
+        let edits = diff_links(&old, &new);
+        let sym: usize = old.links.symmetric_difference(&new.links).count();
+        prop_assert_eq!(edits.len(), sym);
+    }
+
+    /// Reversing the diff direction inverts every edit.
+    #[test]
+    fn reverse_diff_is_inverse(old in links_strategy(), new in links_strategy()) {
+        let fwd: BTreeSet<_> = diff_links(&old, &new).into_iter().collect();
+        let bwd: BTreeSet<_> = diff_links(&new, &old)
+            .into_iter()
+            .map(|e| e.inverse())
+            .collect();
+        prop_assert_eq!(fwd, bwd);
+    }
+
+    /// Parsing never panics on arbitrary input.
+    #[test]
+    fn parse_total_on_arbitrary_text(text in ".{0,400}") {
+        let _ = parse_page(&text);
+    }
+
+    /// Parsing is idempotent w.r.t. re-rendering: render(parse(render(x)))
+    /// equals render(x) modulo structured links.
+    #[test]
+    fn reparse_stability(links in links_strategy()) {
+        let text = render_links("Page", "thing", &links);
+        let once = parse_page(&text);
+        let text2 = render_links("Page", "thing", &once);
+        let twice = parse_page(&text2);
+        prop_assert_eq!(once.links, twice.links);
+    }
+}

@@ -1,0 +1,60 @@
+//! Cinematography domain: mine actor-related edit patterns and compare the
+//! discoveries against the domain's expert list (the paper's §6.3 recall
+//! experiment, cinema column).
+//!
+//! Run with: `cargo run --release --example cinematography [seeds]`
+
+use std::collections::BTreeSet;
+use wiclean::core::windows::find_windows_and_patterns;
+use wiclean::eval::quality::default_wc_config;
+use wiclean::synth::{generate, scenarios, SynthConfig};
+
+fn main() {
+    let seeds: usize = std::env::args()
+        .nth(1)
+        .map_or(400, |a| a.parse().expect("seed count"));
+
+    println!("generating a {seeds}-actor cinematography corpus…");
+    let world = generate(
+        scenarios::cinema(),
+        SynthConfig {
+            seed_count: seeds,
+            rng_seed: 20181101,
+            ..SynthConfig::default()
+        },
+    );
+
+    let wc = default_wc_config(
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+    let result = find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
+
+    let discovered: BTreeSet<_> = result.discovered.iter().map(|d| d.pattern.clone()).collect();
+    let expert = world.expert_list();
+
+    println!("\nexpert pattern list vs. discoveries:");
+    let mut hits = 0;
+    for (name, pattern, is_windowed) in &expert {
+        let hit = discovered.contains(pattern);
+        hits += usize::from(hit);
+        println!(
+            "  [{}] {:<22} {:>9} — {}",
+            if hit { "✓" } else { " " },
+            name,
+            if *is_windowed { "windowed" } else { "no window" },
+            pattern.display(&world.universe)
+        );
+    }
+    println!(
+        "\nrecall {hits}/{} — the paper reports 7/8 for cinematography, with the \
+         miss being the pattern that has no time window",
+        expert.len()
+    );
+
+    let extra = result
+        .discovered
+        .iter()
+        .filter(|d| !expert.iter().any(|(_, p, _)| *p == d.pattern))
+        .count();
+    println!("non-expert discoveries: {extra} (the paper reports 100% precision)");
+}

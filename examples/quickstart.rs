@@ -1,0 +1,62 @@
+//! Quickstart: the paper's Figure 1 on a scripted micro-world.
+//!
+//! Builds the Neymar-transfer scenario, prints the merged revision
+//! timeline with the reduction column `R` (0 = cancelled by an inverse
+//! edit), mines the transfer window, and prints the discovered pattern.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use wiclean::core::config::MinerConfig;
+use wiclean::core::miner::WindowMiner;
+use wiclean::revstore::{extract_actions_for, reduce_actions};
+use wiclean::synth::neymar::neymar_scenario;
+
+fn main() {
+    let s = neymar_scenario();
+    let u = &s.universe;
+
+    // ---- Figure 1: the merged action timeline with the R column --------
+    let players = u.entities_of(s.player_ty);
+    let everyone: Vec<_> = u.entities().iter().collect();
+    let _ = players;
+    let out = extract_actions_for(&s.store, u, &everyone, &s.window);
+    let reduced = reduce_actions(&out.actions);
+
+    println!("{:>3} {:>3} {:<18} {:<14} {:<18} {:>8} {:>2}", "#", "+/-", "Subject", "Relation", "Object", "Time", "R");
+    let mut actions = out.actions.clone();
+    actions.sort_by_key(|a| a.time);
+    for (i, a) in actions.iter().enumerate() {
+        let survives = reduced.contains(a);
+        println!(
+            "{:>3} {:>3} {:<18} {:<14} {:<18} {:>8} {:>2}",
+            i + 1,
+            a.op.sigil(),
+            u.entity_name(a.source),
+            u.relation_name(a.rel),
+            u.entity_name(a.target),
+            a.time,
+            u8::from(survives),
+        );
+    }
+    println!(
+        "\n{} raw actions, {} after reduction (rows with R=0 cancel out)\n",
+        actions.len(),
+        reduced.len()
+    );
+
+    // ---- Mine the transfer window ---------------------------------------
+    let config = MinerConfig {
+        tau: 0.5, // two of three players transfer coherently
+        max_abstraction_height: 1,
+        max_vars_per_type: 1, // single-player patterns, for readability
+        mine_relative: false,
+        ..MinerConfig::default()
+    };
+    let miner = WindowMiner::new(&s.store, u, config);
+    let result = miner.mine_window(s.player_ty, &s.window);
+
+    println!("most specific frequent patterns (tau = 0.5):");
+    for p in result.most_specific() {
+        println!("  freq {:.2}  {}", p.frequency, p.pattern.display(u));
+    }
+}

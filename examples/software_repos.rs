@@ -1,0 +1,72 @@
+//! The paper's future-work domain transfer: software repositories.
+//!
+//! "Applying our ideas to other domains where revision histories are
+//! available and link consistency is important (e.g., software
+//! repositories) is another challenge" — WiClean's model needs nothing
+//! Wikipedia-specific: package pages, releases, maintainers and licenses
+//! are entities; coordinated edits (cut a release, hand over
+//! maintainership, adopt a dependency) are patterns; a registry page that
+//! lists a new release while the release page lacks the back-link is a
+//! partial edit.
+//!
+//! Run with: `cargo run --release --example software_repos [seeds]`
+
+use wiclean::core::partial::detect_partial_updates;
+use wiclean::core::windows::find_windows_and_patterns;
+use wiclean::eval::quality::default_wc_config;
+use wiclean::synth::{generate, scenarios, SynthConfig};
+
+fn main() {
+    let seeds: usize = std::env::args()
+        .nth(1)
+        .map_or(400, |a| a.parse().expect("seed count"));
+
+    println!("generating a {seeds}-project software-registry corpus…");
+    let world = generate(
+        scenarios::software(),
+        SynthConfig {
+            seed_count: seeds,
+            rng_seed: 20260705,
+            ..SynthConfig::default()
+        },
+    );
+
+    let wc = default_wc_config(
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+    let result = find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
+
+    println!("\ndiscovered maintenance patterns:");
+    for d in result.by_frequency() {
+        println!(
+            "  freq {:.2} in {}:  {}",
+            d.frequency,
+            d.window,
+            d.pattern.display(&world.universe)
+        );
+    }
+
+    // Flag incomplete maintainer handovers.
+    let handover = world
+        .domain
+        .expert_pattern(&world.domain.templates[1], &world.universe);
+    if let Some(found) = result.discovered.iter().find(|d| d.pattern == handover) {
+        let report = detect_partial_updates(
+            &world.store,
+            &world.universe,
+            &wc.miner,
+            &found.working,
+            world.seed_type,
+            &found.window,
+            2,
+        );
+        println!(
+            "\nmaintainer handovers: {} complete, {} incomplete:",
+            report.complete_count,
+            report.partials.len()
+        );
+        for p in report.partials.iter().take(6) {
+            println!("  ⚠ {}", p.display(&world.universe));
+        }
+    }
+}

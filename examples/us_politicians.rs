@@ -1,0 +1,68 @@
+//! US politicians domain: the paper's senator-election example.
+//!
+//! A new senator's page and the state's page must link each other, the old
+//! senator's link is removed from the state, and the new senator records a
+//! predecessor — while the old senator's page keeps pointing at the state.
+//! This example mines the pattern, then shows the partial (erroneous)
+//! elections WiClean flags.
+//!
+//! Run with: `cargo run --release --example us_politicians [seeds]`
+
+use wiclean::core::partial::detect_partial_updates;
+use wiclean::core::windows::find_windows_and_patterns;
+use wiclean::eval::quality::default_wc_config;
+use wiclean::synth::{generate, scenarios, SynthConfig};
+
+fn main() {
+    let seeds: usize = std::env::args()
+        .nth(1)
+        .map_or(400, |a| a.parse().expect("seed count"));
+
+    println!("generating a {seeds}-senator corpus…");
+    let world = generate(
+        scenarios::politics(),
+        SynthConfig {
+            seed_count: seeds,
+            rng_seed: 777,
+            ..SynthConfig::default()
+        },
+    );
+
+    let wc = default_wc_config(
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+    let result = find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
+
+    // Locate the election pattern among the discoveries.
+    let election = world
+        .domain
+        .expert_pattern(&world.domain.templates[0], &world.universe);
+    let Some(found) = result.discovered.iter().find(|d| d.pattern == election) else {
+        println!("election pattern not discovered at {seeds} seeds — try more");
+        return;
+    };
+    println!(
+        "\nelection pattern discovered (freq {:.2}, window {}):\n  {}",
+        found.frequency,
+        found.window,
+        found.pattern.display(&world.universe)
+    );
+
+    let report = detect_partial_updates(
+        &world.store,
+        &world.universe,
+        &wc.miner,
+        &found.working,
+        world.seed_type,
+        &found.window,
+        2,
+    );
+    println!(
+        "\n{} complete elections, {} partial — e.g.:",
+        report.complete_count,
+        report.partials.len()
+    );
+    for p in report.partials.iter().take(5) {
+        println!("  ⚠ {}", p.display(&world.universe));
+    }
+}

@@ -1,0 +1,238 @@
+//! The `wiclean` command-line interface.
+//!
+//! ```text
+//! wiclean generate --domain soccer --seeds 500 --rng 7 --out corpus.json
+//! wiclean stats    --corpus corpus.json
+//! wiclean mine     --corpus corpus.json [--threads N] [--out report.json]
+//! wiclean detect   --corpus corpus.json [--top K]
+//! ```
+//!
+//! `generate` builds a synthetic corpus (see `wiclean-synth`); `mine` runs
+//! the full window-and-pattern search (Algorithm 2) and prints a JSON
+//! report; `detect` mines and then runs partial-update detection
+//! (Algorithm 3) on the discovered patterns, printing the flagged
+//! potential errors like the WiClean editor plug-in would.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use wiclean::core::partial::detect_partial_updates;
+use wiclean::core::report::WcReport;
+use wiclean::core::windows::find_windows_and_patterns;
+use wiclean::eval::quality::default_wc_config;
+use wiclean::synth::{generate, scenarios, Corpus, SynthConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "stats" => cmd_stats(&flags),
+        "mine" => cmd_mine(&flags),
+        "detect" => cmd_detect(&flags),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+wiclean — mine Wikipedia-style revision histories for edit patterns
+
+USAGE:
+  wiclean generate --domain <soccer|cinema|politics|software> [--seeds N] [--rng S] --out FILE
+  wiclean stats    --corpus FILE
+  wiclean mine     --corpus FILE [--threads N] [--out FILE]
+  wiclean detect   --corpus FILE [--threads N] [--top K]";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{key}`"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("flag --{name} needs a value"));
+        };
+        flags.insert(name.to_owned(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn flag<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+fn num_flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("flag --{name}: cannot parse `{v}`")),
+    }
+}
+
+fn load_corpus(flags: &HashMap<String, String>) -> Result<Corpus, String> {
+    let path = flag(flags, "corpus")?;
+    Corpus::load(path).map_err(|e| e.to_string())
+}
+
+fn threads(flags: &HashMap<String, String>) -> Result<usize, String> {
+    num_flag(
+        flags,
+        "threads",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    )
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let domain = match flag(flags, "domain")? {
+        "soccer" => scenarios::soccer(),
+        "cinema" | "cinematography" => scenarios::cinema(),
+        "politics" | "us_politicians" => scenarios::politics(),
+        "software" | "software_repos" => scenarios::software(),
+        other => return Err(format!("unknown domain `{other}`")),
+    };
+    let out = flag(flags, "out")?;
+    let config = SynthConfig {
+        seed_count: num_flag(flags, "seeds", 500)?,
+        rng_seed: num_flag(flags, "rng", 0xC1EA11)?,
+        ..SynthConfig::default()
+    };
+    eprintln!(
+        "generating `{}` corpus: {} seeds (rng {})…",
+        domain.name, config.seed_count, config.rng_seed
+    );
+    let world = generate(domain, config);
+    eprintln!(
+        "  {} pages, {} revisions, {} planted events, {} planted errors",
+        world.store.page_count(),
+        world.store.revision_count(),
+        world.truth.events.len(),
+        world.truth.errors.len()
+    );
+    Corpus::from_world(world)
+        .save(out)
+        .map_err(|e| e.to_string())?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(flags)?;
+    println!("seed type : {}", corpus.seed_type);
+    println!(
+        "entities  : {} ({} of the seed type)",
+        corpus.universe.entities().len(),
+        corpus.universe.count_entities_of(corpus.seed_type_id())
+    );
+    println!("types     : {}", corpus.universe.taxonomy().len());
+    println!("relations : {}", corpus.universe.relation_count());
+    println!("pages     : {}", corpus.store.page_count());
+    println!("revisions : {}", corpus.store.revision_count());
+    if let Some(truth) = &corpus.truth {
+        println!(
+            "ground truth: {} events, {} errors ({}% corrected in year 2), {} spurious",
+            truth.events.len(),
+            truth.errors.len(),
+            (truth.correction_fraction() * 100.0).round(),
+            truth.spurious.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_mine(flags: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(flags)?;
+    let wc = default_wc_config(threads(flags)?);
+    eprintln!("mining `{}` (Algorithm 2)…", corpus.seed_type);
+    let result =
+        find_windows_and_patterns(&corpus.store, &corpus.universe, corpus.seed_type_id(), &wc);
+    eprintln!(
+        "  {} iterations → {} patterns (final width {}d, tau {:.3})",
+        result.iterations,
+        result.discovered.len(),
+        result.final_width / 86_400,
+        result.final_tau
+    );
+    let report = WcReport::from_result(&result, &corpus.universe);
+    let json = report.to_json();
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| e.to_string())?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_detect(flags: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(flags)?;
+    let top: usize = num_flag(flags, "top", 5)?;
+    let wc = default_wc_config(threads(flags)?);
+    eprintln!("mining `{}`…", corpus.seed_type);
+    let result =
+        find_windows_and_patterns(&corpus.store, &corpus.universe, corpus.seed_type_id(), &wc);
+    eprintln!(
+        "  {} patterns discovered; running Algorithm 3 on the top {}…\n",
+        result.discovered.len(),
+        top.min(result.discovered.len())
+    );
+    for d in result.by_frequency().into_iter().take(top) {
+        let report = detect_partial_updates(
+            &corpus.store,
+            &corpus.universe,
+            &wc.miner,
+            &d.working,
+            corpus.seed_type_id(),
+            &d.window,
+            2,
+        );
+        println!(
+            "pattern (freq {:.2}, window {}):\n  {}",
+            d.frequency,
+            d.window,
+            d.pattern.display(&corpus.universe)
+        );
+        println!(
+            "  {} complete, {} potential errors",
+            report.complete_count,
+            report.partials.len()
+        );
+        for p in report.partials.iter().take(5) {
+            println!("    ⚠ {}", p.display(&corpus.universe));
+        }
+        if report.partials.len() > 5 {
+            println!("    … and {} more", report.partials.len() - 5);
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! WiClean umbrella crate: re-exports the full public API.
+//!
+//! End to end — generate a small synthetic corpus, mine the window of a
+//! planted coordinated-edit pattern, and flag the incomplete occurrences:
+//!
+//! ```
+//! use wiclean::core::config::MinerConfig;
+//! use wiclean::core::miner::WindowMiner;
+//! use wiclean::core::partial::detect_partial_updates;
+//! use wiclean::synth::{generate, scenarios, SynthConfig};
+//! use wiclean::types::{Window, DAY};
+//!
+//! let world = generate(scenarios::software(), SynthConfig::tiny(7));
+//! let config = MinerConfig { tau: 0.3, mine_relative: false, ..MinerConfig::default() };
+//!
+//! // Mine the maintainer-handover window (days 14–28).
+//! let window = Window::new(14 * DAY, 28 * DAY);
+//! let miner = WindowMiner::new(&world.store, &world.universe, config);
+//! let result = miner.mine_window(world.seed_type, &window);
+//! assert!(result.most_specific().count() > 0);
+//!
+//! // Flag incomplete occurrences of the strongest pattern.
+//! let top = result.most_specific().next().unwrap();
+//! let report = detect_partial_updates(
+//!     &world.store, &world.universe, &config,
+//!     &top.working, world.seed_type, &window, 2,
+//! );
+//! assert!(report.complete_count > 0);
+//! ```
+pub use wiclean_baselines as baselines;
+pub use wiclean_core as core;
+pub use wiclean_eval as eval;
+pub use wiclean_graph as graph;
+pub use wiclean_rel as rel;
+pub use wiclean_revstore as revstore;
+pub use wiclean_synth as synth;
+pub use wiclean_types as types;
+pub use wiclean_wikitext as wikitext;

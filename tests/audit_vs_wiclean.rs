@@ -1,0 +1,108 @@
+//! Static snapshot auditing (the prior-work baseline) vs. WiClean's
+//! window-aware detection — the paper's Example 1.1 motivation made
+//! executable.
+//!
+//! A reciprocity constraint checker flags "player points at club, club
+//! doesn't point back" the instant the first half of a coordinated edit
+//! lands, even though the second half routinely follows within the
+//! tolerable window. WiClean only signals occurrences that are still
+//! partial once the window has closed.
+
+use wiclean::graph::{audit_reciprocity, state_graph_at, ReciprocalRule};
+use wiclean::synth::{generate, scenarios, SynthConfig};
+use wiclean::types::YEAR;
+
+#[test]
+fn static_audit_flags_inflight_edits_wiclean_tolerates() {
+    let world = generate(
+        scenarios::soccer(),
+        SynthConfig {
+            seed_count: 120,
+            rng_seed: 20180801,
+            distractor_entities: 20,
+            ..SynthConfig::default()
+        },
+    );
+    let cc = world.universe.lookup_relation("current_club").unwrap();
+    let squad = world.universe.lookup_relation("squad").unwrap();
+    let rules = [ReciprocalRule {
+        forward: cc,
+        backward: squad,
+    }];
+
+    // Find a COMPLETE transfer whose player-side edit precedes its
+    // club-side edit (they virtually all do — the club page follows with
+    // jitter). Transfer template: action 0 = +current_club (player page),
+    // action 2 = +squad (new club page).
+    let transfer_ix = 0;
+    let event = world
+        .truth
+        .events_of_template(transfer_ix)
+        .find(|e| e.is_complete())
+        .expect("a complete transfer exists");
+    let player = event.seed;
+    let new_club = event.bindings[1];
+
+    // Locate the actual edit times from the revision store.
+    let player_edit = world
+        .store
+        .peek(player)
+        .unwrap()
+        .revisions()
+        .iter()
+        .map(|r| r.time)
+        .find(|&t| t >= event.time)
+        .unwrap();
+
+    // Mid-flight: right after the player's page changed.
+    let mid = player_edit + 1;
+    let mid_graph = state_graph_at(&world.store, &world.universe, mid);
+    let mid_violations = audit_reciprocity(&mid_graph, &rules);
+    assert!(
+        mid_violations
+            .iter()
+            .any(|v| v.source == player && v.target == new_club),
+        "the static audit flags the half-done (but perfectly normal) transfer"
+    );
+
+    // End of year one: the club page has long since followed.
+    let end_graph = state_graph_at(&world.store, &world.universe, YEAR - 1);
+    let end_violations = audit_reciprocity(&end_graph, &rules);
+    assert!(
+        !end_violations
+            .iter()
+            .any(|v| v.source == player && v.target == new_club),
+        "the completed transfer is consistent at year end"
+    );
+
+    // The violations that REMAIN at year end correspond to genuinely
+    // incomplete events: every planted transfer missing its +squad mirror
+    // and uncorrected must be present.
+    for err in world.truth.errors.iter().filter(|e| !e.corrected_in_y2) {
+        let ev = &world.truth.events[err.event_ix];
+        if ev.template_ix != transfer_ix {
+            continue;
+        }
+        // Action 2 of the transfer template is +squad(new_club → player).
+        if err.action_ix == 2 {
+            let p = ev.seed;
+            let club = ev.bindings[1];
+            assert!(
+                end_violations
+                    .iter()
+                    .any(|v| v.source == p && v.target == club),
+                "uncorrected missing-squad error must be a standing violation"
+            );
+        }
+    }
+
+    // After the year-two correction pass, the standing violations shrink.
+    let y2_graph = state_graph_at(&world.store, &world.universe, 2 * YEAR - 1);
+    let y2_violations = audit_reciprocity(&y2_graph, &rules);
+    assert!(
+        y2_violations.len() <= end_violations.len(),
+        "corrections cannot increase violations ({} vs {})",
+        y2_violations.len(),
+        end_violations.len()
+    );
+}

@@ -1,0 +1,102 @@
+//! End-to-end calibration: mine a generated soccer world and compare the
+//! discovered patterns against the domain's expert list.
+
+use std::collections::BTreeSet;
+use wiclean::core::config::{MinerConfig, WcConfig};
+use wiclean::core::windows::find_windows_and_patterns;
+use wiclean::synth::{generate, scenarios, SynthConfig};
+use wiclean::types::{WEEK, YEAR};
+
+#[test]
+fn soccer_patterns_recovered() {
+    let mut synth_config = SynthConfig::default();
+    synth_config.seed_count = 400;
+    synth_config.rng_seed = 20180801;
+    let world = generate(scenarios::soccer(), synth_config);
+
+    let wc = WcConfig {
+        w_min: 2 * WEEK,
+        tau0: 0.8,
+        max_window: YEAR,
+        min_tau: 0.2,
+        timeline_start: 2 * WEEK,
+        timeline_end: YEAR,
+        miner: MinerConfig {
+            tau_rel: 0.3,
+            max_pattern_actions: 6,
+            max_abstraction_height: 1,
+            mine_relative: true,
+            ..MinerConfig::default()
+        },
+        threads: 8,
+        ..WcConfig::default()
+    };
+
+    let result = find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
+    let expert = world.expert_list();
+
+    let discovered: BTreeSet<_> = result.discovered.iter().map(|d| d.pattern.clone()).collect();
+    eprintln!("iterations: {}", result.iterations);
+    eprintln!(
+        "final width: {} days, final tau: {:.3}",
+        result.final_width / (24 * 3600),
+        result.final_tau
+    );
+    eprintln!("discovered ({}):", discovered.len());
+    for d in &result.discovered {
+        eprintln!(
+            "  f={:.2} win={} {}",
+            d.frequency,
+            d.window,
+            d.pattern.display(&world.universe)
+        );
+        for r in &d.rel_patterns {
+            eprintln!(
+                "    rel f={:.2} rf={:.2} {}",
+                r.frequency,
+                r.rel_frequency,
+                r.pattern.display(&world.universe)
+            );
+        }
+    }
+    eprintln!("expert list:");
+    let mut hits = 0;
+    let mut windowed_total = 0;
+    for (name, pattern, is_windowed) in &expert {
+        let hit = discovered.contains(pattern);
+        if *is_windowed {
+            windowed_total += 1;
+            if hit {
+                hits += 1;
+            }
+        }
+        eprintln!(
+            "  [{}] windowed={} {}  → {}",
+            name,
+            is_windowed,
+            pattern.display(&world.universe),
+            if hit { "FOUND" } else { "missed" }
+        );
+    }
+
+    // Precision: every discovered pattern must be an expert pattern.
+    let expert_set: BTreeSet<_> = expert.iter().map(|(_, p, _)| p.clone()).collect();
+    let false_positives: Vec<_> = result
+        .discovered
+        .iter()
+        .filter(|d| !expert_set.contains(&d.pattern))
+        .collect();
+    for fp in &false_positives {
+        eprintln!("FALSE POSITIVE: {}", fp.pattern.display(&world.universe));
+    }
+
+    assert!(
+        hits >= windowed_total - 1,
+        "recall too low: {hits}/{windowed_total} windowed expert patterns found"
+    );
+    assert!(
+        false_positives.is_empty(),
+        "{} non-expert patterns discovered",
+        false_positives.len()
+    );
+}

@@ -1,0 +1,88 @@
+//! End-to-end calibration for the cinematography and US-politician
+//! domains (the soccer domain has its own verbose test in calibration.rs).
+
+use std::collections::BTreeSet;
+use wiclean::core::config::{MinerConfig, WcConfig};
+use wiclean::core::windows::find_windows_and_patterns;
+use wiclean::synth::{generate, DomainSpec, SynthConfig};
+use wiclean::types::{WEEK, YEAR};
+
+fn check_domain(domain: DomainSpec, rng_seed: u64) {
+    let name = domain.name.clone();
+    let mut synth_config = SynthConfig::default();
+    synth_config.seed_count = 400;
+    synth_config.rng_seed = rng_seed;
+    let world = generate(domain, synth_config);
+
+    let wc = WcConfig {
+        w_min: 2 * WEEK,
+        tau0: 0.8,
+        max_window: YEAR,
+        min_tau: 0.2,
+        timeline_start: 2 * WEEK,
+        timeline_end: YEAR,
+        miner: MinerConfig {
+            tau_rel: 0.3,
+            max_pattern_actions: 6,
+            max_abstraction_height: 1,
+            mine_relative: false,
+            ..MinerConfig::default()
+        },
+        threads: 8,
+        ..WcConfig::default()
+    };
+
+    let result = find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
+    let expert = world.expert_list();
+    let discovered: BTreeSet<_> = result.discovered.iter().map(|d| d.pattern.clone()).collect();
+
+    let mut windowed_hits = 0;
+    let mut windowed_total = 0;
+    let mut windowless_hits = 0;
+    for (tname, pattern, is_windowed) in &expert {
+        let hit = discovered.contains(pattern);
+        eprintln!(
+            "[{name}/{tname}] windowed={is_windowed} → {}",
+            if hit { "FOUND" } else { "missed" }
+        );
+        if *is_windowed {
+            windowed_total += 1;
+            windowed_hits += usize::from(hit);
+        } else {
+            windowless_hits += usize::from(hit);
+        }
+    }
+
+    let expert_set: BTreeSet<_> = expert.iter().map(|(_, p, _)| p.clone()).collect();
+    let false_positives = result
+        .discovered
+        .iter()
+        .filter(|d| !expert_set.contains(&d.pattern))
+        .count();
+
+    assert!(
+        windowed_hits >= windowed_total - 1,
+        "{name}: recall too low ({windowed_hits}/{windowed_total})"
+    );
+    assert_eq!(
+        windowless_hits, 0,
+        "{name}: window-less patterns must be missed"
+    );
+    assert_eq!(false_positives, 0, "{name}: non-expert patterns discovered");
+}
+
+#[test]
+fn cinema_patterns_recovered() {
+    check_domain(wiclean::synth::scenarios::cinema(), 20181101);
+}
+
+#[test]
+fn politics_patterns_recovered() {
+    check_domain(wiclean::synth::scenarios::politics(), 777);
+}
+
+#[test]
+fn software_patterns_recovered() {
+    // The future-work domain: same calibration contract, same expectations.
+    check_domain(wiclean::synth::scenarios::software(), 20260705);
+}

@@ -1,0 +1,94 @@
+//! End-to-end test of the `wiclean` CLI binary.
+
+use std::process::Command;
+
+fn wiclean() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wiclean"))
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full pipeline — run with --release")]
+fn generate_stats_mine_detect_round_trip() {
+    let dir = std::env::temp_dir().join("wiclean_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.json");
+    let report = dir.join("report.json");
+
+    // generate
+    let out = wiclean()
+        .args([
+            "generate", "--domain", "software", "--seeds", "150", "--rng", "7",
+            "--out", corpus.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(corpus.exists());
+
+    // stats
+    let out = wiclean()
+        .args(["stats", "--corpus", corpus.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SoftwareProject"), "{stdout}");
+    assert!(stdout.contains("revisions"), "{stdout}");
+
+    // mine → JSON report
+    let out = wiclean()
+        .args([
+            "mine", "--corpus", corpus.to_str().unwrap(),
+            "--threads", "2", "--out", report.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&report).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(parsed["seed_type"], "SoftwareProject");
+    assert!(
+        !parsed["patterns"].as_array().unwrap().is_empty(),
+        "patterns discovered"
+    );
+
+    // detect
+    let out = wiclean()
+        .args([
+            "detect", "--corpus", corpus.to_str().unwrap(),
+            "--threads", "2", "--top", "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pattern (freq"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_invocations_fail_cleanly() {
+    let out = wiclean().output().unwrap();
+    assert!(!out.status.success(), "no command must fail");
+
+    let out = wiclean().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success(), "unknown command must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    let out = wiclean()
+        .args(["generate", "--domain", "underwater-basket-weaving", "--out", "/tmp/x"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "unknown domain must fail");
+
+    let out = wiclean()
+        .args(["mine", "--corpus", "/nonexistent/corpus.json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "missing corpus must fail");
+
+    let out = wiclean().args(["--help"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

@@ -1,0 +1,157 @@
+//! Cross-crate integration: the full generate → mine → detect pipeline.
+
+use std::collections::BTreeSet;
+use wiclean::baselines::{run_variant, Variant};
+use wiclean::core::config::MinerConfig;
+use wiclean::core::partial::detect_partial_updates;
+use wiclean::core::pattern::Pattern;
+use wiclean::core::report::WcReport;
+use wiclean::core::windows::find_windows_and_patterns;
+use wiclean::eval::quality::default_wc_config;
+use wiclean::synth::{generate, scenarios, SynthConfig};
+use wiclean::types::{Window, DAY};
+
+fn small_world() -> wiclean::synth::SynthWorld {
+    generate(
+        scenarios::soccer(),
+        SynthConfig {
+            seed_count: 60,
+            rng_seed: 424242,
+            distractor_entities: 30,
+            ..SynthConfig::default()
+        },
+    )
+}
+
+#[test]
+fn planted_errors_are_flagged_by_algorithm3() {
+    let world = small_world();
+    let transfer_window = Window::new(210 * DAY, 224 * DAY);
+    let wp = {
+        // Build the transfer expert pattern's working form from the domain.
+        let t = &world.domain.templates[0];
+        assert_eq!(t.name, "summer_transfer");
+        let canonical = world.domain.expert_pattern(t, &world.universe);
+        assert_eq!(canonical.len(), 4);
+        // Algorithm 3 needs a working pattern whose first action binds the
+        // seed; the canonical action order satisfies source-before-use for
+        // this pattern shape, so wrap it directly.
+        wiclean::core::pattern::WorkingPattern::from_actions(canonical.actions().to_vec())
+    };
+
+    let config = MinerConfig {
+        tau: 0.3,
+        max_abstraction_height: 1,
+        mine_relative: false,
+        ..MinerConfig::default()
+    };
+    let report = detect_partial_updates(
+        &world.store,
+        &world.universe,
+        &config,
+        &wp,
+        world.seed_type,
+        &transfer_window,
+        2,
+    );
+
+    // Every planted incomplete transfer must be flagged.
+    let incomplete_seeds: BTreeSet<_> = world
+        .truth
+        .events_of_template(0)
+        .filter(|e| !e.is_complete())
+        .map(|e| e.seed)
+        .collect();
+    for seed in &incomplete_seeds {
+        assert!(
+            report.partials.iter().any(|p| p.involves(*seed)),
+            "incomplete transfer of {} not flagged",
+            world.universe.entity_name(*seed)
+        );
+    }
+    // And complete transfers appear as complete realizations.
+    let complete = world
+        .truth
+        .events_of_template(0)
+        .filter(|e| e.is_complete())
+        .count();
+    assert!(report.complete_count >= complete, "complete events missing");
+}
+
+#[test]
+fn all_baseline_variants_agree_on_synth_world() {
+    let world = small_world();
+    let window = Window::new(210 * DAY, 224 * DAY);
+    let config = MinerConfig {
+        tau: 0.3,
+        max_abstraction_height: 1,
+        max_pattern_actions: 4,
+        mine_relative: false,
+        ..MinerConfig::default()
+    };
+    let mut sets: Vec<(String, BTreeSet<Pattern>)> = Vec::new();
+    for v in Variant::ALL {
+        let r = run_variant(
+            v,
+            &world.store,
+            &world.universe,
+            config,
+            world.seed_type,
+            &window,
+            2,
+        );
+        sets.push((
+            v.name().to_owned(),
+            r.most_specific().map(|p| p.pattern.clone()).collect(),
+        ));
+    }
+    for pair in sets.windows(2) {
+        assert_eq!(pair[0].1, pair[1].1, "{} vs {}", pair[0].0, pair[1].0);
+    }
+    assert!(!sets[0].1.is_empty());
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow without optimizations — run with --release")]
+fn report_serializes_full_run() {
+    let world = small_world();
+    let wc = default_wc_config(2);
+    let result = find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
+    let report = WcReport::from_result(&result, &world.universe);
+    let json = report.to_json();
+    let back = WcReport::from_json(&json).unwrap();
+    assert_eq!(back, report);
+    assert_eq!(report.seed_type, "SoccerPlayer");
+}
+
+#[test]
+fn year_two_corrections_eliminate_flags() {
+    let world = small_world();
+    // A corrected error's missing edit must be present in the final page
+    // state (year-two pass applied it).
+    use wiclean::wikitext::parse_page;
+    for err in world.truth.errors.iter().filter(|e| e.corrected_in_y2) {
+        let src = err.missing.source;
+        let history = world.store.peek(src).unwrap();
+        let last = &history.revisions().last().unwrap().text;
+        let page = parse_page(last);
+        let rel = world
+            .universe
+            .relation_name(wiclean::types::RelId::from_u32(err.missing.rel));
+        let target = world.universe.entity_name(err.missing.target);
+        match err.missing.op {
+            wiclean::revstore::EditOp::Add => {
+                assert!(
+                    page.contains(rel, target),
+                    "corrected add missing from final state"
+                );
+            }
+            wiclean::revstore::EditOp::Remove => {
+                assert!(
+                    !page.contains(rel, target),
+                    "corrected remove still present in final state"
+                );
+            }
+        }
+    }
+}
