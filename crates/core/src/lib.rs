@@ -34,6 +34,7 @@ pub mod abstract_action;
 pub mod assist;
 pub mod cache;
 pub mod config;
+pub mod degraded;
 pub mod miner;
 pub mod parallel;
 pub mod partial;
@@ -51,11 +52,14 @@ pub(crate) mod testutil;
 pub use abstract_action::{abstractions_of, AbstractAction};
 pub use cache::RealizationCache;
 pub use config::{ExpansionMode, JoinImpl, MinerConfig, RefinePolicy, WcConfig};
+pub use degraded::{DegradedCoverage, LostEntity};
 pub use miner::{FoundPattern, MineStats, WindowMiner, WindowResult};
-pub use parallel::mine_windows_parallel;
+pub use parallel::{
+    mine_windows_parallel, mine_windows_parallel_checked, run_windows_checked, WindowFailure,
+};
 pub use partial::{detect_partial_updates, PartialUpdate, PartialReport};
 pub use pattern::Pattern;
-pub use report::WcReport;
+pub use report::{DegradedReport, WcReport};
 pub use signal::{edit_volume_signal, significant_windows, WindowSignal};
 pub use specialize::{specialize_pattern, Specialization};
 pub use var::Var;

@@ -23,6 +23,7 @@
 use crate::abstract_action::AbstractAction;
 use crate::cache::RealizationCache;
 use crate::config::{ExpansionMode, JoinImpl, MinerConfig};
+use crate::degraded::DegradedCoverage;
 use crate::pattern::{Pattern, WorkingPattern};
 use crate::realization::{
     action_realizations, frequency, relative_frequency, shape_of, support_count, Shape,
@@ -33,7 +34,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wiclean_rel::{join_glue, join_glue_nested, join_glue_sort_merge, outer_join_glue, ColumnGlue, Table};
-use wiclean_revstore::{extract_actions, reduce_actions, RevisionStore};
+use wiclean_revstore::{reduce_actions, try_extract_actions, FetchSource};
 use wiclean_types::{EntityId, TypeId, Universe, Window};
 
 /// Counters and timings of one window mining run.
@@ -126,6 +127,9 @@ pub struct WindowResult {
     pub patterns: Vec<FoundPattern>,
     /// Run counters.
     pub stats: MineStats,
+    /// What this run lost to fetch failures and damaged text (empty on a
+    /// healthy source).
+    pub degraded: DegradedCoverage,
 }
 
 impl WindowResult {
@@ -135,9 +139,15 @@ impl WindowResult {
     }
 }
 
-/// Algorithm 1, bound to a revision store and universe.
+/// Algorithm 1, bound to a fetch source and universe.
+///
+/// The source is any [`FetchSource`] — the plain in-memory store, a
+/// fault-injecting decorator, or a [`wiclean_revstore::ResilientFetcher`];
+/// `&RevisionStore` coerces, so happy-path callers are unaffected.
+/// Entities whose histories cannot be fetched are skipped and recorded in
+/// the result's [`DegradedCoverage`] rather than failing the run.
 pub struct WindowMiner<'a> {
-    store: &'a RevisionStore,
+    source: &'a dyn FetchSource,
     universe: &'a Universe,
     config: MinerConfig,
     cache: Option<Arc<RealizationCache>>,
@@ -160,13 +170,14 @@ struct MineState {
     fetched_types: HashSet<TypeId>,
     fetched_entities: HashSet<EntityId>,
     stats: MineStats,
+    degraded: DegradedCoverage,
 }
 
 impl<'a> WindowMiner<'a> {
-    /// Creates a miner over `store`/`universe` with the given config.
-    pub fn new(store: &'a RevisionStore, universe: &'a Universe, config: MinerConfig) -> Self {
+    /// Creates a miner over `source`/`universe` with the given config.
+    pub fn new(source: &'a dyn FetchSource, universe: &'a Universe, config: MinerConfig) -> Self {
         Self {
-            store,
+            source,
             universe,
             config,
             cache: None,
@@ -229,8 +240,17 @@ impl<'a> WindowMiner<'a> {
             if !state.fetched_entities.insert(e) {
                 continue;
             }
+            let outcome = match try_extract_actions(self.source, self.universe, e, window) {
+                Ok(outcome) => outcome,
+                Err(err) => {
+                    // Degrade, don't die: the entity contributes nothing to
+                    // this window, and the loss is reported in the result.
+                    state.degraded.record_loss(e, err);
+                    continue;
+                }
+            };
             state.stats.entities_processed += 1;
-            let outcome = extract_actions(self.store, self.universe, e, window);
+            state.degraded.parse_issues += outcome.parse_issues;
             state.stats.actions_extracted += outcome.actions.len();
             let reduced = reduce_actions(&outcome.actions);
             state.stats.reduced_actions += reduced.len();
@@ -349,11 +369,19 @@ impl<'a> WindowMiner<'a> {
         stats.most_specific_found = patterns.iter().filter(|p| p.most_specific).count();
         stats.mine = t0.elapsed().saturating_sub(stats.preprocess);
 
+        let mut degraded = state.degraded;
+        degraded.normalize();
+        degraded.denominator_affected = degraded
+            .lost
+            .iter()
+            .any(|l| self.universe.entity_has_type(l.entity, seed));
+
         WindowResult {
             window: *window,
             seed,
             patterns,
             stats,
+            degraded,
         }
     }
 
@@ -820,9 +848,27 @@ impl<'a> WindowMiner<'a> {
         entities: impl IntoIterator<Item = EntityId>,
         window: &Window,
     ) -> (HashMap<Shape, Vec<(EntityId, EntityId)>>, MineStats) {
+        let (rows, stats, _degraded) = self.load_shape_rows_degraded(entities, window);
+        (rows, stats)
+    }
+
+    /// [`WindowMiner::load_shape_rows`] plus the degraded-coverage record
+    /// of the load — callers over a faulty source use this to report what
+    /// their row store is missing.
+    pub fn load_shape_rows_degraded(
+        &self,
+        entities: impl IntoIterator<Item = EntityId>,
+        window: &Window,
+    ) -> (
+        HashMap<Shape, Vec<(EntityId, EntityId)>>,
+        MineStats,
+        DegradedCoverage,
+    ) {
         let mut state = MineState::new();
         self.load_entities(&mut state, entities, window);
-        (state.rows, state.stats)
+        let mut degraded = state.degraded;
+        degraded.normalize();
+        (state.rows, state.stats, degraded)
     }
 }
 
@@ -833,6 +879,7 @@ impl MineState {
             fetched_types: HashSet::new(),
             fetched_entities: HashSet::new(),
             stats: MineStats::default(),
+            degraded: DegradedCoverage::default(),
         }
     }
 }
@@ -931,6 +978,62 @@ mod tests {
             r.most_specific().count()
         );
         assert_eq!(r.stats.patterns_found, r.patterns.len());
+    }
+
+    #[test]
+    fn transient_faults_with_retries_are_invisible() {
+        use wiclean_revstore::{FaultPlan, FaultyStore, ResilientFetcher, RetryPolicy};
+        let fx = soccer_fixture();
+        let clean = WindowMiner::new(&fx.store, &fx.universe, fx.config())
+            .mine_window(fx.player_ty, &fx.window);
+
+        let faulty = FaultyStore::new(&fx.store, FaultPlan::transient_only(0.10, 42));
+        let fetcher = ResilientFetcher::new(&faulty, RetryPolicy::default());
+        let miner = WindowMiner::new(&fetcher, &fx.universe, fx.config());
+        let healed = miner.mine_window(fx.player_ty, &fx.window);
+
+        assert!(
+            healed.degraded.is_empty(),
+            "default retry policy must absorb 10% transient faults: {:?}",
+            healed.degraded
+        );
+        let a: BTreeSet<Pattern> = clean.patterns.iter().map(|p| p.pattern.clone()).collect();
+        let b: BTreeSet<Pattern> = healed.patterns.iter().map(|p| p.pattern.clone()).collect();
+        assert_eq!(a, b, "retried mining must be identical to fault-free mining");
+    }
+
+    #[test]
+    fn unfetchable_entities_degrade_not_abort() {
+        use wiclean_revstore::{FaultPlan, FaultyStore, ResilientFetcher, RetryPolicy};
+        let fx = soccer_fixture();
+        let faulty = FaultyStore::new(&fx.store, FaultPlan::transient_only(0.90, 7));
+        let fetcher = ResilientFetcher::new(&faulty, RetryPolicy::no_retries());
+        let miner = WindowMiner::new(&fetcher, &fx.universe, fx.config());
+        let r = miner.mine_window(fx.player_ty, &fx.window);
+
+        assert!(
+            !r.degraded.lost.is_empty(),
+            "90% faults without retries must lose entities"
+        );
+        // Every attempted entity is either processed or recorded lost; the
+        // seed type's entities are all attempted on line 1 of Algorithm 1.
+        assert!(
+            r.stats.entities_processed + r.degraded.entities_lost()
+                >= fx.universe.count_entities_of(fx.player_ty)
+        );
+        for lost in &r.degraded.lost {
+            assert!(matches!(
+                lost.error,
+                wiclean_revstore::FetchError::Exhausted { attempts: 1 }
+            ));
+        }
+        if r.degraded
+            .lost
+            .iter()
+            .any(|l| fx.universe.entity_has_type(l.entity, fx.player_ty))
+        {
+            assert!(r.degraded.denominator_affected);
+        }
     }
 
     #[test]

@@ -1,81 +1,99 @@
-//! Embarrassingly parallel multi-window mining.
+//! Embarrassingly parallel multi-window mining, with per-window fault
+//! isolation.
 //!
 //! WiClean restricts itself to non-overlapping windows precisely so that
 //! the per-window action sets — and hence the mining runs — are
 //! independent (paper §4.3); "this is easily exploitable in a multi-core
 //! setting" (§6.2, Figure 4(d)). Windows are distributed over a scoped
 //! thread pool through an atomic work index.
+//!
+//! A panicking worker must not take the run down with it: each window is
+//! mined under [`std::panic::catch_unwind`], so one poisoned window
+//! surfaces as an explicit [`WindowFailure`] while every other window's
+//! result survives. (The shared state — atomic index, `parking_lot`
+//! mutex, realization cache — is lock-free or non-poisoning, so observing
+//! it after a caught panic is sound.)
 
 use crate::cache::RealizationCache;
 use crate::config::MinerConfig;
 use crate::miner::{WindowMiner, WindowResult};
 use parking_lot::Mutex;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use wiclean_revstore::RevisionStore;
+use wiclean_revstore::FetchSource;
 use wiclean_types::{TypeId, Universe, Window};
 
-/// Mines every window in `windows` w.r.t. `seed`, fanning the independent
-/// runs out over `threads` workers (1 = fully sequential). Results are
-/// returned in window order.
-pub fn mine_windows_parallel(
-    store: &RevisionStore,
-    universe: &Universe,
-    seed: TypeId,
-    windows: &[Window],
-    config: MinerConfig,
-    threads: usize,
-) -> Vec<WindowResult> {
-    mine_windows_parallel_cached(store, universe, seed, windows, config, threads, None)
+/// A window whose worker panicked: the window is reported, everything else
+/// completes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowFailure {
+    /// The window that could not be mined.
+    pub window: Window,
+    /// The worker's panic message.
+    pub panic: String,
 }
 
-/// [`mine_windows_parallel`] with an optional shared realization cache —
-/// Algorithm 2 passes one so refinement iterations reuse candidate tables.
-#[allow(clippy::too_many_arguments)]
-pub fn mine_windows_parallel_cached(
-    store: &RevisionStore,
-    universe: &Universe,
-    seed: TypeId,
+impl fmt::Display for WindowFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "window {} failed: {}", self.window, self.panic)
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `mine` over every window on `threads` workers (1 = sequential on
+/// the calling thread), isolating per-window panics. Results are returned
+/// in window order; a panicked window yields `Err(WindowFailure)` and
+/// leaves every other window's result intact.
+///
+/// Generic over the mining closure so tests (and embedders with custom
+/// per-window work) can inject faults; the mining entry points below pass
+/// [`WindowMiner::mine_window`].
+pub fn run_windows_checked(
     windows: &[Window],
-    config: MinerConfig,
     threads: usize,
-    cache: Option<Arc<RealizationCache>>,
-) -> Vec<WindowResult> {
+    mine: impl Fn(&Window) -> WindowResult + Sync,
+) -> Vec<Result<WindowResult, WindowFailure>> {
     assert!(threads >= 1, "need at least one worker");
     if windows.is_empty() {
         return Vec::new();
     }
 
-    let make_miner = || {
-        let miner = WindowMiner::new(store, universe, config);
-        match &cache {
-            Some(c) => miner.with_cache(Arc::clone(c)),
-            None => miner,
-        }
+    let run_one = |w: &Window| -> Result<WindowResult, WindowFailure> {
+        catch_unwind(AssertUnwindSafe(|| mine(w))).map_err(|payload| WindowFailure {
+            window: *w,
+            panic: panic_message(payload),
+        })
     };
 
     let workers = threads.min(windows.len());
     if workers == 1 {
-        let miner = make_miner();
-        return windows.iter().map(|w| miner.mine_window(seed, w)).collect();
+        return windows.iter().map(run_one).collect();
     }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<WindowResult>>> =
+    let results: Mutex<Vec<Option<Result<WindowResult, WindowFailure>>>> =
         Mutex::new((0..windows.len()).map(|_| None).collect());
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| {
-                let miner = make_miner();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= windows.len() {
-                        break;
-                    }
-                    let result = miner.mine_window(seed, &windows[i]);
-                    results.lock()[i] = Some(result);
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= windows.len() {
+                    break;
                 }
+                let result = run_one(&windows[i]);
+                results.lock()[i] = Some(result);
             });
         }
     });
@@ -83,8 +101,72 @@ pub fn mine_windows_parallel_cached(
     results
         .into_inner()
         .into_iter()
-        .map(|r| r.expect("every window mined"))
+        .map(|r| r.expect("every window attempted"))
         .collect()
+}
+
+/// Mines every window in `windows` w.r.t. `seed`, fanning the independent
+/// runs out over `threads` workers (1 = fully sequential). Results are
+/// returned in window order. Panics if any window's worker panicked; use
+/// [`mine_windows_parallel_checked`] to receive failures as values.
+pub fn mine_windows_parallel(
+    source: &dyn FetchSource,
+    universe: &Universe,
+    seed: TypeId,
+    windows: &[Window],
+    config: MinerConfig,
+    threads: usize,
+) -> Vec<WindowResult> {
+    mine_windows_parallel_cached(source, universe, seed, windows, config, threads, None)
+}
+
+/// [`mine_windows_parallel`] with an optional shared realization cache —
+/// Algorithm 2 passes one so refinement iterations reuse candidate tables.
+#[allow(clippy::too_many_arguments)]
+pub fn mine_windows_parallel_cached(
+    source: &dyn FetchSource,
+    universe: &Universe,
+    seed: TypeId,
+    windows: &[Window],
+    config: MinerConfig,
+    threads: usize,
+    cache: Option<Arc<RealizationCache>>,
+) -> Vec<WindowResult> {
+    mine_windows_parallel_cached_checked(source, universe, seed, windows, config, threads, cache)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|f| panic!("{f}")))
+        .collect()
+}
+
+/// Fault-isolating variant of [`mine_windows_parallel`].
+pub fn mine_windows_parallel_checked(
+    source: &dyn FetchSource,
+    universe: &Universe,
+    seed: TypeId,
+    windows: &[Window],
+    config: MinerConfig,
+    threads: usize,
+) -> Vec<Result<WindowResult, WindowFailure>> {
+    mine_windows_parallel_cached_checked(source, universe, seed, windows, config, threads, None)
+}
+
+/// Fault-isolating variant of [`mine_windows_parallel_cached`].
+#[allow(clippy::too_many_arguments)]
+pub fn mine_windows_parallel_cached_checked(
+    source: &dyn FetchSource,
+    universe: &Universe,
+    seed: TypeId,
+    windows: &[Window],
+    config: MinerConfig,
+    threads: usize,
+    cache: Option<Arc<RealizationCache>>,
+) -> Vec<Result<WindowResult, WindowFailure>> {
+    let miner = WindowMiner::new(source, universe, config);
+    let miner = match cache {
+        Some(c) => miner.with_cache(c),
+        None => miner,
+    };
+    run_windows_checked(windows, threads, |w| miner.mine_window(seed, w))
 }
 
 #[cfg(test)]
@@ -150,5 +232,59 @@ mod tests {
             16,
         );
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn worker_panic_is_isolated() {
+        let fx = soccer_fixture();
+        let windows = Window::split_span(fx.window.start, fx.window.end, fx.window.len() / 4);
+        assert!(windows.len() >= 3, "fixture must split into several windows");
+        let poison = windows[1];
+
+        let miner = WindowMiner::new(&fx.store, &fx.universe, fx.config());
+        let out = run_windows_checked(&windows, 4, |w| {
+            if *w == poison {
+                panic!("injected worker fault");
+            }
+            miner.mine_window(fx.player_ty, w)
+        });
+
+        assert_eq!(out.len(), windows.len());
+        let clean = mine_windows_parallel(
+            &fx.store,
+            &fx.universe,
+            fx.player_ty,
+            &windows,
+            fx.config(),
+            1,
+        );
+        for (i, r) in out.iter().enumerate() {
+            if windows[i] == poison {
+                let failure = r.as_ref().expect_err("poisoned window must fail");
+                assert_eq!(failure.window, poison);
+                assert!(failure.panic.contains("injected worker fault"));
+            } else {
+                // Every healthy window's result is intact and identical to
+                // the clean run.
+                let got = r.as_ref().expect("healthy window must succeed");
+                let gp: BTreeSet<Pattern> =
+                    got.patterns.iter().map(|x| x.pattern.clone()).collect();
+                let cp: BTreeSet<Pattern> =
+                    clean[i].patterns.iter().map(|x| x.pattern.clone()).collect();
+                assert_eq!(gp, cp);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_path_also_isolates_panics() {
+        let fx = soccer_fixture();
+        let windows = [fx.window];
+        let out = run_windows_checked(&windows, 1, |_w| -> crate::miner::WindowResult {
+            panic!("boom {}", 42)
+        });
+        assert_eq!(out.len(), 1);
+        let failure = out[0].as_ref().unwrap_err();
+        assert!(failure.panic.contains("boom 42"));
     }
 }

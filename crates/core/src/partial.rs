@@ -24,7 +24,7 @@ use crate::realization::{action_realizations, column_of, frequency, Shape};
 use crate::var::Var;
 use std::collections::{BTreeSet, HashMap};
 use wiclean_rel::{outer_join_glue, ColumnGlue, Schema, Table};
-use wiclean_revstore::RevisionStore;
+use wiclean_revstore::FetchSource;
 use wiclean_types::{EntityId, TypeId, Universe, Window};
 
 /// One partial realization: a potential error to surface to editors.
@@ -180,7 +180,7 @@ fn outer_chain(
 /// `window`, examining the revision histories of all entities whose types
 /// occur in the pattern.
 pub fn detect_partial_updates(
-    store: &RevisionStore,
+    source: &dyn FetchSource,
     universe: &Universe,
     config: &MinerConfig,
     wp: &WorkingPattern,
@@ -188,7 +188,7 @@ pub fn detect_partial_updates(
     window: &Window,
     max_examples: usize,
 ) -> PartialReport {
-    let miner = WindowMiner::new(store, universe, *config);
+    let miner = WindowMiner::new(source, universe, *config);
 
     // Line 1–2: S = entity types in p; fetch and reduce their histories.
     let types: BTreeSet<TypeId> = wp.vars().into_iter().map(|v| v.ty).collect();

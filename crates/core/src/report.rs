@@ -26,6 +26,40 @@ pub struct PatternReport {
     pub rel_patterns: Vec<(String, f64)>,
 }
 
+/// One entity a run could not fetch, rendered for humans.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct LostEntityReport {
+    /// Entity name.
+    pub entity: String,
+    /// Terminal fetch error, rendered.
+    pub reason: String,
+    /// Revisions known to be lost (0 when unknown).
+    pub revisions_lost: u64,
+}
+
+/// The degraded-coverage section of a report: exactly what the run lost.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct DegradedReport {
+    /// Entities skipped because their histories could not be fetched.
+    pub entities_lost: Vec<LostEntityReport>,
+    /// Total revisions known lost with them.
+    pub revisions_lost: u64,
+    /// Recoverable markup defects healed by the parser.
+    pub parse_issues: u64,
+    /// Whether a lost entity belongs to the seed type, biasing frequency
+    /// denominators.
+    pub denominator_affected: bool,
+    /// Windows whose workers panicked: (window, panic message).
+    pub failed_windows: Vec<(Window, String)>,
+}
+
+impl DegradedReport {
+    /// Whether the run had full coverage.
+    pub fn is_empty(&self) -> bool {
+        self.entities_lost.is_empty() && self.parse_issues == 0 && self.failed_windows.is_empty()
+    }
+}
+
 /// A full serialized WiClean run.
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct WcReport {
@@ -41,6 +75,9 @@ pub struct WcReport {
     pub patterns: Vec<PatternReport>,
     /// Aggregated statistics.
     pub stats: MineStats,
+    /// What the run lost to fetch failures (empty on a healthy source).
+    #[serde(default)]
+    pub degraded: DegradedReport,
 }
 
 impl WcReport {
@@ -69,6 +106,26 @@ impl WcReport {
                 })
                 .collect(),
             stats: result.stats.clone(),
+            degraded: DegradedReport {
+                entities_lost: result
+                    .degraded
+                    .lost
+                    .iter()
+                    .map(|l| LostEntityReport {
+                        entity: universe.entity_name(l.entity).to_owned(),
+                        reason: l.error.to_string(),
+                        revisions_lost: l.revisions_lost,
+                    })
+                    .collect(),
+                revisions_lost: result.degraded.revisions_lost(),
+                parse_issues: result.degraded.parse_issues,
+                denominator_affected: result.degraded.denominator_affected,
+                failed_windows: result
+                    .failed_windows
+                    .iter()
+                    .map(|f| (f.window, f.panic.clone()))
+                    .collect(),
+            },
         }
     }
 
@@ -107,6 +164,31 @@ mod tests {
         assert!(!report.patterns.is_empty());
         let json = report.to_json();
         let back = WcReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn degraded_section_round_trips() {
+        use wiclean_revstore::{FaultPlan, FaultyStore, ResilientFetcher, RetryPolicy};
+        let fx = soccer_fixture();
+        let config = WcConfig {
+            w_min: fx.window.len(),
+            max_window: fx.window.len(),
+            timeline_start: 0,
+            timeline_end: fx.window.end,
+            miner: fx.config(),
+            ..WcConfig::default()
+        };
+        let faulty = FaultyStore::new(&fx.store, FaultPlan::transient_only(0.9, 5));
+        let fetcher = ResilientFetcher::new(&faulty, RetryPolicy::no_retries());
+        let result = find_windows_and_patterns(&fetcher, &fx.universe, fx.player_ty, &config);
+        let report = WcReport::from_result(&result, &fx.universe);
+        assert!(!report.degraded.is_empty(), "faulty run must report losses");
+        assert_eq!(
+            report.degraded.entities_lost.len(),
+            result.degraded.entities_lost()
+        );
+        let back = WcReport::from_json(&report.to_json()).unwrap();
         assert_eq!(back, report);
     }
 

@@ -10,11 +10,12 @@
 
 use crate::cache::RealizationCache;
 use crate::config::WcConfig;
+use crate::degraded::DegradedCoverage;
 use crate::miner::{MineStats, RelPattern, WindowResult};
-use crate::parallel::mine_windows_parallel_cached;
+use crate::parallel::{mine_windows_parallel_cached_checked, WindowFailure};
 use crate::pattern::{most_specific, Pattern, WorkingPattern};
 use std::collections::HashMap;
-use wiclean_revstore::RevisionStore;
+use wiclean_revstore::FetchSource;
 use wiclean_types::{TypeId, Universe, Window};
 
 /// A pattern discovered by the window/threshold search, with the discovery
@@ -57,6 +58,12 @@ pub struct WcResult {
     pub stats: MineStats,
     /// The last iteration's full per-window results.
     pub window_results: Vec<WindowResult>,
+    /// Coverage lost to fetch failures, aggregated across every window of
+    /// every iteration (empty on a healthy source).
+    pub degraded: DegradedCoverage,
+    /// Windows whose workers panicked, across all iterations (deduplicated
+    /// by window). The rest of the search completed without them.
+    pub failed_windows: Vec<WindowFailure>,
 }
 
 impl WcResult {
@@ -97,7 +104,7 @@ fn last_trace_buffer(
 /// Algorithm 2: mines windows of increasing width / decreasing threshold
 /// until the discovered pattern set stabilizes.
 pub fn find_windows_and_patterns(
-    store: &RevisionStore,
+    source: &dyn FetchSource,
     universe: &Universe,
     seed: TypeId,
     config: &WcConfig,
@@ -106,6 +113,8 @@ pub fn find_windows_and_patterns(
     let mut tau = config.tau0;
     let mut discovered: HashMap<Pattern, DiscoveredPattern> = HashMap::new();
     let mut stats = MineStats::default();
+    let mut degraded = DegradedCoverage::default();
+    let mut failed: Vec<WindowFailure> = Vec::new();
     let mut iterations = 0usize;
     #[allow(unused_assignments)]
     let mut last_results: Vec<WindowResult> = Vec::new();
@@ -125,8 +134,8 @@ pub fn find_windows_and_patterns(
         let windows = Window::split_span(config.timeline_start, config.timeline_end, width);
         let mut miner_config = config.miner;
         miner_config.tau = tau;
-        let results = mine_windows_parallel_cached(
-            store,
+        let outcomes = mine_windows_parallel_cached_checked(
+            source,
             universe,
             seed,
             &windows,
@@ -134,11 +143,19 @@ pub fn find_windows_and_patterns(
             config.threads,
             cache.clone(),
         );
+        let mut results = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            match outcome {
+                Ok(r) => results.push(r),
+                Err(f) => failed.push(f),
+            }
+        }
 
         let mut new_found = 0usize;
         let trace = std::env::var_os("WICLEAN_TRACE").is_some();
         for r in &results {
             stats.absorb(&r.stats);
+            degraded.absorb(&r.degraded);
             for p in r.most_specific() {
                 if !discovered.contains_key(&p.pattern) {
                     new_found += 1;
@@ -227,6 +244,9 @@ pub fn find_windows_and_patterns(
             .then_with(|| a.pattern.cmp(&b.pattern))
     });
 
+    failed.sort_by_key(|f| f.window);
+    failed.dedup_by_key(|f| f.window);
+
     WcResult {
         seed,
         discovered: final_patterns,
@@ -235,6 +255,8 @@ pub fn find_windows_and_patterns(
         final_tau: tau,
         stats,
         window_results: last_results,
+        degraded,
+        failed_windows: failed,
     }
 }
 
@@ -290,6 +312,21 @@ mod tests {
         let result = find_windows_and_patterns(&fx.store, &fx.universe, fx.player_ty, &config);
         assert!(result.discovered.is_empty());
         assert!(result.iterations < 50, "terminates promptly");
+    }
+
+    #[test]
+    fn degraded_search_reports_losses_without_aborting() {
+        use wiclean_revstore::{FaultPlan, FaultyStore, ResilientFetcher, RetryPolicy};
+        let fx = soccer_fixture();
+        let config = fixture_config(&fx);
+        let faulty = FaultyStore::new(&fx.store, FaultPlan::transient_only(0.9, 11));
+        let fetcher = ResilientFetcher::new(&faulty, RetryPolicy::no_retries());
+        let result = find_windows_and_patterns(&fetcher, &fx.universe, fx.player_ty, &config);
+        assert!(
+            !result.degraded.lost.is_empty(),
+            "90% faults without retries must lose coverage"
+        );
+        assert!(result.failed_windows.is_empty(), "losses are not panics");
     }
 
     #[test]
@@ -395,6 +432,7 @@ mod merge_tests {
             seed: fx.player_ty,
             patterns: vec![found],
             stats: MineStats::default(),
+            degraded: crate::degraded::DegradedCoverage::default(),
         }
     }
 

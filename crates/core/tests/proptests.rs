@@ -1,12 +1,18 @@
-//! Property-based tests for the pattern model.
+//! Property-based tests for the pattern model and for mining robustness
+//! under injected faults.
 
 use proptest::prelude::*;
 use std::collections::HashMap;
 use wiclean_core::abstract_action::AbstractAction;
+use wiclean_core::config::MinerConfig;
+use wiclean_core::miner::{WindowMiner, WindowResult};
+use wiclean_core::parallel::run_windows_checked;
 use wiclean_core::pattern::{most_specific, Pattern};
 use wiclean_core::var::Var;
-use wiclean_revstore::EditOp;
-use wiclean_types::{RelId, Taxonomy, TypeId};
+use wiclean_revstore::{
+    EditOp, FaultPlan, FaultyStore, ResilientFetcher, RetryPolicy, RevisionStore,
+};
+use wiclean_types::{RelId, Taxonomy, TypeId, Universe, Window};
 
 /// A fixed 3-level taxonomy: Thing → {A → A1, B → B1}.
 fn taxonomy() -> Taxonomy {
@@ -181,6 +187,150 @@ proptest! {
                 kept.iter().any(|k| k.more_specific_than(dropped, &tax)),
                 "dropped pattern has no surviving refinement"
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: mining under injected fetch faults and worker panics.
+// ---------------------------------------------------------------------------
+
+/// A small transfer world: six players moving between three clubs inside
+/// `[10, 100)`, all edits reciprocated so a pair pattern is frequent.
+fn transfer_world() -> (Universe, RevisionStore, TypeId, Window) {
+    use wiclean_wikitext::render::render_links;
+    use wiclean_wikitext::PageLinks;
+
+    let mut u = Universe::new("Thing");
+    let root = u.taxonomy().root();
+    let player_ty = u.taxonomy_mut().add("Player", root).unwrap();
+    let club_ty = u.taxonomy_mut().add("Club", root).unwrap();
+    u.relation("current_club");
+    u.relation("squad");
+
+    let players: Vec<_> = (0..6)
+        .map(|i| u.add_entity(&format!("Player {i}"), player_ty).unwrap())
+        .collect();
+    let clubs: Vec<_> = (0..3)
+        .map(|i| u.add_entity(&format!("Club {i}"), club_ty).unwrap())
+        .collect();
+
+    let mut store = RevisionStore::new();
+    let mut club_state: Vec<PageLinks> = (0..3).map(|_| PageLinks::new()).collect();
+    for (i, &c) in clubs.iter().enumerate() {
+        let text = render_links(u.entity_name(c), "club", &club_state[i]);
+        store.record(c, 1, text);
+    }
+    for (i, &p) in players.iter().enumerate() {
+        store.record(p, 1, render_links(u.entity_name(p), "bio", &PageLinks::new()));
+        let club_ix = i % 3;
+        let mut links = PageLinks::new();
+        links.insert("current_club", u.entity_name(clubs[club_ix]));
+        let t = 20 + 10 * i as u64;
+        store.record(p, t, render_links(u.entity_name(p), "bio", &links));
+        club_state[club_ix].insert("squad", u.entity_name(p));
+        let text = render_links(u.entity_name(clubs[club_ix]), "club", &club_state[club_ix]);
+        store.record(clubs[club_ix], t + 3, text);
+    }
+    (u, store, player_ty, Window::new(10, 100))
+}
+
+fn transfer_config() -> MinerConfig {
+    MinerConfig {
+        tau: 0.5,
+        ..MinerConfig::default()
+    }
+}
+
+/// Order-independent digest of a mining result: canonical pattern, support,
+/// and the sorted realization rows rendered to text.
+fn digest(result: &WindowResult) -> Vec<(Pattern, usize, String)> {
+    let mut v: Vec<_> = result
+        .patterns
+        .iter()
+        .map(|p| {
+            (
+                p.pattern.clone(),
+                p.support,
+                format!("{:?}", p.table.sorted_rows()),
+            )
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    // Each case runs real mining; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Mining through a `ResilientFetcher` over transient-only faults is
+    /// byte-identical to fault-free mining: every fault heals on retry, so
+    /// coverage is full and the pattern set (including realization tables)
+    /// matches exactly.
+    #[test]
+    fn mining_deterministic_under_transient_retry(
+        fault_seed in any::<u64>(),
+        rate in 0.0f64..0.30,
+    ) {
+        let (u, store, player_ty, window) = transfer_world();
+        let clean = WindowMiner::new(&store, &u, transfer_config())
+            .mine_window(player_ty, &window);
+
+        let faulty = FaultyStore::new(&store, FaultPlan::transient_only(rate, fault_seed));
+        // 30 attempts at a ≤30% fault rate: a page permanently failing has
+        // probability ≤ 0.3^30 ≈ 2e-16, negligible even over many cases.
+        let policy = RetryPolicy {
+            max_attempts: 30,
+            base_backoff_us: 0,
+            max_backoff_us: 0,
+            ..RetryPolicy::default()
+        };
+        let fetcher = ResilientFetcher::new(&faulty, policy);
+        let healed = WindowMiner::new(&fetcher, &u, transfer_config())
+            .mine_window(player_ty, &window);
+
+        prop_assert!(
+            healed.degraded.is_empty(),
+            "transient faults must heal under retry: {:?}",
+            healed.degraded
+        );
+        prop_assert_eq!(clean.stats.entities_processed, healed.stats.entities_processed);
+        prop_assert_eq!(digest(&clean), digest(&healed));
+    }
+
+    /// `parallel == sequential` holds under injected worker faults: windows
+    /// whose worker panics surface as failures, and every surviving window's
+    /// result is identical to the sequential fault-free run.
+    #[test]
+    fn parallel_equals_sequential_under_worker_faults(poison_mask in 0u8..16) {
+        let (u, store, player_ty, _) = transfer_world();
+        let windows = Window::split_span(0, 100, 25);
+        prop_assert_eq!(windows.len(), 4);
+        let miner = WindowMiner::new(&store, &u, transfer_config());
+        let sequential: Vec<_> = windows
+            .iter()
+            .map(|w| miner.mine_window(player_ty, w))
+            .collect();
+
+        let out = run_windows_checked(&windows, 4, |w| {
+            let i = windows.iter().position(|x| x == w).unwrap();
+            if poison_mask & (1 << i) != 0 {
+                panic!("injected worker fault in window {i}");
+            }
+            miner.mine_window(player_ty, w)
+        });
+
+        prop_assert_eq!(out.len(), windows.len());
+        for (i, r) in out.iter().enumerate() {
+            if poison_mask & (1 << i) != 0 {
+                let failure = r.as_ref().err().expect("poisoned window must fail");
+                prop_assert_eq!(failure.window, windows[i]);
+                prop_assert!(failure.panic.contains("injected worker fault"));
+            } else {
+                let ok = r.as_ref().ok().expect("healthy window must succeed");
+                prop_assert_eq!(digest(ok), digest(&sequential[i]));
+            }
         }
     }
 }

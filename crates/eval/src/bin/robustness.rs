@@ -1,0 +1,33 @@
+//! Robustness sweep: pattern recall under 5/10/20% fetch loss, with and
+//! without retries.
+//!
+//! Usage: `robustness [seeds] [fault_seed]` (defaults: 400 seeds, a fixed
+//! fault seed — the whole sweep is deterministic).
+
+use wiclean_eval::robustness::{render_robustness, run_robustness, DEFAULT_FAULT_RATES};
+use wiclean_synth::{scenarios, SynthConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seeds: usize = args.next().map_or(400, |a| a.parse().expect("seed count"));
+    let fault_seed: u64 = args.next().map_or(0xFA_017, |a| a.parse().expect("fault seed"));
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
+
+    println!("robustness sweep ({seeds} seeds, {threads} threads, fault seed {fault_seed})\n");
+    for domain in [scenarios::soccer(), scenarios::politics()] {
+        let synth = SynthConfig {
+            seed_count: seeds,
+            rng_seed: 20180801,
+            ..SynthConfig::default()
+        };
+        let report = run_robustness(domain, synth, threads, &DEFAULT_FAULT_RATES, fault_seed);
+        println!("{}", render_robustness(&report));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+        println!();
+    }
+}

@@ -10,6 +10,7 @@
 //! | Small-data candidate counts | [`smalldata`] | `smalldata` |
 //! | §6.3 quality analysis | [`quality`] | `quality` |
 //! | Table 1 — refinement heuristics grid | [`grid`] | `table1` |
+//! | Robustness under degraded crawls | [`robustness`] | `robustness` |
 //!
 //! Absolute times will differ from the paper's testbed; the harness is
 //! about reproducing the *shape* of each result (who wins, by what factor,
@@ -18,11 +19,13 @@
 pub mod grid;
 pub mod metrics;
 pub mod quality;
+pub mod robustness;
 pub mod runtime;
 pub mod smalldata;
 
 pub use grid::{run_grid, GridRow};
 pub use metrics::{pattern_metrics, PatternMetrics};
 pub use quality::{evaluate_domain, DomainQualityReport};
+pub use robustness::{run_robustness, RobustnessCell, RobustnessReport, DEFAULT_FAULT_RATES};
 pub use runtime::{fig4a, fig4b, fig4c, fig4d};
 pub use smalldata::{run_smalldata, SmallDataReport};

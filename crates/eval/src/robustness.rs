@@ -1,0 +1,235 @@
+//! Robustness experiment: pattern recall under degraded crawl coverage.
+//!
+//! The paper's pipeline assumes a complete revision crawl; real MediaWiki
+//! API crawls lose pages to rate limiting, transient server errors and
+//! deletions. This experiment measures how gracefully mining degrades:
+//! it plants a fault-injected fetch layer ([`wiclean_revstore::FaultyStore`])
+//! between the miner and a synthetic corpus, sweeps the fault rate across
+//! {5%, 10%, 20%} × retry policy {default, disabled}, and reports pattern
+//! recall against the fault-free baseline together with the degraded
+//! coverage each cell suffered.
+//!
+//! Expected shape: with the default retry policy, transient faults heal and
+//! recall stays at 100% with zero lost entities; with retries disabled,
+//! coverage (and with it recall) falls as the fault rate grows.
+
+use crate::quality::default_wc_config;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+use wiclean_core::pattern::Pattern;
+use wiclean_core::windows::find_windows_and_patterns;
+use wiclean_revstore::{mix64, FaultPlan, FaultyStore, ResilientFetcher, RetryPolicy};
+use wiclean_synth::{generate, DomainSpec, SynthConfig};
+
+/// One cell of the fault-rate × retry-policy sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessCell {
+    /// Injected transient-fault rate per fetch attempt.
+    pub fault_rate: f64,
+    /// Retry policy label: `"retry"` or `"no-retry"`.
+    pub policy: String,
+    /// Most specific patterns discovered in this cell.
+    pub patterns_found: usize,
+    /// Baseline patterns also discovered here (the recall numerator).
+    pub patterns_recovered: usize,
+    /// `patterns_recovered / baseline_patterns`.
+    pub pattern_recall: f64,
+    /// Entities lost to fetch failures.
+    pub entities_lost: usize,
+    /// Revisions known lost with them.
+    pub revisions_lost: u64,
+    /// Whether a lost entity biased a frequency denominator.
+    pub denominator_affected: bool,
+    /// Retries the fetcher spent healing transient faults.
+    pub retries: u64,
+    /// Pages the fetcher ultimately gave up on.
+    pub gave_up: u64,
+    /// Whether the circuit breaker opened during the run.
+    pub breaker_tripped: bool,
+    /// Wall-clock time of the cell.
+    pub runtime: Duration,
+}
+
+/// The full sweep for one domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessReport {
+    /// Domain name.
+    pub domain: String,
+    /// Seed entities generated.
+    pub seeds: usize,
+    /// Most specific patterns in the fault-free baseline run.
+    pub baseline_patterns: usize,
+    /// Sweep cells, fault rate major, retry policy minor.
+    pub cells: Vec<RobustnessCell>,
+}
+
+/// The paper-shaped sweep: 5% / 10% / 20% fetch loss.
+pub const DEFAULT_FAULT_RATES: [f64; 3] = [0.05, 0.10, 0.20];
+
+/// Runs the sweep for one domain.
+///
+/// `fault_seed` drives the deterministic fault plans; every (rate, policy)
+/// cell gets an independent stream derived from it, so the whole report is
+/// reproducible from `(domain, synth, fault_seed)`.
+pub fn run_robustness(
+    domain: DomainSpec,
+    synth: SynthConfig,
+    threads: usize,
+    fault_rates: &[f64],
+    fault_seed: u64,
+) -> RobustnessReport {
+    let world = generate(domain, synth);
+    let wc = default_wc_config(threads);
+
+    let baseline_result =
+        find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
+    let baseline: BTreeSet<Pattern> = baseline_result
+        .discovered
+        .iter()
+        .map(|d| d.pattern.clone())
+        .collect();
+
+    let policies = [
+        ("retry", RetryPolicy::default()),
+        ("no-retry", RetryPolicy::no_retries()),
+    ];
+
+    let mut cells = Vec::new();
+    for (rix, &rate) in fault_rates.iter().enumerate() {
+        for (pix, (name, policy)) in policies.iter().enumerate() {
+            let t0 = Instant::now();
+            // Independent deterministic stream per cell.
+            let cell_seed = mix64(fault_seed ^ ((rix as u64) << 32) ^ pix as u64);
+            let faulty = FaultyStore::new(&world.store, FaultPlan::transient_only(rate, cell_seed));
+            let fetcher = ResilientFetcher::new(&faulty, *policy);
+            let result =
+                find_windows_and_patterns(&fetcher, &world.universe, world.seed_type, &wc);
+            let found: BTreeSet<Pattern> = result
+                .discovered
+                .iter()
+                .map(|d| d.pattern.clone())
+                .collect();
+            let recovered = found.intersection(&baseline).count();
+            cells.push(RobustnessCell {
+                fault_rate: rate,
+                policy: (*name).to_owned(),
+                patterns_found: found.len(),
+                patterns_recovered: recovered,
+                pattern_recall: if baseline.is_empty() {
+                    1.0
+                } else {
+                    recovered as f64 / baseline.len() as f64
+                },
+                entities_lost: result.degraded.entities_lost(),
+                revisions_lost: result.degraded.revisions_lost(),
+                denominator_affected: result.degraded.denominator_affected,
+                retries: fetcher.retries_used(),
+                gave_up: fetcher.pages_given_up(),
+                breaker_tripped: fetcher.breaker_tripped(),
+                runtime: t0.elapsed(),
+            });
+        }
+    }
+
+    RobustnessReport {
+        domain: world.domain.name.clone(),
+        seeds: world.seeds.len(),
+        baseline_patterns: baseline.len(),
+        cells,
+    }
+}
+
+/// Renders the report as an aligned text table.
+pub fn render_robustness(r: &RobustnessReport) -> String {
+    let mut out = format!(
+        "{}: {} seeds, {} baseline patterns\n\
+         {:>6}  {:>8}  {:>7}  {:>6}  {:>9}  {:>8}  {:>7}  {:>7}\n",
+        r.domain,
+        r.seeds,
+        r.baseline_patterns,
+        "rate",
+        "policy",
+        "recall",
+        "lost",
+        "revs-lost",
+        "retries",
+        "gave-up",
+        "runtime"
+    );
+    for c in &r.cells {
+        out.push_str(&format!(
+            "{:>5.0}%  {:>8}  {:>6.1}%  {:>6}  {:>9}  {:>8}  {:>7}  {:>7.1?}{}\n",
+            c.fault_rate * 100.0,
+            c.policy,
+            c.pattern_recall * 100.0,
+            c.entities_lost,
+            c.revisions_lost,
+            c.retries,
+            c.gave_up,
+            c.runtime,
+            if c.breaker_tripped { "  [breaker]" } else { "" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiclean_synth::scenarios;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "full pipeline sweep — run with --release")]
+    fn retry_heals_and_no_retry_degrades() {
+        let report = run_robustness(
+            scenarios::politics(),
+            SynthConfig {
+                seed_count: 150,
+                rng_seed: 20190401,
+                ..SynthConfig::default()
+            },
+            2,
+            &DEFAULT_FAULT_RATES,
+            0xFA_017,
+        );
+        assert!(report.baseline_patterns > 0, "baseline must discover patterns");
+        for c in &report.cells {
+            match c.policy.as_str() {
+                "retry" => {
+                    assert_eq!(
+                        c.entities_lost, 0,
+                        "retry must heal transient faults at {}%",
+                        c.fault_rate * 100.0
+                    );
+                    assert!(
+                        (c.pattern_recall - 1.0).abs() < 1e-9,
+                        "full recall under retry at {}%",
+                        c.fault_rate * 100.0
+                    );
+                    assert!(c.retries > 0, "healing must have cost retries");
+                }
+                "no-retry" => {
+                    assert!(
+                        c.entities_lost > 0,
+                        "disabled retries must lose entities at {}%",
+                        c.fault_rate * 100.0
+                    );
+                    assert_eq!(c.retries, 0);
+                    assert!(c.pattern_recall <= 1.0);
+                }
+                other => panic!("unexpected policy {other}"),
+            }
+        }
+        // Coverage loss should not shrink as the fault rate doubles.
+        let lost: Vec<usize> = report
+            .cells
+            .iter()
+            .filter(|c| c.policy == "no-retry")
+            .map(|c| c.entities_lost)
+            .collect();
+        assert!(lost.windows(2).all(|w| w[0] <= w[1] * 2), "loss scales with rate");
+        let rendered = render_robustness(&report);
+        assert!(rendered.contains("no-retry"));
+    }
+}

@@ -1,9 +1,10 @@
 //! Extracting timestamped actions from page histories by snapshot diffing.
 
 use crate::action::Action;
+use crate::fetch::{FetchError, FetchSource};
 use crate::store::RevisionStore;
 use wiclean_types::{EntityId, Universe, Window};
-use wiclean_wikitext::{diff_revisions, parse_page, PageLinks};
+use wiclean_wikitext::{diff_revisions, parse_page_checked, PageLinks};
 
 /// Result of extracting one entity's actions within a window.
 #[derive(Debug, Clone, Default)]
@@ -17,6 +18,19 @@ pub struct ExtractOutcome {
     /// that registers its vocabulary this stays zero; unknown labels would
     /// be free-form prose structure.
     pub unresolved_relations: u64,
+    /// Total recoverable markup defects the parser healed while scanning
+    /// this entity's snapshots (truncated downloads, broken closers). The
+    /// actions extracted from such snapshots are best-effort.
+    pub parse_issues: u64,
+}
+
+impl ExtractOutcome {
+    /// Sums another outcome's counters (not its actions) into this one.
+    fn absorb_counters(&mut self, other: &ExtractOutcome) {
+        self.unresolved_targets += other.unresolved_targets;
+        self.unresolved_relations += other.unresolved_relations;
+        self.parse_issues += other.parse_issues;
+    }
 }
 
 /// Extracts the actions performed on `entity`'s page within `window`.
@@ -26,23 +40,46 @@ pub struct ExtractOutcome {
 /// introduced them — never to pre-window state. Each revision inside the
 /// window is diffed against its predecessor; every structured link edit
 /// becomes an [`Action`] stamped with the revision time.
+///
+/// Infallible variant over the in-memory store; see
+/// [`try_extract_actions`] for the fallible fetch boundary.
 pub fn extract_actions(
     store: &RevisionStore,
     universe: &Universe,
     entity: EntityId,
     window: &Window,
 ) -> ExtractOutcome {
+    try_extract_actions(store, universe, entity, window)
+        .expect("the in-memory store never fails a fetch")
+}
+
+/// Extracts `entity`'s actions within `window` through the fallible fetch
+/// boundary. A fetch error is returned to the caller, which decides what
+/// the lost entity means (the miner records it as degraded coverage);
+/// recoverable *parse* defects are healed and counted in
+/// [`ExtractOutcome::parse_issues`] instead of failing the entity.
+pub fn try_extract_actions(
+    source: &dyn FetchSource,
+    universe: &Universe,
+    entity: EntityId,
+    window: &Window,
+) -> Result<ExtractOutcome, FetchError> {
     let mut out = ExtractOutcome::default();
-    let Some(history) = store.fetch(entity) else {
-        return out;
+    let Some(history) = source.fetch_history(entity)? else {
+        return Ok(out);
     };
+    let history = history.as_ref();
 
     // Base snapshot: page state just before the window opens.
     let mut prev: PageLinks = match window.start.checked_sub(1) {
-        Some(t) => history
-            .snapshot_at(t)
-            .map(|r| parse_page(&r.text))
-            .unwrap_or_default(),
+        Some(t) => match history.snapshot_at(t) {
+            Some(r) => {
+                let (links, issues) = parse_page_checked(&r.text);
+                out.parse_issues += issues.total();
+                links
+            }
+            None => PageLinks::default(),
+        },
         None => PageLinks::default(),
     };
 
@@ -50,7 +87,8 @@ pub fn extract_actions(
         // Diff against the previous *parsed* state: equivalent to text-level
         // diffing (parsing is lossless for structured links) while parsing
         // each snapshot exactly once.
-        let new_links = parse_page(&rev.text);
+        let (new_links, issues) = parse_page_checked(&rev.text);
+        out.parse_issues += issues.total();
         let edits = wiclean_wikitext::diff::diff_links(&prev, &new_links);
         prev = new_links;
         for e in edits {
@@ -65,7 +103,7 @@ pub fn extract_actions(
             out.actions.push(Action::new(e.op, entity, rel, target, rev.time));
         }
     }
-    out
+    Ok(out)
 }
 
 /// Extracts and concatenates the actions of many entities within `window`,
@@ -80,9 +118,8 @@ pub fn extract_actions_for(
     let mut out = ExtractOutcome::default();
     for &e in entities {
         let one = extract_actions(store, universe, e, window);
+        out.absorb_counters(&one);
         out.actions.extend(one.actions);
-        out.unresolved_targets += one.unresolved_targets;
-        out.unresolved_relations += one.unresolved_relations;
     }
     out
 }
@@ -235,5 +272,30 @@ mod tests {
         let (u, s, _n, barca, _p) = setup();
         let out = extract_actions(&s, &u, barca, &Window::new(0, 100));
         assert!(out.actions.is_empty());
+    }
+
+    #[test]
+    fn fetch_error_propagates_from_faulty_source() {
+        use crate::fault::{FaultPlan, FaultyStore};
+        use crate::fetch::FetchError;
+        let (u, s, neymar, ..) = setup();
+        let plan = FaultPlan {
+            gone_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let faulty = FaultyStore::new(&s, plan);
+        let err = try_extract_actions(&faulty, &u, neymar, &Window::new(0, 100)).unwrap_err();
+        assert!(matches!(err, FetchError::Gone { revisions_lost: 2 }));
+    }
+
+    #[test]
+    fn truncated_snapshots_are_healed_and_counted() {
+        let (u, mut s, ..) = setup();
+        let club = u.taxonomy().lookup("SoccerClub").unwrap();
+        let e = u.add_entity("Torn Club", club).unwrap();
+        // Unterminated link + unclosed infobox: recoverable defects.
+        s.record(e, 20, "{{Infobox c\n| current_club = [[PSG F.C.\n".into());
+        let out = try_extract_actions(&s, &u, e, &Window::new(0, 100)).unwrap();
+        assert!(out.parse_issues > 0, "defects must be counted");
     }
 }

@@ -17,11 +17,15 @@
 
 pub mod action;
 pub mod extract;
+pub mod fault;
+pub mod fetch;
 pub mod reduce;
 pub mod store;
 
 pub use action::Action;
-pub use extract::{extract_actions, extract_actions_for, ExtractOutcome};
+pub use extract::{extract_actions, extract_actions_for, try_extract_actions, ExtractOutcome};
+pub use fault::{mix64, FaultPlan, FaultyStore, GarbleMode};
+pub use fetch::{FetchError, FetchSource, ResilientFetcher, RetryPolicy};
 pub use reduce::{is_reduced, reduce_actions};
 pub use store::{CrawlStats, PageHistory, Revision, RevisionStore};
 pub use wiclean_wikitext::EditOp;

@@ -26,21 +26,33 @@ impl PageHistory {
         Self::default()
     }
 
-    /// Appends a revision; timestamps must be non-decreasing, as MediaWiki
-    /// histories are append-only.
-    pub fn push(&mut self, time: Timestamp, text: String) {
-        if let Some(last) = self.revisions.last() {
-            assert!(
-                time >= last.time,
-                "revision timestamps must be non-decreasing"
-            );
+    /// Appends a revision. MediaWiki histories are append-only, but *crawled*
+    /// histories arrive in whatever order the crawler's pagination and
+    /// retries produced — so an out-of-order timestamp is insertion-sorted
+    /// into place rather than rejected. Returns `true` when the revision was
+    /// out of order (equal timestamps count as in order and keep arrival
+    /// order, matching the previous append semantics).
+    pub fn push(&mut self, time: Timestamp, text: String) -> bool {
+        let in_order = self.revisions.last().is_none_or(|last| time >= last.time);
+        if in_order {
+            self.revisions.push(Revision { time, text });
+            false
+        } else {
+            let at = self.revisions.partition_point(|r| r.time <= time);
+            self.revisions.insert(at, Revision { time, text });
+            true
         }
-        self.revisions.push(Revision { time, text });
     }
 
     /// All revisions in chronological order.
     pub fn revisions(&self) -> &[Revision] {
         &self.revisions
+    }
+
+    /// Mutable access for in-crate decorators (fault injection damages
+    /// revision text in place on an owned copy).
+    pub(crate) fn revisions_mut(&mut self) -> &mut [Revision] {
+        &mut self.revisions
     }
 
     /// Number of revisions.
@@ -80,6 +92,32 @@ pub struct CrawlStats {
     pub revisions_scanned: u64,
     /// Total wikitext bytes scanned.
     pub bytes_scanned: u64,
+    /// Fetch attempts repeated after a retryable failure.
+    pub retries: u64,
+    /// Pages abandoned after exhausting the retry policy.
+    pub gave_up_pages: u64,
+    /// Transient fetch errors observed (before retry).
+    pub transient_errors: u64,
+    /// Rate-limit signals observed (before retry).
+    pub rate_limited: u64,
+    /// Revisions recorded with an out-of-order timestamp (insertion-sorted
+    /// at the store boundary — crawled histories are not guaranteed ordered).
+    pub out_of_order: u64,
+}
+
+impl CrawlStats {
+    /// Sums another counter snapshot into this one (used when a fetch
+    /// decorator merges its own counters with its inner source's).
+    pub fn absorb(&mut self, other: &CrawlStats) {
+        self.pages_fetched += other.pages_fetched;
+        self.revisions_scanned += other.revisions_scanned;
+        self.bytes_scanned += other.bytes_scanned;
+        self.retries += other.retries;
+        self.gave_up_pages += other.gave_up_pages;
+        self.transient_errors += other.transient_errors;
+        self.rate_limited += other.rate_limited;
+        self.out_of_order += other.out_of_order;
+    }
 }
 
 /// Store of page histories, keyed by entity.
@@ -97,6 +135,8 @@ pub struct RevisionStore {
     revisions_scanned: AtomicU64,
     #[serde(skip)]
     bytes_scanned: AtomicU64,
+    #[serde(skip)]
+    out_of_order: AtomicU64,
 }
 
 impl RevisionStore {
@@ -105,9 +145,13 @@ impl RevisionStore {
         Self::default()
     }
 
-    /// Records a new revision of `entity` at `time`.
+    /// Records a new revision of `entity` at `time`. Out-of-order
+    /// timestamps are tolerated (sorted into place) and counted in
+    /// [`CrawlStats::out_of_order`].
     pub fn record(&mut self, entity: EntityId, time: Timestamp, text: String) {
-        self.pages.entry(entity).or_default().push(time, text);
+        if self.pages.entry(entity).or_default().push(time, text) {
+            self.out_of_order.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Fetches the page history of `entity`, counting the crawl work.
@@ -155,6 +199,8 @@ impl RevisionStore {
             pages_fetched: self.pages_fetched.load(Ordering::Relaxed),
             revisions_scanned: self.revisions_scanned.load(Ordering::Relaxed),
             bytes_scanned: self.bytes_scanned.load(Ordering::Relaxed),
+            out_of_order: self.out_of_order.load(Ordering::Relaxed),
+            ..CrawlStats::default()
         }
     }
 
@@ -163,6 +209,7 @@ impl RevisionStore {
         self.pages_fetched.store(0, Ordering::Relaxed);
         self.revisions_scanned.store(0, Ordering::Relaxed);
         self.bytes_scanned.store(0, Ordering::Relaxed);
+        self.out_of_order.store(0, Ordering::Relaxed);
     }
 }
 
@@ -189,11 +236,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-decreasing")]
-    fn history_rejects_time_travel() {
+    fn history_sorts_time_travel_into_place() {
         let mut h = PageHistory::new();
-        h.push(10, "v1".into());
-        h.push(5, "v0".into());
+        assert!(!h.push(10, "v1".into()));
+        assert!(h.push(5, "v0".into())); // out of order → insertion-sorted
+        assert!(!h.push(20, "v2".into()));
+        assert!(h.push(15, "v1b".into()));
+        let times: Vec<_> = h.revisions().iter().map(|r| r.time).collect();
+        assert_eq!(times, vec![5, 10, 15, 20]);
+        assert_eq!(h.snapshot_at(7).unwrap().text, "v0");
+        assert_eq!(h.snapshot_at(17).unwrap().text, "v1b");
+    }
+
+    #[test]
+    fn store_counts_out_of_order_records() {
+        let mut s = RevisionStore::new();
+        s.record(eid(1), 20, "v2".into());
+        s.record(eid(1), 10, "v1".into()); // late arrival
+        s.record(eid(2), 5, "w1".into());
+        s.record(eid(2), 6, "w2".into());
+        assert_eq!(s.stats().out_of_order, 1);
+        let times: Vec<_> = s.peek(eid(1)).unwrap().revisions().iter().map(|r| r.time).collect();
+        assert_eq!(times, vec![10, 20]);
+        s.reset_stats();
+        assert_eq!(s.stats().out_of_order, 0);
     }
 
     #[test]

@@ -75,9 +75,20 @@ impl Corpus {
         Ok(corpus)
     }
 
-    /// Writes the corpus to a file.
+    /// Writes the corpus to a file atomically: the JSON is written to a
+    /// sibling temporary file and renamed into place, so a crash mid-write
+    /// never leaves a truncated corpus at `path`.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CorpusError> {
-        Ok(std::fs::write(path, self.to_json())?)
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_json())?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e.into());
+        }
+        Ok(())
     }
 
     /// Loads a corpus from a file.
@@ -170,6 +181,38 @@ mod tests {
         corpus.save(&path).unwrap();
         let back = Corpus::load(&path).unwrap();
         assert_eq!(back.seed_type, corpus.seed_type);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_temp_file_behind() {
+        let world = generate(scenarios::politics(), SynthConfig::tiny(36));
+        let corpus = Corpus::from_world(world);
+        let dir = std::env::temp_dir().join("wiclean_corpus_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.json");
+        corpus.save(&path).unwrap();
+        assert!(path.exists());
+        assert!(!dir.join("corpus.json.tmp").exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_corpus_is_a_parse_error_not_a_panic() {
+        let world = generate(scenarios::politics(), SynthConfig::tiny(35));
+        let corpus = Corpus::from_world(world);
+        let json = corpus.to_json();
+        // Simulate a corpus file cut short by a crash mid-write.
+        let mut cut = json.len() / 2;
+        while !json.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let truncated = &json[..cut];
+        let dir = std::env::temp_dir().join("wiclean_corpus_truncated_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.json");
+        std::fs::write(&path, truncated).unwrap();
+        assert!(matches!(Corpus::load(&path), Err(CorpusError::Json(_))));
         std::fs::remove_file(&path).ok();
     }
 

@@ -32,5 +32,5 @@ pub mod render;
 
 pub use ast::{EditOp, LinkEdit, PageLinks};
 pub use diff::diff_revisions;
-pub use parse::parse_page;
+pub use parse::{parse_page, parse_page_checked, ParseIssues};
 pub use render::{render_page, PageSpec, RelationLayout};

@@ -8,6 +8,53 @@
 //! tables are structured data, per the paper's scope).
 
 use crate::ast::PageLinks;
+use serde::{Deserialize, Serialize};
+
+/// Recoverable defects observed while parsing one snapshot.
+///
+/// Real crawled revision text is routinely truncated or garbled in transit;
+/// the parser never fails on such input — it recovers at the next structural
+/// boundary — but it *counts* what it had to recover from, so the crawl
+/// layer can report degraded coverage instead of silently mining a page
+/// whose tail was lost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParseIssues {
+    /// `<!--` comments with no closing `-->` (rest of page discarded).
+    pub unterminated_comments: u64,
+    /// `<ref>` tags with no closing `</ref>` (rest of page discarded).
+    pub unterminated_refs: u64,
+    /// `[[` link openers with no closing `]]` on the fragment.
+    pub unterminated_links: u64,
+    /// Page ended inside an `{{Infobox …}}` block.
+    pub unclosed_infoboxes: u64,
+    /// Page ended inside a `{| … |}` table.
+    pub unclosed_tables: u64,
+}
+
+impl ParseIssues {
+    /// Total defect count.
+    pub fn total(&self) -> u64 {
+        self.unterminated_comments
+            + self.unterminated_refs
+            + self.unterminated_links
+            + self.unclosed_infoboxes
+            + self.unclosed_tables
+    }
+
+    /// Whether the snapshot parsed without recovery.
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Merges another snapshot's counts into this one.
+    pub fn absorb(&mut self, other: &ParseIssues) {
+        self.unterminated_comments += other.unterminated_comments;
+        self.unterminated_refs += other.unterminated_refs;
+        self.unterminated_links += other.unterminated_links;
+        self.unclosed_infoboxes += other.unclosed_infoboxes;
+        self.unclosed_tables += other.unclosed_tables;
+    }
+}
 
 /// Namespaced links (`[[Category:...]]`, `[[File:...]]`, …) are metadata,
 /// not entity links, and are excluded from structured extraction.
@@ -21,11 +68,19 @@ fn is_namespaced(target: &str) -> bool {
 /// openers without a closing `]]` and namespaced links (categories, files)
 /// are ignored.
 pub fn scan_links(fragment: &str) -> Vec<&str> {
+    scan_links_counted(fragment, &mut ParseIssues::default())
+}
+
+/// [`scan_links`] that also counts unterminated `[[` openers.
+fn scan_links_counted<'a>(fragment: &'a str, issues: &mut ParseIssues) -> Vec<&'a str> {
     let mut out = Vec::new();
     let mut rest = fragment;
     while let Some(start) = rest.find("[[") {
         rest = &rest[start + 2..];
-        let Some(end) = rest.find("]]") else { break };
+        let Some(end) = rest.find("]]") else {
+            issues.unterminated_links += 1;
+            break;
+        };
         let inner = &rest[..end];
         rest = &rest[end + 2..];
         let target = match inner.find('|') {
@@ -44,6 +99,11 @@ pub fn scan_links(fragment: &str) -> Vec<&str> {
 /// reference bodies may contain links, but those cite sources rather than
 /// relate entities. Unterminated refs run to the end of the input.
 pub fn strip_refs(text: &str) -> String {
+    strip_refs_counted(text, &mut ParseIssues::default())
+}
+
+/// [`strip_refs`] that also counts unterminated `<ref>` tags.
+fn strip_refs_counted(text: &str, issues: &mut ParseIssues) -> String {
     let mut out = String::with_capacity(text.len());
     let mut rest = text;
     while let Some(start) = rest.find("<ref") {
@@ -59,9 +119,15 @@ pub fn strip_refs(text: &str) -> String {
             }
             (Some(_), _) => match rest.find("</ref>") {
                 Some(end) => rest = &rest[end + 6..],
-                None => return out,
+                None => {
+                    issues.unterminated_refs += 1;
+                    return out;
+                }
             },
-            (None, _) => return out,
+            (None, _) => {
+                issues.unterminated_refs += 1;
+                return out;
+            }
         }
     }
     out.push_str(rest);
@@ -71,6 +137,11 @@ pub fn strip_refs(text: &str) -> String {
 /// Strips `<!-- ... -->` comments. Unterminated comments run to the end of
 /// the input, like MediaWiki's sanitizer.
 pub fn strip_comments(text: &str) -> String {
+    strip_comments_counted(text, &mut ParseIssues::default())
+}
+
+/// [`strip_comments`] that also counts unterminated comments.
+fn strip_comments_counted(text: &str, issues: &mut ParseIssues) -> String {
     let mut out = String::with_capacity(text.len());
     let mut rest = text;
     while let Some(start) = rest.find("<!--") {
@@ -78,7 +149,10 @@ pub fn strip_comments(text: &str) -> String {
         rest = &rest[start + 4..];
         match rest.find("-->") {
             Some(end) => rest = &rest[end + 3..],
-            None => return out,
+            None => {
+                issues.unterminated_comments += 1;
+                return out;
+            }
         }
     }
     out.push_str(rest);
@@ -109,7 +183,18 @@ enum Block {
 ///   Tables without a caption are presentation-only and skipped.
 /// * everything else is prose and ignored.
 pub fn parse_page(text: &str) -> PageLinks {
-    let text = strip_refs(&strip_comments(text));
+    parse_page_checked(text).0
+}
+
+/// [`parse_page`] that also reports the recoverable defects encountered —
+/// the crawl layer's view of truncated or garbled revision text. The links
+/// returned are identical to [`parse_page`]'s.
+pub fn parse_page_checked(text: &str) -> (PageLinks, ParseIssues) {
+    let mut issues = ParseIssues::default();
+    let text = {
+        let stripped = strip_comments_counted(text, &mut issues);
+        strip_refs_counted(&stripped, &mut issues)
+    };
     let mut page = PageLinks::new();
     let mut block = Block::Prose;
     let mut section_name = String::new();
@@ -121,10 +206,10 @@ pub fn parse_page(text: &str) -> PageLinks {
 
     // Redirect stubs: the whole page is just a pointer.
     if let Some(rest) = text.trim_start().strip_prefix("#REDIRECT") {
-        if let Some(target) = scan_links(rest).first() {
+        if let Some(target) = scan_links_counted(rest, &mut issues).first() {
             page.redirect = Some((*target).to_owned());
         }
-        return page;
+        return (page, issues);
     }
 
     for raw_line in text.lines() {
@@ -141,7 +226,7 @@ pub fn parse_page(text: &str) -> PageLinks {
                             let field = rest[..eq].trim();
                             let value = &rest[eq + 1..];
                             if !field.is_empty() {
-                                for target in scan_links(value) {
+                                for target in scan_links_counted(value, &mut issues) {
                                     page.insert(field, target);
                                 }
                             }
@@ -171,7 +256,7 @@ pub fn parse_page(text: &str) -> PageLinks {
                     .or_else(|| trimmed.strip_prefix('!'))
                 {
                     if let Some(caption) = &table_caption {
-                        for target in scan_links(rest) {
+                        for target in scan_links_counted(rest, &mut issues) {
                             page.insert(caption, target);
                         }
                     }
@@ -193,7 +278,7 @@ pub fn parse_page(text: &str) -> PageLinks {
                     block = Block::Section;
                 } else if block == Block::Section {
                     if let Some(rest) = trimmed.strip_prefix('*') {
-                        for target in scan_links(rest) {
+                        for target in scan_links_counted(rest, &mut issues) {
                             page.insert(&section_name, target);
                         }
                     } else if !trimmed.is_empty() && !trimmed.starts_with('*') {
@@ -209,7 +294,12 @@ pub fn parse_page(text: &str) -> PageLinks {
             }
         }
     }
-    page
+    match block {
+        Block::Infobox => issues.unclosed_infoboxes += 1,
+        Block::Table => issues.unclosed_tables += 1,
+        Block::Prose | Block::Section => {}
+    }
+    (page, issues)
 }
 
 /// If the line is a `== title ==` heading (any level ≥ 2), returns the title.
@@ -359,6 +449,44 @@ mod tests {
         assert_eq!(heading_title("=== seasons ==="), Some("seasons"));
         assert_eq!(heading_title("not a heading"), None);
         assert_eq!(heading_title("===="), None);
+    }
+
+    #[test]
+    fn checked_parse_is_clean_on_well_formed_pages() {
+        let text = "{{Infobox x\n| f = [[A]]\n}}\n== s ==\n* [[B]]\n";
+        let (page, issues) = parse_page_checked(text);
+        assert!(issues.is_clean(), "{issues:?}");
+        assert_eq!(page, parse_page(text));
+    }
+
+    #[test]
+    fn truncated_page_is_recovered_and_counted() {
+        // Truncation mid-infobox: unterminated link + unclosed infobox.
+        let text = "{{Infobox x\n| f = [[A]]\n| g = [[Trunc";
+        let (page, issues) = parse_page_checked(text);
+        assert!(page.contains("f", "A"), "prefix links survive truncation");
+        assert_eq!(issues.unclosed_infoboxes, 1);
+        assert_eq!(issues.unterminated_links, 1);
+        assert!(!issues.is_clean());
+    }
+
+    #[test]
+    fn garbled_markup_is_counted() {
+        let (_, issues) = parse_page_checked("a<!-- chopped");
+        assert_eq!(issues.unterminated_comments, 1);
+        let (_, issues) = parse_page_checked("b<ref>chopped");
+        assert_eq!(issues.unterminated_refs, 1);
+        let (_, issues) = parse_page_checked("{| \n|+ cap\n| [[X]]\n");
+        assert_eq!(issues.unclosed_tables, 1);
+    }
+
+    #[test]
+    fn issues_absorb_and_total() {
+        let (_, mut a) = parse_page_checked("{{Infobox x\n| f = [[A");
+        let (_, b) = parse_page_checked("x<!-- chopped");
+        a.absorb(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.unterminated_comments, 1);
     }
 
     #[test]

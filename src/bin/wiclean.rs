@@ -19,7 +19,12 @@ use wiclean::core::partial::detect_partial_updates;
 use wiclean::core::report::WcReport;
 use wiclean::core::windows::find_windows_and_patterns;
 use wiclean::eval::quality::default_wc_config;
+use wiclean::revstore::{FaultPlan, FaultyStore, ResilientFetcher, RetryPolicy};
 use wiclean::synth::{generate, scenarios, Corpus, SynthConfig};
+
+/// Distinct exit code for "the crawl circuit breaker opened": results were
+/// still written, but coverage is untrustworthy.
+const EXIT_BREAKER_TRIPPED: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,18 +40,18 @@ fn main() -> ExitCode {
         }
     };
     let result = match command.as_str() {
-        "generate" => cmd_generate(&flags),
-        "stats" => cmd_stats(&flags),
+        "generate" => cmd_generate(&flags).map(|()| ExitCode::SUCCESS),
+        "stats" => cmd_stats(&flags).map(|()| ExitCode::SUCCESS),
         "mine" => cmd_mine(&flags),
         "detect" => cmd_detect(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE
@@ -60,8 +65,17 @@ wiclean — mine Wikipedia-style revision histories for edit patterns
 USAGE:
   wiclean generate --domain <soccer|cinema|politics|software> [--seeds N] [--rng S] --out FILE
   wiclean stats    --corpus FILE
-  wiclean mine     --corpus FILE [--threads N] [--out FILE]
-  wiclean detect   --corpus FILE [--threads N] [--top K]";
+  wiclean mine     --corpus FILE [--threads N] [--out FILE] [FAULT FLAGS]
+  wiclean detect   --corpus FILE [--threads N] [--top K] [FAULT FLAGS]
+
+FAULT FLAGS (crawl-robustness testing):
+  --fault-rate R   inject transient fetch faults with probability R (0.0–1.0)
+  --fault-seed S   seed for the deterministic fault stream
+  --retries N      retries per page after the first attempt (0 disables;
+                   default: the built-in retry/backoff policy)
+
+Exit codes: 0 success, 1 error, 3 crawl circuit breaker tripped (results
+written, but coverage is untrustworthy).";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -168,12 +182,69 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_mine(flags: &HashMap<String, String>) -> Result<(), String> {
+/// Builds the fault plan and retry policy from the CLI's fault flags.
+fn fault_setup(flags: &HashMap<String, String>) -> Result<(FaultPlan, RetryPolicy), String> {
+    let rate: f64 = num_flag(flags, "fault-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("flag --fault-rate: `{rate}` is not in 0.0–1.0"));
+    }
+    let seed: u64 = num_flag(flags, "fault-seed", 0xC1EA11F)?;
+    let policy = match flags.get("retries") {
+        None => RetryPolicy::default(),
+        Some(v) => {
+            let retries: u32 = v
+                .parse()
+                .map_err(|_| format!("flag --retries: cannot parse `{v}`"))?;
+            RetryPolicy::with_attempts(retries + 1)
+        }
+    };
+    Ok((FaultPlan::transient_only(rate, seed), policy))
+}
+
+/// Prints the degraded-coverage section of a report to stderr.
+fn print_degraded(report: &WcReport) {
+    let d = &report.degraded;
+    if d.is_empty() {
+        eprintln!("  coverage: full (no fetch losses)");
+        return;
+    }
+    eprintln!(
+        "  degraded coverage: {} entities lost ({} revisions), {} parse issues{}",
+        d.entities_lost.len(),
+        d.revisions_lost,
+        d.parse_issues,
+        if d.denominator_affected {
+            "; frequency denominators affected"
+        } else {
+            ""
+        }
+    );
+    for l in d.entities_lost.iter().take(10) {
+        eprintln!("    ✗ {} — {}", l.entity, l.reason);
+    }
+    if d.entities_lost.len() > 10 {
+        eprintln!("    … and {} more", d.entities_lost.len() - 10);
+    }
+    for (w, msg) in &d.failed_windows {
+        eprintln!("    ✗ window {w}: {msg}");
+    }
+}
+
+fn cmd_mine(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     let corpus = load_corpus(flags)?;
     let wc = default_wc_config(threads(flags)?);
+    let (plan, policy) = fault_setup(flags)?;
+    let faulty = FaultyStore::new(&corpus.store, plan);
+    let fetcher = ResilientFetcher::new(&faulty, policy);
     eprintln!("mining `{}` (Algorithm 2)…", corpus.seed_type);
-    let result =
-        find_windows_and_patterns(&corpus.store, &corpus.universe, corpus.seed_type_id(), &wc);
+    if !plan.is_clean() {
+        eprintln!(
+            "  fault injection on: transient rate {:.0}%, {} attempts per page",
+            plan.transient_rate * 100.0,
+            policy.max_attempts
+        );
+    }
+    let result = find_windows_and_patterns(&fetcher, &corpus.universe, corpus.seed_type_id(), &wc);
     eprintln!(
         "  {} iterations → {} patterns (final width {}d, tau {:.3})",
         result.iterations,
@@ -182,6 +253,7 @@ fn cmd_mine(flags: &HashMap<String, String>) -> Result<(), String> {
         result.final_tau
     );
     let report = WcReport::from_result(&result, &corpus.universe);
+    print_degraded(&report);
     let json = report.to_json();
     match flags.get("out") {
         Some(path) => {
@@ -190,16 +262,22 @@ fn cmd_mine(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         None => println!("{json}"),
     }
-    Ok(())
+    if fetcher.breaker_tripped() {
+        eprintln!("warning: crawl circuit breaker tripped — coverage is untrustworthy");
+        return Ok(ExitCode::from(EXIT_BREAKER_TRIPPED));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_detect(flags: &HashMap<String, String>) -> Result<(), String> {
+fn cmd_detect(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     let corpus = load_corpus(flags)?;
     let top: usize = num_flag(flags, "top", 5)?;
     let wc = default_wc_config(threads(flags)?);
+    let (plan, policy) = fault_setup(flags)?;
+    let faulty = FaultyStore::new(&corpus.store, plan);
+    let fetcher = ResilientFetcher::new(&faulty, policy);
     eprintln!("mining `{}`…", corpus.seed_type);
-    let result =
-        find_windows_and_patterns(&corpus.store, &corpus.universe, corpus.seed_type_id(), &wc);
+    let result = find_windows_and_patterns(&fetcher, &corpus.universe, corpus.seed_type_id(), &wc);
     eprintln!(
         "  {} patterns discovered; running Algorithm 3 on the top {}…\n",
         result.discovered.len(),
@@ -207,7 +285,7 @@ fn cmd_detect(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     for d in result.by_frequency().into_iter().take(top) {
         let report = detect_partial_updates(
-            &corpus.store,
+            &fetcher,
             &corpus.universe,
             &wc.miner,
             &d.working,
@@ -234,5 +312,10 @@ fn cmd_detect(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         println!();
     }
-    Ok(())
+    print_degraded(&WcReport::from_result(&result, &corpus.universe));
+    if fetcher.breaker_tripped() {
+        eprintln!("warning: crawl circuit breaker tripped — coverage is untrustworthy");
+        return Ok(ExitCode::from(EXIT_BREAKER_TRIPPED));
+    }
+    Ok(ExitCode::SUCCESS)
 }

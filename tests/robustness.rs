@@ -1,0 +1,109 @@
+//! Cross-crate robustness integration: the full window-and-pattern search
+//! over a fault-injected fetch layer.
+//!
+//! Two acceptance properties:
+//!
+//! 1. 10% transient faults + the default retry policy recover the identical
+//!    most specific pattern set with empty degraded coverage — transient
+//!    faults are invisible to the miner.
+//! 2. With retries disabled the run still completes, and the report
+//!    enumerates every entity it had to skip.
+
+use std::collections::BTreeSet;
+use wiclean::core::pattern::Pattern;
+use wiclean::core::report::WcReport;
+use wiclean::core::windows::find_windows_and_patterns;
+use wiclean::eval::quality::default_wc_config;
+use wiclean::revstore::{FaultPlan, FaultyStore, FetchError, ResilientFetcher, RetryPolicy};
+use wiclean::synth::{generate, scenarios, SynthConfig, SynthWorld};
+
+fn small_world() -> SynthWorld {
+    generate(
+        scenarios::soccer(),
+        SynthConfig {
+            seed_count: 60,
+            rng_seed: 424242,
+            distractor_entities: 30,
+            ..SynthConfig::default()
+        },
+    )
+}
+
+fn pattern_set(result: &wiclean::core::windows::WcResult) -> BTreeSet<Pattern> {
+    result
+        .discovered
+        .iter()
+        .map(|d| d.pattern.clone())
+        .collect()
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full pipeline — run with --release")]
+fn transient_faults_with_default_retry_are_invisible() {
+    let world = small_world();
+    let wc = default_wc_config(2);
+
+    let clean = find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
+
+    let faulty = FaultyStore::new(&world.store, FaultPlan::transient_only(0.10, 0xC0FFEE));
+    let fetcher = ResilientFetcher::new(&faulty, RetryPolicy::default());
+    let healed = find_windows_and_patterns(&fetcher, &world.universe, world.seed_type, &wc);
+
+    assert!(
+        healed.degraded.is_empty(),
+        "default retry must heal 10% transient faults: {:?}",
+        healed.degraded
+    );
+    assert!(healed.failed_windows.is_empty());
+    assert_eq!(pattern_set(&clean), pattern_set(&healed));
+    assert_eq!(clean.final_width, healed.final_width);
+    assert!(
+        fetcher.retries_used() > 0,
+        "a 10% fault rate must have cost retries"
+    );
+    assert_eq!(fetcher.pages_given_up(), 0);
+    assert!(!fetcher.breaker_tripped());
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full pipeline — run with --release")]
+fn disabled_retries_degrade_and_enumerate_every_loss() {
+    let world = small_world();
+    // Sequential mining: the faulty store's per-entity attempt counters make
+    // fault outcomes depend on fetch order, so reproducibility is only
+    // guaranteed single-threaded.
+    let wc = default_wc_config(1);
+
+    let faulty = FaultyStore::new(&world.store, FaultPlan::transient_only(0.30, 7));
+    let fetcher = ResilientFetcher::new(&faulty, RetryPolicy::no_retries());
+    let result = find_windows_and_patterns(&fetcher, &world.universe, world.seed_type, &wc);
+
+    // The run completes and the losses are fully enumerated.
+    assert!(result.degraded.entities_lost() > 0, "30% loss must bite");
+    assert_eq!(fetcher.retries_used(), 0);
+    assert!(fetcher.pages_given_up() > 0);
+    for lost in &result.degraded.lost {
+        assert!(
+            !world.universe.entity_name(lost.entity).is_empty(),
+            "every lost entity resolves to a real page"
+        );
+        assert_eq!(lost.error, FetchError::Exhausted { attempts: 1 });
+    }
+    assert!(result.degraded.denominator_affected);
+
+    // The report carries the same enumeration, and survives serialization.
+    let report = WcReport::from_result(&result, &world.universe);
+    assert_eq!(
+        report.degraded.entities_lost.len(),
+        result.degraded.entities_lost()
+    );
+    let back = WcReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(back, report);
+
+    // Deterministic: the same fault seed reproduces the same losses.
+    let faulty2 = FaultyStore::new(&world.store, FaultPlan::transient_only(0.30, 7));
+    let fetcher2 = ResilientFetcher::new(&faulty2, RetryPolicy::no_retries());
+    let result2 = find_windows_and_patterns(&fetcher2, &world.universe, world.seed_type, &wc);
+    assert_eq!(result.degraded.lost, result2.degraded.lost);
+    assert_eq!(pattern_set(&result), pattern_set(&result2));
+}
