@@ -1,7 +1,8 @@
 //! Ablation: the paper's realization-table caching optimization ("cashing
 //! of the computed frequencies/realization tables, to be reused if the
-//! same patterns are later re-examined with different thresholds").
-//! Benchmarks the full Algorithm 2 search with and without the cache.
+//! same patterns are later re-examined with different thresholds") and the
+//! preprocessing (action-extraction) cache layered underneath it.
+//! Benchmarks the full Algorithm 2 search over the 2×2 cache grid.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use wiclean_bench::soccer_world;
@@ -13,14 +14,21 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let world = soccer_world(150, 0xCACE);
     for &use_cache in &[true, false] {
-        let mut wc = default_wc_config(1);
-        wc.use_cache = use_cache;
-        let label = if use_cache { "cached" } else { "uncached" };
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc)
-            })
-        });
+        for &use_action_cache in &[true, false] {
+            let mut wc = default_wc_config(1);
+            wc.use_cache = use_cache;
+            wc.use_action_cache = use_action_cache;
+            let label = format!(
+                "realizations-{}/preprocess-{}",
+                if use_cache { "cached" } else { "uncached" },
+                if use_action_cache { "cached" } else { "uncached" },
+            );
+            group.bench_function(&label, |b| {
+                b.iter(|| {
+                    find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc)
+                })
+            });
+        }
     }
     group.finish();
 }

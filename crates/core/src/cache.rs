@@ -19,8 +19,48 @@ use crate::pattern::Pattern;
 use parking_lot::RwLock;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use wiclean_rel::Table;
+use wiclean_revstore::ActionCache;
 use wiclean_types::{TypeId, Window};
+
+/// The two mining-side caches, bundled so the parallel entry points can be
+/// handed both at once. Each is optional (ablations disable them
+/// independently) and `Arc`-shared: cloning the bundle clones pointers, so
+/// every per-window worker and every Algorithm 2 refinement iteration sees
+/// the same underlying caches.
+///
+/// * `realizations` — candidate realization tables, reused when the same
+///   pattern is re-examined under a different threshold
+///   ([`RealizationCache`]).
+/// * `actions` — per-entity preprocessing outcomes (parse → diff →
+///   extract), reused across iterations and *composed* when a widened
+///   window tiles exactly from cached sub-windows
+///   ([`wiclean_revstore::ActionCache`]).
+#[derive(Clone, Default)]
+pub struct MiningCaches {
+    /// Shared candidate realization-table cache, if enabled.
+    pub realizations: Option<Arc<RealizationCache>>,
+    /// Shared preprocessing (action-extraction) cache, if enabled.
+    pub actions: Option<Arc<ActionCache>>,
+}
+
+impl MiningCaches {
+    /// An empty bundle (no caching) — what the plain entry points use.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds the bundle a [`crate::config::WcConfig`] asks for.
+    pub fn from_config(config: &crate::config::WcConfig) -> Self {
+        Self {
+            realizations: config.use_cache.then(|| Arc::new(RealizationCache::new())),
+            actions: config
+                .use_action_cache
+                .then(|| Arc::new(ActionCache::new())),
+        }
+    }
+}
 
 /// Key: the mined window plus the candidate's canonical pattern.
 type CacheKey = (Window, Pattern);

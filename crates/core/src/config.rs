@@ -123,6 +123,12 @@ pub struct WcConfig {
     /// Reuse candidate realization tables across refinement iterations
     /// (the paper's caching optimization). Disable for ablation.
     pub use_cache: bool,
+    /// Reuse per-entity preprocessing (parse → diff → extract) outcomes
+    /// across refinement iterations via the shared
+    /// [`wiclean_revstore::ActionCache`]; widened windows are assembled
+    /// from cached sub-window extractions instead of re-diffing wikitext.
+    /// Disable for ablation.
+    pub use_action_cache: bool,
 }
 
 impl Default for WcConfig {
@@ -139,6 +145,7 @@ impl Default for WcConfig {
             threads: 1,
             max_iterations: 64,
             use_cache: true,
+            use_action_cache: true,
         }
     }
 }

@@ -50,12 +50,13 @@ pub mod windows;
 pub(crate) mod testutil;
 
 pub use abstract_action::{abstractions_of, AbstractAction};
-pub use cache::RealizationCache;
+pub use cache::{MiningCaches, RealizationCache};
 pub use config::{ExpansionMode, JoinImpl, MinerConfig, RefinePolicy, WcConfig};
 pub use degraded::{DegradedCoverage, LostEntity};
 pub use miner::{FoundPattern, MineStats, WindowMiner, WindowResult};
 pub use parallel::{
-    mine_windows_parallel, mine_windows_parallel_checked, run_windows_checked, WindowFailure,
+    mine_windows_parallel, mine_windows_parallel_cached, mine_windows_parallel_cached_checked,
+    mine_windows_parallel_checked, run_windows_checked, WindowFailure,
 };
 pub use partial::{detect_partial_updates, PartialUpdate, PartialReport};
 pub use pattern::Pattern;

@@ -34,7 +34,9 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wiclean_rel::{join_glue, join_glue_nested, join_glue_sort_merge, outer_join_glue, ColumnGlue, Table};
-use wiclean_revstore::{reduce_actions, try_extract_actions, FetchSource};
+use wiclean_revstore::{
+    reduce_actions, try_extract_actions, ActionCache, CacheLookup, FetchSource,
+};
 use wiclean_types::{EntityId, TypeId, Universe, Window};
 
 /// Counters and timings of one window mining run.
@@ -62,6 +64,18 @@ pub struct MineStats {
     pub cache_hits: usize,
     /// Realization-cache misses (0 when caching is off).
     pub cache_misses: usize,
+    /// Preprocessing-cache exact hits: entity extractions served without
+    /// touching wikitext (0 when the action cache is off).
+    #[serde(default)]
+    pub action_cache_hits: usize,
+    /// Preprocessing-cache compositions: widened-window extractions
+    /// assembled from cached sub-window outcomes (0 when off).
+    #[serde(default)]
+    pub action_cache_composed: usize,
+    /// Preprocessing-cache misses: extractions that ran from raw text
+    /// (every extraction, when the action cache is off — then counted as 0).
+    #[serde(default)]
+    pub action_cache_misses: usize,
 }
 
 impl MineStats {
@@ -79,6 +93,22 @@ impl MineStats {
         self.most_specific_found += other.most_specific_found;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.action_cache_hits += other.action_cache_hits;
+        self.action_cache_composed += other.action_cache_composed;
+        self.action_cache_misses += other.action_cache_misses;
+    }
+
+    /// Share of preprocessing lookups the action cache answered without
+    /// re-parsing (exact hits plus compositions over all lookups); 0 when
+    /// the cache is off or nothing was looked up.
+    pub fn action_cache_hit_rate(&self) -> f64 {
+        let served = self.action_cache_hits + self.action_cache_composed;
+        let total = served + self.action_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            served as f64 / total as f64
+        }
     }
 }
 
@@ -151,6 +181,7 @@ pub struct WindowMiner<'a> {
     universe: &'a Universe,
     config: MinerConfig,
     cache: Option<Arc<RealizationCache>>,
+    action_cache: Option<Arc<ActionCache>>,
 }
 
 /// Internal expansion node: a frequent pattern under construction.
@@ -181,6 +212,7 @@ impl<'a> WindowMiner<'a> {
             universe,
             config,
             cache: None,
+            action_cache: None,
         }
     }
 
@@ -188,6 +220,22 @@ impl<'a> WindowMiner<'a> {
     /// Algorithm 2 shares one across its refinement iterations.
     pub fn with_cache(mut self, cache: Arc<RealizationCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches a shared preprocessing cache (see
+    /// [`wiclean_revstore::ActionCache`]): entity extractions are memoized
+    /// by `(entity, history version, window)` and widened windows are
+    /// composed from cached sub-window outcomes instead of re-parsing.
+    pub fn with_action_cache(mut self, cache: Arc<ActionCache>) -> Self {
+        self.action_cache = Some(cache);
+        self
+    }
+
+    /// Attaches whatever caches `caches` carries (either may be absent).
+    pub fn with_caches(mut self, caches: crate::cache::MiningCaches) -> Self {
+        self.cache = caches.realizations;
+        self.action_cache = caches.actions;
         self
     }
 
@@ -240,7 +288,22 @@ impl<'a> WindowMiner<'a> {
             if !state.fetched_entities.insert(e) {
                 continue;
             }
-            let outcome = match try_extract_actions(self.source, self.universe, e, window) {
+            // Through the shared preprocessing cache when attached (errors
+            // take the same degraded path either way and are never cached).
+            let extracted = match &self.action_cache {
+                Some(cache) => cache
+                    .extract(self.source, self.universe, e, window)
+                    .map(|(outcome, lookup)| {
+                        match lookup {
+                            CacheLookup::Hit => state.stats.action_cache_hits += 1,
+                            CacheLookup::Composed => state.stats.action_cache_composed += 1,
+                            CacheLookup::Miss => state.stats.action_cache_misses += 1,
+                        }
+                        outcome
+                    }),
+                None => try_extract_actions(self.source, self.universe, e, window).map(Arc::new),
+            };
+            let outcome = match extracted {
                 Ok(outcome) => outcome,
                 Err(err) => {
                     // Degrade, don't die: the entity contributes nothing to

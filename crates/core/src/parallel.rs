@@ -14,14 +14,13 @@
 //! mutex, realization cache — is lock-free or non-poisoning, so observing
 //! it after a caught panic is sound.)
 
-use crate::cache::RealizationCache;
+use crate::cache::MiningCaches;
 use crate::config::MinerConfig;
 use crate::miner::{WindowMiner, WindowResult};
 use parking_lot::Mutex;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
 use wiclean_revstore::FetchSource;
 use wiclean_types::{TypeId, Universe, Window};
 
@@ -117,11 +116,21 @@ pub fn mine_windows_parallel(
     config: MinerConfig,
     threads: usize,
 ) -> Vec<WindowResult> {
-    mine_windows_parallel_cached(source, universe, seed, windows, config, threads, None)
+    mine_windows_parallel_cached(
+        source,
+        universe,
+        seed,
+        windows,
+        config,
+        threads,
+        MiningCaches::none(),
+    )
 }
 
-/// [`mine_windows_parallel`] with an optional shared realization cache —
-/// Algorithm 2 passes one so refinement iterations reuse candidate tables.
+/// [`mine_windows_parallel`] with shared caches — Algorithm 2 passes a
+/// [`MiningCaches`] bundle so refinement iterations reuse candidate
+/// realization tables and preprocessing outcomes; the per-window workers
+/// share both caches concurrently.
 #[allow(clippy::too_many_arguments)]
 pub fn mine_windows_parallel_cached(
     source: &dyn FetchSource,
@@ -130,9 +139,9 @@ pub fn mine_windows_parallel_cached(
     windows: &[Window],
     config: MinerConfig,
     threads: usize,
-    cache: Option<Arc<RealizationCache>>,
+    caches: MiningCaches,
 ) -> Vec<WindowResult> {
-    mine_windows_parallel_cached_checked(source, universe, seed, windows, config, threads, cache)
+    mine_windows_parallel_cached_checked(source, universe, seed, windows, config, threads, caches)
         .into_iter()
         .map(|r| r.unwrap_or_else(|f| panic!("{f}")))
         .collect()
@@ -147,7 +156,15 @@ pub fn mine_windows_parallel_checked(
     config: MinerConfig,
     threads: usize,
 ) -> Vec<Result<WindowResult, WindowFailure>> {
-    mine_windows_parallel_cached_checked(source, universe, seed, windows, config, threads, None)
+    mine_windows_parallel_cached_checked(
+        source,
+        universe,
+        seed,
+        windows,
+        config,
+        threads,
+        MiningCaches::none(),
+    )
 }
 
 /// Fault-isolating variant of [`mine_windows_parallel_cached`].
@@ -159,13 +176,9 @@ pub fn mine_windows_parallel_cached_checked(
     windows: &[Window],
     config: MinerConfig,
     threads: usize,
-    cache: Option<Arc<RealizationCache>>,
+    caches: MiningCaches,
 ) -> Vec<Result<WindowResult, WindowFailure>> {
-    let miner = WindowMiner::new(source, universe, config);
-    let miner = match cache {
-        Some(c) => miner.with_cache(c),
-        None => miner,
-    };
+    let miner = WindowMiner::new(source, universe, config).with_caches(caches);
     run_windows_checked(windows, threads, |w| miner.mine_window(seed, w))
 }
 

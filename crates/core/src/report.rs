@@ -193,6 +193,31 @@ mod tests {
     }
 
     #[test]
+    fn report_carries_action_cache_hit_rate() {
+        let fx = soccer_fixture();
+        let config = WcConfig {
+            w_min: fx.window.len(),
+            max_window: fx.window.len(),
+            timeline_start: 0,
+            timeline_end: fx.window.end,
+            miner: fx.config(),
+            ..WcConfig::default()
+        };
+        let result = find_windows_and_patterns(&fx.store, &fx.universe, fx.player_ty, &config);
+        let report = WcReport::from_result(&result, &fx.universe);
+        // Refinement re-mines the same windows, so the default-on
+        // preprocessing cache must have served lookups — and the counters
+        // ride into the serialized report through `stats`.
+        assert!(
+            report.stats.action_cache_hits + report.stats.action_cache_composed > 0,
+            "stats: {:?}",
+            report.stats
+        );
+        assert!(report.stats.action_cache_hit_rate() > 0.0);
+        assert!(report.to_json().contains("action_cache_hits"));
+    }
+
+    #[test]
     fn report_display_is_readable() {
         let fx = soccer_fixture();
         let config = WcConfig {

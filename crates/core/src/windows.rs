@@ -8,7 +8,7 @@
 //! one-year window and τ ≥ 0.2. (The paper's §6.4 grid search selected
 //! exactly this policy.)
 
-use crate::cache::RealizationCache;
+use crate::cache::MiningCaches;
 use crate::config::WcConfig;
 use crate::degraded::DegradedCoverage;
 use crate::miner::{MineStats, RelPattern, WindowResult};
@@ -124,10 +124,12 @@ pub fn find_windows_and_patterns(
     // dimensions, one dimension's step may add nothing while the other's
     // next step would; stop only after both consecutive steps are barren.
     let mut barren = 0usize;
-    // Candidate realization tables survive across refinement iterations.
-    let cache = config
-        .use_cache
-        .then(|| std::sync::Arc::new(RealizationCache::new()));
+    // Candidate realization tables and preprocessing outcomes survive
+    // across refinement iterations; widened windows tile exactly from the
+    // previous iteration's sub-windows (split_span always starts at
+    // timeline_start), so the action cache composes them without
+    // re-diffing any wikitext.
+    let caches = MiningCaches::from_config(config);
 
     loop {
         iterations += 1;
@@ -141,7 +143,7 @@ pub fn find_windows_and_patterns(
             &windows,
             miner_config,
             config.threads,
-            cache.clone(),
+            caches.clone(),
         );
         let mut results = Vec::with_capacity(outcomes.len());
         for outcome in outcomes {
@@ -378,6 +380,53 @@ mod cache_tests {
         assert_eq!(b.stats.cache_hits, 0);
         // Cached runs execute strictly fewer joins.
         assert!(a.stats.joins_executed < b.stats.joins_executed);
+    }
+
+    #[test]
+    fn action_cached_search_equals_uncached_search() {
+        let fx = soccer_fixture();
+        let base = WcConfig {
+            w_min: fx.window.len() / 2,
+            tau0: 0.8,
+            max_window: fx.window.len(),
+            min_tau: 0.2,
+            timeline_start: 0,
+            timeline_end: fx.window.end,
+            miner: fx.config(),
+            threads: 1,
+            ..WcConfig::default()
+        };
+        let mut with_cache = base;
+        with_cache.use_action_cache = true;
+        let mut without_cache = base;
+        without_cache.use_action_cache = false;
+
+        let a = find_windows_and_patterns(&fx.store, &fx.universe, fx.player_ty, &with_cache);
+        let b = find_windows_and_patterns(&fx.store, &fx.universe, fx.player_ty, &without_cache);
+
+        // Identical search trajectory and output: the preprocessing cache
+        // only changes *where* extractions come from, never their content.
+        let pa: Vec<(P, usize)> = a.discovered.iter().map(|d| (d.pattern.clone(), d.support)).collect();
+        let pb: Vec<(P, usize)> = b.discovered.iter().map(|d| (d.pattern.clone(), d.support)).collect();
+        assert_eq!(pa, pb, "action caching must not change the discovered set");
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.stats.joins_executed, b.stats.joins_executed);
+        assert_eq!(a.stats.candidates_considered, b.stats.candidates_considered);
+        assert_eq!(a.stats.entities_processed, b.stats.entities_processed);
+        assert_eq!(a.stats.actions_extracted, b.stats.actions_extracted);
+        assert_eq!(a.stats.reduced_actions, b.stats.reduced_actions);
+
+        // Refinement re-extracts the same entities each iteration: the
+        // cache must serve a measurable share of those lookups (exact hits
+        // on repeated windows, compositions on widened ones).
+        let served = a.stats.action_cache_hits + a.stats.action_cache_composed;
+        assert!(served > 0, "refinement must reuse preprocessing: {:?}", a.stats);
+        assert!(a.stats.action_cache_hit_rate() > 0.0);
+        assert_eq!(
+            (b.stats.action_cache_hits, b.stats.action_cache_composed, b.stats.action_cache_misses),
+            (0, 0, 0),
+            "ablated run must not touch the action cache"
+        );
     }
 }
 

@@ -4,11 +4,12 @@
 use proptest::prelude::*;
 use std::collections::HashMap;
 use wiclean_core::abstract_action::AbstractAction;
-use wiclean_core::config::MinerConfig;
+use wiclean_core::config::{MinerConfig, WcConfig};
 use wiclean_core::miner::{WindowMiner, WindowResult};
 use wiclean_core::parallel::run_windows_checked;
 use wiclean_core::pattern::{most_specific, Pattern};
 use wiclean_core::var::Var;
+use wiclean_core::windows::{find_windows_and_patterns, WcResult};
 use wiclean_revstore::{
     EditOp, FaultPlan, FaultyStore, ResilientFetcher, RetryPolicy, RevisionStore,
 };
@@ -332,5 +333,107 @@ proptest! {
                 prop_assert_eq!(digest(ok), digest(&sequential[i]));
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Preprocessing (action) cache: cached mining ≡ uncached mining, bytewise.
+// ---------------------------------------------------------------------------
+
+/// Everything observable about an Algorithm 2 run except timings and the
+/// action-cache counters themselves: discovered patterns with their
+/// discovery context, the final iteration's full per-window tables, the
+/// degraded-coverage record, and the work counters.
+fn wc_digest(r: &WcResult) -> String {
+    let discovered: Vec<String> = r
+        .discovered
+        .iter()
+        .map(|d| {
+            format!(
+                "{:?} win={} width={} tau={} f={} sup={} rels={}",
+                d.pattern, d.window, d.window_width, d.tau, d.frequency, d.support,
+                d.rel_patterns.len()
+            )
+        })
+        .collect();
+    let windows: Vec<_> = r.window_results.iter().map(digest).collect();
+    format!(
+        "iters={} width={} tau={} discovered={discovered:?} windows={windows:?} \
+         degraded={:?} work=({},{},{},{},{},{},{})",
+        r.iterations,
+        r.final_width,
+        r.final_tau,
+        r.degraded,
+        r.stats.candidates_considered,
+        r.stats.joins_executed,
+        r.stats.entities_processed,
+        r.stats.actions_extracted,
+        r.stats.reduced_actions,
+        r.stats.patterns_found,
+        r.stats.most_specific_found,
+    )
+}
+
+proptest! {
+    // Each case runs two full window/threshold searches; keep cases modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Mining with the preprocessing cache is byte-identical to mining
+    /// without it — same discovered patterns, same realization tables, same
+    /// degraded coverage, same work counters — including over a faulty
+    /// source (transient faults healed by deep retry, permanently gone
+    /// pages, garbled text). Only the cache counters and timings may
+    /// differ, and the cached run must actually reuse work.
+    #[test]
+    fn action_cached_search_is_byte_identical(
+        fault_seed in any::<u64>(),
+        transient in 0.0f64..0.25,
+        gone in 0.0f64..0.25,
+        garble in 0.0f64..0.5,
+    ) {
+        let (u, store, player_ty, _) = transfer_world();
+        let plan = FaultPlan {
+            seed: fault_seed,
+            transient_rate: transient,
+            gone_rate: gone,
+            garble_rate: garble,
+            ..FaultPlan::default()
+        };
+        // 30 attempts at ≤25% transient rate: exhaustion probability
+        // ≈ 0.25^30 per page — negligible, so losses come only from the
+        // per-entity (attempt-independent) `Gone` rolls and are identical
+        // across runs even though the two runs' fetch sequences differ.
+        let policy = RetryPolicy {
+            max_attempts: 30,
+            base_backoff_us: 0,
+            max_backoff_us: 0,
+            ..RetryPolicy::default()
+        };
+        let run = |use_action_cache: bool| {
+            let faulty = FaultyStore::new(&store, plan);
+            let fetcher = ResilientFetcher::new(&faulty, policy);
+            let config = WcConfig {
+                w_min: 30,
+                tau0: 0.6,
+                max_window: 120,
+                min_tau: 0.2,
+                timeline_start: 0,
+                timeline_end: 120,
+                miner: transfer_config(),
+                threads: 2,
+                use_action_cache,
+                ..WcConfig::default()
+            };
+            find_windows_and_patterns(&fetcher, &u, player_ty, &config)
+        };
+        let cached = run(true);
+        let uncached = run(false);
+        prop_assert_eq!(wc_digest(&cached), wc_digest(&uncached));
+        prop_assert!(
+            cached.stats.action_cache_hits + cached.stats.action_cache_composed > 0,
+            "refinement must reuse preprocessing: {:?}",
+            cached.stats
+        );
+        prop_assert_eq!(uncached.stats.action_cache_misses, 0);
     }
 }

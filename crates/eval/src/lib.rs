@@ -27,5 +27,5 @@ pub use grid::{run_grid, GridRow};
 pub use metrics::{pattern_metrics, PatternMetrics};
 pub use quality::{evaluate_domain, DomainQualityReport};
 pub use robustness::{run_robustness, RobustnessCell, RobustnessReport, DEFAULT_FAULT_RATES};
-pub use runtime::{fig4a, fig4b, fig4c, fig4d};
+pub use runtime::{fig4a, fig4b, fig4c, fig4d, preprocess_cache_ablation, CacheRun};
 pub use smalldata::{run_smalldata, SmallDataReport};

@@ -204,6 +204,79 @@ pub fn fig4d(sizes: &[usize], max_threads: usize, rng: u64) -> Vec<ParallelRun> 
     out
 }
 
+/// One row of the preprocessing-cache ablation: a full Algorithm 2 search
+/// with or without the shared action-extraction cache, and where its
+/// preprocessing time went.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheRun {
+    /// `"PM"` (cache on) or `"PM-prep-cache"` (ablated).
+    pub label: String,
+    /// Revision-log crawling/parsing/reduction time across all iterations.
+    pub preprocess: Duration,
+    /// Pattern-mining time across all iterations.
+    pub mine: Duration,
+    /// Preprocessing lookups served as exact cache hits.
+    pub action_cache_hits: usize,
+    /// Preprocessing lookups served by composing cached sub-windows.
+    pub action_cache_composed: usize,
+    /// Preprocessing lookups that re-parsed from raw text.
+    pub action_cache_misses: usize,
+    /// Share of lookups served without re-parsing.
+    pub hit_rate: f64,
+    /// Patterns discovered (sanity: both rows must agree).
+    pub patterns: usize,
+}
+
+/// Preprocessing-cache ablation: the same window/threshold search with and
+/// without the shared [`wiclean_revstore::ActionCache`]. Refinement
+/// re-extracts every entity each iteration; the cached run serves those
+/// lookups from memory (and assembles widened windows from cached
+/// sub-windows), so its preprocessing share shrinks while discoveries stay
+/// identical.
+pub fn preprocess_cache_ablation(seeds: usize, rng: u64) -> Vec<CacheRun> {
+    use wiclean_core::windows::find_windows_and_patterns;
+    let world = soccer_world(seeds, rng);
+    let mut out = Vec::new();
+    for &use_action_cache in &[true, false] {
+        let mut wc = crate::quality::default_wc_config(2);
+        wc.use_action_cache = use_action_cache;
+        let r = find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
+        out.push(CacheRun {
+            label: if use_action_cache { "PM" } else { "PM-prep-cache" }.to_owned(),
+            preprocess: r.stats.preprocess,
+            mine: r.stats.mine,
+            action_cache_hits: r.stats.action_cache_hits,
+            action_cache_composed: r.stats.action_cache_composed,
+            action_cache_misses: r.stats.action_cache_misses,
+            hit_rate: r.stats.action_cache_hit_rate(),
+            patterns: r.discovered.len(),
+        });
+    }
+    out
+}
+
+/// Renders the preprocessing-cache ablation rows.
+pub fn render_cache_runs(rows: &[CacheRun]) -> String {
+    let mut s = format!(
+        "{:>15} {:>12} {:>10} {:>8} {:>10} {:>8} {:>9} {:>9}\n",
+        "algorithm", "preproc(s)", "mining(s)", "hits", "composed", "misses", "hit-rate", "patterns"
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:>15} {:>12.3} {:>10.3} {:>8} {:>10} {:>8} {:>9.3} {:>9}\n",
+            r.label,
+            r.preprocess.as_secs_f64(),
+            r.mine.as_secs_f64(),
+            r.action_cache_hits,
+            r.action_cache_composed,
+            r.action_cache_misses,
+            r.hit_rate,
+            r.patterns
+        ));
+    }
+    s
+}
+
 /// Renders timed runs as the paper's stacked-bar data (text table).
 pub fn render_timed(rows: &[TimedRun], axis: &str) -> String {
     let mut s = format!(
@@ -265,6 +338,32 @@ mod tests {
         // Allow generous noise: PM must not be dramatically slower.
         assert!(pm.mine.as_secs_f64() <= no_join.mine.as_secs_f64() * 1.5 + 0.005);
         assert!(render_timed(&rows, "seeds").contains("PM"));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "mining run — run with --release")]
+    fn preprocess_cache_cuts_preprocessing_not_patterns() {
+        let rows = preprocess_cache_ablation(150, 0xCACE);
+        assert_eq!(rows.len(), 2);
+        let (cached, uncached) = (&rows[0], &rows[1]);
+        assert_eq!(cached.label, "PM");
+        assert_eq!(uncached.label, "PM-prep-cache");
+        assert_eq!(cached.patterns, uncached.patterns, "identical discoveries");
+        assert!(
+            cached.action_cache_hits + cached.action_cache_composed > 0,
+            "refinement must reuse preprocessing: {cached:?}"
+        );
+        assert!(cached.hit_rate > 0.0);
+        assert_eq!(uncached.hit_rate, 0.0);
+        // The whole point: the cached run spends measurably less time in
+        // preprocessing (refinement re-extracts everything otherwise).
+        assert!(
+            cached.preprocess < uncached.preprocess,
+            "cached {:?} vs uncached {:?}",
+            cached.preprocess,
+            uncached.preprocess
+        );
+        assert!(render_cache_runs(&rows).contains("hit-rate"));
     }
 
     #[test]

@@ -499,4 +499,15 @@ mod tests {
         let out = join_glue(&left, &right, &glue());
         assert_eq!(out.len(), 2);
     }
+
+    #[test]
+    fn outer_join_cardinality_survives_empty_projection() {
+        // COUNT(*) over a join result must not collapse when projecting away
+        // every column (the zero-width Table regression).
+        let out = outer_join_glue(&left_table(), &right_table(), &glue());
+        let counted = out.project(&[]);
+        assert_eq!(counted.width(), 0);
+        assert_eq!(counted.len(), out.len());
+        assert_eq!(counted.rows().count(), out.len());
+    }
 }

@@ -13,6 +13,9 @@ pub type Value = Option<EntityId>;
 pub struct Table {
     schema: Schema,
     data: Vec<Value>,
+    /// Row count, tracked independently of `data.len()` so that zero-width
+    /// relations (e.g. `project(&[])`) still know their cardinality.
+    rows: usize,
 }
 
 impl Table {
@@ -21,6 +24,7 @@ impl Table {
         Self {
             schema,
             data: Vec::new(),
+            rows: 0,
         }
     }
 
@@ -48,16 +52,12 @@ impl Table {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        if self.schema.width() == 0 {
-            0
-        } else {
-            self.data.len() / self.schema.width()
-        }
+        self.rows
     }
 
     /// Whether the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.rows == 0
     }
 
     /// Appends a row; its arity must match the schema.
@@ -69,17 +69,20 @@ impl Table {
             self.schema
         );
         self.data.extend_from_slice(row);
+        self.rows += 1;
     }
 
     /// Row `i` as a cell slice.
     pub fn row(&self, i: usize) -> &[Value] {
+        assert!(i < self.rows, "row index {i} out of bounds ({} rows)", self.rows);
         let w = self.schema.width();
         &self.data[i * w..(i + 1) * w]
     }
 
     /// Iterates rows.
     pub fn rows(&self) -> impl Iterator<Item = &[Value]> {
-        self.data.chunks_exact(self.schema.width().max(1))
+        let w = self.schema.width();
+        (0..self.rows).map(move |i| &self.data[i * w..(i + 1) * w])
     }
 
     /// The cell at row `i`, column `col`.
@@ -116,7 +119,12 @@ impl Table {
     /// Removes duplicate rows (order-preserving, first occurrence wins).
     pub fn dedup(&mut self) {
         let w = self.schema.width();
-        if w == 0 || self.data.is_empty() {
+        if w == 0 {
+            // Every zero-width row is identical, so at most one survives.
+            self.rows = self.rows.min(1);
+            return;
+        }
+        if self.data.is_empty() {
             return;
         }
         let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(self.len());
@@ -127,6 +135,7 @@ impl Table {
             }
         }
         self.data = out;
+        self.rows = self.data.len() / w;
     }
 
     /// Selection of the rows that contain at least one null — the partial
@@ -249,5 +258,37 @@ mod tests {
         let t = Table::new(Schema::new(Vec::<String>::new()));
         assert_eq!(t.len(), 0);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn zero_width_rows_are_counted() {
+        let mut t = Table::new(Schema::new(Vec::<String>::new()));
+        t.push_row(&[]);
+        t.push_row(&[]);
+        t.push_row(&[]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.rows().count(), 3);
+        assert_eq!(t.row(2), &[] as &[Value]);
+        t.dedup();
+        assert_eq!(t.len(), 1, "all zero-width rows are identical");
+    }
+
+    #[test]
+    fn zero_width_projection_keeps_cardinality() {
+        let t = sample();
+        let p = t.project(&[]);
+        assert_eq!(p.width(), 0);
+        assert_eq!(p.len(), 4, "COUNT(*) must survive SELECT of no columns");
+        assert_eq!(p.rows().count(), 4);
+        // No cells means no nulls: the partial-realization selection is empty.
+        assert!(p.rows_with_null().is_empty());
+    }
+
+    #[test]
+    fn distinct_count_after_projection() {
+        let t = sample();
+        assert_eq!(t.project(&[0]).distinct_count(0), 3);
+        assert_eq!(t.project(&[1, 0]).distinct_count(0), 2);
     }
 }

@@ -22,6 +22,13 @@ pub struct ExtractOutcome {
     /// this entity's snapshots (truncated downloads, broken closers). The
     /// actions extracted from such snapshots are best-effort.
     pub parse_issues: u64,
+    /// The share of [`ExtractOutcome::parse_issues`] contributed by parsing
+    /// the *base* snapshot (the page state just before the window opens).
+    /// Needed to compose adjacent-window outcomes without double counting:
+    /// a sub-window's base snapshot is the previous sub-window's last
+    /// revision, whose issues that window already counted (see
+    /// [`crate::cache::ActionCache`]).
+    pub base_parse_issues: u64,
 }
 
 impl ExtractOutcome {
@@ -76,6 +83,7 @@ pub fn try_extract_actions(
             Some(r) => {
                 let (links, issues) = parse_page_checked(&r.text);
                 out.parse_issues += issues.total();
+                out.base_parse_issues = issues.total();
                 links
             }
             None => PageLinks::default(),
@@ -290,7 +298,7 @@ mod tests {
 
     #[test]
     fn truncated_snapshots_are_healed_and_counted() {
-        let (u, mut s, ..) = setup();
+        let (mut u, mut s, ..) = setup();
         let club = u.taxonomy().lookup("SoccerClub").unwrap();
         let e = u.add_entity("Torn Club", club).unwrap();
         // Unterminated link + unclosed infobox: recoverable defects.

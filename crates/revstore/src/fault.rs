@@ -201,6 +201,13 @@ impl FetchSource for FaultyStore<'_> {
     fn crawl_stats(&self) -> CrawlStats {
         self.inner.crawl_stats()
     }
+
+    fn history_version(&self, entity: EntityId) -> u64 {
+        // Injected damage is a pure function of (seed, entity), so the
+        // underlying store's version fully determines what this decorator
+        // serves for `entity`.
+        self.inner.history_version(entity)
+    }
 }
 
 impl PageHistory {

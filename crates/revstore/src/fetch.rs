@@ -85,6 +85,17 @@ pub trait FetchSource: Sync {
     fn crawl_stats(&self) -> CrawlStats {
         CrawlStats::default()
     }
+
+    /// Monotonic version of `entity`'s revision log: bumps whenever a
+    /// revision is recorded for that entity, and for no other reason.
+    /// [`crate::cache::ActionCache`] keys entries by it, so appending a
+    /// revision invalidates exactly that entity's cached extractions and
+    /// nothing else. The default (constant 0) is correct for immutable
+    /// sources; decorators must forward to their inner source.
+    fn history_version(&self, entity: EntityId) -> u64 {
+        let _ = entity;
+        0
+    }
 }
 
 impl FetchSource for RevisionStore {
@@ -95,6 +106,12 @@ impl FetchSource for RevisionStore {
     fn crawl_stats(&self) -> CrawlStats {
         self.stats()
     }
+
+    fn history_version(&self, entity: EntityId) -> u64 {
+        // Histories are append-only (out-of-order arrivals re-sort but
+        // never remove), so the revision count is a perfect version.
+        self.peek(entity).map_or(0, |h| h.len() as u64)
+    }
 }
 
 impl<T: FetchSource + ?Sized> FetchSource for &T {
@@ -104,6 +121,10 @@ impl<T: FetchSource + ?Sized> FetchSource for &T {
 
     fn crawl_stats(&self) -> CrawlStats {
         (**self).crawl_stats()
+    }
+
+    fn history_version(&self, entity: EntityId) -> u64 {
+        (**self).history_version(entity)
     }
 }
 
@@ -245,24 +266,51 @@ impl<S: FetchSource> ResilientFetcher<S> {
     /// deterministic jitter in [50%, 100%] of the nominal delay. Rate-limit
     /// signals double the wait.
     fn backoff(&self, entity: EntityId, attempt: u32, rate_limited: bool) {
-        let nominal = self.policy.base_backoff_us as f64
-            * self.policy.backoff_factor.powi(attempt.saturating_sub(1) as i32);
-        let capped = nominal.min(self.policy.max_backoff_us as f64).max(0.0);
         let roll = mix64(
             self.policy
                 .jitter_seed
                 .wrapping_add((entity.as_u32() as u64) << 20)
                 .wrapping_add(attempt as u64),
         );
-        let jitter = (roll % 1024) as f64 / 1024.0;
-        let mut wait_us = (capped * (0.5 + 0.5 * jitter)) as u64;
-        if rate_limited {
-            wait_us = wait_us.saturating_mul(2).min(self.policy.max_backoff_us);
-        }
+        let wait_us = backoff_delay_us(&self.policy, attempt, roll, rate_limited);
         if wait_us > 0 {
             std::thread::sleep(Duration::from_micros(wait_us));
         }
     }
+}
+
+/// The backoff delay in microseconds before retry number `attempt`
+/// (1-based), given a jitter `roll`. Pure so the boundary arithmetic is
+/// unit-testable in isolation from the sleeping fetcher.
+///
+/// Guarantees, for *any* policy values:
+/// * the result never exceeds `max_backoff_us` — the exponential is clamped
+///   to the cap **before** jitter is applied (and re-clamped after the
+///   rate-limit doubling), so `max_backoff_us < base_backoff_us` still caps;
+/// * no NaN or cast overflow — a non-finite or non-positive
+///   `backoff_factor` degrades to 1.0 (constant backoff) instead of
+///   producing sign-alternating or NaN delays, and an exponent large enough
+///   to overflow the `f64` saturates at the cap rather than wrapping in the
+///   `f64 → u64` cast;
+/// * jitter keeps the delay within [50%, 100%] of the clamped nominal value.
+pub fn backoff_delay_us(policy: &RetryPolicy, attempt: u32, roll: u64, rate_limited: bool) -> u64 {
+    let factor = if policy.backoff_factor.is_finite() && policy.backoff_factor > 0.0 {
+        policy.backoff_factor
+    } else {
+        1.0
+    };
+    let max = policy.max_backoff_us as f64;
+    // `attempt` is u32 but `powi` takes i32: clamp instead of `as`-casting,
+    // which would wrap huge retry counts to a *negative* exponent.
+    let exponent = attempt.saturating_sub(1).min(i32::MAX as u32) as i32;
+    let nominal = policy.base_backoff_us as f64 * factor.powi(exponent);
+    let capped = if nominal.is_finite() { nominal.min(max) } else { max };
+    let jitter = (roll % 1024) as f64 / 1024.0;
+    let mut wait_us = (capped * (0.5 + 0.5 * jitter)) as u64;
+    if rate_limited {
+        wait_us = wait_us.saturating_mul(2);
+    }
+    wait_us.min(policy.max_backoff_us)
 }
 
 impl<S: FetchSource> FetchSource for ResilientFetcher<S> {
@@ -318,6 +366,10 @@ impl<S: FetchSource> FetchSource for ResilientFetcher<S> {
         stats.transient_errors += self.transient_seen.load(Ordering::Relaxed);
         stats.rate_limited += self.rate_limited_seen.load(Ordering::Relaxed);
         stats
+    }
+
+    fn history_version(&self, entity: EntityId) -> u64 {
+        self.inner.history_version(entity)
     }
 }
 
@@ -437,6 +489,71 @@ mod tests {
         assert!(fetcher.breaker_tripped());
         // Once open, it fails fast without touching the source.
         assert_eq!(fetcher.fetch_history(eid(2)), Err(FetchError::CircuitOpen));
+    }
+
+    #[test]
+    fn backoff_nonpositive_factor_degrades_to_constant() {
+        // factor ≤ 0 used to alternate sign via powi (odd exponents →
+        // negative nominal → zero wait); it must mean "constant backoff".
+        for factor in [0.0, -2.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let policy = RetryPolicy {
+                base_backoff_us: 400,
+                backoff_factor: factor,
+                max_backoff_us: 5_000,
+                ..RetryPolicy::default()
+            };
+            for attempt in 1..=8u32 {
+                for roll in [0u64, 511, 1023, u64::MAX] {
+                    let d = backoff_delay_us(&policy, attempt, roll, false);
+                    assert!(
+                        (200..=400).contains(&d),
+                        "factor {factor} attempt {attempt} roll {roll}: got {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_huge_attempt_counts_saturate_at_cap() {
+        let policy = RetryPolicy::default(); // factor 2.0, cap 5000 µs
+        for attempt in [100, 1_000, 1_000_000, i32::MAX as u32, u32::MAX] {
+            for roll in [0u64, 1023] {
+                let d = backoff_delay_us(&policy, attempt, roll, false);
+                assert!(d <= policy.max_backoff_us, "attempt {attempt}: got {d}");
+                assert!(d >= policy.max_backoff_us / 2, "attempt {attempt}: got {d}");
+            }
+            let doubled = backoff_delay_us(&policy, attempt, 1023, true);
+            assert!(doubled <= policy.max_backoff_us);
+        }
+    }
+
+    #[test]
+    fn backoff_cap_below_base_still_caps() {
+        let policy = RetryPolicy {
+            base_backoff_us: 10_000,
+            max_backoff_us: 100,
+            ..RetryPolicy::default()
+        };
+        for attempt in 1..=6u32 {
+            for rate_limited in [false, true] {
+                let d = backoff_delay_us(&policy, attempt, u64::MAX, rate_limited);
+                assert!(d <= 100, "attempt {attempt}: got {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_clamps_before_jitter() {
+        // With the clamp applied first, the delay at saturation stays within
+        // [cap/2, cap] for every roll — jitter of an *unclamped* exponential
+        // would instead pin every roll to exactly the cap.
+        let policy = RetryPolicy::default();
+        let lows = (0..64u64)
+            .map(|roll| backoff_delay_us(&policy, 30, roll * 16, false))
+            .filter(|&d| d < policy.max_backoff_us * 3 / 4)
+            .count();
+        assert!(lows > 0, "jitter must still spread delays below the cap");
     }
 
     #[test]

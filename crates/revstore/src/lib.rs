@@ -16,6 +16,7 @@
 //!   their inverses, so only net effects remain.
 
 pub mod action;
+pub mod cache;
 pub mod extract;
 pub mod fault;
 pub mod fetch;
@@ -23,9 +24,10 @@ pub mod reduce;
 pub mod store;
 
 pub use action::Action;
+pub use cache::{ActionCache, ActionCacheStats, CacheLookup};
 pub use extract::{extract_actions, extract_actions_for, try_extract_actions, ExtractOutcome};
 pub use fault::{mix64, FaultPlan, FaultyStore, GarbleMode};
-pub use fetch::{FetchError, FetchSource, ResilientFetcher, RetryPolicy};
+pub use fetch::{backoff_delay_us, FetchError, FetchSource, ResilientFetcher, RetryPolicy};
 pub use reduce::{is_reduced, reduce_actions};
 pub use store::{CrawlStats, PageHistory, Revision, RevisionStore};
 pub use wiclean_wikitext::EditOp;

@@ -15,7 +15,7 @@ pub struct Revision {
 }
 
 /// The ordered revision history of one page.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PageHistory {
     revisions: Vec<Revision>,
 }
@@ -42,6 +42,38 @@ impl PageHistory {
             self.revisions.insert(at, Revision { time, text });
             true
         }
+    }
+
+    /// Bulk-appends revisions, then restores chronological order with one
+    /// stable sort (sort-on-seal) — O((n+k)·log(n+k)) for k appends, versus
+    /// the O(k·n) worst case of k repeated mid-vector inserts through
+    /// [`PageHistory::push`]. Returns how many revisions arrived out of
+    /// order (each compared against the running maximum timestamp, exactly
+    /// as the incremental path counts them).
+    ///
+    /// The sort is stable, so revisions with equal timestamps keep their
+    /// arrival order — byte-identical to what repeated `push` produces.
+    pub fn extend(
+        &mut self,
+        revisions: impl IntoIterator<Item = (Timestamp, String)>,
+    ) -> u64 {
+        let mut out_of_order = 0u64;
+        let mut needs_sort = false;
+        let mut max = self.revisions.last().map(|r| r.time);
+        for (time, text) in revisions {
+            match max {
+                Some(m) if time < m => {
+                    out_of_order += 1;
+                    needs_sort = true;
+                }
+                _ => max = Some(time),
+            }
+            self.revisions.push(Revision { time, text });
+        }
+        if needs_sort {
+            self.revisions.sort_by_key(|r| r.time);
+        }
+        out_of_order
     }
 
     /// All revisions in chronological order.
@@ -154,6 +186,23 @@ impl RevisionStore {
         }
     }
 
+    /// Records a whole crawled batch of revisions for `entity` in one call:
+    /// appended first, sealed with a single stable sort if anything arrived
+    /// out of order (see [`PageHistory::extend`]). Equivalent to calling
+    /// [`RevisionStore::record`] per revision, including the
+    /// [`CrawlStats::out_of_order`] count, but without the quadratic
+    /// worst case on badly-ordered crawl streams.
+    pub fn record_batch(
+        &mut self,
+        entity: EntityId,
+        revisions: impl IntoIterator<Item = (Timestamp, String)>,
+    ) {
+        let n = self.pages.entry(entity).or_default().extend(revisions);
+        if n > 0 {
+            self.out_of_order.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Fetches the page history of `entity`, counting the crawl work.
     /// Returns an empty-history placeholder reference if the page was never
     /// edited (`None`).
@@ -260,6 +309,43 @@ mod tests {
         assert_eq!(times, vec![10, 20]);
         s.reset_stats();
         assert_eq!(s.stats().out_of_order, 0);
+    }
+
+    #[test]
+    fn equal_timestamps_keep_arrival_order() {
+        // Stability contract: revisions saved in the same instant must stay
+        // in arrival order through both the incremental and the batch path,
+        // even when an earlier-timestamped revision lands between them.
+        let arrivals: &[(Timestamp, &str)] =
+            &[(10, "a"), (20, "b1"), (20, "b2"), (5, "late"), (20, "b3")];
+        let mut incremental = PageHistory::new();
+        for &(t, text) in arrivals {
+            incremental.push(t, text.into());
+        }
+        let mut batch = PageHistory::new();
+        let n = batch.extend(arrivals.iter().map(|&(t, s)| (t, s.to_string())));
+        assert_eq!(n, 1, "only the t=5 arrival is out of order");
+        for h in [&incremental, &batch] {
+            let order: Vec<&str> = h.revisions().iter().map(|r| r.text.as_str()).collect();
+            assert_eq!(order, vec!["late", "a", "b1", "b2", "b3"]);
+        }
+        assert_eq!(incremental, batch, "batch seal ≡ repeated binary insert");
+    }
+
+    #[test]
+    fn batch_record_matches_incremental_record() {
+        // A reversed crawl stream — the worst case for per-push inserts.
+        let stream: Vec<(Timestamp, String)> =
+            (0..50).rev().map(|t| (t, format!("v{t}"))).collect();
+        let mut a = RevisionStore::new();
+        for (t, text) in stream.clone() {
+            a.record(eid(1), t, text);
+        }
+        let mut b = RevisionStore::new();
+        b.record_batch(eid(1), stream);
+        assert_eq!(a.peek(eid(1)), b.peek(eid(1)));
+        assert_eq!(a.stats().out_of_order, 49);
+        assert_eq!(b.stats().out_of_order, 49);
     }
 
     #[test]

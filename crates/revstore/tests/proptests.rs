@@ -1,9 +1,12 @@
-//! Property-based tests for action reduction.
+//! Property-based tests for action reduction and the preprocessing cache.
 
 use proptest::prelude::*;
-use wiclean_revstore::{is_reduced, reduce_actions, Action, EditOp};
+use wiclean_revstore::{
+    is_reduced, reduce_actions, try_extract_actions, Action, ActionCache, CacheLookup, EditOp,
+    RevisionStore,
+};
 use wiclean_revstore::reduce::net_effect;
-use wiclean_types::{EntityId, RelId};
+use wiclean_types::{EntityId, RelId, Universe, Window};
 
 /// Arbitrary actions over a tiny id space so that edge collisions (and thus
 /// cancellations) actually occur.
@@ -96,5 +99,102 @@ proptest! {
     fn cancellations_come_in_pairs(actions in proptest::collection::vec(action_strategy(), 0..32)) {
         let red = reduce_actions(&actions);
         prop_assert_eq!((actions.len() - red.len()) % 2, 0);
+    }
+}
+
+/// A tiny universe of 4 source pages and 5 target pages joined by one
+/// relation, so arbitrary revision streams produce resolvable links.
+fn link_universe() -> (Universe, Vec<EntityId>) {
+    use wiclean_types::TypeId;
+    let mut u = Universe::new("Thing");
+    let page = u.taxonomy_mut().add("Page", TypeId::from_u32(0)).unwrap();
+    u.relation("linked_to");
+    let sources: Vec<EntityId> = (0..4)
+        .map(|i| u.add_entity(&format!("P{i}"), page).unwrap())
+        .collect();
+    for k in 0..5 {
+        u.add_entity(&format!("T{k}"), page).unwrap();
+    }
+    (u, sources)
+}
+
+fn link_text(target: usize) -> String {
+    format!("{{{{Infobox x\n| linked_to = [[T{target}]]\n}}}}\n")
+}
+
+/// An arbitrary revision stream: (source index, timestamp, target index).
+fn revision_stream() -> impl Strategy<Value = Vec<(usize, u64, usize)>> {
+    proptest::collection::vec((0usize..4, 0u64..200, 0usize..5), 1..40)
+}
+
+fn build_store(sources: &[EntityId], stream: &[(usize, u64, usize)]) -> RevisionStore {
+    let mut store = RevisionStore::new();
+    for &(src, time, target) in stream {
+        store.record(sources[src], time, link_text(target));
+    }
+    store
+}
+
+fn assert_same_outcome(
+    cached: &wiclean_revstore::ExtractOutcome,
+    direct: &wiclean_revstore::ExtractOutcome,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&cached.actions, &direct.actions);
+    prop_assert_eq!(cached.unresolved_targets, direct.unresolved_targets);
+    prop_assert_eq!(cached.unresolved_relations, direct.unresolved_relations);
+    prop_assert_eq!(cached.parse_issues, direct.parse_issues);
+    prop_assert_eq!(cached.base_parse_issues, direct.base_parse_issues);
+    Ok(())
+}
+
+proptest! {
+    /// Cached extraction — including windows assembled by composing cached
+    /// sub-windows — is byte-identical to a direct extraction.
+    #[test]
+    fn cached_extraction_equals_direct(stream in revision_stream(), cut in 1u64..200) {
+        let (u, sources) = link_universe();
+        let store = build_store(&sources, &stream);
+        let cache = ActionCache::new();
+        let (lo, hi, full) = (Window::new(0, cut), Window::new(cut, 200), Window::new(0, 200));
+        for &e in &sources {
+            for w in [&lo, &hi] {
+                let (got, _) = cache.extract(&store, &u, e, w).unwrap();
+                assert_same_outcome(&got, &try_extract_actions(&store, &u, e, w).unwrap())?;
+            }
+            // The full window must now be served by composition, not re-diffed.
+            let (got, lookup) = cache.extract(&store, &u, e, &full).unwrap();
+            prop_assert_eq!(lookup, CacheLookup::Composed);
+            assert_same_outcome(&got, &try_extract_actions(&store, &u, e, &full).unwrap())?;
+        }
+    }
+
+    /// Appending a revision invalidates exactly the appended entity's cached
+    /// extractions: it recomputes (fresh, correct), everyone else still hits.
+    #[test]
+    fn append_invalidates_only_that_entity(
+        stream in revision_stream(),
+        victim in 0usize..4,
+        new_time in 0u64..200,
+        new_target in 0usize..5,
+    ) {
+        let (u, sources) = link_universe();
+        let mut store = build_store(&sources, &stream);
+        let cache = ActionCache::new();
+        let w = Window::new(0, 200);
+        for &e in &sources {
+            cache.extract(&store, &u, e, &w).unwrap();
+        }
+
+        store.record(sources[victim], new_time, link_text(new_target));
+
+        for (i, &e) in sources.iter().enumerate() {
+            let (got, lookup) = cache.extract(&store, &u, e, &w).unwrap();
+            if i == victim {
+                prop_assert_eq!(lookup, CacheLookup::Miss, "version bump must force recompute");
+            } else {
+                prop_assert_eq!(lookup, CacheLookup::Hit, "untouched entities must stay cached");
+            }
+            assert_same_outcome(&got, &try_extract_actions(&store, &u, e, &w).unwrap())?;
+        }
     }
 }

@@ -744,7 +744,7 @@ fn fire_distractor(engine: &mut Engine, distractors: &[EntityId], time: Timestam
         b = distractors[engine.rng.gen_range(0..distractors.len())];
     }
     let rel = ["located_in", "band_member", "released_album"]
-        [engine.rng.gen_range(0..3)]
+        [engine.rng.gen_range(0..3usize)]
     .to_owned();
     let bname = engine.universe.entity_name(b).to_owned();
     let page = engine.state.entry(a).or_default();

@@ -1,0 +1,441 @@
+//! Strategy trait and combinators for the proptest shim.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream there is no value tree / shrinking: `generate` draws one
+/// value directly from the deterministic [`TestRng`] stream.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type (needed by `prop_oneof!` arms of
+    /// differing types).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate(rng)
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice among type-erased strategies (`prop_oneof!`).
+#[derive(Clone)]
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; weights must sum to a nonzero value.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! needs a positive total weight");
+        Self { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut roll = rng.below(self.total_weight);
+        for (weight, arm) in &self.arms {
+            let weight = u64::from(*weight);
+            if roll < weight {
+                return arm.generate(rng);
+            }
+            roll -= weight;
+        }
+        unreachable!("roll bounded by total weight")
+    }
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($name:ident : $ix:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$ix.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_tuple! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies
+// ---------------------------------------------------------------------------
+
+/// One alternation-free regex atom.
+enum Atom {
+    /// Inclusive codepoint ranges.
+    Class(Vec<(u32, u32)>),
+    /// A literal character.
+    Literal(char),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// The character set `.` draws from: printable ASCII plus a sprinkling of
+/// whitespace, Latin-1, CJK, and an emoji range so "arbitrary text"
+/// properties see multi-byte UTF-8.
+const DOT_RANGES: &[(u32, u32)] = &[
+    (0x20, 0x7E),
+    (0x20, 0x7E),
+    (0x20, 0x7E),
+    (0x09, 0x0A),
+    (0xC0, 0xFF),
+    (0x4E00, 0x4E2F),
+    (0x1F600, 0x1F60F),
+];
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Atom {
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    if chars.peek() == Some(&'^') {
+        panic!("proptest shim: negated classes unsupported in `{pattern}`");
+    }
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("proptest shim: unterminated class in `{pattern}`"));
+        if c == ']' {
+            break;
+        }
+        let lo = if c == '\\' {
+            chars
+                .next()
+                .unwrap_or_else(|| panic!("proptest shim: dangling escape in `{pattern}`"))
+        } else {
+            c
+        };
+        if chars.peek() == Some(&'-') {
+            // Either a range `a-z` or a literal `-` before `]`.
+            let mut lookahead = chars.clone();
+            lookahead.next();
+            match lookahead.peek() {
+                Some(&']') | None => {
+                    ranges.push((lo as u32, lo as u32));
+                }
+                Some(_) => {
+                    chars.next();
+                    let hi = chars.next().expect("peeked");
+                    assert!(
+                        lo <= hi,
+                        "proptest shim: inverted range `{lo}-{hi}` in `{pattern}`"
+                    );
+                    ranges.push((lo as u32, hi as u32));
+                }
+            }
+        } else {
+            ranges.push((lo as u32, lo as u32));
+        }
+    }
+    assert!(
+        !ranges.is_empty(),
+        "proptest shim: empty class in `{pattern}`"
+    );
+    Atom::Class(ranges)
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    match chars.peek() {
+        Some(&'{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let (min, max) = match spec.split_once(',') {
+                        None => {
+                            let n: usize = spec.trim().parse().unwrap_or_else(|_| {
+                                panic!("proptest shim: bad quantifier in `{pattern}`")
+                            });
+                            (n, n)
+                        }
+                        Some((lo, hi)) => {
+                            let min = lo.trim().parse().unwrap_or_else(|_| {
+                                panic!("proptest shim: bad quantifier in `{pattern}`")
+                            });
+                            let max = if hi.trim().is_empty() {
+                                min + 8
+                            } else {
+                                hi.trim().parse().unwrap_or_else(|_| {
+                                    panic!("proptest shim: bad quantifier in `{pattern}`")
+                                })
+                            };
+                            (min, max)
+                        }
+                    };
+                    assert!(
+                        min <= max,
+                        "proptest shim: inverted quantifier in `{pattern}`"
+                    );
+                    return (min, max);
+                }
+                spec.push(c);
+            }
+            panic!("proptest shim: unterminated quantifier in `{pattern}`")
+        }
+        Some(&'*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some(&'+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some(&'?') => {
+            chars.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Class(DOT_RANGES.to_vec()),
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => {
+                let e = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("proptest shim: dangling escape in `{pattern}`"));
+                match e {
+                    'd' => Atom::Class(vec![('0' as u32, '9' as u32)]),
+                    'w' => Atom::Class(vec![
+                        ('a' as u32, 'z' as u32),
+                        ('A' as u32, 'Z' as u32),
+                        ('0' as u32, '9' as u32),
+                        ('_' as u32, '_' as u32),
+                    ]),
+                    's' => Atom::Class(vec![(' ' as u32, ' ' as u32), ('\t' as u32, '\t' as u32)]),
+                    other => Atom::Literal(other),
+                }
+            }
+            '(' | ')' | '|' | '^' | '$' =>
+
+                panic!("proptest shim: regex feature `{c}` unsupported in `{pattern}`"),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = parse_quantifier(&mut chars, pattern);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_class(ranges: &[(u32, u32)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges
+        .iter()
+        .map(|(lo, hi)| u64::from(hi - lo) + 1)
+        .sum();
+    let mut roll = rng.below(total);
+    for (lo, hi) in ranges {
+        let width = u64::from(hi - lo) + 1;
+        if roll < width {
+            // Skip the surrogate gap rather than panic on unlucky ranges.
+            let cp = lo + roll as u32;
+            return char::from_u32(cp).unwrap_or('\u{FFFD}');
+        }
+        roll -= width;
+    }
+    unreachable!("roll bounded by total width")
+}
+
+/// String literals are regex-subset strategies, as in upstream proptest.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => out.push(sample_class(ranges, rng)),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(0xD00D, 3)
+    }
+
+    #[test]
+    fn literal_and_class_pattern() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = "ab[0-9]{2}z".generate(&mut r);
+            assert_eq!(s.len(), 5, "{s}");
+            assert!(s.starts_with("ab") && s.ends_with('z'), "{s}");
+            assert!(s[2..4].chars().all(|c| c.is_ascii_digit()), "{s}");
+        }
+    }
+
+    #[test]
+    fn name_pattern_from_workspace() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[A-Za-z][A-Za-z0-9 _.]{0,18}[A-Za-z0-9]".generate(&mut r);
+            assert!((2..=20).contains(&s.chars().count()), "{s}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic(), "{s}");
+        }
+    }
+
+    #[test]
+    fn dot_pattern_generates_varied_text() {
+        let mut r = rng();
+        let mut lens = std::collections::BTreeSet::new();
+        for _ in 0..40 {
+            let s = ".{0,400}".generate(&mut r);
+            lens.insert(s.chars().count());
+            assert!(s.chars().count() <= 400);
+        }
+        assert!(lens.len() > 10, "lengths should vary: {lens:?}");
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let u = Union::new(vec![(1, Just(0u8).boxed()), (3, Just(1u8).boxed())]);
+        let mut r = rng();
+        let ones = (0..4000).filter(|_| u.generate(&mut r) == 1).count();
+        assert!((2600..3400).contains(&ones), "weighted pick gave {ones}/4000");
+    }
+
+    #[test]
+    fn class_with_trailing_dash_is_literal() {
+        let mut r = rng();
+        for _ in 0..30 {
+            let s = "[a-]".generate(&mut r);
+            assert!(s == "a" || s == "-", "{s}");
+        }
+    }
+}

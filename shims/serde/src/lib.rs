@@ -1,0 +1,779 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors the
+//! used subset of serde's API. The model is deliberately simpler than real
+//! serde: instead of a visitor-driven streaming core, every value round-trips
+//! through an owned [`Content`] tree. `Serialize` and `Deserialize` keep
+//! serde's exact method signatures (so hand-written impls in the workspace
+//! compile unchanged), and the `derive` feature forwards to a hand-rolled
+//! proc-macro supporting the attributes the workspace uses:
+//! `#[serde(skip)]`, `#[serde(default)]`, `#[serde(transparent)]`.
+//!
+//! Format crates (here: `serde_json`) provide a `Serializer` that accepts a
+//! finished `Content` tree and a `Deserializer` that produces one.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt::Display;
+use std::hash::{BuildHasher, Hash};
+use std::time::Duration;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree every serialization passes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (always < 0 when produced by this crate's impls).
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples, sets).
+    Seq(Vec<Content>),
+    /// Key-value map (structs, maps); insertion-ordered.
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// Total order over content trees, used to emit maps with
+    /// nondeterministically-ordered backing stores (e.g. `HashMap`) in a
+    /// stable key order.
+    pub fn total_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        fn rank(c: &Content) -> u8 {
+            match c {
+                Content::Null => 0,
+                Content::Bool(_) => 1,
+                Content::U64(_) => 2,
+                Content::I64(_) => 3,
+                Content::F64(_) => 4,
+                Content::Str(_) => 5,
+                Content::Seq(_) => 6,
+                Content::Map(_) => 7,
+            }
+        }
+        match (self, other) {
+            (Content::Bool(a), Content::Bool(b)) => a.cmp(b),
+            (Content::U64(a), Content::U64(b)) => a.cmp(b),
+            (Content::I64(a), Content::I64(b)) => a.cmp(b),
+            (Content::F64(a), Content::F64(b)) => a.total_cmp(b),
+            (Content::Str(a), Content::Str(b)) => a.cmp(b),
+            (Content::Seq(a), Content::Seq(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let ord = x.total_cmp(y);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Content::Map(a), Content::Map(b)) => {
+                for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
+                    let ord = ka.total_cmp(kb).then_with(|| va.total_cmp(vb));
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+/// A type that can render itself into a serializer.
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer;
+}
+
+/// A sink that accepts a finished [`Content`] tree.
+pub trait Serializer: Sized {
+    /// Success value.
+    type Ok;
+    /// Failure value.
+    type Error: ser::Error;
+
+    /// Consumes a complete content tree.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type reconstructible from a deserializer.
+pub trait Deserialize<'de>: Sized {
+    /// Reads `Self` out of `deserializer`.
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+/// A source that yields a complete [`Content`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Failure value.
+    type Error: de::Error;
+
+    /// Produces the complete content tree.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// Serialization-side machinery.
+pub mod ser {
+    use super::*;
+
+    /// Errors a serializer can raise.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Error type for the infallible in-memory serializer; `custom` panics
+    /// because workspace types never fail to serialize.
+    #[derive(Debug)]
+    pub enum Impossible {}
+
+    impl Error for Impossible {
+        fn custom<T: Display>(msg: T) -> Self {
+            panic!("in-memory serialization cannot fail: {msg}")
+        }
+    }
+
+    struct ContentSerializer;
+
+    impl Serializer for ContentSerializer {
+        type Ok = Content;
+        type Error = Impossible;
+
+        fn serialize_content(self, content: Content) -> Result<Content, Impossible> {
+            Ok(content)
+        }
+    }
+
+    /// Renders any serializable value to its content tree.
+    pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Content {
+        match value.serialize(ContentSerializer) {
+            Ok(content) => content,
+            Err(impossible) => match impossible {},
+        }
+    }
+}
+
+/// Deserialization-side machinery.
+pub mod de {
+    use super::*;
+    use std::marker::PhantomData;
+
+    /// Errors a deserializer can raise.
+    pub trait Error: Sized {
+        /// Builds an error from a message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A [`Deserializer`] over an already-built content tree, generic in the
+    /// error type so `T::deserialize` can surface the caller's error.
+    pub struct ContentDeserializer<E> {
+        content: Content,
+        marker: PhantomData<E>,
+    }
+
+    impl<E> ContentDeserializer<E> {
+        /// Wraps a content tree.
+        pub fn new(content: Content) -> Self {
+            Self {
+                content,
+                marker: PhantomData,
+            }
+        }
+    }
+
+    impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+        type Error = E;
+
+        fn deserialize_content(self) -> Result<Content, E> {
+            Ok(self.content)
+        }
+    }
+
+    /// Reconstructs any deserializable value from a content tree.
+    pub fn from_content<T, E>(content: Content) -> Result<T, E>
+    where
+        T: Deserialize<'static>,
+        E: Error,
+    {
+        T::deserialize(ContentDeserializer::new(content))
+    }
+
+    fn describe(content: &Content) -> &'static str {
+        match content {
+            Content::Null => "null",
+            Content::Bool(_) => "a boolean",
+            Content::U64(_) | Content::I64(_) => "an integer",
+            Content::F64(_) => "a float",
+            Content::Str(_) => "a string",
+            Content::Seq(_) => "a sequence",
+            Content::Map(_) => "a map",
+        }
+    }
+
+    /// Unwraps a map content node (derive-macro helper).
+    pub fn content_into_fields<E: Error>(
+        content: Content,
+        expected: &str,
+    ) -> Result<Vec<(Content, Content)>, E> {
+        match content {
+            Content::Map(fields) => Ok(fields),
+            other => Err(E::custom(format!(
+                "expected a map for `{expected}`, found {}",
+                describe(&other)
+            ))),
+        }
+    }
+
+    /// Unwraps a sequence content node (derive-macro helper).
+    pub fn content_into_seq<E: Error>(content: Content, expected: &str) -> Result<Vec<Content>, E> {
+        match content {
+            Content::Seq(items) => Ok(items),
+            other => Err(E::custom(format!(
+                "expected a sequence for `{expected}`, found {}",
+                describe(&other)
+            ))),
+        }
+    }
+
+    fn extract_field(fields: &mut Vec<(Content, Content)>, name: &str) -> Option<Content> {
+        let ix = fields
+            .iter()
+            .position(|(k, _)| matches!(k, Content::Str(s) if s == name))?;
+        Some(fields.remove(ix).1)
+    }
+
+    /// Takes a required struct field out of a parsed map (derive helper).
+    pub fn take_field<T, E>(
+        fields: &mut Vec<(Content, Content)>,
+        name: &str,
+        struct_name: &str,
+    ) -> Result<T, E>
+    where
+        T: Deserialize<'static>,
+        E: Error,
+    {
+        match extract_field(fields, name) {
+            Some(value) => from_content(value),
+            None => Err(E::custom(format!(
+                "missing field `{name}` in `{struct_name}`"
+            ))),
+        }
+    }
+
+    /// Takes an optional (`#[serde(default)]`) struct field (derive helper).
+    pub fn take_field_or_default<T, E>(
+        fields: &mut Vec<(Content, Content)>,
+        name: &str,
+        _struct_name: &str,
+    ) -> Result<T, E>
+    where
+        T: Deserialize<'static> + Default,
+        E: Error,
+    {
+        match extract_field(fields, name) {
+            Some(value) => from_content(value),
+            None => Ok(T::default()),
+        }
+    }
+
+    /// Pulls the next tuple/seq element (derive helper for tuple variants).
+    pub fn next_element<E: Error>(
+        iter: &mut std::vec::IntoIter<Content>,
+        expected: &str,
+    ) -> Result<Content, E> {
+        iter.next()
+            .ok_or_else(|| E::custom(format!("sequence too short for `{expected}`")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize implementations for std types used in the workspace.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::U64(*self as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                serializer.serialize_content(if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                })
+            }
+        }
+    )*};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Bool(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::F64(*self as f64))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.to_string()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.clone()))
+    }
+}
+
+impl Serialize for Box<str> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Str(self.as_ref().to_owned()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_content(Content::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Seq(self.iter().map(ser::to_content).collect()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $ix:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::Seq(vec![$(ser::to_content(&self.$ix)),+]))
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+fn serialize_map_entries<'a, K, V, S, I>(entries: I, serializer: S, sort: bool) -> Result<S::Ok, S::Error>
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    S: Serializer,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut out: Vec<(Content, Content)> = entries
+        .map(|(k, v)| (ser::to_content(k), ser::to_content(v)))
+        .collect();
+    if sort {
+        out.sort_by(|(a, _), (b, _)| a.total_cmp(b));
+    }
+    serializer.serialize_content(Content::Map(out))
+}
+
+impl<K: Serialize, V: Serialize, H: BuildHasher> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Sorted so hash iteration order never leaks into the output.
+        serialize_map_entries(self.iter(), serializer, true)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_map_entries(self.iter(), serializer, false)
+    }
+}
+
+impl<T: Serialize, H: BuildHasher> Serialize for HashSet<T, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut items: Vec<Content> = self.iter().map(ser::to_content).collect();
+        items.sort_by(|a, b| a.total_cmp(b));
+        serializer.serialize_content(Content::Seq(items))
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Seq(self.iter().map(ser::to_content).collect()))
+    }
+}
+
+impl Serialize for Duration {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(Content::Map(vec![
+            (
+                Content::Str("secs".to_owned()),
+                Content::U64(self.as_secs()),
+            ),
+            (
+                Content::Str("nanos".to_owned()),
+                Content::U64(u64::from(self.subsec_nanos())),
+            ),
+        ]))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize implementations for std types used in the workspace.
+// ---------------------------------------------------------------------------
+
+fn int_from_content<E: de::Error>(content: Content, what: &str) -> Result<i128, E> {
+    match content {
+        Content::U64(v) => Ok(i128::from(v)),
+        Content::I64(v) => Ok(i128::from(v)),
+        Content::F64(v) if v.fract() == 0.0 && v.abs() < 9.0e18 => Ok(v as i128),
+        // Map keys arrive stringified from JSON.
+        Content::Str(s) => s
+            .parse::<i128>()
+            .map_err(|_| E::custom(format!("cannot parse `{s}` as {what}"))),
+        other => Err(E::custom(format!("expected {what}, found {other:?}"))),
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let raw = int_from_content::<D::Error>(
+                    deserializer.deserialize_content()?,
+                    stringify!($t),
+                )?;
+                <$t>::try_from(raw).map_err(|_| {
+                    de::Error::custom(format!("{raw} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(v) => Ok(v),
+            other => Err(de::Error::custom(format!(
+                "expected a boolean, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            Content::Str(s) => s
+                .parse::<f64>()
+                .map_err(|_| de::Error::custom(format!("cannot parse `{s}` as f64"))),
+            other => Err(de::Error::custom(format!(
+                "expected a number, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de::Error::custom(format!(
+                "expected a single character, found `{s}`"
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format!(
+                "expected a string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Box<str> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        String::deserialize(deserializer).map(String::into_boxed_str)
+    }
+}
+
+impl<'de, T: Deserialize<'static>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            other => de::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'static>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        de::content_into_seq::<D::Error>(deserializer.deserialize_content()?, "Vec")?
+            .into_iter()
+            .map(de::from_content)
+            .collect()
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal, $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'static>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                let items = de::content_into_seq::<__D::Error>(
+                    deserializer.deserialize_content()?,
+                    "tuple",
+                )?;
+                if items.len() != $len {
+                    return Err(de::Error::custom(format!(
+                        "expected a {}-tuple, found {} elements",
+                        $len,
+                        items.len()
+                    )));
+                }
+                let mut iter = items.into_iter();
+                Ok(($(
+                    de::from_content::<$name, __D::Error>(iter.next().expect("length checked"))?,
+                )+))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple! {
+    (1, A)
+    (2, A, B)
+    (3, A, B, C)
+    (4, A, B, C, D)
+    (5, A, B, C, D, E)
+    (6, A, B, C, D, E, F)
+}
+
+fn map_from_content<K, V, E>(content: Content) -> Result<Vec<(K, V)>, E>
+where
+    K: Deserialize<'static>,
+    V: Deserialize<'static>,
+    E: de::Error,
+{
+    de::content_into_fields::<E>(content, "map")?
+        .into_iter()
+        .map(|(k, v)| Ok((de::from_content::<K, E>(k)?, de::from_content::<V, E>(v)?)))
+        .collect()
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: Deserialize<'static> + Eq + Hash,
+    V: Deserialize<'static>,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(map_from_content::<K, V, D::Error>(deserializer.deserialize_content()?)?
+            .into_iter()
+            .collect())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'static> + Ord,
+    V: Deserialize<'static>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(map_from_content::<K, V, D::Error>(deserializer.deserialize_content()?)?
+            .into_iter()
+            .collect())
+    }
+}
+
+impl<'de, T, H> Deserialize<'de> for HashSet<T, H>
+where
+    T: Deserialize<'static> + Eq + Hash,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, T> Deserialize<'de> for BTreeSet<T>
+where
+    T: Deserialize<'static> + Ord,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de> Deserialize<'de> for Duration {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let mut fields =
+            de::content_into_fields::<D::Error>(deserializer.deserialize_content()?, "Duration")?;
+        let secs: u64 = de::take_field::<u64, D::Error>(&mut fields, "secs", "Duration")?;
+        let nanos: u32 = de::take_field::<u32, D::Error>(&mut fields, "nanos", "Duration")?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::de::from_content;
+    use crate::ser::to_content;
+
+    #[derive(Debug)]
+    struct TestError(String);
+
+    impl de::Error for TestError {
+        fn custom<T: Display>(msg: T) -> Self {
+            TestError(msg.to_string())
+        }
+    }
+
+    fn round_trip<T>(value: &T) -> T
+    where
+        T: Serialize + Deserialize<'static>,
+    {
+        from_content::<T, TestError>(to_content(value)).expect("round trip")
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(round_trip(&42u64), 42);
+        assert_eq!(round_trip(&-7i32), -7);
+        assert_eq!(round_trip(&1.5f64), 1.5);
+        assert_eq!(round_trip(&true), true);
+        assert_eq!(round_trip(&"hi".to_owned()), "hi");
+        assert_eq!(round_trip(&Some(3u8)), Some(3));
+        assert_eq!(round_trip(&None::<u8>), None);
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![(1u32, "a".to_owned()), (2, "b".to_owned())];
+        assert_eq!(round_trip(&v), v);
+        let m: HashMap<u32, String> =
+            v.iter().cloned().collect();
+        assert_eq!(round_trip(&m), m);
+        let s: BTreeSet<u64> = [3, 1, 2].into_iter().collect();
+        assert_eq!(round_trip(&s), s);
+    }
+
+    #[test]
+    fn duration_round_trips() {
+        let d = Duration::new(12, 345_678_901);
+        assert_eq!(round_trip(&d), d);
+    }
+
+    #[test]
+    fn hash_map_serializes_sorted() {
+        let m: HashMap<u64, u64> = (0..20).map(|i| (i, i)).collect();
+        match to_content(&m) {
+            Content::Map(entries) => {
+                let keys: Vec<_> = entries
+                    .iter()
+                    .map(|(k, _)| match k {
+                        Content::U64(v) => *v,
+                        other => panic!("unexpected key {other:?}"),
+                    })
+                    .collect();
+                let mut sorted = keys.clone();
+                sorted.sort_unstable();
+                assert_eq!(keys, sorted);
+            }
+            other => panic!("expected a map, found {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ints_accept_stringified_keys() {
+        assert_eq!(
+            from_content::<u32, TestError>(Content::Str("9".into())).unwrap(),
+            9
+        );
+        assert!(from_content::<u32, TestError>(Content::Str("x".into())).is_err());
+        assert!(from_content::<u8, TestError>(Content::U64(300)).is_err());
+    }
+}

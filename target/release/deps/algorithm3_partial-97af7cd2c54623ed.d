@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/algorithm3_partial-97af7cd2c54623ed.d: crates/bench/benches/algorithm3_partial.rs
+
+/root/repo/target/release/deps/algorithm3_partial-97af7cd2c54623ed: crates/bench/benches/algorithm3_partial.rs
+
+crates/bench/benches/algorithm3_partial.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/audit_vs_wiclean-832d9a4f146b6fc0.d: tests/audit_vs_wiclean.rs
+
+/root/repo/target/release/deps/audit_vs_wiclean-832d9a4f146b6fc0: tests/audit_vs_wiclean.rs
+
+tests/audit_vs_wiclean.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/audit_vs_wiclean-aa08d845c3ead203.d: tests/audit_vs_wiclean.rs
+
+/root/repo/target/release/deps/audit_vs_wiclean-aa08d845c3ead203: tests/audit_vs_wiclean.rs
+
+tests/audit_vs_wiclean.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cache_ablation-c6a0ba0513b6ed63.d: crates/bench/benches/cache_ablation.rs
+
+/root/repo/target/release/deps/cache_ablation-c6a0ba0513b6ed63: crates/bench/benches/cache_ablation.rs
+
+crates/bench/benches/cache_ablation.rs:

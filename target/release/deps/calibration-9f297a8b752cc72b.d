@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibration-9f297a8b752cc72b.d: tests/calibration.rs
+
+/root/repo/target/release/deps/calibration-9f297a8b752cc72b: tests/calibration.rs
+
+tests/calibration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibration-c363460105b942e8.d: tests/calibration.rs
+
+/root/repo/target/release/deps/calibration-c363460105b942e8: tests/calibration.rs
+
+tests/calibration.rs:

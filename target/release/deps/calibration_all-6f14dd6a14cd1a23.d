@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibration_all-6f14dd6a14cd1a23.d: tests/calibration_all.rs
+
+/root/repo/target/release/deps/calibration_all-6f14dd6a14cd1a23: tests/calibration_all.rs
+
+tests/calibration_all.rs:

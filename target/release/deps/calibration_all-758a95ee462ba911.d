@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibration_all-758a95ee462ba911.d: tests/calibration_all.rs
+
+/root/repo/target/release/deps/calibration_all-758a95ee462ba911: tests/calibration_all.rs
+
+tests/calibration_all.rs:

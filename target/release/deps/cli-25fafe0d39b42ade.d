@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-25fafe0d39b42ade.d: tests/cli.rs
+
+/root/repo/target/release/deps/cli-25fafe0d39b42ade: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_wiclean=/root/repo/target/release/wiclean

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-904739dd8e5467cf.d: tests/cli.rs
+
+/root/repo/target/release/deps/cli-904739dd8e5467cf: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_wiclean=/root/repo/target/release/wiclean

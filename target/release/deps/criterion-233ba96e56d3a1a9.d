@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-233ba96e56d3a1a9.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-233ba96e56d3a1a9: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

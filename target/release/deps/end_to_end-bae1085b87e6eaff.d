@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-bae1085b87e6eaff.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-bae1085b87e6eaff: tests/end_to_end.rs
+
+tests/end_to_end.rs:

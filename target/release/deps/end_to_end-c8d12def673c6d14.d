@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-c8d12def673c6d14.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-c8d12def673c6d14: tests/end_to_end.rs
+
+tests/end_to_end.rs:

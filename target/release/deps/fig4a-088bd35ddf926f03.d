@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4a-088bd35ddf926f03.d: crates/eval/src/bin/fig4a.rs
+
+/root/repo/target/release/deps/fig4a-088bd35ddf926f03: crates/eval/src/bin/fig4a.rs
+
+crates/eval/src/bin/fig4a.rs:

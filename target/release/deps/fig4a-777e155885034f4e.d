@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4a-777e155885034f4e.d: crates/eval/src/bin/fig4a.rs
+
+/root/repo/target/release/deps/fig4a-777e155885034f4e: crates/eval/src/bin/fig4a.rs
+
+crates/eval/src/bin/fig4a.rs:

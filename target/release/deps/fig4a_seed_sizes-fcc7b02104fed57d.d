@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4a_seed_sizes-fcc7b02104fed57d.d: crates/bench/benches/fig4a_seed_sizes.rs
+
+/root/repo/target/release/deps/fig4a_seed_sizes-fcc7b02104fed57d: crates/bench/benches/fig4a_seed_sizes.rs
+
+crates/bench/benches/fig4a_seed_sizes.rs:

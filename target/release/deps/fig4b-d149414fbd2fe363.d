@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4b-d149414fbd2fe363.d: crates/eval/src/bin/fig4b.rs
+
+/root/repo/target/release/deps/fig4b-d149414fbd2fe363: crates/eval/src/bin/fig4b.rs
+
+crates/eval/src/bin/fig4b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4b-e2f66872d1d17a8d.d: crates/eval/src/bin/fig4b.rs
+
+/root/repo/target/release/deps/fig4b-e2f66872d1d17a8d: crates/eval/src/bin/fig4b.rs
+
+crates/eval/src/bin/fig4b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4b_thresholds-64678d968d286033.d: crates/bench/benches/fig4b_thresholds.rs
+
+/root/repo/target/release/deps/fig4b_thresholds-64678d968d286033: crates/bench/benches/fig4b_thresholds.rs
+
+crates/bench/benches/fig4b_thresholds.rs:

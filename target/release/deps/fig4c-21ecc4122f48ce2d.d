@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4c-21ecc4122f48ce2d.d: crates/eval/src/bin/fig4c.rs
+
+/root/repo/target/release/deps/fig4c-21ecc4122f48ce2d: crates/eval/src/bin/fig4c.rs
+
+crates/eval/src/bin/fig4c.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4c-6fd73150d40f45f7.d: crates/eval/src/bin/fig4c.rs
+
+/root/repo/target/release/deps/fig4c-6fd73150d40f45f7: crates/eval/src/bin/fig4c.rs
+
+crates/eval/src/bin/fig4c.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4c_window_sizes-7fa6158bb30d6776.d: crates/bench/benches/fig4c_window_sizes.rs
+
+/root/repo/target/release/deps/fig4c_window_sizes-7fa6158bb30d6776: crates/bench/benches/fig4c_window_sizes.rs
+
+crates/bench/benches/fig4c_window_sizes.rs:

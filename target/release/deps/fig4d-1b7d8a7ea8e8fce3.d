@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4d-1b7d8a7ea8e8fce3.d: crates/eval/src/bin/fig4d.rs
+
+/root/repo/target/release/deps/fig4d-1b7d8a7ea8e8fce3: crates/eval/src/bin/fig4d.rs
+
+crates/eval/src/bin/fig4d.rs:

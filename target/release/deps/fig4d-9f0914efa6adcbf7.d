@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4d-9f0914efa6adcbf7.d: crates/eval/src/bin/fig4d.rs
+
+/root/repo/target/release/deps/fig4d-9f0914efa6adcbf7: crates/eval/src/bin/fig4d.rs
+
+crates/eval/src/bin/fig4d.rs:

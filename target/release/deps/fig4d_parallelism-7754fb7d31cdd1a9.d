@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4d_parallelism-7754fb7d31cdd1a9.d: crates/bench/benches/fig4d_parallelism.rs
+
+/root/repo/target/release/deps/fig4d_parallelism-7754fb7d31cdd1a9: crates/bench/benches/fig4d_parallelism.rs
+
+crates/bench/benches/fig4d_parallelism.rs:

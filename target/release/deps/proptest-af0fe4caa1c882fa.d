@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/proptest-af0fe4caa1c882fa.d: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/proptest-af0fe4caa1c882fa: shims/proptest/src/lib.rs shims/proptest/src/strategy.rs
+
+shims/proptest/src/lib.rs:
+shims/proptest/src/strategy.rs:

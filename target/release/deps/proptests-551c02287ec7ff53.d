@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-551c02287ec7ff53.d: crates/revstore/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-551c02287ec7ff53: crates/revstore/tests/proptests.rs
+
+crates/revstore/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-81c06dc0dad3b184.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-81c06dc0dad3b184: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

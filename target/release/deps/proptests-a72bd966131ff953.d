@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-a72bd966131ff953.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-a72bd966131ff953: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-b7989d29f18f37dd.d: crates/wikitext/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-b7989d29f18f37dd: crates/wikitext/tests/proptests.rs
+
+crates/wikitext/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-c00c3c6f19dab862.d: crates/revstore/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-c00c3c6f19dab862: crates/revstore/tests/proptests.rs
+
+crates/revstore/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-ed7b6a507af9043b.d: crates/rel/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-ed7b6a507af9043b: crates/rel/tests/proptests.rs
+
+crates/rel/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quality-5daac16119b0afe6.d: crates/eval/src/bin/quality.rs
+
+/root/repo/target/release/deps/quality-5daac16119b0afe6: crates/eval/src/bin/quality.rs
+
+crates/eval/src/bin/quality.rs:

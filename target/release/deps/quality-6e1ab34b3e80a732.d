@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quality-6e1ab34b3e80a732.d: crates/eval/src/bin/quality.rs
+
+/root/repo/target/release/deps/quality-6e1ab34b3e80a732: crates/eval/src/bin/quality.rs
+
+crates/eval/src/bin/quality.rs:

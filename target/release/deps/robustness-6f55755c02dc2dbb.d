@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-6f55755c02dc2dbb.d: crates/eval/src/bin/robustness.rs
+
+/root/repo/target/release/deps/robustness-6f55755c02dc2dbb: crates/eval/src/bin/robustness.rs
+
+crates/eval/src/bin/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-bf64d9a709afbd31.d: tests/robustness.rs
+
+/root/repo/target/release/deps/robustness-bf64d9a709afbd31: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-e0665b776cc0654b.d: crates/eval/src/bin/robustness.rs
+
+/root/repo/target/release/deps/robustness-e0665b776cc0654b: crates/eval/src/bin/robustness.rs
+
+crates/eval/src/bin/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-ed0b862ca998db8b.d: tests/robustness.rs
+
+/root/repo/target/release/deps/robustness-ed0b862ca998db8b: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-25bbb25c55f983e2.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-25bbb25c55f983e2: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

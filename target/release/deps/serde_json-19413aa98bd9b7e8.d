@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-19413aa98bd9b7e8.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-19413aa98bd9b7e8.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-19413aa98bd9b7e8.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-bd64f9f247fb1d38.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-bd64f9f247fb1d38: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smalldata-5e18c7e33b994a1e.d: crates/eval/src/bin/smalldata.rs
+
+/root/repo/target/release/deps/smalldata-5e18c7e33b994a1e: crates/eval/src/bin/smalldata.rs
+
+crates/eval/src/bin/smalldata.rs:

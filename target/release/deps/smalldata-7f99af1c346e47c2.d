@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smalldata-7f99af1c346e47c2.d: crates/eval/src/bin/smalldata.rs
+
+/root/repo/target/release/deps/smalldata-7f99af1c346e47c2: crates/eval/src/bin/smalldata.rs
+
+crates/eval/src/bin/smalldata.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smalldata_candidates-a751b754630aea2c.d: crates/bench/benches/smalldata_candidates.rs
+
+/root/repo/target/release/deps/smalldata_candidates-a751b754630aea2c: crates/bench/benches/smalldata_candidates.rs
+
+crates/bench/benches/smalldata_candidates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrate-4ab3f50870874951.d: crates/bench/benches/substrate.rs
+
+/root/repo/target/release/deps/substrate-4ab3f50870874951: crates/bench/benches/substrate.rs
+
+crates/bench/benches/substrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-af976034d8b91ebd.d: crates/eval/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-af976034d8b91ebd: crates/eval/src/bin/table1.rs
+
+crates/eval/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-c0b7fcf637921d85.d: crates/eval/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-c0b7fcf637921d85: crates/eval/src/bin/table1.rs
+
+crates/eval/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_policies-50b54754835a1f7a.d: crates/bench/benches/table1_policies.rs
+
+/root/repo/target/release/deps/table1_policies-50b54754835a1f7a: crates/bench/benches/table1_policies.rs
+
+crates/bench/benches/table1_policies.rs:

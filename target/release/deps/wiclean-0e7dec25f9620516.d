@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wiclean-0e7dec25f9620516.d: src/bin/wiclean.rs
+
+/root/repo/target/release/deps/wiclean-0e7dec25f9620516: src/bin/wiclean.rs
+
+src/bin/wiclean.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wiclean-4bec1dd55d367375.d: src/lib.rs
+
+/root/repo/target/release/deps/wiclean-4bec1dd55d367375: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wiclean-88ef6c77b01fd567.d: src/bin/wiclean.rs
+
+/root/repo/target/release/deps/wiclean-88ef6c77b01fd567: src/bin/wiclean.rs
+
+src/bin/wiclean.rs:

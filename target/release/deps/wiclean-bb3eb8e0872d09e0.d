@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wiclean-bb3eb8e0872d09e0.d: src/bin/wiclean.rs
+
+/root/repo/target/release/deps/wiclean-bb3eb8e0872d09e0: src/bin/wiclean.rs
+
+src/bin/wiclean.rs:

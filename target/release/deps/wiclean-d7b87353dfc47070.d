@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wiclean-d7b87353dfc47070.d: src/lib.rs
+
+/root/repo/target/release/deps/libwiclean-d7b87353dfc47070.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libwiclean-d7b87353dfc47070.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wiclean-ded500892c809b82.d: src/lib.rs
+
+/root/repo/target/release/deps/libwiclean-ded500892c809b82.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libwiclean-ded500892c809b82.rmeta: src/lib.rs
+
+src/lib.rs:

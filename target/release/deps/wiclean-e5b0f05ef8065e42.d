@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wiclean-e5b0f05ef8065e42.d: src/lib.rs
+
+/root/repo/target/release/deps/wiclean-e5b0f05ef8065e42: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wiclean-ffc0fb57ac2375cb.d: src/bin/wiclean.rs
+
+/root/repo/target/release/deps/wiclean-ffc0fb57ac2375cb: src/bin/wiclean.rs
+
+src/bin/wiclean.rs:

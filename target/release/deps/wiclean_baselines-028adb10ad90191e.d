@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wiclean_baselines-028adb10ad90191e.d: crates/baselines/src/lib.rs
+
+/root/repo/target/release/deps/libwiclean_baselines-028adb10ad90191e.rlib: crates/baselines/src/lib.rs
+
+/root/repo/target/release/deps/libwiclean_baselines-028adb10ad90191e.rmeta: crates/baselines/src/lib.rs
+
+crates/baselines/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wiclean_baselines-5068ffed29474504.d: crates/baselines/src/lib.rs
+
+/root/repo/target/release/deps/libwiclean_baselines-5068ffed29474504.rlib: crates/baselines/src/lib.rs
+
+/root/repo/target/release/deps/libwiclean_baselines-5068ffed29474504.rmeta: crates/baselines/src/lib.rs
+
+crates/baselines/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wiclean_baselines-930da8c007cab0ae.d: crates/baselines/src/lib.rs
+
+/root/repo/target/release/deps/wiclean_baselines-930da8c007cab0ae: crates/baselines/src/lib.rs
+
+crates/baselines/src/lib.rs:

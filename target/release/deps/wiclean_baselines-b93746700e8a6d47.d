@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wiclean_baselines-b93746700e8a6d47.d: crates/baselines/src/lib.rs
+
+/root/repo/target/release/deps/wiclean_baselines-b93746700e8a6d47: crates/baselines/src/lib.rs
+
+crates/baselines/src/lib.rs:

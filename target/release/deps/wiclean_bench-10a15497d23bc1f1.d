@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wiclean_bench-10a15497d23bc1f1.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/wiclean_bench-10a15497d23bc1f1: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

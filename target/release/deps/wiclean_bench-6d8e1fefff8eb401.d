@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wiclean_bench-6d8e1fefff8eb401.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libwiclean_bench-6d8e1fefff8eb401.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libwiclean_bench-6d8e1fefff8eb401.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wiclean_bench-95a879ec7fab9949.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libwiclean_bench-95a879ec7fab9949.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libwiclean_bench-95a879ec7fab9949.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

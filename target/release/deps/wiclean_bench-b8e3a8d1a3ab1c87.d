@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wiclean_bench-b8e3a8d1a3ab1c87.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/wiclean_bench-b8e3a8d1a3ab1c87: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

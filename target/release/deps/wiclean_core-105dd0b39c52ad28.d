@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/wiclean_core-105dd0b39c52ad28.d: crates/core/src/lib.rs crates/core/src/abstract_action.rs crates/core/src/assist.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/degraded.rs crates/core/src/miner.rs crates/core/src/parallel.rs crates/core/src/partial.rs crates/core/src/pattern.rs crates/core/src/realization.rs crates/core/src/report.rs crates/core/src/signal.rs crates/core/src/specialize.rs crates/core/src/var.rs crates/core/src/windows.rs crates/core/src/testutil.rs
+
+/root/repo/target/release/deps/wiclean_core-105dd0b39c52ad28: crates/core/src/lib.rs crates/core/src/abstract_action.rs crates/core/src/assist.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/degraded.rs crates/core/src/miner.rs crates/core/src/parallel.rs crates/core/src/partial.rs crates/core/src/pattern.rs crates/core/src/realization.rs crates/core/src/report.rs crates/core/src/signal.rs crates/core/src/specialize.rs crates/core/src/var.rs crates/core/src/windows.rs crates/core/src/testutil.rs
+
+crates/core/src/lib.rs:
+crates/core/src/abstract_action.rs:
+crates/core/src/assist.rs:
+crates/core/src/cache.rs:
+crates/core/src/config.rs:
+crates/core/src/degraded.rs:
+crates/core/src/miner.rs:
+crates/core/src/parallel.rs:
+crates/core/src/partial.rs:
+crates/core/src/pattern.rs:
+crates/core/src/realization.rs:
+crates/core/src/report.rs:
+crates/core/src/signal.rs:
+crates/core/src/specialize.rs:
+crates/core/src/var.rs:
+crates/core/src/windows.rs:
+crates/core/src/testutil.rs:

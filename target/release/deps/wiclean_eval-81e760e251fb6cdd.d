@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/wiclean_eval-81e760e251fb6cdd.d: crates/eval/src/lib.rs crates/eval/src/grid.rs crates/eval/src/metrics.rs crates/eval/src/quality.rs crates/eval/src/robustness.rs crates/eval/src/runtime.rs crates/eval/src/smalldata.rs
+
+/root/repo/target/release/deps/libwiclean_eval-81e760e251fb6cdd.rlib: crates/eval/src/lib.rs crates/eval/src/grid.rs crates/eval/src/metrics.rs crates/eval/src/quality.rs crates/eval/src/robustness.rs crates/eval/src/runtime.rs crates/eval/src/smalldata.rs
+
+/root/repo/target/release/deps/libwiclean_eval-81e760e251fb6cdd.rmeta: crates/eval/src/lib.rs crates/eval/src/grid.rs crates/eval/src/metrics.rs crates/eval/src/quality.rs crates/eval/src/robustness.rs crates/eval/src/runtime.rs crates/eval/src/smalldata.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/grid.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/quality.rs:
+crates/eval/src/robustness.rs:
+crates/eval/src/runtime.rs:
+crates/eval/src/smalldata.rs:

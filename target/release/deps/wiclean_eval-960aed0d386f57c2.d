@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wiclean_eval-960aed0d386f57c2.d: crates/eval/src/lib.rs crates/eval/src/grid.rs crates/eval/src/metrics.rs crates/eval/src/quality.rs crates/eval/src/robustness.rs crates/eval/src/runtime.rs crates/eval/src/smalldata.rs
+
+/root/repo/target/release/deps/wiclean_eval-960aed0d386f57c2: crates/eval/src/lib.rs crates/eval/src/grid.rs crates/eval/src/metrics.rs crates/eval/src/quality.rs crates/eval/src/robustness.rs crates/eval/src/runtime.rs crates/eval/src/smalldata.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/grid.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/quality.rs:
+crates/eval/src/robustness.rs:
+crates/eval/src/runtime.rs:
+crates/eval/src/smalldata.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wiclean_graph-23e632e5118d5b20.d: crates/graph/src/lib.rs crates/graph/src/audit.rs crates/graph/src/edits.rs crates/graph/src/materialize.rs crates/graph/src/state.rs
+
+/root/repo/target/release/deps/libwiclean_graph-23e632e5118d5b20.rlib: crates/graph/src/lib.rs crates/graph/src/audit.rs crates/graph/src/edits.rs crates/graph/src/materialize.rs crates/graph/src/state.rs
+
+/root/repo/target/release/deps/libwiclean_graph-23e632e5118d5b20.rmeta: crates/graph/src/lib.rs crates/graph/src/audit.rs crates/graph/src/edits.rs crates/graph/src/materialize.rs crates/graph/src/state.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/audit.rs:
+crates/graph/src/edits.rs:
+crates/graph/src/materialize.rs:
+crates/graph/src/state.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wiclean_graph-cfad0665264b7ebe.d: crates/graph/src/lib.rs crates/graph/src/audit.rs crates/graph/src/edits.rs crates/graph/src/materialize.rs crates/graph/src/state.rs
+
+/root/repo/target/release/deps/wiclean_graph-cfad0665264b7ebe: crates/graph/src/lib.rs crates/graph/src/audit.rs crates/graph/src/edits.rs crates/graph/src/materialize.rs crates/graph/src/state.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/audit.rs:
+crates/graph/src/edits.rs:
+crates/graph/src/materialize.rs:
+crates/graph/src/state.rs:

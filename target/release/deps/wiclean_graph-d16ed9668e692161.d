@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wiclean_graph-d16ed9668e692161.d: crates/graph/src/lib.rs crates/graph/src/audit.rs crates/graph/src/edits.rs crates/graph/src/materialize.rs crates/graph/src/state.rs
+
+/root/repo/target/release/deps/libwiclean_graph-d16ed9668e692161.rlib: crates/graph/src/lib.rs crates/graph/src/audit.rs crates/graph/src/edits.rs crates/graph/src/materialize.rs crates/graph/src/state.rs
+
+/root/repo/target/release/deps/libwiclean_graph-d16ed9668e692161.rmeta: crates/graph/src/lib.rs crates/graph/src/audit.rs crates/graph/src/edits.rs crates/graph/src/materialize.rs crates/graph/src/state.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/audit.rs:
+crates/graph/src/edits.rs:
+crates/graph/src/materialize.rs:
+crates/graph/src/state.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/wiclean_rel-0fabb54fbc14d083.d: crates/rel/src/lib.rs crates/rel/src/join.rs crates/rel/src/schema.rs crates/rel/src/table.rs
+
+/root/repo/target/release/deps/libwiclean_rel-0fabb54fbc14d083.rlib: crates/rel/src/lib.rs crates/rel/src/join.rs crates/rel/src/schema.rs crates/rel/src/table.rs
+
+/root/repo/target/release/deps/libwiclean_rel-0fabb54fbc14d083.rmeta: crates/rel/src/lib.rs crates/rel/src/join.rs crates/rel/src/schema.rs crates/rel/src/table.rs
+
+crates/rel/src/lib.rs:
+crates/rel/src/join.rs:
+crates/rel/src/schema.rs:
+crates/rel/src/table.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/wiclean_rel-e91e85b1d1ed85db.d: crates/rel/src/lib.rs crates/rel/src/join.rs crates/rel/src/schema.rs crates/rel/src/table.rs
+
+/root/repo/target/release/deps/wiclean_rel-e91e85b1d1ed85db: crates/rel/src/lib.rs crates/rel/src/join.rs crates/rel/src/schema.rs crates/rel/src/table.rs
+
+crates/rel/src/lib.rs:
+crates/rel/src/join.rs:
+crates/rel/src/schema.rs:
+crates/rel/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/wiclean_revstore-05e46cb466073eb3.d: crates/revstore/src/lib.rs crates/revstore/src/action.rs crates/revstore/src/cache.rs crates/revstore/src/extract.rs crates/revstore/src/fault.rs crates/revstore/src/fetch.rs crates/revstore/src/reduce.rs crates/revstore/src/store.rs
+
+/root/repo/target/release/deps/wiclean_revstore-05e46cb466073eb3: crates/revstore/src/lib.rs crates/revstore/src/action.rs crates/revstore/src/cache.rs crates/revstore/src/extract.rs crates/revstore/src/fault.rs crates/revstore/src/fetch.rs crates/revstore/src/reduce.rs crates/revstore/src/store.rs
+
+crates/revstore/src/lib.rs:
+crates/revstore/src/action.rs:
+crates/revstore/src/cache.rs:
+crates/revstore/src/extract.rs:
+crates/revstore/src/fault.rs:
+crates/revstore/src/fetch.rs:
+crates/revstore/src/reduce.rs:
+crates/revstore/src/store.rs:

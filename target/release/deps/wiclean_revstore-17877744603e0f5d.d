@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/wiclean_revstore-17877744603e0f5d.d: crates/revstore/src/lib.rs crates/revstore/src/action.rs crates/revstore/src/cache.rs crates/revstore/src/extract.rs crates/revstore/src/fault.rs crates/revstore/src/fetch.rs crates/revstore/src/reduce.rs crates/revstore/src/store.rs
+
+/root/repo/target/release/deps/libwiclean_revstore-17877744603e0f5d.rlib: crates/revstore/src/lib.rs crates/revstore/src/action.rs crates/revstore/src/cache.rs crates/revstore/src/extract.rs crates/revstore/src/fault.rs crates/revstore/src/fetch.rs crates/revstore/src/reduce.rs crates/revstore/src/store.rs
+
+/root/repo/target/release/deps/libwiclean_revstore-17877744603e0f5d.rmeta: crates/revstore/src/lib.rs crates/revstore/src/action.rs crates/revstore/src/cache.rs crates/revstore/src/extract.rs crates/revstore/src/fault.rs crates/revstore/src/fetch.rs crates/revstore/src/reduce.rs crates/revstore/src/store.rs
+
+crates/revstore/src/lib.rs:
+crates/revstore/src/action.rs:
+crates/revstore/src/cache.rs:
+crates/revstore/src/extract.rs:
+crates/revstore/src/fault.rs:
+crates/revstore/src/fetch.rs:
+crates/revstore/src/reduce.rs:
+crates/revstore/src/store.rs:

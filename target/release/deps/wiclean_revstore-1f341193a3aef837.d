@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/wiclean_revstore-1f341193a3aef837.d: crates/revstore/src/lib.rs crates/revstore/src/action.rs crates/revstore/src/extract.rs crates/revstore/src/fault.rs crates/revstore/src/fetch.rs crates/revstore/src/reduce.rs crates/revstore/src/store.rs
+
+/root/repo/target/release/deps/libwiclean_revstore-1f341193a3aef837.rlib: crates/revstore/src/lib.rs crates/revstore/src/action.rs crates/revstore/src/extract.rs crates/revstore/src/fault.rs crates/revstore/src/fetch.rs crates/revstore/src/reduce.rs crates/revstore/src/store.rs
+
+/root/repo/target/release/deps/libwiclean_revstore-1f341193a3aef837.rmeta: crates/revstore/src/lib.rs crates/revstore/src/action.rs crates/revstore/src/extract.rs crates/revstore/src/fault.rs crates/revstore/src/fetch.rs crates/revstore/src/reduce.rs crates/revstore/src/store.rs
+
+crates/revstore/src/lib.rs:
+crates/revstore/src/action.rs:
+crates/revstore/src/extract.rs:
+crates/revstore/src/fault.rs:
+crates/revstore/src/fetch.rs:
+crates/revstore/src/reduce.rs:
+crates/revstore/src/store.rs:

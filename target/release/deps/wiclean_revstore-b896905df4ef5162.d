@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wiclean_revstore-b896905df4ef5162.d: crates/revstore/src/lib.rs crates/revstore/src/action.rs crates/revstore/src/extract.rs crates/revstore/src/fault.rs crates/revstore/src/fetch.rs crates/revstore/src/reduce.rs crates/revstore/src/store.rs
+
+/root/repo/target/release/deps/wiclean_revstore-b896905df4ef5162: crates/revstore/src/lib.rs crates/revstore/src/action.rs crates/revstore/src/extract.rs crates/revstore/src/fault.rs crates/revstore/src/fetch.rs crates/revstore/src/reduce.rs crates/revstore/src/store.rs
+
+crates/revstore/src/lib.rs:
+crates/revstore/src/action.rs:
+crates/revstore/src/extract.rs:
+crates/revstore/src/fault.rs:
+crates/revstore/src/fetch.rs:
+crates/revstore/src/reduce.rs:
+crates/revstore/src/store.rs:

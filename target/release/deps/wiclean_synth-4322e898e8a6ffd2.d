@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/wiclean_synth-4322e898e8a6ffd2.d: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/domain.rs crates/synth/src/generator.rs crates/synth/src/neymar.rs crates/synth/src/persist.rs crates/synth/src/scenarios.rs crates/synth/src/template.rs crates/synth/src/truth.rs
+
+/root/repo/target/release/deps/libwiclean_synth-4322e898e8a6ffd2.rlib: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/domain.rs crates/synth/src/generator.rs crates/synth/src/neymar.rs crates/synth/src/persist.rs crates/synth/src/scenarios.rs crates/synth/src/template.rs crates/synth/src/truth.rs
+
+/root/repo/target/release/deps/libwiclean_synth-4322e898e8a6ffd2.rmeta: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/domain.rs crates/synth/src/generator.rs crates/synth/src/neymar.rs crates/synth/src/persist.rs crates/synth/src/scenarios.rs crates/synth/src/template.rs crates/synth/src/truth.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/config.rs:
+crates/synth/src/domain.rs:
+crates/synth/src/generator.rs:
+crates/synth/src/neymar.rs:
+crates/synth/src/persist.rs:
+crates/synth/src/scenarios.rs:
+crates/synth/src/template.rs:
+crates/synth/src/truth.rs:

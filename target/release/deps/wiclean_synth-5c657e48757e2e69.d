@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/wiclean_synth-5c657e48757e2e69.d: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/domain.rs crates/synth/src/generator.rs crates/synth/src/neymar.rs crates/synth/src/persist.rs crates/synth/src/scenarios.rs crates/synth/src/template.rs crates/synth/src/truth.rs
+
+/root/repo/target/release/deps/wiclean_synth-5c657e48757e2e69: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/domain.rs crates/synth/src/generator.rs crates/synth/src/neymar.rs crates/synth/src/persist.rs crates/synth/src/scenarios.rs crates/synth/src/template.rs crates/synth/src/truth.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/config.rs:
+crates/synth/src/domain.rs:
+crates/synth/src/generator.rs:
+crates/synth/src/neymar.rs:
+crates/synth/src/persist.rs:
+crates/synth/src/scenarios.rs:
+crates/synth/src/template.rs:
+crates/synth/src/truth.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/wiclean_types-51077e097e86cd2f.d: crates/types/src/lib.rs crates/types/src/catalog.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/intern.rs crates/types/src/taxonomy.rs crates/types/src/time.rs crates/types/src/universe.rs
+
+/root/repo/target/release/deps/libwiclean_types-51077e097e86cd2f.rlib: crates/types/src/lib.rs crates/types/src/catalog.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/intern.rs crates/types/src/taxonomy.rs crates/types/src/time.rs crates/types/src/universe.rs
+
+/root/repo/target/release/deps/libwiclean_types-51077e097e86cd2f.rmeta: crates/types/src/lib.rs crates/types/src/catalog.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/intern.rs crates/types/src/taxonomy.rs crates/types/src/time.rs crates/types/src/universe.rs
+
+crates/types/src/lib.rs:
+crates/types/src/catalog.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/intern.rs:
+crates/types/src/taxonomy.rs:
+crates/types/src/time.rs:
+crates/types/src/universe.rs:

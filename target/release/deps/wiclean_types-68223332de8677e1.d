@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/wiclean_types-68223332de8677e1.d: crates/types/src/lib.rs crates/types/src/catalog.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/intern.rs crates/types/src/taxonomy.rs crates/types/src/time.rs crates/types/src/universe.rs
+
+/root/repo/target/release/deps/wiclean_types-68223332de8677e1: crates/types/src/lib.rs crates/types/src/catalog.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/intern.rs crates/types/src/taxonomy.rs crates/types/src/time.rs crates/types/src/universe.rs
+
+crates/types/src/lib.rs:
+crates/types/src/catalog.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/intern.rs:
+crates/types/src/taxonomy.rs:
+crates/types/src/time.rs:
+crates/types/src/universe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wiclean_wikitext-2e8542479ff42a06.d: crates/wikitext/src/lib.rs crates/wikitext/src/ast.rs crates/wikitext/src/diff.rs crates/wikitext/src/parse.rs crates/wikitext/src/render.rs
+
+/root/repo/target/release/deps/wiclean_wikitext-2e8542479ff42a06: crates/wikitext/src/lib.rs crates/wikitext/src/ast.rs crates/wikitext/src/diff.rs crates/wikitext/src/parse.rs crates/wikitext/src/render.rs
+
+crates/wikitext/src/lib.rs:
+crates/wikitext/src/ast.rs:
+crates/wikitext/src/diff.rs:
+crates/wikitext/src/parse.rs:
+crates/wikitext/src/render.rs:

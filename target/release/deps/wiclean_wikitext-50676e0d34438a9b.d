@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wiclean_wikitext-50676e0d34438a9b.d: crates/wikitext/src/lib.rs crates/wikitext/src/ast.rs crates/wikitext/src/diff.rs crates/wikitext/src/parse.rs crates/wikitext/src/render.rs
+
+/root/repo/target/release/deps/libwiclean_wikitext-50676e0d34438a9b.rlib: crates/wikitext/src/lib.rs crates/wikitext/src/ast.rs crates/wikitext/src/diff.rs crates/wikitext/src/parse.rs crates/wikitext/src/render.rs
+
+/root/repo/target/release/deps/libwiclean_wikitext-50676e0d34438a9b.rmeta: crates/wikitext/src/lib.rs crates/wikitext/src/ast.rs crates/wikitext/src/diff.rs crates/wikitext/src/parse.rs crates/wikitext/src/render.rs
+
+crates/wikitext/src/lib.rs:
+crates/wikitext/src/ast.rs:
+crates/wikitext/src/diff.rs:
+crates/wikitext/src/parse.rs:
+crates/wikitext/src/render.rs:

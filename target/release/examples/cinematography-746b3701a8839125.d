@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cinematography-746b3701a8839125.d: examples/cinematography.rs
+
+/root/repo/target/release/examples/cinematography-746b3701a8839125: examples/cinematography.rs
+
+examples/cinematography.rs:

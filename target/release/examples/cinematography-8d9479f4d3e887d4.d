@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cinematography-8d9479f4d3e887d4.d: examples/cinematography.rs
+
+/root/repo/target/release/examples/cinematography-8d9479f4d3e887d4: examples/cinematography.rs
+
+examples/cinematography.rs:

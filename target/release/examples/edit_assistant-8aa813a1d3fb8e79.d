@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/edit_assistant-8aa813a1d3fb8e79.d: examples/edit_assistant.rs
+
+/root/repo/target/release/examples/edit_assistant-8aa813a1d3fb8e79: examples/edit_assistant.rs
+
+examples/edit_assistant.rs:

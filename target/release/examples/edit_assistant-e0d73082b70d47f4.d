@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/edit_assistant-e0d73082b70d47f4.d: examples/edit_assistant.rs
+
+/root/repo/target/release/examples/edit_assistant-e0d73082b70d47f4: examples/edit_assistant.rs
+
+examples/edit_assistant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-51bee7b02fe57339.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-51bee7b02fe57339: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a68e2762d3a1cca6.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a68e2762d3a1cca6: examples/quickstart.rs
+
+examples/quickstart.rs:

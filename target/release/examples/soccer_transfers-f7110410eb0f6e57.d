@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/soccer_transfers-f7110410eb0f6e57.d: examples/soccer_transfers.rs
+
+/root/repo/target/release/examples/soccer_transfers-f7110410eb0f6e57: examples/soccer_transfers.rs
+
+examples/soccer_transfers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/soccer_transfers-f9e7f30e6de2494b.d: examples/soccer_transfers.rs
+
+/root/repo/target/release/examples/soccer_transfers-f9e7f30e6de2494b: examples/soccer_transfers.rs
+
+examples/soccer_transfers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/software_repos-77b29a58e8498e8d.d: examples/software_repos.rs
+
+/root/repo/target/release/examples/software_repos-77b29a58e8498e8d: examples/software_repos.rs
+
+examples/software_repos.rs:

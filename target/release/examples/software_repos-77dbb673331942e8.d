@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/software_repos-77dbb673331942e8.d: examples/software_repos.rs
+
+/root/repo/target/release/examples/software_repos-77dbb673331942e8: examples/software_repos.rs
+
+examples/software_repos.rs:

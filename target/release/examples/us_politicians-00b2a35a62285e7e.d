@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/us_politicians-00b2a35a62285e7e.d: examples/us_politicians.rs
+
+/root/repo/target/release/examples/us_politicians-00b2a35a62285e7e: examples/us_politicians.rs
+
+examples/us_politicians.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/us_politicians-1145c1453651e63e.d: examples/us_politicians.rs
+
+/root/repo/target/release/examples/us_politicians-1145c1453651e63e: examples/us_politicians.rs
+
+examples/us_politicians.rs:
