@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/audit_vs_wiclean-b29c9856451fd8da.d: tests/audit_vs_wiclean.rs
+
+/root/repo/target/debug/deps/audit_vs_wiclean-b29c9856451fd8da: tests/audit_vs_wiclean.rs
+
+tests/audit_vs_wiclean.rs:

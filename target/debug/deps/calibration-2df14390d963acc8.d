@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-2df14390d963acc8.d: tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-2df14390d963acc8: tests/calibration.rs
+
+tests/calibration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration_all-79b98fd500c84eaf.d: tests/calibration_all.rs
+
+/root/repo/target/debug/deps/calibration_all-79b98fd500c84eaf: tests/calibration_all.rs
+
+tests/calibration_all.rs:

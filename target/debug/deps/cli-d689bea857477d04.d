@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-d689bea857477d04.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-d689bea857477d04: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_wiclean=/root/repo/target/debug/wiclean

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-839fe1456582ddea.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-839fe1456582ddea: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-9c4d51d059a419cb.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-9c4d51d059a419cb: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-cf1bf36f73d92b99.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-cf1bf36f73d92b99.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-cf1bf36f73d92b99.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

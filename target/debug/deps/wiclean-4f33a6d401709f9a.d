@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wiclean-4f33a6d401709f9a.d: src/lib.rs
+
+/root/repo/target/debug/deps/wiclean-4f33a6d401709f9a: src/lib.rs
+
+src/lib.rs:

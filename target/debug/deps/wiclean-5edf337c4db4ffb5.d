@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wiclean-5edf337c4db4ffb5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libwiclean-5edf337c4db4ffb5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libwiclean-5edf337c4db4ffb5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wiclean-a7e7199d1de18c47.d: src/bin/wiclean.rs
+
+/root/repo/target/debug/deps/wiclean-a7e7199d1de18c47: src/bin/wiclean.rs
+
+src/bin/wiclean.rs:

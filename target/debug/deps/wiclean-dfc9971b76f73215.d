@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wiclean-dfc9971b76f73215.d: src/bin/wiclean.rs
+
+/root/repo/target/debug/deps/wiclean-dfc9971b76f73215: src/bin/wiclean.rs
+
+src/bin/wiclean.rs:

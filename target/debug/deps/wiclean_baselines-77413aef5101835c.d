@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wiclean_baselines-77413aef5101835c.d: crates/baselines/src/lib.rs
+
+/root/repo/target/debug/deps/libwiclean_baselines-77413aef5101835c.rlib: crates/baselines/src/lib.rs
+
+/root/repo/target/debug/deps/libwiclean_baselines-77413aef5101835c.rmeta: crates/baselines/src/lib.rs
+
+crates/baselines/src/lib.rs:

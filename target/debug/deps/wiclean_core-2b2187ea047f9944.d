@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/wiclean_core-2b2187ea047f9944.d: crates/core/src/lib.rs crates/core/src/abstract_action.rs crates/core/src/assist.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/degraded.rs crates/core/src/miner.rs crates/core/src/parallel.rs crates/core/src/partial.rs crates/core/src/pattern.rs crates/core/src/realization.rs crates/core/src/report.rs crates/core/src/signal.rs crates/core/src/specialize.rs crates/core/src/var.rs crates/core/src/windows.rs
+
+/root/repo/target/debug/deps/libwiclean_core-2b2187ea047f9944.rlib: crates/core/src/lib.rs crates/core/src/abstract_action.rs crates/core/src/assist.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/degraded.rs crates/core/src/miner.rs crates/core/src/parallel.rs crates/core/src/partial.rs crates/core/src/pattern.rs crates/core/src/realization.rs crates/core/src/report.rs crates/core/src/signal.rs crates/core/src/specialize.rs crates/core/src/var.rs crates/core/src/windows.rs
+
+/root/repo/target/debug/deps/libwiclean_core-2b2187ea047f9944.rmeta: crates/core/src/lib.rs crates/core/src/abstract_action.rs crates/core/src/assist.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/degraded.rs crates/core/src/miner.rs crates/core/src/parallel.rs crates/core/src/partial.rs crates/core/src/pattern.rs crates/core/src/realization.rs crates/core/src/report.rs crates/core/src/signal.rs crates/core/src/specialize.rs crates/core/src/var.rs crates/core/src/windows.rs
+
+crates/core/src/lib.rs:
+crates/core/src/abstract_action.rs:
+crates/core/src/assist.rs:
+crates/core/src/cache.rs:
+crates/core/src/config.rs:
+crates/core/src/degraded.rs:
+crates/core/src/miner.rs:
+crates/core/src/parallel.rs:
+crates/core/src/partial.rs:
+crates/core/src/pattern.rs:
+crates/core/src/realization.rs:
+crates/core/src/report.rs:
+crates/core/src/signal.rs:
+crates/core/src/specialize.rs:
+crates/core/src/var.rs:
+crates/core/src/windows.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/wiclean_eval-b758324a92b0e441.d: crates/eval/src/lib.rs crates/eval/src/grid.rs crates/eval/src/metrics.rs crates/eval/src/quality.rs crates/eval/src/robustness.rs crates/eval/src/runtime.rs crates/eval/src/smalldata.rs
+
+/root/repo/target/debug/deps/libwiclean_eval-b758324a92b0e441.rlib: crates/eval/src/lib.rs crates/eval/src/grid.rs crates/eval/src/metrics.rs crates/eval/src/quality.rs crates/eval/src/robustness.rs crates/eval/src/runtime.rs crates/eval/src/smalldata.rs
+
+/root/repo/target/debug/deps/libwiclean_eval-b758324a92b0e441.rmeta: crates/eval/src/lib.rs crates/eval/src/grid.rs crates/eval/src/metrics.rs crates/eval/src/quality.rs crates/eval/src/robustness.rs crates/eval/src/runtime.rs crates/eval/src/smalldata.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/grid.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/quality.rs:
+crates/eval/src/robustness.rs:
+crates/eval/src/runtime.rs:
+crates/eval/src/smalldata.rs:

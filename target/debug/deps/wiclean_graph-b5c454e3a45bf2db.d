@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wiclean_graph-b5c454e3a45bf2db.d: crates/graph/src/lib.rs crates/graph/src/audit.rs crates/graph/src/edits.rs crates/graph/src/materialize.rs crates/graph/src/state.rs
+
+/root/repo/target/debug/deps/libwiclean_graph-b5c454e3a45bf2db.rlib: crates/graph/src/lib.rs crates/graph/src/audit.rs crates/graph/src/edits.rs crates/graph/src/materialize.rs crates/graph/src/state.rs
+
+/root/repo/target/debug/deps/libwiclean_graph-b5c454e3a45bf2db.rmeta: crates/graph/src/lib.rs crates/graph/src/audit.rs crates/graph/src/edits.rs crates/graph/src/materialize.rs crates/graph/src/state.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/audit.rs:
+crates/graph/src/edits.rs:
+crates/graph/src/materialize.rs:
+crates/graph/src/state.rs:

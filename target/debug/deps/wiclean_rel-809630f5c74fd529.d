@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/wiclean_rel-809630f5c74fd529.d: crates/rel/src/lib.rs crates/rel/src/join.rs crates/rel/src/schema.rs crates/rel/src/table.rs
+
+/root/repo/target/debug/deps/libwiclean_rel-809630f5c74fd529.rlib: crates/rel/src/lib.rs crates/rel/src/join.rs crates/rel/src/schema.rs crates/rel/src/table.rs
+
+/root/repo/target/debug/deps/libwiclean_rel-809630f5c74fd529.rmeta: crates/rel/src/lib.rs crates/rel/src/join.rs crates/rel/src/schema.rs crates/rel/src/table.rs
+
+crates/rel/src/lib.rs:
+crates/rel/src/join.rs:
+crates/rel/src/schema.rs:
+crates/rel/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/wiclean_revstore-5c6945279c194031.d: crates/revstore/src/lib.rs crates/revstore/src/action.rs crates/revstore/src/cache.rs crates/revstore/src/extract.rs crates/revstore/src/fault.rs crates/revstore/src/fetch.rs crates/revstore/src/reduce.rs crates/revstore/src/store.rs
+
+/root/repo/target/debug/deps/libwiclean_revstore-5c6945279c194031.rlib: crates/revstore/src/lib.rs crates/revstore/src/action.rs crates/revstore/src/cache.rs crates/revstore/src/extract.rs crates/revstore/src/fault.rs crates/revstore/src/fetch.rs crates/revstore/src/reduce.rs crates/revstore/src/store.rs
+
+/root/repo/target/debug/deps/libwiclean_revstore-5c6945279c194031.rmeta: crates/revstore/src/lib.rs crates/revstore/src/action.rs crates/revstore/src/cache.rs crates/revstore/src/extract.rs crates/revstore/src/fault.rs crates/revstore/src/fetch.rs crates/revstore/src/reduce.rs crates/revstore/src/store.rs
+
+crates/revstore/src/lib.rs:
+crates/revstore/src/action.rs:
+crates/revstore/src/cache.rs:
+crates/revstore/src/extract.rs:
+crates/revstore/src/fault.rs:
+crates/revstore/src/fetch.rs:
+crates/revstore/src/reduce.rs:
+crates/revstore/src/store.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/wiclean_synth-327b0d79a8fe6bbb.d: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/domain.rs crates/synth/src/generator.rs crates/synth/src/neymar.rs crates/synth/src/persist.rs crates/synth/src/scenarios.rs crates/synth/src/template.rs crates/synth/src/truth.rs
+
+/root/repo/target/debug/deps/libwiclean_synth-327b0d79a8fe6bbb.rlib: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/domain.rs crates/synth/src/generator.rs crates/synth/src/neymar.rs crates/synth/src/persist.rs crates/synth/src/scenarios.rs crates/synth/src/template.rs crates/synth/src/truth.rs
+
+/root/repo/target/debug/deps/libwiclean_synth-327b0d79a8fe6bbb.rmeta: crates/synth/src/lib.rs crates/synth/src/config.rs crates/synth/src/domain.rs crates/synth/src/generator.rs crates/synth/src/neymar.rs crates/synth/src/persist.rs crates/synth/src/scenarios.rs crates/synth/src/template.rs crates/synth/src/truth.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/config.rs:
+crates/synth/src/domain.rs:
+crates/synth/src/generator.rs:
+crates/synth/src/neymar.rs:
+crates/synth/src/persist.rs:
+crates/synth/src/scenarios.rs:
+crates/synth/src/template.rs:
+crates/synth/src/truth.rs:

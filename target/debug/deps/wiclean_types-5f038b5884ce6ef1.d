@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/wiclean_types-5f038b5884ce6ef1.d: crates/types/src/lib.rs crates/types/src/catalog.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/intern.rs crates/types/src/taxonomy.rs crates/types/src/time.rs crates/types/src/universe.rs
+
+/root/repo/target/debug/deps/libwiclean_types-5f038b5884ce6ef1.rlib: crates/types/src/lib.rs crates/types/src/catalog.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/intern.rs crates/types/src/taxonomy.rs crates/types/src/time.rs crates/types/src/universe.rs
+
+/root/repo/target/debug/deps/libwiclean_types-5f038b5884ce6ef1.rmeta: crates/types/src/lib.rs crates/types/src/catalog.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/intern.rs crates/types/src/taxonomy.rs crates/types/src/time.rs crates/types/src/universe.rs
+
+crates/types/src/lib.rs:
+crates/types/src/catalog.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/intern.rs:
+crates/types/src/taxonomy.rs:
+crates/types/src/time.rs:
+crates/types/src/universe.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wiclean_wikitext-2433025b8369eef1.d: crates/wikitext/src/lib.rs crates/wikitext/src/ast.rs crates/wikitext/src/diff.rs crates/wikitext/src/parse.rs crates/wikitext/src/render.rs
+
+/root/repo/target/debug/deps/libwiclean_wikitext-2433025b8369eef1.rlib: crates/wikitext/src/lib.rs crates/wikitext/src/ast.rs crates/wikitext/src/diff.rs crates/wikitext/src/parse.rs crates/wikitext/src/render.rs
+
+/root/repo/target/debug/deps/libwiclean_wikitext-2433025b8369eef1.rmeta: crates/wikitext/src/lib.rs crates/wikitext/src/ast.rs crates/wikitext/src/diff.rs crates/wikitext/src/parse.rs crates/wikitext/src/render.rs
+
+crates/wikitext/src/lib.rs:
+crates/wikitext/src/ast.rs:
+crates/wikitext/src/diff.rs:
+crates/wikitext/src/parse.rs:
+crates/wikitext/src/render.rs:

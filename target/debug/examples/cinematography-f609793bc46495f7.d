@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cinematography-f609793bc46495f7.d: examples/cinematography.rs
+
+/root/repo/target/debug/examples/cinematography-f609793bc46495f7: examples/cinematography.rs
+
+examples/cinematography.rs:

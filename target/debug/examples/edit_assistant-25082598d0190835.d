@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edit_assistant-25082598d0190835.d: examples/edit_assistant.rs
+
+/root/repo/target/debug/examples/edit_assistant-25082598d0190835: examples/edit_assistant.rs
+
+examples/edit_assistant.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-028e223d9511f596.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-028e223d9511f596: examples/quickstart.rs
+
+examples/quickstart.rs:

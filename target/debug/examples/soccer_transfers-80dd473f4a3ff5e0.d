@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/soccer_transfers-80dd473f4a3ff5e0.d: examples/soccer_transfers.rs
+
+/root/repo/target/debug/examples/soccer_transfers-80dd473f4a3ff5e0: examples/soccer_transfers.rs
+
+examples/soccer_transfers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/software_repos-d9e003d32af88ced.d: examples/software_repos.rs
+
+/root/repo/target/debug/examples/software_repos-d9e003d32af88ced: examples/software_repos.rs
+
+examples/software_repos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/us_politicians-3c19d96c8f7d72b0.d: examples/us_politicians.rs
+
+/root/repo/target/debug/examples/us_politicians-3c19d96c8f7d72b0: examples/us_politicians.rs
+
+examples/us_politicians.rs:
