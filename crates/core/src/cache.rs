@@ -15,7 +15,7 @@
 //! miner state has loaded exactly the same types — guaranteeing a hit
 //! returns byte-identical results to a recomputation.
 
-use crate::pattern::Pattern;
+use crate::interner::{PatternId, PatternInterner};
 use parking_lot::RwLock;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -37,12 +37,30 @@ use wiclean_types::{TypeId, Window};
 ///   extract), reused across iterations and *composed* when a widened
 ///   window tiles exactly from cached sub-windows
 ///   ([`wiclean_revstore::ActionCache`]).
-#[derive(Clone, Default)]
+///
+/// The bundle also carries the [`PatternInterner`] that issues the
+/// [`PatternId`]s keying `realizations`. It is *always* present: ids are
+/// only meaningful relative to their interner, so every miner sharing the
+/// realization cache must share this interner too — attaching the bundle
+/// via [`crate::miner::WindowMiner::with_caches`] keeps the pairing intact.
+#[derive(Clone)]
 pub struct MiningCaches {
     /// Shared candidate realization-table cache, if enabled.
     pub realizations: Option<Arc<RealizationCache>>,
     /// Shared preprocessing (action-extraction) cache, if enabled.
     pub actions: Option<Arc<ActionCache>>,
+    /// Pattern interner issuing the ids that key `realizations`.
+    pub patterns: Arc<PatternInterner>,
+}
+
+impl Default for MiningCaches {
+    fn default() -> Self {
+        Self {
+            realizations: None,
+            actions: None,
+            patterns: Arc::new(PatternInterner::new()),
+        }
+    }
 }
 
 impl MiningCaches {
@@ -58,12 +76,14 @@ impl MiningCaches {
             actions: config
                 .use_action_cache
                 .then(|| Arc::new(ActionCache::new())),
+            patterns: Arc::new(PatternInterner::new()),
         }
     }
 }
 
-/// Key: the mined window plus the candidate's canonical pattern.
-type CacheKey = (Window, Pattern);
+/// Key: the mined window plus the candidate's interned canonical pattern.
+/// Ids are O(1) to hash/compare, so lookups no longer walk action lists.
+type CacheKey = (Window, PatternId);
 
 struct CacheEntry {
     fetched: BTreeSet<TypeId>,
@@ -90,11 +110,11 @@ impl RealizationCache {
     pub fn get(
         &self,
         window: &Window,
-        pattern: &Pattern,
+        pattern: PatternId,
         fetched: &BTreeSet<TypeId>,
     ) -> Option<(Table, usize, f64)> {
         let guard = self.inner.read();
-        match guard.get(&(*window, pattern.clone())) {
+        match guard.get(&(*window, pattern)) {
             Some(entry) if entry.fetched == *fetched => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some((entry.table.clone(), entry.support, entry.freq))
@@ -111,14 +131,14 @@ impl RealizationCache {
     pub fn put(
         &self,
         window: &Window,
-        pattern: &Pattern,
+        pattern: PatternId,
         fetched: &BTreeSet<TypeId>,
         table: &Table,
         support: usize,
         freq: f64,
     ) {
         self.inner.write().insert(
-            (*window, pattern.clone()),
+            (*window, pattern),
             CacheEntry {
                 fetched: fetched.clone(),
                 table: table.clone(),
@@ -151,18 +171,19 @@ impl RealizationCache {
 mod tests {
     use super::*;
     use crate::abstract_action::AbstractAction;
+    use crate::pattern::Pattern;
     use crate::var::Var;
     use wiclean_rel::Schema;
     use wiclean_types::RelId;
     use wiclean_wikitext::EditOp;
 
-    fn pattern() -> Pattern {
-        Pattern::canonical_from(&[AbstractAction::new(
+    fn pattern_id(interner: &PatternInterner) -> PatternId {
+        interner.intern(&Pattern::canonical_from(&[AbstractAction::new(
             EditOp::Add,
             Var::new(TypeId::from_u32(1), 0),
             RelId::from_u32(0),
             Var::new(TypeId::from_u32(2), 0),
-        )])
+        )]))
     }
 
     fn fetched(tys: &[u32]) -> BTreeSet<TypeId> {
@@ -171,19 +192,20 @@ mod tests {
 
     #[test]
     fn hit_requires_same_window_pattern_and_fetched_set() {
+        let interner = PatternInterner::new();
         let cache = RealizationCache::new();
         let w = Window::new(0, 10);
-        let p = pattern();
+        let p = pattern_id(&interner);
         let t = Table::new(Schema::new(["a", "b"]));
-        cache.put(&w, &p, &fetched(&[1, 2]), &t, 3, 0.5);
+        cache.put(&w, p, &fetched(&[1, 2]), &t, 3, 0.5);
 
-        assert!(cache.get(&w, &p, &fetched(&[1, 2])).is_some());
+        assert!(cache.get(&w, p, &fetched(&[1, 2])).is_some());
         assert!(
-            cache.get(&w, &p, &fetched(&[1, 2, 3])).is_none(),
+            cache.get(&w, p, &fetched(&[1, 2, 3])).is_none(),
             "different fetched set must miss"
         );
         assert!(
-            cache.get(&Window::new(0, 20), &p, &fetched(&[1, 2])).is_none(),
+            cache.get(&Window::new(0, 20), p, &fetched(&[1, 2])).is_none(),
             "different window must miss"
         );
         let (hits, misses) = cache.stats();
@@ -194,13 +216,14 @@ mod tests {
 
     #[test]
     fn cached_values_round_trip() {
+        let interner = PatternInterner::new();
         let cache = RealizationCache::new();
         let w = Window::new(5, 15);
-        let p = pattern();
+        let p = pattern_id(&interner);
         let mut t = Table::new(Schema::new(["x"]));
         t.push_row(&[Some(wiclean_types::EntityId::from_u32(7))]);
-        cache.put(&w, &p, &fetched(&[1]), &t, 1, 0.25);
-        let (table, support, freq) = cache.get(&w, &p, &fetched(&[1])).unwrap();
+        cache.put(&w, p, &fetched(&[1]), &t, 1, 0.25);
+        let (table, support, freq) = cache.get(&w, p, &fetched(&[1])).unwrap();
         assert_eq!(table.len(), 1);
         assert_eq!(support, 1);
         assert!((freq - 0.25).abs() < 1e-12);

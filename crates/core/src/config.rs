@@ -55,6 +55,15 @@ pub struct MinerConfig {
     pub expansion: ExpansionMode,
     /// Whether relative frequent patterns are mined for each found pattern.
     pub mine_relative: bool,
+    /// Intra-window parallelism: candidate extensions of one window's
+    /// frontier are evaluated on the shared work pool. `0` (auto) uses the
+    /// pool attached to the miner when there is one (so a parallel driver's
+    /// pool is shared between window-level and intra-window tasks), `1`
+    /// forces sequential intra-window evaluation, and `n > 1` spins up a
+    /// dedicated `n`-wide pool per mining call when none is attached.
+    /// Output is byte-identical at any setting.
+    #[serde(default)]
+    pub intra_window_threads: usize,
 }
 
 impl Default for MinerConfig {
@@ -68,6 +77,7 @@ impl Default for MinerConfig {
             join_impl: JoinImpl::Hash,
             expansion: ExpansionMode::Incremental,
             mine_relative: true,
+            intra_window_threads: 0,
         }
     }
 }

@@ -35,10 +35,12 @@ pub mod assist;
 pub mod cache;
 pub mod config;
 pub mod degraded;
+pub mod interner;
 pub mod miner;
 pub mod parallel;
 pub mod partial;
 pub mod pattern;
+pub mod pool;
 pub mod realization;
 pub mod report;
 pub mod signal;
@@ -53,13 +55,16 @@ pub use abstract_action::{abstractions_of, AbstractAction};
 pub use cache::{MiningCaches, RealizationCache};
 pub use config::{ExpansionMode, JoinImpl, MinerConfig, RefinePolicy, WcConfig};
 pub use degraded::{DegradedCoverage, LostEntity};
+pub use interner::{PatternId, PatternInterner};
 pub use miner::{FoundPattern, MineStats, WindowMiner, WindowResult};
 pub use parallel::{
-    mine_windows_parallel, mine_windows_parallel_cached, mine_windows_parallel_cached_checked,
-    mine_windows_parallel_checked, run_windows_checked, WindowFailure,
+    mine_windows_on_pool, mine_windows_parallel, mine_windows_parallel_cached,
+    mine_windows_parallel_cached_checked, mine_windows_parallel_checked, run_windows_checked,
+    run_windows_on_pool, WindowFailure,
 };
 pub use partial::{detect_partial_updates, PartialUpdate, PartialReport};
 pub use pattern::Pattern;
+pub use pool::MiningPool;
 pub use report::{DegradedReport, WcReport};
 pub use signal::{edit_volume_signal, significant_windows, WindowSignal};
 pub use specialize::{specialize_pattern, Specialization};

@@ -24,9 +24,11 @@ use crate::abstract_action::AbstractAction;
 use crate::cache::RealizationCache;
 use crate::config::{ExpansionMode, JoinImpl, MinerConfig};
 use crate::degraded::DegradedCoverage;
+use crate::interner::{PatternId, PatternInterner};
 use crate::pattern::{Pattern, WorkingPattern};
+use crate::pool::MiningPool;
 use crate::realization::{
-    action_realizations, frequency, relative_frequency, shape_of, support_count, Shape,
+    action_realizations, frequency, relative_frequency, shape_of, support_count, Shape, ShapeRows,
 };
 use crate::var::Var;
 use serde::{Deserialize, Serialize};
@@ -35,7 +37,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wiclean_rel::{join_glue, join_glue_nested, join_glue_sort_merge, outer_join_glue, ColumnGlue, Table};
 use wiclean_revstore::{
-    reduce_actions, try_extract_actions, ActionCache, CacheLookup, FetchSource,
+    reduce_actions, try_extract_actions, ActionCache, CacheLookup, ExtractOutcome, FetchError,
+    FetchSource,
 };
 use wiclean_types::{EntityId, TypeId, Universe, Window};
 
@@ -182,16 +185,52 @@ pub struct WindowMiner<'a> {
     config: MinerConfig,
     cache: Option<Arc<RealizationCache>>,
     action_cache: Option<Arc<ActionCache>>,
+    interner: Arc<PatternInterner>,
+    pool: Option<Arc<MiningPool>>,
 }
 
 /// Internal expansion node: a frequent pattern under construction.
 struct Node {
+    id: PatternId,
     wp: WorkingPattern,
     canonical: Pattern,
     table: Table,
     support: usize,
     freq: f64,
 }
+
+/// One candidate extension of a frontier node: glue `action` onto
+/// `nodes[parent]`, with the action's target either fresh or glued.
+/// Candidates are collected serially (deterministic order), evaluated in
+/// parallel, and merged deterministically.
+struct CandidateSpec {
+    parent: usize,
+    action: AbstractAction,
+    target_is_new: bool,
+}
+
+/// A fully evaluated candidate (join or cache hit already done).
+struct Evaluated {
+    id: PatternId,
+    canonical: Pattern,
+    ext: WorkingPattern,
+    table: Table,
+    support: usize,
+    freq: f64,
+    via_cache: bool,
+}
+
+/// What evaluating one [`CandidateSpec`] produced.
+enum EvalOutcome {
+    /// Canonical form was already accepted in an earlier generation.
+    Known,
+    /// Evaluated to a realization table (fresh join or cache hit).
+    Done(Box<Evaluated>),
+}
+
+/// One entity's extraction: the preprocessing outcome plus how the action
+/// cache answered (None when no cache is attached).
+type Extracted = Result<(Arc<ExtractOutcome>, Option<CacheLookup>), FetchError>;
 
 /// Mutable mining state for one window.
 struct MineState {
@@ -213,13 +252,37 @@ impl<'a> WindowMiner<'a> {
             config,
             cache: None,
             action_cache: None,
+            interner: Arc::new(PatternInterner::new()),
+            pool: None,
         }
     }
 
     /// Attaches a shared realization cache (see [`RealizationCache`]);
     /// Algorithm 2 shares one across its refinement iterations.
+    ///
+    /// The cache is keyed by [`PatternId`], so a cache shared *across
+    /// miners* must be paired with the same [`PatternInterner`] on every
+    /// miner (attach both, or use [`WindowMiner::with_caches`], which keeps
+    /// the pairing). Reusing this miner for several runs is always safe —
+    /// its interner lives as long as the miner.
     pub fn with_cache(mut self, cache: Arc<RealizationCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches a shared pattern interner (ids then stay comparable across
+    /// every miner sharing it — required when sharing a realization cache).
+    pub fn with_pattern_interner(mut self, interner: Arc<PatternInterner>) -> Self {
+        self.interner = interner;
+        self
+    }
+
+    /// Attaches a shared work pool: intra-window candidate evaluation and
+    /// entity preprocessing then fan out over it (subject to
+    /// [`MinerConfig::intra_window_threads`]). The window-level driver
+    /// shares one pool between window tasks and intra-window tasks.
+    pub fn with_pool(mut self, pool: Arc<MiningPool>) -> Self {
+        self.pool = Some(pool);
         self
     }
 
@@ -232,11 +295,29 @@ impl<'a> WindowMiner<'a> {
         self
     }
 
-    /// Attaches whatever caches `caches` carries (either may be absent).
+    /// Attaches whatever caches `caches` carries (either cache may be
+    /// absent; the pattern interner is always present and keeps the
+    /// realization-cache/interner pairing consistent across miners).
     pub fn with_caches(mut self, caches: crate::cache::MiningCaches) -> Self {
         self.cache = caches.realizations;
         self.action_cache = caches.actions;
+        self.interner = caches.patterns;
         self
+    }
+
+    /// The intra-window pool for this run: `intra_window_threads == 1`
+    /// disables intra-window parallelism, `0` (auto) uses the attached pool
+    /// when there is one, and `n > 1` spins up a dedicated pool when none
+    /// is attached.
+    fn intra_pool(&self) -> Option<Arc<MiningPool>> {
+        match self.config.intra_window_threads {
+            1 => None,
+            0 => self.pool.clone(),
+            n => self
+                .pool
+                .clone()
+                .or_else(|| Some(Arc::new(MiningPool::new(n)))),
+        }
     }
 
     /// The configuration in use.
@@ -253,10 +334,11 @@ impl<'a> WindowMiner<'a> {
             ExpansionMode::Incremental,
             "use mine_window_materialized for ExpansionMode::Materialized"
         );
+        let pool = self.intra_pool();
         let mut state = MineState::new();
         // Line 1: fetch + reduce + abstract the seed entities' actions.
-        self.load_entities(&mut state, self.universe.entities_of(seed), window);
-        self.run_expansion(state, seed, window, false)
+        self.load_entities(&mut state, self.universe.entities_of(seed), window, pool.as_deref());
+        self.run_expansion(state, seed, window, false, pool.as_deref())
     }
 
     /// The `PM−inc` entry point: the caller supplies the full entity set of
@@ -269,42 +351,64 @@ impl<'a> WindowMiner<'a> {
         window: &Window,
         entities: impl IntoIterator<Item = EntityId>,
     ) -> WindowResult {
+        let pool = self.intra_pool();
         let mut state = MineState::new();
-        self.load_entities(&mut state, entities, window);
-        self.run_expansion(state, seed, window, true)
+        self.load_entities(&mut state, entities, window, pool.as_deref());
+        self.run_expansion(state, seed, window, true, pool.as_deref())
+    }
+
+    /// Fetches and extracts one entity's actions — through the shared
+    /// preprocessing cache when attached (errors take the same degraded
+    /// path either way and are never cached). Pure per entity, so a batch
+    /// of extractions can run in any order on the pool.
+    fn extract_entity(&self, e: EntityId, window: &Window) -> Extracted {
+        match &self.action_cache {
+            Some(cache) => cache
+                .extract(self.source, self.universe, e, window)
+                .map(|(outcome, lookup)| (outcome, Some(lookup))),
+            None => try_extract_actions(self.source, self.universe, e, window)
+                .map(|outcome| (Arc::new(outcome), None)),
+        }
     }
 
     /// Fetches, extracts, reduces and abstracts the actions of `entities`
-    /// within `window`, extending the per-shape row store.
+    /// within `window`, extending the per-shape row store. Extraction fans
+    /// out over `pool` when one is attached; all bookkeeping (counters,
+    /// degraded-coverage records, row-store appends) folds the results back
+    /// in entity order, so output is identical to a sequential load.
     fn load_entities(
         &self,
         state: &mut MineState,
         entities: impl IntoIterator<Item = EntityId>,
         window: &Window,
+        pool: Option<&MiningPool>,
     ) {
         let t0 = Instant::now();
         let tax = self.universe.taxonomy();
-        for e in entities {
-            if !state.fetched_entities.insert(e) {
-                continue;
+        let todo: Vec<EntityId> = entities
+            .into_iter()
+            .filter(|e| state.fetched_entities.insert(*e))
+            .collect();
+        let extracted: Vec<Extracted> = match pool {
+            Some(pool) if todo.len() > 1 && pool.width() > 1 => {
+                pool.map(&todo, |&e| self.extract_entity(e, window))
             }
-            // Through the shared preprocessing cache when attached (errors
-            // take the same degraded path either way and are never cached).
-            let extracted = match &self.action_cache {
-                Some(cache) => cache
-                    .extract(self.source, self.universe, e, window)
-                    .map(|(outcome, lookup)| {
-                        match lookup {
-                            CacheLookup::Hit => state.stats.action_cache_hits += 1,
-                            CacheLookup::Composed => state.stats.action_cache_composed += 1,
-                            CacheLookup::Miss => state.stats.action_cache_misses += 1,
-                        }
-                        outcome
-                    }),
-                None => try_extract_actions(self.source, self.universe, e, window).map(Arc::new),
-            };
+            _ => todo
+                .iter()
+                .map(|&e| self.extract_entity(e, window))
+                .collect(),
+        };
+        for (&e, extracted) in todo.iter().zip(extracted) {
             let outcome = match extracted {
-                Ok(outcome) => outcome,
+                Ok((outcome, lookup)) => {
+                    match lookup {
+                        Some(CacheLookup::Hit) => state.stats.action_cache_hits += 1,
+                        Some(CacheLookup::Composed) => state.stats.action_cache_composed += 1,
+                        Some(CacheLookup::Miss) => state.stats.action_cache_misses += 1,
+                        None => {}
+                    }
+                    outcome
+                }
                 Err(err) => {
                     // Degrade, don't die: the entity contributes nothing to
                     // this window, and the loss is reported in the result.
@@ -355,18 +459,39 @@ impl<'a> WindowMiner<'a> {
         seed: TypeId,
         window: &Window,
         materialized: bool,
+        pool: Option<&MiningPool>,
     ) -> WindowResult {
         let t0 = Instant::now();
         let mut nodes: Vec<Node> = Vec::new();
-        let mut found: HashMap<Pattern, usize> = HashMap::new();
-        let mut tested: HashSet<(Pattern, Shape)> = HashSet::new();
+        let mut found: HashSet<PatternId> = HashSet::new();
+        let mut tested: HashSet<(PatternId, Shape)> = HashSet::new();
 
         // Line 2: frequent singleton patterns.
         self.seed_singletons(&mut state, seed, &mut nodes, &mut found, materialized);
 
         // Lines 4–15: interleave type fetching with pattern expansion.
         loop {
-            self.expand_fixpoint(&mut state, seed, window, &mut nodes, &mut found, &mut tested);
+            {
+                let MineState {
+                    rows,
+                    stats,
+                    fetched_types,
+                    ..
+                } = &mut state;
+                let fetched: BTreeSet<TypeId> = fetched_types.iter().copied().collect();
+                self.expand_generations(
+                    rows,
+                    stats,
+                    seed,
+                    Some((window, &fetched)),
+                    pool,
+                    &mut nodes,
+                    &mut found,
+                    &mut tested,
+                    &|_support, _parent_support, freq, _| freq,
+                    self.config.tau,
+                );
+            }
             if materialized {
                 break; // everything was loaded up front
             }
@@ -385,7 +510,7 @@ impl<'a> WindowMiner<'a> {
             let t_mine = t0.elapsed();
             for ty in new_types {
                 state.fetched_types.insert(ty);
-                self.load_entities(&mut state, self.universe.entities_of(ty), window);
+                self.load_entities(&mut state, self.universe.entities_of(ty), window, pool);
             }
             // `load_entities` accrues into preprocess; keep mine timing by
             // subtracting later — simplest is to track mine as total minus
@@ -414,16 +539,14 @@ impl<'a> WindowMiner<'a> {
 
         // Relative frequent patterns, mined from each most specific pattern.
         if self.config.mine_relative {
-            for i in 0..patterns.len() {
-                if !patterns[i].most_specific {
+            for p in &mut patterns {
+                if !p.most_specific {
                     continue;
                 }
-                let rels = self.mine_relative(&state, seed, &patterns[i], &mut tested);
-                // `tested` is shared so absolute-phase pairs are not redone,
-                // but counters accrue into the same stats.
+                let rels = self.mine_relative(&state, seed, p, pool);
                 state.stats.candidates_considered += rels.1;
                 state.stats.joins_executed += rels.2;
-                patterns[i].rel_patterns = rels.0;
+                p.rel_patterns = rels.0;
             }
         }
 
@@ -454,7 +577,7 @@ impl<'a> WindowMiner<'a> {
         state: &mut MineState,
         seed: TypeId,
         nodes: &mut Vec<Node>,
-        found: &mut HashMap<Pattern, usize>,
+        found: &mut HashSet<PatternId>,
         materialized: bool,
     ) {
         state.fetched_types.insert(seed);
@@ -483,10 +606,10 @@ impl<'a> WindowMiner<'a> {
             let support = support_count(&table, 0, seed, self.universe);
             let freq = frequency(&table, 0, seed, self.universe);
             if freq >= self.config.tau {
-                let canonical = wp.canonical();
-                if !found.contains_key(&canonical) {
-                    found.insert(canonical.clone(), nodes.len());
+                let (id, canonical) = self.interner.intern_working(&wp);
+                if found.insert(id) {
                     nodes.push(Node {
+                        id,
                         wp,
                         canonical,
                         table,
@@ -498,241 +621,279 @@ impl<'a> WindowMiner<'a> {
         }
     }
 
-    /// Expands every (pattern, shape) pair not yet tested, until no new
-    /// frequent pattern emerges (Algorithm 1 lines 9–14).
-    fn expand_fixpoint(
-        &self,
-        state: &mut MineState,
-        seed: TypeId,
-        window: &Window,
-        nodes: &mut Vec<Node>,
-        found: &mut HashMap<Pattern, usize>,
-        tested: &mut HashSet<(Pattern, Shape)>,
-    ) {
-        let MineState {
-            rows,
-            stats,
-            fetched_types,
-            ..
-        } = state;
-        let fetched: BTreeSet<TypeId> = fetched_types.iter().copied().collect();
-        let mut shapes: Vec<Shape> = rows.keys().copied().collect();
-        shapes.sort();
-        let mut i = 0;
-        while i < nodes.len() {
-            for &shape in &shapes {
-                let key = (nodes[i].canonical.clone(), shape);
-                if tested.contains(&key) {
-                    continue;
-                }
-                tested.insert(key);
-                self.try_extensions(
-                    rows,
-                    stats,
-                    seed,
-                    Some((window, &fetched)),
-                    i,
-                    shape,
-                    nodes,
-                    |_support, _parent_support, freq, _| freq,
-                    self.config.tau,
-                    found,
-                );
-            }
-            i += 1;
-        }
-    }
-
-    /// Attempts every gluing of `shape` onto `nodes[ni]`; extensions whose
-    /// score (computed by `score(support, parent_support, freq, rel)`)
-    /// meets `threshold` are added to `nodes`/`found`. Returns the number
-    /// of accepted extensions.
+    /// Grows the frontier generation by generation until no new frequent
+    /// pattern emerges (Algorithm 1 lines 9–14).
+    ///
+    /// Each generation serially collects every untested `(node, shape)`
+    /// gluing into an ordered spec list, evaluates the specs — the
+    /// join-and-count tasks, independent given the frozen frontier — on
+    /// `pool` when one is attached (sequentially otherwise), and merges the
+    /// results serially in spec order, appending accepted nodes sorted by
+    /// canonical pattern value. Output is byte-identical at any thread
+    /// count because the pool only decides *where* a spec is evaluated.
     #[allow(clippy::too_many_arguments)]
-    fn try_extensions(
+    fn expand_generations(
         &self,
         rows: &HashMap<Shape, Vec<(EntityId, EntityId)>>,
         stats: &mut MineStats,
         seed: TypeId,
         cache_ctx: Option<(&Window, &BTreeSet<TypeId>)>,
-        ni: usize,
-        shape: Shape,
+        pool: Option<&MiningPool>,
         nodes: &mut Vec<Node>,
-        score: impl Fn(usize, usize, f64, f64) -> f64,
+        found: &mut HashSet<PatternId>,
+        tested: &mut HashSet<(PatternId, Shape)>,
+        score: &dyn Fn(usize, usize, f64, f64) -> f64,
         threshold: f64,
-        found: &mut HashMap<Pattern, usize>,
-    ) -> usize {
-        let (op, s, r, t) = shape;
-        let parent_support = nodes[ni].support;
-        let wp = nodes[ni].wp.clone();
-        if wp.len() >= self.config.max_pattern_actions {
-            return 0;
-        }
-        let vars = wp.vars();
-        let mut accepted = 0;
-
-        // Candidate gluings: the action's source must glue onto an existing
-        // same-type variable (this preserves connectivity by construction).
-        let tax = self.universe.taxonomy();
-        for &vs in vars.iter().filter(|v| v.ty == s) {
-            // (a) target as a fresh variable. The per-type cap counts
-            // *comparable*-type variables: otherwise a pattern needing
-            // three same-family variables would sneak in as a mixed
-            // abstraction-level variant (two at the leaf, one lifted) and
-            // escape the most-specific filter.
-            let fresh_ok = vars
-                .iter()
-                .filter(|v| tax.is_subtype(v.ty, t) || tax.is_subtype(t, v.ty))
-                .count()
-                < self.config.max_vars_per_type as usize;
-            if fresh_ok {
-                let vt = Var::new(t, wp.next_index(t));
-                let action = AbstractAction::new(op, vs, r, vt);
-                if !wp.contains(&action) {
-                    accepted += self.test_candidate(
-                        rows,
-                        stats,
-                        seed,
-                        cache_ctx,
-                        ni,
-                        action,
-                        true,
-                        nodes,
-                        &score,
-                        threshold,
-                        parent_support,
-                        found,
-                    );
-                }
+    ) {
+        let mut shapes: Vec<Shape> = rows.keys().copied().collect();
+        shapes.sort();
+        let mut frontier = 0..nodes.len();
+        while !frontier.is_empty() {
+            let specs = self.collect_specs(&shapes, nodes, frontier.clone(), tested);
+            if specs.is_empty() {
+                break;
             }
-            // (b) target glued onto each existing same-type variable.
-            for &vt in vars.iter().filter(|v| v.ty == t && **v != vs) {
-                let action = AbstractAction::new(op, vs, r, vt);
-                if wp.contains(&action) {
-                    continue;
+            let start = nodes.len();
+            let outcomes: Vec<EvalOutcome> = {
+                let frozen: &[Node] = nodes;
+                let known: &HashSet<PatternId> = found;
+                match pool {
+                    Some(pool) if specs.len() > 1 && pool.width() > 1 => {
+                        pool.map(&specs, |spec| {
+                            self.evaluate_candidate(rows, frozen, known, seed, cache_ctx, spec)
+                        })
+                    }
+                    _ => specs
+                        .iter()
+                        .map(|spec| {
+                            self.evaluate_candidate(rows, frozen, known, seed, cache_ctx, spec)
+                        })
+                        .collect(),
                 }
-                accepted += self.test_candidate(
-                    rows,
-                    stats,
-                    seed,
-                    cache_ctx,
-                    ni,
-                    action,
-                    false,
-                    nodes,
-                    &score,
-                    threshold,
-                    parent_support,
-                    found,
-                );
-            }
+            };
+            self.merge_generation(
+                stats, cache_ctx, &specs, outcomes, nodes, found, score, threshold,
+            );
+            frontier = start..nodes.len();
         }
-        accepted
     }
 
-    /// Joins one candidate extension, tests its score, and stores it if it
-    /// qualifies. Returns 1 if accepted.
-    #[allow(clippy::too_many_arguments)]
-    fn test_candidate(
+    /// Serially enumerates every untested gluing of every shape onto the
+    /// frontier nodes, in deterministic order (node index, then sorted
+    /// shape, then source variable, fresh target before glued targets) —
+    /// the order the sequential engine would test them in.
+    fn collect_specs(
+        &self,
+        shapes: &[Shape],
+        nodes: &[Node],
+        frontier: std::ops::Range<usize>,
+        tested: &mut HashSet<(PatternId, Shape)>,
+    ) -> Vec<CandidateSpec> {
+        let tax = self.universe.taxonomy();
+        let mut specs = Vec::new();
+        for ni in frontier {
+            let node = &nodes[ni];
+            for &shape in shapes {
+                if !tested.insert((node.id, shape)) {
+                    continue;
+                }
+                if node.wp.len() >= self.config.max_pattern_actions {
+                    continue;
+                }
+                let (op, s, r, t) = shape;
+                let vars = node.wp.vars();
+                // Candidate gluings: the action's source must glue onto an
+                // existing same-type variable (this preserves connectivity
+                // by construction).
+                for &vs in vars.iter().filter(|v| v.ty == s) {
+                    // (a) target as a fresh variable. The per-type cap
+                    // counts *comparable*-type variables: otherwise a
+                    // pattern needing three same-family variables would
+                    // sneak in as a mixed abstraction-level variant (two at
+                    // the leaf, one lifted) and escape the most-specific
+                    // filter.
+                    let fresh_ok = vars
+                        .iter()
+                        .filter(|v| tax.is_subtype(v.ty, t) || tax.is_subtype(t, v.ty))
+                        .count()
+                        < self.config.max_vars_per_type as usize;
+                    if fresh_ok {
+                        let vt = Var::new(t, node.wp.next_index(t));
+                        let action = AbstractAction::new(op, vs, r, vt);
+                        if !node.wp.contains(&action) {
+                            specs.push(CandidateSpec {
+                                parent: ni,
+                                action,
+                                target_is_new: true,
+                            });
+                        }
+                    }
+                    // (b) target glued onto each existing same-type variable.
+                    for &vt in vars.iter().filter(|v| v.ty == t && **v != vs) {
+                        let action = AbstractAction::new(op, vs, r, vt);
+                        if !node.wp.contains(&action) {
+                            specs.push(CandidateSpec {
+                                parent: ni,
+                                action,
+                                target_is_new: false,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        specs
+    }
+
+    /// Evaluates one candidate extension against the frozen frontier: joins
+    /// its realization table (or takes the cache fast path) and counts
+    /// support. Takes no mutable state, so a generation's specs can run in
+    /// any order on any thread.
+    fn evaluate_candidate(
         &self,
         rows_map: &HashMap<Shape, Vec<(EntityId, EntityId)>>,
-        stats: &mut MineStats,
+        nodes: &[Node],
+        found: &HashSet<PatternId>,
         seed: TypeId,
         cache_ctx: Option<(&Window, &BTreeSet<TypeId>)>,
-        ni: usize,
-        action: AbstractAction,
-        target_is_new: bool,
-        nodes: &mut Vec<Node>,
-        score: &impl Fn(usize, usize, f64, f64) -> f64,
-        threshold: f64,
-        parent_support: usize,
-        found: &mut HashMap<Pattern, usize>,
-    ) -> usize {
-        stats.candidates_considered += 1;
-        let ext = nodes[ni].wp.extended_with(action);
-        let canonical = ext.canonical();
-        if found.contains_key(&canonical) {
-            return 0;
+        spec: &CandidateSpec,
+    ) -> EvalOutcome {
+        let parent = &nodes[spec.parent];
+        let ext = parent.wp.extended_with(spec.action);
+        let (id, canonical) = self.interner.intern_working(&ext);
+        if found.contains(&id) {
+            return EvalOutcome::Known;
         }
 
         // Cache fast path: the same candidate computed in an earlier
         // refinement iteration under the same fetched-type set.
         if let (Some(cache), Some((window, fetched))) = (&self.cache, cache_ctx) {
-            if let Some((table, support, freq)) = cache.get(window, &canonical, fetched) {
-                stats.cache_hits += 1;
-                let rel = relative_frequency(support, parent_support);
-                if score(support, parent_support, freq, rel) >= threshold && support > 0 {
-                    found.insert(canonical.clone(), nodes.len());
-                    nodes.push(Node {
-                        wp: ext,
-                        canonical,
-                        table,
-                        support,
-                        freq,
-                    });
-                    return 1;
-                }
-                return 0;
+            if let Some((table, support, freq)) = cache.get(window, id, fetched) {
+                return EvalOutcome::Done(Box::new(Evaluated {
+                    id,
+                    canonical,
+                    ext,
+                    table,
+                    support,
+                    freq,
+                    via_cache: true,
+                }));
             }
-            stats.cache_misses += 1;
         }
 
         // Build the right-hand (action) relation.
-        let shape = action.shape();
+        let shape = spec.action.shape();
         let rows = &rows_map[&shape];
-        let right = action_realizations(&action, rows, self.universe);
+        let right = action_realizations(&spec.action, rows, self.universe);
 
         // Glue spec: source always glued; target glued or new.
-        let left_cols = nodes[ni].wp.column_names();
-        let src_col = crate::realization::column_of(&left_cols, action.source);
-        let tgt_glue = if target_is_new {
+        let left_cols = parent.wp.column_names();
+        let src_col = crate::realization::column_of(&left_cols, spec.action.source);
+        let tgt_glue = if spec.target_is_new {
             // Inequality against every existing variable of a comparable
             // type (distinct variables ⇒ distinct entities).
             let tax = self.universe.taxonomy();
-            let distinct_from: Vec<usize> = nodes[ni]
+            let distinct_from: Vec<usize> = parent
                 .wp
                 .vars()
                 .iter()
                 .enumerate()
                 .filter(|(_, v)| {
-                    tax.is_subtype(v.ty, action.target.ty) || tax.is_subtype(action.target.ty, v.ty)
+                    tax.is_subtype(v.ty, spec.action.target.ty)
+                        || tax.is_subtype(spec.action.target.ty, v.ty)
                 })
                 .map(|(i, _)| i)
                 .collect();
             ColumnGlue::New {
-                name: action.target.column_name(),
+                name: spec.action.target.column_name(),
                 distinct_from,
             }
         } else {
-            ColumnGlue::Glued(crate::realization::column_of(&left_cols, action.target))
+            ColumnGlue::Glued(crate::realization::column_of(&left_cols, spec.action.target))
         };
         let glue = vec![ColumnGlue::Glued(src_col), tgt_glue];
 
-        stats.joins_executed += 1;
         let mut table = match self.config.join_impl {
-            JoinImpl::Hash => join_glue(&nodes[ni].table, &right, &glue),
-            JoinImpl::NestedLoop => join_glue_nested(&nodes[ni].table, &right, &glue),
-            JoinImpl::SortMerge => join_glue_sort_merge(&nodes[ni].table, &right, &glue),
+            JoinImpl::Hash => join_glue(&parent.table, &right, &glue),
+            JoinImpl::NestedLoop => join_glue_nested(&parent.table, &right, &glue),
+            JoinImpl::SortMerge => join_glue_sort_merge(&parent.table, &right, &glue),
         };
         table.dedup();
 
         let support = support_count(&table, 0, seed, self.universe);
         let freq = frequency(&table, 0, seed, self.universe);
-        if let (Some(cache), Some((window, fetched))) = (&self.cache, cache_ctx) {
-            cache.put(window, &canonical, fetched, &table, support, freq);
+        EvalOutcome::Done(Box::new(Evaluated {
+            id,
+            canonical,
+            ext,
+            table,
+            support,
+            freq,
+            via_cache: false,
+        }))
+    }
+
+    /// Folds one generation's evaluation results back into the frontier,
+    /// serially in spec order: counters accrue per spec, within-generation
+    /// duplicate canonicals collapse to their first occurrence, and
+    /// accepted nodes are appended sorted by canonical pattern *value*
+    /// (never by [`PatternId`] — ids depend on thread interleaving).
+    #[allow(clippy::too_many_arguments)]
+    fn merge_generation(
+        &self,
+        stats: &mut MineStats,
+        cache_ctx: Option<(&Window, &BTreeSet<TypeId>)>,
+        specs: &[CandidateSpec],
+        outcomes: Vec<EvalOutcome>,
+        nodes: &mut Vec<Node>,
+        found: &mut HashSet<PatternId>,
+        score: &dyn Fn(usize, usize, f64, f64) -> f64,
+        threshold: f64,
+    ) {
+        let cache_active = self.cache.is_some() && cache_ctx.is_some();
+        let mut seen: HashSet<PatternId> = HashSet::new();
+        let mut accepted: Vec<Node> = Vec::new();
+        for (spec, outcome) in specs.iter().zip(outcomes) {
+            stats.candidates_considered += 1;
+            let ev = match outcome {
+                EvalOutcome::Known => continue,
+                EvalOutcome::Done(ev) => ev,
+            };
+            // Count the work that was actually done — within-generation
+            // duplicates were each evaluated against the frozen frontier.
+            if ev.via_cache {
+                stats.cache_hits += 1;
+            } else {
+                if cache_active {
+                    stats.cache_misses += 1;
+                }
+                stats.joins_executed += 1;
+            }
+            if !seen.insert(ev.id) {
+                continue;
+            }
+            if !ev.via_cache {
+                if let (Some(cache), Some((window, fetched))) = (&self.cache, cache_ctx) {
+                    cache.put(window, ev.id, fetched, &ev.table, ev.support, ev.freq);
+                }
+            }
+            let parent_support = nodes[spec.parent].support;
+            let rel = relative_frequency(ev.support, parent_support);
+            if score(ev.support, parent_support, ev.freq, rel) >= threshold && ev.support > 0 {
+                accepted.push(Node {
+                    id: ev.id,
+                    wp: ev.ext,
+                    canonical: ev.canonical,
+                    table: ev.table,
+                    support: ev.support,
+                    freq: ev.freq,
+                });
+            }
         }
-        let rel = relative_frequency(support, parent_support);
-        if score(support, parent_support, freq, rel) >= threshold && support > 0 {
-            found.insert(canonical.clone(), nodes.len());
-            nodes.push(Node {
-                wp: ext,
-                canonical,
-                table,
-                support,
-                freq,
-            });
-            1
-        } else {
-            0
+        accepted.sort_by(|a, b| a.canonical.cmp(&b.canonical));
+        for node in accepted {
+            found.insert(node.id);
+            nodes.push(node);
         }
     }
 
@@ -745,60 +906,51 @@ impl<'a> WindowMiner<'a> {
         state: &MineState,
         seed: TypeId,
         parent: &FoundPattern,
-        tested: &mut HashSet<(Pattern, Shape)>,
+        pool: Option<&MiningPool>,
     ) -> (Vec<RelPattern>, usize, usize) {
         let rows = &state.rows;
         let mut stats = MineStats::default();
 
+        let pid = self.interner.intern(&parent.pattern);
         let mut nodes = vec![Node {
+            id: pid,
             wp: parent.working.clone(),
             canonical: parent.pattern.clone(),
             table: parent.table.clone(),
             support: parent.support,
             freq: parent.frequency,
         }];
-        let mut found: HashMap<Pattern, usize> = HashMap::new();
-        found.insert(parent.pattern.clone(), 0);
+        let mut found: HashSet<PatternId> = HashSet::from([pid]);
+        // Fresh per-parent tested set — the absolute phase's pairs are
+        // deliberately retried here: extensions that failed τ were
+        // discarded there but may clear τ_rel now.
+        let mut tested: HashSet<(PatternId, Shape)> = HashSet::new();
 
         let parent_support = parent.support;
-        let mut shapes: Vec<Shape> = rows.keys().copied().collect();
-        shapes.sort();
         if std::env::var_os("WICLEAN_TRACE").is_some() {
             eprintln!(
                 "[rel] parent support={} len={} shapes={} tau_rel={}",
                 parent_support,
                 parent.working.len(),
-                shapes.len(),
+                rows.len(),
                 self.config.tau_rel
             );
         }
-        // Note: the absolute phase's `tested` set is deliberately ignored
-        // here — extensions that failed τ were discarded there but may
-        // clear τ_rel now.
-        let _ = tested;
 
-        let mut i = 0;
-        while i < nodes.len() {
-            for &shape in &shapes {
-                self.try_extensions(
-                    rows,
-                    &mut stats,
-                    seed,
-                    None,
-                    i,
-                    shape,
-                    &mut nodes,
-                    // rel-frequency score: child support is always measured
-                    // against the *original* parent.
-                    |support, _ignored, _freq, _| {
-                        relative_frequency(support, parent_support)
-                    },
-                    self.config.tau_rel,
-                    &mut found,
-                );
-            }
-            i += 1;
-        }
+        self.expand_generations(
+            rows,
+            &mut stats,
+            seed,
+            None,
+            pool,
+            &mut nodes,
+            &mut found,
+            &mut tested,
+            // rel-frequency score: child support is always measured
+            // against the *original* parent.
+            &|support, _ignored, _freq, _| relative_frequency(support, parent_support),
+            self.config.tau_rel,
+        );
 
         // Most specific among the relative patterns (excluding the parent).
         let rel_nodes: Vec<&Node> = nodes.iter().skip(1).collect();
@@ -910,7 +1062,7 @@ impl<'a> WindowMiner<'a> {
         &self,
         entities: impl IntoIterator<Item = EntityId>,
         window: &Window,
-    ) -> (HashMap<Shape, Vec<(EntityId, EntityId)>>, MineStats) {
+    ) -> (ShapeRows, MineStats) {
         let (rows, stats, _degraded) = self.load_shape_rows_degraded(entities, window);
         (rows, stats)
     }
@@ -922,13 +1074,10 @@ impl<'a> WindowMiner<'a> {
         &self,
         entities: impl IntoIterator<Item = EntityId>,
         window: &Window,
-    ) -> (
-        HashMap<Shape, Vec<(EntityId, EntityId)>>,
-        MineStats,
-        DegradedCoverage,
-    ) {
+    ) -> (ShapeRows, MineStats, DegradedCoverage) {
+        let pool = self.intra_pool();
         let mut state = MineState::new();
-        self.load_entities(&mut state, entities, window);
+        self.load_entities(&mut state, entities, window, pool.as_deref());
         let mut degraded = state.degraded;
         degraded.normalize();
         (state.rows, state.stats, degraded)

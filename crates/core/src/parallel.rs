@@ -4,23 +4,25 @@
 //! WiClean restricts itself to non-overlapping windows precisely so that
 //! the per-window action sets — and hence the mining runs — are
 //! independent (paper §4.3); "this is easily exploitable in a multi-core
-//! setting" (§6.2, Figure 4(d)). Windows are distributed over a scoped
-//! thread pool through an atomic work index.
+//! setting" (§6.2, Figure 4(d)). Windows are distributed as one batch over
+//! a [`MiningPool`] sized by the run's `threads` knob — the *same* pool the
+//! miners' intra-window candidate evaluation fans out on, so a run with a
+//! single window still saturates every core (two-level parallelism).
 //!
 //! A panicking worker must not take the run down with it: each window is
 //! mined under [`std::panic::catch_unwind`], so one poisoned window
 //! surfaces as an explicit [`WindowFailure`] while every other window's
-//! result survives. (The shared state — atomic index, `parking_lot`
-//! mutex, realization cache — is lock-free or non-poisoning, so observing
-//! it after a caught panic is sound.)
+//! result survives. (The shared state — pool batches, `parking_lot`
+//! caches, the pattern interner — is lock-free or non-poisoning, so
+//! observing it after a caught panic is sound.)
 
 use crate::cache::MiningCaches;
 use crate::config::MinerConfig;
 use crate::miner::{WindowMiner, WindowResult};
-use parking_lot::Mutex;
+use crate::pool::MiningPool;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use wiclean_revstore::FetchSource;
 use wiclean_types::{TypeId, Universe, Window};
 
@@ -30,78 +32,91 @@ use wiclean_types::{TypeId, Universe, Window};
 pub struct WindowFailure {
     /// The window that could not be mined.
     pub window: Window,
+    /// The seed type the failed run was mining for.
+    pub seed: TypeId,
     /// The worker's panic message.
     pub panic: String,
 }
 
 impl fmt::Display for WindowFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "window {} failed: {}", self.window, self.panic)
+        write!(
+            f,
+            "window {} (seed type {}) failed: {}",
+            self.window,
+            self.seed.as_u32(),
+            self.panic
+        )
     }
 }
 
+/// Renders a caught panic payload. `panic!("...")` yields `&str` or
+/// `String`, but `panic_any` can carry anything — common scalar payloads
+/// are rendered by value, and everything else at least reports its type
+/// instead of being swallowed.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    let payload = match payload.downcast::<String>() {
+        Ok(s) => return *s,
+        Err(p) => p,
+    };
     if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+        return (*s).to_string();
     }
+    if let Some(s) = payload.downcast_ref::<std::borrow::Cow<'static, str>>() {
+        return s.to_string();
+    }
+    macro_rules! try_scalar {
+        ($($ty:ty),*) => {
+            $(if let Some(v) = payload.downcast_ref::<$ty>() {
+                return format!("non-string panic payload ({}): {v}", stringify!($ty));
+            })*
+        };
+    }
+    try_scalar!(i32, i64, u32, u64, usize, isize, f64, bool, char);
+    format!("non-string panic payload (type id {:?})", (*payload).type_id())
 }
 
-/// Runs `mine` over every window on `threads` workers (1 = sequential on
-/// the calling thread), isolating per-window panics. Results are returned
-/// in window order; a panicked window yields `Err(WindowFailure)` and
-/// leaves every other window's result intact.
+/// Runs `mine` over every window on a fresh [`MiningPool`] with `threads`
+/// total width (1 = sequential on the calling thread), isolating
+/// per-window panics. Results are returned in window order; a panicked
+/// window yields `Err(WindowFailure)` carrying `seed` and leaves every
+/// other window's result intact.
 ///
 /// Generic over the mining closure so tests (and embedders with custom
 /// per-window work) can inject faults; the mining entry points below pass
-/// [`WindowMiner::mine_window`].
+/// [`WindowMiner::mine_window`]. To share one pool between the window
+/// level and the miners' intra-window evaluation (or across Algorithm 2
+/// iterations), build the pool yourself and use [`run_windows_on_pool`].
 pub fn run_windows_checked(
     windows: &[Window],
+    seed: TypeId,
     threads: usize,
     mine: impl Fn(&Window) -> WindowResult + Sync,
 ) -> Vec<Result<WindowResult, WindowFailure>> {
     assert!(threads >= 1, "need at least one worker");
+    let pool = MiningPool::new(threads);
+    run_windows_on_pool(windows, seed, &pool, mine)
+}
+
+/// [`run_windows_checked`] on a caller-owned pool: window tasks are one
+/// batch on `pool`, and nested intra-window batches submitted by miners
+/// holding the same pool interleave with them (work stealing).
+pub fn run_windows_on_pool(
+    windows: &[Window],
+    seed: TypeId,
+    pool: &MiningPool,
+    mine: impl Fn(&Window) -> WindowResult + Sync,
+) -> Vec<Result<WindowResult, WindowFailure>> {
     if windows.is_empty() {
         return Vec::new();
     }
-
-    let run_one = |w: &Window| -> Result<WindowResult, WindowFailure> {
+    pool.map(windows, |w| {
         catch_unwind(AssertUnwindSafe(|| mine(w))).map_err(|payload| WindowFailure {
             window: *w,
+            seed,
             panic: panic_message(payload),
         })
-    };
-
-    let workers = threads.min(windows.len());
-    if workers == 1 {
-        return windows.iter().map(run_one).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<Result<WindowResult, WindowFailure>>>> =
-        Mutex::new((0..windows.len()).map(|_| None).collect());
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= windows.len() {
-                    break;
-                }
-                let result = run_one(&windows[i]);
-                results.lock()[i] = Some(result);
-            });
-        }
-    });
-
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every window attempted"))
-        .collect()
+    })
 }
 
 /// Mines every window in `windows` w.r.t. `seed`, fanning the independent
@@ -178,8 +193,30 @@ pub fn mine_windows_parallel_cached_checked(
     threads: usize,
     caches: MiningCaches,
 ) -> Vec<Result<WindowResult, WindowFailure>> {
-    let miner = WindowMiner::new(source, universe, config).with_caches(caches);
-    run_windows_checked(windows, threads, |w| miner.mine_window(seed, w))
+    assert!(threads >= 1, "need at least one worker");
+    let pool = Arc::new(MiningPool::new(threads));
+    mine_windows_on_pool(source, universe, seed, windows, config, caches, &pool)
+}
+
+/// [`mine_windows_parallel_cached_checked`] on a caller-owned pool —
+/// Algorithm 2 builds one pool and reuses it across every refinement
+/// iteration. One pool serves both levels: window tasks are a batch on it,
+/// and each miner (holding the same pool) nests its candidate-evaluation
+/// batches into it, so a single slow window spreads over every idle worker.
+#[allow(clippy::too_many_arguments)]
+pub fn mine_windows_on_pool(
+    source: &dyn FetchSource,
+    universe: &Universe,
+    seed: TypeId,
+    windows: &[Window],
+    config: MinerConfig,
+    caches: MiningCaches,
+    pool: &Arc<MiningPool>,
+) -> Vec<Result<WindowResult, WindowFailure>> {
+    let miner = WindowMiner::new(source, universe, config)
+        .with_caches(caches)
+        .with_pool(Arc::clone(pool));
+    run_windows_on_pool(windows, seed, pool, |w| miner.mine_window(seed, w))
 }
 
 #[cfg(test)]
@@ -255,7 +292,7 @@ mod tests {
         let poison = windows[1];
 
         let miner = WindowMiner::new(&fx.store, &fx.universe, fx.config());
-        let out = run_windows_checked(&windows, 4, |w| {
+        let out = run_windows_checked(&windows, fx.player_ty, 4, |w| {
             if *w == poison {
                 panic!("injected worker fault");
             }
@@ -275,6 +312,7 @@ mod tests {
             if windows[i] == poison {
                 let failure = r.as_ref().expect_err("poisoned window must fail");
                 assert_eq!(failure.window, poison);
+                assert_eq!(failure.seed, fx.player_ty);
                 assert!(failure.panic.contains("injected worker fault"));
             } else {
                 // Every healthy window's result is intact and identical to
@@ -293,11 +331,57 @@ mod tests {
     fn sequential_path_also_isolates_panics() {
         let fx = soccer_fixture();
         let windows = [fx.window];
-        let out = run_windows_checked(&windows, 1, |_w| -> crate::miner::WindowResult {
-            panic!("boom {}", 42)
-        });
+        let out =
+            run_windows_checked(&windows, fx.player_ty, 1, |_w| -> crate::miner::WindowResult {
+                panic!("boom {}", 42)
+            });
         assert_eq!(out.len(), 1);
         let failure = out[0].as_ref().unwrap_err();
         assert!(failure.panic.contains("boom 42"));
+        assert_eq!(failure.seed, fx.player_ty);
+    }
+
+    #[test]
+    fn non_string_panic_payloads_are_not_swallowed() {
+        let fx = soccer_fixture();
+        let windows = [fx.window];
+
+        let out =
+            run_windows_checked(&windows, fx.player_ty, 1, |_w| -> crate::miner::WindowResult {
+                std::panic::panic_any(17usize)
+            });
+        let failure = out[0].as_ref().unwrap_err();
+        assert!(
+            failure.panic.contains("17") && failure.panic.contains("usize"),
+            "scalar payload must be rendered by value, got: {}",
+            failure.panic
+        );
+
+        let out =
+            run_windows_checked(&windows, fx.player_ty, 1, |_w| -> crate::miner::WindowResult {
+                std::panic::panic_any(std::borrow::Cow::<'static, str>::Owned(
+                    "cow payload".to_string(),
+                ))
+            });
+        let failure = out[0].as_ref().unwrap_err();
+        assert!(
+            failure.panic.contains("cow payload"),
+            "Cow<str> payload must be rendered, got: {}",
+            failure.panic
+        );
+
+        // Arbitrary payloads at least identify themselves as non-string.
+        #[derive(Debug)]
+        struct Opaque;
+        let out =
+            run_windows_checked(&windows, fx.player_ty, 1, |_w| -> crate::miner::WindowResult {
+                std::panic::panic_any(Opaque)
+            });
+        let failure = out[0].as_ref().unwrap_err();
+        assert!(
+            failure.panic.contains("non-string panic payload"),
+            "opaque payload must be flagged, got: {}",
+            failure.panic
+        );
     }
 }

@@ -15,6 +15,10 @@ use wiclean_types::{EntityId, TypeId, Universe};
 /// An abstraction *shape* — an abstract action without variable indices.
 pub type Shape = (wiclean_wikitext::EditOp, TypeId, wiclean_types::RelId, TypeId);
 
+/// Concrete (source, target) action rows grouped by shape — the product of
+/// the preprocessing step.
+pub type ShapeRows = std::collections::HashMap<Shape, Vec<(EntityId, EntityId)>>;
+
 /// Builds the realization table of one abstract action from the reduced
 /// concrete actions whose shape admits it.
 ///
@@ -118,7 +122,6 @@ pub fn column_of(names: &[String], var: Var) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wiclean_types::RelId;
     use wiclean_wikitext::EditOp;
 
     fn setup() -> (Universe, TypeId, TypeId, Vec<EntityId>) {

@@ -123,7 +123,12 @@ impl WcReport {
                 failed_windows: result
                     .failed_windows
                     .iter()
-                    .map(|f| (f.window, f.panic.clone()))
+                    .map(|f| {
+                        (
+                            f.window,
+                            format!("seed {}: {}", universe.type_name(f.seed), f.panic),
+                        )
+                    })
                     .collect(),
             },
         }

@@ -12,9 +12,11 @@ use crate::cache::MiningCaches;
 use crate::config::WcConfig;
 use crate::degraded::DegradedCoverage;
 use crate::miner::{MineStats, RelPattern, WindowResult};
-use crate::parallel::{mine_windows_parallel_cached_checked, WindowFailure};
+use crate::parallel::{mine_windows_on_pool, WindowFailure};
 use crate::pattern::{most_specific, Pattern, WorkingPattern};
+use crate::pool::MiningPool;
 use std::collections::HashMap;
+use std::sync::Arc;
 use wiclean_revstore::FetchSource;
 use wiclean_types::{TypeId, Universe, Window};
 
@@ -130,20 +132,24 @@ pub fn find_windows_and_patterns(
     // timeline_start), so the action cache composes them without
     // re-diffing any wikitext.
     let caches = MiningCaches::from_config(config);
+    // One pool for the whole search: its workers serve both window-level
+    // tasks and the miners' intra-window candidate batches, across every
+    // refinement iteration.
+    let pool = Arc::new(MiningPool::new(config.threads.max(1)));
 
     loop {
         iterations += 1;
         let windows = Window::split_span(config.timeline_start, config.timeline_end, width);
         let mut miner_config = config.miner;
         miner_config.tau = tau;
-        let outcomes = mine_windows_parallel_cached_checked(
+        let outcomes = mine_windows_on_pool(
             source,
             universe,
             seed,
             &windows,
             miner_config,
-            config.threads,
             caches.clone(),
+            &pool,
         );
         let mut results = Vec::with_capacity(outcomes.len());
         for outcome in outcomes {
@@ -461,7 +467,6 @@ pub fn merge_pattern_windows(results: &[WindowResult]) -> HashMap<Pattern, Vec<W
 mod merge_tests {
     use super::*;
     use crate::miner::FoundPattern;
-    use crate::pattern::WorkingPattern;
     use crate::testutil::soccer_fixture;
     use wiclean_rel::{Schema, Table};
 

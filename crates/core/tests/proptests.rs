@@ -261,9 +261,47 @@ fn digest(result: &WindowResult) -> Vec<(Pattern, usize, String)> {
     v
 }
 
+/// Byte-exact digest of a mining result: every pattern in output order with
+/// its full realization table and rel-patterns, plus all stats counters
+/// except wall-clock timings. Two results with equal digests are identical
+/// in everything the engine promises to keep deterministic.
+fn exact_digest(result: &WindowResult) -> String {
+    let mut stats = result.stats.clone();
+    stats.preprocess = std::time::Duration::ZERO;
+    stats.mine = std::time::Duration::ZERO;
+    format!(
+        "{:?}|{:?}|{:?}",
+        result.patterns, stats, result.degraded
+    )
+}
+
 proptest! {
     // Each case runs real mining; keep the case count modest.
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Intra-window parallel mining is byte-identical to sequential mining
+    /// at any thread count — patterns in the same order, identical tables,
+    /// identical counters — even when the store injects deterministic
+    /// fetch faults (degraded coverage must replay identically too).
+    #[test]
+    fn intra_window_parallelism_is_deterministic(
+        fault_seed in any::<u64>(),
+        rate in 0.0f64..0.5,
+    ) {
+        let (u, store, player_ty, window) = transfer_world();
+        let mine_with = |threads: usize| {
+            // Fresh FaultyStore per run: its per-entity attempt counters
+            // must start equal so all runs see the same fault pattern.
+            let faulty = FaultyStore::new(&store, FaultPlan::transient_only(rate, fault_seed));
+            let mut config = transfer_config();
+            config.intra_window_threads = threads;
+            let result = WindowMiner::new(&faulty, &u, config).mine_window(player_ty, &window);
+            exact_digest(&result)
+        };
+        let sequential = mine_with(1);
+        prop_assert_eq!(&sequential, &mine_with(2), "2 threads must match sequential");
+        prop_assert_eq!(&sequential, &mine_with(8), "8 threads must match sequential");
+    }
 
     /// Mining through a `ResilientFetcher` over transient-only faults is
     /// byte-identical to fault-free mining: every fault heals on retry, so
@@ -314,7 +352,7 @@ proptest! {
             .map(|w| miner.mine_window(player_ty, w))
             .collect();
 
-        let out = run_windows_checked(&windows, 4, |w| {
+        let out = run_windows_checked(&windows, player_ty, 4, |w| {
             let i = windows.iter().position(|x| x == w).unwrap();
             if poison_mask & (1 << i) != 0 {
                 panic!("injected worker fault in window {i}");
@@ -325,11 +363,11 @@ proptest! {
         prop_assert_eq!(out.len(), windows.len());
         for (i, r) in out.iter().enumerate() {
             if poison_mask & (1 << i) != 0 {
-                let failure = r.as_ref().err().expect("poisoned window must fail");
+                let failure = r.as_ref().expect_err("poisoned window must fail");
                 prop_assert_eq!(failure.window, windows[i]);
                 prop_assert!(failure.panic.contains("injected worker fault"));
             } else {
-                let ok = r.as_ref().ok().expect("healthy window must succeed");
+                let ok = r.as_ref().expect("healthy window must succeed");
                 prop_assert_eq!(digest(ok), digest(&sequential[i]));
             }
         }

@@ -100,27 +100,66 @@ fn combined_row(l: &[Value], r: &[Value], glue: &[ColumnGlue], out: &mut Vec<Val
     }
 }
 
-/// The glued-key columns of a right row, or `None` if any is null (a null
-/// key never matches).
-fn right_key(r: &[Value], glue: &[ColumnGlue]) -> Option<Vec<EntityId>> {
-    let mut key = Vec::new();
-    for (j, g) in glue.iter().enumerate() {
-        if matches!(g, ColumnGlue::Glued(_)) {
-            key.push(r[j]?);
+/// A row's glued-key columns, packed.
+///
+/// Glue arity ≤ 2 — by far the common case (patterns glue one or two
+/// variables per extension) — packs into a single `u64`, avoiding a heap
+/// allocation per row on the build and probe sides of every join. Wider keys
+/// fall back to a `Vec`. Both sides of a join derive their key from the same
+/// glue spec, so arities always agree and `Eq`/`Ord`/`Hash` are consistent:
+/// the packed ordering equals the lexicographic `Vec<EntityId>` ordering.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum JoinKey {
+    Small(u64),
+    Big(Vec<EntityId>),
+}
+
+/// Packs glued-column values into a [`JoinKey`]; `None` if any is null (a
+/// null key never equi-matches).
+fn pack_key(vals: impl Iterator<Item = Value>) -> Option<JoinKey> {
+    let (mut a, mut b) = (0u64, 0u64);
+    let mut big: Vec<EntityId> = Vec::new();
+    let mut n = 0usize;
+    for v in vals {
+        let v = v?;
+        match n {
+            0 => a = u64::from(v.as_u32()),
+            1 => b = u64::from(v.as_u32()),
+            2 => {
+                big = vec![
+                    EntityId::from_u32(a as u32),
+                    EntityId::from_u32(b as u32),
+                    v,
+                ];
+            }
+            _ => big.push(v),
         }
+        n += 1;
     }
-    Some(key)
+    Some(match n {
+        0 => JoinKey::Small(0),
+        1 => JoinKey::Small(a),
+        2 => JoinKey::Small((a << 32) | b),
+        _ => JoinKey::Big(big),
+    })
+}
+
+/// The glued-key columns of a right row, or `None` if any is null.
+fn right_key(r: &[Value], glue: &[ColumnGlue]) -> Option<JoinKey> {
+    pack_key(
+        glue.iter()
+            .enumerate()
+            .filter(|(_, g)| matches!(g, ColumnGlue::Glued(_)))
+            .map(|(j, _)| r[j]),
+    )
 }
 
 /// The glued-key columns of a left row (in glue order), or `None` on null.
-fn left_key(l: &[Value], glue: &[ColumnGlue]) -> Option<Vec<EntityId>> {
-    let mut key = Vec::new();
-    for g in glue {
-        if let ColumnGlue::Glued(i) = g {
-            key.push(l[*i]?);
-        }
-    }
-    Some(key)
+fn left_key(l: &[Value], glue: &[ColumnGlue]) -> Option<JoinKey> {
+    pack_key(glue.iter().filter_map(|g| match g {
+        ColumnGlue::Glued(i) => Some(l[*i]),
+        ColumnGlue::New { .. } => None,
+    }))
 }
 
 /// Hash equijoin with gluing semantics. Builds a hash index over the right
@@ -146,7 +185,7 @@ pub fn join_glue(left: &Table, right: &Table, glue: &[ColumnGlue]) -> Table {
     let mut out = Table::new(output_schema(left, glue));
 
     // Build: right rows grouped by glued key.
-    let mut index: HashMap<Vec<EntityId>, Vec<usize>> = HashMap::new();
+    let mut index: HashMap<JoinKey, Vec<usize>> = HashMap::new();
     for (ri, r) in right.rows().enumerate() {
         if let Some(key) = right_key(r, glue) {
             index.entry(key).or_default().push(ri);
@@ -177,12 +216,12 @@ pub fn join_glue_sort_merge(left: &Table, right: &Table, glue: &[ColumnGlue]) ->
     let mut out = Table::new(output_schema(left, glue));
 
     // Decorate row indices with their (non-null) glued keys and sort.
-    let mut lkeys: Vec<(Vec<EntityId>, usize)> = left
+    let mut lkeys: Vec<(JoinKey, usize)> = left
         .rows()
         .enumerate()
         .filter_map(|(i, r)| left_key(r, glue).map(|k| (k, i)))
         .collect();
-    let mut rkeys: Vec<(Vec<EntityId>, usize)> = right
+    let mut rkeys: Vec<(JoinKey, usize)> = right
         .rows()
         .enumerate()
         .filter_map(|(i, r)| right_key(r, glue).map(|k| (k, i)))
@@ -250,7 +289,7 @@ pub fn outer_join_glue(left: &Table, right: &Table, glue: &[ColumnGlue]) -> Tabl
     validate(left, right, glue);
     let mut out = Table::new(output_schema(left, glue));
 
-    let mut index: HashMap<Vec<EntityId>, Vec<usize>> = HashMap::new();
+    let mut index: HashMap<JoinKey, Vec<usize>> = HashMap::new();
     for (ri, r) in right.rows().enumerate() {
         if let Some(key) = right_key(r, glue) {
             index.entry(key).or_default().push(ri);

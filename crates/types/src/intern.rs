@@ -1,40 +1,148 @@
-//! A simple append-only string interner.
+//! Append-only interners.
 //!
-//! WiClean deals with a bounded vocabulary (entity names, type names,
-//! relation labels) that is referenced from millions of revision actions.
-//! Interning turns every occurrence into a 4-byte index and makes equality
-//! comparisons O(1).
+//! WiClean deals with bounded vocabularies (entity names, type names,
+//! relation labels — and, in the miner, canonical patterns) that are
+//! referenced from millions of revision actions. Interning turns every
+//! occurrence into a 4-byte index and makes equality comparisons O(1).
+//!
+//! [`KeyInterner`] is the generic substrate: any `Clone + Eq + Hash` key type
+//! gets dense `u32` ids, stable for the interner's lifetime and allocated in
+//! insertion order. [`Interner`] is the string specialization used by
+//! [`crate::Universe`]; `wiclean-core`'s `PatternInterner` builds on the
+//! same substrate for canonical patterns.
 
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Append-only interner mapping keys of type `K` to dense `u32` indices.
+///
+/// The interner never forgets a key; indices are stable for the lifetime of
+/// the interner and allocated in insertion order starting from zero.
+#[derive(Debug, Clone)]
+pub struct KeyInterner<K> {
+    keys: Vec<K>,
+    index: HashMap<K, u32>,
+}
+
+impl<K> Default for KeyInterner<K> {
+    fn default() -> Self {
+        Self {
+            keys: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+}
+
+impl<K: Clone + Eq + Hash> KeyInterner<K> {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds an interner from its key list (insertion order preserved).
+    pub fn from_keys(keys: Vec<K>) -> Self {
+        let index = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.clone(), i as u32))
+            .collect();
+        Self { keys, index }
+    }
+
+    /// Interns a key, returning its dense index. Re-interning an existing
+    /// key returns the original index. `make` builds the owned key only on
+    /// a miss, so the hot path (already interned) never allocates.
+    pub fn intern_with<Q>(&mut self, key: &Q, make: impl FnOnce(&Q) -> K) -> u32
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        if let Some(&ix) = self.index.get(key) {
+            return ix;
+        }
+        let ix = u32::try_from(self.keys.len()).expect("interner overflow");
+        let owned = make(key);
+        self.keys.push(owned.clone());
+        self.index.insert(owned, ix);
+        ix
+    }
+
+    /// Interns an owned key directly.
+    pub fn intern(&mut self, key: K) -> u32 {
+        if let Some(&ix) = self.index.get(&key) {
+            return ix;
+        }
+        let ix = u32::try_from(self.keys.len()).expect("interner overflow");
+        self.keys.push(key.clone());
+        self.index.insert(key, ix);
+        ix
+    }
+
+    /// Looks up the index of a previously interned key.
+    pub fn get<Q>(&self, key: &Q) -> Option<u32>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.index.get(key).copied()
+    }
+
+    /// Resolves an index back to its key. Panics on an out-of-range index,
+    /// which always indicates a cross-interner mixup.
+    pub fn resolve(&self, ix: u32) -> &K {
+        &self.keys[ix as usize]
+    }
+
+    /// Resolves an index if it is in range.
+    pub fn try_resolve(&self, ix: u32) -> Option<&K> {
+        self.keys.get(ix as usize)
+    }
+
+    /// Number of distinct interned keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The interned keys in insertion order.
+    pub fn keys(&self) -> &[K] {
+        &self.keys
+    }
+
+    /// Iterates over `(index, key)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &K)> {
+        self.keys.iter().enumerate().map(|(i, k)| (i as u32, k))
+    }
+}
 
 /// Append-only string interner mapping strings to dense `u32` indices.
 ///
-/// The interner never forgets a string; indices are stable for the lifetime
-/// of the interner and allocated in insertion order starting from zero.
-/// Serializes as the plain string list; the reverse index is rebuilt on
-/// deserialization.
+/// A thin specialization of [`KeyInterner`] over `Box<str>` that accepts
+/// `&str` on the intern path. Serializes as the plain string list; the
+/// reverse index is rebuilt on deserialization.
 #[derive(Debug, Default, Clone)]
 pub struct Interner {
-    strings: Vec<Box<str>>,
-    index: HashMap<Box<str>, u32>,
+    inner: KeyInterner<Box<str>>,
 }
 
 impl Serialize for Interner {
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        self.strings.serialize(serializer)
+        self.inner.keys().serialize(serializer)
     }
 }
 
 impl<'de> Deserialize<'de> for Interner {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         let strings: Vec<Box<str>> = Vec::deserialize(deserializer)?;
-        let index = strings
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (s.clone(), i as u32))
-            .collect();
-        Ok(Self { strings, index })
+        Ok(Self {
+            inner: KeyInterner::from_keys(strings),
+        })
     }
 }
 
@@ -47,48 +155,38 @@ impl Interner {
     /// Interns `s`, returning its dense index. Re-interning an existing
     /// string returns the original index.
     pub fn intern(&mut self, s: &str) -> u32 {
-        if let Some(&ix) = self.index.get(s) {
-            return ix;
-        }
-        let ix = u32::try_from(self.strings.len()).expect("interner overflow");
-        let boxed: Box<str> = s.into();
-        self.strings.push(boxed.clone());
-        self.index.insert(boxed, ix);
-        ix
+        self.inner.intern_with(s, |s| s.into())
     }
 
     /// Looks up the index of a previously interned string.
     pub fn get(&self, s: &str) -> Option<u32> {
-        self.index.get(s).copied()
+        self.inner.get(s)
     }
 
     /// Resolves an index back to its string. Panics on an out-of-range
     /// index, which always indicates a cross-interner mixup.
     pub fn resolve(&self, ix: u32) -> &str {
-        &self.strings[ix as usize]
+        self.inner.resolve(ix)
     }
 
     /// Resolves an index if it is in range.
     pub fn try_resolve(&self, ix: u32) -> Option<&str> {
-        self.strings.get(ix as usize).map(|s| &**s)
+        self.inner.try_resolve(ix).map(|s| &**s)
     }
 
     /// Number of distinct interned strings.
     pub fn len(&self) -> usize {
-        self.strings.len()
+        self.inner.len()
     }
 
     /// Whether the interner is empty.
     pub fn is_empty(&self) -> bool {
-        self.strings.is_empty()
+        self.inner.is_empty()
     }
 
     /// Iterates over `(index, string)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.strings
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (i as u32, &**s))
+        self.inner.iter().map(|(i, s)| (i, &**s))
     }
 }
 
@@ -156,5 +254,23 @@ mod tests {
         assert!(i.is_empty());
         i.intern("z");
         assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn generic_interner_over_tuples() {
+        let mut i: KeyInterner<(u32, u32)> = KeyInterner::new();
+        assert_eq!(i.intern((1, 2)), 0);
+        assert_eq!(i.intern((3, 4)), 1);
+        assert_eq!(i.intern((1, 2)), 0);
+        assert_eq!(i.resolve(1), &(3, 4));
+        assert_eq!(i.get(&(3, 4)), Some(1));
+        assert_eq!(i.keys(), &[(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn from_keys_rebuilds_index() {
+        let i = KeyInterner::from_keys(vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(i.get("b"), Some(1));
+        assert_eq!(i.len(), 2);
     }
 }

@@ -28,7 +28,7 @@ pub mod universe;
 pub use catalog::EntityCatalog;
 pub use error::TypesError;
 pub use ids::{EntityId, RelId, TypeId};
-pub use intern::Interner;
+pub use intern::{Interner, KeyInterner};
 pub use taxonomy::Taxonomy;
 pub use time::{Timestamp, Window, DAY, HOUR, MINUTE, WEEK, YEAR};
 pub use universe::Universe;
