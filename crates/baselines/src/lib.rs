@@ -215,13 +215,13 @@ mod tests {
         let mut sets = Vec::new();
         for v in Variant::ALL {
             let r = run_variant(v, &store, &u, base_config(), seed, &window, 2);
-            let set: BTreeSet<Pattern> =
-                r.most_specific().map(|p| p.pattern.clone()).collect();
+            let set: BTreeSet<Pattern> = r.most_specific().map(|p| p.pattern.clone()).collect();
             sets.push((v, set));
         }
         for pair in sets.windows(2) {
             assert_eq!(
-                pair[0].1, pair[1].1,
+                pair[0].1,
+                pair[1].1,
                 "{} and {} disagree",
                 pair[0].0.name(),
                 pair[1].0.name()

@@ -21,7 +21,11 @@ fn bench(c: &mut Criterion) {
             let label = format!(
                 "realizations-{}/preprocess-{}",
                 if use_cache { "cached" } else { "uncached" },
-                if use_action_cache { "cached" } else { "uncached" },
+                if use_action_cache {
+                    "cached"
+                } else {
+                    "uncached"
+                },
             );
             group.bench_function(&label, |b| {
                 b.iter(|| {

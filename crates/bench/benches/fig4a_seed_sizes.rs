@@ -15,23 +15,19 @@ fn bench(c: &mut Criterion) {
     for &seeds in &[50usize, 100, 200] {
         let world = soccer_world(seeds, 0x41A);
         for variant in [Variant::Pm, Variant::PmNoJoin] {
-            group.bench_with_input(
-                BenchmarkId::new(variant.name(), seeds),
-                &seeds,
-                |b, _| {
-                    b.iter(|| {
-                        run_variant(
-                            variant,
-                            &world.store,
-                            &world.universe,
-                            bench_miner_config(0.4),
-                            world.seed_type,
-                            &transfer_window(),
-                            2,
-                        )
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(variant.name(), seeds), &seeds, |b, _| {
+                b.iter(|| {
+                    run_variant(
+                        variant,
+                        &world.store,
+                        &world.universe,
+                        bench_miner_config(0.4),
+                        world.seed_type,
+                        &transfer_window(),
+                        2,
+                    )
+                })
+            });
         }
     }
     group.finish();

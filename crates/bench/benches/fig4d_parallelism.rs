@@ -157,10 +157,12 @@ fn main() {
     let single_window_crawl = sweep("single-window crawl", &[1, 2, 4, 8], &mut identical, |t| {
         mine_single(&world, CRAWL_LATENCY_US, t)
     });
-    let single_window_compute_only =
-        sweep("single-window compute-only", &[1, 2, 4, 8], &mut identical, |t| {
-            mine_single(&world, 0, t)
-        });
+    let single_window_compute_only = sweep(
+        "single-window compute-only",
+        &[1, 2, 4, 8],
+        &mut identical,
+        |t| mine_single(&world, 0, t),
+    );
     let multi_window_crawl = sweep("multi-window crawl", &[1, 4], &mut identical, |t| {
         mine_multi(&world, &windows, CRAWL_LATENCY_US, t)
     });
@@ -170,7 +172,10 @@ fn main() {
         .iter()
         .find(|p| p.threads == 4)
         .expect("4-thread point");
-    println!("single-window crawl speedup at 4 threads: {:.2}x", four.speedup);
+    println!(
+        "single-window crawl speedup at 4 threads: {:.2}x",
+        four.speedup
+    );
 
     let report = Report {
         host_cores,

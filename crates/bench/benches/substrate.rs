@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::prelude::*;
 use wiclean_bench::{soccer_world, transfer_window};
-use wiclean_rel::{join_glue, join_glue_nested, join_glue_sort_merge, outer_join_glue, ColumnGlue, Schema, Table};
+use wiclean_rel::{
+    join_glue, join_glue_nested, join_glue_sort_merge, outer_join_glue, ColumnGlue, Schema, Table,
+};
 use wiclean_revstore::{extract_actions_for, reduce_actions};
 use wiclean_types::EntityId;
 use wiclean_wikitext::render::render_links;
@@ -36,7 +38,8 @@ fn bench_diff(c: &mut Criterion) {
     let old = page_fixture(200);
     let new = {
         let mut p = parse_page(&old);
-        p.links.remove(&("squad".into(), "Player Number 0000".into()));
+        p.links
+            .remove(&("squad".into(), "Player Number 0000".into()));
         p.insert("squad", "A Fresh Signing");
         render_links("Big Club", "football club", &p)
     };
@@ -101,5 +104,11 @@ fn bench_joins(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parse, bench_diff, bench_extract_reduce, bench_joins);
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_diff,
+    bench_extract_reduce,
+    bench_joins
+);
 criterion_main!(benches);

@@ -116,7 +116,6 @@ pub fn generalizations_of_shape(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wiclean_types::EntityId;
 
     fn setup() -> (Universe, Action) {
         let mut u = Universe::new("Thing");
@@ -164,7 +163,10 @@ mod tests {
         assert!(exact.admits(&a, &u));
 
         let lifted = AbstractAction::new(a.op, Var::new(athlete, 0), rel, Var::new(club, 0));
-        assert!(lifted.admits(&a, &u), "supertype variable admits subtype entity");
+        assert!(
+            lifted.admits(&a, &u),
+            "supertype variable admits subtype entity"
+        );
 
         let wrong_op =
             AbstractAction::new(a.op.inverse(), Var::new(player, 0), rel, Var::new(club, 0));

@@ -87,7 +87,11 @@ type CacheKey = (Window, PatternId);
 
 struct CacheEntry {
     fetched: BTreeSet<TypeId>,
-    table: Table,
+    /// `None` for candidates the distinct-source fast path pruned without
+    /// materializing: support and frequency are known, the table is not. A
+    /// later, lower threshold that accepts the candidate recomputes (and
+    /// re-stores) the table; everything rejected again stays table-free.
+    table: Option<Table>,
     support: usize,
     freq: f64,
 }
@@ -106,13 +110,15 @@ impl RealizationCache {
         Self::default()
     }
 
-    /// Looks up a candidate computed under the same fetched-type set.
+    /// Looks up a candidate computed under the same fetched-type set. The
+    /// table is `None` when the candidate was pruned without materializing
+    /// (support and frequency are still authoritative).
     pub fn get(
         &self,
         window: &Window,
         pattern: PatternId,
         fetched: &BTreeSet<TypeId>,
-    ) -> Option<(Table, usize, f64)> {
+    ) -> Option<(Option<Table>, usize, f64)> {
         let guard = self.inner.read();
         match guard.get(&(*window, pattern)) {
             Some(entry) if entry.fetched == *fetched => {
@@ -127,13 +133,15 @@ impl RealizationCache {
     }
 
     /// Stores a computed candidate (kept even when it failed the current
-    /// threshold — a later, lower threshold re-examines it for free).
+    /// threshold — a later, lower threshold re-examines it for free). Pass
+    /// `table: None` for fast-path-pruned candidates whose table was never
+    /// materialized.
     pub fn put(
         &self,
         window: &Window,
         pattern: PatternId,
         fetched: &BTreeSet<TypeId>,
-        table: &Table,
+        table: Option<&Table>,
         support: usize,
         freq: f64,
     ) {
@@ -141,7 +149,7 @@ impl RealizationCache {
             (*window, pattern),
             CacheEntry {
                 fetched: fetched.clone(),
-                table: table.clone(),
+                table: table.cloned(),
                 support,
                 freq,
             },
@@ -197,7 +205,7 @@ mod tests {
         let w = Window::new(0, 10);
         let p = pattern_id(&interner);
         let t = Table::new(Schema::new(["a", "b"]));
-        cache.put(&w, p, &fetched(&[1, 2]), &t, 3, 0.5);
+        cache.put(&w, p, &fetched(&[1, 2]), Some(&t), 3, 0.5);
 
         assert!(cache.get(&w, p, &fetched(&[1, 2])).is_some());
         assert!(
@@ -205,7 +213,9 @@ mod tests {
             "different fetched set must miss"
         );
         assert!(
-            cache.get(&Window::new(0, 20), p, &fetched(&[1, 2])).is_none(),
+            cache
+                .get(&Window::new(0, 20), p, &fetched(&[1, 2]))
+                .is_none(),
             "different window must miss"
         );
         let (hits, misses) = cache.stats();
@@ -222,10 +232,30 @@ mod tests {
         let p = pattern_id(&interner);
         let mut t = Table::new(Schema::new(["x"]));
         t.push_row(&[Some(wiclean_types::EntityId::from_u32(7))]);
-        cache.put(&w, p, &fetched(&[1]), &t, 1, 0.25);
+        cache.put(&w, p, &fetched(&[1]), Some(&t), 1, 0.25);
         let (table, support, freq) = cache.get(&w, p, &fetched(&[1])).unwrap();
-        assert_eq!(table.len(), 1);
+        assert_eq!(table.expect("materialized entry").len(), 1);
         assert_eq!(support, 1);
         assert!((freq - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruned_entries_round_trip_without_table() {
+        let interner = PatternInterner::new();
+        let cache = RealizationCache::new();
+        let w = Window::new(0, 10);
+        let p = pattern_id(&interner);
+        cache.put(&w, p, &fetched(&[1]), None, 4, 0.1);
+        let (table, support, freq) = cache.get(&w, p, &fetched(&[1])).unwrap();
+        assert!(table.is_none(), "pruned entry carries no table");
+        assert_eq!(support, 4);
+        assert!((freq - 0.1).abs() < 1e-12);
+
+        // A later accepted recomputation upgrades the entry in place.
+        let t = Table::new(Schema::new(["x"]));
+        cache.put(&w, p, &fetched(&[1]), Some(&t), 4, 0.1);
+        let (table, _, _) = cache.get(&w, p, &fetched(&[1])).unwrap();
+        assert!(table.is_some());
+        assert_eq!(cache.len(), 1);
     }
 }

@@ -64,6 +64,15 @@ pub struct MinerConfig {
     /// Output is byte-identical at any setting.
     #[serde(default)]
     pub intra_window_threads: usize,
+    /// Intra-join parallelism for the [`JoinImpl::Hash`] pair stage: large
+    /// joins are radix-partitioned by key hash and the partitions run as a
+    /// batch. `0` (auto) runs join partitions on the pool attached to the
+    /// miner when there is one, `1` forces serial joins, and `n > 1` spins
+    /// up a dedicated `n`-wide pool per mining call when none is attached.
+    /// The partitioned join is byte-identical to the serial hash join at
+    /// any width; small inputs fall back to the serial path regardless.
+    #[serde(default)]
+    pub join_threads: usize,
 }
 
 impl Default for MinerConfig {
@@ -78,6 +87,7 @@ impl Default for MinerConfig {
             expansion: ExpansionMode::Incremental,
             mine_relative: true,
             intra_window_threads: 0,
+            join_threads: 0,
         }
     }
 }

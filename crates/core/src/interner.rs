@@ -208,7 +208,14 @@ mod tests {
         let club = TypeId::from_u32(2);
         let interner = Arc::new(PatternInterner::new());
         let patterns: Vec<WorkingPattern> = (0..8u32)
-            .map(|r| wp(vec![aa(EditOp::Add, Var::new(player, 0), r, Var::new(club, 0))]))
+            .map(|r| {
+                wp(vec![aa(
+                    EditOp::Add,
+                    Var::new(player, 0),
+                    r,
+                    Var::new(club, 0),
+                )])
+            })
             .collect();
         let ids: Vec<Vec<PatternId>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..4)

@@ -62,7 +62,7 @@ pub use parallel::{
     mine_windows_parallel_cached_checked, mine_windows_parallel_checked, run_windows_checked,
     run_windows_on_pool, WindowFailure,
 };
-pub use partial::{detect_partial_updates, PartialUpdate, PartialReport};
+pub use partial::{detect_partial_updates, PartialReport, PartialUpdate};
 pub use pattern::Pattern;
 pub use pool::MiningPool;
 pub use report::{DegradedReport, WcReport};

@@ -28,14 +28,19 @@ use crate::interner::{PatternId, PatternInterner};
 use crate::pattern::{Pattern, WorkingPattern};
 use crate::pool::MiningPool;
 use crate::realization::{
-    action_realizations, frequency, relative_frequency, shape_of, support_count, Shape, ShapeRows,
+    action_realizations, frequency, frequency_from_support, relative_frequency, shape_of,
+    support_count, support_from_distinct, Shape, ShapeRows,
 };
 use crate::var::Var;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use wiclean_rel::{join_glue, join_glue_nested, join_glue_sort_merge, outer_join_glue, ColumnGlue, Table};
+use wiclean_rel::{
+    distinct_left_values, join_glue, join_glue_nested, join_glue_pairs, join_glue_pairs_nested,
+    join_glue_pairs_partitioned, join_glue_pairs_sort_merge, join_glue_sort_merge,
+    materialize_pairs, outer_join_glue, ColumnGlue, Table,
+};
 use wiclean_revstore::{
     reduce_actions, try_extract_actions, ActionCache, CacheLookup, ExtractOutcome, FetchError,
     FetchSource,
@@ -79,6 +84,22 @@ pub struct MineStats {
     /// (every extraction, when the action cache is off — then counted as 0).
     #[serde(default)]
     pub action_cache_misses: usize,
+    /// Left-side rows fed through candidate-join pair stages (probe volume).
+    #[serde(default)]
+    pub rows_probed: usize,
+    /// Matching row-index pairs the pair stages emitted.
+    #[serde(default)]
+    pub pairs_matched: usize,
+    /// Candidate joins whose output table was actually gathered: accepted
+    /// candidates, plus cached-pruned candidates re-accepted under a lower
+    /// threshold.
+    #[serde(default)]
+    pub tables_materialized: usize,
+    /// Candidate joins pruned by the distinct-source fast path: support and
+    /// frequency were counted straight off the pair stream and the output
+    /// table was never materialized.
+    #[serde(default)]
+    pub tables_pruned: usize,
 }
 
 impl MineStats {
@@ -99,6 +120,22 @@ impl MineStats {
         self.action_cache_hits += other.action_cache_hits;
         self.action_cache_composed += other.action_cache_composed;
         self.action_cache_misses += other.action_cache_misses;
+        self.rows_probed += other.rows_probed;
+        self.pairs_matched += other.pairs_matched;
+        self.tables_materialized += other.tables_materialized;
+        self.tables_pruned += other.tables_pruned;
+    }
+
+    /// Share of executed candidate joins whose output table was never
+    /// materialized (the distinct-source fast path's saving); 0 when no
+    /// joins ran.
+    pub fn join_prune_rate(&self) -> f64 {
+        let total = self.tables_materialized + self.tables_pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.tables_pruned as f64 / total as f64
+        }
     }
 
     /// Share of preprocessing lookups the action cache answered without
@@ -209,15 +246,27 @@ struct CandidateSpec {
     target_is_new: bool,
 }
 
-/// A fully evaluated candidate (join or cache hit already done).
+/// A fully evaluated candidate (pair-stage join or cache hit already done,
+/// accept decision taken against the frozen frontier).
 struct Evaluated {
     id: PatternId,
     canonical: Pattern,
     ext: WorkingPattern,
-    table: Table,
+    /// Materialized realization table — `Some` whenever `accepted` (pruned
+    /// candidates skip the gather entirely; cache hits may carry one even
+    /// when rejected under the current threshold).
+    table: Option<Table>,
     support: usize,
     freq: f64,
     via_cache: bool,
+    /// Whether the score cleared the threshold (with nonzero support).
+    accepted: bool,
+    /// Whether a fresh gather ran for this evaluation.
+    materialized: bool,
+    /// Left rows fed through the pair stage (0 on cache hits).
+    rows_probed: usize,
+    /// Pairs the pair stage emitted (0 on cache hits).
+    pairs_matched: usize,
 }
 
 /// What evaluating one [`CandidateSpec`] produced.
@@ -320,6 +369,22 @@ impl<'a> WindowMiner<'a> {
         }
     }
 
+    /// The batch runner for radix-partitioned join pair stages:
+    /// `join_threads == 1` forces serial joins, `0` (auto) reuses the
+    /// attached pool when there is one, and `n > 1` spins up a dedicated
+    /// pool when none is attached. Small joins fall back to the serial path
+    /// inside the join regardless.
+    fn join_pool(&self) -> Option<Arc<MiningPool>> {
+        match self.config.join_threads {
+            1 => None,
+            0 => self.pool.clone(),
+            n => self
+                .pool
+                .clone()
+                .or_else(|| Some(Arc::new(MiningPool::new(n)))),
+        }
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &MinerConfig {
         &self.config
@@ -335,10 +400,23 @@ impl<'a> WindowMiner<'a> {
             "use mine_window_materialized for ExpansionMode::Materialized"
         );
         let pool = self.intra_pool();
+        let jpool = self.join_pool();
         let mut state = MineState::new();
         // Line 1: fetch + reduce + abstract the seed entities' actions.
-        self.load_entities(&mut state, self.universe.entities_of(seed), window, pool.as_deref());
-        self.run_expansion(state, seed, window, false, pool.as_deref())
+        self.load_entities(
+            &mut state,
+            self.universe.entities_of(seed),
+            window,
+            pool.as_deref(),
+        );
+        self.run_expansion(
+            state,
+            seed,
+            window,
+            false,
+            pool.as_deref(),
+            jpool.as_deref(),
+        )
     }
 
     /// The `PM−inc` entry point: the caller supplies the full entity set of
@@ -352,9 +430,10 @@ impl<'a> WindowMiner<'a> {
         entities: impl IntoIterator<Item = EntityId>,
     ) -> WindowResult {
         let pool = self.intra_pool();
+        let jpool = self.join_pool();
         let mut state = MineState::new();
         self.load_entities(&mut state, entities, window, pool.as_deref());
-        self.run_expansion(state, seed, window, true, pool.as_deref())
+        self.run_expansion(state, seed, window, true, pool.as_deref(), jpool.as_deref())
     }
 
     /// Fetches and extracts one entity's actions — through the shared
@@ -460,6 +539,7 @@ impl<'a> WindowMiner<'a> {
         window: &Window,
         materialized: bool,
         pool: Option<&MiningPool>,
+        jpool: Option<&MiningPool>,
     ) -> WindowResult {
         let t0 = Instant::now();
         let mut nodes: Vec<Node> = Vec::new();
@@ -485,6 +565,7 @@ impl<'a> WindowMiner<'a> {
                     seed,
                     Some((window, &fetched)),
                     pool,
+                    jpool,
                     &mut nodes,
                     &mut found,
                     &mut tested,
@@ -496,10 +577,8 @@ impl<'a> WindowMiner<'a> {
                 break; // everything was loaded up front
             }
             // Which variable types in frequent patterns are new?
-            let mentioned: BTreeSet<TypeId> = nodes
-                .iter()
-                .flat_map(|n| n.canonical.types())
-                .collect();
+            let mentioned: BTreeSet<TypeId> =
+                nodes.iter().flat_map(|n| n.canonical.types()).collect();
             let new_types: Vec<TypeId> = mentioned
                 .into_iter()
                 .filter(|t| !state.fetched_types.contains(t))
@@ -543,10 +622,9 @@ impl<'a> WindowMiner<'a> {
                 if !p.most_specific {
                     continue;
                 }
-                let rels = self.mine_relative(&state, seed, p, pool);
-                state.stats.candidates_considered += rels.1;
-                state.stats.joins_executed += rels.2;
-                p.rel_patterns = rels.0;
+                let (rels, rel_stats) = self.mine_relative(&state, seed, p, pool, jpool);
+                state.stats.absorb(&rel_stats);
+                p.rel_patterns = rels;
             }
         }
 
@@ -639,10 +717,11 @@ impl<'a> WindowMiner<'a> {
         seed: TypeId,
         cache_ctx: Option<(&Window, &BTreeSet<TypeId>)>,
         pool: Option<&MiningPool>,
+        jpool: Option<&MiningPool>,
         nodes: &mut Vec<Node>,
         found: &mut HashSet<PatternId>,
         tested: &mut HashSet<(PatternId, Shape)>,
-        score: &dyn Fn(usize, usize, f64, f64) -> f64,
+        score: &(dyn Fn(usize, usize, f64, f64) -> f64 + Sync),
         threshold: f64,
     ) {
         let mut shapes: Vec<Shape> = rows.keys().copied().collect();
@@ -658,22 +737,22 @@ impl<'a> WindowMiner<'a> {
                 let frozen: &[Node] = nodes;
                 let known: &HashSet<PatternId> = found;
                 match pool {
-                    Some(pool) if specs.len() > 1 && pool.width() > 1 => {
-                        pool.map(&specs, |spec| {
-                            self.evaluate_candidate(rows, frozen, known, seed, cache_ctx, spec)
-                        })
-                    }
+                    Some(pool) if specs.len() > 1 && pool.width() > 1 => pool.map(&specs, |spec| {
+                        self.evaluate_candidate(
+                            rows, frozen, known, seed, cache_ctx, jpool, spec, score, threshold,
+                        )
+                    }),
                     _ => specs
                         .iter()
                         .map(|spec| {
-                            self.evaluate_candidate(rows, frozen, known, seed, cache_ctx, spec)
+                            self.evaluate_candidate(
+                                rows, frozen, known, seed, cache_ctx, jpool, spec, score, threshold,
+                            )
                         })
                         .collect(),
                 }
             };
-            self.merge_generation(
-                stats, cache_ctx, &specs, outcomes, nodes, found, score, threshold,
-            );
+            self.merge_generation(stats, cache_ctx, outcomes, nodes, found);
             frontier = start..nodes.len();
         }
     }
@@ -745,10 +824,12 @@ impl<'a> WindowMiner<'a> {
         specs
     }
 
-    /// Evaluates one candidate extension against the frozen frontier: joins
-    /// its realization table (or takes the cache fast path) and counts
-    /// support. Takes no mutable state, so a generation's specs can run in
-    /// any order on any thread.
+    /// Evaluates one candidate extension against the frozen frontier: runs
+    /// the join's *pair stage*, counts support straight off the pair stream
+    /// (the distinct-source fast path), and only gathers the output table
+    /// when the candidate clears the threshold. Takes no mutable state, so
+    /// a generation's specs can run in any order on any thread.
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_candidate(
         &self,
         rows_map: &HashMap<Shape, Vec<(EntityId, EntityId)>>,
@@ -756,7 +837,10 @@ impl<'a> WindowMiner<'a> {
         found: &HashSet<PatternId>,
         seed: TypeId,
         cache_ctx: Option<(&Window, &BTreeSet<TypeId>)>,
+        jpool: Option<&MiningPool>,
         spec: &CandidateSpec,
+        score: &(dyn Fn(usize, usize, f64, f64) -> f64 + Sync),
+        threshold: f64,
     ) -> EvalOutcome {
         let parent = &nodes[spec.parent];
         let ext = parent.wp.extended_with(spec.action);
@@ -765,19 +849,35 @@ impl<'a> WindowMiner<'a> {
             return EvalOutcome::Known;
         }
 
+        let parent_support = parent.support;
+        let accept = |support: usize, freq: f64| {
+            let rel = relative_frequency(support, parent_support);
+            score(support, parent_support, freq, rel) >= threshold && support > 0
+        };
+
         // Cache fast path: the same candidate computed in an earlier
-        // refinement iteration under the same fetched-type set.
+        // refinement iteration under the same fetched-type set. A pruned
+        // entry (no table) that the current threshold now *accepts* falls
+        // through to a fresh join so the table exists — the re-store in
+        // `merge_generation` then upgrades the entry.
         if let (Some(cache), Some((window, fetched))) = (&self.cache, cache_ctx) {
             if let Some((table, support, freq)) = cache.get(window, id, fetched) {
-                return EvalOutcome::Done(Box::new(Evaluated {
-                    id,
-                    canonical,
-                    ext,
-                    table,
-                    support,
-                    freq,
-                    via_cache: true,
-                }));
+                let accepted = accept(support, freq);
+                if table.is_some() || !accepted {
+                    return EvalOutcome::Done(Box::new(Evaluated {
+                        id,
+                        canonical,
+                        ext,
+                        table,
+                        support,
+                        freq,
+                        via_cache: true,
+                        accepted,
+                        materialized: false,
+                        rows_probed: 0,
+                        pairs_matched: 0,
+                    }));
+                }
             }
         }
 
@@ -809,19 +909,43 @@ impl<'a> WindowMiner<'a> {
                 distinct_from,
             }
         } else {
-            ColumnGlue::Glued(crate::realization::column_of(&left_cols, spec.action.target))
+            ColumnGlue::Glued(crate::realization::column_of(
+                &left_cols,
+                spec.action.target,
+            ))
         };
         let glue = vec![ColumnGlue::Glued(src_col), tgt_glue];
 
-        let mut table = match self.config.join_impl {
-            JoinImpl::Hash => join_glue(&parent.table, &right, &glue),
-            JoinImpl::NestedLoop => join_glue_nested(&parent.table, &right, &glue),
-            JoinImpl::SortMerge => join_glue_sort_merge(&parent.table, &right, &glue),
+        // Pair stage: matching (left, right) row indices, no output rows
+        // built yet. All three strategies emit the same canonical pair
+        // order; the partitioned hash path is byte-identical to the serial
+        // one at any runner width.
+        let pairs = match self.config.join_impl {
+            JoinImpl::Hash => match jpool {
+                Some(jpool) => join_glue_pairs_partitioned(&parent.table, &right, &glue, jpool),
+                None => join_glue_pairs(&parent.table, &right, &glue),
+            },
+            JoinImpl::NestedLoop => join_glue_pairs_nested(&parent.table, &right, &glue),
+            JoinImpl::SortMerge => join_glue_pairs_sort_merge(&parent.table, &right, &glue),
         };
-        table.dedup();
 
-        let support = support_count(&table, 0, seed, self.universe);
-        let freq = frequency(&table, 0, seed, self.universe);
+        // Distinct-source fast path: the pattern's source variable is the
+        // left table's column 0, and a join (deduped or not) cannot change
+        // the set of distinct source values — so support and frequency come
+        // straight off the pair stream.
+        let support = support_from_distinct(
+            &distinct_left_values(&parent.table, 0, &pairs),
+            seed,
+            self.universe,
+        );
+        let freq = frequency_from_support(support, seed, self.universe);
+        let accepted = accept(support, freq);
+        // Only surviving candidates pay for gather + dedup.
+        let table = accepted.then(|| {
+            let mut t = materialize_pairs(&parent.table, &right, &glue, &pairs);
+            t.dedup();
+            t
+        });
         EvalOutcome::Done(Box::new(Evaluated {
             id,
             canonical,
@@ -830,6 +954,10 @@ impl<'a> WindowMiner<'a> {
             support,
             freq,
             via_cache: false,
+            accepted,
+            materialized: accepted,
+            rows_probed: parent.table.len(),
+            pairs_matched: pairs.len(),
         }))
     }
 
@@ -838,22 +966,18 @@ impl<'a> WindowMiner<'a> {
     /// duplicate canonicals collapse to their first occurrence, and
     /// accepted nodes are appended sorted by canonical pattern *value*
     /// (never by [`PatternId`] — ids depend on thread interleaving).
-    #[allow(clippy::too_many_arguments)]
     fn merge_generation(
         &self,
         stats: &mut MineStats,
         cache_ctx: Option<(&Window, &BTreeSet<TypeId>)>,
-        specs: &[CandidateSpec],
         outcomes: Vec<EvalOutcome>,
         nodes: &mut Vec<Node>,
         found: &mut HashSet<PatternId>,
-        score: &dyn Fn(usize, usize, f64, f64) -> f64,
-        threshold: f64,
     ) {
         let cache_active = self.cache.is_some() && cache_ctx.is_some();
         let mut seen: HashSet<PatternId> = HashSet::new();
         let mut accepted: Vec<Node> = Vec::new();
-        for (spec, outcome) in specs.iter().zip(outcomes) {
+        for outcome in outcomes {
             stats.candidates_considered += 1;
             let ev = match outcome {
                 EvalOutcome::Known => continue,
@@ -861,6 +985,8 @@ impl<'a> WindowMiner<'a> {
             };
             // Count the work that was actually done — within-generation
             // duplicates were each evaluated against the frozen frontier.
+            stats.rows_probed += ev.rows_probed;
+            stats.pairs_matched += ev.pairs_matched;
             if ev.via_cache {
                 stats.cache_hits += 1;
             } else {
@@ -868,23 +994,35 @@ impl<'a> WindowMiner<'a> {
                     stats.cache_misses += 1;
                 }
                 stats.joins_executed += 1;
+                if ev.materialized {
+                    stats.tables_materialized += 1;
+                } else {
+                    stats.tables_pruned += 1;
+                }
             }
             if !seen.insert(ev.id) {
                 continue;
             }
             if !ev.via_cache {
                 if let (Some(cache), Some((window, fetched))) = (&self.cache, cache_ctx) {
-                    cache.put(window, ev.id, fetched, &ev.table, ev.support, ev.freq);
+                    cache.put(
+                        window,
+                        ev.id,
+                        fetched,
+                        ev.table.as_ref(),
+                        ev.support,
+                        ev.freq,
+                    );
                 }
             }
-            let parent_support = nodes[spec.parent].support;
-            let rel = relative_frequency(ev.support, parent_support);
-            if score(ev.support, parent_support, ev.freq, rel) >= threshold && ev.support > 0 {
+            if ev.accepted {
                 accepted.push(Node {
                     id: ev.id,
                     wp: ev.ext,
                     canonical: ev.canonical,
-                    table: ev.table,
+                    table: ev
+                        .table
+                        .expect("accepted candidate carries a materialized table"),
                     support: ev.support,
                     freq: ev.freq,
                 });
@@ -900,14 +1038,15 @@ impl<'a> WindowMiner<'a> {
     /// Mines the relative frequent patterns of `parent` (Def. 3.5): the
     /// expansion restarts from the parent pattern itself, accepting
     /// extensions whose *relative* frequency meets τ_rel but whose absolute
-    /// frequency fell below τ. Returns (patterns, candidates, joins).
+    /// frequency fell below τ. Returns (patterns, work counters).
     fn mine_relative(
         &self,
         state: &MineState,
         seed: TypeId,
         parent: &FoundPattern,
         pool: Option<&MiningPool>,
-    ) -> (Vec<RelPattern>, usize, usize) {
+        jpool: Option<&MiningPool>,
+    ) -> (Vec<RelPattern>, MineStats) {
         let rows = &state.rows;
         let mut stats = MineStats::default();
 
@@ -943,6 +1082,7 @@ impl<'a> WindowMiner<'a> {
             seed,
             None,
             pool,
+            jpool,
             &mut nodes,
             &mut found,
             &mut tested,
@@ -955,10 +1095,9 @@ impl<'a> WindowMiner<'a> {
         // Most specific among the relative patterns (excluding the parent).
         let rel_nodes: Vec<&Node> = nodes.iter().skip(1).collect();
         let pats: Vec<Pattern> = rel_nodes.iter().map(|n| n.canonical.clone()).collect();
-        let keep: HashSet<Pattern> =
-            crate::pattern::most_specific(&pats, self.universe.taxonomy())
-                .into_iter()
-                .collect();
+        let keep: HashSet<Pattern> = crate::pattern::most_specific(&pats, self.universe.taxonomy())
+            .into_iter()
+            .collect();
 
         if std::env::var_os("WICLEAN_TRACE").is_some() {
             eprintln!(
@@ -979,7 +1118,7 @@ impl<'a> WindowMiner<'a> {
                 rel_frequency: relative_frequency(n.support, parent_support),
             })
             .collect();
-        (rels, stats.candidates_considered, stats.joins_executed)
+        (rels, stats)
     }
 
     /// Builds the realization table of an arbitrary working pattern by
@@ -1164,14 +1303,8 @@ mod tests {
         let all: Vec<_> = fx.universe.entities().iter().collect();
         let mat = miner.mine_window_materialized(fx.player_ty, &fx.window, all);
 
-        let pi: BTreeSet<Pattern> = inc
-            .most_specific()
-            .map(|p| p.pattern.clone())
-            .collect();
-        let pm: BTreeSet<Pattern> = mat
-            .most_specific()
-            .map(|p| p.pattern.clone())
-            .collect();
+        let pi: BTreeSet<Pattern> = inc.most_specific().map(|p| p.pattern.clone()).collect();
+        let pm: BTreeSet<Pattern> = mat.most_specific().map(|p| p.pattern.clone()).collect();
         assert_eq!(pi, pm);
         // The full-graph variant must have considered at least as many
         // candidates (it seeds from every type).
@@ -1185,11 +1318,52 @@ mod tests {
         let r = miner.mine_window(fx.player_ty, &fx.window);
         assert!(r.stats.actions_extracted >= r.stats.reduced_actions);
         assert!(r.stats.joins_executed > 0);
-        assert_eq!(
-            r.stats.most_specific_found,
-            r.most_specific().count()
-        );
+        assert_eq!(r.stats.most_specific_found, r.most_specific().count());
         assert_eq!(r.stats.patterns_found, r.patterns.len());
+        // Join-engine counters: every executed join probed the parent table
+        // and either materialized its output or was pruned off the pair
+        // stream — never both, never neither.
+        assert!(r.stats.rows_probed > 0);
+        assert!(r.stats.tables_materialized > 0);
+        assert_eq!(
+            r.stats.joins_executed,
+            r.stats.tables_materialized + r.stats.tables_pruned
+        );
+    }
+
+    #[test]
+    fn fast_path_prunes_subthreshold_candidates() {
+        let fx = soccer_fixture();
+        let miner = WindowMiner::new(&fx.store, &fx.universe, fx.config());
+        let r = miner.mine_window(fx.player_ty, &fx.window);
+        assert!(
+            r.stats.tables_pruned > 0,
+            "the fixture's expansion must reject some candidates without \
+             materializing them; stats: {:?}",
+            r.stats
+        );
+        assert!(r.stats.join_prune_rate() > 0.0);
+        assert!(r.stats.pairs_matched >= r.stats.tables_materialized);
+    }
+
+    #[test]
+    fn forced_join_threads_agree_with_serial() {
+        let fx = soccer_fixture();
+        let mut config = fx.config();
+        config.join_threads = 1;
+        let serial =
+            WindowMiner::new(&fx.store, &fx.universe, config).mine_window(fx.player_ty, &fx.window);
+        config.join_threads = 4; // dedicated join pool, partitioned pair stage
+        let par =
+            WindowMiner::new(&fx.store, &fx.universe, config).mine_window(fx.player_ty, &fx.window);
+
+        assert_eq!(serial.patterns.len(), par.patterns.len());
+        for (a, b) in serial.patterns.iter().zip(&par.patterns) {
+            assert_eq!(a.pattern, b.pattern);
+            assert_eq!(a.support, b.support);
+            assert_eq!(a.table.sorted_rows(), b.table.sorted_rows());
+        }
+        assert_eq!(serial.stats.pairs_matched, par.stats.pairs_matched);
     }
 
     #[test]
@@ -1211,7 +1385,10 @@ mod tests {
         );
         let a: BTreeSet<Pattern> = clean.patterns.iter().map(|p| p.pattern.clone()).collect();
         let b: BTreeSet<Pattern> = healed.patterns.iter().map(|p| p.pattern.clone()).collect();
-        assert_eq!(a, b, "retried mining must be identical to fault-free mining");
+        assert_eq!(
+            a, b,
+            "retried mining must be identical to fault-free mining"
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         };
     }
     try_scalar!(i32, i64, u32, u64, usize, isize, f64, bool, char);
-    format!("non-string panic payload (type id {:?})", (*payload).type_id())
+    format!(
+        "non-string panic payload (type id {:?})",
+        (*payload).type_id()
+    )
 }
 
 /// Runs `mine` over every window on a fresh [`MiningPool`] with `threads`
@@ -259,14 +262,7 @@ mod tests {
     #[test]
     fn empty_window_list() {
         let fx = soccer_fixture();
-        let out = mine_windows_parallel(
-            &fx.store,
-            &fx.universe,
-            fx.player_ty,
-            &[],
-            fx.config(),
-            4,
-        );
+        let out = mine_windows_parallel(&fx.store, &fx.universe, fx.player_ty, &[], fx.config(), 4);
         assert!(out.is_empty());
     }
 
@@ -288,7 +284,10 @@ mod tests {
     fn worker_panic_is_isolated() {
         let fx = soccer_fixture();
         let windows = Window::split_span(fx.window.start, fx.window.end, fx.window.len() / 4);
-        assert!(windows.len() >= 3, "fixture must split into several windows");
+        assert!(
+            windows.len() >= 3,
+            "fixture must split into several windows"
+        );
         let poison = windows[1];
 
         let miner = WindowMiner::new(&fx.store, &fx.universe, fx.config());
@@ -320,8 +319,11 @@ mod tests {
                 let got = r.as_ref().expect("healthy window must succeed");
                 let gp: BTreeSet<Pattern> =
                     got.patterns.iter().map(|x| x.pattern.clone()).collect();
-                let cp: BTreeSet<Pattern> =
-                    clean[i].patterns.iter().map(|x| x.pattern.clone()).collect();
+                let cp: BTreeSet<Pattern> = clean[i]
+                    .patterns
+                    .iter()
+                    .map(|x| x.pattern.clone())
+                    .collect();
                 assert_eq!(gp, cp);
             }
         }
@@ -331,10 +333,12 @@ mod tests {
     fn sequential_path_also_isolates_panics() {
         let fx = soccer_fixture();
         let windows = [fx.window];
-        let out =
-            run_windows_checked(&windows, fx.player_ty, 1, |_w| -> crate::miner::WindowResult {
-                panic!("boom {}", 42)
-            });
+        let out = run_windows_checked(
+            &windows,
+            fx.player_ty,
+            1,
+            |_w| -> crate::miner::WindowResult { panic!("boom {}", 42) },
+        );
         assert_eq!(out.len(), 1);
         let failure = out[0].as_ref().unwrap_err();
         assert!(failure.panic.contains("boom 42"));
@@ -346,10 +350,12 @@ mod tests {
         let fx = soccer_fixture();
         let windows = [fx.window];
 
-        let out =
-            run_windows_checked(&windows, fx.player_ty, 1, |_w| -> crate::miner::WindowResult {
-                std::panic::panic_any(17usize)
-            });
+        let out = run_windows_checked(
+            &windows,
+            fx.player_ty,
+            1,
+            |_w| -> crate::miner::WindowResult { std::panic::panic_any(17usize) },
+        );
         let failure = out[0].as_ref().unwrap_err();
         assert!(
             failure.panic.contains("17") && failure.panic.contains("usize"),
@@ -357,12 +363,16 @@ mod tests {
             failure.panic
         );
 
-        let out =
-            run_windows_checked(&windows, fx.player_ty, 1, |_w| -> crate::miner::WindowResult {
+        let out = run_windows_checked(
+            &windows,
+            fx.player_ty,
+            1,
+            |_w| -> crate::miner::WindowResult {
                 std::panic::panic_any(std::borrow::Cow::<'static, str>::Owned(
                     "cow payload".to_string(),
                 ))
-            });
+            },
+        );
         let failure = out[0].as_ref().unwrap_err();
         assert!(
             failure.panic.contains("cow payload"),
@@ -373,10 +383,12 @@ mod tests {
         // Arbitrary payloads at least identify themselves as non-string.
         #[derive(Debug)]
         struct Opaque;
-        let out =
-            run_windows_checked(&windows, fx.player_ty, 1, |_w| -> crate::miner::WindowResult {
-                std::panic::panic_any(Opaque)
-            });
+        let out = run_windows_checked(
+            &windows,
+            fx.player_ty,
+            1,
+            |_w| -> crate::miner::WindowResult { std::panic::panic_any(Opaque) },
+        );
         let failure = out[0].as_ref().unwrap_err();
         assert!(
             failure.panic.contains("non-string panic payload"),

@@ -23,7 +23,7 @@ use crate::pattern::{Pattern, WorkingPattern};
 use crate::realization::{action_realizations, column_of, frequency, Shape};
 use crate::var::Var;
 use std::collections::{BTreeSet, HashMap};
-use wiclean_rel::{outer_join_glue, ColumnGlue, Schema, Table};
+use wiclean_rel::{outer_join_glue, ColumnGlue, Table};
 use wiclean_revstore::FetchSource;
 use wiclean_types::{EntityId, TypeId, Universe, Window};
 
@@ -105,21 +105,16 @@ fn outer_chain(
     let actions = wp.actions();
     let tax = miner_universe.taxonomy();
 
-    // Left-hand start: action 0's realization plus its marker.
+    // Left-hand start: action 0's realization plus its marker — a clone of
+    // the source column (column-major decoration, no row rebuild).
     let first = actions[0];
-    let base = action_realizations(&first, rows.get(&first.shape()).unwrap_or(&empty), miner_universe);
-    let mut names: Vec<String> = base.schema().names().to_vec();
-    names.push("@a0".to_owned());
-    let mut table = Table::new(Schema::new(names));
-    {
-        let mut row = Vec::with_capacity(table.width());
-        for r in base.rows() {
-            row.clear();
-            row.extend_from_slice(r);
-            row.push(r[0]); // marker duplicates the source value
-            table.push_row(&row);
-        }
-    }
+    let mut table = action_realizations(
+        &first,
+        rows.get(&first.shape()).unwrap_or(&empty),
+        miner_universe,
+    );
+    let marker = table.col(0).clone();
+    table.append_column("@a0", marker);
     let mut bound: Vec<Var> = if first.source == first.target {
         vec![first.source]
     } else {
@@ -128,19 +123,10 @@ fn outer_chain(
 
     for (i, a) in actions.iter().enumerate().skip(1) {
         // Right: [src, tgt, marker].
-        let act = action_realizations(a, rows.get(&a.shape()).unwrap_or(&empty), miner_universe);
-        let mut rnames: Vec<String> = act.schema().names().to_vec();
-        rnames.push(format!("@a{i}"));
-        let mut right = Table::new(Schema::new(rnames));
-        {
-            let mut row = Vec::with_capacity(right.width());
-            for r in act.rows() {
-                row.clear();
-                row.extend_from_slice(r);
-                row.push(r[0]);
-                right.push_row(&row);
-            }
-        }
+        let mut right =
+            action_realizations(a, rows.get(&a.shape()).unwrap_or(&empty), miner_universe);
+        let marker = right.col(0).clone();
+        right.append_column(format!("@a{i}"), marker);
 
         let left_names: Vec<String> = table.schema().names().to_vec();
         let src_col = column_of(&left_names, a.source);
@@ -220,10 +206,7 @@ pub fn report_from_rows(
     // columns (each join appends its new variable, then its marker), so
     // resolve positions from the schema rather than assuming a layout.
     let names = table.schema().names();
-    let var_cols: Vec<usize> = vars
-        .iter()
-        .map(|v| column_of(names, *v))
-        .collect();
+    let var_cols: Vec<usize> = vars.iter().map(|v| column_of(names, *v)).collect();
     let marker_cols: Vec<usize> = (0..nacts)
         .map(|i| {
             let want = format!("@a{i}");
@@ -243,10 +226,10 @@ pub fn report_from_rows(
     // are both non-null at join time; a null-padded row can later acquire
     // a clashing value through a glued column, so re-check here.
     let tax = universe.taxonomy();
-    let violates_injectivity = |r: &[wiclean_rel::Value]| {
+    let violates_injectivity = |t: &Table, row: usize| {
         for i in 0..nvars {
             for j in (i + 1)..nvars {
-                if let (Some(a), Some(b)) = (r[var_cols[i]], r[var_cols[j]]) {
+                if let (Some(a), Some(b)) = (t.cell(row, var_cols[i]), t.cell(row, var_cols[j])) {
                     if a == b
                         && (tax.is_subtype(vars[i].ty, vars[j].ty)
                             || tax.is_subtype(vars[j].ty, vars[i].ty))
@@ -259,14 +242,14 @@ pub fn report_from_rows(
         false
     };
 
-    for r in table.rows() {
-        if violates_injectivity(r) {
+    for row in 0..table.len() {
+        if violates_injectivity(&table, row) {
             continue;
         }
         let missing_ix: Vec<usize> = marker_cols
             .iter()
             .enumerate()
-            .filter_map(|(i, &c)| r[c].is_none().then_some(i))
+            .filter_map(|(i, &c)| table.cell(row, c).is_none().then_some(i))
             .collect();
         if missing_ix.is_empty() {
             complete_count += 1;
@@ -274,7 +257,7 @@ pub fn report_from_rows(
                 complete_examples.push(
                     vars.iter()
                         .enumerate()
-                        .filter_map(|(i, v)| r[var_cols[i]].map(|e| (*v, e)))
+                        .filter_map(|(i, v)| table.cell(row, var_cols[i]).map(|e| (*v, e)))
                         .collect(),
                 );
             }
@@ -294,7 +277,7 @@ pub fn report_from_rows(
                 assignment: vars
                     .iter()
                     .enumerate()
-                    .map(|(i, v)| (*v, r[var_cols[i]]))
+                    .map(|(i, v)| (*v, table.cell(row, var_cols[i])))
                     .collect(),
                 missing,
                 present,
@@ -302,18 +285,14 @@ pub fn report_from_rows(
         }
     }
 
-    // Frequency metadata from the inner (complete) portion.
+    // Frequency metadata from the inner (complete) portion: gather the
+    // complete rows, project onto the variable columns.
     let inner = {
-        // Project the complete rows' variable columns into a table.
-        let mut t = Table::new(Schema::new(vars.iter().map(Var::column_name)));
-        let mut row = Vec::with_capacity(nvars);
-        for r in table.rows() {
-            if marker_cols.iter().all(|&c| r[c].is_some()) {
-                row.clear();
-                row.extend(var_cols.iter().map(|&c| r[c]));
-                t.push_row(&row);
-            }
-        }
+        let keep: Vec<u32> = (0..table.len())
+            .filter(|&i| marker_cols.iter().all(|&c| table.cell(i, c).is_some()))
+            .map(|i| i as u32)
+            .collect();
+        let mut t = table.gather(&keep).project(&var_cols);
         t.dedup();
         t
     };

@@ -200,12 +200,16 @@ impl Pattern {
     }
 }
 
+/// A candidate reindexing of same-type variables: `(type, old index)` →
+/// new index.
+type IndexAssignment = HashMap<(TypeId, u8), u8>;
+
 /// Depth-first enumeration of per-type index permutations.
 fn permute_groups(
     groups: &[(TypeId, Vec<u8>)],
     depth: usize,
-    assignment: &mut HashMap<(TypeId, u8), u8>,
-    visit: &mut dyn FnMut(&HashMap<(TypeId, u8), u8>),
+    assignment: &mut IndexAssignment,
+    visit: &mut dyn FnMut(&IndexAssignment),
 ) {
     if depth == groups.len() {
         visit(assignment);
@@ -216,14 +220,13 @@ fn permute_groups(
     let mut perm: Vec<u8> = (0..n as u8).collect();
     // Heap's algorithm, iterative over all permutations of 0..n.
     let mut c = vec![0usize; n];
-    let apply = |perm: &[u8],
-                     assignment: &mut HashMap<(TypeId, u8), u8>,
-                     visit: &mut dyn FnMut(&HashMap<(TypeId, u8), u8>)| {
-        for (k, &old_ix) in ixs.iter().enumerate() {
-            assignment.insert((*ty, old_ix), perm[k]);
-        }
-        permute_groups(groups, depth + 1, assignment, visit);
-    };
+    let apply =
+        |perm: &[u8], assignment: &mut IndexAssignment, visit: &mut dyn FnMut(&IndexAssignment)| {
+            for (k, &old_ix) in ixs.iter().enumerate() {
+                assignment.insert((*ty, old_ix), perm[k]);
+            }
+            permute_groups(groups, depth + 1, assignment, visit);
+        };
     apply(&perm, assignment, visit);
     let mut i = 0;
     while i < n {
@@ -293,7 +296,15 @@ fn embeds(general: &[AbstractAction], specific: &[AbstractAction], taxonomy: &Ta
             }
             if ok {
                 used[si] = true;
-                if rec(gi + 1, general, specific, used, var_map, mapped_to, taxonomy) {
+                if rec(
+                    gi + 1,
+                    general,
+                    specific,
+                    used,
+                    var_map,
+                    mapped_to,
+                    taxonomy,
+                ) {
                     return true;
                 }
                 used[si] = false;
@@ -346,7 +357,12 @@ pub struct WorkingPattern {
 impl WorkingPattern {
     /// A single-action pattern. The source variable gets index 0; the
     /// target gets index 0 too unless it shares the source's type (then 1).
-    pub fn singleton(op: wiclean_wikitext::EditOp, src_ty: TypeId, rel: wiclean_types::RelId, tgt_ty: TypeId) -> Self {
+    pub fn singleton(
+        op: wiclean_wikitext::EditOp,
+        src_ty: TypeId,
+        rel: wiclean_types::RelId,
+        tgt_ty: TypeId,
+    ) -> Self {
         let source = Var::new(src_ty, 0);
         let target = Var::new(tgt_ty, if tgt_ty == src_ty { 1 } else { 0 });
         Self {
@@ -368,6 +384,11 @@ impl WorkingPattern {
     /// Number of actions.
     pub fn len(&self) -> usize {
         self.actions.len()
+    }
+
+    /// Always false — patterns are constructed from at least one action.
+    pub fn is_empty(&self) -> bool {
+        false
     }
 
     /// Variables in first-appearance order (source before target within an
@@ -490,19 +511,15 @@ mod tests {
         let t2 = Var::new(league, 1);
 
         // Figure 2(a): all edges from player_1 — connected.
-        let connected = Pattern::canonical_from(&[
-            aa(EditOp::Add, p1, 0, t1),
-            aa(EditOp::Remove, p1, 0, t2),
-        ]);
+        let connected =
+            Pattern::canonical_from(&[aa(EditOp::Add, p1, 0, t1), aa(EditOp::Remove, p1, 0, t2)]);
         assert!(connected.is_connected(&tax, player));
         assert_eq!(connected.source_var(&tax, player).unwrap().ty, player);
 
         // Figure 2(b): second edge hangs off a different player — the
         // pattern splits into two components, not connected.
-        let disconnected = Pattern::canonical_from(&[
-            aa(EditOp::Add, p1, 0, t1),
-            aa(EditOp::Remove, p2, 0, t2),
-        ]);
+        let disconnected =
+            Pattern::canonical_from(&[aa(EditOp::Add, p1, 0, t1), aa(EditOp::Remove, p2, 0, t2)]);
         assert!(!disconnected.is_connected(&tax, player));
     }
 
@@ -512,10 +529,7 @@ mod tests {
         let p1 = Var::new(player, 0);
         let c1 = Var::new(club, 0);
         // player → club and club → player: connected from player.
-        let p = Pattern::canonical_from(&[
-            aa(EditOp::Add, p1, 0, c1),
-            aa(EditOp::Add, c1, 1, p1),
-        ]);
+        let p = Pattern::canonical_from(&[aa(EditOp::Add, p1, 0, c1), aa(EditOp::Add, c1, 1, p1)]);
         assert!(p.is_connected(&tax, player));
         // Also connected w.r.t. club (club var reaches player var).
         assert!(p.is_connected(&tax, club));
@@ -531,7 +545,10 @@ mod tests {
         let p = Pattern::canonical_from(&[aa(EditOp::Add, a1, 0, c1)]);
         assert!(p.is_connected(&tax, player));
         assert!(p.is_connected(&tax, athlete));
-        assert!(!p.is_connected(&tax, club), "club var has no out-path to all");
+        assert!(
+            !p.is_connected(&tax, club),
+            "club var has no out-path to all"
+        );
     }
 
     #[test]
@@ -548,12 +565,8 @@ mod tests {
             aa(EditOp::Add, Var::new(athlete, 0), 0, Var::new(club, 0)),
             aa(EditOp::Remove, Var::new(athlete, 0), 0, Var::new(club, 1)),
         ]);
-        let p3 = Pattern::canonical_from(&[aa(
-            EditOp::Add,
-            Var::new(athlete, 0),
-            0,
-            Var::new(club, 0),
-        )]);
+        let p3 =
+            Pattern::canonical_from(&[aa(EditOp::Add, Var::new(athlete, 0), 0, Var::new(club, 0))]);
 
         assert!(p1.more_specific_than(&p2, &tax));
         assert!(p2.more_specific_than(&p3, &tax));
@@ -570,12 +583,8 @@ mod tests {
             aa(EditOp::Add, Var::new(player, 0), 0, Var::new(club, 0)),
             aa(EditOp::Remove, Var::new(player, 0), 0, Var::new(club, 1)),
         ]);
-        let p3 = Pattern::canonical_from(&[aa(
-            EditOp::Add,
-            Var::new(athlete, 0),
-            0,
-            Var::new(club, 0),
-        )]);
+        let p3 =
+            Pattern::canonical_from(&[aa(EditOp::Add, Var::new(athlete, 0), 0, Var::new(club, 0))]);
         let other = Pattern::canonical_from(&[aa(
             EditOp::Remove,
             Var::new(player, 0),
@@ -644,7 +653,12 @@ mod tests {
         let (_tax, _p, _a, player, club) = taxonomy();
         let rel = RelId::from_u32(0);
         let wp = WorkingPattern::singleton(EditOp::Add, player, rel, club);
-        let ext1 = wp.extended_with(aa(EditOp::Remove, Var::new(player, 0), 0, Var::new(club, 1)));
+        let ext1 = wp.extended_with(aa(
+            EditOp::Remove,
+            Var::new(player, 0),
+            0,
+            Var::new(club, 1),
+        ));
         // Build "the same" pattern with club indices swapped.
         let wp2 = WorkingPattern::from_actions(vec![
             aa(EditOp::Add, Var::new(player, 0), 0, Var::new(club, 1)),

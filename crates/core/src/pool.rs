@@ -54,10 +54,9 @@ impl Batch {
             }
             // Safety: i < len, and the submitter keeps the closure alive
             // until all claimed tasks have finished (done == len).
-            let result =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
-                    (*self.task)(i)
-                }));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+                (*self.task)(i)
+            }));
             if let Err(payload) = result {
                 let mut first = self.panic.lock().unwrap();
                 if first.is_none() {
@@ -210,6 +209,20 @@ impl MiningPool {
             .into_iter()
             .map(|s| s.into_inner().unwrap().expect("pool task completed"))
             .collect()
+    }
+}
+
+/// The pool doubles as the relational engine's batch executor, so the
+/// radix-partitioned parallel hash join inside candidate evaluation runs on
+/// the same workers as the candidates themselves. Nested submission is safe
+/// (the submitting task participates in its own batch), so a spec evaluated
+/// on the pool may fan its join partitions back out without deadlock.
+impl wiclean_rel::BatchRunner for MiningPool {
+    fn run_batch(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        MiningPool::run_batch(self, n, f);
+    }
+    fn width(&self) -> usize {
+        MiningPool::width(self)
     }
 }
 

@@ -13,7 +13,12 @@ use wiclean_revstore::Action;
 use wiclean_types::{EntityId, TypeId, Universe};
 
 /// An abstraction *shape* — an abstract action without variable indices.
-pub type Shape = (wiclean_wikitext::EditOp, TypeId, wiclean_types::RelId, TypeId);
+pub type Shape = (
+    wiclean_wikitext::EditOp,
+    TypeId,
+    wiclean_types::RelId,
+    TypeId,
+);
 
 /// Concrete (source, target) action rows grouped by shape — the product of
 /// the preprocessing step.
@@ -79,23 +84,42 @@ pub fn shape_of(a: &Action, universe: &Universe) -> Shape {
 /// source variable occupies `source_col`: the fraction of `entities(t)`
 /// appearing in that column.
 pub fn frequency(table: &Table, source_col: usize, seed: TypeId, universe: &Universe) -> f64 {
-    let denom = universe.count_entities_of(seed);
-    if denom == 0 {
-        return 0.0;
-    }
-    let support = support_count(table, source_col, seed, universe);
-    support as f64 / denom as f64
+    frequency_from_support(
+        support_count(table, source_col, seed, universe),
+        seed,
+        universe,
+    )
 }
 
 /// The numerator of Def. 3.2: distinct entities of the seed type in the
 /// source column. With an abstracted source variable the column may also
 /// contain entities of sibling types, which do not count.
 pub fn support_count(table: &Table, source_col: usize, seed: TypeId, universe: &Universe) -> usize {
-    table
-        .distinct_values(source_col)
-        .into_iter()
-        .filter(|&e| universe.entity_has_type(e, seed))
+    support_from_distinct(&table.distinct_values(source_col), seed, universe)
+}
+
+/// [`support_count`] on an already-collected distinct source set — the
+/// miner's fast path counts this straight off a join's pair stream
+/// ([`wiclean_rel::distinct_left_values`]) without materializing the table.
+pub fn support_from_distinct(
+    values: &wiclean_rel::EntitySet,
+    seed: TypeId,
+    universe: &Universe,
+) -> usize {
+    values
+        .iter()
+        .filter(|&&e| universe.entity_has_type(e, seed))
         .count()
+}
+
+/// Frequency (Def. 3.2) from an already-computed support count.
+pub fn frequency_from_support(support: usize, seed: TypeId, universe: &Universe) -> f64 {
+    let denom = universe.count_entities_of(seed);
+    if denom == 0 {
+        0.0
+    } else {
+        support as f64 / denom as f64
+    }
 }
 
 /// Relative frequency (Def. 3.4) of a refinement `p'` w.r.t. its parent
@@ -166,12 +190,7 @@ mod tests {
     fn comparable_types_enforce_injectivity() {
         let (u, player, _club, ids) = setup();
         let rel = u.lookup_relation("current_club").unwrap();
-        let aa = AbstractAction::new(
-            EditOp::Add,
-            Var::new(player, 0),
-            rel,
-            Var::new(player, 1),
-        );
+        let aa = AbstractAction::new(EditOp::Add, Var::new(player, 0), rel, Var::new(player, 1));
         let t = action_realizations(&aa, &[(ids[0], ids[0]), (ids[0], ids[1])], &u);
         assert_eq!(t.len(), 1, "u == v excluded for same-type distinct vars");
     }

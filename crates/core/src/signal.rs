@@ -38,7 +38,9 @@ pub fn edit_volume_signal(
 
     let mut volumes = vec![0usize; windows.len()];
     for e in entities {
-        let Some(history) = store.fetch(e) else { continue };
+        let Some(history) = store.fetch(e) else {
+            continue;
+        };
         for (i, w) in windows.iter().enumerate() {
             volumes[i] += history.revisions_in(w).len();
         }
@@ -88,14 +90,7 @@ mod tests {
         let fx = soccer_fixture();
         // Fixture edits happen between t=20 and ~t=70; measure over
         // [0, 1000) in 100-wide windows.
-        let signals = edit_volume_signal(
-            &fx.store,
-            &fx.universe,
-            fx.player_ty,
-            0,
-            1000,
-            100,
-        );
+        let signals = edit_volume_signal(&fx.store, &fx.universe, fx.player_ty, 0, 1000, 100);
         assert_eq!(signals.len(), 10);
         // The first window holds every player edit; later windows are flat.
         assert!(signals[0].edits > 0);
@@ -110,14 +105,7 @@ mod tests {
     fn flat_volume_has_no_significant_windows() {
         let fx = soccer_fixture();
         // One window covering everything: a single sample has z = 0.
-        let signals = edit_volume_signal(
-            &fx.store,
-            &fx.universe,
-            fx.player_ty,
-            0,
-            1000,
-            1000,
-        );
+        let signals = edit_volume_signal(&fx.store, &fx.universe, fx.player_ty, 0, 1000, 1000);
         assert_eq!(signals.len(), 1);
         assert_eq!(signals[0].zscore, 0.0);
         assert!(significant_windows(&signals, 1.0).is_empty());
@@ -126,16 +114,8 @@ mod tests {
     #[test]
     fn zscores_are_zero_mean_ish() {
         let fx = soccer_fixture();
-        let signals = edit_volume_signal(
-            &fx.store,
-            &fx.universe,
-            fx.player_ty,
-            0,
-            1000,
-            100,
-        );
-        let mean_z: f64 =
-            signals.iter().map(|s| s.zscore).sum::<f64>() / signals.len() as f64;
+        let signals = edit_volume_signal(&fx.store, &fx.universe, fx.player_ty, 0, 1000, 100);
+        let mean_z: f64 = signals.iter().map(|s| s.zscore).sum::<f64>() / signals.len() as f64;
         assert!(mean_z.abs() < 1e-9);
     }
 }

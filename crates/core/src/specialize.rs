@@ -72,11 +72,13 @@ pub fn specialize_pattern(
 
     for var in vars.iter().skip(1) {
         let col = column_of(&names, *var);
-        // Value histogram over the realization rows.
+        // Value histogram over the column — a single dense scan, no row
+        // materialization.
+        let column = found.table.col(col);
         let mut histogram: HashMap<EntityId, usize> = HashMap::new();
         let mut total = 0usize;
-        for row in found.table.rows() {
-            if let Some(e) = row[col] {
+        for i in 0..found.table.len() {
+            if let Some(e) = column.get(i) {
                 *histogram.entry(e).or_default() += 1;
                 total += 1;
             }
@@ -92,12 +94,14 @@ pub fn specialize_pattern(
             continue;
         }
         // Support of the specialized pattern: distinct seed entities among
-        // the rows that bind `var` to `entity`.
+        // the rows that bind `var` to `entity` — a paired scan over just
+        // the two relevant columns.
         let src_col = column_of(&names, vars[0]);
+        let source = found.table.col(src_col);
         let mut seeds: std::collections::HashSet<EntityId> = Default::default();
-        for row in found.table.rows() {
-            if row[col] == Some(entity) {
-                if let Some(s) = row[src_col] {
+        for i in 0..found.table.len() {
+            if column.get(i) == Some(entity) {
+                if let Some(s) = source.get(i) {
                     if universe.entity_has_type(s, seed) {
                         seeds.insert(s);
                     }
@@ -152,12 +156,20 @@ mod tests {
         store.record(psg, 1, render_links("PSG", "club", &psg_links));
         store.record(other, 1, render_links("Elsewhere FC", "club", &other_links));
         for (i, &p) in players.iter().enumerate() {
-            store.record(p, 1, render_links(u.entity_name(p), "bio", &PageLinks::new()));
+            store.record(
+                p,
+                1,
+                render_links(u.entity_name(p), "bio", &PageLinks::new()),
+            );
             let target = if i < 6 { psg } else { other };
             let tname = u.entity_name(target).to_owned();
             let mut pl = PageLinks::new();
             pl.insert("current_club", &tname);
-            store.record(p, 100 + i as u64, render_links(u.entity_name(p), "bio", &pl));
+            store.record(
+                p,
+                100 + i as u64,
+                render_links(u.entity_name(p), "bio", &pl),
+            );
             let pname = u.entity_name(p).to_owned();
             let (links, title) = if i < 6 {
                 psg_links.insert("squad", &pname);

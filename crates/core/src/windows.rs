@@ -95,7 +95,11 @@ fn last_trace_buffer(
                     p.frequency,
                     r.window,
                     p.pattern.len(),
-                    p.pattern.actions().iter().map(|a| (a.op.sigil(), a.rel)).collect::<Vec<_>>()
+                    p.pattern
+                        .actions()
+                        .iter()
+                        .map(|a| (a.op.sigil(), a.rel))
+                        .collect::<Vec<_>>()
                 ));
             }
         }
@@ -412,8 +416,16 @@ mod cache_tests {
 
         // Identical search trajectory and output: the preprocessing cache
         // only changes *where* extractions come from, never their content.
-        let pa: Vec<(P, usize)> = a.discovered.iter().map(|d| (d.pattern.clone(), d.support)).collect();
-        let pb: Vec<(P, usize)> = b.discovered.iter().map(|d| (d.pattern.clone(), d.support)).collect();
+        let pa: Vec<(P, usize)> = a
+            .discovered
+            .iter()
+            .map(|d| (d.pattern.clone(), d.support))
+            .collect();
+        let pb: Vec<(P, usize)> = b
+            .discovered
+            .iter()
+            .map(|d| (d.pattern.clone(), d.support))
+            .collect();
         assert_eq!(pa, pb, "action caching must not change the discovered set");
         assert_eq!(a.iterations, b.iterations);
         assert_eq!(a.stats.joins_executed, b.stats.joins_executed);
@@ -426,10 +438,18 @@ mod cache_tests {
         // cache must serve a measurable share of those lookups (exact hits
         // on repeated windows, compositions on widened ones).
         let served = a.stats.action_cache_hits + a.stats.action_cache_composed;
-        assert!(served > 0, "refinement must reuse preprocessing: {:?}", a.stats);
+        assert!(
+            served > 0,
+            "refinement must reuse preprocessing: {:?}",
+            a.stats
+        );
         assert!(a.stats.action_cache_hit_rate() > 0.0);
         assert_eq!(
-            (b.stats.action_cache_hits, b.stats.action_cache_composed, b.stats.action_cache_misses),
+            (
+                b.stats.action_cache_hits,
+                b.stats.action_cache_composed,
+                b.stats.action_cache_misses
+            ),
             (0, 0, 0),
             "ablated run must not touch the action cache"
         );
@@ -446,7 +466,10 @@ pub fn merge_pattern_windows(results: &[WindowResult]) -> HashMap<Pattern, Vec<W
     let mut occurrences: HashMap<Pattern, Vec<Window>> = HashMap::new();
     for r in results {
         for p in r.most_specific() {
-            occurrences.entry(p.pattern.clone()).or_default().push(r.window);
+            occurrences
+                .entry(p.pattern.clone())
+                .or_default()
+                .push(r.window);
         }
     }
     for windows in occurrences.values_mut() {

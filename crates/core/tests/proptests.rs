@@ -31,22 +31,16 @@ fn ty(i: u32) -> TypeId {
 }
 
 fn action_strategy() -> impl Strategy<Value = AbstractAction> {
-    (
-        prop::bool::ANY,
-        1u32..5,
-        0u8..3,
-        0u32..3,
-        1u32..5,
-        0u8..3,
-    )
-        .prop_map(|(add, sty, six, rel, tty, tix)| {
+    (prop::bool::ANY, 1u32..5, 0u8..3, 0u32..3, 1u32..5, 0u8..3).prop_map(
+        |(add, sty, six, rel, tty, tix)| {
             AbstractAction::new(
                 if add { EditOp::Add } else { EditOp::Remove },
                 Var::new(ty(sty), six),
                 RelId::from_u32(rel),
                 Var::new(ty(tty), tix),
             )
-        })
+        },
+    )
 }
 
 fn actions_strategy() -> impl Strategy<Value = Vec<AbstractAction>> {
@@ -223,7 +217,11 @@ fn transfer_world() -> (Universe, RevisionStore, TypeId, Window) {
         store.record(c, 1, text);
     }
     for (i, &p) in players.iter().enumerate() {
-        store.record(p, 1, render_links(u.entity_name(p), "bio", &PageLinks::new()));
+        store.record(
+            p,
+            1,
+            render_links(u.entity_name(p), "bio", &PageLinks::new()),
+        );
         let club_ix = i % 3;
         let mut links = PageLinks::new();
         links.insert("current_club", u.entity_name(clubs[club_ix]));
@@ -269,10 +267,7 @@ fn exact_digest(result: &WindowResult) -> String {
     let mut stats = result.stats.clone();
     stats.preprocess = std::time::Duration::ZERO;
     stats.mine = std::time::Duration::ZERO;
-    format!(
-        "{:?}|{:?}|{:?}",
-        result.patterns, stats, result.degraded
-    )
+    format!("{:?}|{:?}|{:?}", result.patterns, stats, result.degraded)
 }
 
 proptest! {
@@ -389,7 +384,12 @@ fn wc_digest(r: &WcResult) -> String {
         .map(|d| {
             format!(
                 "{:?} win={} width={} tau={} f={} sup={} rels={}",
-                d.pattern, d.window, d.window_width, d.tau, d.frequency, d.support,
+                d.pattern,
+                d.window,
+                d.window_width,
+                d.tau,
+                d.frequency,
+                d.support,
                 d.rel_patterns.len()
             )
         })

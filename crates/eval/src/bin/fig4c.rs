@@ -11,7 +11,11 @@ fn main() {
         .iter()
         .map(|a| a.parse().expect("weeks must be integers"))
         .collect();
-    let weeks = if weeks.is_empty() { vec![2, 4, 8] } else { weeks };
+    let weeks = if weeks.is_empty() {
+        vec![2, 4, 8]
+    } else {
+        weeks
+    };
     eprintln!("Figure 4(c): runtime vs window size {weeks:?} weeks ({seeds} seeds, tau=0.4)");
     let rows = fig4c(&weeks, seeds, 0x41C);
     println!("{}", render_timed(&rows, "window"));

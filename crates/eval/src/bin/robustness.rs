@@ -10,7 +10,9 @@ use wiclean_synth::{scenarios, SynthConfig};
 fn main() {
     let mut args = std::env::args().skip(1);
     let seeds: usize = args.next().map_or(400, |a| a.parse().expect("seed count"));
-    let fault_seed: u64 = args.next().map_or(0xFA_017, |a| a.parse().expect("fault seed"));
+    let fault_seed: u64 = args
+        .next()
+        .map_or(0xFA_017, |a| a.parse().expect("fault seed"));
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(8);

@@ -50,12 +50,12 @@ pub fn run_policy(world: &SynthWorld, threads: usize, policy: RefinePolicy) -> G
     let result = find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
     let runtime = t0.elapsed();
 
-    let expert: Vec<Pattern> = world
-        .expert_list()
-        .into_iter()
-        .map(|(_, p, _)| p)
+    let expert: Vec<Pattern> = world.expert_list().into_iter().map(|(_, p, _)| p).collect();
+    let discovered: Vec<Pattern> = result
+        .discovered
+        .iter()
+        .map(|d| d.pattern.clone())
         .collect();
-    let discovered: Vec<Pattern> = result.discovered.iter().map(|d| d.pattern.clone()).collect();
     let m = pattern_metrics(&discovered, &expert);
 
     GridRow {

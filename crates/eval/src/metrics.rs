@@ -61,8 +61,8 @@ mod tests {
     use super::*;
     use wiclean_core::abstract_action::AbstractAction;
     use wiclean_core::var::Var;
-    use wiclean_types::{RelId, TypeId};
     use wiclean_revstore::EditOp;
+    use wiclean_types::{RelId, TypeId};
 
     fn pat(rel: u32) -> Pattern {
         Pattern::canonical_from(&[AbstractAction::new(

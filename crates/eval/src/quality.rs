@@ -105,8 +105,7 @@ pub fn evaluate_domain(
     let world = generate(domain, synth);
     let wc = default_wc_config(threads);
     let result = find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
-    let report = score(&world, &result, &wc, t0.elapsed());
-    report
+    score(&world, &result, &wc, t0.elapsed())
 }
 
 /// Scores an already-mined result against the world's ground truth.
@@ -118,7 +117,11 @@ pub fn score(
 ) -> DomainQualityReport {
     let expert = world.expert_list();
     let expert_patterns: Vec<Pattern> = expert.iter().map(|(_, p, _)| p.clone()).collect();
-    let discovered: Vec<Pattern> = result.discovered.iter().map(|d| d.pattern.clone()).collect();
+    let discovered: Vec<Pattern> = result
+        .discovered
+        .iter()
+        .map(|d| d.pattern.clone())
+        .collect();
     let metrics = pattern_metrics(&discovered, &expert_patterns);
 
     let discovered_set: BTreeSet<&Pattern> = discovered.iter().collect();
@@ -141,9 +144,10 @@ pub fn score(
             let expected = world
                 .domain
                 .expert_extension_pattern(template, eix, &world.universe);
-            let hit = result.discovered.iter().any(|d| {
-                d.rel_patterns.iter().any(|r| r.pattern == expected)
-            });
+            let hit = result
+                .discovered
+                .iter()
+                .any(|d| d.rel_patterns.iter().any(|r| r.pattern == expected));
             let _ = tix;
             if hit {
                 rel_recovered += 1;
@@ -245,10 +249,7 @@ pub fn score(
         .values()
         .filter(|c| **c == FlagClass::Spurious)
         .count();
-    let unknown_flags = flags
-        .values()
-        .filter(|c| **c == FlagClass::Unknown)
-        .count();
+    let unknown_flags = flags.values().filter(|c| **c == FlagClass::Unknown).count();
 
     // Window concentration: of the final iteration's windows, in how many
     // was each discovered pattern frequent?

@@ -103,8 +103,7 @@ pub fn run_robustness(
             let cell_seed = mix64(fault_seed ^ ((rix as u64) << 32) ^ pix as u64);
             let faulty = FaultyStore::new(&world.store, FaultPlan::transient_only(rate, cell_seed));
             let fetcher = ResilientFetcher::new(&faulty, *policy);
-            let result =
-                find_windows_and_patterns(&fetcher, &world.universe, world.seed_type, &wc);
+            let result = find_windows_and_patterns(&fetcher, &world.universe, world.seed_type, &wc);
             let found: BTreeSet<Pattern> = result
                 .discovered
                 .iter()
@@ -193,12 +192,16 @@ mod tests {
             &DEFAULT_FAULT_RATES,
             0xFA_017,
         );
-        assert!(report.baseline_patterns > 0, "baseline must discover patterns");
+        assert!(
+            report.baseline_patterns > 0,
+            "baseline must discover patterns"
+        );
         for c in &report.cells {
             match c.policy.as_str() {
                 "retry" => {
                     assert_eq!(
-                        c.entities_lost, 0,
+                        c.entities_lost,
+                        0,
                         "retry must heal transient faults at {}%",
                         c.fault_rate * 100.0
                     );
@@ -228,7 +231,10 @@ mod tests {
             .filter(|c| c.policy == "no-retry")
             .map(|c| c.entities_lost)
             .collect();
-        assert!(lost.windows(2).all(|w| w[0] <= w[1] * 2), "loss scales with rate");
+        assert!(
+            lost.windows(2).all(|w| w[0] <= w[1] * 2),
+            "loss scales with rate"
+        );
         let rendered = render_robustness(&report);
         assert!(rendered.contains("no-retry"));
     }

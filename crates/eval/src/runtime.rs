@@ -33,6 +33,20 @@ pub struct TimedRun {
     pub entities: usize,
     /// Most specific patterns found (sanity: both variants must agree).
     pub patterns: usize,
+    /// Left-side rows fed through candidate-join pair stages.
+    #[serde(default)]
+    pub rows_probed: usize,
+    /// Candidate joins whose output table was gathered.
+    #[serde(default)]
+    pub tables_materialized: usize,
+    /// Candidate joins pruned off the pair stream (distinct-source fast
+    /// path) — their tables were never built.
+    #[serde(default)]
+    pub tables_pruned: usize,
+    /// `tables_pruned / (tables_materialized + tables_pruned)` — the
+    /// materialization saving of the fast path.
+    #[serde(default)]
+    pub prune_rate: f64,
 }
 
 /// The planted transfer window (first two weeks of "August").
@@ -82,6 +96,10 @@ fn timed_variant(
         mine: result.stats.mine,
         entities: result.stats.entities_processed,
         patterns: result.stats.most_specific_found,
+        rows_probed: result.stats.rows_probed,
+        tables_materialized: result.stats.tables_materialized,
+        tables_pruned: result.stats.tables_pruned,
+        prune_rate: result.stats.join_prune_rate(),
     }
 }
 
@@ -153,7 +171,13 @@ pub fn fig4c(weeks: &[u64], seeds: usize, rng: u64) -> Vec<TimedRun> {
         let start = end.saturating_sub(w * WEEK);
         let window = Window::new(start, end);
         let label = format!("{w}W");
-        out.push(timed_variant(&world, Variant::PmNoJoin, 0.4, &window, &label));
+        out.push(timed_variant(
+            &world,
+            Variant::PmNoJoin,
+            0.4,
+            &window,
+            &label,
+        ));
         out.push(timed_variant(&world, Variant::Pm, 0.4, &window, &label));
     }
     out
@@ -255,7 +279,12 @@ pub fn preprocess_cache_ablation(seeds: usize, rng: u64) -> Vec<CacheRun> {
         wc.use_action_cache = use_action_cache;
         let r = find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
         out.push(CacheRun {
-            label: if use_action_cache { "PM" } else { "PM-prep-cache" }.to_owned(),
+            label: if use_action_cache {
+                "PM"
+            } else {
+                "PM-prep-cache"
+            }
+            .to_owned(),
             preprocess: r.stats.preprocess,
             mine: r.stats.mine,
             action_cache_hits: r.stats.action_cache_hits,
@@ -272,7 +301,14 @@ pub fn preprocess_cache_ablation(seeds: usize, rng: u64) -> Vec<CacheRun> {
 pub fn render_cache_runs(rows: &[CacheRun]) -> String {
     let mut s = format!(
         "{:>15} {:>12} {:>10} {:>8} {:>10} {:>8} {:>9} {:>9}\n",
-        "algorithm", "preproc(s)", "mining(s)", "hits", "composed", "misses", "hit-rate", "patterns"
+        "algorithm",
+        "preproc(s)",
+        "mining(s)",
+        "hits",
+        "composed",
+        "misses",
+        "hit-rate",
+        "patterns"
     );
     for r in rows {
         s.push_str(&format!(
@@ -290,21 +326,34 @@ pub fn render_cache_runs(rows: &[CacheRun]) -> String {
     s
 }
 
-/// Renders timed runs as the paper's stacked-bar data (text table).
+/// Renders timed runs as the paper's stacked-bar data (text table), with
+/// the join engine's materialization-saving columns appended.
 pub fn render_timed(rows: &[TimedRun], axis: &str) -> String {
     let mut s = format!(
-        "{axis:>10} {:>12} {:>10} {:>12} {:>12} {:>9}\n",
-        "algorithm", "entities", "preproc(s)", "mining(s)", "patterns"
+        "{axis:>10} {:>12} {:>10} {:>12} {:>12} {:>9} {:>10} {:>8} {:>7} {:>7}\n",
+        "algorithm",
+        "entities",
+        "preproc(s)",
+        "mining(s)",
+        "patterns",
+        "probed",
+        "mat",
+        "pruned",
+        "save"
     );
     for r in rows {
         s.push_str(&format!(
-            "{:>10} {:>12} {:>10} {:>12.3} {:>12.3} {:>9}\n",
+            "{:>10} {:>12} {:>10} {:>12.3} {:>12.3} {:>9} {:>10} {:>8} {:>7} {:>6.0}%\n",
             r.label,
             r.algorithm,
             r.entities,
             r.preprocess.as_secs_f64(),
             r.mine.as_secs_f64(),
-            r.patterns
+            r.patterns,
+            r.rows_probed,
+            r.tables_materialized,
+            r.tables_pruned,
+            r.prune_rate * 100.0
         ));
     }
     s

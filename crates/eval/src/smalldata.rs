@@ -83,8 +83,11 @@ pub fn run_smalldata(seed_count: usize, rng: u64) -> SmallDataReport {
         expansion: ExpansionMode::Materialized,
         ..miner_config
     };
-    let mat = WindowMiner::new(&world.store, &world.universe, mat_config)
-        .mine_window_materialized(world.seed_type, &window, full_graph.iter().copied());
+    let mat = WindowMiner::new(&world.store, &world.universe, mat_config).mine_window_materialized(
+        world.seed_type,
+        &window,
+        full_graph.iter().copied(),
+    );
 
     SmallDataReport {
         seeds: world.seeds.len(),

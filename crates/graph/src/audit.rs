@@ -43,18 +43,20 @@ pub struct ReciprocityViolation {
 
 /// Reconstructs the full link-state graph as of `time` by parsing every
 /// page's latest snapshot at or before `time`.
-pub fn state_graph_at(
-    store: &RevisionStore,
-    universe: &Universe,
-    time: Timestamp,
-) -> WikiGraph {
+pub fn state_graph_at(store: &RevisionStore, universe: &Universe, time: Timestamp) -> WikiGraph {
     let mut graph = WikiGraph::new();
     for entity in store.entities() {
-        let Some(history) = store.fetch(entity) else { continue };
-        let Some(revision) = history.snapshot_at(time) else { continue };
+        let Some(history) = store.fetch(entity) else {
+            continue;
+        };
+        let Some(revision) = history.snapshot_at(time) else {
+            continue;
+        };
         let page = parse_page(&revision.text);
         for (rel_name, target_name) in &page.links {
-            let Some(rel) = universe.lookup_relation(rel_name) else { continue };
+            let Some(rel) = universe.lookup_relation(rel_name) else {
+                continue;
+            };
             let Some(target) = universe.entities().lookup(target_name) else {
                 continue;
             };
@@ -66,10 +68,7 @@ pub fn state_graph_at(
 
 /// Audits the graph against the reciprocity rules, returning every forward
 /// link with no backward mirror.
-pub fn audit_reciprocity(
-    graph: &WikiGraph,
-    rules: &[ReciprocalRule],
-) -> Vec<ReciprocityViolation> {
+pub fn audit_reciprocity(graph: &WikiGraph, rules: &[ReciprocalRule]) -> Vec<ReciprocityViolation> {
     let mut out = Vec::new();
     for (source, rel, target) in graph.edges() {
         for rule in rules {

@@ -132,20 +132,15 @@ mod tests {
     fn parallel_edges_with_different_ops_allowed() {
         // g_A is a multigraph: + and − on the same (u,l,v) are distinct
         // edges (e.g. a club both adding and removing players).
-        let g = EditsGraph::from_actions(&[
-            act(EditOp::Add, 1, 0, 2),
-            act(EditOp::Remove, 1, 0, 2),
-        ]);
+        let g =
+            EditsGraph::from_actions(&[act(EditOp::Add, 1, 0, 2), act(EditOp::Remove, 1, 0, 2)]);
         assert_eq!(g.edge_count(), 2);
         assert_eq!(g.node_count(), 2);
     }
 
     #[test]
     fn reachability_follows_direction() {
-        let g = EditsGraph::from_actions(&[
-            act(EditOp::Add, 1, 0, 2),
-            act(EditOp::Add, 2, 0, 3),
-        ]);
+        let g = EditsGraph::from_actions(&[act(EditOp::Add, 1, 0, 2), act(EditOp::Add, 2, 0, 3)]);
         let from1 = g.reachable_from(e(1));
         assert_eq!(from1.len(), 3);
         let from3 = g.reachable_from(e(3));
@@ -157,10 +152,7 @@ mod tests {
     #[test]
     fn disconnected_components_detected() {
         // Figure 2(b): splitting the player variable disconnects the graph.
-        let g = EditsGraph::from_actions(&[
-            act(EditOp::Add, 1, 0, 2),
-            act(EditOp::Add, 3, 0, 4),
-        ]);
+        let g = EditsGraph::from_actions(&[act(EditOp::Add, 1, 0, 2), act(EditOp::Add, 3, 0, 4)]);
         assert!(!g.connected_from(e(1)));
         assert_eq!(g.reachable_from(e(1)).len(), 2);
     }

@@ -53,7 +53,9 @@ pub fn neighborhood_closure(
     for _ in 0..hops {
         let mut next = Vec::new();
         for &e in &frontier {
-            let Some(history) = store.fetch(e) else { continue };
+            let Some(history) = store.fetch(e) else {
+                continue;
+            };
             let Some(rev) = history.snapshot_at(window.end.saturating_sub(1)) else {
                 continue;
             };
@@ -105,7 +107,11 @@ mod tests {
         s.record(a, 5, "{{Infobox t\n| linked_to = [[B]]\n}}\n".into());
         s.record(a, 15, "{{Infobox t\n| linked_to = [[B]]\n}}\nedit\n".into());
         s.record(b, 5, "{{Infobox t\n| linked_to = [[C]]\n}}\n".into());
-        s.record(b, 20, "{{Infobox t\n| linked_to = [[C]]\n| x = [[A]]\n}}\n".into());
+        s.record(
+            b,
+            20,
+            "{{Infobox t\n| linked_to = [[C]]\n| x = [[A]]\n}}\n".into(),
+        );
         let c_time = if c_edited_in_window { 25 } else { 500 };
         s.record(c, 5, "{{Infobox t\n}}\n".into());
         s.record(c, c_time, "{{Infobox t\n| linked_to = [[A]]\n}}\n".into());

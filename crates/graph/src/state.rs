@@ -43,9 +43,7 @@ impl WikiGraph {
 
     /// Whether the edge `u --l--> v` is present.
     pub fn has_edge(&self, u: EntityId, l: RelId, v: EntityId) -> bool {
-        self.out
-            .get(&u)
-            .is_some_and(|set| set.contains(&(l, v)))
+        self.out.get(&u).is_some_and(|set| set.contains(&(l, v)))
     }
 
     /// Inserts an edge, returning whether it was new.
@@ -59,10 +57,7 @@ impl WikiGraph {
 
     /// Removes an edge, returning whether it was present.
     pub fn remove_edge(&mut self, u: EntityId, l: RelId, v: EntityId) -> bool {
-        let removed = self
-            .out
-            .get_mut(&u)
-            .is_some_and(|set| set.remove(&(l, v)));
+        let removed = self.out.get_mut(&u).is_some_and(|set| set.remove(&(l, v)));
         if removed {
             self.edge_count -= 1;
         }

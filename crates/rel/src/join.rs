@@ -1,4 +1,4 @@
-//! Join operators with *gluing* semantics.
+//! Join operators with *gluing* semantics, late-materialized.
 //!
 //! Extending a pattern `p` with an abstract action `a` (paper §4.2) joins
 //! `realizations[p]` (the left relation, one column per pattern variable)
@@ -11,15 +11,27 @@
 //!   against the same-type left columns (the paper requires distinct
 //!   variables to realize as distinct entities).
 //!
-//! Three operators share these semantics:
-//! [`join_glue`] (hash join — WiClean's optimized path),
-//! [`join_glue_nested`] (nested loop — the `PM−join` ablation), and
-//! [`outer_join_glue`] (full outer join — Algorithm 3, where unmatched rows
-//! are retained null-padded and identify partial pattern realizations).
+//! Every strategy runs in two stages. The *pair* stage
+//! ([`join_glue_pairs`], [`join_glue_pairs_sort_merge`],
+//! [`join_glue_pairs_nested`], [`join_glue_pairs_partitioned`]) produces
+//! the stream of matching `(left row, right row)` index pairs with the
+//! `≠`-post-filter applied on column slices; the *materialize* stage
+//! ([`materialize_pairs`]) gathers the output columns once at the end.
+//! Candidate pruning consumes the pair stream directly
+//! ([`distinct_left_values`]) and skips materialization entirely for
+//! patterns that fail the frequency threshold.
+//!
+//! The table-in/table-out operators ([`join_glue`], [`join_glue_nested`],
+//! [`join_glue_sort_merge`], [`join_glue_partitioned`],
+//! [`outer_join_glue`]) are thin compositions of the two stages and keep
+//! the exact output row order of the row-oriented seed implementation
+//! (retained in [`crate::rowstore`] for differential testing).
 
+use crate::column::{mix64, Value, NULL_IX};
+use crate::hash::{EntitySet, FastMap};
 use crate::schema::Schema;
-use crate::table::{Table, Value};
-use std::collections::HashMap;
+use crate::table::Table;
+use std::sync::Mutex;
 use wiclean_types::EntityId;
 
 /// How one right-hand column participates in a glue join.
@@ -35,6 +47,34 @@ pub enum ColumnGlue {
         /// Comparisons against nulls are vacuously satisfied.
         distinct_from: Vec<usize>,
     },
+}
+
+/// A matched (left row, right row) index pair.
+pub type Pair = (u32, u32);
+
+/// Executes index batches on worker threads. Implemented by
+/// `core::pool::MiningPool`; defined here so `rel` can parallelize without
+/// depending on `core`. `run_batch` must invoke `f(i)` exactly once for
+/// every `i < n` (on any thread) and return after all invocations finish.
+pub trait BatchRunner: Sync {
+    /// Runs `f(0..n)`, blocking until all invocations complete.
+    fn run_batch(&self, n: usize, f: &(dyn Fn(usize) + Sync));
+    /// Worker count (1 = serial).
+    fn width(&self) -> usize;
+}
+
+/// A [`BatchRunner`] that runs everything on the caller.
+pub struct SerialRunner;
+
+impl BatchRunner for SerialRunner {
+    fn run_batch(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        for i in 0..n {
+            f(i);
+        }
+    }
+    fn width(&self) -> usize {
+        1
+    }
 }
 
 fn output_schema(left: &Table, glue: &[ColumnGlue]) -> Schema {
@@ -65,38 +105,72 @@ fn validate(left: &Table, right: &Table, glue: &[ColumnGlue]) {
     }
 }
 
-/// Whether the (left row, right row) pair satisfies all glue conditions.
-/// SQL three-valued logic: null never equi-matches; `≠` against a null is
-/// vacuously satisfied.
-fn pair_matches(l: &[Value], r: &[Value], glue: &[ColumnGlue]) -> bool {
-    for (j, g) in glue.iter().enumerate() {
-        match g {
-            ColumnGlue::Glued(i) => match (l[*i], r[j]) {
-                (Some(a), Some(b)) if a == b => {}
-                _ => return false,
-            },
-            ColumnGlue::New { distinct_from, .. } => {
-                if let Some(b) = r[j] {
-                    for i in distinct_from {
-                        if l[*i] == Some(b) {
-                            return false;
-                        }
-                    }
+/// The glue spec resolved to column indices: equi-join pairs in glue
+/// order, and new output columns with their `≠` constraint targets.
+struct GluePlan {
+    /// (left column, right column) per `Glued` entry, in glue order.
+    glued: Vec<(usize, usize)>,
+    /// (right column, distinct-from left columns) per `New` entry, in
+    /// glue order.
+    new_cols: Vec<(usize, Vec<usize>)>,
+}
+
+impl GluePlan {
+    fn new(glue: &[ColumnGlue]) -> Self {
+        let mut glued = Vec::new();
+        let mut new_cols = Vec::new();
+        for (j, g) in glue.iter().enumerate() {
+            match g {
+                ColumnGlue::Glued(i) => glued.push((*i, j)),
+                ColumnGlue::New { distinct_from, .. } => {
+                    new_cols.push((j, distinct_from.clone()));
                 }
             }
         }
+        Self { glued, new_cols }
     }
-    true
-}
 
-/// Assembles the combined output row for a matched pair.
-fn combined_row(l: &[Value], r: &[Value], glue: &[ColumnGlue], out: &mut Vec<Value>) {
-    out.clear();
-    out.extend_from_slice(l);
-    for (j, g) in glue.iter().enumerate() {
-        if matches!(g, ColumnGlue::New { .. }) {
-            out.push(r[j]);
+    /// The glued-key columns of left row `li`, or `None` if any is null.
+    fn left_key(&self, left: &Table, li: usize) -> Option<JoinKey> {
+        pack_key(self.glued.iter().map(|&(lc, _)| left.col(lc).get(li)))
+    }
+
+    /// The glued-key columns of right row `ri`, or `None` if any is null.
+    fn right_key(&self, right: &Table, ri: usize) -> Option<JoinKey> {
+        pack_key(self.glued.iter().map(|&(_, rc)| right.col(rc).get(ri)))
+    }
+
+    /// The `≠` post-filter on a key-matched pair. SQL three-valued logic:
+    /// `≠` against a null is vacuously satisfied.
+    fn neq_ok(&self, left: &Table, li: usize, right: &Table, ri: usize) -> bool {
+        for (rc, distinct_from) in &self.new_cols {
+            let rcol = right.col(*rc);
+            if !rcol.is_valid(ri) {
+                continue;
+            }
+            let b = rcol.value_unchecked(ri);
+            for &lc in distinct_from {
+                let lcol = left.col(lc);
+                if lcol.is_valid(li) && lcol.value_unchecked(li) == b {
+                    return false;
+                }
+            }
         }
+        true
+    }
+
+    /// Whether the pair satisfies all glue conditions (equi + `≠`); used
+    /// by the nested-loop strategy, which has no key index. A null never
+    /// equi-matches.
+    fn pair_matches(&self, left: &Table, li: usize, right: &Table, ri: usize) -> bool {
+        for &(lc, rc) in &self.glued {
+            let (l, r) = (left.col(lc), right.col(rc));
+            if !l.is_valid(li) || !r.is_valid(ri) || l.value_unchecked(li) != r.value_unchecked(ri)
+            {
+                return false;
+            }
+        }
+        self.neq_ok(left, li, right, ri)
     }
 }
 
@@ -109,14 +183,14 @@ fn combined_row(l: &[Value], r: &[Value], glue: &[ColumnGlue], out: &mut Vec<Val
 /// glue spec, so arities always agree and `Eq`/`Ord`/`Hash` are consistent:
 /// the packed ordering equals the lexicographic `Vec<EntityId>` ordering.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-enum JoinKey {
+pub(crate) enum JoinKey {
     Small(u64),
     Big(Vec<EntityId>),
 }
 
 /// Packs glued-column values into a [`JoinKey`]; `None` if any is null (a
 /// null key never equi-matches).
-fn pack_key(vals: impl Iterator<Item = Value>) -> Option<JoinKey> {
+pub(crate) fn pack_key(vals: impl Iterator<Item = Value>) -> Option<JoinKey> {
     let (mut a, mut b) = (0u64, 0u64);
     let mut big: Vec<EntityId> = Vec::new();
     let mut n = 0usize;
@@ -144,27 +218,268 @@ fn pack_key(vals: impl Iterator<Item = Value>) -> Option<JoinKey> {
     })
 }
 
-/// The glued-key columns of a right row, or `None` if any is null.
-fn right_key(r: &[Value], glue: &[ColumnGlue]) -> Option<JoinKey> {
-    pack_key(
-        glue.iter()
-            .enumerate()
-            .filter(|(_, g)| matches!(g, ColumnGlue::Glued(_)))
-            .map(|(j, _)| r[j]),
-    )
+/// Deterministic hash of a key, used to assign radix partitions. Must not
+/// depend on process state (`RandomState` would) — partition assignment
+/// feeds the parallel join whose output is required to be byte-identical
+/// across runs and thread counts.
+fn key_hash(k: &JoinKey) -> u64 {
+    match k {
+        JoinKey::Small(x) => mix64(x ^ 0x9e37_79b9_7f4a_7c15),
+        JoinKey::Big(v) => {
+            let mut h = 0x9e37_79b9_7f4a_7c15u64;
+            for e in v {
+                h = mix64(h ^ u64::from(e.as_u32()));
+            }
+            h
+        }
+    }
 }
 
-/// The glued-key columns of a left row (in glue order), or `None` on null.
-fn left_key(l: &[Value], glue: &[ColumnGlue]) -> Option<JoinKey> {
-    pack_key(glue.iter().filter_map(|g| match g {
-        ColumnGlue::Glued(i) => Some(l[*i]),
-        ColumnGlue::New { .. } => None,
-    }))
+/// Hash equijoin pair stage: builds a hash index over the right relation
+/// keyed by its glued columns, probes with the left relation in row order,
+/// and applies the `≠` post-filter. Pairs come out in (left row, right
+/// build order) order — the canonical order every strategy reproduces.
+pub fn join_glue_pairs(left: &Table, right: &Table, glue: &[ColumnGlue]) -> Vec<Pair> {
+    validate(left, right, glue);
+    let plan = GluePlan::new(glue);
+    hash_pairs(left, right, &plan)
 }
 
-/// Hash equijoin with gluing semantics. Builds a hash index over the right
-/// relation keyed by its glued columns, probes with the left relation, and
-/// post-filters the `distinct_from` inequality conditions.
+fn hash_pairs(left: &Table, right: &Table, plan: &GluePlan) -> Vec<Pair> {
+    let mut index: FastMap<JoinKey, Vec<u32>> = FastMap::default();
+    for ri in 0..right.len() {
+        if let Some(key) = plan.right_key(right, ri) {
+            index.entry(key).or_default().push(ri as u32);
+        }
+    }
+    let mut pairs = Vec::new();
+    for li in 0..left.len() {
+        let Some(key) = plan.left_key(left, li) else {
+            continue;
+        };
+        let Some(candidates) = index.get(&key) else {
+            continue;
+        };
+        for &ri in candidates {
+            if plan.neq_ok(left, li, right, ri as usize) {
+                pairs.push((li as u32, ri));
+            }
+        }
+    }
+    pairs
+}
+
+/// Sort–merge pair stage: both relations are decorated with their glued
+/// keys and sorted, and matching key groups are cross-checked. The pair
+/// stream is then reordered to the canonical hash-join order so all
+/// strategies materialize identical tables.
+pub fn join_glue_pairs_sort_merge(left: &Table, right: &Table, glue: &[ColumnGlue]) -> Vec<Pair> {
+    validate(left, right, glue);
+    let plan = GluePlan::new(glue);
+
+    let mut lkeys: Vec<(JoinKey, u32)> = (0..left.len())
+        .filter_map(|i| plan.left_key(left, i).map(|k| (k, i as u32)))
+        .collect();
+    let mut rkeys: Vec<(JoinKey, u32)> = (0..right.len())
+        .filter_map(|i| plan.right_key(right, i).map(|k| (k, i as u32)))
+        .collect();
+    lkeys.sort();
+    rkeys.sort();
+
+    let mut pairs = Vec::new();
+    let (mut li, mut ri) = (0usize, 0usize);
+    while li < lkeys.len() && ri < rkeys.len() {
+        match lkeys[li].0.cmp(&rkeys[ri].0) {
+            std::cmp::Ordering::Less => li += 1,
+            std::cmp::Ordering::Greater => ri += 1,
+            std::cmp::Ordering::Equal => {
+                // Delimit the equal-key groups on both sides (compared by
+                // reference — no key clone per group).
+                let key = &lkeys[li].0;
+                let lhi = lkeys[li..].partition_point(|(k, _)| k == key) + li;
+                let rhi = rkeys[ri..].partition_point(|(k, _)| k == key) + ri;
+                for &(_, l_ix) in &lkeys[li..lhi] {
+                    for &(_, r_ix) in &rkeys[ri..rhi] {
+                        if plan.neq_ok(left, l_ix as usize, right, r_ix as usize) {
+                            pairs.push((l_ix, r_ix));
+                        }
+                    }
+                }
+                li = lhi;
+                ri = rhi;
+            }
+        }
+    }
+    // Canonical order: left row, then right row. Within one key group the
+    // right side is already ascending, but left rows sharing a key arrive
+    // grouped by the sort, not by row number.
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Nested-loop pair stage over the cross product — the paper's `PM−join`
+/// baseline. Already emits the canonical (left, right) order.
+pub fn join_glue_pairs_nested(left: &Table, right: &Table, glue: &[ColumnGlue]) -> Vec<Pair> {
+    validate(left, right, glue);
+    let plan = GluePlan::new(glue);
+    let mut pairs = Vec::new();
+    for li in 0..left.len() {
+        for ri in 0..right.len() {
+            if plan.pair_matches(left, li, right, ri) {
+                pairs.push((li as u32, ri as u32));
+            }
+        }
+    }
+    pairs
+}
+
+/// Inputs smaller than this on the probe side are not worth fanning out.
+const PARALLEL_MIN_LEFT: usize = 4096;
+/// Build sides smaller than this are not worth partitioning.
+const PARALLEL_MIN_RIGHT: usize = 512;
+
+/// Radix-partitioned parallel hash join pair stage.
+///
+/// The build side is split into partitions by the high bits of a
+/// deterministic key hash; partition indexes are built as one batch on the
+/// runner, then contiguous probe-side chunks are probed as a second batch
+/// and their pair streams concatenated in chunk order. Partition
+/// assignment, per-bucket order, and chunk concatenation are all
+/// independent of the worker count, so the result is **byte-identical** to
+/// [`join_glue_pairs`] at any `width()` — the same determinism contract
+/// the mining pool established. Small inputs fall back to the serial
+/// strategy.
+pub fn join_glue_pairs_partitioned(
+    left: &Table,
+    right: &Table,
+    glue: &[ColumnGlue],
+    runner: &dyn BatchRunner,
+) -> Vec<Pair> {
+    validate(left, right, glue);
+    if runner.width() <= 1 || left.len() < PARALLEL_MIN_LEFT || right.len() < PARALLEL_MIN_RIGHT {
+        let plan = GluePlan::new(glue);
+        return hash_pairs(left, right, &plan);
+    }
+    let plan = GluePlan::new(glue);
+    partitioned_pairs(left, right, &plan, runner)
+}
+
+/// Runs `f` over `0..n` on the runner and collects results in index order.
+fn par_map<R: Send>(runner: &dyn BatchRunner, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    runner.run_batch(n, &|i| {
+        let r = f(i);
+        *slots[i].lock().unwrap() = Some(r);
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("batch task did not run"))
+        .collect()
+}
+
+fn partitioned_pairs(
+    left: &Table,
+    right: &Table,
+    plan: &GluePlan,
+    runner: &dyn BatchRunner,
+) -> Vec<Pair> {
+    let parts = (runner.width() * 2).next_power_of_two().clamp(2, 64);
+    let shift = 64 - parts.trailing_zeros();
+
+    // Scatter the build side: key + radix partition per row, row order
+    // preserved within each partition (so per-bucket candidate lists come
+    // out ascending, exactly as the serial build produces them).
+    let mut rkeys: Vec<Option<JoinKey>> = Vec::with_capacity(right.len());
+    let mut part_rows: Vec<Vec<u32>> = vec![Vec::new(); parts];
+    for ri in 0..right.len() {
+        let key = plan.right_key(right, ri);
+        if let Some(k) = &key {
+            part_rows[(key_hash(k) >> shift) as usize].push(ri as u32);
+        }
+        rkeys.push(key);
+    }
+
+    // Build one hash index per partition, as a pool batch.
+    let indexes: Vec<FastMap<JoinKey, Vec<u32>>> = par_map(runner, parts, |p| {
+        let mut index: FastMap<JoinKey, Vec<u32>> = FastMap::default();
+        for &ri in &part_rows[p] {
+            let key = rkeys[ri as usize].clone().expect("scattered row has key");
+            index.entry(key).or_default().push(ri);
+        }
+        index
+    });
+
+    // Probe contiguous left chunks in parallel; concatenating the chunk
+    // results in chunk order restores the serial probe order.
+    let tasks = (runner.width() * 4).min(left.len());
+    let chunk = left.len().div_ceil(tasks);
+    let chunk_pairs: Vec<Vec<Pair>> = par_map(runner, tasks, |t| {
+        let lo = t * chunk;
+        let hi = ((t + 1) * chunk).min(left.len());
+        let mut pairs = Vec::new();
+        for li in lo..hi {
+            let Some(key) = plan.left_key(left, li) else {
+                continue;
+            };
+            let index = &indexes[(key_hash(&key) >> shift) as usize];
+            let Some(candidates) = index.get(&key) else {
+                continue;
+            };
+            for &ri in candidates {
+                if plan.neq_ok(left, li, right, ri as usize) {
+                    pairs.push((li as u32, ri));
+                }
+            }
+        }
+        pairs
+    });
+
+    let total = chunk_pairs.iter().map(Vec::len).sum();
+    let mut pairs = Vec::with_capacity(total);
+    for mut c in chunk_pairs {
+        pairs.append(&mut c);
+    }
+    pairs
+}
+
+/// Materialize stage: gathers the output columns of a pair stream once —
+/// every left column by the left indices, every `New` right column by the
+/// right indices.
+pub fn materialize_pairs(
+    left: &Table,
+    right: &Table,
+    glue: &[ColumnGlue],
+    pairs: &[Pair],
+) -> Table {
+    validate(left, right, glue);
+    let plan = GluePlan::new(glue);
+    let lidx: Vec<u32> = pairs.iter().map(|&(li, _)| li).collect();
+    let ridx: Vec<u32> = pairs.iter().map(|&(_, ri)| ri).collect();
+    let mut cols = Vec::with_capacity(left.width() + plan.new_cols.len());
+    for c in 0..left.width() {
+        cols.push(left.col(c).gather(&lidx));
+    }
+    for (rc, _) in &plan.new_cols {
+        cols.push(right.col(*rc).gather(&ridx));
+    }
+    Table::from_parts(output_schema(left, glue), cols, pairs.len())
+}
+
+/// Distinct non-null values of `left[col]` over a pair stream — the
+/// semi-join side of the frequency fast path: candidate support is counted
+/// from the matched pairs without materializing the joined table.
+pub fn distinct_left_values(left: &Table, col: usize, pairs: &[Pair]) -> EntitySet {
+    let c = left.col(col);
+    let mut set = EntitySet::default();
+    for &(li, _) in pairs {
+        if let Some(v) = c.get(li as usize) {
+            set.insert(v);
+        }
+    }
+    set
+}
+
+/// Hash equijoin with gluing semantics (pairs + materialize).
 ///
 /// ```
 /// use wiclean_rel::{join_glue, ColumnGlue, Schema, Table};
@@ -181,99 +496,35 @@ fn left_key(l: &[Value], glue: &[ColumnGlue]) -> Option<JoinKey> {
 /// assert_eq!(out.sorted_rows(), vec![vec![v(1), v(10), v(11)]]);
 /// ```
 pub fn join_glue(left: &Table, right: &Table, glue: &[ColumnGlue]) -> Table {
-    validate(left, right, glue);
-    let mut out = Table::new(output_schema(left, glue));
-
-    // Build: right rows grouped by glued key.
-    let mut index: HashMap<JoinKey, Vec<usize>> = HashMap::new();
-    for (ri, r) in right.rows().enumerate() {
-        if let Some(key) = right_key(r, glue) {
-            index.entry(key).or_default().push(ri);
-        }
-    }
-
-    let mut row = Vec::with_capacity(out.width());
-    for l in left.rows() {
-        let Some(key) = left_key(l, glue) else { continue };
-        let Some(candidates) = index.get(&key) else { continue };
-        for &ri in candidates {
-            let r = right.row(ri);
-            if pair_matches(l, r, glue) {
-                combined_row(l, r, glue, &mut row);
-                out.push_row(&row);
-            }
-        }
-    }
-    out
+    let pairs = join_glue_pairs(left, right, glue);
+    materialize_pairs(left, right, glue, &pairs)
 }
 
-/// The same operator computed by sort–merge: both relations are sorted by
-/// their glued key and matching key groups are cross-checked. Chosen over
-/// the hash join when the inputs are large and a sorted output is useful
-/// downstream; semantically identical (property-tested).
+/// The same operator computed by sort–merge; semantically identical
+/// (property-tested).
 pub fn join_glue_sort_merge(left: &Table, right: &Table, glue: &[ColumnGlue]) -> Table {
-    validate(left, right, glue);
-    let mut out = Table::new(output_schema(left, glue));
-
-    // Decorate row indices with their (non-null) glued keys and sort.
-    let mut lkeys: Vec<(JoinKey, usize)> = left
-        .rows()
-        .enumerate()
-        .filter_map(|(i, r)| left_key(r, glue).map(|k| (k, i)))
-        .collect();
-    let mut rkeys: Vec<(JoinKey, usize)> = right
-        .rows()
-        .enumerate()
-        .filter_map(|(i, r)| right_key(r, glue).map(|k| (k, i)))
-        .collect();
-    lkeys.sort();
-    rkeys.sort();
-
-    let mut row = Vec::with_capacity(out.width());
-    let (mut li, mut ri) = (0usize, 0usize);
-    while li < lkeys.len() && ri < rkeys.len() {
-        match lkeys[li].0.cmp(&rkeys[ri].0) {
-            std::cmp::Ordering::Less => li += 1,
-            std::cmp::Ordering::Greater => ri += 1,
-            std::cmp::Ordering::Equal => {
-                // Delimit the equal-key groups on both sides.
-                let key = lkeys[li].0.clone();
-                let lhi = lkeys[li..].partition_point(|(k, _)| *k == key) + li;
-                let rhi = rkeys[ri..].partition_point(|(k, _)| *k == key) + ri;
-                for &(_, l_ix) in &lkeys[li..lhi] {
-                    let l = left.row(l_ix);
-                    for &(_, r_ix) in &rkeys[ri..rhi] {
-                        let r = right.row(r_ix);
-                        if pair_matches(l, r, glue) {
-                            combined_row(l, r, glue, &mut row);
-                            out.push_row(&row);
-                        }
-                    }
-                }
-                li = lhi;
-                ri = rhi;
-            }
-        }
-    }
-    out
+    let pairs = join_glue_pairs_sort_merge(left, right, glue);
+    materialize_pairs(left, right, glue, &pairs)
 }
 
 /// The same operator computed by a conventional main-memory nested loop
 /// over the cross product — the paper's `PM−join` baseline. Semantically
 /// identical to [`join_glue`] (property-tested), asymptotically slower.
 pub fn join_glue_nested(left: &Table, right: &Table, glue: &[ColumnGlue]) -> Table {
-    validate(left, right, glue);
-    let mut out = Table::new(output_schema(left, glue));
-    let mut row = Vec::with_capacity(out.width());
-    for l in left.rows() {
-        for r in right.rows() {
-            if pair_matches(l, r, glue) {
-                combined_row(l, r, glue, &mut row);
-                out.push_row(&row);
-            }
-        }
-    }
-    out
+    let pairs = join_glue_pairs_nested(left, right, glue);
+    materialize_pairs(left, right, glue, &pairs)
+}
+
+/// The same operator computed by the radix-partitioned parallel hash join;
+/// byte-identical to [`join_glue`] at any worker count.
+pub fn join_glue_partitioned(
+    left: &Table,
+    right: &Table,
+    glue: &[ColumnGlue],
+    runner: &dyn BatchRunner,
+) -> Table {
+    let pairs = join_glue_pairs_partitioned(left, right, glue, runner);
+    materialize_pairs(left, right, glue, &pairs)
 }
 
 /// Full outer join with gluing semantics (Algorithm 3).
@@ -284,62 +535,81 @@ pub fn join_glue_nested(left: &Table, right: &Table, glue: &[ColumnGlue]) -> Tab
 ///   (a partial pattern realization missing the new action);
 /// * unmatched **right** rows — retained, with glued output columns taking
 ///   the right values and all remaining left columns null (an action
-///   realization with no partial pattern around it).
+///   realization with no surrounding pattern).
+///
+/// Late-materialized like the inner joins: the pair stream uses
+/// [`NULL_IX`] for the missing side and the gather stage resolves glued
+/// columns from whichever side is present.
 pub fn outer_join_glue(left: &Table, right: &Table, glue: &[ColumnGlue]) -> Table {
     validate(left, right, glue);
-    let mut out = Table::new(output_schema(left, glue));
+    let plan = GluePlan::new(glue);
 
-    let mut index: HashMap<JoinKey, Vec<usize>> = HashMap::new();
-    for (ri, r) in right.rows().enumerate() {
-        if let Some(key) = right_key(r, glue) {
-            index.entry(key).or_default().push(ri);
+    let mut index: FastMap<JoinKey, Vec<u32>> = FastMap::default();
+    for ri in 0..right.len() {
+        if let Some(key) = plan.right_key(right, ri) {
+            index.entry(key).or_default().push(ri as u32);
         }
     }
 
     let mut right_matched = vec![false; right.len()];
-    let mut row = Vec::with_capacity(out.width());
-
-    for l in left.rows() {
+    let mut pairs: Vec<Pair> = Vec::new();
+    for li in 0..left.len() {
         let mut l_matched = false;
-        if let Some(key) = left_key(l, glue) {
+        if let Some(key) = plan.left_key(left, li) {
             if let Some(candidates) = index.get(&key) {
                 for &ri in candidates {
-                    let r = right.row(ri);
-                    if pair_matches(l, r, glue) {
-                        combined_row(l, r, glue, &mut row);
-                        out.push_row(&row);
+                    if plan.neq_ok(left, li, right, ri as usize) {
+                        pairs.push((li as u32, ri));
                         l_matched = true;
-                        right_matched[ri] = true;
+                        right_matched[ri as usize] = true;
                     }
                 }
             }
         }
         if !l_matched {
-            combined_row(l, &vec![None; right.width()], glue, &mut row);
-            out.push_row(&row);
+            pairs.push((li as u32, NULL_IX));
+        }
+    }
+    for (ri, matched) in right_matched.iter().enumerate() {
+        if !matched {
+            pairs.push((NULL_IX, ri as u32));
         }
     }
 
-    for (ri, r) in right.rows().enumerate() {
-        if right_matched[ri] {
-            continue;
-        }
-        // Left part: nulls except glued positions which take right values.
-        row.clear();
-        row.resize(left.width(), None);
-        for (j, g) in glue.iter().enumerate() {
-            if let ColumnGlue::Glued(i) = g {
-                row[*i] = r[j];
+    // Gather. Left columns take the left value when present; a glued left
+    // column falls back to its right counterpart on right-only rows (the
+    // last glue entry wins when several right columns glue onto one left
+    // column, matching the row-at-a-time reference).
+    let lidx: Vec<u32> = pairs.iter().map(|&(li, _)| li).collect();
+    let ridx: Vec<u32> = pairs.iter().map(|&(_, ri)| ri).collect();
+    let mut cols = Vec::with_capacity(left.width() + plan.new_cols.len());
+    for c in 0..left.width() {
+        let glued_rc = plan
+            .glued
+            .iter()
+            .rev()
+            .find(|&&(lc, _)| lc == c)
+            .map(|&(_, rc)| rc);
+        match glued_rc {
+            None => cols.push(left.col(c).gather(&lidx)),
+            Some(rc) => {
+                let mut col = crate::column::Column::with_capacity(pairs.len());
+                let (lcol, rcol) = (left.col(c), right.col(rc));
+                for &(li, ri) in &pairs {
+                    if li != NULL_IX {
+                        col.push(lcol.get(li as usize));
+                    } else {
+                        col.push(rcol.get(ri as usize));
+                    }
+                }
+                cols.push(col);
             }
         }
-        for (j, g) in glue.iter().enumerate() {
-            if matches!(g, ColumnGlue::New { .. }) {
-                row.push(r[j]);
-            }
-        }
-        out.push_row(&row);
     }
-    out
+    for (rc, _) in &plan.new_cols {
+        cols.push(right.col(*rc).gather(&ridx));
+    }
+    Table::from_parts(output_schema(left, glue), cols, pairs.len())
 }
 
 #[cfg(test)]
@@ -431,6 +701,17 @@ mod tests {
     }
 
     #[test]
+    fn pair_stages_agree_exactly() {
+        // The pair streams (not just the materialized sets) must coincide:
+        // the miner's fast path counts support off the raw stream.
+        let (l, r, g) = (left_table(), right_table(), glue());
+        let h = join_glue_pairs(&l, &r, &g);
+        assert_eq!(h, join_glue_pairs_sort_merge(&l, &r, &g));
+        assert_eq!(h, join_glue_pairs_nested(&l, &r, &g));
+        assert_eq!(h, join_glue_pairs_partitioned(&l, &r, &g, &SerialRunner));
+    }
+
+    #[test]
     fn glue_all_columns_is_semijoin_shape() {
         // Gluing both right columns onto left columns keeps only matching
         // left rows, unextended.
@@ -516,21 +797,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn glue_bounds_checked() {
-        join_glue(&left_table(), &right_table(), &[
-            ColumnGlue::Glued(7),
-            ColumnGlue::New {
-                name: "x".into(),
-                distinct_from: vec![],
-            },
-        ]);
+        join_glue(
+            &left_table(),
+            &right_table(),
+            &[
+                ColumnGlue::Glued(7),
+                ColumnGlue::New {
+                    name: "x".into(),
+                    distinct_from: vec![],
+                },
+            ],
+        );
     }
 
     #[test]
     fn multiple_matches_fan_out() {
-        let left = Table::from_rows(
-            Schema::new(["player", "old_team"]),
-            [vec![v(1), v(10)]],
-        );
+        let left = Table::from_rows(Schema::new(["player", "old_team"]), [vec![v(1), v(10)]]);
         let right = Table::from_rows(
             Schema::new(["player", "new_team"]),
             [vec![v(1), v(11)], vec![v(1), v(12)]],
@@ -548,5 +830,82 @@ mod tests {
         assert_eq!(counted.width(), 0);
         assert_eq!(counted.len(), out.len());
         assert_eq!(counted.rows().count(), out.len());
+    }
+
+    #[test]
+    fn distinct_left_values_matches_materialized_support() {
+        let (l, r, g) = (left_table(), right_table(), glue());
+        let pairs = join_glue_pairs(&l, &r, &g);
+        let fast = distinct_left_values(&l, 0, &pairs);
+        let mut full = materialize_pairs(&l, &r, &g, &pairs);
+        full.dedup();
+        assert_eq!(fast, full.distinct_values(0));
+    }
+
+    /// A thread-per-task runner for exercising the partitioned join with
+    /// real concurrency (core's MiningPool is not visible from here).
+    struct TestRunner(usize);
+
+    impl BatchRunner for TestRunner {
+        fn width(&self) -> usize {
+            self.0
+        }
+        fn run_batch(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..self.0.min(n).max(1) {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= n {
+                            break;
+                        }
+                        f(i);
+                    });
+                }
+            });
+        }
+    }
+
+    /// Pseudo-random tables big enough to clear the parallel gate.
+    fn big_tables() -> (Table, Table) {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move |m: u32| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % u64::from(m)) as u32
+        };
+        let mut left = Table::new(Schema::new(["player", "old_team"]));
+        for _ in 0..PARALLEL_MIN_LEFT + 500 {
+            left.push_row(&[v(next(1500)), v(next(40))]);
+        }
+        let mut right = Table::new(Schema::new(["player", "new_team"]));
+        for _ in 0..PARALLEL_MIN_RIGHT + 700 {
+            right.push_row(&[v(next(1500)), v(next(40))]);
+        }
+        (left, right)
+    }
+
+    #[test]
+    fn partitioned_join_is_byte_identical_across_widths() {
+        let (left, right) = big_tables();
+        let g = glue();
+        let serial = join_glue_pairs(&left, &right, &g);
+        assert!(!serial.is_empty(), "workload must produce matches");
+        for width in [2, 3, 8] {
+            let par = join_glue_pairs_partitioned(&left, &right, &g, &TestRunner(width));
+            assert_eq!(serial, par, "width {width} diverged");
+        }
+        let t_serial = join_glue(&left, &right, &g);
+        let t_par = join_glue_partitioned(&left, &right, &g, &TestRunner(8));
+        assert_eq!(t_serial, t_par, "materialized tables must be identical");
+    }
+
+    #[test]
+    fn partitioned_join_small_input_falls_back() {
+        let g = glue();
+        let par = join_glue_pairs_partitioned(&left_table(), &right_table(), &g, &TestRunner(8));
+        assert_eq!(par, join_glue_pairs(&left_table(), &right_table(), &g));
     }
 }

@@ -1,19 +1,22 @@
-//! Flat row-major relations of nullable entity values.
+//! Column-major relations of nullable entity values.
+//!
+//! Rows are stored as one [`Column`] per attribute (dense `Vec<EntityId>`
+//! plus a validity bitmap) rather than the flattened row-major
+//! `Vec<Option<EntityId>>` buffer of earlier revisions. The row-oriented
+//! API (`push_row`, `rows()`, `row(i)`) is preserved for construction and
+//! tests; the join operators and scans work on columns directly.
 
+use crate::column::{mix64, Column, Value, NULL_IX};
+use crate::hash::{EntitySet, FastMap};
 use crate::schema::Schema;
-use std::collections::HashSet;
 use wiclean_types::EntityId;
 
-/// A cell: an entity id, or SQL `NULL` (only produced by outer joins).
-pub type Value = Option<EntityId>;
-
-/// A relation: a [`Schema`] plus rows stored in one flat, row-major buffer
-/// (`width` cells per row) for cache-friendly scans.
+/// A relation: a [`Schema`] plus one [`Column`] per attribute.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Table {
     schema: Schema,
-    data: Vec<Value>,
-    /// Row count, tracked independently of `data.len()` so that zero-width
+    cols: Vec<Column>,
+    /// Row count, tracked independently of the columns so that zero-width
     /// relations (e.g. `project(&[])`) still know their cardinality.
     rows: usize,
 }
@@ -21,9 +24,10 @@ pub struct Table {
 impl Table {
     /// Creates an empty table with the given schema.
     pub fn new(schema: Schema) -> Self {
+        let cols = (0..schema.width()).map(|_| Column::new()).collect();
         Self {
             schema,
-            data: Vec::new(),
+            cols,
             rows: 0,
         }
     }
@@ -38,6 +42,16 @@ impl Table {
             t.push_row(r.as_ref());
         }
         t
+    }
+
+    /// Assembles a table from prebuilt columns (the gather step of a
+    /// late-materialized join). Every column must have `rows` cells.
+    pub fn from_parts(schema: Schema, cols: Vec<Column>, rows: usize) -> Self {
+        assert_eq!(cols.len(), schema.width(), "column count must match schema");
+        for c in &cols {
+            assert_eq!(c.len(), rows, "column length must match row count");
+        }
+        Self { schema, cols, rows }
     }
 
     /// The schema.
@@ -60,6 +74,11 @@ impl Table {
         self.rows == 0
     }
 
+    /// Column `c`.
+    pub fn col(&self, c: usize) -> &Column {
+        &self.cols[c]
+    }
+
     /// Appends a row; its arity must match the schema.
     pub fn push_row(&mut self, row: &[Value]) {
         assert_eq!(
@@ -68,26 +87,45 @@ impl Table {
             "row arity does not match schema {}",
             self.schema
         );
-        self.data.extend_from_slice(row);
+        for (c, &v) in self.cols.iter_mut().zip(row) {
+            c.push(v);
+        }
         self.rows += 1;
     }
 
-    /// Row `i` as a cell slice.
-    pub fn row(&self, i: usize) -> &[Value] {
-        assert!(i < self.rows, "row index {i} out of bounds ({} rows)", self.rows);
-        let w = self.schema.width();
-        &self.data[i * w..(i + 1) * w]
+    /// Appends a column (used to decorate realization tables with marker
+    /// columns); its length must match the current row count.
+    pub fn append_column(&mut self, name: impl Into<String>, col: Column) {
+        assert_eq!(col.len(), self.rows, "appended column length must match");
+        self.schema.push(name.into());
+        self.cols.push(col);
     }
 
-    /// Iterates rows.
-    pub fn rows(&self) -> impl Iterator<Item = &[Value]> {
-        let w = self.schema.width();
-        (0..self.rows).map(move |i| &self.data[i * w..(i + 1) * w])
+    /// Row `i` as an owned cell vector (transposed out of the columns; for
+    /// construction-time convenience and tests — hot paths scan columns).
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        assert!(
+            i < self.rows,
+            "row index {i} out of bounds ({} rows)",
+            self.rows
+        );
+        self.cols.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// Iterates rows (transposing each out of the columns; see
+    /// [`Table::row`]).
+    pub fn rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.rows).map(move |i| self.row(i))
     }
 
     /// The cell at row `i`, column `col`.
     pub fn cell(&self, i: usize, col: usize) -> Value {
-        self.row(i)[col]
+        assert!(
+            i < self.rows,
+            "row index {i} out of bounds ({} rows)",
+            self.rows
+        );
+        self.cols[col].get(i)
     }
 
     /// Distinct non-null values in a column — the SQL
@@ -98,75 +136,142 @@ impl Table {
     }
 
     /// The distinct non-null values of a column.
-    pub fn distinct_values(&self, col: usize) -> HashSet<EntityId> {
-        self.rows().filter_map(|r| r[col]).collect()
+    pub fn distinct_values(&self, col: usize) -> EntitySet {
+        let c = &self.cols[col];
+        if c.has_nulls() {
+            (0..self.rows).filter_map(|i| c.get(i)).collect()
+        } else {
+            c.values().iter().copied().collect()
+        }
     }
 
-    /// Projection onto the given columns (duplicates retained; call
-    /// [`Table::dedup`] for set semantics).
+    /// Projection onto the given columns: a column clone per attribute
+    /// (duplicates retained; call [`Table::dedup`] for set semantics).
     pub fn project(&self, cols: &[usize]) -> Table {
         let schema = Schema::new(cols.iter().map(|&c| self.schema.name(c).to_owned()));
-        let mut out = Table::new(schema);
-        let mut row = Vec::with_capacity(cols.len());
-        for r in self.rows() {
-            row.clear();
-            row.extend(cols.iter().map(|&c| r[c]));
-            out.push_row(&row);
+        let picked = cols.iter().map(|&c| self.cols[c].clone()).collect();
+        Table::from_parts(schema, picked, self.rows)
+    }
+
+    /// Gathers the given row indices into a new table (order as given;
+    /// [`crate::NULL_IX`] entries become all-null rows).
+    pub fn gather(&self, idx: &[u32]) -> Table {
+        let cols = self.cols.iter().map(|c| c.gather(idx)).collect();
+        Table::from_parts(self.schema.clone(), cols, idx.len())
+    }
+
+    /// Hash of row `i`'s cells, consistent with cell-wise row equality.
+    fn row_hashes(&self) -> Vec<u64> {
+        let mut hashes = vec![0xcbf2_9ce4_8422_2325u64; self.rows];
+        for c in &self.cols {
+            let vals = c.values();
+            if c.has_nulls() {
+                for (i, h) in hashes.iter_mut().enumerate() {
+                    let cell = (u64::from(vals[i].as_u32()) << 1) | u64::from(c.is_valid(i));
+                    *h = mix64(*h ^ cell);
+                }
+            } else {
+                for (i, h) in hashes.iter_mut().enumerate() {
+                    *h = mix64(*h ^ ((u64::from(vals[i].as_u32()) << 1) | 1));
+                }
+            }
         }
-        out
+        hashes
+    }
+
+    /// Whether rows `i` and `j` are cell-wise equal.
+    fn rows_equal(&self, i: usize, j: usize) -> bool {
+        self.cols
+            .iter()
+            .all(|c| c.values()[i] == c.values()[j] && c.is_valid(i) == c.is_valid(j))
     }
 
     /// Removes duplicate rows (order-preserving, first occurrence wins).
+    ///
+    /// Rows are bucketed by hash and confirmed by cell-wise column
+    /// comparison. Hash collisions are chained intrusively through a
+    /// side array, so dedup performs no per-row or per-bucket allocation
+    /// beyond three flat vectors.
     pub fn dedup(&mut self) {
-        let w = self.schema.width();
-        if w == 0 {
+        if self.schema.width() == 0 {
             // Every zero-width row is identical, so at most one survives.
             self.rows = self.rows.min(1);
             return;
         }
-        if self.data.is_empty() {
+        if self.rows == 0 {
             return;
         }
-        let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(self.len());
-        let mut out = Vec::with_capacity(self.data.len());
-        for r in self.data.chunks_exact(w) {
-            if seen.insert(r.to_vec()) {
-                out.extend_from_slice(r);
+        let hashes = self.row_hashes();
+        // hash → first kept row with that hash; further same-hash rows are
+        // threaded through `next` (NULL_IX-terminated).
+        let mut head: FastMap<u64, u32> =
+            FastMap::with_capacity_and_hasher(self.rows, <_>::default());
+        let mut next: Vec<u32> = vec![NULL_IX; self.rows];
+        let mut keep: Vec<u32> = Vec::with_capacity(self.rows);
+        'rows: for (i, &hash) in hashes.iter().enumerate() {
+            match head.entry(hash) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(i as u32);
+                }
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    let mut j = *slot.get();
+                    loop {
+                        if self.rows_equal(i, j as usize) {
+                            continue 'rows;
+                        }
+                        if next[j as usize] == NULL_IX {
+                            break;
+                        }
+                        j = next[j as usize];
+                    }
+                    next[j as usize] = i as u32;
+                }
             }
+            keep.push(i as u32);
         }
-        self.data = out;
-        self.rows = self.data.len() / w;
+        if keep.len() < self.rows {
+            *self = self.gather(&keep);
+        }
     }
 
     /// Selection of the rows that contain at least one null — the partial
     /// realizations in Algorithm 3's final step.
     pub fn rows_with_null(&self) -> Table {
-        let mut out = Table::new(self.schema.clone());
-        for r in self.rows() {
-            if r.iter().any(Option::is_none) {
-                out.push_row(r);
-            }
+        if !self.cols.iter().any(Column::has_nulls) {
+            return Table::new(self.schema.clone());
         }
-        out
+        let idx: Vec<u32> = (0..self.rows)
+            .filter(|&i| self.cols.iter().any(|c| !c.is_valid(i)))
+            .map(|i| i as u32)
+            .collect();
+        self.gather(&idx)
     }
 
     /// Selection of the rows where `col` is non-null and satisfies `pred`.
     pub fn filter_col(&self, col: usize, pred: impl Fn(EntityId) -> bool) -> Table {
-        let mut out = Table::new(self.schema.clone());
-        for r in self.rows() {
-            if r[col].is_some_and(&pred) {
-                out.push_row(r);
-            }
-        }
-        out
+        let c = &self.cols[col];
+        let idx: Vec<u32> = (0..self.rows)
+            .filter(|&i| c.is_valid(i) && pred(c.value_unchecked(i)))
+            .map(|i| i as u32)
+            .collect();
+        self.gather(&idx)
     }
 
     /// Sorted copy of the rows (null sorts first); used by tests to compare
-    /// relations under set semantics.
+    /// relations under set semantics. Sorts row indices via column-wise
+    /// cell comparison, materializing each row once.
     pub fn sorted_rows(&self) -> Vec<Vec<Value>> {
-        let mut rows: Vec<Vec<Value>> = self.rows().map(|r| r.to_vec()).collect();
-        rows.sort();
-        rows
+        let mut idx: Vec<u32> = (0..self.rows as u32).collect();
+        idx.sort_unstable_by(|&a, &b| {
+            for c in &self.cols {
+                let ord = c.get(a as usize).cmp(&c.get(b as usize));
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        idx.iter().map(|&i| self.row(i as usize)).collect()
     }
 }
 
@@ -254,6 +359,13 @@ mod tests {
     }
 
     #[test]
+    fn dedup_distinguishes_null_from_entity_zero() {
+        let mut t = Table::from_rows(Schema::new(["a"]), [vec![v(0)], vec![None], vec![v(0)]]);
+        t.dedup();
+        assert_eq!(t.len(), 2, "entity 0 and null are distinct cells");
+    }
+
+    #[test]
     fn zero_width_table() {
         let t = Table::new(Schema::new(Vec::<String>::new()));
         assert_eq!(t.len(), 0);
@@ -290,5 +402,36 @@ mod tests {
         let t = sample();
         assert_eq!(t.project(&[0]).distinct_count(0), 3);
         assert_eq!(t.project(&[1, 0]).distinct_count(0), 2);
+    }
+
+    #[test]
+    fn gather_reorders_and_pads() {
+        let t = sample();
+        let g = t.gather(&[3, 0, crate::NULL_IX]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.row(0), vec![v(3), v(30)]);
+        assert_eq!(g.row(1), vec![v(1), v(10)]);
+        assert_eq!(g.row(2), vec![None, None]);
+    }
+
+    #[test]
+    fn append_column_extends_schema() {
+        let mut t = sample();
+        let marker = Column::from_values((0..4).map(EntityId::from_u32).collect::<Vec<_>>());
+        t.append_column("@m", marker);
+        assert_eq!(t.width(), 3);
+        assert_eq!(t.cell(2, 2), v(2));
+    }
+
+    #[test]
+    fn dedup_large_no_collision_confusion() {
+        // Enough rows to exercise hash bucketing across many groups.
+        let mut t = Table::new(Schema::new(["a", "b"]));
+        for i in 0..1000u32 {
+            t.push_row(&[v(i % 50), v(i % 7)]);
+        }
+        t.dedup();
+        // 50 × 7 = 350 combinations, every one reached since lcm(50,7)=350.
+        assert_eq!(t.len(), 350);
     }
 }

@@ -5,7 +5,14 @@
 //! `PM−join` realization computations, which must only differ in speed.
 
 use proptest::prelude::*;
-use wiclean_rel::{join_glue, join_glue_nested, join_glue_sort_merge, outer_join_glue, ColumnGlue, Schema, Table, Value};
+use wiclean_rel::rowstore::{
+    join_glue_rows, join_glue_sort_merge_rows, outer_join_glue_rows, RowTable,
+};
+use wiclean_rel::{
+    distinct_left_values, join_glue, join_glue_nested, join_glue_pairs,
+    join_glue_pairs_partitioned, join_glue_sort_merge, outer_join_glue, ColumnGlue, Schema,
+    SerialRunner, Table, Value,
+};
 use wiclean_types::EntityId;
 
 fn value_strategy() -> impl Strategy<Value = Value> {
@@ -137,5 +144,129 @@ proptest! {
         let dc = t.distinct_count(0);
         let set = t.distinct_values(0);
         prop_assert_eq!(dc, set.len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential suite: every columnar operator vs the retained row-oriented
+// reference engine (`rowstore`), under set semantics.
+// ---------------------------------------------------------------------------
+
+/// A value strategy skewed heavily toward nulls, so whole-column-null
+/// tables occur regularly.
+fn nullish_value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        1 => (0u32..4).prop_map(|i| Some(EntityId::from_u32(i))),
+        2 => Just(None),
+    ]
+}
+
+fn nullish_table_strategy(cols: &'static [&'static str]) -> impl Strategy<Value = Table> {
+    proptest::collection::vec(
+        proptest::collection::vec(nullish_value_strategy(), cols.len()),
+        0..12,
+    )
+    .prop_map(move |rows| Table::from_rows(Schema::new(cols.iter().copied()), rows))
+}
+
+proptest! {
+    /// Columnar inner joins (hash, sort–merge, partitioned) agree with the
+    /// row-oriented reference under set semantics.
+    #[test]
+    fn columnar_joins_match_row_reference(
+        left in table_strategy(&["a", "b"]),
+        right in table_strategy(&["x", "y"]),
+        glue in glue_strategy(),
+    ) {
+        let (rl, rr) = (RowTable::from_table(&left), RowTable::from_table(&right));
+
+        let col_hash = join_glue(&left, &right, &glue);
+        let row_hash = join_glue_rows(&rl, &rr, &glue);
+        prop_assert_eq!(col_hash.sorted_rows(), row_hash.sorted_rows());
+        prop_assert_eq!(col_hash.schema().names(), row_hash.schema().names());
+
+        let col_sm = join_glue_sort_merge(&left, &right, &glue);
+        let row_sm = join_glue_sort_merge_rows(&rl, &rr, &glue);
+        prop_assert_eq!(col_sm.sorted_rows(), row_sm.sorted_rows());
+    }
+
+    /// The columnar outer join agrees with the row-oriented reference —
+    /// including under null-heavy inputs where unmatched-row padding and
+    /// glued-column fallback dominate the output.
+    #[test]
+    fn outer_join_matches_row_reference(
+        left in nullish_table_strategy(&["a", "b"]),
+        right in nullish_table_strategy(&["x", "y"]),
+        glue in glue_strategy(),
+    ) {
+        let (rl, rr) = (RowTable::from_table(&left), RowTable::from_table(&right));
+        let col = outer_join_glue(&left, &right, &glue);
+        let row = outer_join_glue_rows(&rl, &rr, &glue);
+        prop_assert_eq!(col.sorted_rows(), row.sorted_rows());
+    }
+
+    /// Columnar project + dedup agree with the reference, including the
+    /// zero-width projection (COUNT(*) preservation, collapse to one row).
+    #[test]
+    fn project_dedup_match_row_reference(
+        t in nullish_table_strategy(&["a", "b", "c"]),
+        mask in proptest::collection::vec(any::<bool>(), 3),
+    ) {
+        let keep: Vec<usize> = (0..3).filter(|&c| mask[c]).collect();
+        let rt = RowTable::from_table(&t);
+        let mut cp = t.project(&keep);
+        let mut rp = rt.project(&keep);
+        prop_assert_eq!(cp.len(), rp.len());
+        prop_assert_eq!(cp.sorted_rows(), rp.sorted_rows());
+        cp.dedup();
+        rp.dedup();
+        prop_assert_eq!(cp.len(), rp.len());
+        prop_assert_eq!(cp.sorted_rows(), rp.sorted_rows());
+    }
+
+    /// Self-join glue: joining a table with itself (the degenerate case
+    /// where build and probe sides alias) agrees with the reference.
+    #[test]
+    fn self_join_matches_row_reference(
+        t in table_strategy(&["a", "b"]),
+        glue in glue_strategy(),
+    ) {
+        let rt = RowTable::from_table(&t);
+        let col = join_glue(&t, &t, &glue);
+        let row = join_glue_rows(&rt, &rt, &glue);
+        prop_assert_eq!(col.sorted_rows(), row.sorted_rows());
+
+        let col_outer = outer_join_glue(&t, &t, &glue);
+        let row_outer = outer_join_glue_rows(&rt, &rt, &glue);
+        prop_assert_eq!(col_outer.sorted_rows(), row_outer.sorted_rows());
+    }
+
+    /// The partitioned pair stage is byte-identical to the serial hash
+    /// pair stage (not merely set-equal) on every input.
+    #[test]
+    fn partitioned_pairs_identical_to_hash(
+        left in table_strategy(&["a", "b"]),
+        right in table_strategy(&["x", "y"]),
+        glue in glue_strategy(),
+    ) {
+        let serial = join_glue_pairs(&left, &right, &glue);
+        let part = join_glue_pairs_partitioned(&left, &right, &glue, &SerialRunner);
+        prop_assert_eq!(serial, part);
+    }
+
+    /// The distinct-source fast path (support counted off the pair stream)
+    /// equals the distinct count of the materialized, deduped join — the
+    /// invariant that lets the miner prune candidates without materializing.
+    #[test]
+    fn pair_stream_support_equals_materialized_support(
+        left in nullish_table_strategy(&["a", "b"]),
+        right in nullish_table_strategy(&["x", "y"]),
+        glue in glue_strategy(),
+    ) {
+        let pairs = join_glue_pairs(&left, &right, &glue);
+        let fast = distinct_left_values(&left, 0, &pairs);
+        let mut full = join_glue(&left, &right, &glue);
+        full.dedup();
+        prop_assert_eq!(fast, full.distinct_values(0));
     }
 }

@@ -27,7 +27,13 @@ pub struct Action {
 
 impl Action {
     /// Convenience constructor.
-    pub fn new(op: EditOp, source: EntityId, rel: RelId, target: EntityId, time: Timestamp) -> Self {
+    pub fn new(
+        op: EditOp,
+        source: EntityId,
+        rel: RelId,
+        target: EntityId,
+        time: Timestamp,
+    ) -> Self {
         Self {
             op,
             source,

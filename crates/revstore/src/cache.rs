@@ -225,9 +225,21 @@ mod tests {
         u.add_entity("Santos FC", club).unwrap();
 
         let mut s = RevisionStore::new();
-        s.record(neymar, 5, "{{Infobox p\n| current_club = [[Santos FC]]\n}}\n".into());
-        s.record(neymar, 30, "{{Infobox p\n| current_club = [[Barcelona F.C.]]\n}}\n".into());
-        s.record(neymar, 50, "{{Infobox p\n| current_club = [[PSG F.C.]]\n}}\n".into());
+        s.record(
+            neymar,
+            5,
+            "{{Infobox p\n| current_club = [[Santos FC]]\n}}\n".into(),
+        );
+        s.record(
+            neymar,
+            30,
+            "{{Infobox p\n| current_club = [[Barcelona F.C.]]\n}}\n".into(),
+        );
+        s.record(
+            neymar,
+            50,
+            "{{Infobox p\n| current_club = [[PSG F.C.]]\n}}\n".into(),
+        );
         (u, s, neymar)
     }
 
@@ -241,7 +253,14 @@ mod tests {
         assert_eq!(l1, CacheLookup::Miss);
         assert_eq!(l2, CacheLookup::Hit);
         assert!(Arc::ptr_eq(&a, &b), "hit returns the shared outcome");
-        assert_eq!(cache.stats(), ActionCacheStats { hits: 1, composed: 0, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            ActionCacheStats {
+                hits: 1,
+                composed: 0,
+                misses: 1
+            }
+        );
     }
 
     #[test]
@@ -290,7 +309,11 @@ mod tests {
         cache.extract(&s, &u, other, &w).unwrap();
 
         // Append to `e`: its version bumps, `other`'s does not.
-        s.record(e, 70, "{{Infobox p\n| current_club = [[Santos FC]]\n}}\n".into());
+        s.record(
+            e,
+            70,
+            "{{Infobox p\n| current_club = [[Santos FC]]\n}}\n".into(),
+        );
         let (fresh, le) = cache.extract(&s, &u, e, &w).unwrap();
         let (_, lo) = cache.extract(&s, &u, other, &w).unwrap();
         assert_eq!(le, CacheLookup::Miss, "appended entity must recompute");

@@ -108,7 +108,8 @@ pub fn try_extract_actions(
                 out.unresolved_targets += 1;
                 continue;
             };
-            out.actions.push(Action::new(e.op, entity, rel, target, rev.time));
+            out.actions
+                .push(Action::new(e.op, entity, rel, target, rev.time));
         }
     }
     Ok(out)
@@ -162,7 +163,8 @@ pub fn extract_actions_textdiff(
                 out.unresolved_targets += 1;
                 continue;
             };
-            out.actions.push(Action::new(e.op, entity, rel, target, rev.time));
+            out.actions
+                .push(Action::new(e.op, entity, rel, target, rev.time));
         }
         prev_text = rev.text.clone();
     }
@@ -228,7 +230,10 @@ mod tests {
     fn window_excludes_outside_revisions() {
         let (u, s, neymar, ..) = setup();
         let out = extract_actions(&s, &u, neymar, &Window::new(10, 50));
-        assert!(out.actions.is_empty(), "revision at t=50 is outside [10,50)");
+        assert!(
+            out.actions.is_empty(),
+            "revision at t=50 is outside [10,50)"
+        );
     }
 
     #[test]
@@ -251,7 +256,11 @@ mod tests {
         let (mut u, mut s, ..) = setup();
         let club = u.taxonomy().lookup("SoccerClub").unwrap();
         let e = u.add_entity("X Club", club).unwrap();
-        s.record(e, 20, "{{Infobox c\n| exotic_rel = [[PSG F.C.]]\n}}\n".into());
+        s.record(
+            e,
+            20,
+            "{{Infobox c\n| exotic_rel = [[PSG F.C.]]\n}}\n".into(),
+        );
         let out = extract_actions(&s, &u, e, &Window::new(0, 100));
         assert!(out.actions.is_empty());
         assert_eq!(out.unresolved_relations, 1);

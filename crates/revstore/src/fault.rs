@@ -170,7 +170,10 @@ impl FetchSource for FaultyStore<'_> {
             std::thread::sleep(Duration::from_micros(self.plan.latency_us));
         }
         let attempt = {
-            let mut attempts = self.attempts.lock().expect("attempt counter mutex poisoned");
+            let mut attempts = self
+                .attempts
+                .lock()
+                .expect("attempt counter mutex poisoned");
             let slot = attempts.entry(entity).or_insert(0);
             *slot += 1;
             *slot

@@ -56,7 +56,10 @@ impl fmt::Display for FetchError {
             FetchError::Transient => write!(f, "transient fetch error"),
             FetchError::RateLimited => write!(f, "rate limited by source"),
             FetchError::Gone { revisions_lost } => {
-                write!(f, "page permanently unavailable ({revisions_lost} revisions lost)")
+                write!(
+                    f,
+                    "page permanently unavailable ({revisions_lost} revisions lost)"
+                )
             }
             FetchError::CircuitOpen => write!(f, "circuit breaker open"),
             FetchError::Exhausted { attempts } => {
@@ -304,7 +307,11 @@ pub fn backoff_delay_us(policy: &RetryPolicy, attempt: u32, roll: u64, rate_limi
     // which would wrap huge retry counts to a *negative* exponent.
     let exponent = attempt.saturating_sub(1).min(i32::MAX as u32) as i32;
     let nominal = policy.base_backoff_us as f64 * factor.powi(exponent);
-    let capped = if nominal.is_finite() { nominal.min(max) } else { max };
+    let capped = if nominal.is_finite() {
+        nominal.min(max)
+    } else {
+        max
+    };
     let jitter = (roll % 1024) as f64 / 1024.0;
     let mut wait_us = (capped * (0.5 + 0.5 * jitter)) as u64;
     if rate_limited {

@@ -58,7 +58,8 @@ pub fn reduce_actions(actions: &[Action]) -> Vec<Action> {
     actions
         .iter()
         .zip(keep)
-        .filter_map(|(a, k)| k.then(|| *a))
+        .filter(|&(_, k)| k)
+        .map(|(a, _)| *a)
         .collect()
 }
 

@@ -53,10 +53,7 @@ impl PageHistory {
     ///
     /// The sort is stable, so revisions with equal timestamps keep their
     /// arrival order — byte-identical to what repeated `push` produces.
-    pub fn extend(
-        &mut self,
-        revisions: impl IntoIterator<Item = (Timestamp, String)>,
-    ) -> u64 {
+    pub fn extend(&mut self, revisions: impl IntoIterator<Item = (Timestamp, String)>) -> u64 {
         let mut out_of_order = 0u64;
         let mut needs_sort = false;
         let mut max = self.revisions.last().map(|r| r.time);
@@ -211,7 +208,11 @@ impl RevisionStore {
         self.pages_fetched.fetch_add(1, Ordering::Relaxed);
         self.revisions_scanned
             .fetch_add(history.len() as u64, Ordering::Relaxed);
-        let bytes: u64 = history.revisions().iter().map(|r| r.text.len() as u64).sum();
+        let bytes: u64 = history
+            .revisions()
+            .iter()
+            .map(|r| r.text.len() as u64)
+            .sum();
         self.bytes_scanned.fetch_add(bytes, Ordering::Relaxed);
         Some(history)
     }
@@ -305,7 +306,13 @@ mod tests {
         s.record(eid(2), 5, "w1".into());
         s.record(eid(2), 6, "w2".into());
         assert_eq!(s.stats().out_of_order, 1);
-        let times: Vec<_> = s.peek(eid(1)).unwrap().revisions().iter().map(|r| r.time).collect();
+        let times: Vec<_> = s
+            .peek(eid(1))
+            .unwrap()
+            .revisions()
+            .iter()
+            .map(|r| r.time)
+            .collect();
         assert_eq!(times, vec![10, 20]);
         s.reset_stats();
         assert_eq!(s.stats().out_of_order, 0);
@@ -383,7 +390,10 @@ mod tests {
         let back: RevisionStore = serde_json::from_str(&json).unwrap();
         assert_eq!(back.page_count(), 2);
         assert_eq!(back.revision_count(), 3);
-        assert_eq!(back.peek(eid(1)).unwrap().snapshot_at(15).unwrap().text, "v1");
+        assert_eq!(
+            back.peek(eid(1)).unwrap().snapshot_at(15).unwrap().text,
+            "v1"
+        );
         // Counters reset to zero on load.
         assert_eq!(back.stats(), CrawlStats::default());
     }

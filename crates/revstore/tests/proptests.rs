@@ -1,32 +1,25 @@
 //! Property-based tests for action reduction and the preprocessing cache.
 
 use proptest::prelude::*;
+use wiclean_revstore::reduce::net_effect;
 use wiclean_revstore::{
     is_reduced, reduce_actions, try_extract_actions, Action, ActionCache, CacheLookup, EditOp,
     RevisionStore,
 };
-use wiclean_revstore::reduce::net_effect;
 use wiclean_types::{EntityId, RelId, Universe, Window};
 
 /// Arbitrary actions over a tiny id space so that edge collisions (and thus
 /// cancellations) actually occur.
 fn action_strategy() -> impl Strategy<Value = Action> {
-    (
-        prop::bool::ANY,
-        0u32..4,
-        0u32..3,
-        0u32..4,
-        0u64..1000,
-    )
-        .prop_map(|(add, s, r, t, time)| {
-            Action::new(
-                if add { EditOp::Add } else { EditOp::Remove },
-                EntityId::from_u32(s),
-                RelId::from_u32(r),
-                EntityId::from_u32(t),
-                time,
-            )
-        })
+    (prop::bool::ANY, 0u32..4, 0u32..3, 0u32..4, 0u64..1000).prop_map(|(add, s, r, t, time)| {
+        Action::new(
+            if add { EditOp::Add } else { EditOp::Remove },
+            EntityId::from_u32(s),
+            RelId::from_u32(r),
+            EntityId::from_u32(t),
+            time,
+        )
+    })
 }
 
 /// An *alternating* per-edge action sequence, as snapshot diffing actually

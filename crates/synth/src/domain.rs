@@ -203,10 +203,7 @@ mod tests {
                 Population {
                     ty_path: vec!["Agent".into(), "Person".into(), "SoccerPlayer".into()],
                     name_prefix: "Player".into(),
-                    count: Count::PerSeed {
-                        ratio: 1.0,
-                        min: 1,
-                    },
+                    count: Count::PerSeed { ratio: 1.0, min: 1 },
                 },
                 Population {
                     ty_path: vec!["Agent".into(), "Organisation".into(), "SoccerClub".into()],
@@ -262,22 +259,8 @@ mod tests {
     #[test]
     fn count_resolution() {
         assert_eq!(Count::Fixed(7).resolve(1000), 7);
-        assert_eq!(
-            Count::PerSeed {
-                ratio: 0.1,
-                min: 4
-            }
-            .resolve(1000),
-            100
-        );
-        assert_eq!(
-            Count::PerSeed {
-                ratio: 0.1,
-                min: 4
-            }
-            .resolve(10),
-            4
-        );
+        assert_eq!(Count::PerSeed { ratio: 0.1, min: 4 }.resolve(1000), 100);
+        assert_eq!(Count::PerSeed { ratio: 0.1, min: 4 }.resolve(10), 4);
     }
 
     #[test]
@@ -323,12 +306,9 @@ mod tests {
                 avoid_cofiring: false,
             },
         ));
-        d.templates[0].actions.push(TemplateAction::new(
-            EditOp::Remove,
-            0,
-            "current_club",
-            2,
-        ));
+        d.templates[0]
+            .actions
+            .push(TemplateAction::new(EditOp::Remove, 0, "current_club", 2));
         let u = mini_universe();
         let p = d.expert_pattern(&d.templates[0], &u);
         assert_eq!(p.len(), 3);

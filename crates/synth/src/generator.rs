@@ -163,21 +163,16 @@ impl Engine {
 
     /// Whether `page` links to `target` via `rel`.
     fn has_link(&self, page: EntityId, rel: &str, target: EntityId) -> bool {
-        self.state.get(&page).is_some_and(|p| {
-            p.contains(rel, self.universe.entity_name(target))
-        })
+        self.state
+            .get(&page)
+            .is_some_and(|p| p.contains(rel, self.universe.entity_name(target)))
     }
 }
 
 /// One scheduled job on the simulation clock.
 enum Job {
-    Event {
-        template_ix: usize,
-        seed: EntityId,
-    },
-    Spurious {
-        template_ix: usize,
-    },
+    Event { template_ix: usize, seed: EntityId },
+    Spurious { template_ix: usize },
     Vandalism,
     DistractorEdit,
 }
@@ -310,12 +305,14 @@ pub fn generate(domain: DomainSpec, config: SynthConfig) -> SynthWorld {
             engine.truth.planned_events[tix] += 1;
             firing_sets[tix].insert(seed);
             let base = rng.gen_range(span_start..span_end - jitter_budget);
-            jobs.push((base, Job::Event {
-                template_ix: tix,
-                seed,
-            }));
-            expected_errors +=
-                (template.actions.len() - 1) as f64 * (1.0 - template.completion);
+            jobs.push((
+                base,
+                Job::Event {
+                    template_ix: tix,
+                    seed,
+                },
+            ));
+            expected_errors += (template.actions.len() - 1) as f64 * (1.0 - template.completion);
         }
     }
 
@@ -345,8 +342,7 @@ pub fn generate(domain: DomainSpec, config: SynthConfig) -> SynthWorld {
     for _ in 0..vandal_count {
         jobs.push((rng.gen_range(2 * WEEK..YEAR), Job::Vandalism));
     }
-    let distractor_edits =
-        (distractors.len() as f64 * config.distractor_edits_per_entity) as usize;
+    let distractor_edits = (distractors.len() as f64 * config.distractor_edits_per_entity) as usize;
     for _ in 0..distractor_edits {
         jobs.push((rng.gen_range(2 * WEEK..YEAR), Job::DistractorEdit));
     }
@@ -431,7 +427,10 @@ fn apply_init_rules(
             .get(&rule.tgt_ty)
             .unwrap_or_else(|| panic!("init rule: unknown type `{}`", rule.tgt_ty))
             .clone();
-        assert!(!targets.is_empty(), "init rule with empty target population");
+        assert!(
+            !targets.is_empty(),
+            "init rule with empty target population"
+        );
         for &src in &sources {
             let mut chosen: Vec<EntityId> = Vec::new();
             let mut guard = 0;
@@ -504,11 +503,7 @@ fn resolve_role(
 }
 
 /// Resolves a template action against bound roles into a concrete edit.
-fn concretize(
-    engine: &Engine,
-    action: &TemplateAction,
-    bound: &[EntityId],
-) -> ConcreteEdit {
+fn concretize(engine: &Engine, action: &TemplateAction, bound: &[EntityId]) -> ConcreteEdit {
     let rel = engine
         .universe
         .lookup_relation(&action.rel)
@@ -723,12 +718,7 @@ fn fire_vandalism(
         return;
     }
     engine.snapshot(e, time);
-    engine
-        .state
-        .get_mut(&e)
-        .unwrap()
-        .links
-        .remove(&(rel, red));
+    engine.state.get_mut(&e).unwrap().links.remove(&(rel, red));
     engine.snapshot(e, time + HOUR);
     engine.truth.vandalism_count += 1;
 }
@@ -743,9 +733,8 @@ fn fire_distractor(engine: &mut Engine, distractors: &[EntityId], time: Timestam
     while b == a {
         b = distractors[engine.rng.gen_range(0..distractors.len())];
     }
-    let rel = ["located_in", "band_member", "released_album"]
-        [engine.rng.gen_range(0..3usize)]
-    .to_owned();
+    let rel =
+        ["located_in", "band_member", "released_album"][engine.rng.gen_range(0..3usize)].to_owned();
     let bname = engine.universe.entity_name(b).to_owned();
     let page = engine.state.entry(a).or_default();
     if page.contains(&rel, &bname) {
@@ -788,7 +777,7 @@ mod tests {
         assert!(!corrected.is_empty());
         for e in &corrected {
             let t = e.correction_time.unwrap();
-            assert!(t >= YEAR && t < 2 * YEAR);
+            assert!((YEAR..2 * YEAR).contains(&t));
         }
         // Correction fraction lands near the configured rate.
         let frac = world.truth.correction_fraction();
@@ -863,6 +852,10 @@ mod tests {
         let world = generate(scenarios::soccer(), SynthConfig::tiny(5));
         assert!(world.truth.vandalism_count > 0);
         // Red-link names are not registered entities.
-        assert!(world.universe.entities().lookup("Vandal Target 0").is_none());
+        assert!(world
+            .universe
+            .entities()
+            .lookup("Vandal Target 0")
+            .is_none());
     }
 }

@@ -42,7 +42,10 @@ pub fn neymar_scenario() -> NeymarScenario {
         .unwrap();
     let league_ty = u
         .taxonomy_mut()
-        .add_path(root, &["Agent", "Organisation", "SportsLeague", "SoccerLeague"])
+        .add_path(
+            root,
+            &["Agent", "Organisation", "SportsLeague", "SoccerLeague"],
+        )
         .unwrap();
 
     for rel in ["current_club", "squad", "in_league"] {
@@ -64,10 +67,10 @@ pub fn neymar_scenario() -> NeymarScenario {
     let mut store = RevisionStore::new();
     let mut state: std::collections::HashMap<EntityId, PageLinks> = Default::default();
     let snap = |state: &std::collections::HashMap<EntityId, PageLinks>,
-                    store: &mut RevisionStore,
-                    u: &Universe,
-                    e: EntityId,
-                    t: u64| {
+                store: &mut RevisionStore,
+                u: &Universe,
+                e: EntityId,
+                t: u64| {
         let text = render_links(u.entity_name(e), "page", &state[&e]);
         store.record(e, t, text);
     };
@@ -81,9 +84,18 @@ pub fn neymar_scenario() -> NeymarScenario {
         }
         state.insert(e, p);
     };
-    set(neymar, vec![("current_club", barcelona), ("in_league", la_liga)]);
-    set(buffon, vec![("current_club", juventus), ("in_league", serie_a)]);
-    set(mbappe, vec![("current_club", monaco), ("in_league", ligue1)]);
+    set(
+        neymar,
+        vec![("current_club", barcelona), ("in_league", la_liga)],
+    );
+    set(
+        buffon,
+        vec![("current_club", juventus), ("in_league", serie_a)],
+    );
+    set(
+        mbappe,
+        vec![("current_club", monaco), ("in_league", ligue1)],
+    );
     set(barcelona, vec![("squad", neymar), ("in_league", la_liga)]);
     set(psg, vec![("in_league", ligue1)]);
     set(juventus, vec![("squad", buffon), ("in_league", serie_a)]);
@@ -170,20 +182,12 @@ mod tests {
     fn revert_pair_reduces_away() {
         let s = neymar_scenario();
         let players = s.universe.entities_of(s.player_ty);
-        let out = extract_actions_for(
-            &s.store,
-            &s.universe,
-            &players,
-            &s.window,
-        );
+        let out = extract_actions_for(&s.store, &s.universe, &players, &s.window);
         let raw = out.actions.len();
         let reduced = reduce_actions(&out.actions);
         assert!(raw > reduced.len(), "reverts must cancel");
         // Neymar's net player-page effect: −Barca, +PSG, −LaLiga, +Ligue1.
-        let neymar_actions: Vec<_> = reduced
-            .iter()
-            .filter(|a| a.source == s.neymar)
-            .collect();
+        let neymar_actions: Vec<_> = reduced.iter().filter(|a| a.source == s.neymar).collect();
         assert_eq!(neymar_actions.len(), 4);
     }
 

@@ -130,7 +130,6 @@ fn template(
     }
 }
 
-
 /// The soccer domain: players, clubs, leagues, awards, tournaments — 11
 /// expert patterns (9 windowed, 2 window-less).
 pub fn soccer() -> DomainSpec {
@@ -168,7 +167,10 @@ pub fn soccer() -> DomainSpec {
         //    widened windows of Algorithm 2 discover it.
         template(
             "winter_loan",
-            vec![seed_role(), fresh("loan_club", "SoccerClub", 0, "loaned_to")],
+            vec![
+                seed_role(),
+                fresh("loan_club", "SoccerClub", 0, "loaned_to"),
+            ],
             vec![add(0, "loaned_to", 1), add(1, "loan_squad", 0)],
             windowed_long(28, 42),
             0.50,
@@ -214,7 +216,10 @@ pub fn soccer() -> DomainSpec {
         //    template's bindings.
         template(
             "retirement",
-            vec![seed_role(), existing("club", 0, "current_club", "SoccerClub")],
+            vec![
+                seed_role(),
+                existing("club", 0, "current_club", "SoccerClub"),
+            ],
             vec![
                 del(0, "current_club", 1),
                 del(1, "squad", 0),
@@ -241,10 +246,7 @@ pub fn soccer() -> DomainSpec {
         // 7. National-team call-up.
         template(
             "national_callup",
-            vec![
-                seed_role(),
-                fresh("nt", "NationalTeam", 0, "national_team"),
-            ],
+            vec![seed_role(), fresh("nt", "NationalTeam", 0, "national_team")],
             vec![add(0, "national_team", 1), add(1, "nt_squad", 0)],
             windowed(238),
             0.50,
@@ -389,10 +391,22 @@ pub fn soccer() -> DomainSpec {
         .map(|s| (*s).to_owned())
         .collect(),
         init: vec![
-            init("SoccerPlayer", "current_club", "SoccerClub", 1, Some("squad")),
+            init(
+                "SoccerPlayer",
+                "current_club",
+                "SoccerClub",
+                1,
+                Some("squad"),
+            ),
             init("SoccerPlayer", "in_league", "SoccerLeague", 1, None),
             init("SoccerClub", "in_league", "SoccerLeague", 1, None),
-            init("SoccerClub", "captain", "SoccerPlayer", 1, Some("captain_of")),
+            init(
+                "SoccerClub",
+                "captain",
+                "SoccerPlayer",
+                1,
+                Some("captain_of"),
+            ),
         ],
         templates,
     }
@@ -737,7 +751,13 @@ pub fn politics() -> DomainSpec {
         .collect(),
         init: vec![
             init("USState", "senators", "Senator", 2, Some("senator_of")),
-            init("SenateOffice", "held_by", "Senator", 1, Some("holds_office")),
+            init(
+                "SenateOffice",
+                "held_by",
+                "Senator",
+                1,
+                Some("holds_office"),
+            ),
         ],
         templates,
     }
@@ -993,8 +1013,7 @@ mod tests {
                 .filter(|t| t.window.is_windowed())
                 .collect();
             for a in &windowed {
-                let full_freq =
-                    a.fire_rate * a.completion.powi(a.actions.len() as i32 - 1);
+                let full_freq = a.fire_rate * a.completion.powi(a.actions.len() as i32 - 1);
                 assert!(
                     full_freq >= 0.44,
                     "{}: full-pattern frequency {full_freq:.3} below the 0.41 band",

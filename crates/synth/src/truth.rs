@@ -105,8 +105,7 @@ impl GroundTruth {
         if self.errors.is_empty() {
             return 0.0;
         }
-        self.errors.iter().filter(|e| e.corrected_in_y2).count() as f64
-            / self.errors.len() as f64
+        self.errors.iter().filter(|e| e.corrected_in_y2).count() as f64 / self.errors.len() as f64
     }
 
     /// Events fired from a given template.

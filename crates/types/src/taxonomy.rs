@@ -294,9 +294,7 @@ mod tests {
             .add_path(root, &["Person", "Athlete", "SoccerPlayer"])
             .unwrap();
         assert_eq!(again, player);
-        let gk = tax
-            .add_path(person, &["Athlete", "Goalkeeper"])
-            .unwrap();
+        let gk = tax.add_path(person, &["Athlete", "Goalkeeper"]).unwrap();
         assert_eq!(tax.parent(gk), Some(athlete));
     }
 

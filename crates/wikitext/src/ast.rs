@@ -72,8 +72,7 @@ impl PageLinks {
 
     /// Inserts a link, returning whether it was new.
     pub fn insert(&mut self, relation: &str, target: &str) -> bool {
-        self.links
-            .insert((relation.to_owned(), target.to_owned()))
+        self.links.insert((relation.to_owned(), target.to_owned()))
     }
 
     /// Whether the page links to `target` via `relation`.

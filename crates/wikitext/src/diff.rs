@@ -40,9 +40,7 @@ pub fn apply_edits(links: &mut PageLinks, edits: &[LinkEdit]) {
                 assert!(fresh, "adding already-present link {e}");
             }
             EditOp::Remove => {
-                let existed = links
-                    .links
-                    .remove(&(e.relation.clone(), e.target.clone()));
+                let existed = links.links.remove(&(e.relation.clone(), e.target.clone()));
                 assert!(existed, "removing absent link {e}");
             }
         }

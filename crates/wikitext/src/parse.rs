@@ -344,7 +344,8 @@ mod tests {
 
     #[test]
     fn parses_infobox_fields() {
-        let text = "{{Infobox football biography\n| name = Neymar\n| current_club = [[PSG F.C.]]\n}}\n";
+        let text =
+            "{{Infobox football biography\n| name = Neymar\n| current_club = [[PSG F.C.]]\n}}\n";
         let page = parse_page(text);
         assert_eq!(page.infobox_kind.as_deref(), Some("football biography"));
         assert!(page.contains("current_club", "PSG F.C."));
@@ -438,7 +439,8 @@ mod tests {
 
     #[test]
     fn inline_nested_template_in_value_is_fine() {
-        let text = "{{Infobox club\n| capacity = {{formatnum:47929}} seats at [[Parc des Princes]]\n}}\n";
+        let text =
+            "{{Infobox club\n| capacity = {{formatnum:47929}} seats at [[Parc des Princes]]\n}}\n";
         let page = parse_page(text);
         assert!(page.contains("capacity", "Parc des Princes"));
     }

@@ -14,9 +14,7 @@ fn name_strategy() -> impl Strategy<Value = String> {
 fn links_strategy() -> impl Strategy<Value = PageLinks> {
     proptest::collection::btree_set((name_strategy(), name_strategy()), 0..12).prop_map(|set| {
         let mut p = PageLinks::new();
-        p.links = set
-            .into_iter()
-            .collect::<BTreeSet<(String, String)>>();
+        p.links = set.into_iter().collect::<BTreeSet<(String, String)>>();
         p
     })
 }

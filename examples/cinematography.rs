@@ -24,12 +24,14 @@ fn main() {
         },
     );
 
-    let wc = default_wc_config(
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
-    );
+    let wc = default_wc_config(std::thread::available_parallelism().map_or(1, |n| n.get()));
     let result = find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
 
-    let discovered: BTreeSet<_> = result.discovered.iter().map(|d| d.pattern.clone()).collect();
+    let discovered: BTreeSet<_> = result
+        .discovered
+        .iter()
+        .map(|d| d.pattern.clone())
+        .collect();
     let expert = world.expert_list();
 
     println!("\nexpert pattern list vs. discoveries:");
@@ -41,7 +43,11 @@ fn main() {
             "  [{}] {:<22} {:>9} — {}",
             if hit { "✓" } else { " " },
             name,
-            if *is_windowed { "windowed" } else { "no window" },
+            if *is_windowed {
+                "windowed"
+            } else {
+                "no window"
+            },
             pattern.display(&world.universe)
         );
     }

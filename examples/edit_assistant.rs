@@ -23,9 +23,7 @@ fn main() {
             ..SynthConfig::default()
         },
     );
-    let wc = default_wc_config(
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
-    );
+    let wc = default_wc_config(std::thread::available_parallelism().map_or(1, |n| n.get()));
     let result = find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
 
     // Periodic patterns across the final iteration's windows. (With one
@@ -39,7 +37,10 @@ fn main() {
         println!(
             "  {} — window(s) {:?}",
             p.pattern.display(&world.universe),
-            p.windows.iter().map(ToString::to_string).collect::<Vec<_>>()
+            p.windows
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
         );
     }
 

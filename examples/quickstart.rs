@@ -22,7 +22,10 @@ fn main() {
     let out = extract_actions_for(&s.store, u, &everyone, &s.window);
     let reduced = reduce_actions(&out.actions);
 
-    println!("{:>3} {:>3} {:<18} {:<14} {:<18} {:>8} {:>2}", "#", "+/-", "Subject", "Relation", "Object", "Time", "R");
+    println!(
+        "{:>3} {:>3} {:<18} {:<14} {:<18} {:>8} {:>2}",
+        "#", "+/-", "Subject", "Relation", "Object", "Time", "R"
+    );
     let mut actions = out.actions.clone();
     actions.sort_by_key(|a| a.time);
     for (i, a) in actions.iter().enumerate() {

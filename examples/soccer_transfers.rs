@@ -31,9 +31,7 @@ fn main() {
         world.truth.errors.len()
     );
 
-    let wc = default_wc_config(
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
-    );
+    let wc = default_wc_config(std::thread::available_parallelism().map_or(1, |n| n.get()));
     println!("running Algorithm 2 (window & threshold search)…");
     let result = find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
     println!(

@@ -28,9 +28,7 @@ fn main() {
         },
     );
 
-    let wc = default_wc_config(
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
-    );
+    let wc = default_wc_config(std::thread::available_parallelism().map_or(1, |n| n.get()));
     let result = find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
 
     // Locate the election pattern among the discoveries.

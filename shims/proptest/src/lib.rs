@@ -310,7 +310,9 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 // ---------------------------------------------------------------------------
@@ -356,6 +358,9 @@ macro_rules! __proptest_items {
                 let mut __rng = $crate::test_runner::TestRng::for_case(__seed, __attempt);
                 __attempt += 1;
                 $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                // The closure gives `$body` a scope where `?` and early
+                // `return` produce a `TestCaseError`, not a test exit.
+                #[allow(clippy::redundant_closure_call)]
                 let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
                     (|| {
                         $body

@@ -102,7 +102,10 @@ impl<T> Union<T> {
     /// Builds a union; weights must sum to a nonzero value.
     pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
         let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
-        assert!(total_weight > 0, "prop_oneof! needs a positive total weight");
+        assert!(
+            total_weight > 0,
+            "prop_oneof! needs a positive total weight"
+        );
         Self { arms, total_weight }
     }
 }
@@ -333,9 +336,9 @@ fn parse_pattern(pattern: &str) -> Vec<Piece> {
                     other => Atom::Literal(other),
                 }
             }
-            '(' | ')' | '|' | '^' | '$' =>
-
-                panic!("proptest shim: regex feature `{c}` unsupported in `{pattern}`"),
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!("proptest shim: regex feature `{c}` unsupported in `{pattern}`")
+            }
             other => Atom::Literal(other),
         };
         let (min, max) = parse_quantifier(&mut chars, pattern);
@@ -345,10 +348,7 @@ fn parse_pattern(pattern: &str) -> Vec<Piece> {
 }
 
 fn sample_class(ranges: &[(u32, u32)], rng: &mut TestRng) -> char {
-    let total: u64 = ranges
-        .iter()
-        .map(|(lo, hi)| u64::from(hi - lo) + 1)
-        .sum();
+    let total: u64 = ranges.iter().map(|(lo, hi)| u64::from(hi - lo) + 1).sum();
     let mut roll = rng.below(total);
     for (lo, hi) in ranges {
         let width = u64::from(hi - lo) + 1;
@@ -427,7 +427,10 @@ mod tests {
         let u = Union::new(vec![(1, Just(0u8).boxed()), (3, Just(1u8).boxed())]);
         let mut r = rng();
         let ones = (0..4000).filter(|_| u.generate(&mut r) == 1).count();
-        assert!((2600..3400).contains(&ones), "weighted pick gave {ones}/4000");
+        assert!(
+            (2600..3400).contains(&ones),
+            "weighted pick gave {ones}/4000"
+        );
     }
 
     #[test]

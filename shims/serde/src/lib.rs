@@ -424,7 +424,11 @@ impl_serialize_tuple! {
     (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
 }
 
-fn serialize_map_entries<'a, K, V, S, I>(entries: I, serializer: S, sort: bool) -> Result<S::Ok, S::Error>
+fn serialize_map_entries<'a, K, V, S, I>(
+    entries: I,
+    serializer: S,
+    sort: bool,
+) -> Result<S::Ok, S::Error>
 where
     K: Serialize + 'a,
     V: Serialize + 'a,
@@ -650,9 +654,11 @@ where
     H: BuildHasher + Default,
 {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        Ok(map_from_content::<K, V, D::Error>(deserializer.deserialize_content()?)?
-            .into_iter()
-            .collect())
+        Ok(
+            map_from_content::<K, V, D::Error>(deserializer.deserialize_content()?)?
+                .into_iter()
+                .collect(),
+        )
     }
 }
 
@@ -662,9 +668,11 @@ where
     V: Deserialize<'static>,
 {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        Ok(map_from_content::<K, V, D::Error>(deserializer.deserialize_content()?)?
-            .into_iter()
-            .collect())
+        Ok(
+            map_from_content::<K, V, D::Error>(deserializer.deserialize_content()?)?
+                .into_iter()
+                .collect(),
+        )
     }
 }
 
@@ -704,7 +712,7 @@ mod tests {
     use crate::ser::to_content;
 
     #[derive(Debug)]
-    struct TestError(String);
+    struct TestError(#[allow(dead_code)] String);
 
     impl de::Error for TestError {
         fn custom<T: Display>(msg: T) -> Self {
@@ -724,7 +732,7 @@ mod tests {
         assert_eq!(round_trip(&42u64), 42);
         assert_eq!(round_trip(&-7i32), -7);
         assert_eq!(round_trip(&1.5f64), 1.5);
-        assert_eq!(round_trip(&true), true);
+        assert!(round_trip(&true));
         assert_eq!(round_trip(&"hi".to_owned()), "hi");
         assert_eq!(round_trip(&Some(3u8)), Some(3));
         assert_eq!(round_trip(&None::<u8>), None);
@@ -734,8 +742,7 @@ mod tests {
     fn collections_round_trip() {
         let v = vec![(1u32, "a".to_owned()), (2, "b".to_owned())];
         assert_eq!(round_trip(&v), v);
-        let m: HashMap<u32, String> =
-            v.iter().cloned().collect();
+        let m: HashMap<u32, String> = v.iter().cloned().collect();
         assert_eq!(round_trip(&m), m);
         let s: BTreeSet<u64> = [3, 1, 2].into_iter().collect();
         assert_eq!(round_trip(&s), s);

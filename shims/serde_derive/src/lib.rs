@@ -342,8 +342,7 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     Fields::Named(fields) => {
-                        let binders: Vec<&str> =
-                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         let items: Vec<String> = fields
                             .iter()
                             .filter(|f| !f.attrs.skip)
@@ -409,8 +408,10 @@ fn gen_deserialize(item: &Item) -> String {
                     inner.len() == 1,
                     "serde shim derive: #[serde(transparent)] needs exactly one field"
                 );
-                let mut builders =
-                    format!("{}: ::serde::de::from_content::<_, __D::Error>(__content)?,\n", inner[0].name);
+                let mut builders = format!(
+                    "{}: ::serde::de::from_content::<_, __D::Error>(__content)?,\n",
+                    inner[0].name
+                );
                 for f in fields.iter().filter(|f| f.attrs.skip) {
                     builders.push_str(&format!(
                         "{}: ::core::default::Default::default(),\n",
@@ -494,8 +495,7 @@ fn gen_deserialize(item: &Item) -> String {
                              ::serde::de::content_into_fields::<__D::Error>(__value, \
                              \"{name}::{vname}\")?;\nlet _ = &mut __fields;\n\
                              ::core::result::Result::Ok({name}::{vname} {{\n{builders}}})\n}},\n",
-                            builders =
-                                named_field_builders(fields, &format!("{name}::{vname}"))
+                            builders = named_field_builders(fields, &format!("{name}::{vname}"))
                         ));
                     }
                 }

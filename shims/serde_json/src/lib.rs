@@ -341,7 +341,8 @@ impl<'a> Parser<'a> {
                                 char::from_u32(combined)
                                     .ok_or_else(|| self.error("invalid surrogate pair"))?
                             } else {
-                                char::from_u32(hi).ok_or_else(|| self.error("invalid \\u escape"))?
+                                char::from_u32(hi)
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?
                             };
                             out.push(c);
                             continue;
@@ -466,9 +467,7 @@ impl Value {
                             Content::Str(s) => s,
                             Content::U64(v) => v.to_string(),
                             Content::I64(v) => v.to_string(),
-                            other => {
-                                return Err(Error::new(format!("bad object key {other:?}")))
-                            }
+                            other => return Err(Error::new(format!("bad object key {other:?}"))),
                         };
                         Ok((key, Value::from_content(v)?))
                     })

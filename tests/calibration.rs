@@ -9,9 +9,11 @@ use wiclean::types::{WEEK, YEAR};
 
 #[test]
 fn soccer_patterns_recovered() {
-    let mut synth_config = SynthConfig::default();
-    synth_config.seed_count = 400;
-    synth_config.rng_seed = 20180801;
+    let synth_config = SynthConfig {
+        seed_count: 400,
+        rng_seed: 20180801,
+        ..SynthConfig::default()
+    };
     let world = generate(scenarios::soccer(), synth_config);
 
     let wc = WcConfig {
@@ -35,7 +37,11 @@ fn soccer_patterns_recovered() {
     let result = find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
     let expert = world.expert_list();
 
-    let discovered: BTreeSet<_> = result.discovered.iter().map(|d| d.pattern.clone()).collect();
+    let discovered: BTreeSet<_> = result
+        .discovered
+        .iter()
+        .map(|d| d.pattern.clone())
+        .collect();
     eprintln!("iterations: {}", result.iterations);
     eprintln!(
         "final width: {} days, final tau: {:.3}",

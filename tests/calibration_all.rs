@@ -9,9 +9,11 @@ use wiclean::types::{WEEK, YEAR};
 
 fn check_domain(domain: DomainSpec, rng_seed: u64) {
     let name = domain.name.clone();
-    let mut synth_config = SynthConfig::default();
-    synth_config.seed_count = 400;
-    synth_config.rng_seed = rng_seed;
+    let synth_config = SynthConfig {
+        seed_count: 400,
+        rng_seed,
+        ..SynthConfig::default()
+    };
     let world = generate(domain, synth_config);
 
     let wc = WcConfig {
@@ -34,7 +36,11 @@ fn check_domain(domain: DomainSpec, rng_seed: u64) {
 
     let result = find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
     let expert = world.expert_list();
-    let discovered: BTreeSet<_> = result.discovered.iter().map(|d| d.pattern.clone()).collect();
+    let discovered: BTreeSet<_> = result
+        .discovered
+        .iter()
+        .map(|d| d.pattern.clone())
+        .collect();
 
     let mut windowed_hits = 0;
     let mut windowed_total = 0;

@@ -17,12 +17,23 @@ fn generate_stats_mine_detect_round_trip() {
     // generate
     let out = wiclean()
         .args([
-            "generate", "--domain", "software", "--seeds", "150", "--rng", "7",
-            "--out", corpus.to_str().unwrap(),
+            "generate",
+            "--domain",
+            "software",
+            "--seeds",
+            "150",
+            "--rng",
+            "7",
+            "--out",
+            corpus.to_str().unwrap(),
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(corpus.exists());
 
     // stats
@@ -38,12 +49,21 @@ fn generate_stats_mine_detect_round_trip() {
     // mine → JSON report
     let out = wiclean()
         .args([
-            "mine", "--corpus", corpus.to_str().unwrap(),
-            "--threads", "2", "--out", report.to_str().unwrap(),
+            "mine",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--out",
+            report.to_str().unwrap(),
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let json = std::fs::read_to_string(&report).unwrap();
     let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
     assert_eq!(parsed["seed_type"], "SoftwareProject");
@@ -55,8 +75,13 @@ fn generate_stats_mine_detect_round_trip() {
     // detect
     let out = wiclean()
         .args([
-            "detect", "--corpus", corpus.to_str().unwrap(),
-            "--threads", "2", "--top", "2",
+            "detect",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--top",
+            "2",
         ])
         .output()
         .unwrap();
@@ -77,7 +102,13 @@ fn bad_invocations_fail_cleanly() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
 
     let out = wiclean()
-        .args(["generate", "--domain", "underwater-basket-weaving", "--out", "/tmp/x"])
+        .args([
+            "generate",
+            "--domain",
+            "underwater-basket-weaving",
+            "--out",
+            "/tmp/x",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success(), "unknown domain must fail");

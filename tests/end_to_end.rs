@@ -112,7 +112,10 @@ fn all_baseline_variants_agree_on_synth_world() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations — run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations — run with --release"
+)]
 fn report_serializes_full_run() {
     let world = small_world();
     let wc = default_wc_config(2);
