@@ -73,6 +73,13 @@ pub struct MinerConfig {
     /// any width; small inputs fall back to the serial path regardless.
     #[serde(default)]
     pub join_threads: usize,
+    /// Run extraction through the frozen full-reparse pipeline instead of
+    /// the interned incremental one
+    /// ([`wiclean_revstore::ExtractMode::FullReparse`]). Output is
+    /// byte-identical either way; set for ablation/debugging. Normally
+    /// driven from [`WcConfig::use_incremental_extract`].
+    #[serde(default)]
+    pub full_reparse_extract: bool,
 }
 
 impl Default for MinerConfig {
@@ -88,6 +95,7 @@ impl Default for MinerConfig {
             mine_relative: true,
             intra_window_threads: 0,
             join_threads: 0,
+            full_reparse_extract: false,
         }
     }
 }
@@ -115,7 +123,11 @@ impl Default for RefinePolicy {
 }
 
 /// Full configuration of Algorithm 2 (window and threshold search).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (below) so that configs serialized before
+/// `use_incremental_extract` existed load with the flag *on* — the derive's
+/// `#[serde(default)]` would silently turn the new extractor off.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct WcConfig {
     /// Initial (minimal) window width `W_min`; system default two weeks.
     pub w_min: u64,
@@ -149,6 +161,43 @@ pub struct WcConfig {
     /// from cached sub-window extractions instead of re-diffing wikitext.
     /// Disable for ablation.
     pub use_action_cache: bool,
+    /// Extract actions with the interned incremental parser (default):
+    /// revision texts are line-diffed against their predecessor and only
+    /// changed spans re-parsed. `false` routes every extraction through
+    /// the frozen full-reparse reference pipeline — byte-identical output,
+    /// ablation/debugging only.
+    pub use_incremental_extract: bool,
+}
+
+impl<'de> serde::Deserialize<'de> for WcConfig {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::{content_into_fields, take_field, take_field_or_default};
+        const NAME: &str = "WcConfig";
+        let content = serde::Deserializer::deserialize_content(deserializer)?;
+        let mut fields = content_into_fields::<D::Error>(content, NAME)?;
+        Ok(Self {
+            w_min: take_field(&mut fields, "w_min", NAME)?,
+            tau0: take_field(&mut fields, "tau0", NAME)?,
+            max_window: take_field(&mut fields, "max_window", NAME)?,
+            min_tau: take_field(&mut fields, "min_tau", NAME)?,
+            policy: take_field(&mut fields, "policy", NAME)?,
+            timeline_start: take_field(&mut fields, "timeline_start", NAME)?,
+            timeline_end: take_field(&mut fields, "timeline_end", NAME)?,
+            miner: take_field(&mut fields, "miner", NAME)?,
+            threads: take_field(&mut fields, "threads", NAME)?,
+            max_iterations: take_field(&mut fields, "max_iterations", NAME)?,
+            use_cache: take_field(&mut fields, "use_cache", NAME)?,
+            use_action_cache: take_field(&mut fields, "use_action_cache", NAME)?,
+            // Absent in configs written before the incremental extractor
+            // existed; those must keep meaning "incremental on".
+            use_incremental_extract: take_field_or_default::<Option<bool>, D::Error>(
+                &mut fields,
+                "use_incremental_extract",
+                NAME,
+            )?
+            .unwrap_or(true),
+        })
+    }
 }
 
 impl Default for WcConfig {
@@ -166,6 +215,7 @@ impl Default for WcConfig {
             max_iterations: 64,
             use_cache: true,
             use_action_cache: true,
+            use_incremental_extract: true,
         }
     }
 }
@@ -200,5 +250,28 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: WcConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn incremental_extract_defaults_on() {
+        assert!(WcConfig::default().use_incremental_extract);
+        assert!(!MinerConfig::default().full_reparse_extract);
+
+        // A config serialized before the flag existed must load with the
+        // incremental extractor on, not bool's false default.
+        let mut json = serde_json::to_string(&WcConfig::default()).unwrap();
+        json = json.replace(",\"use_incremental_extract\":true", "");
+        assert!(!json.contains("use_incremental_extract"));
+        let legacy: WcConfig = serde_json::from_str(&json).unwrap();
+        assert!(legacy.use_incremental_extract);
+
+        // And an explicit `false` survives the trip.
+        let ablated = WcConfig {
+            use_incremental_extract: false,
+            ..WcConfig::default()
+        };
+        let back: WcConfig =
+            serde_json::from_str(&serde_json::to_string(&ablated).unwrap()).unwrap();
+        assert!(!back.use_incremental_extract);
     }
 }

@@ -42,8 +42,8 @@ use wiclean_rel::{
     materialize_pairs, outer_join_glue, ColumnGlue, Table,
 };
 use wiclean_revstore::{
-    reduce_actions, try_extract_actions, ActionCache, CacheLookup, ExtractOutcome, FetchError,
-    FetchSource,
+    reduce_actions, try_extract_actions_with, ActionCache, CacheLookup, ExtractMode,
+    ExtractOutcome, FetchError, FetchSource,
 };
 use wiclean_types::{EntityId, TypeId, Universe, Window};
 
@@ -100,6 +100,16 @@ pub struct MineStats {
     /// table was never materialized.
     #[serde(default)]
     pub tables_pruned: usize,
+    /// Wikitext bytes actually fed through a parser during extraction
+    /// (cache hits and compositions contribute nothing — their bytes were
+    /// counted when the underlying extraction ran).
+    #[serde(default)]
+    pub bytes_parsed: u64,
+    /// Wikitext bytes the incremental extractor skipped: unchanged
+    /// prefix/suffix lines spliced through without re-parsing (0 under
+    /// [`wiclean_revstore::ExtractMode::FullReparse`]).
+    #[serde(default)]
+    pub bytes_skipped: u64,
 }
 
 impl MineStats {
@@ -124,6 +134,8 @@ impl MineStats {
         self.pairs_matched += other.pairs_matched;
         self.tables_materialized += other.tables_materialized;
         self.tables_pruned += other.tables_pruned;
+        self.bytes_parsed += other.bytes_parsed;
+        self.bytes_skipped += other.bytes_skipped;
     }
 
     /// Share of executed candidate joins whose output table was never
@@ -135,6 +147,18 @@ impl MineStats {
             0.0
         } else {
             self.tables_pruned as f64 / total as f64
+        }
+    }
+
+    /// Share of revision bytes the prediff-gated incremental extractor
+    /// skipped instead of parsing (over all bytes it looked at); 0 when
+    /// nothing was extracted or extraction ran in full-reparse mode.
+    pub fn extract_skip_rate(&self) -> f64 {
+        let total = self.bytes_parsed + self.bytes_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.bytes_skipped as f64 / total as f64
         }
     }
 
@@ -441,11 +465,16 @@ impl<'a> WindowMiner<'a> {
     /// path either way and are never cached). Pure per entity, so a batch
     /// of extractions can run in any order on the pool.
     fn extract_entity(&self, e: EntityId, window: &Window) -> Extracted {
+        let mode = if self.config.full_reparse_extract {
+            ExtractMode::FullReparse
+        } else {
+            ExtractMode::Incremental
+        };
         match &self.action_cache {
             Some(cache) => cache
-                .extract(self.source, self.universe, e, window)
+                .extract_with(self.source, self.universe, e, window, mode)
                 .map(|(outcome, lookup)| (outcome, Some(lookup))),
-            None => try_extract_actions(self.source, self.universe, e, window)
+            None => try_extract_actions_with(self.source, self.universe, e, window, mode)
                 .map(|outcome| (Arc::new(outcome), None)),
         }
     }
@@ -485,6 +514,12 @@ impl<'a> WindowMiner<'a> {
                         Some(CacheLookup::Composed) => state.stats.action_cache_composed += 1,
                         Some(CacheLookup::Miss) => state.stats.action_cache_misses += 1,
                         None => {}
+                    }
+                    // Byte counters only when the extraction actually ran:
+                    // hits and compositions replay bytes already counted.
+                    if matches!(lookup, Some(CacheLookup::Miss) | None) {
+                        state.stats.bytes_parsed += outcome.bytes_parsed;
+                        state.stats.bytes_skipped += outcome.bytes_skipped;
                     }
                     outcome
                 }

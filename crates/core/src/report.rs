@@ -223,6 +223,29 @@ mod tests {
     }
 
     #[test]
+    fn report_carries_extract_skip_rate() {
+        let fx = soccer_fixture();
+        let config = WcConfig {
+            w_min: fx.window.len(),
+            max_window: fx.window.len(),
+            timeline_start: 0,
+            timeline_end: fx.window.end,
+            miner: fx.config(),
+            ..WcConfig::default()
+        };
+        let result = find_windows_and_patterns(&fx.store, &fx.universe, fx.player_ty, &config);
+        let report = WcReport::from_result(&result, &fx.universe);
+        // Extraction defaults to the incremental parser; the fixture's
+        // histories repeat most of each page between revisions, so some
+        // bytes must have been spliced through instead of re-parsed — and
+        // the counters ride into the serialized report.
+        assert!(report.stats.bytes_parsed > 0, "stats: {:?}", report.stats);
+        assert!(report.stats.bytes_skipped > 0, "stats: {:?}", report.stats);
+        assert!(report.stats.extract_skip_rate() > 0.0);
+        assert!(report.to_json().contains("bytes_skipped"));
+    }
+
+    #[test]
     fn report_display_is_readable() {
         let fx = soccer_fixture();
         let config = WcConfig {

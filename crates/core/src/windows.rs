@@ -146,6 +146,7 @@ pub fn find_windows_and_patterns(
         let windows = Window::split_span(config.timeline_start, config.timeline_end, width);
         let mut miner_config = config.miner;
         miner_config.tau = tau;
+        miner_config.full_reparse_extract = !config.use_incremental_extract;
         let outcomes = mine_windows_on_pool(
             source,
             universe,
@@ -452,6 +453,57 @@ mod cache_tests {
             ),
             (0, 0, 0),
             "ablated run must not touch the action cache"
+        );
+    }
+
+    #[test]
+    fn incremental_extract_ablation_matches() {
+        let fx = soccer_fixture();
+        let base = WcConfig {
+            w_min: fx.window.len() / 2,
+            tau0: 0.8,
+            max_window: fx.window.len(),
+            min_tau: 0.2,
+            timeline_start: 0,
+            timeline_end: fx.window.end,
+            miner: fx.config(),
+            threads: 1,
+            ..WcConfig::default()
+        };
+        let mut incremental = base;
+        incremental.use_incremental_extract = true;
+        let mut frozen = base;
+        frozen.use_incremental_extract = false;
+
+        let a = find_windows_and_patterns(&fx.store, &fx.universe, fx.player_ty, &incremental);
+        let b = find_windows_and_patterns(&fx.store, &fx.universe, fx.player_ty, &frozen);
+
+        // The incremental extractor is an implementation swap, not a model
+        // change: the whole search trajectory must be byte-identical.
+        let pa: Vec<(P, usize)> = a
+            .discovered
+            .iter()
+            .map(|d| (d.pattern.clone(), d.support))
+            .collect();
+        let pb: Vec<(P, usize)> = b
+            .discovered
+            .iter()
+            .map(|d| (d.pattern.clone(), d.support))
+            .collect();
+        assert_eq!(pa, pb, "extract mode must not change the discovered set");
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.stats.actions_extracted, b.stats.actions_extracted);
+        assert_eq!(a.stats.reduced_actions, b.stats.reduced_actions);
+        assert_eq!(a.stats.joins_executed, b.stats.joins_executed);
+        assert_eq!(a.stats.candidates_considered, b.stats.candidates_considered);
+
+        // Only the byte accounting may differ: the frozen path never skips.
+        assert_eq!(b.stats.bytes_skipped, 0, "full reparse skips nothing");
+        assert_eq!(b.stats.extract_skip_rate(), 0.0);
+        assert_eq!(
+            a.stats.bytes_parsed + a.stats.bytes_skipped,
+            b.stats.bytes_parsed,
+            "both modes account for every revision byte"
         );
     }
 }

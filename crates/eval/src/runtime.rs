@@ -260,6 +260,15 @@ pub struct CacheRun {
     pub action_cache_misses: usize,
     /// Share of lookups served without re-parsing.
     pub hit_rate: f64,
+    /// Wikitext bytes fed through a parser on cache misses.
+    #[serde(default)]
+    pub bytes_parsed: u64,
+    /// Wikitext bytes the incremental extractor spliced through unchanged.
+    #[serde(default)]
+    pub bytes_skipped: u64,
+    /// Share of extraction bytes skipped by the prediff gate.
+    #[serde(default)]
+    pub skip_rate: f64,
     /// Patterns discovered (sanity: both rows must agree).
     pub patterns: usize,
 }
@@ -291,6 +300,9 @@ pub fn preprocess_cache_ablation(seeds: usize, rng: u64) -> Vec<CacheRun> {
             action_cache_composed: r.stats.action_cache_composed,
             action_cache_misses: r.stats.action_cache_misses,
             hit_rate: r.stats.action_cache_hit_rate(),
+            bytes_parsed: r.stats.bytes_parsed,
+            bytes_skipped: r.stats.bytes_skipped,
+            skip_rate: r.stats.extract_skip_rate(),
             patterns: r.discovered.len(),
         });
     }
@@ -300,7 +312,7 @@ pub fn preprocess_cache_ablation(seeds: usize, rng: u64) -> Vec<CacheRun> {
 /// Renders the preprocessing-cache ablation rows.
 pub fn render_cache_runs(rows: &[CacheRun]) -> String {
     let mut s = format!(
-        "{:>15} {:>12} {:>10} {:>8} {:>10} {:>8} {:>9} {:>9}\n",
+        "{:>15} {:>12} {:>10} {:>8} {:>10} {:>8} {:>9} {:>12} {:>12} {:>9} {:>9}\n",
         "algorithm",
         "preproc(s)",
         "mining(s)",
@@ -308,11 +320,14 @@ pub fn render_cache_runs(rows: &[CacheRun]) -> String {
         "composed",
         "misses",
         "hit-rate",
+        "parsed(B)",
+        "skipped(B)",
+        "skip-rate",
         "patterns"
     );
     for r in rows {
         s.push_str(&format!(
-            "{:>15} {:>12.3} {:>10.3} {:>8} {:>10} {:>8} {:>9.3} {:>9}\n",
+            "{:>15} {:>12.3} {:>10.3} {:>8} {:>10} {:>8} {:>9.3} {:>12} {:>12} {:>9.3} {:>9}\n",
             r.label,
             r.preprocess.as_secs_f64(),
             r.mine.as_secs_f64(),
@@ -320,6 +335,9 @@ pub fn render_cache_runs(rows: &[CacheRun]) -> String {
             r.action_cache_composed,
             r.action_cache_misses,
             r.hit_rate,
+            r.bytes_parsed,
+            r.bytes_skipped,
+            r.skip_rate,
             r.patterns
         ));
     }
@@ -426,7 +444,13 @@ mod tests {
             cached.preprocess,
             uncached.preprocess
         );
-        assert!(render_cache_runs(&rows).contains("hit-rate"));
+        // Incremental extraction is on by default: both rows splice some
+        // revision bytes through unchanged, and the rendered table says so.
+        assert!(cached.skip_rate > 0.0, "cached {cached:?}");
+        assert!(uncached.skip_rate > 0.0, "uncached {uncached:?}");
+        let rendered = render_cache_runs(&rows);
+        assert!(rendered.contains("hit-rate"));
+        assert!(rendered.contains("skip-rate"));
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //! thereafter — and a deterministic per-entity fault (gone, garbled text)
 //! keeps cached and uncached runs byte-identical.
 
-use crate::extract::{try_extract_actions, ExtractOutcome};
+use crate::extract::{try_extract_actions_with, ExtractMode, ExtractOutcome};
 use crate::fetch::{FetchError, FetchSource};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
@@ -60,6 +60,11 @@ pub struct ActionCacheStats {
     pub composed: u64,
     /// Extractions that had to run from raw text.
     pub misses: u64,
+    /// Snapshot bytes parsed by cache-missing extractions.
+    pub bytes_parsed: u64,
+    /// Snapshot bytes the incremental parser skipped inside those
+    /// extractions (identical revisions, re-used prefix/suffix lines).
+    pub bytes_skipped: u64,
 }
 
 impl ActionCacheStats {
@@ -71,6 +76,17 @@ impl ActionCacheStats {
             0.0
         } else {
             (self.hits + self.composed) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of snapshot bytes the incremental parser never touched,
+    /// over the extractions that did run; 0 when nothing ran.
+    pub fn skip_rate(&self) -> f64 {
+        let total = self.bytes_parsed + self.bytes_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.bytes_skipped as f64 / total as f64
         }
     }
 }
@@ -89,6 +105,8 @@ pub struct ActionCache {
     hits: AtomicU64,
     composed: AtomicU64,
     misses: AtomicU64,
+    bytes_parsed: AtomicU64,
+    bytes_skipped: AtomicU64,
 }
 
 impl ActionCache {
@@ -111,6 +129,20 @@ impl ActionCache {
         entity: EntityId,
         window: &Window,
     ) -> Result<(Arc<ExtractOutcome>, CacheLookup), FetchError> {
+        self.extract_with(source, universe, entity, window, ExtractMode::default())
+    }
+
+    /// [`extract`](Self::extract) with an explicit [`ExtractMode`] for
+    /// cache-missing extractions. Both modes produce identical outcomes,
+    /// so entries cached under one mode are freely served to the other.
+    pub fn extract_with(
+        &self,
+        source: &dyn FetchSource,
+        universe: &Universe,
+        entity: EntityId,
+        window: &Window,
+        mode: ExtractMode,
+    ) -> Result<(Arc<ExtractOutcome>, CacheLookup), FetchError> {
         let version = source.history_version(entity);
         let key = (entity, version);
         let span = (window.start, window.end);
@@ -131,13 +163,19 @@ impl ActionCache {
             return Ok((outcome, CacheLookup::Composed));
         }
 
-        let outcome = Arc::new(try_extract_actions(source, universe, entity, window)?);
+        let outcome = Arc::new(try_extract_actions_with(
+            source, universe, entity, window, mode,
+        )?);
         self.inner
             .write()
             .entry(key)
             .or_default()
             .insert(span, Arc::clone(&outcome));
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.bytes_parsed
+            .fetch_add(outcome.bytes_parsed, Ordering::Relaxed);
+        self.bytes_skipped
+            .fetch_add(outcome.bytes_skipped, Ordering::Relaxed);
         Ok((outcome, CacheLookup::Miss))
     }
 
@@ -170,6 +208,8 @@ impl ActionCache {
             hits: self.hits.load(Ordering::Relaxed),
             composed: self.composed.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            bytes_parsed: self.bytes_parsed.load(Ordering::Relaxed),
+            bytes_skipped: self.bytes_skipped.load(Ordering::Relaxed),
         }
     }
 
@@ -197,11 +237,15 @@ fn compose(parts: &[Arc<ExtractOutcome>]) -> ExtractOutcome {
         out.actions.extend(part.actions.iter().cloned());
         out.unresolved_targets += part.unresolved_targets;
         out.unresolved_relations += part.unresolved_relations;
+        out.bytes_skipped += part.bytes_skipped;
         if i == 0 {
             out.parse_issues += part.parse_issues;
             out.base_parse_issues = part.base_parse_issues;
+            out.bytes_parsed += part.bytes_parsed;
+            out.base_bytes_parsed = part.base_bytes_parsed;
         } else {
             out.parse_issues += part.parse_issues - part.base_parse_issues;
+            out.bytes_parsed += part.bytes_parsed - part.base_bytes_parsed;
         }
     }
     out
@@ -210,6 +254,7 @@ fn compose(parts: &[Arc<ExtractOutcome>]) -> ExtractOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::extract::try_extract_actions;
     use crate::store::RevisionStore;
     use wiclean_types::TypeId;
 
@@ -253,14 +298,8 @@ mod tests {
         assert_eq!(l1, CacheLookup::Miss);
         assert_eq!(l2, CacheLookup::Hit);
         assert!(Arc::ptr_eq(&a, &b), "hit returns the shared outcome");
-        assert_eq!(
-            cache.stats(),
-            ActionCacheStats {
-                hits: 1,
-                composed: 0,
-                misses: 1
-            }
-        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.composed, stats.misses), (1, 0, 1));
     }
 
     #[test]
@@ -280,6 +319,11 @@ mod tests {
         assert_eq!(composed.base_parse_issues, direct.base_parse_issues);
         assert_eq!(composed.unresolved_targets, direct.unresolved_targets);
         assert_eq!(composed.unresolved_relations, direct.unresolved_relations);
+        // Byte counters compose exactly too: the non-first part's base
+        // snapshot re-parse is subtracted, like its base parse issues.
+        assert_eq!(composed.bytes_parsed, direct.bytes_parsed);
+        assert_eq!(composed.bytes_skipped, direct.bytes_skipped);
+        assert_eq!(composed.base_bytes_parsed, direct.base_bytes_parsed);
 
         // The composed entry itself is now cached.
         let (_, l3) = cache.extract(&s, &u, e, &Window::new(0, 80)).unwrap();
@@ -320,6 +364,37 @@ mod tests {
         assert_eq!(lo, CacheLookup::Hit, "untouched entity must still hit");
         let direct = try_extract_actions(&s, &u, e, &w).unwrap();
         assert_eq!(fresh.actions, direct.actions);
+    }
+
+    #[test]
+    fn byte_counters_accumulate_on_misses_only() {
+        let (u, s, e) = setup();
+        let cache = ActionCache::new();
+        let w = Window::new(0, 100);
+        cache.extract(&s, &u, e, &w).unwrap();
+        let after_miss = cache.stats();
+        assert!(after_miss.bytes_parsed > 0, "miss must account parse work");
+        assert!(after_miss.skip_rate() >= 0.0);
+        // A hit does no parse work, so the byte counters must not move.
+        cache.extract(&s, &u, e, &w).unwrap();
+        let after_hit = cache.stats();
+        assert_eq!(after_hit.bytes_parsed, after_miss.bytes_parsed);
+        assert_eq!(after_hit.bytes_skipped, after_miss.bytes_skipped);
+    }
+
+    #[test]
+    fn cache_modes_share_entries() {
+        let (u, s, e) = setup();
+        let cache = ActionCache::new();
+        let w = Window::new(0, 100);
+        let (a, l1) = cache
+            .extract_with(&s, &u, e, &w, ExtractMode::FullReparse)
+            .unwrap();
+        let (b, l2) = cache
+            .extract_with(&s, &u, e, &w, ExtractMode::Incremental)
+            .unwrap();
+        assert_eq!((l1, l2), (CacheLookup::Miss, CacheLookup::Hit));
+        assert!(Arc::ptr_eq(&a, &b), "modes share the same cached outcome");
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub mod store;
 
 pub use action::Action;
 pub use cache::{ActionCache, ActionCacheStats, CacheLookup};
-pub use extract::{extract_actions, extract_actions_for, try_extract_actions, ExtractOutcome};
+pub use extract::{
+    extract_actions, extract_actions_for, try_extract_actions, try_extract_actions_full,
+    try_extract_actions_incremental, try_extract_actions_with, ExtractMode, ExtractOutcome,
+};
 pub use fault::{mix64, FaultPlan, FaultyStore, GarbleMode};
 pub use fetch::{backoff_delay_us, FetchError, FetchSource, ResilientFetcher, RetryPolicy};
 pub use reduce::{is_reduced, reduce_actions};

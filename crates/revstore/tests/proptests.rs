@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use wiclean_revstore::reduce::net_effect;
 use wiclean_revstore::{
-    is_reduced, reduce_actions, try_extract_actions, Action, ActionCache, CacheLookup, EditOp,
-    RevisionStore,
+    is_reduced, reduce_actions, try_extract_actions, try_extract_actions_with, Action, ActionCache,
+    CacheLookup, EditOp, ExtractMode, FaultPlan, FaultyStore, GarbleMode, RevisionStore,
 };
 use wiclean_types::{EntityId, RelId, Universe, Window};
 
@@ -138,6 +138,129 @@ fn assert_same_outcome(
     prop_assert_eq!(cached.parse_issues, direct.parse_issues);
     prop_assert_eq!(cached.base_parse_issues, direct.base_parse_issues);
     Ok(())
+}
+
+/// Multi-line pages — leading comment, infobox, bullet section, prose — so
+/// the incremental splice path gets real line structure to work with.
+fn rich_text(targets: &[usize]) -> String {
+    let mut s = String::from("<!-- autogenerated snapshot -->\n");
+    match targets.split_first() {
+        None => s.push_str("An empty stub.\n"),
+        Some((first, rest)) => {
+            s.push_str(&format!(
+                "{{{{Infobox x\n| linked_to = [[T{first}]]\n}}}}\n"
+            ));
+            if !rest.is_empty() {
+                s.push_str("== linked_to ==\n");
+                for t in rest {
+                    s.push_str(&format!("* [[T{t}]]\n"));
+                }
+            }
+            s.push_str("Closing prose mentioning [[P0]].\n");
+        }
+    }
+    s
+}
+
+/// A revision stream of multi-line pages: (source, timestamp, targets).
+/// Timestamps are arbitrary, so `record` ingests revisions out of order.
+fn rich_stream() -> impl Strategy<Value = Vec<(usize, u64, Vec<usize>)>> {
+    proptest::collection::vec(
+        (
+            0usize..4,
+            0u64..200,
+            proptest::collection::vec(0usize..5, 0..5),
+        ),
+        1..30,
+    )
+}
+
+fn build_rich_store(sources: &[EntityId], stream: &[(usize, u64, Vec<usize>)]) -> RevisionStore {
+    let mut store = RevisionStore::new();
+    for (src, time, targets) in stream {
+        store.record(sources[*src], *time, rich_text(targets));
+    }
+    store
+}
+
+proptest! {
+    /// The tentpole differential at the extraction boundary: the interned
+    /// incremental pipeline produces byte-identical actions and counters to
+    /// the frozen full-reparse pipeline, over out-of-order ingested
+    /// multi-line histories and arbitrary windows.
+    #[test]
+    fn incremental_extraction_equals_full_reparse(
+        stream in rich_stream(),
+        cut in 1u64..200,
+    ) {
+        let (u, sources) = link_universe();
+        let store = build_rich_store(&sources, &stream);
+        for &e in &sources {
+            for w in [Window::new(0, cut), Window::new(cut, 200), Window::new(0, 200)] {
+                let incr = try_extract_actions_with(&store, &u, e, &w, ExtractMode::Incremental)
+                    .unwrap();
+                let full = try_extract_actions_with(&store, &u, e, &w, ExtractMode::FullReparse)
+                    .unwrap();
+                assert_same_outcome(&incr, &full)?;
+            }
+        }
+    }
+
+    /// Same differential through a fault-injecting source: garbled
+    /// (truncated or scrambled) and permanently missing pages must degrade
+    /// both pipelines identically.
+    #[test]
+    fn incremental_equals_full_reparse_under_faults(
+        stream in rich_stream(),
+        seed in 0u64..1000,
+        scramble in prop::bool::ANY,
+        garble_rate in 0.0f64..1.0,
+        gone_rate in 0.0f64..0.5,
+    ) {
+        let (u, sources) = link_universe();
+        let store = build_rich_store(&sources, &stream);
+        let plan = FaultPlan {
+            seed,
+            garble_rate,
+            gone_rate,
+            garble_mode: if scramble { GarbleMode::Scramble } else { GarbleMode::Truncate },
+            ..FaultPlan::default()
+        };
+        let faulty = FaultyStore::new(&store, plan);
+        let w = Window::new(0, 200);
+        for &e in &sources {
+            let incr = try_extract_actions_with(&faulty, &u, e, &w, ExtractMode::Incremental);
+            let full = try_extract_actions_with(&faulty, &u, e, &w, ExtractMode::FullReparse);
+            match (incr, full) {
+                (Ok(a), Ok(b)) => assert_same_outcome(&a, &b)?,
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => prop_assert!(false, "modes disagree on fallibility: {:?} vs {:?}", a, b),
+            }
+        }
+    }
+
+    /// Cache + incremental mode vs direct frozen extraction: the composed
+    /// path, the cached path, and both extraction modes all agree.
+    #[test]
+    fn cached_incremental_equals_direct_full_reparse(
+        stream in rich_stream(),
+        cut in 1u64..200,
+    ) {
+        let (u, sources) = link_universe();
+        let store = build_rich_store(&sources, &stream);
+        let cache = ActionCache::new();
+        let (lo, hi, full) = (Window::new(0, cut), Window::new(cut, 200), Window::new(0, 200));
+        for &e in &sources {
+            for w in [&lo, &hi] {
+                cache.extract(&store, &u, e, w).unwrap();
+            }
+            let (got, lookup) = cache.extract(&store, &u, e, &full).unwrap();
+            prop_assert_eq!(lookup, CacheLookup::Composed);
+            let frozen = try_extract_actions_with(&store, &u, e, &full, ExtractMode::FullReparse)
+                .unwrap();
+            assert_same_outcome(&got, &frozen)?;
+        }
+    }
 }
 
 proptest! {

@@ -6,6 +6,8 @@
 //! * cheap copyable identifiers for entities, entity types and relations
 //!   ([`EntityId`], [`TypeId`], [`RelId`]),
 //! * a string [`intern::Interner`] so that identifiers map back to names,
+//! * page-local [`sym::SymTable`] symbols backing the interned extraction
+//!   pipeline (link labels and titles as dense `u32`s),
 //! * the DBpedia-style type [`taxonomy::Taxonomy`] with subtype tests and
 //!   ancestor enumeration (the paper reports "typically around eight
 //!   hierarchy levels"),
@@ -21,6 +23,7 @@ pub mod catalog;
 pub mod error;
 pub mod ids;
 pub mod intern;
+pub mod sym;
 pub mod taxonomy;
 pub mod time;
 pub mod universe;
@@ -29,6 +32,7 @@ pub use catalog::EntityCatalog;
 pub use error::TypesError;
 pub use ids::{EntityId, RelId, TypeId};
 pub use intern::{Interner, KeyInterner};
+pub use sym::{Sym, SymTable};
 pub use taxonomy::Taxonomy;
 pub use time::{Timestamp, Window, DAY, HOUR, MINUTE, WEEK, YEAR};
 pub use universe::Universe;

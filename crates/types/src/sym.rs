@@ -1,0 +1,144 @@
+//! Page-local string symbols for the interned extraction pipeline.
+//!
+//! Parsing a revision history touches the same relation labels and target
+//! titles over and over: a 500-revision page mentions a handful of distinct
+//! strings tens of thousands of times. [`SymTable`] interns every label and
+//! title once per extraction into a dense [`Sym`], so diffing snapshots is
+//! integer-set difference and the downstream diff/reduce stages never hash
+//! or compare string bytes again.
+//!
+//! A `Sym` is only meaningful relative to the table that produced it —
+//! tables are page-local (one per extracted entity), not global, so there
+//! is deliberately no `Default`-shared registry to mix indices across.
+
+use crate::intern::Interner;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense `u32` symbol standing for an interned string.
+///
+/// Ordering and equality are by index — *insertion order*, not
+/// lexicographic order. Callers that need the string order of the
+/// un-interned pipeline (the diff layer's deterministic edit order) must
+/// sort by the resolved strings, not by `Sym`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// Builds a symbol from a raw index (test/serde use; a mismatched table
+    /// will panic on resolve).
+    pub fn from_u32(ix: u32) -> Self {
+        Self(ix)
+    }
+
+    /// The raw dense index.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The index as a `usize`, for dense side tables.
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// An append-only symbol table: strings in, [`Sym`]s out.
+///
+/// A thin page-local wrapper over [`Interner`] whose indices are wrapped in
+/// the `Sym` newtype so they cannot be confused with entity/relation/type
+/// ids or with another table's symbols.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct SymTable {
+    inner: Interner,
+}
+
+impl SymTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its symbol. Re-interning returns the original
+    /// symbol without allocating.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        Sym(self.inner.intern(s))
+    }
+
+    /// Looks up a previously interned string.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.inner.get(s).map(Sym)
+    }
+
+    /// Resolves a symbol back to its string. Panics on a symbol from
+    /// another table (out-of-range index).
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.inner.resolve(sym.0)
+    }
+
+    /// Resolves a symbol if it is in range.
+    pub fn try_resolve(&self, sym: Sym) -> Option<&str> {
+        self.inner.try_resolve(sym.0)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_resolve_round_trip() {
+        let mut t = SymTable::new();
+        let a = t.intern("current_club");
+        let b = t.intern("current_club");
+        assert_eq!(a, b);
+        assert_eq!(t.resolve(a), "current_club");
+        assert_eq!(t.get("current_club"), Some(a));
+        assert_eq!(t.get("missing"), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn syms_are_dense_and_insertion_ordered() {
+        let mut t = SymTable::new();
+        assert_eq!(t.intern("b").as_u32(), 0);
+        assert_eq!(t.intern("a").as_u32(), 1);
+        // Insertion order, not lexicographic: "b" < "a" as symbols.
+        assert!(t.get("b").unwrap() < t.get("a").unwrap());
+    }
+
+    #[test]
+    fn try_resolve_is_total() {
+        let t = SymTable::new();
+        assert_eq!(t.try_resolve(Sym::from_u32(7)), None);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        assert_eq!(format!("{:?}", Sym::from_u32(3)), "s3");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut t = SymTable::new();
+        let x = t.intern("x");
+        let json = serde_json::to_string(&t).unwrap();
+        let back: SymTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.resolve(x), "x");
+    }
+}

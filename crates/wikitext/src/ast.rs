@@ -1,8 +1,21 @@
 //! Structured view of a parsed page and of a link edit.
+//!
+//! Two parallel representations coexist:
+//!
+//! * [`PageLinks`] / [`LinkEdit`] — owned `(String, String)` pairs, the
+//!   original pipeline and the frozen reference the differential tests
+//!   compare against;
+//! * [`SymLinks`] / [`SymEdit`] — the same data as dense
+//!   [`wiclean_types::Sym`] pairs from a page-local
+//!   [`wiclean_types::SymTable`], used by the interned/incremental
+//!   extraction path so diffing is integer-set difference.
 
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::fmt;
+use wiclean_types::{Sym, SymTable};
 
 /// Whether an edit adds (`+`) or removes (`-`) a link.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -64,6 +77,58 @@ pub struct PageLinks {
     pub redirect: Option<String>,
 }
 
+/// Borrowed view of a `(relation, target)` link key. Lets the
+/// `BTreeSet<(String, String)>` link set be queried and mutated with
+/// `(&str, &str)` pairs — no owned-`String` key is built on lookups.
+trait LinkKey {
+    fn rel(&self) -> &str;
+    fn target(&self) -> &str;
+}
+
+impl LinkKey for (String, String) {
+    fn rel(&self) -> &str {
+        &self.0
+    }
+    fn target(&self) -> &str {
+        &self.1
+    }
+}
+
+impl LinkKey for (&str, &str) {
+    fn rel(&self) -> &str {
+        self.0
+    }
+    fn target(&self) -> &str {
+        self.1
+    }
+}
+
+impl<'a> Borrow<dyn LinkKey + 'a> for (String, String) {
+    fn borrow(&self) -> &(dyn LinkKey + 'a) {
+        self
+    }
+}
+
+impl PartialEq for dyn LinkKey + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.rel() == other.rel() && self.target() == other.target()
+    }
+}
+
+impl Eq for dyn LinkKey + '_ {}
+
+impl PartialOrd for dyn LinkKey + '_ {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for dyn LinkKey + '_ {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.rel(), self.target()).cmp(&(other.rel(), other.target()))
+    }
+}
+
 impl PageLinks {
     /// Creates an empty link set.
     pub fn new() -> Self {
@@ -78,7 +143,13 @@ impl PageLinks {
     /// Whether the page links to `target` via `relation`.
     pub fn contains(&self, relation: &str, target: &str) -> bool {
         self.links
-            .contains(&(relation.to_owned(), target.to_owned()))
+            .contains(&(relation, target) as &(dyn LinkKey + '_))
+    }
+
+    /// Removes a link, returning whether it was present.
+    pub fn remove(&mut self, relation: &str, target: &str) -> bool {
+        self.links
+            .remove(&(relation, target) as &(dyn LinkKey + '_))
     }
 
     /// Number of structured links.
@@ -89,6 +160,60 @@ impl PageLinks {
     /// Whether the page has no structured links.
     pub fn is_empty(&self) -> bool {
         self.links.is_empty()
+    }
+}
+
+/// The structured outgoing links of one page snapshot, interned: the
+/// [`SymLinks`]/[`PageLinks`] pair is related by resolving every symbol
+/// through the page-local [`SymTable`] that produced it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymLinks {
+    /// The infobox template name, if present.
+    pub infobox_kind: Option<Sym>,
+    /// The structured `(relation, target)` pairs. Ordered by *symbol
+    /// index* (insertion order), not lexicographically — deterministic
+    /// edit order is restored by [`crate::diff::diff_sym_links`].
+    pub links: BTreeSet<(Sym, Sym)>,
+    /// Redirect target for `#REDIRECT [[...]]` stubs.
+    pub redirect: Option<Sym>,
+}
+
+impl SymLinks {
+    /// Creates an empty link set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a link, returning whether it was new.
+    pub fn insert(&mut self, relation: Sym, target: Sym) -> bool {
+        self.links.insert((relation, target))
+    }
+
+    /// Whether the page links to `target` via `relation`.
+    pub fn contains(&self, relation: Sym, target: Sym) -> bool {
+        self.links.contains(&(relation, target))
+    }
+
+    /// Number of structured links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the page has no structured links.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Resolves back to the owned-string representation (differential
+    /// tests and the frozen-path comparison).
+    pub fn resolve(&self, syms: &SymTable) -> PageLinks {
+        let mut out = PageLinks::new();
+        out.infobox_kind = self.infobox_kind.map(|s| syms.resolve(s).to_owned());
+        out.redirect = self.redirect.map(|s| syms.resolve(s).to_owned());
+        for &(rel, target) in &self.links {
+            out.insert(syms.resolve(rel), syms.resolve(target));
+        }
+        out
     }
 }
 
@@ -129,6 +254,46 @@ impl fmt::Display for LinkEdit {
     }
 }
 
+/// One link edit in interned form: 9 bytes of payload instead of two
+/// heap-allocated strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymEdit {
+    /// Add or remove.
+    pub op: EditOp,
+    /// The relation label symbol.
+    pub relation: Sym,
+    /// The linked page title symbol.
+    pub target: Sym,
+}
+
+impl SymEdit {
+    /// Convenience constructor.
+    pub fn new(op: EditOp, relation: Sym, target: Sym) -> Self {
+        Self {
+            op,
+            relation,
+            target,
+        }
+    }
+
+    /// The inverse edit (same link, opposite operation).
+    pub fn inverse(self) -> Self {
+        Self {
+            op: self.op.inverse(),
+            ..self
+        }
+    }
+
+    /// Resolves to the owned-string representation.
+    pub fn resolve(self, syms: &SymTable) -> LinkEdit {
+        LinkEdit::new(
+            self.op,
+            syms.resolve(self.relation),
+            syms.resolve(self.target),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +319,45 @@ mod tests {
         assert!(!p.contains("squad", "Mbappe"));
         assert_eq!(p.len(), 1);
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn remove_with_borrowed_key() {
+        let mut p = PageLinks::new();
+        p.insert("squad", "Neymar");
+        assert!(p.remove("squad", "Neymar"));
+        assert!(!p.remove("squad", "Neymar"), "second remove is a no-op");
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn sym_links_mirror_page_links() {
+        let mut syms = SymTable::new();
+        let (r, a, b) = (syms.intern("squad"), syms.intern("A"), syms.intern("B"));
+        let mut s = SymLinks::new();
+        assert!(s.insert(r, a));
+        assert!(!s.insert(r, a));
+        assert!(s.insert(r, b));
+        assert!(s.contains(r, a));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+
+        let resolved = s.resolve(&syms);
+        assert!(resolved.contains("squad", "A"));
+        assert!(resolved.contains("squad", "B"));
+        assert_eq!(resolved.len(), 2);
+    }
+
+    #[test]
+    fn sym_edit_inverse_and_resolve() {
+        let mut syms = SymTable::new();
+        let e = SymEdit::new(EditOp::Add, syms.intern("squad"), syms.intern("Neymar"));
+        assert_eq!(e.inverse().op, EditOp::Remove);
+        assert_eq!(e.inverse().inverse(), e);
+        assert_eq!(
+            e.resolve(&syms),
+            LinkEdit::new(EditOp::Add, "squad", "Neymar")
+        );
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! *actions* the paper mines (Figure 1) are reconstructed by parsing two
 //! consecutive snapshots and set-differencing their structured links.
 
-use crate::ast::{EditOp, LinkEdit, PageLinks};
+use crate::ast::{EditOp, LinkEdit, PageLinks, SymEdit, SymLinks};
 use crate::parse::parse_page;
+use wiclean_types::SymTable;
 
 /// Diffs two already-parsed link sets.
 ///
@@ -21,6 +22,41 @@ pub fn diff_links(old: &PageLinks, new: &PageLinks) -> Vec<LinkEdit> {
         edits.push(LinkEdit::new(EditOp::Add, rel, target));
     }
     edits
+}
+
+/// Diffs two interned link sets.
+///
+/// Edit order matches [`diff_links`] exactly: removals first, then
+/// additions, each in lexicographic *string* order. Symbols order by
+/// insertion index, so the (short) edit lists are sorted by their resolved
+/// strings — this is what keeps the interned pipeline byte-identical to
+/// the frozen one.
+pub fn diff_sym_links(old: &SymLinks, new: &SymLinks, syms: &SymTable) -> Vec<SymEdit> {
+    sort_sym_edits(
+        old.links
+            .difference(&new.links)
+            .map(|&(rel, target)| SymEdit::new(EditOp::Remove, rel, target)),
+        new.links
+            .difference(&old.links)
+            .map(|&(rel, target)| SymEdit::new(EditOp::Add, rel, target)),
+        syms,
+    )
+}
+
+/// Orders one revision's removals-then-additions by resolved strings, the
+/// deterministic order the frozen `BTreeSet<(String, String)>` diff emits.
+pub(crate) fn sort_sym_edits(
+    removals: impl Iterator<Item = SymEdit>,
+    additions: impl Iterator<Item = SymEdit>,
+    syms: &SymTable,
+) -> Vec<SymEdit> {
+    let string_key = |e: &SymEdit| (syms.resolve(e.relation), syms.resolve(e.target));
+    let mut removed: Vec<SymEdit> = removals.collect();
+    removed.sort_by(|a, b| string_key(a).cmp(&string_key(b)));
+    let mut added: Vec<SymEdit> = additions.collect();
+    added.sort_by(|a, b| string_key(a).cmp(&string_key(b)));
+    removed.extend(added);
+    removed
 }
 
 /// Parses and diffs two consecutive wikitext snapshots.
@@ -40,7 +76,7 @@ pub fn apply_edits(links: &mut PageLinks, edits: &[LinkEdit]) {
                 assert!(fresh, "adding already-present link {e}");
             }
             EditOp::Remove => {
-                let existed = links.links.remove(&(e.relation.clone(), e.target.clone()));
+                let existed = links.remove(&e.relation, &e.target);
                 assert!(existed, "removing absent link {e}");
             }
         }
@@ -110,6 +146,35 @@ mod tests {
     fn apply_rejects_phantom_remove() {
         let mut state = links(&[]);
         apply_edits(&mut state, &[LinkEdit::new(EditOp::Remove, "squad", "A")]);
+    }
+
+    #[test]
+    fn sym_diff_matches_string_diff_order() {
+        // Intern in an order that *disagrees* with lexicographic order, so
+        // a sym-index sort would get the edit order wrong.
+        let mut syms = SymTable::new();
+        let rel = syms.intern("r");
+        let (z, a, m) = (syms.intern("Z"), syms.intern("A"), syms.intern("M"));
+        let mut old_s = SymLinks::new();
+        old_s.insert(rel, z);
+        old_s.insert(rel, a);
+        let mut new_s = SymLinks::new();
+        new_s.insert(rel, m);
+
+        let sym_edits: Vec<LinkEdit> = diff_sym_links(&old_s, &new_s, &syms)
+            .into_iter()
+            .map(|e| e.resolve(&syms))
+            .collect();
+        let string_edits = diff_links(&old_s.resolve(&syms), &new_s.resolve(&syms));
+        assert_eq!(sym_edits, string_edits);
+        assert_eq!(
+            sym_edits,
+            vec![
+                LinkEdit::new(EditOp::Remove, "r", "A"),
+                LinkEdit::new(EditOp::Remove, "r", "Z"),
+                LinkEdit::new(EditOp::Add, "r", "M"),
+            ]
+        );
     }
 
     #[test]

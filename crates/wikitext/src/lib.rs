@@ -27,10 +27,12 @@
 
 pub mod ast;
 pub mod diff;
+pub mod incr;
 pub mod parse;
 pub mod render;
 
-pub use ast::{EditOp, LinkEdit, PageLinks};
-pub use diff::diff_revisions;
-pub use parse::{parse_page, parse_page_checked, ParseIssues};
+pub use ast::{EditOp, LinkEdit, PageLinks, SymEdit, SymLinks};
+pub use diff::{diff_revisions, diff_sym_links};
+pub use incr::{IncrementalParser, StepOutcome, StepPath};
+pub use parse::{parse_page, parse_page_checked, parse_page_interned, ParseIssues};
 pub use render::{render_page, PageSpec, RelationLayout};

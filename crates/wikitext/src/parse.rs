@@ -7,8 +7,9 @@
 //! (which are skipped — only infobox fields, relation sections, and captioned
 //! tables are structured data, per the paper's scope).
 
-use crate::ast::PageLinks;
+use crate::ast::{PageLinks, SymLinks};
 use serde::{Deserialize, Serialize};
+use wiclean_types::{Sym, SymTable};
 
 /// Recoverable defects observed while parsing one snapshot.
 ///
@@ -72,7 +73,7 @@ pub fn scan_links(fragment: &str) -> Vec<&str> {
 }
 
 /// [`scan_links`] that also counts unterminated `[[` openers.
-fn scan_links_counted<'a>(fragment: &'a str, issues: &mut ParseIssues) -> Vec<&'a str> {
+pub(crate) fn scan_links_counted<'a>(fragment: &'a str, issues: &mut ParseIssues) -> Vec<&'a str> {
     let mut out = Vec::new();
     let mut rest = fragment;
     while let Some(start) = rest.find("[[") {
@@ -103,7 +104,7 @@ pub fn strip_refs(text: &str) -> String {
 }
 
 /// [`strip_refs`] that also counts unterminated `<ref>` tags.
-fn strip_refs_counted(text: &str, issues: &mut ParseIssues) -> String {
+pub(crate) fn strip_refs_counted(text: &str, issues: &mut ParseIssues) -> String {
     let mut out = String::with_capacity(text.len());
     let mut rest = text;
     while let Some(start) = rest.find("<ref") {
@@ -141,7 +142,7 @@ pub fn strip_comments(text: &str) -> String {
 }
 
 /// [`strip_comments`] that also counts unterminated comments.
-fn strip_comments_counted(text: &str, issues: &mut ParseIssues) -> String {
+pub(crate) fn strip_comments_counted(text: &str, issues: &mut ParseIssues) -> String {
     let mut out = String::with_capacity(text.len());
     let mut rest = text;
     while let Some(start) = rest.find("<!--") {
@@ -160,7 +161,7 @@ fn strip_comments_counted(text: &str, issues: &mut ParseIssues) -> String {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Block {
+pub(crate) enum Block {
     /// Top level prose; links here are unstructured and skipped.
     Prose,
     /// Inside `{{Infobox ...}}`.
@@ -303,7 +304,7 @@ pub fn parse_page_checked(text: &str) -> (PageLinks, ParseIssues) {
 }
 
 /// If the line is a `== title ==` heading (any level ≥ 2), returns the title.
-fn heading_title(line: &str) -> Option<&str> {
+pub(crate) fn heading_title(line: &str) -> Option<&str> {
     if !line.starts_with("==") || !line.ends_with("==") || line.len() < 5 {
         return None;
     }
@@ -313,6 +314,209 @@ fn heading_title(line: &str) -> Option<&str> {
     } else {
         Some(inner)
     }
+}
+
+/// The block-machine state *between* two lines of the interned parser.
+///
+/// This is the full parser state: feeding the same line to two machines in
+/// equal `LineState`s yields identical links and identical successor states.
+/// That O(1)-comparable property is what lets the incremental parser splice
+/// reparsed spans back into a cached per-line record list and re-use the
+/// unchanged suffix (see [`crate::incr`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LineState {
+    pub(crate) block: Block,
+    /// Current `== section ==` name; `Some` iff `block == Section`.
+    pub(crate) section: Option<Sym>,
+    /// Current `|+ caption`; only meaningful while `block == Table`.
+    pub(crate) table_caption: Option<Sym>,
+    /// Nested-template depth inside an infobox; only meaningful while
+    /// `block == Infobox`.
+    pub(crate) infobox_depth: i32,
+}
+
+impl LineState {
+    pub(crate) fn initial() -> Self {
+        Self {
+            block: Block::Prose,
+            section: None,
+            table_caption: None,
+            infobox_depth: 0,
+        }
+    }
+}
+
+/// What feeding one line produced: links, maybe an infobox kind, and any
+/// unterminated-`[[` count. All other issue classes are either whole-text
+/// (comments/refs, handled before the machine runs) or end-of-input
+/// (unclosed blocks, derived from the final state).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct LineEffect {
+    pub(crate) links: Vec<(Sym, Sym)>,
+    pub(crate) kind: Option<Sym>,
+    pub(crate) unterminated_links: u64,
+}
+
+/// The per-line block machine of [`parse_page_checked`], factored out so it
+/// can be resumed from any recorded [`LineState`]. `feed` expects lines of
+/// *already comment/ref-stripped* text — it must not re-strip, because
+/// whole-text stripping can reconstruct `<!--`/`<ref` tokens in its output
+/// and the frozen parser is deliberately single-pass.
+#[derive(Debug, Clone)]
+pub(crate) struct LineMachine {
+    pub(crate) state: LineState,
+}
+
+impl LineMachine {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: LineState::initial(),
+        }
+    }
+
+    pub(crate) fn resume(state: LineState) -> Self {
+        Self { state }
+    }
+
+    /// Transcribes one loop iteration of [`parse_page_checked`], interning
+    /// labels and targets instead of allocating strings.
+    pub(crate) fn feed(&mut self, raw_line: &str, syms: &mut SymTable) -> LineEffect {
+        let mut fx = LineEffect::default();
+        let mut issues = ParseIssues::default();
+        let line = raw_line.trim_end();
+        let trimmed = line.trim_start();
+
+        match self.state.block {
+            Block::Infobox => {
+                let opens = trimmed.matches("{{").count() as i32;
+                let closes = trimmed.matches("}}").count() as i32;
+                if self.state.infobox_depth == 0 {
+                    if let Some(rest) = trimmed.strip_prefix('|') {
+                        if let Some(eq) = rest.find('=') {
+                            let field = rest[..eq].trim();
+                            let value = &rest[eq + 1..];
+                            if !field.is_empty() {
+                                let mut rel = None;
+                                for target in scan_links_counted(value, &mut issues) {
+                                    let rel = *rel.get_or_insert_with(|| syms.intern(field));
+                                    let target = syms.intern(target);
+                                    fx.links.push((rel, target));
+                                }
+                            }
+                        }
+                    }
+                }
+                self.state.infobox_depth += opens - closes;
+                if self.state.infobox_depth < 0 {
+                    self.state.block = Block::Prose;
+                    self.state.infobox_depth = 0;
+                }
+            }
+            Block::Table => {
+                if trimmed == "|}" {
+                    self.state.block = Block::Prose;
+                    self.state.table_caption = None;
+                } else if let Some(rest) = trimmed.strip_prefix("|+") {
+                    let caption = rest.trim();
+                    if !caption.is_empty() {
+                        self.state.table_caption = Some(syms.intern(caption));
+                    }
+                } else if trimmed.starts_with("|-") {
+                    // row separator
+                } else if let Some(rest) = trimmed
+                    .strip_prefix('|')
+                    .or_else(|| trimmed.strip_prefix('!'))
+                {
+                    if let Some(caption) = self.state.table_caption {
+                        for target in scan_links_counted(rest, &mut issues) {
+                            let target = syms.intern(target);
+                            fx.links.push((caption, target));
+                        }
+                    }
+                }
+            }
+            Block::Prose | Block::Section => {
+                if let Some(kind) = trimmed
+                    .strip_prefix("{{Infobox ")
+                    .or_else(|| trimmed.strip_prefix("{{infobox "))
+                {
+                    fx.kind = Some(syms.intern(kind.trim().trim_end_matches('}').trim()));
+                    self.state.block = Block::Infobox;
+                    self.state.infobox_depth = 0;
+                    self.state.section = None;
+                } else if trimmed.starts_with("{|") {
+                    self.state.block = Block::Table;
+                    self.state.table_caption = None;
+                    self.state.section = None;
+                } else if let Some(title) = heading_title(trimmed) {
+                    self.state.section = Some(syms.intern(title));
+                    self.state.block = Block::Section;
+                } else if self.state.block == Block::Section {
+                    if let Some(rest) = trimmed.strip_prefix('*') {
+                        let section = self.state.section.expect("Section block carries a name");
+                        for target in scan_links_counted(rest, &mut issues) {
+                            let target = syms.intern(target);
+                            fx.links.push((section, target));
+                        }
+                    } else if !trimmed.is_empty() && !trimmed.starts_with('*') {
+                        if !trimmed.starts_with("[[") && !trimmed.contains("[[") {
+                            // pure prose: stay in section, bullets may resume
+                        } else {
+                            self.state.block = Block::Prose;
+                            self.state.section = None;
+                        }
+                    }
+                }
+            }
+        }
+        fx.unterminated_links = issues.unterminated_links;
+        fx
+    }
+}
+
+/// End-of-input bookkeeping shared by the full interned parse and the
+/// incremental splicer: a page ending inside a block counts it unclosed.
+pub(crate) fn eof_issues(state: LineState, issues: &mut ParseIssues) {
+    match state.block {
+        Block::Infobox => issues.unclosed_infoboxes += 1,
+        Block::Table => issues.unclosed_tables += 1,
+        Block::Prose | Block::Section => {}
+    }
+}
+
+/// [`parse_page_checked`] with interned output: identical structure and
+/// issue counts, but links come back as [`Sym`] pairs against `syms`.
+///
+/// The differential property `parse_page_interned(t).resolve(syms) ==
+/// parse_page(t)` holds for every input; proptests pin it.
+pub fn parse_page_interned(text: &str, syms: &mut SymTable) -> (SymLinks, ParseIssues) {
+    let mut issues = ParseIssues::default();
+    let text = {
+        let stripped = strip_comments_counted(text, &mut issues);
+        strip_refs_counted(&stripped, &mut issues)
+    };
+    let mut page = SymLinks::new();
+
+    if let Some(rest) = text.trim_start().strip_prefix("#REDIRECT") {
+        if let Some(target) = scan_links_counted(rest, &mut issues).first() {
+            page.redirect = Some(syms.intern(target));
+        }
+        return (page, issues);
+    }
+
+    let mut machine = LineMachine::new();
+    for raw_line in text.lines() {
+        let fx = machine.feed(raw_line, syms);
+        issues.unterminated_links += fx.unterminated_links;
+        if fx.kind.is_some() {
+            page.infobox_kind = fx.kind;
+        }
+        for (rel, target) in fx.links {
+            page.insert(rel, target);
+        }
+    }
+    eof_issues(machine.state, &mut issues);
+    (page, issues)
 }
 
 #[cfg(test)]
@@ -511,5 +715,47 @@ mod tests {
         assert!(page.contains("honours", "Ligue 1 Trophy"));
         // The prose link must NOT appear.
         assert_eq!(page.len(), 4);
+    }
+
+    fn assert_interned_matches_frozen(text: &str) {
+        let (frozen, frozen_issues) = parse_page_checked(text);
+        let mut syms = SymTable::new();
+        let (interned, interned_issues) = parse_page_interned(text, &mut syms);
+        assert_eq!(interned.resolve(&syms), frozen, "links diverge on {text:?}");
+        assert_eq!(interned_issues, frozen_issues, "issues diverge on {text:?}");
+    }
+
+    #[test]
+    fn interned_parse_matches_frozen_on_fixtures() {
+        let fixtures: &[&str] = &[
+            "",
+            "plain prose with [[Unstructured]] link\n",
+            "{{Infobox football biography\n| name = Neymar\n| current_club = [[PSG F.C.]]\n}}\n",
+            "== squad ==\n* [[Neymar]]\n* [[Kylian Mbappe|Mbappe]]\nprose [[exit]]\n* [[After]]\n",
+            "{| class=\"wikitable\"\n|+ squad\n! [[Neymar]]\n|-\n| [[X]]\n|}\n",
+            "{|\n| [[Uncaptioned]]\n|}\n",
+            "#REDIRECT [[Neymar Jr.]]\n",
+            "<!--c-->\n#REDIRECT [[Via Comment]]\n",
+            "{{Infobox x\n| f = [[A]]\n| g = [[Trunc",
+            "a<!-- chopped",
+            "b<ref>chopped",
+            "{{Infobox club\n| ground = {{cite\n| url = [[Not A Field]]\n}}\n| in_league = [[Ligue 1]]\n}}\n",
+            "== s ==\n* <!-- [[Ghost]] --> [[Real]]<ref>see [[Src]]</ref>\n",
+            "== a ==\n* [[X]]\n== b ==\n* [[X]]\n",
+            "{{Infobox x\n| f = [[A]]\n}}\nmore\n{{Infobox y\n| f = [[B]]\n}}\n",
+        ];
+        for text in fixtures {
+            assert_interned_matches_frozen(text);
+        }
+    }
+
+    #[test]
+    fn interned_parse_matches_frozen_on_rendered_page() {
+        let spec = PageSpec::new("PSG F.C.", "football club")
+            .relation("in_league", RelationLayout::InfoboxField, vec!["Ligue 1"])
+            .relation("squad", RelationLayout::BulletSection, vec!["Neymar"])
+            .relation("honours", RelationLayout::Table, vec!["Trophy"])
+            .prose("Prose with [[Noise]].");
+        assert_interned_matches_frozen(&render_page(&spec));
     }
 }

@@ -2,8 +2,12 @@
 
 use proptest::prelude::*;
 use std::collections::BTreeSet;
+use wiclean_types::SymTable;
 use wiclean_wikitext::render::render_links;
-use wiclean_wikitext::{diff::apply_edits, diff::diff_links, parse_page, PageLinks};
+use wiclean_wikitext::{
+    diff::apply_edits, diff::diff_links, parse_page, parse_page_checked, parse_page_interned,
+    IncrementalParser, PageLinks,
+};
 
 /// Names that are safe as page titles / relation labels in our dialect:
 /// no wikitext metacharacters, no leading/trailing whitespace.
@@ -17,6 +21,69 @@ fn links_strategy() -> impl Strategy<Value = PageLinks> {
         p.links = set.into_iter().collect::<BTreeSet<(String, String)>>();
         p
     })
+}
+
+/// Adversarial-but-representable names: unicode letters and digits mixed
+/// with punctuation our dialect can carry inside `[[...]]` and labels —
+/// everything except wikitext metacharacters (`[ ] | = { } < >`), the `:`
+/// of namespace prefixes, and leading/trailing whitespace (the link
+/// scanner trims those; a separate property covers padding).
+fn adversarial_name() -> impl Strategy<Value = String> {
+    "[\\pL\\pN][\\pL\\pN .,'()\\-_]{0,14}[\\pL\\pN]".prop_map(|s| s)
+}
+
+fn adversarial_links_strategy() -> impl Strategy<Value = PageLinks> {
+    proptest::collection::btree_set((adversarial_name(), adversarial_name()), 1..8).prop_map(
+        |set| {
+            let mut p = PageLinks::new();
+            p.links = set.into_iter().collect::<BTreeSet<(String, String)>>();
+            p
+        },
+    )
+}
+
+/// One revision of a random page history: mostly well-formed rendered
+/// pages (so the splice path engages), with redirect stubs, arbitrary
+/// garbage, and mid-byte truncations mixed in.
+fn revision_text_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        6 => links_strategy().prop_map(|l| render_links("Test Page", "thing", &l)),
+        1 => name_strategy().prop_map(|t| format!("#REDIRECT [[{t}]]\n")),
+        1 => ".{0,200}",
+        2 => (links_strategy(), 0usize..400).prop_map(|(l, cut)| {
+            let text = render_links("Test Page", "thing", &l);
+            let mut cut = cut.min(text.len());
+            while !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            text[..cut].to_owned()
+        }),
+    ]
+}
+
+/// Asserts the incremental parser tracks the frozen parse+diff oracle at
+/// every revision of `history`.
+fn assert_incremental_matches_frozen(history: &[String]) -> Result<(), TestCaseError> {
+    let mut syms = SymTable::new();
+    let mut incr = IncrementalParser::new();
+    let mut prev = PageLinks::new();
+    for (i, text) in history.iter().enumerate() {
+        let (frozen_page, frozen_issues) = parse_page_checked(text);
+        let frozen_edits = diff_links(&prev, &frozen_page);
+
+        let out = incr.advance(text, &mut syms);
+        let got_edits: Vec<_> = out.edits.iter().map(|e| e.resolve(&syms)).collect();
+        prop_assert_eq!(got_edits, frozen_edits, "edits diverge at rev {}", i);
+        prop_assert_eq!(out.issues, frozen_issues, "issues diverge at rev {}", i);
+        prop_assert_eq!(
+            incr.current_links().resolve(&syms),
+            frozen_page.clone(),
+            "state diverges at rev {}",
+            i
+        );
+        prev = frozen_page;
+    }
+    Ok(())
 }
 
 proptest! {
@@ -77,5 +144,87 @@ proptest! {
         let text2 = render_links("Page", "thing", &once);
         let twice = parse_page(&text2);
         prop_assert_eq!(once.links, twice.links);
+    }
+
+    /// The interned parser agrees with the frozen parser on arbitrary
+    /// input — links, infobox kind, redirect, and issue counts.
+    #[test]
+    fn interned_parse_matches_frozen(text in ".{0,400}") {
+        let (frozen, frozen_issues) = parse_page_checked(&text);
+        let mut syms = SymTable::new();
+        let (interned, issues) = parse_page_interned(&text, &mut syms);
+        prop_assert_eq!(interned.resolve(&syms), frozen);
+        prop_assert_eq!(issues, frozen_issues);
+    }
+
+    /// parse(render(links)) == links over adversarial titles (unicode,
+    /// punctuation, internal whitespace) — for the frozen, interned, and
+    /// incremental parsers alike.
+    #[test]
+    fn adversarial_round_trip_all_parsers(links in adversarial_links_strategy()) {
+        let text = render_links("Tëst Pagé", "thing", &links);
+
+        let parsed = parse_page(&text);
+        prop_assert_eq!(&parsed.links, &links.links, "frozen parser");
+
+        let mut syms = SymTable::new();
+        let (interned, _) = parse_page_interned(&text, &mut syms);
+        prop_assert_eq!(interned.resolve(&syms).links, links.links.clone(), "interned parser");
+
+        let mut inc_syms = SymTable::new();
+        let mut incr = IncrementalParser::new();
+        incr.advance(&text, &mut inc_syms);
+        prop_assert_eq!(
+            incr.current_links().resolve(&inc_syms).links,
+            links.links,
+            "incremental parser"
+        );
+    }
+
+    /// Titles padded with leading/trailing whitespace inside `[[ ... ]]`
+    /// parse back trimmed, identically across parsers.
+    #[test]
+    fn padded_titles_parse_trimmed(
+        title in adversarial_name(),
+        pad_l in " {0,3}",
+        pad_r in " {0,3}",
+    ) {
+        let text = format!("== squad ==\n* [[{pad_l}{title}{pad_r}]]\n");
+        let parsed = parse_page(&text);
+        prop_assert!(parsed.contains("squad", &title));
+
+        let mut syms = SymTable::new();
+        let (interned, _) = parse_page_interned(&text, &mut syms);
+        prop_assert_eq!(interned.resolve(&syms), parsed);
+    }
+
+    /// The tentpole differential: over random histories — well-formed,
+    /// truncated, garbled, and redirect revisions interleaved — the
+    /// incremental parser's per-revision edits, issues, and link state are
+    /// byte-identical to full-reparse-and-diff at every step.
+    #[test]
+    fn incremental_matches_frozen_over_histories(
+        history in proptest::collection::vec(revision_text_strategy(), 1..8)
+    ) {
+        assert_incremental_matches_frozen(&history)?;
+    }
+
+    /// Same differential over *small-edit* histories: a base page whose
+    /// revisions each change one relation's targets, so the splice path
+    /// (not the rebuild path) is what's being exercised.
+    #[test]
+    fn incremental_matches_frozen_under_small_edits(
+        base in links_strategy(),
+        edits in proptest::collection::vec((name_strategy(), name_strategy()), 1..6)
+    ) {
+        let mut state = base;
+        let mut history = vec![render_links("Test Page", "thing", &state)];
+        for (rel, target) in edits {
+            if !state.insert(&rel, &target) {
+                state.remove(&rel, &target);
+            }
+            history.push(render_links("Test Page", "thing", &state));
+        }
+        assert_incremental_matches_frozen(&history)?;
     }
 }

@@ -65,8 +65,12 @@ wiclean — mine Wikipedia-style revision histories for edit patterns
 USAGE:
   wiclean generate --domain <soccer|cinema|politics|software> [--seeds N] [--rng S] --out FILE
   wiclean stats    --corpus FILE
-  wiclean mine     --corpus FILE [--threads N] [--out FILE] [FAULT FLAGS]
-  wiclean detect   --corpus FILE [--threads N] [--top K] [FAULT FLAGS]
+  wiclean mine     --corpus FILE [--threads N] [--extract MODE] [--out FILE] [FAULT FLAGS]
+  wiclean detect   --corpus FILE [--threads N] [--extract MODE] [--top K] [FAULT FLAGS]
+
+MODE (extraction pipeline, both produce byte-identical output):
+  incremental      prediff-gated interned extraction (default)
+  full             frozen full-reparse reference path (ablation)
 
 FAULT FLAGS (crawl-robustness testing):
   --fault-rate R   inject transient fetch faults with probability R (0.0–1.0)
@@ -123,6 +127,23 @@ fn threads(flags: &HashMap<String, String>) -> Result<usize, String> {
         "threads",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
     )
+}
+
+/// Applies the `--extract` mode flag to a mining config.
+fn apply_extract_mode(
+    wc: &mut wiclean::core::config::WcConfig,
+    flags: &HashMap<String, String>,
+) -> Result<(), String> {
+    match flags.get("extract").map(String::as_str) {
+        None | Some("incremental") => Ok(()),
+        Some("full") => {
+            wc.use_incremental_extract = false;
+            Ok(())
+        }
+        Some(other) => Err(format!(
+            "flag --extract: `{other}` is not `incremental` or `full`"
+        )),
+    }
 }
 
 fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -232,7 +253,8 @@ fn print_degraded(report: &WcReport) {
 
 fn cmd_mine(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     let corpus = load_corpus(flags)?;
-    let wc = default_wc_config(threads(flags)?);
+    let mut wc = default_wc_config(threads(flags)?);
+    apply_extract_mode(&mut wc, flags)?;
     let (plan, policy) = fault_setup(flags)?;
     let faulty = FaultyStore::new(&corpus.store, plan);
     let fetcher = ResilientFetcher::new(&faulty, policy);
@@ -251,6 +273,10 @@ fn cmd_mine(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
         result.discovered.len(),
         result.final_width / 86_400,
         result.final_tau
+    );
+    eprintln!(
+        "  extraction: {:.1}% of revision bytes skipped by the incremental parser",
+        result.stats.extract_skip_rate() * 100.0
     );
     let report = WcReport::from_result(&result, &corpus.universe);
     print_degraded(&report);
@@ -272,7 +298,8 @@ fn cmd_mine(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
 fn cmd_detect(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     let corpus = load_corpus(flags)?;
     let top: usize = num_flag(flags, "top", 5)?;
-    let wc = default_wc_config(threads(flags)?);
+    let mut wc = default_wc_config(threads(flags)?);
+    apply_extract_mode(&mut wc, flags)?;
     let (plan, policy) = fault_setup(flags)?;
     let faulty = FaultyStore::new(&corpus.store, plan);
     let fetcher = ResilientFetcher::new(&faulty, policy);
