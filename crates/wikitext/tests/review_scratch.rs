@@ -1,0 +1,34 @@
+use wiclean_types::SymTable;
+use wiclean_wikitext::diff::diff_links;
+use wiclean_wikitext::{parse_page_checked, IncrementalParser, PageLinks};
+
+fn check(history: &[&str]) {
+    let mut syms = SymTable::new();
+    let mut incr = IncrementalParser::new();
+    let mut prev = PageLinks::new();
+    for (i, text) in history.iter().enumerate() {
+        let (frozen_page, frozen_issues) = parse_page_checked(text);
+        let frozen_edits = diff_links(&prev, &frozen_page);
+        let out = incr.advance(text, &mut syms);
+        let got: Vec<_> = out.edits.iter().map(|e| e.resolve(&syms)).collect();
+        assert_eq!(got, frozen_edits, "edits diverge at rev {i}");
+        assert_eq!(out.issues, frozen_issues, "issues diverge at rev {i}");
+        prev = frozen_page;
+    }
+}
+
+#[test]
+fn swar_newline_vt_adjacency() {
+    // '\n' immediately followed by 0x0B inside an 8-byte chunk
+    let r1 = "aaaaaa\n\u{b}bbbbbb\ncccccc\n== s ==\n* [[A]]\n";
+    let r2 = "aaaaaa\n\u{b}bbbbbb\ncccccc\n== s ==\n* [[B]]\n";
+    check(&[r1, r2]);
+}
+
+#[test]
+fn redirect_synthesized_by_comment_stripping() {
+    check(&[
+        "== s ==\n* [[A]]\n",
+        "#RED<!--x-->IRECT [[T]]\n{{Infobox a\n| f = [[B]]\n}}\n",
+    ]);
+}
