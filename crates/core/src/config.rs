@@ -1,6 +1,7 @@
 //! Configuration of the miner and of the window/threshold search.
 
 use serde::{Deserialize, Serialize};
+use wiclean_revstore::DurabilityPolicy;
 use wiclean_types::{Timestamp, WEEK, YEAR};
 
 /// Which join implementation computes pattern realizations.
@@ -167,6 +168,11 @@ pub struct WcConfig {
     /// the frozen full-reparse reference pipeline — byte-identical output,
     /// ablation/debugging only.
     pub use_incremental_extract: bool,
+    /// Durability knobs of the crash-safe revision store (WAL sync cadence,
+    /// checkpoint interval, delta encoding). Only consulted when a run
+    /// ingests into or recovers from a durable store directory; the values
+    /// are validated at deserialize time by [`DurabilityPolicy`].
+    pub durability: DurabilityPolicy,
 }
 
 impl<'de> serde::Deserialize<'de> for WcConfig {
@@ -196,6 +202,15 @@ impl<'de> serde::Deserialize<'de> for WcConfig {
                 NAME,
             )?
             .unwrap_or(true),
+            // Absent in configs written before the durable store existed;
+            // those get the defaults. Present values go through
+            // `DurabilityPolicy`'s validating deserializer.
+            durability: take_field_or_default::<Option<DurabilityPolicy>, D::Error>(
+                &mut fields,
+                "durability",
+                NAME,
+            )?
+            .unwrap_or_default(),
         })
     }
 }
@@ -216,6 +231,7 @@ impl Default for WcConfig {
             use_cache: true,
             use_action_cache: true,
             use_incremental_extract: true,
+            durability: DurabilityPolicy::default(),
         }
     }
 }
@@ -273,5 +289,23 @@ mod tests {
         let back: WcConfig =
             serde_json::from_str(&serde_json::to_string(&ablated).unwrap()).unwrap();
         assert!(!back.use_incremental_extract);
+    }
+
+    #[test]
+    fn durability_defaults_for_legacy_configs_and_validates() {
+        let full = serde_json::to_string(&WcConfig::default()).unwrap();
+
+        // Pre-durability configs (no `durability` key) load with defaults.
+        let start = full.find(",\"durability\"").unwrap();
+        let legacy_json = format!("{}}}", &full[..start]);
+        let legacy: WcConfig = serde_json::from_str(&legacy_json).unwrap();
+        assert_eq!(legacy.durability, DurabilityPolicy::default());
+
+        // Invalid knob values are rejected at load time, not at runtime.
+        let bad = full.replace("\"checkpoint_every\":4096", "\"checkpoint_every\":0");
+        let err = serde_json::from_str::<WcConfig>(&bad).unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        let bad_sync = full.replace("{\"EveryN\":64}", "{\"EveryN\":0}");
+        assert!(serde_json::from_str::<WcConfig>(&bad_sync).is_err());
     }
 }

@@ -1,0 +1,120 @@
+//! The miner's open/recover path for durable revision stores.
+//!
+//! A mining run that reads its corpus from a durable store directory (see
+//! [`wiclean_revstore::DurableStore`]) must surface exactly what crash
+//! recovery kept and dropped: dropped WAL records are revisions the run
+//! can no longer observe, the same class of loss the degraded-coverage
+//! machinery tracks for fetch failures. This module glues the two
+//! together so every caller (CLI, eval drivers, tests) reports recovery
+//! identically.
+
+use crate::degraded::DegradedCoverage;
+use crate::miner::MineStats;
+use wiclean_revstore::{
+    DurabilityPolicy, DurableStore, RecoveryReport, RevisionStore, Vfs, WalError,
+};
+
+/// A revision store recovered from a durable directory, with the recovery
+/// accounting still attached.
+#[derive(Debug)]
+pub struct RecoveredStore {
+    /// The recovered (valid-prefix) store.
+    pub store: RevisionStore,
+    /// What recovery found, kept, and dropped.
+    pub recovery: RecoveryReport,
+}
+
+impl RecoveredStore {
+    /// Stamps the recovery's losses into a run's degraded coverage and
+    /// its mining stats — call once before mining over the store.
+    pub fn stamp(&self, degraded: &mut DegradedCoverage, stats: &mut MineStats) {
+        degraded.record_recovery(&self.recovery);
+        stats.wal_records_replayed += self.recovery.records_replayed;
+        stats.wal_records_dropped += self.recovery.records_dropped;
+        stats.wal_bytes_dropped += self.recovery.bytes_dropped;
+        stats.checkpoints_rejected += self.recovery.checkpoints_rejected;
+    }
+}
+
+/// Opens (recovering if necessary) the durable store in `dir` and detaches
+/// the in-memory store for mining. Refuses — with the underlying checksum
+/// error — rather than return silently corrupt data.
+pub fn open_recovered<V: Vfs + Clone>(
+    fs: V,
+    dir: impl Into<std::path::PathBuf>,
+    policy: DurabilityPolicy,
+) -> Result<RecoveredStore, WalError> {
+    let ds = DurableStore::open(fs, dir, policy)?;
+    let recovery = ds.recovery().clone();
+    Ok(RecoveredStore {
+        store: ds.into_store(),
+        recovery,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+    use wiclean_revstore::{MemFs, SyncPolicy};
+    use wiclean_types::EntityId;
+
+    fn policy() -> DurabilityPolicy {
+        DurabilityPolicy {
+            sync: SyncPolicy::Always,
+            checkpoint_every: 4,
+            delta_encode: true,
+        }
+    }
+
+    #[test]
+    fn open_recovered_stamps_losses_into_run_accounting() {
+        let fs = Arc::new(MemFs::new());
+        let dir = PathBuf::from("/store");
+        let mut ds = DurableStore::create(fs.clone(), dir.clone(), policy()).unwrap();
+        for i in 0..10u32 {
+            ds.record(EntityId::from_u32(i % 2), u64::from(i) * 3, "[[A]] body")
+                .unwrap();
+        }
+        drop(ds);
+        // Bit-rot the tail of the newest WAL segment so recovery drops it.
+        let names = fs.list(&dir).unwrap();
+        let newest_wal = names
+            .iter()
+            .filter(|n| n.starts_with("wal-"))
+            .max()
+            .unwrap();
+        let path = dir.join(newest_wal.as_str());
+        let len = fs.len(&path).unwrap();
+        fs.corrupt_byte(&path, len / 2, 0x10).unwrap();
+
+        let rec = open_recovered(fs, dir, policy()).unwrap();
+        assert!(!rec.recovery.is_clean());
+        assert!(rec.store.revision_count() < 10);
+
+        let mut degraded = DegradedCoverage::default();
+        let mut stats = MineStats::default();
+        rec.stamp(&mut degraded, &mut stats);
+        assert_eq!(degraded.wal_bytes_dropped, rec.recovery.bytes_dropped);
+        assert!(degraded.wal_bytes_dropped > 0);
+        assert!(!degraded.is_empty(), "recovery damage is degraded coverage");
+        assert_eq!(stats.wal_records_replayed, rec.recovery.records_replayed);
+        assert_eq!(stats.wal_bytes_dropped, rec.recovery.bytes_dropped);
+    }
+
+    #[test]
+    fn open_recovered_refuses_corrupt_directory() {
+        let fs = Arc::new(MemFs::new());
+        let dir = PathBuf::from("/store");
+        let mut ds = DurableStore::create(fs.clone(), dir.clone(), policy()).unwrap();
+        ds.record(EntityId::from_u32(0), 1, "x").unwrap();
+        drop(ds);
+        for name in fs.list(&dir).unwrap() {
+            if name.starts_with("ckpt-") {
+                fs.corrupt_byte(&dir.join(&name), 10, 0xFF).unwrap();
+            }
+        }
+        assert!(open_recovered(fs, dir, policy()).is_err());
+    }
+}

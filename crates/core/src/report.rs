@@ -51,12 +51,26 @@ pub struct DegradedReport {
     pub denominator_affected: bool,
     /// Windows whose workers panicked: (window, panic message).
     pub failed_windows: Vec<(Window, String)>,
+    /// WAL records a crash recovery dropped before this run mined.
+    #[serde(default)]
+    pub wal_records_dropped: u64,
+    /// WAL bytes dropped by that recovery.
+    #[serde(default)]
+    pub wal_bytes_dropped: u64,
+    /// Checkpoint files the recovery rejected by checksum.
+    #[serde(default)]
+    pub checkpoints_rejected: u64,
 }
 
 impl DegradedReport {
     /// Whether the run had full coverage.
     pub fn is_empty(&self) -> bool {
-        self.entities_lost.is_empty() && self.parse_issues == 0 && self.failed_windows.is_empty()
+        self.entities_lost.is_empty()
+            && self.parse_issues == 0
+            && self.failed_windows.is_empty()
+            && self.wal_records_dropped == 0
+            && self.wal_bytes_dropped == 0
+            && self.checkpoints_rejected == 0
     }
 }
 
@@ -130,6 +144,9 @@ impl WcReport {
                         )
                     })
                     .collect(),
+                wal_records_dropped: result.degraded.wal_records_dropped,
+                wal_bytes_dropped: result.degraded.wal_bytes_dropped,
+                checkpoints_rejected: result.degraded.checkpoints_rejected,
             },
         }
     }

@@ -11,6 +11,7 @@
 //! | §6.3 quality analysis | [`quality`] | `quality` |
 //! | Table 1 — refinement heuristics grid | [`grid`] | `table1` |
 //! | Robustness under degraded crawls | [`robustness`] | `robustness` |
+//! | Crash-recovery fault sweep | [`recovery`] | `recovery` |
 //!
 //! Absolute times will differ from the paper's testbed; the harness is
 //! about reproducing the *shape* of each result (who wins, by what factor,
@@ -19,6 +20,7 @@
 pub mod grid;
 pub mod metrics;
 pub mod quality;
+pub mod recovery;
 pub mod robustness;
 pub mod runtime;
 pub mod smalldata;
@@ -26,6 +28,9 @@ pub mod smalldata;
 pub use grid::{run_grid, GridRow};
 pub use metrics::{pattern_metrics, PatternMetrics};
 pub use quality::{evaluate_domain, DomainQualityReport};
+pub use recovery::{
+    render_recovery, run_recovery, FaultClass, RecoveryCell, RecoverySweepReport, ALL_FAULT_CLASSES,
+};
 pub use robustness::{run_robustness, RobustnessCell, RobustnessReport, DEFAULT_FAULT_RATES};
 pub use runtime::{fig4a, fig4b, fig4c, fig4d, preprocess_cache_ablation, CacheRun};
 pub use smalldata::{run_smalldata, SmallDataReport};

@@ -1,0 +1,873 @@
+//! Checksummed checkpoints and the crash-safe [`DurableStore`].
+//!
+//! A durable store directory holds, per epoch `e`:
+//!
+//! * `ckpt-<e>.wcc` — a whole-store snapshot: magic, epoch, total records
+//!   ingested, payload length, CRC-32, then the JSON-serialized
+//!   [`RevisionStore`]. Written via temp-file + rename (the same atomic
+//!   path [`Corpus::save`] uses), then synced, so a crash leaves either the
+//!   old set of checkpoints or the new one — never a half-written file that
+//!   passes validation.
+//! * `wal-<e>.wal` — the [`crate::wal`] segment of every record ingested
+//!   *after* checkpoint `e` was taken.
+//!
+//! **Epoch rules.** Epochs are monotonic. Checkpoint `e+1` is written only
+//! after every record of segment `e` is in memory, so
+//! `state(ckpt e+1) == state(ckpt e) + replay(wal e)`; segment `e+1` starts
+//! empty at that instant. The previous checkpoint and the WAL segments that
+//! roll it forward are retained until the next checkpoint lands, so the
+//! newest checkpoint being damaged (bit rot, torn rename) costs nothing:
+//! recovery falls back one epoch and replays the chain.
+//!
+//! **Recovery** ([`DurableStore::open`]) loads the newest checkpoint that
+//! validates (counting every rejected one), then replays WAL segments in
+//! epoch order. A torn or bit-flipped record truncates replay at the last
+//! valid frame; what was dropped is reported exactly — counts of records,
+//! bytes and segments in the [`RecoveryReport`] — and flows into the
+//! miner's degraded-coverage accounting. A store whose every checkpoint
+//! fails its checksum is refused outright: corrupt data is never silently
+//! accepted.
+
+use crate::failfs::Vfs;
+use crate::store::RevisionStore;
+use crate::wal::{
+    crc32_concat, replay_into, scan_wal, SyncPolicy, TailOutcome, WalError, WalWriter,
+};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use wiclean_types::{EntityId, Timestamp};
+
+/// Magic prefix of a checkpoint file (8 bytes, versioned).
+const CKPT_MAGIC: &[u8; 8] = b"WCCKPT01";
+/// Header: magic + epoch u64 + records u64 + payload_len u64 + crc u32.
+const CKPT_HEADER: usize = 8 + 8 + 8 + 8 + 4;
+
+/// Durability knobs of a [`DurableStore`].
+///
+/// `Deserialize` is hand-written (below) so invalid values are rejected at
+/// config-load time with a clear message instead of panicking (or silently
+/// misbehaving) deep inside ingestion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct DurabilityPolicy {
+    /// When WAL appends are fsynced.
+    pub sync: SyncPolicy,
+    /// Records between automatic checkpoints (≥ 1).
+    pub checkpoint_every: u64,
+    /// Delta-encode WAL records against the previous revision of the same
+    /// entity (smaller segments; identical replay).
+    pub delta_encode: bool,
+}
+
+impl Default for DurabilityPolicy {
+    fn default() -> Self {
+        Self {
+            sync: SyncPolicy::EveryN(64),
+            checkpoint_every: 4096,
+            delta_encode: true,
+        }
+    }
+}
+
+impl DurabilityPolicy {
+    /// Validates the knob values.
+    pub fn validate(&self) -> Result<(), String> {
+        self.sync.validate()?;
+        if self.checkpoint_every == 0 {
+            return Err("durability policy: checkpoint_every must be at least 1 record".to_owned());
+        }
+        Ok(())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for DurabilityPolicy {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::{content_into_fields, take_field};
+        const NAME: &str = "DurabilityPolicy";
+        let content = serde::Deserializer::deserialize_content(deserializer)?;
+        let mut fields = content_into_fields::<D::Error>(content, NAME)?;
+        let policy = Self {
+            sync: take_field(&mut fields, "sync", NAME)?,
+            checkpoint_every: take_field(&mut fields, "checkpoint_every", NAME)?,
+            delta_encode: take_field(&mut fields, "delta_encode", NAME)?,
+        };
+        policy.validate().map_err(serde::de::Error::custom)?;
+        Ok(policy)
+    }
+}
+
+/// Exactly what a recovery found, kept, and dropped.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Epoch of the checkpoint recovery loaded.
+    pub checkpoint_epoch: u64,
+    /// Newer checkpoints rejected by validation (torn, bit-flipped, or
+    /// wrong-epoch) before one was accepted.
+    pub checkpoints_rejected: u64,
+    /// Records already inside the loaded checkpoint.
+    pub records_in_checkpoint: u64,
+    /// WAL segments replayed (fully or up to their valid prefix).
+    pub segments_replayed: u64,
+    /// Records replayed from WAL segments.
+    pub records_replayed: u64,
+    /// Decoded records that could *not* be applied (they sat in segments
+    /// after a mid-chain corruption point).
+    pub records_dropped: u64,
+    /// WAL bytes dropped: torn/corrupt tails plus unreplayable segments.
+    pub bytes_dropped: u64,
+    /// Whole segments dropped after a mid-chain corruption or epoch gap.
+    pub segments_dropped: u64,
+    /// Worst tail outcome across the replayed chain.
+    pub tail: TailOutcome,
+}
+
+impl Default for RecoveryReport {
+    fn default() -> Self {
+        Self {
+            checkpoint_epoch: 0,
+            checkpoints_rejected: 0,
+            records_in_checkpoint: 0,
+            segments_replayed: 0,
+            records_replayed: 0,
+            records_dropped: 0,
+            bytes_dropped: 0,
+            segments_dropped: 0,
+            tail: TailOutcome::Clean,
+        }
+    }
+}
+
+impl RecoveryReport {
+    /// Whether recovery lost or skipped nothing.
+    pub fn is_clean(&self) -> bool {
+        self.checkpoints_rejected == 0
+            && self.records_dropped == 0
+            && self.bytes_dropped == 0
+            && self.segments_dropped == 0
+            && self.tail == TailOutcome::Clean
+    }
+
+    /// Records the recovered store contains: the ingestion-order prefix
+    /// length the store was restored to.
+    pub fn records_recovered(&self) -> u64 {
+        self.records_in_checkpoint + self.records_replayed
+    }
+}
+
+fn ckpt_name(epoch: u64) -> String {
+    format!("ckpt-{epoch:010}.wcc")
+}
+
+fn wal_name(epoch: u64) -> String {
+    format!("wal-{epoch:010}.wal")
+}
+
+fn parse_epoch(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+/// Serializes a checkpoint image for `store` at `epoch` / `records`.
+fn encode_checkpoint(store: &RevisionStore, epoch: u64, records: u64) -> Vec<u8> {
+    let payload = serde_json::to_string(store)
+        .expect("revision store serializes")
+        .into_bytes();
+    let mut out = Vec::with_capacity(CKPT_HEADER + payload.len());
+    out.extend_from_slice(CKPT_MAGIC);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&records.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    // The checksum covers the header fields (epoch, records, payload_len)
+    // AND the payload: a bit flip anywhere but the magic is caught.
+    let crc = crc32_concat(&[&out[8..32], &payload]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Validates and decodes a checkpoint image. `expect_epoch` is the epoch
+/// the filename claims; a mismatching header is corruption.
+fn decode_checkpoint(data: &[u8], expect_epoch: u64) -> Result<(u64, RevisionStore), String> {
+    if data.len() < CKPT_HEADER {
+        return Err(format!("truncated header ({} bytes)", data.len()));
+    }
+    if &data[..8] != CKPT_MAGIC {
+        return Err("bad magic".to_owned());
+    }
+    let epoch = u64::from_le_bytes(data[8..16].try_into().unwrap());
+    let records = u64::from_le_bytes(data[16..24].try_into().unwrap());
+    let payload_len = u64::from_le_bytes(data[24..32].try_into().unwrap());
+    let crc = u32::from_le_bytes(data[32..36].try_into().unwrap());
+    if epoch != expect_epoch {
+        return Err(format!(
+            "header epoch {epoch} disagrees with filename epoch {expect_epoch}"
+        ));
+    }
+    let payload = &data[CKPT_HEADER..];
+    if payload.len() as u64 != payload_len {
+        return Err(format!(
+            "payload is {} bytes, header promises {payload_len}",
+            payload.len()
+        ));
+    }
+    if crc32_concat(&[&data[8..32], payload]) != crc {
+        return Err("checksum mismatch".to_owned());
+    }
+    let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_owned())?;
+    let store: RevisionStore =
+        serde_json::from_str(text).map_err(|e| format!("payload parse error: {e}"))?;
+    Ok((records, store))
+}
+
+/// A [`RevisionStore`] whose ingestion survives crashes: every record is
+/// WAL-appended before it is applied in memory, snapshots are checkpointed
+/// on a record budget, and [`DurableStore::open`] recovers the newest
+/// consistent prefix after any interruption.
+pub struct DurableStore<V: Vfs + Clone> {
+    fs: V,
+    dir: PathBuf,
+    policy: DurabilityPolicy,
+    store: RevisionStore,
+    wal: WalWriter<V>,
+    epoch: u64,
+    records_total: u64,
+    since_checkpoint: u64,
+    checkpoint_failures: u64,
+    wedged: Option<String>,
+    recovery: RecoveryReport,
+}
+
+impl<V: Vfs + Clone> DurableStore<V> {
+    /// Creates a fresh store in `dir` (which must not already contain one):
+    /// an empty epoch-0 checkpoint plus an empty epoch-0 WAL segment.
+    pub fn create(
+        fs: V,
+        dir: impl Into<PathBuf>,
+        policy: DurabilityPolicy,
+    ) -> Result<Self, WalError> {
+        policy.validate().map_err(WalError::Corrupt)?;
+        let dir = dir.into();
+        fs.create_dir_all(&dir)?;
+        if Self::max_epoch_on_disk(&fs, &dir)?.is_some() {
+            return Err(WalError::Corrupt(format!(
+                "directory {} already contains a durable store (open it instead)",
+                dir.display()
+            )));
+        }
+        let store = RevisionStore::new();
+        write_checkpoint_atomic(&fs, &dir, &store, 0, 0)?;
+        let wal = WalWriter::open(
+            fs.clone(),
+            dir.join(wal_name(0)),
+            policy.sync,
+            policy.delta_encode,
+        )?;
+        Ok(Self {
+            fs,
+            dir,
+            policy,
+            store,
+            wal,
+            epoch: 0,
+            records_total: 0,
+            since_checkpoint: 0,
+            checkpoint_failures: 0,
+            wedged: None,
+            recovery: RecoveryReport::default(),
+        })
+    }
+
+    /// Opens an existing store, running recovery: loads the newest valid
+    /// checkpoint, replays the WAL chain up to the last valid frame, then
+    /// rolls everything into a fresh checkpoint so the repaired state is
+    /// itself durable. The [`RecoveryReport`] says exactly what was kept
+    /// and dropped; a store with no validating checkpoint is refused.
+    pub fn open(
+        fs: V,
+        dir: impl Into<PathBuf>,
+        policy: DurabilityPolicy,
+    ) -> Result<Self, WalError> {
+        policy.validate().map_err(WalError::Corrupt)?;
+        let dir = dir.into();
+        let names = fs.list(&dir)?;
+        let mut ckpt_epochs: Vec<u64> = names
+            .iter()
+            .filter_map(|n| parse_epoch(n, "ckpt-", ".wcc"))
+            .collect();
+        let mut wal_epochs: Vec<u64> = names
+            .iter()
+            .filter_map(|n| parse_epoch(n, "wal-", ".wal"))
+            .collect();
+        ckpt_epochs.sort_unstable();
+        wal_epochs.sort_unstable();
+        if ckpt_epochs.is_empty() {
+            return Err(WalError::Corrupt(format!(
+                "no checkpoint in {} — not a durable store directory",
+                dir.display()
+            )));
+        }
+
+        let mut report = RecoveryReport::default();
+        let mut recovered: Option<(u64, RevisionStore)> = None;
+        for &epoch in ckpt_epochs.iter().rev() {
+            let data = fs.read(&dir.join(ckpt_name(epoch)))?;
+            match decode_checkpoint(&data, epoch) {
+                Ok((records, store)) => {
+                    report.checkpoint_epoch = epoch;
+                    report.records_in_checkpoint = records;
+                    recovered = Some((records, store));
+                    break;
+                }
+                Err(_) => report.checkpoints_rejected += 1,
+            }
+        }
+        let Some((ckpt_records, mut store)) = recovered else {
+            return Err(WalError::Corrupt(format!(
+                "all {} checkpoint(s) in {} failed validation — refusing to guess",
+                ckpt_epochs.len(),
+                dir.display()
+            )));
+        };
+
+        // Replay the segment chain from the recovered epoch. A dirty tail
+        // mid-chain poisons everything after it: later segments were
+        // written after state this replay no longer reproduces.
+        let mut chain_intact = true;
+        let mut replay_epoch = report.checkpoint_epoch;
+        for &epoch in wal_epochs.iter().filter(|&&e| e >= report.checkpoint_epoch) {
+            let path = dir.join(wal_name(epoch));
+            let data = fs.read(&path)?;
+            let scan = scan_wal(&data);
+            let in_sequence = chain_intact && epoch == replay_epoch;
+            if !in_sequence {
+                // Mid-chain corruption or an epoch gap: records here were
+                // decodable but cannot be safely applied.
+                report.segments_dropped += 1;
+                report.records_dropped += scan.records.len() as u64;
+                report.bytes_dropped += data.len() as u64;
+                continue;
+            }
+            replay_into(&mut store, &scan.records);
+            report.segments_replayed += 1;
+            report.records_replayed += scan.records.len() as u64;
+            report.bytes_dropped += scan.dropped_bytes;
+            if scan.outcome != TailOutcome::Clean {
+                report.tail = worst_tail(report.tail, scan.outcome);
+                chain_intact = false;
+            }
+            replay_epoch = epoch + 1;
+        }
+
+        // Roll the recovered state into a fresh epoch so the repair is
+        // durable and later appends never share a segment with damage.
+        let max_seen = ckpt_epochs
+            .last()
+            .copied()
+            .unwrap_or(0)
+            .max(wal_epochs.last().copied().unwrap_or(0));
+        let new_epoch = max_seen + 1;
+        let records_total = ckpt_records + report.records_replayed;
+        write_checkpoint_atomic(&fs, &dir, &store, new_epoch, records_total)?;
+        let wal = WalWriter::open(
+            fs.clone(),
+            dir.join(wal_name(new_epoch)),
+            policy.sync,
+            policy.delta_encode,
+        )?;
+        let this = Self {
+            fs,
+            dir,
+            policy,
+            store,
+            wal,
+            epoch: new_epoch,
+            records_total,
+            since_checkpoint: 0,
+            checkpoint_failures: 0,
+            wedged: None,
+            recovery: report,
+        };
+        this.prune();
+        Ok(this)
+    }
+
+    /// Opens when a store exists in `dir`, creates otherwise.
+    pub fn open_or_create(
+        fs: V,
+        dir: impl Into<PathBuf>,
+        policy: DurabilityPolicy,
+    ) -> Result<Self, WalError> {
+        let dir = dir.into();
+        if Self::max_epoch_on_disk(&fs, &dir)?.is_some() {
+            Self::open(fs, dir, policy)
+        } else {
+            Self::create(fs, dir, policy)
+        }
+    }
+
+    fn max_epoch_on_disk(fs: &V, dir: &Path) -> Result<Option<u64>, WalError> {
+        if !fs.exists(dir) && fs.list(dir).is_err() {
+            return Ok(None);
+        }
+        let names = match fs.list(dir) {
+            Ok(names) => names,
+            Err(_) => return Ok(None),
+        };
+        Ok(names
+            .iter()
+            .filter_map(|n| parse_epoch(n, "ckpt-", ".wcc"))
+            .max())
+    }
+
+    /// Records one revision durably: WAL append first, memory second, and
+    /// an automatic checkpoint when the record budget is spent. After a
+    /// WAL write failure the store is *wedged* — the in-memory and on-disk
+    /// prefixes still agree, but further appends are refused until the
+    /// directory is reopened (recovered).
+    pub fn record(
+        &mut self,
+        entity: EntityId,
+        time: Timestamp,
+        text: &str,
+    ) -> Result<(), WalError> {
+        if let Some(why) = &self.wedged {
+            return Err(WalError::Corrupt(format!(
+                "store is wedged by an earlier write failure ({why}); reopen to recover"
+            )));
+        }
+        if let Err(e) = self.wal.append(entity, time, text) {
+            self.wedged = Some(e.to_string());
+            return Err(e);
+        }
+        self.store.record(entity, time, text.to_owned());
+        self.records_total += 1;
+        self.since_checkpoint += 1;
+        if self.since_checkpoint >= self.policy.checkpoint_every {
+            // The record itself is durable; a cleanly-failed automatic
+            // checkpoint is retried on the next append and surfaced via
+            // `checkpoint_failures`.
+            match self.checkpoint() {
+                Ok(_) => {}
+                Err(_) if self.wedged.is_none() => self.checkpoint_failures += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a batch; stops at the first failure.
+    pub fn record_batch(
+        &mut self,
+        entity: EntityId,
+        revisions: impl IntoIterator<Item = (Timestamp, String)>,
+    ) -> Result<(), WalError> {
+        for (time, text) in revisions {
+            self.record(entity, time, &text)?;
+        }
+        Ok(())
+    }
+
+    /// Takes a checkpoint now: snapshot to `ckpt-(epoch+1)`, fresh WAL
+    /// segment, previous epoch retained as the fallback. Failures before
+    /// the snapshot is renamed into place leave the store fully usable;
+    /// failures after it wedge the store (the disk is consistent, but this
+    /// process can no longer safely append).
+    pub fn checkpoint(&mut self) -> Result<u64, WalError> {
+        if let Some(why) = &self.wedged {
+            return Err(WalError::Corrupt(format!(
+                "store is wedged by an earlier write failure ({why}); reopen to recover"
+            )));
+        }
+        // Make the active segment durable before the snapshot claims to
+        // supersede it.
+        self.wal.sync()?;
+        let next = self.epoch + 1;
+        write_checkpoint_atomic(&self.fs, &self.dir, &self.store, next, self.records_total)?;
+        match WalWriter::open(
+            self.fs.clone(),
+            self.dir.join(wal_name(next)),
+            self.policy.sync,
+            self.policy.delta_encode,
+        ) {
+            Ok(wal) => self.wal = wal,
+            Err(e) => {
+                // The new checkpoint is already visible: appending to the
+                // old segment would be silently ignored by recovery.
+                self.wedged = Some(format!("checkpoint {next} landed but its WAL did not open"));
+                return Err(e.into());
+            }
+        }
+        self.epoch = next;
+        self.since_checkpoint = 0;
+        self.prune();
+        Ok(next)
+    }
+
+    /// Deletes checkpoints and WAL segments older than the fallback epoch
+    /// (the newest checkpoint strictly before the current one). Best
+    /// effort: leftovers are harmless to recovery and re-pruned later.
+    fn prune(&self) {
+        let Ok(names) = self.fs.list(&self.dir) else {
+            return;
+        };
+        let fallback = names
+            .iter()
+            .filter_map(|n| parse_epoch(n, "ckpt-", ".wcc"))
+            .filter(|&e| e < self.epoch)
+            .max()
+            .unwrap_or(self.epoch);
+        for name in &names {
+            let stale = match (
+                parse_epoch(name, "ckpt-", ".wcc"),
+                parse_epoch(name, "wal-", ".wal"),
+            ) {
+                (Some(e), _) => e < fallback,
+                (None, Some(e)) => e < fallback,
+                (None, None) => false,
+            };
+            if stale {
+                self.fs.remove(&self.dir.join(name.as_str())).ok();
+            }
+        }
+    }
+
+    /// Forces the active WAL segment to stable storage.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.wal.sync()
+    }
+
+    /// The recovered/ingested store.
+    pub fn store(&self) -> &RevisionStore {
+        &self.store
+    }
+
+    /// Consumes the wrapper, returning the in-memory store.
+    pub fn into_store(self) -> RevisionStore {
+        self.store
+    }
+
+    /// What the opening recovery found (all-zero for `create`).
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Current checkpoint epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Records ingested across the store's whole life (checkpointed +
+    /// current segment).
+    pub fn records_ingested(&self) -> u64 {
+        self.records_total
+    }
+
+    /// Automatic checkpoints that failed cleanly and were deferred.
+    pub fn checkpoint_failures(&self) -> u64 {
+        self.checkpoint_failures
+    }
+
+    /// Whether a write failure has wedged the store.
+    pub fn is_wedged(&self) -> bool {
+        self.wedged.is_some()
+    }
+
+    /// The durability policy in force.
+    pub fn policy(&self) -> &DurabilityPolicy {
+        &self.policy
+    }
+}
+
+fn worst_tail(a: TailOutcome, b: TailOutcome) -> TailOutcome {
+    use TailOutcome::*;
+    match (a, b) {
+        (CorruptFrame, _) | (_, CorruptFrame) => CorruptFrame,
+        (TornTail, _) | (_, TornTail) => TornTail,
+        _ => Clean,
+    }
+}
+
+/// Writes a checkpoint through the atomic temp-file + rename + sync path,
+/// cleaning the temp file up on every failure branch.
+fn write_checkpoint_atomic<V: Vfs>(
+    fs: &V,
+    dir: &Path,
+    store: &RevisionStore,
+    epoch: u64,
+    records: u64,
+) -> Result<(), WalError> {
+    let image = encode_checkpoint(store, epoch, records);
+    let tmp = dir.join(format!("{}.tmp", ckpt_name(epoch)));
+    let dest = dir.join(ckpt_name(epoch));
+    let cleanup = |e: WalError| {
+        fs.remove(&tmp).ok();
+        e
+    };
+    fs.write(&tmp, &image).map_err(|e| cleanup(e.into()))?;
+    fs.sync(&tmp).map_err(|e| cleanup(e.into()))?;
+    fs.rename(&tmp, &dest).map_err(|e| cleanup(e.into()))?;
+    fs.sync(&dest)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failfs::{FailKind, FailOp, FailSpec, FailpointFs, MemFs};
+    use std::sync::Arc;
+
+    fn eid(i: u32) -> EntityId {
+        EntityId::from_u32(i)
+    }
+
+    fn dir() -> PathBuf {
+        PathBuf::from("/store")
+    }
+
+    fn stream(n: u32) -> Vec<(EntityId, Timestamp, String)> {
+        (0..n)
+            .map(|i| {
+                (
+                    eid(i % 4),
+                    (i as u64) * 7,
+                    format!("{{{{Infobox x\n| f = [[T{i}]]\n}}}}\nsome shared page body"),
+                )
+            })
+            .collect()
+    }
+
+    fn clean_prefix(records: &[(EntityId, Timestamp, String)], n: usize) -> RevisionStore {
+        let mut s = RevisionStore::new();
+        for (e, t, text) in &records[..n] {
+            s.record(*e, *t, text.clone());
+        }
+        s
+    }
+
+    fn policy(checkpoint_every: u64) -> DurabilityPolicy {
+        DurabilityPolicy {
+            sync: SyncPolicy::Always,
+            checkpoint_every,
+            delta_encode: true,
+        }
+    }
+
+    #[test]
+    fn create_ingest_reopen_round_trips() {
+        let fs = Arc::new(MemFs::new());
+        let records = stream(37);
+        let mut ds = DurableStore::create(fs.clone(), dir(), policy(10)).unwrap();
+        for (e, t, text) in &records {
+            ds.record(*e, *t, text).unwrap();
+        }
+        assert_eq!(ds.records_ingested(), 37);
+        assert!(ds.epoch() >= 3, "auto-checkpoints every 10 records");
+        drop(ds);
+        let ds = DurableStore::open(fs, dir(), policy(10)).unwrap();
+        assert!(ds.recovery().is_clean(), "{:?}", ds.recovery());
+        assert_eq!(ds.recovery().records_recovered(), 37);
+        assert_eq!(ds.store(), &clean_prefix(&records, 37));
+    }
+
+    #[test]
+    fn reopen_is_idempotent() {
+        let fs = Arc::new(MemFs::new());
+        let records = stream(23);
+        let mut ds = DurableStore::create(fs.clone(), dir(), policy(7)).unwrap();
+        for (e, t, text) in &records {
+            ds.record(*e, *t, text).unwrap();
+        }
+        drop(ds);
+        let a = DurableStore::open(fs.clone(), dir(), policy(7)).unwrap();
+        let epoch_a = a.epoch();
+        let store_a = a.into_store();
+        let b = DurableStore::open(fs, dir(), policy(7)).unwrap();
+        assert!(b.recovery().is_clean());
+        assert!(b.epoch() > epoch_a, "each open rolls a fresh epoch");
+        assert_eq!(&store_a, b.store());
+    }
+
+    #[test]
+    fn torn_wal_append_recovers_exact_prefix() {
+        let mem = Arc::new(MemFs::new());
+        let records = stream(30);
+        let fs = Arc::new(FailpointFs::new(
+            mem.clone(),
+            // Appends: one per record, plus none for checkpoints. Tear the
+            // 21st record mid-frame.
+            FailSpec::once(FailOp::Append, 20, FailKind::TornWrite { keep: 5 }),
+        ));
+        let mut ds = DurableStore::create(fs.clone(), dir(), policy(8)).unwrap();
+        let mut applied = 0;
+        for (e, t, text) in &records {
+            if ds.record(*e, *t, text).is_err() {
+                break;
+            }
+            applied += 1;
+        }
+        assert_eq!(applied, 20);
+        assert!(ds.is_wedged());
+        // Wedged: no further appends, with a clear error.
+        let err = ds.record(eid(0), 999, "x").unwrap_err();
+        assert!(err.to_string().contains("wedged"), "{err}");
+        drop(ds);
+
+        let ds = DurableStore::open(mem, dir(), policy(8)).unwrap();
+        let r = ds.recovery();
+        assert_eq!(r.records_recovered(), 20, "{r:?}");
+        assert_eq!(r.tail, TailOutcome::TornTail);
+        assert!(r.bytes_dropped > 0, "the 5 torn bytes are accounted for");
+        assert_eq!(ds.store(), &clean_prefix(&records, 20));
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_one_epoch_losing_nothing() {
+        let fs = Arc::new(MemFs::new());
+        let records = stream(25);
+        let mut ds = DurableStore::create(fs.clone(), dir(), policy(10)).unwrap();
+        for (e, t, text) in &records {
+            ds.record(*e, *t, text).unwrap();
+        }
+        let newest = ds.epoch();
+        drop(ds);
+        // Bit-rot the newest checkpoint's payload.
+        fs.corrupt_byte(
+            &dir().join(ckpt_name(newest)),
+            CKPT_HEADER as u64 + 11,
+            0x40,
+        )
+        .unwrap();
+        let ds = DurableStore::open(fs, dir(), policy(10)).unwrap();
+        let r = ds.recovery();
+        assert_eq!(r.checkpoints_rejected, 1, "{r:?}");
+        assert_eq!(r.checkpoint_epoch, newest - 1);
+        assert_eq!(
+            r.records_recovered(),
+            25,
+            "fallback + WAL chain reconstructs everything: {r:?}"
+        );
+        assert_eq!(ds.store(), &clean_prefix(&records, 25));
+    }
+
+    #[test]
+    fn all_checkpoints_corrupt_is_refused_not_guessed() {
+        let fs = Arc::new(MemFs::new());
+        let mut ds = DurableStore::create(fs.clone(), dir(), policy(5)).unwrap();
+        for (e, t, text) in &stream(12) {
+            ds.record(*e, *t, text).unwrap();
+        }
+        drop(ds);
+        for name in fs.list(&dir()).unwrap() {
+            if name.starts_with("ckpt-") {
+                fs.corrupt_byte(&dir().join(&name), 20, 0xFF).unwrap();
+            }
+        }
+        let err = match DurableStore::open(fs, dir(), policy(5)) {
+            Ok(_) => panic!("corrupt checkpoints must be refused"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(&err, WalError::Corrupt(msg) if msg.contains("failed validation")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn torn_checkpoint_rename_is_survived() {
+        let mem = Arc::new(MemFs::new());
+        let records = stream(20);
+        let fs = Arc::new(FailpointFs::new(
+            mem.clone(),
+            // Renames happen once per checkpoint; epoch 0 (create) is
+            // rename #0, so tear the first auto-checkpoint's rename.
+            FailSpec::once(FailOp::Rename, 1, FailKind::TornRename { keep: 7 }),
+        ));
+        let mut ds = DurableStore::create(fs, dir(), policy(10)).unwrap();
+        let mut applied = 0;
+        for (e, t, text) in &records {
+            if ds.record(*e, *t, text).is_err() {
+                break;
+            }
+            applied += 1;
+        }
+        // The torn rename halts the fs inside the 10th record's automatic
+        // checkpoint; the record itself already landed in WAL + memory.
+        assert_eq!(applied, 10);
+        drop(ds);
+        let ds = DurableStore::open(mem, dir(), policy(10)).unwrap();
+        let r = ds.recovery();
+        assert_eq!(r.checkpoints_rejected, 1, "the 7-byte stub: {r:?}");
+        assert_eq!(r.records_recovered(), 10, "{r:?}");
+        assert_eq!(ds.store(), &clean_prefix(&records, 10));
+    }
+
+    #[test]
+    fn silent_wal_bit_flip_is_detected_and_counted() {
+        let fs = Arc::new(MemFs::new());
+        let records = stream(16);
+        // No checkpoints mid-run: everything lives in wal-0.
+        let mut ds = DurableStore::create(fs.clone(), dir(), policy(1_000)).unwrap();
+        for (e, t, text) in &records {
+            ds.record(*e, *t, text).unwrap();
+        }
+        drop(ds);
+        // Flip a byte ~40% into the segment.
+        let wal_path = dir().join(wal_name(0));
+        let len = fs.len(&wal_path).unwrap();
+        fs.corrupt_byte(&wal_path, len * 2 / 5, 0x08).unwrap();
+        let ds = DurableStore::open(fs, dir(), policy(1_000)).unwrap();
+        let r = ds.recovery();
+        assert_eq!(r.tail, TailOutcome::CorruptFrame, "{r:?}");
+        let n = r.records_recovered() as usize;
+        assert!(n < 16, "corruption must cost records");
+        assert!(r.bytes_dropped > 0);
+        assert_eq!(ds.store(), &clean_prefix(&records, n), "prefix is exact");
+    }
+
+    #[test]
+    fn checkpoint_write_failure_before_rename_is_clean() {
+        let mem = Arc::new(MemFs::new());
+        let fs = Arc::new(FailpointFs::new(
+            mem.clone(),
+            // Writes: create's ckpt tmp is #0, its wal create is #1, first
+            // auto-checkpoint tmp is #2.
+            FailSpec::once(FailOp::Write, 2, FailKind::ErrOnly),
+        ));
+        let mut ds = DurableStore::create(fs, dir(), policy(5)).unwrap();
+        for (e, t, text) in &stream(12) {
+            ds.record(*e, *t, text).unwrap();
+        }
+        assert!(!ds.is_wedged(), "clean checkpoint failure must not wedge");
+        assert!(ds.checkpoint_failures() >= 1);
+        assert_eq!(ds.records_ingested(), 12);
+        // No temp litter from the failed attempt.
+        assert!(mem
+            .list(&dir())
+            .unwrap()
+            .iter()
+            .all(|n| !n.ends_with(".tmp")));
+        drop(ds);
+        let ds = DurableStore::open(mem, dir(), policy(5)).unwrap();
+        assert_eq!(ds.recovery().records_recovered(), 12);
+    }
+
+    #[test]
+    fn create_refuses_to_clobber() {
+        let fs = Arc::new(MemFs::new());
+        DurableStore::create(fs.clone(), dir(), policy(5)).unwrap();
+        assert!(DurableStore::create(fs, dir(), policy(5)).is_err());
+    }
+
+    #[test]
+    fn durability_policy_validation_at_deserialize() {
+        let good = serde_json::to_string(&DurabilityPolicy::default()).unwrap();
+        let back: DurabilityPolicy = serde_json::from_str(&good).unwrap();
+        assert_eq!(back, DurabilityPolicy::default());
+        let bad = good.replace("\"checkpoint_every\":4096", "\"checkpoint_every\":0");
+        let err = serde_json::from_str::<DurabilityPolicy>(&bad).unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        let bad_sync = good.replace("{\"EveryN\":64}", "{\"EveryN\":0}");
+        assert!(serde_json::from_str::<DurabilityPolicy>(&bad_sync).is_err());
+    }
+}

@@ -132,7 +132,13 @@ impl<T: FetchSource + ?Sized> FetchSource for &T {
 }
 
 /// Retry/backoff policy for [`ResilientFetcher`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (below) so out-of-range values — zero
+/// attempts, a non-finite or non-positive backoff factor, a zero breaker
+/// threshold — are rejected with a clear error when the config is loaded,
+/// instead of surfacing as a wedged fetcher or silent degraded-backoff
+/// behavior deep inside a mining run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct RetryPolicy {
     /// Total attempts per page, including the first (1 = no retries).
     pub max_attempts: u32,
@@ -170,7 +176,49 @@ impl Default for RetryPolicy {
     }
 }
 
+impl<'de> serde::Deserialize<'de> for RetryPolicy {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::{content_into_fields, take_field};
+        const NAME: &str = "RetryPolicy";
+        let content = serde::Deserializer::deserialize_content(deserializer)?;
+        let mut fields = content_into_fields::<D::Error>(content, NAME)?;
+        let policy = Self {
+            max_attempts: take_field(&mut fields, "max_attempts", NAME)?,
+            base_backoff_us: take_field(&mut fields, "base_backoff_us", NAME)?,
+            backoff_factor: take_field(&mut fields, "backoff_factor", NAME)?,
+            max_backoff_us: take_field(&mut fields, "max_backoff_us", NAME)?,
+            retry_budget: take_field(&mut fields, "retry_budget", NAME)?,
+            breaker_threshold: take_field(&mut fields, "breaker_threshold", NAME)?,
+            jitter_seed: take_field(&mut fields, "jitter_seed", NAME)?,
+        };
+        policy.validate().map_err(serde::de::Error::custom)?;
+        Ok(policy)
+    }
+}
+
 impl RetryPolicy {
+    /// Validates the policy's values; the error says which knob is wrong.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_attempts == 0 {
+            return Err(
+                "retry policy: max_attempts must be at least 1 (1 = no retries)".to_owned(),
+            );
+        }
+        if !self.backoff_factor.is_finite() || self.backoff_factor <= 0.0 {
+            return Err(format!(
+                "retry policy: backoff_factor must be a finite positive number, got {}",
+                self.backoff_factor
+            ));
+        }
+        if self.breaker_threshold == 0 {
+            return Err(
+                "retry policy: breaker_threshold must be at least 1 (the breaker would start open)"
+                    .to_owned(),
+            );
+        }
+        Ok(())
+    }
+
     /// A policy that never retries: every retryable error becomes
     /// [`FetchError::Exhausted`] after one attempt.
     pub fn no_retries() -> Self {
@@ -423,6 +471,35 @@ mod tests {
             base_backoff_us: 0,
             max_backoff_us: 0,
             ..RetryPolicy::default()
+        }
+    }
+
+    #[test]
+    fn retry_policy_validates_at_deserialize() {
+        let good = serde_json::to_string(&RetryPolicy::default()).unwrap();
+        let back: RetryPolicy = serde_json::from_str(&good).unwrap();
+        assert_eq!(back, RetryPolicy::default());
+
+        for (from, to, expect) in [
+            ("\"max_attempts\":10", "\"max_attempts\":0", "max_attempts"),
+            (
+                "\"backoff_factor\":2",
+                "\"backoff_factor\":-1",
+                "backoff_factor",
+            ),
+            (
+                "\"breaker_threshold\":64",
+                "\"breaker_threshold\":0",
+                "breaker_threshold",
+            ),
+        ] {
+            let bad = good.replace(from, to);
+            assert_ne!(bad, good, "replacement {from} did not apply");
+            let err = serde_json::from_str::<RetryPolicy>(&bad).unwrap_err();
+            assert!(
+                err.to_string().contains(expect),
+                "error for {to} should name the knob: {err}"
+            );
         }
     }
 

@@ -17,20 +17,26 @@
 
 pub mod action;
 pub mod cache;
+pub mod checkpoint;
 pub mod extract;
+pub mod failfs;
 pub mod fault;
 pub mod fetch;
 pub mod reduce;
 pub mod store;
+pub mod wal;
 
 pub use action::Action;
 pub use cache::{ActionCache, ActionCacheStats, CacheLookup};
+pub use checkpoint::{DurabilityPolicy, DurableStore, RecoveryReport};
 pub use extract::{
     extract_actions, extract_actions_for, try_extract_actions, try_extract_actions_full,
     try_extract_actions_incremental, try_extract_actions_with, ExtractMode, ExtractOutcome,
 };
+pub use failfs::{FailKind, FailOp, FailSpec, Failpoint, FailpointFs, MemFs, RealFs, Vfs};
 pub use fault::{mix64, FaultPlan, FaultyStore, GarbleMode};
 pub use fetch::{backoff_delay_us, FetchError, FetchSource, ResilientFetcher, RetryPolicy};
 pub use reduce::{is_reduced, reduce_actions};
 pub use store::{CrawlStats, PageHistory, Revision, RevisionStore};
+pub use wal::{scan_wal, SyncPolicy, TailOutcome, WalError, WalRecord, WalScan, WalWriter};
 pub use wiclean_wikitext::EditOp;

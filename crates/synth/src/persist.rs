@@ -79,13 +79,33 @@ impl Corpus {
     /// sibling temporary file and renamed into place, so a crash mid-write
     /// never leaves a truncated corpus at `path`.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CorpusError> {
-        let path = path.as_ref();
+        self.save_with(&wiclean_revstore::RealFs, path.as_ref())
+    }
+
+    /// [`Corpus::save`] through an explicit filesystem, so fault-injection
+    /// tests can fail the write at chosen points. The temporary file is
+    /// cleaned up on *every* failure branch — a failed save leaves neither
+    /// a truncated corpus nor `.tmp` litter behind.
+    pub fn save_with(
+        &self,
+        fs: &impl wiclean_revstore::Vfs,
+        path: &Path,
+    ) -> Result<(), CorpusError> {
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
         let tmp = std::path::PathBuf::from(tmp);
-        std::fs::write(&tmp, self.to_json())?;
-        if let Err(e) = std::fs::rename(&tmp, path) {
-            std::fs::remove_file(&tmp).ok();
+        if let Err(e) = fs.write(&tmp, self.to_json().as_bytes()) {
+            // A partial write (disk full, injected fault) may have created
+            // the file before erroring.
+            fs.remove(&tmp).ok();
+            return Err(e.into());
+        }
+        if let Err(e) = fs.sync(&tmp) {
+            fs.remove(&tmp).ok();
+            return Err(e.into());
+        }
+        if let Err(e) = fs.rename(&tmp, path) {
+            fs.remove(&tmp).ok();
             return Err(e.into());
         }
         Ok(())
@@ -195,6 +215,44 @@ mod tests {
         assert!(path.exists());
         assert!(!dir.join("corpus.json.tmp").exists());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_save_cleans_up_its_temp_file() {
+        use std::path::PathBuf;
+        use std::sync::Arc;
+        use wiclean_revstore::{FailKind, FailOp, FailSpec, FailpointFs, MemFs, Vfs};
+
+        let world = generate(scenarios::politics(), SynthConfig::tiny(37));
+        let corpus = Corpus::from_world(world);
+        let dir = PathBuf::from("/out");
+        let path = dir.join("corpus.json");
+
+        // Fail the very write of the temporary file (e.g. disk full): the
+        // partial tmp must be removed, not left behind.
+        for (op, kind) in [
+            (FailOp::Write, FailKind::ErrOnly),
+            (FailOp::Rename, FailKind::ErrOnly),
+        ] {
+            let mem = Arc::new(MemFs::new());
+            mem.create_dir_all(&dir).unwrap();
+            let fs = FailpointFs::new(mem.clone(), FailSpec::once(op, 0, kind));
+            assert!(corpus.save_with(&fs, &path).is_err());
+            assert!(
+                !mem.exists(&dir.join("corpus.json.tmp")),
+                "{op:?} failure left the temp file behind"
+            );
+            assert!(!mem.exists(&path), "no corpus must appear either");
+        }
+
+        // And a fault-free save through the same path round-trips.
+        let mem = Arc::new(MemFs::new());
+        mem.create_dir_all(&dir).unwrap();
+        corpus.save_with(&*mem, &path).unwrap();
+        assert!(!mem.exists(&dir.join("corpus.json.tmp")));
+        let back =
+            Corpus::from_json(std::str::from_utf8(&mem.read(&path).unwrap()).unwrap()).unwrap();
+        assert_eq!(back.seed_type, corpus.seed_type);
     }
 
     #[test]

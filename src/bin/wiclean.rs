@@ -3,23 +3,33 @@
 //! ```text
 //! wiclean generate --domain soccer --seeds 500 --rng 7 --out corpus.json
 //! wiclean stats    --corpus corpus.json
-//! wiclean mine     --corpus corpus.json [--threads N] [--out report.json]
-//! wiclean detect   --corpus corpus.json [--top K]
+//! wiclean ingest   --corpus corpus.json --store DIR [--sync MODE]
+//! wiclean mine     --corpus corpus.json [--durability DIR] [--threads N] [--out report.json]
+//! wiclean detect   --corpus corpus.json [--durability DIR] [--top K]
 //! ```
 //!
-//! `generate` builds a synthetic corpus (see `wiclean-synth`); `mine` runs
-//! the full window-and-pattern search (Algorithm 2) and prints a JSON
-//! report; `detect` mines and then runs partial-update detection
-//! (Algorithm 3) on the discovered patterns, printing the flagged
-//! potential errors like the WiClean editor plug-in would.
+//! `generate` builds a synthetic corpus (see `wiclean-synth`); `ingest`
+//! streams a corpus into a crash-safe durable store directory (WAL +
+//! checksummed checkpoints); `mine` runs the full window-and-pattern
+//! search (Algorithm 2) and prints a JSON report; `detect` mines and then
+//! runs partial-update detection (Algorithm 3) on the discovered patterns,
+//! printing the flagged potential errors like the WiClean editor plug-in
+//! would. With `--durability DIR`, `mine`/`detect` read their revisions
+//! from the durable store (recovering it if the ingesting process
+//! crashed), and any records lost to torn or corrupt WAL tails surface in
+//! the degraded-coverage section of the report.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 use wiclean::core::partial::detect_partial_updates;
+use wiclean::core::recover::{open_recovered, RecoveredStore};
 use wiclean::core::report::WcReport;
 use wiclean::core::windows::find_windows_and_patterns;
 use wiclean::eval::quality::default_wc_config;
-use wiclean::revstore::{FaultPlan, FaultyStore, ResilientFetcher, RetryPolicy};
+use wiclean::revstore::{
+    DurabilityPolicy, DurableStore, FaultPlan, FaultyStore, RealFs, ResilientFetcher, RetryPolicy,
+    SyncPolicy,
+};
 use wiclean::synth::{generate, scenarios, Corpus, SynthConfig};
 
 /// Distinct exit code for "the crawl circuit breaker opened": results were
@@ -42,6 +52,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "generate" => cmd_generate(&flags).map(|()| ExitCode::SUCCESS),
         "stats" => cmd_stats(&flags).map(|()| ExitCode::SUCCESS),
+        "ingest" => cmd_ingest(&flags).map(|()| ExitCode::SUCCESS),
         "mine" => cmd_mine(&flags),
         "detect" => cmd_detect(&flags),
         "--help" | "-h" | "help" => {
@@ -65,12 +76,22 @@ wiclean — mine Wikipedia-style revision histories for edit patterns
 USAGE:
   wiclean generate --domain <soccer|cinema|politics|software> [--seeds N] [--rng S] --out FILE
   wiclean stats    --corpus FILE
-  wiclean mine     --corpus FILE [--threads N] [--extract MODE] [--out FILE] [FAULT FLAGS]
-  wiclean detect   --corpus FILE [--threads N] [--extract MODE] [--top K] [FAULT FLAGS]
+  wiclean ingest   --corpus FILE --store DIR [DURABILITY FLAGS]
+  wiclean mine     --corpus FILE [--durability DIR] [--threads N] [--extract MODE] [--out FILE] [FAULT FLAGS]
+  wiclean detect   --corpus FILE [--durability DIR] [--threads N] [--extract MODE] [--top K] [FAULT FLAGS]
 
 MODE (extraction pipeline, both produce byte-identical output):
   incremental      prediff-gated interned extraction (default)
   full             frozen full-reparse reference path (ablation)
+
+DURABILITY FLAGS (crash-safe revision store; see also --durability):
+  --sync MODE      WAL fsync policy: `always`, `every:N`, or `never`
+                   (default: every:64)
+  --checkpoint-every N
+                   records between checksummed checkpoints (default: 4096)
+  --durability DIR read revisions from the durable store at DIR instead of
+                   the corpus, recovering after a crash; records lost to
+                   torn/corrupt WAL tails are reported as degraded coverage
 
 FAULT FLAGS (crawl-robustness testing):
   --fault-rate R   inject transient fetch faults with probability R (0.0–1.0)
@@ -203,6 +224,85 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the durability policy from the CLI's durability flags.
+fn durability_policy(flags: &HashMap<String, String>) -> Result<DurabilityPolicy, String> {
+    let mut policy = DurabilityPolicy::default();
+    if let Some(mode) = flags.get("sync") {
+        policy.sync = match mode.as_str() {
+            "always" => SyncPolicy::Always,
+            "never" => SyncPolicy::Never,
+            other => match other.strip_prefix("every:").map(str::parse) {
+                Some(Ok(n)) => SyncPolicy::EveryN(n),
+                _ => {
+                    return Err(format!(
+                        "flag --sync: `{other}` is not `always`, `every:N`, or `never`"
+                    ))
+                }
+            },
+        };
+    }
+    if let Some(n) = flags.get("checkpoint-every") {
+        policy.checkpoint_every = n
+            .parse()
+            .map_err(|_| format!("flag --checkpoint-every: cannot parse `{n}`"))?;
+    }
+    policy.validate()?;
+    Ok(policy)
+}
+
+/// Opens (recovering if needed) the durable store named by `--durability`,
+/// if the flag is present, and narrates what recovery found.
+fn open_durability(flags: &HashMap<String, String>) -> Result<Option<RecoveredStore>, String> {
+    let Some(dir) = flags.get("durability") else {
+        return Ok(None);
+    };
+    let rec = open_recovered(RealFs, dir.as_str(), durability_policy(flags)?)
+        .map_err(|e| format!("durable store {dir}: {e}"))?;
+    let r = &rec.recovery;
+    eprintln!(
+        "  durable store: checkpoint epoch {} ({} records) + {} WAL records replayed",
+        r.checkpoint_epoch, r.records_in_checkpoint, r.records_replayed
+    );
+    if !r.is_clean() {
+        eprintln!(
+            "  recovery losses: {} records / {} bytes dropped, {} checkpoints rejected ({:?} tail)",
+            r.records_dropped, r.bytes_dropped, r.checkpoints_rejected, r.tail
+        );
+    }
+    Ok(Some(rec))
+}
+
+fn cmd_ingest(flags: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(flags)?;
+    let dir = flag(flags, "store")?;
+    let policy = durability_policy(flags)?;
+    let mut ds = DurableStore::create(RealFs, dir, policy).map_err(|e| e.to_string())?;
+    eprintln!(
+        "ingesting {} revisions into {dir} (sync {:?}, checkpoint every {})…",
+        corpus.store.revision_count(),
+        policy.sync,
+        policy.checkpoint_every
+    );
+    let mut entities: Vec<_> = corpus.store.entities().collect();
+    entities.sort_by_key(|e| e.as_u32());
+    for e in entities {
+        let Some(history) = corpus.store.peek(e) else {
+            continue;
+        };
+        for r in history.revisions() {
+            ds.record(e, r.time, &r.text).map_err(|e| e.to_string())?;
+        }
+    }
+    ds.checkpoint().map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} records, epoch {} ({} checkpoint retries)",
+        ds.records_ingested(),
+        ds.epoch(),
+        ds.checkpoint_failures()
+    );
+    Ok(())
+}
+
 /// Builds the fault plan and retry policy from the CLI's fault flags.
 fn fault_setup(flags: &HashMap<String, String>) -> Result<(FaultPlan, RetryPolicy), String> {
     let rate: f64 = num_flag(flags, "fault-rate", 0.0)?;
@@ -240,6 +340,12 @@ fn print_degraded(report: &WcReport) {
             ""
         }
     );
+    if d.wal_records_dropped > 0 || d.wal_bytes_dropped > 0 || d.checkpoints_rejected > 0 {
+        eprintln!(
+            "    ✗ crash recovery: {} WAL records ({} bytes) dropped, {} checkpoints rejected",
+            d.wal_records_dropped, d.wal_bytes_dropped, d.checkpoints_rejected
+        );
+    }
     for l in d.entities_lost.iter().take(10) {
         eprintln!("    ✗ {} — {}", l.entity, l.reason);
     }
@@ -256,9 +362,11 @@ fn cmd_mine(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     let mut wc = default_wc_config(threads(flags)?);
     apply_extract_mode(&mut wc, flags)?;
     let (plan, policy) = fault_setup(flags)?;
-    let faulty = FaultyStore::new(&corpus.store, plan);
-    let fetcher = ResilientFetcher::new(&faulty, policy);
     eprintln!("mining `{}` (Algorithm 2)…", corpus.seed_type);
+    let recovered = open_durability(flags)?;
+    let store = recovered.as_ref().map_or(&corpus.store, |r| &r.store);
+    let faulty = FaultyStore::new(store, plan);
+    let fetcher = ResilientFetcher::new(&faulty, policy);
     if !plan.is_clean() {
         eprintln!(
             "  fault injection on: transient rate {:.0}%, {} attempts per page",
@@ -266,7 +374,11 @@ fn cmd_mine(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
             policy.max_attempts
         );
     }
-    let result = find_windows_and_patterns(&fetcher, &corpus.universe, corpus.seed_type_id(), &wc);
+    let mut result =
+        find_windows_and_patterns(&fetcher, &corpus.universe, corpus.seed_type_id(), &wc);
+    if let Some(rec) = &recovered {
+        rec.stamp(&mut result.degraded, &mut result.stats);
+    }
     eprintln!(
         "  {} iterations → {} patterns (final width {}d, tau {:.3})",
         result.iterations,
@@ -301,10 +413,16 @@ fn cmd_detect(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     let mut wc = default_wc_config(threads(flags)?);
     apply_extract_mode(&mut wc, flags)?;
     let (plan, policy) = fault_setup(flags)?;
-    let faulty = FaultyStore::new(&corpus.store, plan);
-    let fetcher = ResilientFetcher::new(&faulty, policy);
     eprintln!("mining `{}`…", corpus.seed_type);
-    let result = find_windows_and_patterns(&fetcher, &corpus.universe, corpus.seed_type_id(), &wc);
+    let recovered = open_durability(flags)?;
+    let store = recovered.as_ref().map_or(&corpus.store, |r| &r.store);
+    let faulty = FaultyStore::new(store, plan);
+    let fetcher = ResilientFetcher::new(&faulty, policy);
+    let mut result =
+        find_windows_and_patterns(&fetcher, &corpus.universe, corpus.seed_type_id(), &wc);
+    if let Some(rec) = &recovered {
+        rec.stamp(&mut result.degraded, &mut result.stats);
+    }
     eprintln!(
         "  {} patterns discovered; running Algorithm 3 on the top {}…\n",
         result.discovered.len(),

@@ -1,0 +1,180 @@
+//! Kill-and-recover integration: the crawler dies mid-ingestion — a torn
+//! final WAL write at 25%, 50%, and 90% of the stream — and the full
+//! pipeline runs over whatever recovery salvages.
+//!
+//! Acceptance properties:
+//!
+//! 1. Recovery never panics and never refuses a directory whose
+//!    checkpoints are intact; it returns exactly the acknowledged prefix
+//!    (the WAL is synced per record here, so nothing buffered is in play).
+//! 2. Mining over the recovered store produces the identical pattern set
+//!    as mining over that same prefix ingested cleanly in memory — a
+//!    crash-recovered corpus is indistinguishable from one that never
+//!    crashed, minus the honestly-reported tail.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+use wiclean::core::degraded::DegradedCoverage;
+use wiclean::core::miner::MineStats;
+use wiclean::core::pattern::Pattern;
+use wiclean::core::recover::open_recovered;
+use wiclean::core::windows::find_windows_and_patterns;
+use wiclean::eval::quality::default_wc_config;
+use wiclean::revstore::{
+    DurabilityPolicy, DurableStore, FailKind, FailOp, FailSpec, FailpointFs, MemFs, RevisionStore,
+    SyncPolicy, TailOutcome,
+};
+use wiclean::synth::{generate, scenarios, SynthConfig};
+use wiclean::types::{EntityId, Timestamp};
+
+fn stream() -> (
+    wiclean::types::Universe,
+    wiclean::types::TypeId,
+    Vec<(EntityId, Timestamp, String)>,
+) {
+    let world = generate(
+        scenarios::soccer(),
+        SynthConfig {
+            seed_count: 40,
+            rng_seed: 777,
+            distractor_entities: 20,
+            ..SynthConfig::default()
+        },
+    );
+    let mut entities: Vec<EntityId> = world.store.entities().collect();
+    entities.sort_by_key(|e| e.as_u32());
+    let mut out = Vec::new();
+    for e in entities {
+        for r in world.store.peek(e).expect("entity has a page").revisions() {
+            out.push((e, r.time, r.text.clone()));
+        }
+    }
+    (world.universe, world.seed_type, out)
+}
+
+fn ingest_clean(prefix: &[(EntityId, Timestamp, String)]) -> RevisionStore {
+    let mut s = RevisionStore::new();
+    for (e, t, text) in prefix {
+        s.record(*e, *t, text.clone());
+    }
+    s
+}
+
+fn policy() -> DurabilityPolicy {
+    DurabilityPolicy {
+        sync: SyncPolicy::Always,
+        checkpoint_every: 64,
+        delta_encode: true,
+    }
+}
+
+fn pattern_set(result: &wiclean::core::windows::WcResult) -> BTreeSet<Pattern> {
+    result
+        .discovered
+        .iter()
+        .map(|d| d.pattern.clone())
+        .collect()
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full pipeline over three crashes — run with --release"
+)]
+fn kill_and_recover_mines_exactly_the_surviving_prefix() {
+    let (universe, seed_type, stream) = stream();
+    let total = stream.len() as u64;
+    assert!(total > 100, "stream too small to place kill points");
+    let wc = default_wc_config(2);
+
+    for percent in [25u64, 50, 90] {
+        let kill_at = total * percent / 100;
+        let mem = Arc::new(MemFs::new());
+        let fs = Arc::new(FailpointFs::new(
+            mem.clone(),
+            // Tear the kill_at-th append a few bytes in and halt the
+            // filesystem — the process is dead from this point on.
+            FailSpec::once(FailOp::Append, kill_at, FailKind::TornWrite { keep: 7 }),
+        ));
+
+        let dir = PathBuf::from("/crawl");
+        let mut ds = DurableStore::create(fs, dir.clone(), policy()).expect("create store");
+        let mut acked: u64 = 0;
+        for (e, t, text) in &stream {
+            if ds.record(*e, *t, text).is_err() {
+                break;
+            }
+            acked += 1;
+        }
+        assert_eq!(acked, kill_at, "the torn append kills record #{kill_at}");
+        assert!(ds.is_wedged(), "a torn append must wedge the store");
+        drop(ds);
+
+        // The crawler is gone; recover from what hit the disk.
+        let rec = open_recovered(mem, dir, policy()).expect("recovery must not refuse");
+        let n = rec.recovery.records_recovered();
+        assert_eq!(
+            n, acked,
+            "per-record sync ⇒ exactly the acked prefix survives"
+        );
+        assert_eq!(rec.recovery.tail, TailOutcome::TornTail);
+        assert!(
+            rec.recovery.bytes_dropped > 0,
+            "the torn frame is accounted"
+        );
+        assert_eq!(rec.recovery.records_dropped, 0);
+
+        let prefix = &stream[..n as usize];
+        let clean = ingest_clean(prefix);
+        assert_eq!(
+            rec.store, clean,
+            "recovered store ≡ clean prefix at {percent}%"
+        );
+
+        // The losses flow into run accounting like any coverage loss.
+        let mut degraded = DegradedCoverage::default();
+        let mut stats = MineStats::default();
+        rec.stamp(&mut degraded, &mut stats);
+        assert!(!degraded.is_empty());
+        assert_eq!(stats.wal_bytes_dropped, rec.recovery.bytes_dropped);
+
+        // Full pipeline: recovered vs clean prefix must mine identically.
+        let mined_recovered = find_windows_and_patterns(&rec.store, &universe, seed_type, &wc);
+        let mined_clean = find_windows_and_patterns(&clean, &universe, seed_type, &wc);
+        assert_eq!(
+            pattern_set(&mined_recovered),
+            pattern_set(&mined_clean),
+            "pattern sets diverge after recovery at {percent}%"
+        );
+        assert_eq!(mined_recovered.final_width, mined_clean.final_width);
+        assert_eq!(mined_recovered.final_tau, mined_clean.final_tau);
+    }
+}
+
+#[test]
+fn kill_and_recover_is_exact_without_mining() {
+    // The debug-profile variant: same crash points, everything but the
+    // full mining runs — so `cargo test` exercises recovery too.
+    let (_, _, stream) = stream();
+    let total = stream.len() as u64;
+    for percent in [25u64, 50, 90] {
+        let kill_at = total * percent / 100;
+        let mem = Arc::new(MemFs::new());
+        let fs = Arc::new(FailpointFs::new(
+            mem.clone(),
+            FailSpec::once(FailOp::Append, kill_at, FailKind::TornWrite { keep: 3 }),
+        ));
+        let dir = PathBuf::from("/crawl");
+        let mut ds = DurableStore::create(fs, dir.clone(), policy()).expect("create store");
+        for (e, t, text) in &stream {
+            if ds.record(*e, *t, text).is_err() {
+                break;
+            }
+        }
+        drop(ds);
+        let rec = open_recovered(mem, dir, policy()).expect("recovery must not refuse");
+        assert_eq!(rec.recovery.records_recovered(), kill_at);
+        assert_eq!(rec.store, ingest_clean(&stream[..kill_at as usize]));
+    }
+}
