@@ -1,0 +1,343 @@
+//! Serving figure (repo extension) — suggestion-server load generator.
+//!
+//! Starts a real `wiclean-serve` server over a scripted world and fires
+//! suggest requests at it from concurrent TCP clients, sweeping the
+//! pattern-set size. Two latency series per cell:
+//!
+//! * **server-side** — the suggestion path proper (index pin + lookup +
+//!   rank), from the server's log2 histogram. This is the sub-ms figure
+//!   the serving design targets: it excludes loopback and JSON framing.
+//! * **client round-trip** — connect-to-answer as an editor plug-in would
+//!   see it, measured exactly from per-request samples.
+//!
+//! Midway through each cell's load the index is hot-swapped (same pattern
+//! set, rebuilt), so every cell also demonstrates swap-under-load: zero
+//! errors, epoch strictly advances. Results land in `BENCH_serve.json` at
+//! the repo root. Set `WICLEAN_BENCH_FAST=1` for a CI-sized smoke run.
+//!
+//! The world: `R` relation pairs (`move_r` on the player page, `take_r`
+//! reciprocated on the club page). For each relation, four players
+//! complete the coordinated edit and a fifth leaves it dangling — one
+//! servable suggestion per pattern. Pattern count thus equals `R` while
+//! realization joins stay small, which keeps the *build* cost visible in
+//! the report without drowning the run.
+
+use serde::Serialize;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+use wiclean_core::abstract_action::AbstractAction;
+use wiclean_core::config::MinerConfig;
+use wiclean_core::pattern::WorkingPattern;
+use wiclean_core::var::Var;
+use wiclean_revstore::RevisionStore;
+use wiclean_serve::{serve, IndexLimits, PatternIndex, PatternSet, ServeConfig, SuggestClient};
+use wiclean_types::{TypeId, Universe, Window};
+use wiclean_wikitext::render::render_links;
+use wiclean_wikitext::{EditOp, PageLinks};
+
+struct World {
+    universe: Universe,
+    store: RevisionStore,
+    window: Window,
+    player_ty: TypeId,
+    patterns: Vec<(WorkingPattern, f64)>,
+    /// Names to query: one partial player (has a suggestion) and one
+    /// complete player (empty answer) per relation.
+    query_names: Vec<String>,
+}
+
+/// Builds the `R`-relation world described in the module docs.
+fn build_world(relations: usize) -> World {
+    let mut u = Universe::new("Thing");
+    let root = u.taxonomy().root();
+    let player_ty = u.taxonomy_mut().add("Player", root).unwrap();
+    let club_ty = u.taxonomy_mut().add("Club", root).unwrap();
+    let mut store = RevisionStore::new();
+    let window = Window::new(10, 1_000_000);
+    let mut patterns = Vec::with_capacity(relations);
+    let mut query_names = Vec::new();
+
+    for r in 0..relations {
+        let fwd = u.relation(&format!("move_{r}"));
+        let back = u.relation(&format!("take_{r}"));
+        let players: Vec<_> = (0..5)
+            .map(|i| u.add_entity(&format!("Player {r}_{i}"), player_ty).unwrap())
+            .collect();
+        let clubs: Vec<_> = (0..4)
+            .map(|i| u.add_entity(&format!("Club {r}_{i}"), club_ty).unwrap())
+            .collect();
+
+        let mut player_state: Vec<PageLinks> = (0..5).map(|_| PageLinks::new()).collect();
+        let mut club_state: Vec<PageLinks> = (0..4).map(|_| PageLinks::new()).collect();
+        for (i, &p) in players.iter().enumerate() {
+            store.record(
+                p,
+                1,
+                render_links(u.entity_name(p), "player", &player_state[i]),
+            );
+        }
+        for (i, &c) in clubs.iter().enumerate() {
+            store.record(c, 1, render_links(u.entity_name(c), "club", &club_state[i]));
+        }
+        // Four coordinated transfers…
+        let mut t = 20 + (r as u64) * 200;
+        for i in 0..4 {
+            let club_name = u.entity_name(clubs[i]).to_owned();
+            let player_name = u.entity_name(players[i]).to_owned();
+            player_state[i].insert(&format!("move_{r}"), &club_name);
+            store.record(
+                players[i],
+                t,
+                render_links(u.entity_name(players[i]), "player", &player_state[i]),
+            );
+            club_state[i].insert(&format!("take_{r}"), &player_name);
+            store.record(
+                clubs[i],
+                t + 3,
+                render_links(u.entity_name(clubs[i]), "club", &club_state[i]),
+            );
+            t += 10;
+        }
+        // …and one dangling half-edit: the served suggestion.
+        let club_name = u.entity_name(clubs[3]).to_owned();
+        player_state[4].insert(&format!("move_{r}"), &club_name);
+        store.record(
+            players[4],
+            t,
+            render_links(u.entity_name(players[4]), "player", &player_state[4]),
+        );
+
+        let p = Var::new(player_ty, 0);
+        let c = Var::new(club_ty, 0);
+        patterns.push((
+            WorkingPattern::from_actions(vec![
+                AbstractAction::new(EditOp::Add, p, fwd, c),
+                AbstractAction::new(EditOp::Add, c, back, p),
+            ]),
+            0.50 + (r % 50) as f64 / 100.0,
+        ));
+        query_names.push(u.entity_name(players[4]).to_string());
+        query_names.push(u.entity_name(players[0]).to_string());
+    }
+
+    World {
+        universe: u,
+        store,
+        window,
+        player_ty,
+        patterns,
+        query_names,
+    }
+}
+
+fn miner_config() -> MinerConfig {
+    MinerConfig {
+        tau: 0.8,
+        tau_rel: 0.5,
+        max_pattern_actions: 4,
+        max_abstraction_height: 1,
+        max_vars_per_type: 2,
+        ..MinerConfig::default()
+    }
+}
+
+fn build_index(world: &World) -> PatternIndex {
+    let set = PatternSet::single_window(world.player_ty, world.window, &world.patterns);
+    PatternIndex::build(
+        &world.store,
+        &world.universe,
+        &miner_config(),
+        &set,
+        IndexLimits::default(),
+    )
+    .expect("bench set fits default limits")
+}
+
+/// Exact quantile (µs) over raw round-trip samples (ns).
+fn quantile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    let ix = (((sorted_ns.len() as f64) * q).ceil() as usize).clamp(1, sorted_ns.len()) - 1;
+    sorted_ns[ix] as f64 / 1e3
+}
+
+#[derive(Serialize)]
+struct Cell {
+    patterns: usize,
+    suggestions: usize,
+    entities: usize,
+    index_build_ms: f64,
+    requests: u64,
+    errors: u64,
+    qps: f64,
+    client_p50_us: f64,
+    client_p90_us: f64,
+    client_p99_us: f64,
+    server_p50_us: f64,
+    server_p90_us: f64,
+    server_p99_us: f64,
+    /// The mid-load hot swap: epoch observed before and after.
+    swap_epoch_before: u64,
+    swap_epoch_after: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    host_cores: usize,
+    fast_mode: bool,
+    max_connections: usize,
+    clients: usize,
+    requests_per_client: usize,
+    cells: Vec<Cell>,
+    /// Headline: worst server-side suggest p99 across cells, µs.
+    server_p99_us_max: f64,
+    /// Headline: worst sustained throughput across cells.
+    qps_min: f64,
+}
+
+fn main() {
+    let fast_mode = std::env::var_os("WICLEAN_BENCH_FAST").is_some();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (sizes, requests_per_client): (Vec<usize>, usize) = if fast_mode {
+        (vec![4], 500)
+    } else {
+        (vec![4, 16, 64], 20_000)
+    };
+    let max_connections = 64usize;
+    let clients = 2usize;
+
+    let mut cells = Vec::new();
+    for &relations in &sizes {
+        let world = build_world(relations);
+        let index = build_index(&world);
+        let stats = index.stats().clone();
+        let universe = Arc::new(world.universe.clone());
+        let mut handle = serve(
+            ServeConfig {
+                max_connections,
+                ..ServeConfig::default()
+            },
+            universe,
+            index,
+            None,
+        )
+        .expect("server starts");
+        let addr = handle.addr();
+        let epoch_before = handle.epoch();
+
+        let t0 = Instant::now();
+        let latencies: Vec<Vec<u64>> = std::thread::scope(|s| {
+            let threads: Vec<_> = (0..clients)
+                .map(|cix| {
+                    let names = world.query_names.clone();
+                    s.spawn(move || {
+                        let mut client = SuggestClient::connect(addr).expect("connect");
+                        let mut samples = Vec::with_capacity(requests_per_client);
+                        for i in 0..requests_per_client {
+                            let name = &names[(cix + i * 7) % names.len()];
+                            let t = Instant::now();
+                            let v = client.suggest(name, None).expect("response");
+                            samples.push(t.elapsed().as_nanos() as u64);
+                            assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(true), "{v:?}");
+                        }
+                        samples
+                    })
+                })
+                .collect();
+            // Hot swap in the thick of the load.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            handle.swap_index(build_index(&world));
+            threads
+                .into_iter()
+                .map(|t| t.join().expect("client"))
+                .collect()
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        let epoch_after = handle.epoch();
+
+        let mut all: Vec<u64> = latencies.into_iter().flatten().collect();
+        all.sort_unstable();
+        let requests = all.len() as u64;
+        let qps = requests as f64 / wall;
+        let errors = handle.stats().errors.load(Ordering::Relaxed);
+        let server_q = |q| {
+            handle
+                .stats()
+                .latency_quantile_ns(q)
+                .expect("samples recorded") as f64
+                / 1e3
+        };
+        let cell = Cell {
+            patterns: stats.patterns,
+            suggestions: stats.suggestions,
+            entities: stats.entities,
+            index_build_ms: stats.build_ms,
+            requests,
+            errors,
+            qps,
+            client_p50_us: quantile_us(&all, 0.50),
+            client_p90_us: quantile_us(&all, 0.90),
+            client_p99_us: quantile_us(&all, 0.99),
+            server_p50_us: server_q(0.50),
+            server_p90_us: server_q(0.90),
+            server_p99_us: server_q(0.99),
+            swap_epoch_before: epoch_before,
+            swap_epoch_after: epoch_after,
+        };
+        println!(
+            "patterns={:>3}  {:>7.0} qps  client p50/p99 {:>7.1}/{:>7.1} µs  server p50/p99 \
+             {:>6.1}/{:>6.1} µs  build {:>6.1} ms  errors={}",
+            cell.patterns,
+            cell.qps,
+            cell.client_p50_us,
+            cell.client_p99_us,
+            cell.server_p50_us,
+            cell.server_p99_us,
+            cell.index_build_ms,
+            cell.errors
+        );
+        assert_eq!(cell.errors, 0, "load run must be error-free");
+        assert!(
+            cell.swap_epoch_after > cell.swap_epoch_before,
+            "hot swap must land during the load"
+        );
+        handle.shutdown();
+        cells.push(cell);
+    }
+
+    let server_p99_us_max = cells.iter().map(|c| c.server_p99_us).fold(0.0, f64::max);
+    let qps_min = cells.iter().map(|c| c.qps).fold(f64::INFINITY, f64::min);
+    println!(
+        "worst server-side p99: {server_p99_us_max:.1} µs; worst throughput: {qps_min:.0} qps"
+    );
+    if !fast_mode {
+        // The serving acceptance bar. Fast mode's request counts are too
+        // small for stable tails, so the smoke run only checks liveness.
+        assert!(
+            server_p99_us_max < 1_000.0,
+            "suggestion path p99 must stay sub-millisecond"
+        );
+        assert!(
+            qps_min >= 10_000.0,
+            "server must sustain at least 10k suggest qps"
+        );
+    }
+
+    let report = Report {
+        host_cores,
+        fast_mode,
+        max_connections,
+        clients,
+        requests_per_client,
+        cells,
+        server_p99_us_max,
+        qps_min,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    if fast_mode {
+        println!("fast mode: skipping write of {path}");
+    } else {
+        std::fs::write(path, json + "\n").expect("write BENCH_serve.json");
+        println!("wrote {path}");
+    }
+}

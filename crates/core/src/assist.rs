@@ -29,10 +29,12 @@ pub struct PeriodicPattern {
 }
 
 impl PeriodicPattern {
-    /// Predicts the start of the next occurrence window.
+    /// Predicts the start of the next occurrence window. `None` when the
+    /// pattern never recurred, or when the prediction would overflow the
+    /// timestamp space (adversarial window timestamps near `u64::MAX`).
     pub fn next_expected_start(&self) -> Option<u64> {
         let last = self.windows.last()?;
-        Some(last.start + self.period?)
+        last.start.checked_add(self.period?)
     }
 }
 
@@ -51,9 +53,12 @@ pub fn find_periodic(results: &[WindowResult], min_occurrences: usize) -> Vec<Pe
                 .push(r.window);
         }
     }
+    // Occurrence counting happens on *deduplicated* windows: a pattern seen
+    // in duplicate `WindowResult`s for the same window (replayed batches,
+    // overlapping re-mines) is one occurrence, not several — otherwise a
+    // single window could satisfy `min_occurrences` on its own.
     let mut out: Vec<PeriodicPattern> = groups
         .into_iter()
-        .filter(|(_, (_, ws))| ws.len() >= min_occurrences)
         .map(|(pattern, (working, mut windows))| {
             windows.sort();
             windows.dedup();
@@ -74,6 +79,7 @@ pub fn find_periodic(results: &[WindowResult], min_occurrences: usize) -> Vec<Pe
                 period,
             }
         })
+        .filter(|p| p.windows.len() >= min_occurrences)
         .collect();
     out.sort_by(|a, b| a.pattern.cmp(&b.pattern));
     out
@@ -161,6 +167,46 @@ mod tests {
         assert_eq!(
             p.next_expected_start(),
             Some(fx.window.start + 2 * 31_536_000)
+        );
+    }
+
+    #[test]
+    fn next_expected_start_saturates_instead_of_overflowing() {
+        let fx = soccer_fixture();
+        let miner = WindowMiner::new(&fx.store, &fx.universe, fx.config());
+        let r1 = miner.mine_window(fx.player_ty, &fx.window);
+        let p0 = r1.most_specific().next().expect("fixture mines a pattern");
+        // A pattern whose last occurrence sits at the edge of the timestamp
+        // space with a period that would push past it: prediction must be
+        // `None`, not a wrapped (or panicking) timestamp.
+        let p = PeriodicPattern {
+            pattern: p0.pattern.clone(),
+            working: p0.working.clone(),
+            windows: vec![Window::new(u64::MAX - 10, u64::MAX)],
+            period: Some(100),
+        };
+        assert_eq!(p.next_expected_start(), None);
+        // Sanity: a representable prediction still comes out.
+        let ok = PeriodicPattern {
+            windows: vec![Window::new(u64::MAX - 200, u64::MAX)],
+            ..p
+        };
+        assert_eq!(ok.next_expected_start(), Some(u64::MAX - 100));
+    }
+
+    #[test]
+    fn duplicated_window_results_do_not_fake_periodicity() {
+        let fx = soccer_fixture();
+        let miner = WindowMiner::new(&fx.store, &fx.universe, fx.config());
+        let r1 = miner.mine_window(fx.player_ty, &fx.window);
+        // The same window mined twice (replayed batch): every pattern has
+        // two raw occurrences but only one *distinct* window, so nothing
+        // may clear `min_occurrences = 2`.
+        let periodic = find_periodic(&[r1.clone(), r1], 2);
+        assert!(
+            periodic.is_empty(),
+            "a twice-seen single window is one occurrence, found {:?}",
+            periodic.len()
         );
     }
 

@@ -24,7 +24,7 @@ use crate::pattern::{Pattern, WorkingPattern};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use wiclean_types::KeyInterner;
+use wiclean_types::{KeyInterner, WicleanError};
 
 /// A dense `Copy` handle for an interned canonical [`Pattern`].
 ///
@@ -68,7 +68,25 @@ impl PatternInterner {
         Self::default()
     }
 
+    /// Creates an empty interner holding at most `limit` distinct canonical
+    /// patterns. The serving layer uses this with
+    /// [`PatternInterner::try_intern_working`] to *reject* an oversized
+    /// pattern set instead of aborting a resident process.
+    pub fn with_limit(limit: u32) -> Self {
+        Self {
+            inner: RwLock::new(InternerInner {
+                canon: KeyInterner::with_limit(limit),
+                by_working: HashMap::new(),
+            }),
+            canonicalizations: AtomicUsize::new(0),
+        }
+    }
+
     /// Interns an already-canonical pattern.
+    ///
+    /// # Panics
+    /// Panics when the id space is exhausted (batch invariant; resident
+    /// callers go through [`PatternInterner::try_intern_working`]).
     pub fn intern(&self, pattern: &Pattern) -> PatternId {
         if let Some(ix) = self.inner.read().canon.get(pattern) {
             return PatternId(ix);
@@ -79,20 +97,34 @@ impl PatternInterner {
     /// Canonicalizes and interns a working pattern, memoized on its
     /// construction-order action list. Returns the id and the canonical
     /// form (cloned; patterns are a handful of actions).
+    ///
+    /// # Panics
+    /// Panics when the id space is exhausted (batch invariant; resident
+    /// callers go through [`PatternInterner::try_intern_working`]).
     pub fn intern_working(&self, wp: &WorkingPattern) -> (PatternId, Pattern) {
+        self.try_intern_working(wp).expect("interner overflow")
+    }
+
+    /// Fallible form of [`PatternInterner::intern_working`]: reports an
+    /// exhausted id space as [`WicleanError::InternerFull`] instead of
+    /// panicking, leaving the interner unchanged.
+    pub fn try_intern_working(
+        &self,
+        wp: &WorkingPattern,
+    ) -> Result<(PatternId, Pattern), WicleanError> {
         {
             let inner = self.inner.read();
             if let Some(&id) = inner.by_working.get(wp.actions()) {
-                return (id, inner.canon.resolve(id.0).clone());
+                return Ok((id, inner.canon.resolve(id.0).clone()));
             }
         }
         // Canonicalize outside any lock: this is the expensive part.
         let canonical = wp.canonical();
         self.canonicalizations.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.write();
-        let id = PatternId(inner.canon.intern(canonical.clone()));
+        let id = PatternId(inner.canon.try_intern(canonical.clone())?);
         inner.by_working.insert(wp.actions().into(), id);
-        (id, canonical)
+        Ok((id, canonical))
     }
 
     /// Resolves an id back to its canonical pattern.
@@ -199,6 +231,37 @@ mod tests {
         )]);
         let (id, canonical) = interner.intern_working(&w);
         assert_eq!(interner.intern(&canonical), id);
+    }
+
+    #[test]
+    fn try_intern_rejects_oversized_sets_without_corruption() {
+        use wiclean_types::WicleanError;
+        let player = TypeId::from_u32(1);
+        let club = TypeId::from_u32(2);
+        let interner = PatternInterner::with_limit(1);
+        let first = wp(vec![aa(
+            EditOp::Add,
+            Var::new(player, 0),
+            0,
+            Var::new(club, 0),
+        )]);
+        let second = wp(vec![aa(
+            EditOp::Remove,
+            Var::new(player, 0),
+            1,
+            Var::new(club, 0),
+        )]);
+        let (id, canonical) = interner.try_intern_working(&first).unwrap();
+        assert_eq!(
+            interner.try_intern_working(&second),
+            Err(WicleanError::InternerFull { limit: 1 })
+        );
+        // The rejected intern left the interner usable and unchanged.
+        assert_eq!(interner.len(), 1);
+        assert_eq!(
+            interner.try_intern_working(&first).unwrap(),
+            (id, canonical)
+        );
     }
 
     #[test]

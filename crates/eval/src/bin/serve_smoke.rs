@@ -1,0 +1,172 @@
+//! Serving smoke test: mine a synthetic corpus, serve it, hammer the
+//! server, hot-swap under traffic — and fail loudly if anything drops.
+//!
+//! Usage: `serve_smoke [seeds] [requests]` (defaults: 40 seeds, 2000
+//! requests). The sequence CI runs:
+//!
+//! 1. generate a soccer corpus and mine it (Algorithm 2);
+//! 2. build the suggestion index from every discovered pattern and start
+//!    the server with a re-mining reload hook;
+//! 3. fire `requests` suggest requests across two connections — every
+//!    response must be `ok`;
+//! 4. issue an admin `reload` mid-run: the epoch must advance, traffic
+//!    after it must be answered by the new generation;
+//! 5. assert the final stats: zero errors, zero caught panics, exactly
+//!    one swap, and every request accounted for.
+//!
+//! Exits nonzero on any violation so CI can gate on it.
+
+use std::process::ExitCode;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use wiclean_core::windows::find_windows_and_patterns;
+use wiclean_eval::quality::default_wc_config;
+use wiclean_serve::{
+    serve, IndexLimits, PatternIndex, PatternSet, ReloadFn, ServeConfig, SuggestClient,
+};
+use wiclean_synth::{generate, scenarios, SynthConfig};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let seeds: usize = args.next().map_or(40, |a| a.parse().expect("seed count"));
+    let requests: usize = args.next().map_or(2000, |a| a.parse().expect("requests"));
+
+    println!("serve smoke: {seeds} seeds, {requests} requests\n");
+    let world = Arc::new(generate(
+        scenarios::soccer(),
+        SynthConfig {
+            seed_count: seeds,
+            rng_seed: 20210401,
+            ..SynthConfig::tiny(1)
+        },
+    ));
+    let wc = default_wc_config(2);
+    let result = find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
+    println!(
+        "  mined {} patterns over {} iterations",
+        result.discovered.len(),
+        result.iterations
+    );
+    if result.discovered.is_empty() {
+        eprintln!("FAIL: nothing mined — smoke test has nothing to serve");
+        return ExitCode::FAILURE;
+    }
+    let set = PatternSet::from_wc_result(&result);
+    let build = |tag: &str| -> Result<PatternIndex, String> {
+        let index = PatternIndex::build(
+            &world.store,
+            &world.universe,
+            &wc.miner,
+            &set,
+            IndexLimits::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        println!(
+            "  index ({tag}): {} patterns → {} suggestions over {} entities",
+            index.stats().patterns,
+            index.stats().suggestions,
+            index.stats().entities
+        );
+        Ok(index)
+    };
+    let index = build("initial").expect("initial build");
+    // Names to hammer: every entity of the seed type.
+    let names: Vec<String> = world
+        .universe
+        .entities_of(world.seed_type)
+        .into_iter()
+        .map(|e| world.universe.entity_name(e).to_string())
+        .collect();
+
+    let universe = Arc::new(world.universe.clone());
+    let reload_world = Arc::clone(&world);
+    let reload_wc = wc;
+    let reload: ReloadFn = Box::new(move |_spec| {
+        let result = find_windows_and_patterns(
+            &reload_world.store,
+            &reload_world.universe,
+            reload_world.seed_type,
+            &reload_wc,
+        );
+        let set = PatternSet::from_wc_result(&result);
+        PatternIndex::build(
+            &reload_world.store,
+            &reload_world.universe,
+            &reload_wc.miner,
+            &set,
+            IndexLimits::default(),
+        )
+        .map_err(|e| e.to_string())
+    });
+
+    let mut handle =
+        serve(ServeConfig::default(), universe, index, Some(reload)).expect("server starts");
+    let addr = handle.addr();
+
+    let half = requests / 2;
+    // (failures, answered, suggestions served) over one request burst.
+    let run = |count: usize, phase: &str, min_epoch: u64| -> (usize, usize, usize) {
+        let mut a = SuggestClient::connect(addr).expect("connect a");
+        let mut b = SuggestClient::connect(addr).expect("connect b");
+        let (mut failures, mut answered, mut served) = (0usize, 0usize, 0usize);
+        for i in 0..count {
+            let client = if i % 2 == 0 { &mut a } else { &mut b };
+            let name = &names[i % names.len()];
+            match client.suggest(name, None) {
+                Ok(v) => {
+                    answered += 1;
+                    let ok = v.get("ok").and_then(|b| b.as_bool()) == Some(true);
+                    let epoch = v.get("epoch").and_then(|e| e.as_u64()).unwrap_or(0);
+                    if !ok || epoch < min_epoch {
+                        eprintln!("FAIL({phase}): request {i} → {v:?}");
+                        failures += 1;
+                    }
+                    served += v
+                        .get("suggestions")
+                        .and_then(|s| s.as_array())
+                        .map_or(0, Vec::len);
+                }
+                Err(e) => {
+                    eprintln!("FAIL({phase}): request {i} dropped: {e}");
+                    failures += 1;
+                }
+            }
+        }
+        (failures, answered, served)
+    };
+
+    let (mut failures, mut answered, mut suggestions_seen) = run(half, "pre-swap", 1);
+    // The hot swap: admin reload over the wire, mid-traffic.
+    let mut admin = SuggestClient::connect(addr).expect("connect admin");
+    let v = admin.reload(None).expect("reload answered");
+    let swapped = v.get("ok").and_then(|b| b.as_bool()) == Some(true)
+        && v.get("epoch").and_then(|e| e.as_u64()) == Some(2);
+    if !swapped {
+        eprintln!("FAIL: reload did not swap: {v:?}");
+        failures += 1;
+    } else {
+        println!("  hot swap: epoch 1 → 2 via admin reload");
+    }
+    let (f2, a2, s2) = run(requests - half, "post-swap", 2);
+    failures += f2;
+    answered += a2;
+    suggestions_seen += s2;
+
+    let stats = handle.stats();
+    let errors = stats.errors.load(Ordering::Relaxed);
+    let panics = stats.panics_caught.load(Ordering::Relaxed);
+    let swaps = stats.swaps.load(Ordering::Relaxed);
+    println!(
+        "\n  {answered}/{requests} answered, {suggestions_seen} suggestions served, \
+         {errors} errors, {panics} panics, {swaps} swaps, suggest p99 {:?} µs",
+        stats.snapshot(handle.epoch()).suggest_p99_us
+    );
+    handle.shutdown();
+
+    if failures > 0 || answered != requests || errors != 0 || panics != 0 || swaps != 1 {
+        eprintln!("FAIL: serve smoke violated its invariants");
+        return ExitCode::FAILURE;
+    }
+    println!("serve smoke OK");
+    ExitCode::SUCCESS
+}

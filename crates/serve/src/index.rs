@@ -1,0 +1,357 @@
+//! The read-optimized immutable pattern index behind the suggestion server.
+//!
+//! Algorithm 3 (`wiclean_core::partial`) is a chain of full outer joins over
+//! freshly fetched revision histories — milliseconds to seconds per pattern,
+//! fine for a batch driver, hopeless at interactive latency. The index moves
+//! all of that work to *build time*: every pattern's partial-update report is
+//! computed once when a mined pattern set is loaded, each flagged partial is
+//! rendered into a [`StoredSuggestion`], and two integer-keyed maps are laid
+//! over the result so a request touches only hash lookups over dense ids:
+//!
+//! * **entity → suggestions** — involved-entity names intern into a
+//!   [`SymTable`] (one string hash per request, dense `u32` slots after
+//!   that); each slot holds the ids of the suggestions that involve the
+//!   entity, in pattern-then-partial order.
+//! * **(seed type, action signature) → candidate patterns** — a request
+//!   carrying the in-flight edit's signature (`op` + relation) narrows to
+//!   the patterns containing a matching abstract action in O(1) before the
+//!   entity filter runs.
+//!
+//! Canonical patterns intern through the existing
+//! [`wiclean_core::PatternInterner`], so pattern identity is a `Copy` id
+//! here too. The index is immutable after build — the server swaps whole
+//! indexes atomically (see [`crate::epoch`]) instead of mutating one.
+//!
+//! Build is **fallible by design**: interners are capacity-limited via
+//! [`IndexLimits`], and an oversized pattern set surfaces as
+//! [`WicleanError::InternerFull`] — the serving layer rejects the load and
+//! keeps the previous epoch, rather than aborting a resident process.
+
+use serde::Serialize;
+use std::collections::HashMap;
+use std::time::Instant;
+use wiclean_core::config::MinerConfig;
+use wiclean_core::partial::detect_partial_updates;
+use wiclean_core::pattern::WorkingPattern;
+use wiclean_core::windows::WcResult;
+use wiclean_core::PatternInterner;
+use wiclean_revstore::FetchSource;
+use wiclean_types::{EntityId, RelId, SymTable, TypeId, Universe, WicleanError, Window};
+use wiclean_wikitext::EditOp;
+
+/// The signature of one in-flight edit: the operation plus the relation it
+/// touches. Requests use it to narrow candidate patterns before the entity
+/// filter; patterns index under the distinct signatures of their actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ActionSig {
+    /// Add or remove.
+    pub op: EditOp,
+    /// The relation the edit touches.
+    pub rel: RelId,
+}
+
+/// One mined pattern queued for serving.
+#[derive(Debug, Clone)]
+pub struct ServedPattern {
+    /// Construction-order form (drives Algorithm 3 at build time).
+    pub working: WorkingPattern,
+    /// The confidence shown to users (the pattern's mined frequency).
+    pub confidence: f64,
+    /// The window the pattern was discovered in; partial detection runs
+    /// against it at build time.
+    pub window: Window,
+}
+
+/// A pattern set: the unit the server loads, and hot-swaps, as a whole.
+#[derive(Debug, Clone)]
+pub struct PatternSet {
+    /// The seed type all patterns were mined for.
+    pub seed: TypeId,
+    /// The patterns, in serving order (ties in confidence resolve to this
+    /// order, matching the batch suggestion path).
+    pub patterns: Vec<ServedPattern>,
+}
+
+impl PatternSet {
+    /// Builds a pattern set from an Algorithm 2 run: every discovered
+    /// pattern, at its discovery window, with its mined frequency as the
+    /// confidence.
+    pub fn from_wc_result(result: &WcResult) -> Self {
+        Self {
+            seed: result.seed,
+            patterns: result
+                .discovered
+                .iter()
+                .map(|d| ServedPattern {
+                    working: d.working.clone(),
+                    confidence: d.frequency,
+                    window: d.window,
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds a pattern set over one shared window — the exact shape
+    /// [`wiclean_core::assist::suggest_completions`] takes, used by the
+    /// differential tests.
+    pub fn single_window(seed: TypeId, window: Window, patterns: &[(WorkingPattern, f64)]) -> Self {
+        Self {
+            seed,
+            patterns: patterns
+                .iter()
+                .map(|(wp, freq)| ServedPattern {
+                    working: wp.clone(),
+                    confidence: *freq,
+                    window,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Capacity limits guarding an index build. Defaults are the full `u32` id
+/// space; tests and deployments with memory budgets tighten them.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexLimits {
+    /// Maximum distinct canonical patterns.
+    pub max_patterns: u32,
+    /// Maximum distinct entities involved in suggestions.
+    pub max_entities: u32,
+}
+
+impl Default for IndexLimits {
+    fn default() -> Self {
+        Self {
+            max_patterns: u32::MAX,
+            max_entities: u32::MAX,
+        }
+    }
+}
+
+/// One fully precomputed suggestion: everything a response needs, rendered
+/// at build time so the request path does no formatting.
+#[derive(Debug, Clone)]
+pub struct StoredSuggestion {
+    /// Ordinal of the owning pattern in the pattern set.
+    pub pattern_ix: u32,
+    /// `pattern.display(universe)` of the owning pattern.
+    pub pattern_text: String,
+    /// The suggestion text shown to the editor — identical to
+    /// [`wiclean_core::assist::Suggestion::display`] output.
+    pub text: String,
+    /// The owning pattern's confidence.
+    pub confidence: f64,
+}
+
+/// Build-time counters reported through the `/stats` endpoint.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct IndexStats {
+    /// Patterns in the loaded set.
+    pub patterns: usize,
+    /// Precomputed suggestions (flagged partial realizations).
+    pub suggestions: usize,
+    /// Distinct entities with at least one suggestion.
+    pub entities: usize,
+    /// Complete realizations observed while building (evidence volume).
+    pub complete_realizations: usize,
+    /// Wall-clock spent building, milliseconds.
+    pub build_ms: f64,
+}
+
+/// An indexed pattern: interned identity plus its signature set.
+#[derive(Debug)]
+struct IndexedPattern {
+    /// Distinct action signatures of the canonical form.
+    sigs: Vec<ActionSig>,
+}
+
+/// The immutable, read-optimized suggestion index. See the module docs for
+/// the layout; all request-path lookups are O(1) hash probes over dense
+/// integer keys plus a short in-bucket scan.
+pub struct PatternIndex {
+    seed: TypeId,
+    patterns: Vec<IndexedPattern>,
+    suggestions: Vec<StoredSuggestion>,
+    /// Involved-entity names → dense slots (one string hash per request).
+    names: SymTable,
+    /// Slot → suggestion ids in ascending (pattern-then-partial) order.
+    by_slot: Vec<Vec<u32>>,
+    /// EntityId → slot, for integer-keyed (in-process) callers.
+    by_entity: HashMap<EntityId, u32>,
+    /// (seed, signature) → pattern ordinals containing a matching action.
+    by_sig: HashMap<(TypeId, ActionSig), Vec<u32>>,
+    stats: IndexStats,
+}
+
+impl PatternIndex {
+    /// Builds an index from a mined pattern set by running Algorithm 3 once
+    /// per pattern against `source` and precomputing every suggestion.
+    ///
+    /// Fails with [`WicleanError::InternerFull`] when the set exceeds
+    /// `limits` — the caller (the serving layer) keeps its previous index.
+    pub fn build(
+        source: &dyn FetchSource,
+        universe: &Universe,
+        config: &MinerConfig,
+        set: &PatternSet,
+        limits: IndexLimits,
+    ) -> Result<PatternIndex, WicleanError> {
+        let t0 = Instant::now();
+        let interner = PatternInterner::with_limit(limits.max_patterns);
+        let mut names = SymTable::with_limit(limits.max_entities);
+        let mut patterns = Vec::with_capacity(set.patterns.len());
+        let mut suggestions: Vec<StoredSuggestion> = Vec::new();
+        let mut by_slot: Vec<Vec<u32>> = Vec::new();
+        let mut by_entity: HashMap<EntityId, u32> = HashMap::new();
+        let mut by_sig: HashMap<(TypeId, ActionSig), Vec<u32>> = HashMap::new();
+        let mut complete_realizations = 0usize;
+
+        for (pix, served) in set.patterns.iter().enumerate() {
+            let pix = pix as u32;
+            let (_id, canonical) = interner.try_intern_working(&served.working)?;
+            let mut sigs: Vec<ActionSig> = Vec::new();
+            for a in canonical.actions() {
+                let sig = ActionSig {
+                    op: a.op,
+                    rel: a.rel,
+                };
+                if !sigs.contains(&sig) {
+                    sigs.push(sig);
+                    by_sig.entry((set.seed, sig)).or_default().push(pix);
+                }
+            }
+
+            let report = detect_partial_updates(
+                source,
+                universe,
+                config,
+                &served.working,
+                set.seed,
+                &served.window,
+                0,
+            );
+            complete_realizations += report.complete_count;
+            let pattern_text = report.pattern.display(universe);
+            for partial in &report.partials {
+                let sid = suggestions.len() as u32;
+                suggestions.push(StoredSuggestion {
+                    pattern_ix: pix,
+                    pattern_text: pattern_text.clone(),
+                    text: format!(
+                        "{} (confidence {:.0}%)",
+                        partial.display(universe),
+                        served.confidence * 100.0
+                    ),
+                    confidence: served.confidence,
+                });
+                // Distinct involved entities, in assignment order.
+                let mut involved: Vec<EntityId> = Vec::new();
+                for (_, e) in &partial.assignment {
+                    if let Some(e) = e {
+                        if !involved.contains(e) {
+                            involved.push(*e);
+                        }
+                    }
+                }
+                for e in involved {
+                    let sym = names.try_intern(universe.entity_name(e))?;
+                    if sym.as_usize() == by_slot.len() {
+                        by_slot.push(Vec::new());
+                        by_entity.insert(e, sym.as_u32());
+                    }
+                    by_slot[sym.as_usize()].push(sid);
+                }
+            }
+            patterns.push(IndexedPattern { sigs });
+        }
+
+        let stats = IndexStats {
+            patterns: patterns.len(),
+            suggestions: suggestions.len(),
+            entities: by_slot.len(),
+            complete_realizations,
+            build_ms: t0.elapsed().as_secs_f64() * 1e3,
+        };
+        Ok(PatternIndex {
+            seed: set.seed,
+            patterns,
+            suggestions,
+            names,
+            by_slot,
+            by_entity,
+            by_sig,
+            stats,
+        })
+    }
+
+    /// The seed type the index serves.
+    pub fn seed(&self) -> TypeId {
+        self.seed
+    }
+
+    /// Build-time counters.
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// O(1) candidate lookup: ordinals of the patterns containing an action
+    /// with `sig`, for this index's seed type.
+    pub fn candidates(&self, seed: TypeId, sig: ActionSig) -> &[u32] {
+        self.by_sig.get(&(seed, sig)).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The suggestions for the entity named `name`, most confident first
+    /// (ties keep pattern-then-partial order — exactly the batch
+    /// [`wiclean_core::assist::suggest_completions`] ordering). With `sig`,
+    /// only suggestions from candidate patterns matching the in-flight
+    /// edit's signature are returned.
+    pub fn suggest_by_name(&self, name: &str, sig: Option<ActionSig>) -> Vec<&StoredSuggestion> {
+        match self.names.get(name) {
+            Some(sym) => self.collect(&self.by_slot[sym.as_usize()], sig),
+            None => Vec::new(),
+        }
+    }
+
+    /// Integer-keyed variant of [`PatternIndex::suggest_by_name`].
+    pub fn suggest(&self, entity: EntityId, sig: Option<ActionSig>) -> Vec<&StoredSuggestion> {
+        match self.by_entity.get(&entity) {
+            Some(&slot) => self.collect(&self.by_slot[slot as usize], sig),
+            None => Vec::new(),
+        }
+    }
+
+    fn collect(&self, sids: &[u32], sig: Option<ActionSig>) -> Vec<&StoredSuggestion> {
+        let mut out: Vec<&StoredSuggestion> = sids
+            .iter()
+            .map(|&sid| &self.suggestions[sid as usize])
+            .filter(|s| match sig {
+                None => true,
+                Some(sig) => self.patterns[s.pattern_ix as usize].sigs.contains(&sig),
+            })
+            .collect();
+        // Stable: ties keep ascending suggestion-id order.
+        out.sort_by(|a, b| b.confidence.total_cmp(&a.confidence));
+        out
+    }
+
+    /// Total precomputed suggestions (all entities).
+    pub fn len(&self) -> usize {
+        self.suggestions.len()
+    }
+
+    /// Whether the index holds no suggestions.
+    pub fn is_empty(&self) -> bool {
+        self.suggestions.is_empty()
+    }
+}
+
+impl std::fmt::Debug for PatternIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PatternIndex")
+            .field("seed", &self.seed)
+            .field("patterns", &self.patterns.len())
+            .field("suggestions", &self.suggestions.len())
+            .field("entities", &self.by_slot.len())
+            .finish()
+    }
+}

@@ -1,0 +1,172 @@
+//! Shared fixture for the serve integration tests.
+//!
+//! Mirrors the core crate's scripted soccer fixture (which is private to
+//! its unit tests): five players and four clubs, four coordinated
+//! transfers inside the window, and a fifth player whose transfer is
+//! partial — the club page never reciprocated — giving Algorithm 3 a
+//! flagged suggestion to serve.
+
+use wiclean_core::abstract_action::AbstractAction;
+use wiclean_core::config::MinerConfig;
+use wiclean_core::pattern::WorkingPattern;
+use wiclean_core::var::Var;
+use wiclean_revstore::RevisionStore;
+use wiclean_types::{EntityId, TypeId, Universe, Window};
+use wiclean_wikitext::render::render_links;
+use wiclean_wikitext::{EditOp, PageLinks};
+
+/// The assembled world.
+pub struct Fixture {
+    pub universe: Universe,
+    pub store: RevisionStore,
+    pub window: Window,
+    pub player_ty: TypeId,
+    #[allow(dead_code)]
+    pub club_ty: TypeId,
+    pub players: Vec<EntityId>,
+    #[allow(dead_code)]
+    pub clubs: Vec<EntityId>,
+    /// The player whose transfer is partial.
+    pub partial_player: EntityId,
+}
+
+impl Fixture {
+    pub fn config(&self) -> MinerConfig {
+        MinerConfig {
+            tau: 0.8,
+            tau_rel: 0.5,
+            max_pattern_actions: 4,
+            max_abstraction_height: 1,
+            max_vars_per_type: 2,
+            ..MinerConfig::default()
+        }
+    }
+
+    /// The planted transfer pattern in working form.
+    pub fn pair_working(&self) -> WorkingPattern {
+        let cc = self.universe.lookup_relation("current_club").unwrap();
+        let squad = self.universe.lookup_relation("squad").unwrap();
+        let p = Var::new(self.player_ty, 0);
+        let c = Var::new(self.club_ty, 0);
+        WorkingPattern::from_actions(vec![
+            AbstractAction::new(EditOp::Add, p, cc, c),
+            AbstractAction::new(EditOp::Add, c, squad, p),
+        ])
+    }
+
+    /// A second, single-action pattern (player adds a club link) so swap
+    /// tests have a distinguishable pattern set.
+    #[allow(dead_code)] // each test binary uses its own subset
+    pub fn single_working(&self) -> WorkingPattern {
+        let cc = self.universe.lookup_relation("current_club").unwrap();
+        let p = Var::new(self.player_ty, 0);
+        let c = Var::new(self.club_ty, 0);
+        WorkingPattern::from_actions(vec![AbstractAction::new(EditOp::Add, p, cc, c)])
+    }
+
+    /// Every entity name in the world (serve lookups are by name).
+    #[allow(dead_code)]
+    pub fn all_names(&self) -> Vec<String> {
+        self.players
+            .iter()
+            .chain(self.clubs.iter())
+            .map(|&e| self.universe.entity_name(e).to_string())
+            .collect()
+    }
+}
+
+fn snap(
+    store: &mut RevisionStore,
+    u: &Universe,
+    e: EntityId,
+    time: u64,
+    links: &PageLinks,
+    kind: &str,
+) {
+    let text = render_links(u.entity_name(e), kind, links);
+    store.record(e, time, text);
+}
+
+/// Builds the world described in the module docs.
+pub fn soccer_world() -> Fixture {
+    let mut u = Universe::new("Thing");
+    let root = u.taxonomy().root();
+    let agent = u.taxonomy_mut().add("Agent", root).unwrap();
+    let person = u.taxonomy_mut().add("Person", agent).unwrap();
+    let athlete = u.taxonomy_mut().add("Athlete", person).unwrap();
+    let player_ty = u.taxonomy_mut().add("SoccerPlayer", athlete).unwrap();
+    let org = u.taxonomy_mut().add("Organisation", agent).unwrap();
+    let team = u.taxonomy_mut().add("SportsTeam", org).unwrap();
+    let club_ty = u.taxonomy_mut().add("SoccerClub", team).unwrap();
+
+    u.relation("current_club");
+    u.relation("squad");
+
+    let players: Vec<EntityId> = (0..5)
+        .map(|i| u.add_entity(&format!("Player {i}"), player_ty).unwrap())
+        .collect();
+    let clubs: Vec<EntityId> = (0..4)
+        .map(|i| u.add_entity(&format!("Club {i}"), club_ty).unwrap())
+        .collect();
+
+    let mut store = RevisionStore::new();
+    let window = Window::new(10, 1000);
+
+    let mut player_state: Vec<PageLinks> = (0..5).map(|_| PageLinks::new()).collect();
+    let mut club_state: Vec<PageLinks> = (0..4).map(|_| PageLinks::new()).collect();
+    for (i, &p) in players.iter().enumerate() {
+        snap(&mut store, &u, p, 1, &player_state[i], "football biography");
+    }
+    for (i, &c) in clubs.iter().enumerate() {
+        snap(&mut store, &u, c, 1, &club_state[i], "football club");
+    }
+
+    let mut t = 20;
+    for i in 0..4 {
+        let club_ix = i % 4;
+        let club_name = u.entity_name(clubs[club_ix]).to_owned();
+        let player_name = u.entity_name(players[i]).to_owned();
+        player_state[i].insert("current_club", &club_name);
+        snap(
+            &mut store,
+            &u,
+            players[i],
+            t,
+            &player_state[i],
+            "football biography",
+        );
+        club_state[club_ix].insert("squad", &player_name);
+        snap(
+            &mut store,
+            &u,
+            clubs[club_ix],
+            t + 3,
+            &club_state[club_ix],
+            "football club",
+        );
+        t += 10;
+    }
+
+    // The fifth transfer is partial: only the player page edited.
+    let club_name = u.entity_name(clubs[3]).to_owned();
+    player_state[4].insert("current_club", &club_name);
+    snap(
+        &mut store,
+        &u,
+        players[4],
+        t,
+        &player_state[4],
+        "football biography",
+    );
+
+    Fixture {
+        partial_player: players[4],
+        universe: u,
+        store,
+        window,
+        player_ty,
+        club_ty,
+        players,
+        clubs,
+    }
+}

@@ -1,0 +1,240 @@
+//! Differential tests: the served suggestion path must agree, suggestion
+//! for suggestion and in order, with the batch Algorithm-3 path
+//! (`wiclean_core::assist::suggest_completions`) — including across a
+//! mid-stream hot swap, where every wire response is attributable to
+//! exactly one index epoch and none are dropped.
+
+mod common;
+
+use common::soccer_world;
+use proptest::prelude::*;
+use std::sync::Arc;
+use wiclean_core::assist::suggest_completions;
+use wiclean_core::pattern::WorkingPattern;
+use wiclean_serve::{serve, IndexLimits, PatternIndex, PatternSet, ServeConfig, SuggestClient};
+use wiclean_types::EntityId;
+
+/// The batch answer: rendered suggestion strings, in output order.
+fn batch_answers(
+    fx: &common::Fixture,
+    patterns: &[(WorkingPattern, f64)],
+    entity: EntityId,
+) -> Vec<String> {
+    suggest_completions(
+        &fx.store,
+        &fx.universe,
+        &fx.config(),
+        patterns,
+        fx.player_ty,
+        entity,
+        &fx.window,
+    )
+    .iter()
+    .map(|s| s.display(&fx.universe))
+    .collect()
+}
+
+/// The served answer (in-process index lookup): rendered strings, in
+/// output order.
+fn served_answers(index: &PatternIndex, fx: &common::Fixture, entity: EntityId) -> Vec<String> {
+    index
+        .suggest_by_name(fx.universe.entity_name(entity), None)
+        .iter()
+        .map(|s| s.text.clone())
+        .collect()
+}
+
+fn build_index(fx: &common::Fixture, patterns: &[(WorkingPattern, f64)]) -> PatternIndex {
+    let set = PatternSet::single_window(fx.player_ty, fx.window, patterns);
+    PatternIndex::build(
+        &fx.store,
+        &fx.universe,
+        &fx.config(),
+        &set,
+        IndexLimits::default(),
+    )
+    .expect("fixture set fits default limits")
+}
+
+#[test]
+fn index_matches_batch_for_every_entity() {
+    let fx = soccer_world();
+    let patterns = vec![(fx.pair_working(), 0.8), (fx.single_working(), 0.6)];
+    let index = build_index(&fx, &patterns);
+    for &e in fx.players.iter().chain(fx.clubs.iter()) {
+        assert_eq!(
+            served_answers(&index, &fx, e),
+            batch_answers(&fx, &patterns, e),
+            "entity {}",
+            fx.universe.entity_name(e)
+        );
+    }
+    // The fixture's partial player actually has a suggestion to serve.
+    assert!(!served_answers(&index, &fx, fx.partial_player).is_empty());
+}
+
+#[test]
+fn confidence_ordering_matches_batch_ties_and_all() {
+    let fx = soccer_world();
+    // Reversed confidences flip the ranking; equal confidences exercise
+    // the stable tie-break (batch: pattern order).
+    for confs in [[0.2, 0.9], [0.9, 0.2], [0.5, 0.5]] {
+        let patterns = vec![
+            (fx.pair_working(), confs[0]),
+            (fx.single_working(), confs[1]),
+        ];
+        let index = build_index(&fx, &patterns);
+        for &e in &fx.players {
+            assert_eq!(
+                served_answers(&index, &fx, e),
+                batch_answers(&fx, &patterns, e),
+                "confs {confs:?}, entity {}",
+                fx.universe.entity_name(e)
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any pattern subset with any confidences: served == batch for every
+    /// entity in the world.
+    #[test]
+    fn served_equals_batch(
+        use_pair in any::<bool>(),
+        use_single in any::<bool>(),
+        c1 in 0.0f64..1.0,
+        c2 in 0.0f64..1.0,
+    ) {
+        let fx = soccer_world();
+        let mut patterns: Vec<(WorkingPattern, f64)> = Vec::new();
+        if use_pair {
+            patterns.push((fx.pair_working(), c1));
+        }
+        if use_single {
+            patterns.push((fx.single_working(), c2));
+        }
+        let index = build_index(&fx, &patterns);
+        for &e in fx.players.iter().chain(fx.clubs.iter()) {
+            prop_assert_eq!(
+                served_answers(&index, &fx, e),
+                batch_answers(&fx, &patterns, e)
+            );
+        }
+    }
+}
+
+/// The tentpole guarantee over the wire: a hot swap mid-stream drops
+/// nothing, and every response matches the batch answer for the epoch
+/// that served it.
+#[test]
+fn hot_swap_mid_stream_drops_nothing_and_stays_correct() {
+    let fx = soccer_world();
+    // Two generations of the same pattern, distinguishable by confidence
+    // (the rendered text embeds it).
+    let set_a = vec![(fx.pair_working(), 0.8)];
+    let set_b = vec![(fx.pair_working(), 0.5)];
+    let expect_a = batch_answers(&fx, &set_a, fx.partial_player);
+    let expect_b = batch_answers(&fx, &set_b, fx.partial_player);
+    assert_ne!(expect_a, expect_b, "generations must be distinguishable");
+
+    let index_a = build_index(&fx, &set_a);
+    let universe = Arc::new(fx.universe.clone());
+    let mut handle = serve(ServeConfig::default(), universe, index_a, None).expect("server starts");
+    let addr = handle.addr();
+    let entity = fx.universe.entity_name(fx.partial_player).to_string();
+
+    const TOTAL: usize = 400;
+    const SWAP_AT: usize = TOTAL / 2;
+    let mut client = SuggestClient::connect(addr).expect("client connects");
+    let mut seen_epochs = Vec::with_capacity(TOTAL);
+    for i in 0..TOTAL {
+        if i == SWAP_AT {
+            // Swap between requests on a live connection with more
+            // traffic to come: post-swap requests must see the new
+            // generation, nothing gets dropped.
+            handle.swap_index(build_index(&fx, &set_b));
+        }
+        let v = client.suggest(&entity, None).expect("response arrives");
+        assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(true), "{v:?}");
+        let epoch = v.get("epoch").and_then(|e| e.as_u64()).expect("epoch");
+        let got: Vec<String> = v
+            .get("suggestions")
+            .and_then(|s| s.as_array())
+            .expect("suggestions array")
+            .iter()
+            .map(|s| s.get("text").and_then(|t| t.as_str()).unwrap().to_string())
+            .collect();
+        let expected = match epoch {
+            1 => &expect_a,
+            2 => &expect_b,
+            other => panic!("unexpected epoch {other}"),
+        };
+        assert_eq!(&got, expected, "request {i} (epoch {epoch})");
+        seen_epochs.push(epoch);
+    }
+    // Zero dropped: all TOTAL requests answered. Both generations actually
+    // served, and the epoch sequence is monotone (no flap back to the old
+    // index).
+    assert_eq!(seen_epochs.len(), TOTAL);
+    assert!(seen_epochs.contains(&1) && seen_epochs.contains(&2));
+    assert!(seen_epochs.windows(2).all(|w| w[0] <= w[1]));
+    assert_eq!(
+        handle
+            .stats()
+            .swaps
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    handle.shutdown();
+
+    // Same swap, concurrent clients: every in-flight request completes
+    // with an answer valid for *some* generation.
+    let index_a = build_index(&fx, &set_a);
+    let universe = Arc::new(fx.universe.clone());
+    let mut handle = serve(ServeConfig::default(), universe, index_a, None).expect("server starts");
+    let addr = handle.addr();
+    let answered: Vec<(u64, Vec<String>)> = std::thread::scope(|s| {
+        let clients: Vec<_> = (0..2)
+            .map(|_| {
+                let entity = entity.clone();
+                s.spawn(move || {
+                    let mut client = SuggestClient::connect(addr).expect("connect");
+                    let mut out = Vec::new();
+                    for _ in 0..100 {
+                        let v = client.suggest(&entity, None).expect("response");
+                        assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(true));
+                        let epoch = v.get("epoch").and_then(|e| e.as_u64()).unwrap();
+                        let texts: Vec<String> = v
+                            .get("suggestions")
+                            .and_then(|x| x.as_array())
+                            .unwrap()
+                            .iter()
+                            .map(|x| x.get("text").and_then(|t| t.as_str()).unwrap().to_string())
+                            .collect();
+                        out.push((epoch, texts));
+                    }
+                    out
+                })
+            })
+            .collect();
+        // Swap while the clients hammer away.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        handle.swap_index(build_index(&fx, &set_b));
+        clients
+            .into_iter()
+            .flat_map(|c| c.join().expect("client thread"))
+            .collect()
+    });
+    assert_eq!(answered.len(), 200, "zero dropped responses");
+    for (epoch, texts) in &answered {
+        let expected = match epoch {
+            1 => &expect_a,
+            2 => &expect_b,
+            other => panic!("unexpected epoch {other}"),
+        };
+        assert_eq!(texts, expected);
+    }
+    handle.shutdown();
+}

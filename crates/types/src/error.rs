@@ -1,6 +1,35 @@
-//! Error type for vocabulary registration.
+//! Error types for vocabulary registration and interning.
 
 use std::fmt;
+
+/// Errors raised by WiClean substrate components that long-running callers
+/// (the suggestion server) must handle without aborting the process.
+///
+/// Batch drivers may still use the infallible APIs that panic on these
+/// conditions — a one-shot mining run hitting an exhausted interner has no
+/// useful recovery — but anything resident keeps to the `try_*` paths and
+/// turns these into rejected requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WicleanError {
+    /// An append-only interner reached its id-space limit: the next intern
+    /// would need index `limit`, which is outside `0..limit`.
+    InternerFull {
+        /// The exhausted interner's capacity (number of distinct keys).
+        limit: u32,
+    },
+}
+
+impl fmt::Display for WicleanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InternerFull { limit } => {
+                write!(f, "interner full: capacity of {limit} symbols exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WicleanError {}
 
 /// Errors raised while building the type taxonomy or entity catalog.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +65,14 @@ impl std::error::Error for TypesError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wiclean_error_display() {
+        assert_eq!(
+            WicleanError::InternerFull { limit: 16 }.to_string(),
+            "interner full: capacity of 16 symbols exhausted"
+        );
+    }
 
     #[test]
     fn display_messages() {

@@ -11,6 +11,7 @@
 //! [`crate::Universe`]; `wiclean-core`'s `PatternInterner` builds on the
 //! same substrate for canonical patterns.
 
+use crate::error::WicleanError;
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::borrow::Borrow;
 use std::collections::HashMap;
@@ -20,10 +21,21 @@ use std::hash::Hash;
 ///
 /// The interner never forgets a key; indices are stable for the lifetime of
 /// the interner and allocated in insertion order starting from zero.
+///
+/// Every interner has a capacity `limit` (the full `u32` id space by
+/// default): indices are always in `0..limit`. The fallible
+/// [`KeyInterner::try_intern`]/[`KeyInterner::try_intern_with`] path
+/// reports an exhausted id space as [`WicleanError::InternerFull`]; the
+/// infallible [`KeyInterner::intern`]/[`KeyInterner::intern_with`] path
+/// panics instead, under the documented invariant that batch callers never
+/// approach 2³² distinct symbols (and choose their own limits otherwise).
+/// Long-running components — the suggestion server — must use the `try_*`
+/// path so an oversized vocabulary is a rejected request, not an abort.
 #[derive(Debug, Clone)]
 pub struct KeyInterner<K> {
     keys: Vec<K>,
     index: HashMap<K, u32>,
+    limit: u32,
 }
 
 impl<K> Default for KeyInterner<K> {
@@ -31,6 +43,7 @@ impl<K> Default for KeyInterner<K> {
         Self {
             keys: Vec::new(),
             index: HashMap::new(),
+            limit: u32::MAX,
         }
     }
 }
@@ -41,6 +54,14 @@ impl<K: Clone + Eq + Hash> KeyInterner<K> {
         Self::default()
     }
 
+    /// Creates an empty interner that holds at most `limit` distinct keys.
+    pub fn with_limit(limit: u32) -> Self {
+        Self {
+            limit,
+            ..Self::default()
+        }
+    }
+
     /// Rebuilds an interner from its key list (insertion order preserved).
     pub fn from_keys(keys: Vec<K>) -> Self {
         let index = keys
@@ -48,36 +69,83 @@ impl<K: Clone + Eq + Hash> KeyInterner<K> {
             .enumerate()
             .map(|(i, k)| (k.clone(), i as u32))
             .collect();
-        Self { keys, index }
+        Self {
+            keys,
+            index,
+            limit: u32::MAX,
+        }
     }
 
-    /// Interns a key, returning its dense index. Re-interning an existing
-    /// key returns the original index. `make` builds the owned key only on
-    /// a miss, so the hot path (already interned) never allocates.
-    pub fn intern_with<Q>(&mut self, key: &Q, make: impl FnOnce(&Q) -> K) -> u32
+    /// The capacity limit (distinct keys this interner will hold).
+    pub fn limit(&self) -> u32 {
+        self.limit
+    }
+
+    /// The next index to be allocated, or `InternerFull` when the id space
+    /// is exhausted.
+    fn next_index(&self) -> Result<u32, WicleanError> {
+        match u32::try_from(self.keys.len()) {
+            Ok(ix) if ix < self.limit => Ok(ix),
+            _ => Err(WicleanError::InternerFull { limit: self.limit }),
+        }
+    }
+
+    /// Fallible intern: like [`KeyInterner::intern_with`], but reports an
+    /// exhausted id space instead of panicking.
+    pub fn try_intern_with<Q>(
+        &mut self,
+        key: &Q,
+        make: impl FnOnce(&Q) -> K,
+    ) -> Result<u32, WicleanError>
     where
         K: Borrow<Q>,
         Q: Hash + Eq + ?Sized,
     {
         if let Some(&ix) = self.index.get(key) {
-            return ix;
+            return Ok(ix);
         }
-        let ix = u32::try_from(self.keys.len()).expect("interner overflow");
+        let ix = self.next_index()?;
         let owned = make(key);
         self.keys.push(owned.clone());
         self.index.insert(owned, ix);
-        ix
+        Ok(ix)
+    }
+
+    /// Fallible intern of an owned key.
+    pub fn try_intern(&mut self, key: K) -> Result<u32, WicleanError> {
+        if let Some(&ix) = self.index.get(&key) {
+            return Ok(ix);
+        }
+        let ix = self.next_index()?;
+        self.keys.push(key.clone());
+        self.index.insert(key, ix);
+        Ok(ix)
+    }
+
+    /// Interns a key, returning its dense index. Re-interning an existing
+    /// key returns the original index. `make` builds the owned key only on
+    /// a miss, so the hot path (already interned) never allocates.
+    ///
+    /// # Panics
+    /// Panics when the interner's id space is exhausted — batch callers
+    /// rely on the invariant that their vocabularies stay far below the
+    /// limit; resident callers use [`KeyInterner::try_intern_with`].
+    pub fn intern_with<Q>(&mut self, key: &Q, make: impl FnOnce(&Q) -> K) -> u32
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.try_intern_with(key, make).expect("interner overflow")
     }
 
     /// Interns an owned key directly.
+    ///
+    /// # Panics
+    /// Panics when the interner's id space is exhausted (see
+    /// [`KeyInterner::intern_with`]); resident callers use
+    /// [`KeyInterner::try_intern`].
     pub fn intern(&mut self, key: K) -> u32 {
-        if let Some(&ix) = self.index.get(&key) {
-            return ix;
-        }
-        let ix = u32::try_from(self.keys.len()).expect("interner overflow");
-        self.keys.push(key.clone());
-        self.index.insert(key, ix);
-        ix
+        self.try_intern(key).expect("interner overflow")
     }
 
     /// Looks up the index of a previously interned key.
@@ -152,10 +220,27 @@ impl Interner {
         Self::default()
     }
 
+    /// Creates an empty interner holding at most `limit` distinct strings.
+    pub fn with_limit(limit: u32) -> Self {
+        Self {
+            inner: KeyInterner::with_limit(limit),
+        }
+    }
+
     /// Interns `s`, returning its dense index. Re-interning an existing
     /// string returns the original index.
+    ///
+    /// # Panics
+    /// Panics when the id space is exhausted; resident callers use
+    /// [`Interner::try_intern`].
     pub fn intern(&mut self, s: &str) -> u32 {
         self.inner.intern_with(s, |s| s.into())
+    }
+
+    /// Fallible intern: reports an exhausted id space as
+    /// [`WicleanError::InternerFull`] instead of panicking.
+    pub fn try_intern(&mut self, s: &str) -> Result<u32, WicleanError> {
+        self.inner.try_intern_with(s, |s| s.into())
     }
 
     /// Looks up the index of a previously interned string.
@@ -272,5 +357,40 @@ mod tests {
         let i = KeyInterner::from_keys(vec!["a".to_string(), "b".to_string()]);
         assert_eq!(i.get("b"), Some(1));
         assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn try_intern_reports_full_instead_of_panicking() {
+        use crate::error::WicleanError;
+        let mut i: KeyInterner<u64> = KeyInterner::with_limit(2);
+        assert_eq!(i.try_intern(10), Ok(0));
+        assert_eq!(i.try_intern(20), Ok(1));
+        // Existing keys still resolve after the id space fills.
+        assert_eq!(i.try_intern(10), Ok(0));
+        assert_eq!(
+            i.try_intern(30),
+            Err(WicleanError::InternerFull { limit: 2 })
+        );
+        // The failed intern must not have corrupted the table.
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(1), &20);
+        assert_eq!(i.limit(), 2);
+    }
+
+    #[test]
+    fn string_interner_try_path() {
+        let mut i = Interner::with_limit(1);
+        assert_eq!(i.try_intern("only"), Ok(0));
+        assert_eq!(i.try_intern("only"), Ok(0), "re-intern is not growth");
+        assert!(i.try_intern("next").is_err());
+        assert_eq!(i.resolve(0), "only");
+    }
+
+    #[test]
+    #[should_panic(expected = "interner overflow")]
+    fn infallible_intern_panics_at_limit() {
+        let mut i: KeyInterner<u32> = KeyInterner::with_limit(1);
+        i.intern(1);
+        i.intern(2);
     }
 }

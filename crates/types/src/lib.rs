@@ -29,7 +29,7 @@ pub mod time;
 pub mod universe;
 
 pub use catalog::EntityCatalog;
-pub use error::TypesError;
+pub use error::{TypesError, WicleanError};
 pub use ids::{EntityId, RelId, TypeId};
 pub use intern::{Interner, KeyInterner};
 pub use sym::{Sym, SymTable};

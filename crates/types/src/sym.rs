@@ -11,6 +11,7 @@
 //! tables are page-local (one per extracted entity), not global, so there
 //! is deliberately no `Default`-shared registry to mix indices across.
 
+use crate::error::WicleanError;
 use crate::intern::Interner;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -64,10 +65,27 @@ impl SymTable {
         Self::default()
     }
 
+    /// Creates an empty table holding at most `limit` distinct strings.
+    pub fn with_limit(limit: u32) -> Self {
+        Self {
+            inner: Interner::with_limit(limit),
+        }
+    }
+
     /// Interns `s`, returning its symbol. Re-interning returns the original
     /// symbol without allocating.
+    ///
+    /// # Panics
+    /// Panics when the table's id space is exhausted; resident callers use
+    /// [`SymTable::try_intern`].
     pub fn intern(&mut self, s: &str) -> Sym {
         Sym(self.inner.intern(s))
+    }
+
+    /// Fallible intern: reports an exhausted id space as
+    /// [`WicleanError::InternerFull`] instead of panicking.
+    pub fn try_intern(&mut self, s: &str) -> Result<Sym, WicleanError> {
+        self.inner.try_intern(s).map(Sym)
     }
 
     /// Looks up a previously interned string.
@@ -131,6 +149,18 @@ mod tests {
     #[test]
     fn debug_is_compact() {
         assert_eq!(format!("{:?}", Sym::from_u32(3)), "s3");
+    }
+
+    #[test]
+    fn try_intern_respects_limit() {
+        let mut t = SymTable::with_limit(1);
+        let a = t.try_intern("a").unwrap();
+        assert_eq!(t.try_intern("a"), Ok(a));
+        assert_eq!(
+            t.try_intern("b"),
+            Err(WicleanError::InternerFull { limit: 1 })
+        );
+        assert_eq!(t.resolve(a), "a");
     }
 
     #[test]

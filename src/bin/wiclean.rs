@@ -18,6 +18,13 @@
 //! from the durable store (recovering it if the ingesting process
 //! crashed), and any records lost to torn or corrupt WAL tails surface in
 //! the degraded-coverage section of the report.
+//!
+//! `serve` is the online half (see `wiclean-serve`): it mines once, builds
+//! the read-optimized suggestion index, and answers editor requests over
+//! newline-delimited JSON on a TCP port until a wire `shutdown` — with the
+//! admin `reload` op re-mining and hot-swapping a fresh index under live
+//! traffic. `suggest` is the one-shot form of the same query for scripts
+//! and smoke tests.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -30,6 +37,7 @@ use wiclean::revstore::{
     DurabilityPolicy, DurableStore, FaultPlan, FaultyStore, RealFs, ResilientFetcher, RetryPolicy,
     SyncPolicy,
 };
+use wiclean::serve::{IndexLimits, PatternIndex, PatternSet, ReloadFn, ServeConfig};
 use wiclean::synth::{generate, scenarios, Corpus, SynthConfig};
 
 /// Distinct exit code for "the crawl circuit breaker opened": results were
@@ -55,6 +63,8 @@ fn main() -> ExitCode {
         "ingest" => cmd_ingest(&flags).map(|()| ExitCode::SUCCESS),
         "mine" => cmd_mine(&flags),
         "detect" => cmd_detect(&flags),
+        "serve" => cmd_serve(&flags).map(|()| ExitCode::SUCCESS),
+        "suggest" => cmd_suggest(&flags).map(|()| ExitCode::SUCCESS),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -79,6 +89,8 @@ USAGE:
   wiclean ingest   --corpus FILE --store DIR [DURABILITY FLAGS]
   wiclean mine     --corpus FILE [--durability DIR] [--threads N] [--extract MODE] [--out FILE] [FAULT FLAGS]
   wiclean detect   --corpus FILE [--durability DIR] [--threads N] [--extract MODE] [--top K] [FAULT FLAGS]
+  wiclean serve    --corpus FILE [--addr HOST:PORT] [--max-conns N] [--threads N] [SERVE FLAGS]
+  wiclean suggest  --corpus FILE --entity NAME [--edit add|remove] [--rel NAME] [--threads N]
 
 MODE (extraction pipeline, both produce byte-identical output):
   incremental      prediff-gated interned extraction (default)
@@ -92,6 +104,16 @@ DURABILITY FLAGS (crash-safe revision store; see also --durability):
   --durability DIR read revisions from the durable store at DIR instead of
                    the corpus, recovering after a crash; records lost to
                    torn/corrupt WAL tails are reported as degraded coverage
+
+SERVE FLAGS (online suggestion server; see DESIGN.md §7):
+  --addr HOST:PORT bind address (default: 127.0.0.1:9178; port 0 = OS pick)
+  --max-conns N    concurrent connection cap (default: 64); one handler
+                   thread per live connection, further accepts wait
+  --max-patterns N reject pattern sets with more than N canonical patterns
+  --max-entities N reject indexes involving more than N distinct entities
+                   (both default to the full u32 id space; exceeding a
+                   limit rejects the load, it never kills the server)
+  --debug-ops on   enable the `panic` wire op (panic-proofing harness)
 
 FAULT FLAGS (crawl-robustness testing):
   --fault-rate R   inject transient fetch faults with probability R (0.0–1.0)
@@ -463,4 +485,103 @@ fn cmd_detect(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
         return Ok(ExitCode::from(EXIT_BREAKER_TRIPPED));
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Index-capacity limits from the serve flags.
+fn index_limits(flags: &HashMap<String, String>) -> Result<IndexLimits, String> {
+    Ok(IndexLimits {
+        max_patterns: num_flag(flags, "max-patterns", u32::MAX)?,
+        max_entities: num_flag(flags, "max-entities", u32::MAX)?,
+    })
+}
+
+/// Mines the corpus and builds the serving index from every discovered
+/// pattern (shared by `serve`, its reload path, and `suggest`).
+fn mine_and_index(
+    corpus: &Corpus,
+    wc: &wiclean::core::config::WcConfig,
+    limits: IndexLimits,
+) -> Result<PatternIndex, String> {
+    let result =
+        find_windows_and_patterns(&corpus.store, &corpus.universe, corpus.seed_type_id(), wc);
+    let set = PatternSet::from_wc_result(&result);
+    let index = PatternIndex::build(&corpus.store, &corpus.universe, &wc.miner, &set, limits)
+        .map_err(|e| e.to_string())?;
+    let s = index.stats();
+    eprintln!(
+        "  index: {} patterns → {} suggestions over {} entities ({:.0} ms build, {} complete realizations seen)",
+        s.patterns, s.suggestions, s.entities, s.build_ms, s.complete_realizations
+    );
+    Ok(index)
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(flags)?;
+    let mut wc = default_wc_config(threads(flags)?);
+    apply_extract_mode(&mut wc, flags)?;
+    let limits = index_limits(flags)?;
+    let config = ServeConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:9178".to_string()),
+        max_connections: num_flag(flags, "max-conns", 64)?,
+        enable_debug_ops: matches!(flags.get("debug-ops").map(String::as_str), Some("on")),
+    };
+    eprintln!("mining `{}` for the serving pattern set…", corpus.seed_type);
+    let index = mine_and_index(&corpus, &wc, limits)?;
+    let universe = std::sync::Arc::new(corpus.universe.clone());
+    // The admin `reload` op re-mines: the original corpus, or (with a
+    // `spec`) a newer corpus file sharing the same vocabulary — relation
+    // names in requests still resolve against the serving universe.
+    let reload: ReloadFn = Box::new(move |spec| match spec {
+        None => mine_and_index(&corpus, &wc, limits),
+        Some(path) => {
+            let fresh = Corpus::load(path).map_err(|e| e.to_string())?;
+            mine_and_index(&fresh, &wc, limits)
+        }
+    });
+    let mut handle = wiclean::serve::serve(config, universe, index, Some(reload))
+        .map_err(|e| format!("cannot bind: {e}"))?;
+    println!("listening on {}", handle.addr());
+    let example = r#"{"op":"suggest","entity":"Player 4"}"#;
+    eprintln!("  one request per line, e.g.: {example}");
+    handle.wait();
+    eprintln!("server stopped");
+    Ok(())
+}
+
+fn cmd_suggest(flags: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(flags)?;
+    let entity = flag(flags, "entity")?.to_string();
+    let mut wc = default_wc_config(threads(flags)?);
+    apply_extract_mode(&mut wc, flags)?;
+    let sig = match (flags.get("edit"), flags.get("rel")) {
+        (None, None) => None,
+        (Some(edit), Some(rel)) => {
+            let op = match edit.as_str() {
+                "add" | "+" => wiclean::wikitext::EditOp::Add,
+                "remove" | "-" => wiclean::wikitext::EditOp::Remove,
+                other => return Err(format!("flag --edit: `{other}` is not add|remove")),
+            };
+            let rel = corpus
+                .universe
+                .lookup_relation(rel)
+                .ok_or_else(|| format!("flag --rel: unknown relation `{rel}`"))?;
+            Some(wiclean::serve::ActionSig { op, rel })
+        }
+        _ => return Err("flags --edit and --rel must be given together".to_string()),
+    };
+    eprintln!("mining `{}`…", corpus.seed_type);
+    let index = mine_and_index(&corpus, &wc, index_limits(flags)?)?;
+    let suggestions = index.suggest_by_name(&entity, sig);
+    if suggestions.is_empty() {
+        println!("no suggestions for `{entity}`");
+        return Ok(());
+    }
+    for s in suggestions {
+        println!("⚠ {}", s.text);
+        println!("  pattern: {}", s.pattern_text);
+    }
+    Ok(())
 }

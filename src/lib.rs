@@ -33,6 +33,7 @@ pub use wiclean_eval as eval;
 pub use wiclean_graph as graph;
 pub use wiclean_rel as rel;
 pub use wiclean_revstore as revstore;
+pub use wiclean_serve as serve;
 pub use wiclean_synth as synth;
 pub use wiclean_types as types;
 pub use wiclean_wikitext as wikitext;

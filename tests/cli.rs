@@ -93,6 +93,113 @@ fn generate_stats_mine_detect_round_trip() {
 }
 
 #[test]
+#[cfg_attr(debug_assertions, ignore = "full pipeline — run with --release")]
+fn serve_and_suggest_round_trip() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let dir = std::env::temp_dir().join("wiclean_cli_serve_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.json");
+    let out = wiclean()
+        .args([
+            "generate",
+            "--domain",
+            "soccer",
+            "--seeds",
+            "40",
+            "--rng",
+            "11",
+            "--out",
+            corpus.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // One-shot mode: an arbitrary entity answers cleanly (suggestions or
+    // the explicit "no suggestions" line — never an error).
+    let out = wiclean()
+        .args([
+            "suggest",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--entity",
+            "No Such Page",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no suggestions"));
+
+    // Server mode: bind an OS-picked port, speak the wire protocol, hot
+    // reload, shut down over the wire, and exit cleanly.
+    let mut child = wiclean()
+        .args([
+            "serve",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+        .to_string();
+
+    let stream = std::net::TcpStream::connect(&addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut send = |req: &str| -> serde_json::Value {
+        writer.write_all(req.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        serde_json::from_str(&resp).unwrap()
+    };
+
+    let v = send(r#"{"op":"ping"}"#);
+    assert_eq!(v.get("ack").and_then(|a| a.as_str()), Some("pong"));
+    let v = send(r#"{"op":"suggest","entity":"No Such Page"}"#);
+    assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(true));
+    let v = send(r#"{"op":"reload"}"#);
+    assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(true), "{v:?}");
+    assert_eq!(v.get("epoch").and_then(|e| e.as_u64()), Some(2));
+    let v = send(r#"{"op":"stats"}"#);
+    assert_eq!(
+        v.get("serve")
+            .and_then(|s| s.get("swaps"))
+            .and_then(|s| s.as_u64()),
+        Some(1)
+    );
+    let v = send(r#"{"op":"shutdown"}"#);
+    assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(true));
+
+    let status = child.wait().unwrap();
+    assert!(status.success(), "server exits cleanly after wire shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_invocations_fail_cleanly() {
     let out = wiclean().output().unwrap();
     assert!(!out.status.success(), "no command must fail");
