@@ -1,0 +1,113 @@
+//! Streaming figure (repo extension) — incremental delta-join refreshes
+//! vs re-mining the window from scratch at the same cadence.
+//!
+//! Each cell streams a synthetic soccer corpus chronologically through the
+//! `StreamMiner` and replays the identical feed against a baseline that
+//! runs a full `WindowMiner::mine_window` at every refresh point (sharing
+//! the stream's action-extraction cache, so the gap measured is join and
+//! mining work, not re-parsing). The cell itself asserts the correctness
+//! anchor — streamed sealed windows equal the batch answer pattern for
+//! pattern, support for support, row for row — before reporting a number.
+//!
+//! The full run sweeps seed-set size at the default refresh cadence and
+//! cadence at the largest size, all in the "feed caught up to now" hot
+//! regime where every refresh lands in the dense planted transfer window.
+//! Headline: best speedup across cells, asserted ≥ 3× in full mode.
+//! Results land in `BENCH_stream.json` at the repo root. Set
+//! `WICLEAN_BENCH_FAST=1` for a CI-sized smoke run (no JSON write).
+
+use serde::Serialize;
+use wiclean_eval::streaming::{
+    render_stream_cells, stream_vs_full_remine, stream_vs_full_remine_hot, StreamCell,
+};
+
+#[derive(Serialize)]
+struct Report {
+    host_cores: usize,
+    fast_mode: bool,
+    /// RNG seed every cell's synthetic world is generated from.
+    rng_seed: u64,
+    cells: Vec<StreamCell>,
+    /// Headline: best streamed-vs-remine speedup across cells.
+    speedup_max: f64,
+    /// Worst speedup across cells (the stream must never lose).
+    speedup_min: f64,
+}
+
+fn main() {
+    let fast_mode = std::env::var_os("WICLEAN_BENCH_FAST").is_some();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let rng_seed = 0x57AEA7u64;
+
+    // (seeds, refresh cadence, hot regime). The fast cell covers the whole
+    // two-year feed so the smoke also exercises quiet-window sealing.
+    let cells_spec: Vec<(usize, u64, bool)> = if fast_mode {
+        vec![(60, 16, false)]
+    } else {
+        vec![
+            (150, 8, true),
+            (300, 8, true),
+            (500, 8, true),
+            (500, 4, true),
+            (500, 16, true),
+        ]
+    };
+
+    let mut cells = Vec::new();
+    for &(seeds, refresh, hot) in &cells_spec {
+        // Every cell asserts streamed == batch on all sealed windows.
+        let cell = if hot {
+            stream_vs_full_remine_hot(seeds, rng_seed, refresh)
+        } else {
+            stream_vs_full_remine(seeds, rng_seed, refresh)
+        };
+        assert!(cell.windows_sealed > 0, "cell sealed no windows: {cell:?}");
+        assert_eq!(
+            cell.late_revisions, 0,
+            "chronological feed must have no late arrivals"
+        );
+        assert!(
+            cell.delta_rows_joined > 0,
+            "delta joins never fired — the stream degenerated to full mining"
+        );
+        cells.push(cell);
+    }
+    println!("{}", render_stream_cells(&cells));
+
+    let speedup_max = cells.iter().map(|c| c.speedup).fold(0.0, f64::max);
+    let speedup_min = cells
+        .iter()
+        .map(|c| c.speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!("best speedup: {speedup_max:.1}x; worst: {speedup_min:.1}x");
+    if !fast_mode {
+        // The streaming acceptance bar. Fast mode's single small cell is
+        // too short for a stable ratio, so the smoke only checks the
+        // equivalence anchor and counters above.
+        assert!(
+            speedup_max >= 3.0,
+            "incremental refresh must beat re-mining from scratch by >= 3x"
+        );
+        assert!(
+            speedup_min >= 1.0,
+            "the stream must never lose to the from-scratch baseline"
+        );
+    }
+
+    let report = Report {
+        host_cores,
+        fast_mode,
+        rng_seed,
+        cells,
+        speedup_max,
+        speedup_min,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream.json");
+    if fast_mode {
+        println!("fast mode: skipping write of {path}");
+    } else {
+        std::fs::write(path, json + "\n").expect("write BENCH_stream.json");
+        println!("wrote {path}");
+    }
+}

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use wiclean_revstore::DurabilityPolicy;
-use wiclean_types::{Timestamp, WEEK, YEAR};
+use wiclean_types::{Timestamp, HOUR, WEEK, YEAR};
 
 /// Which join implementation computes pattern realizations.
 ///
@@ -123,6 +123,67 @@ impl Default for RefinePolicy {
     }
 }
 
+/// Watermark/seal knobs of the streaming miner
+/// ([`crate::stream::StreamMiner`]).
+///
+/// A window seals once the watermark — the maximum event time seen so far
+/// minus `grace` — passes the window's end. The grace period is how long
+/// the stream tolerates out-of-order arrival before declaring a revision
+/// late; revisions landing in an already-sealed window are counted in
+/// [`crate::DegradedCoverage::late_revisions`], never silently dropped.
+///
+/// `Deserialize` is hand-written (below) so invalid values are rejected at
+/// config-load time with a clear message instead of misbehaving (a zero
+/// grace would seal a window the instant its last second ticks past, making
+/// *every* out-of-order arrival late).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct StreamPolicy {
+    /// Watermark grace period in seconds (≥ 1): how far behind the maximum
+    /// observed event time the stream still accepts arrivals.
+    pub grace: u64,
+    /// Revisions ingested into a dirty window between incremental delta
+    /// refreshes (≥ 1). `1` refreshes after every revision; larger values
+    /// batch deltas and amortize join work.
+    pub refresh_revisions: u64,
+}
+
+impl Default for StreamPolicy {
+    fn default() -> Self {
+        Self {
+            grace: HOUR,
+            refresh_revisions: 64,
+        }
+    }
+}
+
+impl StreamPolicy {
+    /// Validates the knob values.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.grace == 0 {
+            return Err("stream policy: grace must be at least 1 second".to_owned());
+        }
+        if self.refresh_revisions == 0 {
+            return Err("stream policy: refresh_revisions must be at least 1".to_owned());
+        }
+        Ok(())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for StreamPolicy {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::{content_into_fields, take_field};
+        const NAME: &str = "StreamPolicy";
+        let content = serde::Deserializer::deserialize_content(deserializer)?;
+        let mut fields = content_into_fields::<D::Error>(content, NAME)?;
+        let policy = Self {
+            grace: take_field(&mut fields, "grace", NAME)?,
+            refresh_revisions: take_field(&mut fields, "refresh_revisions", NAME)?,
+        };
+        policy.validate().map_err(serde::de::Error::custom)?;
+        Ok(policy)
+    }
+}
+
 /// Full configuration of Algorithm 2 (window and threshold search).
 ///
 /// `Deserialize` is hand-written (below) so that configs serialized before
@@ -173,6 +234,10 @@ pub struct WcConfig {
     /// ingests into or recovers from a durable store directory; the values
     /// are validated at deserialize time by [`DurabilityPolicy`].
     pub durability: DurabilityPolicy,
+    /// Watermark/seal knobs of the streaming miner. Only consulted by
+    /// `wiclean stream` and [`crate::stream::StreamMiner`]; values are
+    /// validated at deserialize time by [`StreamPolicy`].
+    pub stream: StreamPolicy,
 }
 
 impl<'de> serde::Deserialize<'de> for WcConfig {
@@ -211,6 +276,15 @@ impl<'de> serde::Deserialize<'de> for WcConfig {
                 NAME,
             )?
             .unwrap_or_default(),
+            // Absent in configs written before the streaming miner existed;
+            // those get the defaults. Present values go through
+            // `StreamPolicy`'s validating deserializer.
+            stream: take_field_or_default::<Option<StreamPolicy>, D::Error>(
+                &mut fields,
+                "stream",
+                NAME,
+            )?
+            .unwrap_or_default(),
         })
     }
 }
@@ -232,6 +306,7 @@ impl Default for WcConfig {
             use_action_cache: true,
             use_incremental_extract: true,
             durability: DurabilityPolicy::default(),
+            stream: StreamPolicy::default(),
         }
     }
 }
@@ -307,5 +382,34 @@ mod tests {
         assert!(err.to_string().contains("at least 1"), "{err}");
         let bad_sync = full.replace("{\"EveryN\":64}", "{\"EveryN\":0}");
         assert!(serde_json::from_str::<WcConfig>(&bad_sync).is_err());
+    }
+
+    #[test]
+    fn stream_policy_defaults_for_legacy_configs_and_validates() {
+        use wiclean_types::HOUR;
+        let full = serde_json::to_string(&WcConfig::default()).unwrap();
+
+        // Pre-streaming configs (no `stream` key) load with defaults.
+        let start = full.find(",\"stream\"").unwrap();
+        let legacy_json = format!("{}}}", &full[..start]);
+        let legacy: WcConfig = serde_json::from_str(&legacy_json).unwrap();
+        assert_eq!(legacy.stream, StreamPolicy::default());
+        assert_eq!(legacy.stream.grace, HOUR);
+        assert_eq!(legacy.stream.refresh_revisions, 64);
+
+        // Zero grace would make every out-of-order arrival late: rejected
+        // at load time with a pointed message.
+        let bad = full.replace(&format!("\"grace\":{HOUR}"), "\"grace\":0");
+        let err = serde_json::from_str::<WcConfig>(&bad).unwrap_err();
+        assert!(err.to_string().contains("at least 1 second"), "{err}");
+
+        // Zero refresh cadence means "never refresh": rejected too.
+        let bad = full.replace("\"refresh_revisions\":64", "\"refresh_revisions\":0");
+        let err = serde_json::from_str::<WcConfig>(&bad).unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+
+        // Negative values never reach `validate`: u64 parsing rejects them.
+        let bad = full.replace(&format!("\"grace\":{HOUR}"), "\"grace\":-5");
+        assert!(serde_json::from_str::<WcConfig>(&bad).is_err());
     }
 }

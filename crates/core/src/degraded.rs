@@ -47,6 +47,12 @@ pub struct DegradedCoverage {
     /// recovery (the store fell back to an older epoch).
     #[serde(default)]
     pub checkpoints_rejected: u64,
+    /// Revisions that arrived on a stream after their window had already
+    /// sealed (event time at or below the watermark). They are counted —
+    /// never silently dropped — because each one is coverage the sealed
+    /// result can no longer reflect.
+    #[serde(default)]
+    pub late_revisions: u64,
 }
 
 impl DegradedCoverage {
@@ -58,6 +64,7 @@ impl DegradedCoverage {
             && self.wal_records_dropped == 0
             && self.wal_bytes_dropped == 0
             && self.checkpoints_rejected == 0
+            && self.late_revisions == 0
     }
 
     /// Records a skipped entity.
@@ -98,6 +105,7 @@ impl DegradedCoverage {
         self.wal_records_dropped += other.wal_records_dropped;
         self.wal_bytes_dropped += other.wal_bytes_dropped;
         self.checkpoints_rejected += other.checkpoints_rejected;
+        self.late_revisions += other.late_revisions;
         self.normalize();
     }
 

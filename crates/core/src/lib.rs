@@ -46,6 +46,7 @@ pub mod recover;
 pub mod report;
 pub mod signal;
 pub mod specialize;
+pub mod stream;
 pub mod var;
 pub mod windows;
 
@@ -54,7 +55,7 @@ pub(crate) mod testutil;
 
 pub use abstract_action::{abstractions_of, AbstractAction};
 pub use cache::{MiningCaches, RealizationCache};
-pub use config::{ExpansionMode, JoinImpl, MinerConfig, RefinePolicy, WcConfig};
+pub use config::{ExpansionMode, JoinImpl, MinerConfig, RefinePolicy, StreamPolicy, WcConfig};
 pub use degraded::{DegradedCoverage, LostEntity};
 pub use interner::{PatternId, PatternInterner};
 pub use miner::{FoundPattern, MineStats, WindowMiner, WindowResult};
@@ -70,5 +71,6 @@ pub use recover::{open_recovered, RecoveredStore};
 pub use report::{DegradedReport, WcReport};
 pub use signal::{edit_volume_signal, significant_windows, WindowSignal};
 pub use specialize::{specialize_pattern, Specialization};
+pub use stream::{wc_result_from_sealed, StreamConfig, StreamMiner};
 pub use var::Var;
 pub use windows::{find_windows_and_patterns, WcResult};

@@ -124,6 +124,23 @@ pub struct MineStats {
     /// valid one.
     #[serde(default)]
     pub checkpoints_rejected: u64,
+    /// Cumulative seal-to-result lag of streamed windows: microseconds from
+    /// the watermark passing a window's bound to its mined result being
+    /// ready (0 for batch runs).
+    #[serde(default)]
+    pub stream_lag_us: u64,
+    /// Windows sealed by the streaming miner (0 for batch runs).
+    #[serde(default)]
+    pub windows_sealed: u64,
+    /// Row-index pairs emitted by delta-join stages — pairs touching at
+    /// least one appended row, the work a full re-join would have spent on
+    /// the whole window (0 for batch runs).
+    #[serde(default)]
+    pub delta_rows_joined: u64,
+    /// Streamed window refreshes that fell back to a full re-mine because
+    /// a delta was not append-only (action reduction retracted rows).
+    #[serde(default)]
+    pub full_remine_fallbacks: u64,
 }
 
 impl MineStats {
@@ -154,6 +171,10 @@ impl MineStats {
         self.wal_records_dropped += other.wal_records_dropped;
         self.wal_bytes_dropped += other.wal_bytes_dropped;
         self.checkpoints_rejected += other.checkpoints_rejected;
+        self.stream_lag_us += other.stream_lag_us;
+        self.windows_sealed += other.windows_sealed;
+        self.delta_rows_joined += other.delta_rows_joined;
+        self.full_remine_fallbacks += other.full_remine_fallbacks;
     }
 
     /// Share of executed candidate joins whose output table was never
@@ -269,23 +290,25 @@ pub struct WindowMiner<'a> {
 }
 
 /// Internal expansion node: a frequent pattern under construction.
-struct Node {
-    id: PatternId,
-    wp: WorkingPattern,
-    canonical: Pattern,
-    table: Table,
-    support: usize,
-    freq: f64,
+/// `pub(crate)` so the streaming miner can drive the same expansion
+/// skeleton with memoized candidate evaluation.
+pub(crate) struct Node {
+    pub(crate) id: PatternId,
+    pub(crate) wp: WorkingPattern,
+    pub(crate) canonical: Pattern,
+    pub(crate) table: Table,
+    pub(crate) support: usize,
+    pub(crate) freq: f64,
 }
 
 /// One candidate extension of a frontier node: glue `action` onto
 /// `nodes[parent]`, with the action's target either fresh or glued.
 /// Candidates are collected serially (deterministic order), evaluated in
 /// parallel, and merged deterministically.
-struct CandidateSpec {
-    parent: usize,
-    action: AbstractAction,
-    target_is_new: bool,
+pub(crate) struct CandidateSpec {
+    pub(crate) parent: usize,
+    pub(crate) action: AbstractAction,
+    pub(crate) target_is_new: bool,
 }
 
 /// A fully evaluated candidate (pair-stage join or cache hit already done,
@@ -321,7 +344,7 @@ enum EvalOutcome {
 
 /// One entity's extraction: the preprocessing outcome plus how the action
 /// cache answered (None when no cache is attached).
-type Extracted = Result<(Arc<ExtractOutcome>, Option<CacheLookup>), FetchError>;
+pub(crate) type Extracted = Result<(Arc<ExtractOutcome>, Option<CacheLookup>), FetchError>;
 
 /// Mutable mining state for one window.
 struct MineState {
@@ -400,7 +423,7 @@ impl<'a> WindowMiner<'a> {
     /// disables intra-window parallelism, `0` (auto) uses the attached pool
     /// when there is one, and `n > 1` spins up a dedicated pool when none
     /// is attached.
-    fn intra_pool(&self) -> Option<Arc<MiningPool>> {
+    pub(crate) fn intra_pool(&self) -> Option<Arc<MiningPool>> {
         match self.config.intra_window_threads {
             1 => None,
             0 => self.pool.clone(),
@@ -416,7 +439,7 @@ impl<'a> WindowMiner<'a> {
     /// attached pool when there is one, and `n > 1` spins up a dedicated
     /// pool when none is attached. Small joins fall back to the serial path
     /// inside the join regardless.
-    fn join_pool(&self) -> Option<Arc<MiningPool>> {
+    pub(crate) fn join_pool(&self) -> Option<Arc<MiningPool>> {
         match self.config.join_threads {
             1 => None,
             0 => self.pool.clone(),
@@ -430,6 +453,11 @@ impl<'a> WindowMiner<'a> {
     /// The configuration in use.
     pub fn config(&self) -> &MinerConfig {
         &self.config
+    }
+
+    /// The pattern interner (shared across miners driving one cache).
+    pub(crate) fn interner(&self) -> &Arc<PatternInterner> {
+        &self.interner
     }
 
     /// Mines the most specific frequent (and relative frequent) patterns
@@ -482,7 +510,7 @@ impl<'a> WindowMiner<'a> {
     /// preprocessing cache when attached (errors take the same degraded
     /// path either way and are never cached). Pure per entity, so a batch
     /// of extractions can run in any order on the pool.
-    fn extract_entity(&self, e: EntityId, window: &Window) -> Extracted {
+    pub(crate) fn extract_entity(&self, e: EntityId, window: &Window) -> Extracted {
         let mode = if self.config.full_reparse_extract {
             ExtractMode::FullReparse
         } else {
@@ -510,7 +538,6 @@ impl<'a> WindowMiner<'a> {
         pool: Option<&MiningPool>,
     ) {
         let t0 = Instant::now();
-        let tax = self.universe.taxonomy();
         let todo: Vec<EntityId> = entities
             .into_iter()
             .filter(|e| state.fetched_entities.insert(*e))
@@ -554,32 +581,43 @@ impl<'a> WindowMiner<'a> {
             let reduced = reduce_actions(&outcome.actions);
             state.stats.reduced_actions += reduced.len();
             for a in &reduced {
-                let base = shape_of(a, self.universe);
-                let pair = (a.source, a.target);
-                // Lift to every admissible abstraction shape.
-                for (i, s) in tax.ancestors(base.1).enumerate() {
-                    if i as u32 > self.config.max_abstraction_height {
-                        break;
-                    }
-                    for (j, t) in tax.ancestors(base.3).enumerate() {
-                        if j as u32 > self.config.max_abstraction_height {
-                            break;
-                        }
-                        state
-                            .rows
-                            .entry((base.0, s, base.2, t))
-                            .or_default()
-                            .push(pair);
-                    }
-                }
+                self.lift_action(a, |shape, pair| {
+                    state.rows.entry(shape).or_default().push(pair);
+                });
             }
         }
         state.stats.preprocess += t0.elapsed();
     }
 
+    /// Lifts one reduced action to every admissible abstraction shape
+    /// (bounded by [`MinerConfig::max_abstraction_height`]), invoking
+    /// `sink` per (shape, concrete pair) — the per-action inner loop of
+    /// entity loading, shared with the streaming miner's per-entity
+    /// contribution store.
+    pub(crate) fn lift_action(
+        &self,
+        a: &wiclean_revstore::Action,
+        mut sink: impl FnMut(Shape, (EntityId, EntityId)),
+    ) {
+        let tax = self.universe.taxonomy();
+        let base = shape_of(a, self.universe);
+        let pair = (a.source, a.target);
+        for (i, s) in tax.ancestors(base.1).enumerate() {
+            if i as u32 > self.config.max_abstraction_height {
+                break;
+            }
+            for (j, t) in tax.ancestors(base.3).enumerate() {
+                if j as u32 > self.config.max_abstraction_height {
+                    break;
+                }
+                sink((base.0, s, base.2, t), pair);
+            }
+        }
+    }
+
     /// Whether a singleton with source type `s` is eligible w.r.t. `seed`:
     /// the types are comparable, so seed entities can realize the source.
-    fn seed_comparable(&self, s: TypeId, seed: TypeId) -> bool {
+    pub(crate) fn seed_comparable(&self, s: TypeId, seed: TypeId) -> bool {
         let tax = self.universe.taxonomy();
         tax.is_subtype(seed, s) || tax.is_subtype(s, seed)
     }
@@ -675,7 +713,7 @@ impl<'a> WindowMiner<'a> {
                 if !p.most_specific {
                     continue;
                 }
-                let (rels, rel_stats) = self.mine_relative(&state, seed, p, pool, jpool);
+                let (rels, rel_stats) = self.mine_relative(&state.rows, seed, p, pool, jpool);
                 state.stats.absorb(&rel_stats);
                 p.rel_patterns = rels;
             }
@@ -814,7 +852,7 @@ impl<'a> WindowMiner<'a> {
     /// frontier nodes, in deterministic order (node index, then sorted
     /// shape, then source variable, fresh target before glued targets) —
     /// the order the sequential engine would test them in.
-    fn collect_specs(
+    pub(crate) fn collect_specs(
         &self,
         shapes: &[Shape],
         nodes: &[Node],
@@ -939,35 +977,7 @@ impl<'a> WindowMiner<'a> {
         let rows = &rows_map[&shape];
         let right = action_realizations(&spec.action, rows, self.universe);
 
-        // Glue spec: source always glued; target glued or new.
-        let left_cols = parent.wp.column_names();
-        let src_col = crate::realization::column_of(&left_cols, spec.action.source);
-        let tgt_glue = if spec.target_is_new {
-            // Inequality against every existing variable of a comparable
-            // type (distinct variables ⇒ distinct entities).
-            let tax = self.universe.taxonomy();
-            let distinct_from: Vec<usize> = parent
-                .wp
-                .vars()
-                .iter()
-                .enumerate()
-                .filter(|(_, v)| {
-                    tax.is_subtype(v.ty, spec.action.target.ty)
-                        || tax.is_subtype(spec.action.target.ty, v.ty)
-                })
-                .map(|(i, _)| i)
-                .collect();
-            ColumnGlue::New {
-                name: spec.action.target.column_name(),
-                distinct_from,
-            }
-        } else {
-            ColumnGlue::Glued(crate::realization::column_of(
-                &left_cols,
-                spec.action.target,
-            ))
-        };
-        let glue = vec![ColumnGlue::Glued(src_col), tgt_glue];
+        let glue = candidate_glue(self.universe, &parent.wp, &spec.action, spec.target_is_new);
 
         // Pair stage: matching (left, right) row indices, no output rows
         // built yet. All three strategies emit the same canonical pair
@@ -1092,15 +1102,14 @@ impl<'a> WindowMiner<'a> {
     /// expansion restarts from the parent pattern itself, accepting
     /// extensions whose *relative* frequency meets τ_rel but whose absolute
     /// frequency fell below τ. Returns (patterns, work counters).
-    fn mine_relative(
+    pub(crate) fn mine_relative(
         &self,
-        state: &MineState,
+        rows: &ShapeRows,
         seed: TypeId,
         parent: &FoundPattern,
         pool: Option<&MiningPool>,
         jpool: Option<&MiningPool>,
     ) -> (Vec<RelPattern>, MineStats) {
-        let rows = &state.rows;
         let mut stats = MineStats::default();
 
         let pid = self.interner.intern(&parent.pattern);
@@ -1274,6 +1283,42 @@ impl<'a> WindowMiner<'a> {
         degraded.normalize();
         (state.rows, state.stats, degraded)
     }
+}
+
+/// The glue spec of one candidate extension: the action's source glued
+/// onto the parent's matching column, the target either glued onto an
+/// existing column or introduced fresh under `≠` constraints against
+/// every comparable-type variable. Shared by batch candidate evaluation
+/// and the streaming miner's delta absorb so the two can never diverge.
+pub(crate) fn candidate_glue(
+    universe: &Universe,
+    parent_wp: &WorkingPattern,
+    action: &AbstractAction,
+    target_is_new: bool,
+) -> Vec<ColumnGlue> {
+    let left_cols = parent_wp.column_names();
+    let src_col = crate::realization::column_of(&left_cols, action.source);
+    let tgt_glue = if target_is_new {
+        // Inequality against every existing variable of a comparable
+        // type (distinct variables ⇒ distinct entities).
+        let tax = universe.taxonomy();
+        let distinct_from: Vec<usize> = parent_wp
+            .vars()
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| {
+                tax.is_subtype(v.ty, action.target.ty) || tax.is_subtype(action.target.ty, v.ty)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        ColumnGlue::New {
+            name: action.target.column_name(),
+            distinct_from,
+        }
+    } else {
+        ColumnGlue::Glued(crate::realization::column_of(&left_cols, action.target))
+    };
+    vec![ColumnGlue::Glued(src_col), tgt_glue]
 }
 
 impl MineState {

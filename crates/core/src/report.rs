@@ -60,6 +60,9 @@ pub struct DegradedReport {
     /// Checkpoint files the recovery rejected by checksum.
     #[serde(default)]
     pub checkpoints_rejected: u64,
+    /// Revisions that arrived after their stream window sealed.
+    #[serde(default)]
+    pub late_revisions: u64,
 }
 
 impl DegradedReport {
@@ -71,6 +74,7 @@ impl DegradedReport {
             && self.wal_records_dropped == 0
             && self.wal_bytes_dropped == 0
             && self.checkpoints_rejected == 0
+            && self.late_revisions == 0
     }
 }
 
@@ -147,6 +151,7 @@ impl WcReport {
                 wal_records_dropped: result.degraded.wal_records_dropped,
                 wal_bytes_dropped: result.degraded.wal_bytes_dropped,
                 checkpoints_rejected: result.degraded.checkpoints_rejected,
+                late_revisions: result.degraded.late_revisions,
             },
         }
     }

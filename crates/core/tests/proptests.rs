@@ -475,3 +475,252 @@ proptest! {
         prop_assert_eq!(uncached.stats.action_cache_misses, 0);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Streaming differential properties: the incremental streaming miner must
+// seal every window to exactly what batch mining produces over the same
+// revisions — at any arrival order, any refresh cadence, any watermark
+// grace, any batch thread count, and across a WAL-fault crash/replay.
+
+use std::sync::Arc;
+use wiclean_core::config::StreamPolicy;
+use wiclean_core::stream::{StreamConfig, StreamMiner};
+use wiclean_revstore::{
+    DurabilityPolicy, DurableFeed, FailKind, FailOp, FailSpec, FailpointFs, FeedEvent, MemFs,
+    RevisionFeed, SyncPolicy, VecFeed,
+};
+
+/// Every revision of `store` as feed events in chronological order.
+fn feed_events(store: &RevisionStore) -> Vec<FeedEvent> {
+    let mut entities: Vec<_> = store.entities().collect();
+    entities.sort_by_key(|e| e.as_u32());
+    let mut out = Vec::new();
+    for e in entities {
+        let Some(history) = store.peek(e) else {
+            continue;
+        };
+        for r in history.revisions() {
+            out.push(FeedEvent {
+                entity: e,
+                time: r.time,
+                text: r.text.clone(),
+            });
+        }
+    }
+    out.sort_by_key(|e| (e.time, e.entity.as_u32()));
+    out
+}
+
+/// Drains a feed into a vector (preserving its arrival order).
+fn drain(mut feed: VecFeed) -> Vec<FeedEvent> {
+    let mut out = Vec::new();
+    while let Some(e) = feed.next_event() {
+        out.push(e);
+    }
+    out
+}
+
+fn stream_cfg(width: u64, grace: u64, cadence: u64) -> StreamConfig {
+    StreamConfig {
+        width,
+        timeline_start: 10,
+        miner: transfer_config(),
+        policy: StreamPolicy {
+            grace,
+            refresh_revisions: cadence,
+        },
+        use_action_cache: true,
+    }
+}
+
+/// Streams `events` to the end and checks that every sealed window is
+/// equivalent to batch-mining the revisions the stream actually accepted
+/// (its own store — late arrivals are excluded from both sides and must
+/// all be accounted for in the late counter).
+fn assert_stream_matches_batch(
+    u: &Universe,
+    player_ty: TypeId,
+    events: Vec<FeedEvent>,
+    config: StreamConfig,
+    batch_threads: usize,
+) -> Result<StreamStats, TestCaseError> {
+    let total = events.len();
+    let mut sm = StreamMiner::new(u, player_ty, config);
+    let mut feed = VecFeed::new(events);
+    sm.ingest_from(&mut feed);
+    sm.flush();
+    prop_assert!(!sm.sealed().is_empty(), "stream must seal some window");
+    prop_assert_eq!(
+        sm.store().revision_count() as u64 + sm.late_revisions(),
+        total as u64,
+        "every event is either recorded or counted late — never silently dropped"
+    );
+    let mut batch_config = transfer_config();
+    batch_config.intra_window_threads = batch_threads;
+    let miner = WindowMiner::new(sm.store(), u, batch_config);
+    for r in sm.sealed() {
+        let batch = miner.mine_window(player_ty, &r.window);
+        prop_assert_eq!(
+            digest(r),
+            digest(&batch),
+            "sealed window {} diverged from batch",
+            r.window
+        );
+        prop_assert_eq!(r.stats.entities_processed, batch.stats.entities_processed);
+        prop_assert_eq!(r.stats.actions_extracted, batch.stats.actions_extracted);
+        prop_assert_eq!(r.stats.reduced_actions, batch.stats.reduced_actions);
+        prop_assert_eq!(r.degraded.parse_issues, batch.degraded.parse_issues);
+    }
+    Ok(StreamStats {
+        late: sm.late_revisions(),
+        delta_rows: sm.stats().delta_rows_joined,
+        fallbacks: sm.stats().full_remine_fallbacks,
+    })
+}
+
+struct StreamStats {
+    late: u64,
+    delta_rows: u64,
+    fallbacks: u64,
+}
+
+proptest! {
+    // Each case streams and re-mines several windows; keep cases modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sealed streamed windows equal batch mining at any arrival order,
+    /// refresh cadence, window width, watermark grace, and batch thread
+    /// count. With a tight grace, shuffled arrival makes some events late
+    /// (their window sealed before they arrived): they are excluded from
+    /// the store AND counted, never silently dropped.
+    #[test]
+    fn streamed_windows_equal_batch_at_any_arrival_order(
+        shuffle_seed in any::<u64>(),
+        cadence in 1u64..9,
+        width_ix in 0usize..3,
+        grace_ix in 0usize..3,
+        batch_threads in 1usize..5,
+    ) {
+        let (u, store, player_ty, _) = transfer_world();
+        let width = [90u64, 45, 30][width_ix];
+        let grace = [1u64, 5, 200][grace_ix];
+        let stats = assert_stream_matches_batch(
+            &u,
+            player_ty,
+            drain(VecFeed::shuffled(feed_events(&store), shuffle_seed)),
+            stream_cfg(width, grace, cadence),
+            batch_threads,
+        )?;
+        if grace >= 200 {
+            prop_assert_eq!(stats.late, 0, "no window seals before the feed ends");
+        }
+    }
+
+    /// Chronological arrival at per-event cadence drives the delta-join
+    /// path (later transfers extend already-accepted tables), and the
+    /// sealed output still equals batch.
+    #[test]
+    fn chronological_stream_delta_joins_and_equals_batch(cadence in 1u64..3) {
+        let (u, store, player_ty, _) = transfer_world();
+        let stats = assert_stream_matches_batch(
+            &u,
+            player_ty,
+            feed_events(&store),
+            stream_cfg(90, 200, cadence),
+            1,
+        )?;
+        prop_assert!(
+            stats.delta_rows > 0,
+            "chronological per-event refreshes must exercise delta joins"
+        );
+    }
+
+    /// Link retractions (a revision that removes a previously added link)
+    /// break the append-only delta invariant: the stream must fall back to
+    /// a full window re-mine and still seal to the batch answer, at any
+    /// arrival order.
+    #[test]
+    fn retractions_fall_back_and_still_equal_batch(
+        shuffle_seed in any::<u64>(),
+        cadence in 1u64..5,
+        retract_mask in 1u8..64,
+    ) {
+        use wiclean_wikitext::render::render_links;
+        use wiclean_wikitext::PageLinks;
+        let (u, mut store, player_ty, _) = transfer_world();
+        // Players whose mask bit is set retract their transfer near the
+        // window's end: the page reverts to the empty link state, so
+        // reduction cancels the earlier add.
+        let mut retract_time = 80;
+        for i in 0..6u8 {
+            if retract_mask & (1 << i) == 0 {
+                continue;
+            }
+            let name = format!("Player {i}");
+            let Some(p) = u.entities().lookup(&name) else { continue };
+            store.record(
+                p,
+                retract_time,
+                render_links(&name, "bio", &PageLinks::new()),
+            );
+            retract_time += 1;
+        }
+        let stats = assert_stream_matches_batch(
+            &u,
+            player_ty,
+            drain(VecFeed::shuffled(feed_events(&store), shuffle_seed)),
+            stream_cfg(90, 200, cadence),
+            2,
+        )?;
+        let _ = stats.fallbacks; // fallback count depends on arrival order
+    }
+
+    /// Crash-replay property: events are WAL-appended by a `DurableFeed`
+    /// until a torn write kills the log; reopening replays exactly the
+    /// delivered prefix (in a different, normalized order), and streaming
+    /// that replay seals to the same windows as batch-mining the prefix.
+    #[test]
+    fn durable_feed_wal_fault_replay_streams_like_batch(
+        shuffle_seed in any::<u64>(),
+        kill_at in 3u64..40,
+        cadence in 1u64..6,
+    ) {
+        let (u, store, player_ty, _) = transfer_world();
+        let events = drain(VecFeed::shuffled(feed_events(&store), shuffle_seed));
+        let policy = DurabilityPolicy {
+            sync: SyncPolicy::Always,
+            checkpoint_every: 100_000,
+            delta_encode: true,
+        };
+        let fs = Arc::new(MemFs::new());
+        let spec = FailSpec::once(FailOp::Append, kill_at, FailKind::TornWrite { keep: 5 });
+        let failing = Arc::new(FailpointFs::new(fs.clone(), spec));
+        let mut feed = DurableFeed::create(failing, "/feed", policy).unwrap();
+        let mut delivered = Vec::new();
+        for e in events {
+            if feed.push(e.entity, e.time, &e.text).is_err() {
+                break; // torn write: the event was neither logged nor delivered
+            }
+            delivered.push(e);
+        }
+        drop(feed); // crash without checkpoint
+
+        let mut replay = DurableFeed::open(fs, "/feed", policy).unwrap();
+        prop_assert_eq!(
+            replay.recovery().records_recovered() as usize,
+            delivered.len(),
+            "recovery returns exactly the delivered prefix"
+        );
+        let mut replayed = Vec::new();
+        while let Some(e) = replay.next_event() {
+            replayed.push(e);
+        }
+        assert_stream_matches_batch(
+            &u,
+            player_ty,
+            replayed,
+            stream_cfg(90, 200, cadence),
+            1,
+        )?;
+    }
+}

@@ -24,6 +24,7 @@ pub mod recovery;
 pub mod robustness;
 pub mod runtime;
 pub mod smalldata;
+pub mod streaming;
 
 pub use grid::{run_grid, GridRow};
 pub use metrics::{pattern_metrics, PatternMetrics};
@@ -34,3 +35,4 @@ pub use recovery::{
 pub use robustness::{run_robustness, RobustnessCell, RobustnessReport, DEFAULT_FAULT_RATES};
 pub use runtime::{fig4a, fig4b, fig4c, fig4d, preprocess_cache_ablation, CacheRun};
 pub use smalldata::{run_smalldata, SmallDataReport};
+pub use streaming::{render_stream_cells, stream_vs_full_remine, StreamCell};

@@ -54,7 +54,7 @@ pub fn transfer_window() -> Window {
     Window::new(210 * DAY, 224 * DAY)
 }
 
-fn base_miner_config(tau: f64) -> MinerConfig {
+pub(crate) fn base_miner_config(tau: f64) -> MinerConfig {
     MinerConfig {
         tau,
         max_abstraction_height: 1,

@@ -442,6 +442,197 @@ fn partitioned_pairs(
     pairs
 }
 
+/// Delta-aware pair stage for append-only growth (the streaming miner).
+///
+/// Both inputs are **prefix-stable**: `left` rows below `left_old` and
+/// `right` rows below `right_old` are exactly the rows a previous join
+/// saw, and rows at or beyond those marks have been appended since. Emits
+/// exactly the pairs of the full join that touch at least one appended
+/// row — `join_glue_pairs(left, right, glue)` minus the pairs of the
+/// prefix-only join — in canonical (left row, right row) order. The old
+/// pair stream plus this delta is therefore the full pair stream as a
+/// set, letting callers extend support sets and materialized tables
+/// without re-joining the prefix.
+///
+/// The deltas are the build sides: part one indexes `Δright` and probes
+/// the stable left prefix in row order (canonical order falls out); part
+/// two indexes `Δleft` and probes the entire right side, then sorts its
+/// small tail back to canonical order. The two parts cover disjoint
+/// left-row ranges, so the concatenation is globally ordered.
+pub fn join_glue_pairs_delta(
+    left: &Table,
+    left_old: usize,
+    right: &Table,
+    right_old: usize,
+    glue: &[ColumnGlue],
+) -> Vec<Pair> {
+    validate(left, right, glue);
+    let plan = GluePlan::new(glue);
+    delta_pairs(left, left_old, right, right_old, &plan, &SerialRunner)
+}
+
+/// [`join_glue_pairs_delta`] with the probe sides chunked across a
+/// [`BatchRunner`]; byte-identical to the serial variant at any
+/// `width()` (chunk concatenation restores probe order, and part two is
+/// sorted regardless).
+pub fn join_glue_pairs_delta_partitioned(
+    left: &Table,
+    left_old: usize,
+    right: &Table,
+    right_old: usize,
+    glue: &[ColumnGlue],
+    runner: &dyn BatchRunner,
+) -> Vec<Pair> {
+    validate(left, right, glue);
+    let plan = GluePlan::new(glue);
+    delta_pairs(left, left_old, right, right_old, &plan, runner)
+}
+
+fn delta_pairs(
+    left: &Table,
+    left_old: usize,
+    right: &Table,
+    right_old: usize,
+    plan: &GluePlan,
+    runner: &dyn BatchRunner,
+) -> Vec<Pair> {
+    assert!(left_old <= left.len(), "left_old beyond left length");
+    assert!(right_old <= right.len(), "right_old beyond right length");
+
+    // Part one: stable left prefix × appended right rows. The delta is
+    // the build side; per-bucket row order is ascending (insertion order)
+    // and the prefix probes in row order, so pairs come out canonical.
+    // An empty build side can't match anything — skip the probe scan
+    // entirely (the common one-sided-growth case pays for one part only).
+    let mut index: FastMap<JoinKey, Vec<u32>> = FastMap::default();
+    for ri in right_old..right.len() {
+        if let Some(key) = plan.right_key(right, ri) {
+            index.entry(key).or_default().push(ri as u32);
+        }
+    }
+    let mut pairs = if index.is_empty() {
+        Vec::new()
+    } else {
+        probe_left_range(left, 0, left_old, right, plan, &index, runner)
+    };
+
+    // Part two: appended left rows × the full right side. Probing by
+    // right row emits (right, left) order; the tail is small, so sort it
+    // back to canonical and append — its left rows all sit at or past
+    // `left_old`, keeping the concatenation globally ordered.
+    index.clear();
+    for li in left_old..left.len() {
+        if let Some(key) = plan.left_key(left, li) {
+            index.entry(key).or_default().push(li as u32);
+        }
+    }
+    let mut tail = if index.is_empty() {
+        Vec::new()
+    } else {
+        probe_right_range(left, right, plan, &index, runner)
+    };
+    tail.sort_unstable();
+    pairs.append(&mut tail);
+    pairs
+}
+
+/// Probes left rows `lo..hi` against an index over right rows, in left
+/// row order (chunk-parallel when the range is large).
+fn probe_left_range(
+    left: &Table,
+    lo: usize,
+    hi: usize,
+    right: &Table,
+    plan: &GluePlan,
+    index: &FastMap<JoinKey, Vec<u32>>,
+    runner: &dyn BatchRunner,
+) -> Vec<Pair> {
+    if index.is_empty() || lo >= hi {
+        return Vec::new();
+    }
+    let probe_one = |li: usize, pairs: &mut Vec<Pair>| {
+        let Some(key) = plan.left_key(left, li) else {
+            return;
+        };
+        let Some(candidates) = index.get(&key) else {
+            return;
+        };
+        for &ri in candidates {
+            if plan.neq_ok(left, li, right, ri as usize) {
+                pairs.push((li as u32, ri));
+            }
+        }
+    };
+    let n = hi - lo;
+    if runner.width() <= 1 || n < PARALLEL_MIN_LEFT {
+        let mut pairs = Vec::new();
+        for li in lo..hi {
+            probe_one(li, &mut pairs);
+        }
+        return pairs;
+    }
+    let tasks = (runner.width() * 4).min(n);
+    let chunk = n.div_ceil(tasks);
+    let chunk_pairs = par_map(runner, tasks, |t| {
+        let clo = lo + t * chunk;
+        let chi = (lo + (t + 1) * chunk).min(hi);
+        let mut pairs = Vec::new();
+        for li in clo..chi {
+            probe_one(li, &mut pairs);
+        }
+        pairs
+    });
+    chunk_pairs.concat()
+}
+
+/// Probes every right row against an index over left rows, emitting
+/// (left, right) pairs in right-major order (chunk-parallel when the
+/// right side is large); callers sort the result.
+fn probe_right_range(
+    left: &Table,
+    right: &Table,
+    plan: &GluePlan,
+    index: &FastMap<JoinKey, Vec<u32>>,
+    runner: &dyn BatchRunner,
+) -> Vec<Pair> {
+    if index.is_empty() || right.is_empty() {
+        return Vec::new();
+    }
+    let probe_one = |ri: usize, pairs: &mut Vec<Pair>| {
+        let Some(key) = plan.right_key(right, ri) else {
+            return;
+        };
+        let Some(candidates) = index.get(&key) else {
+            return;
+        };
+        for &li in candidates {
+            if plan.neq_ok(left, li as usize, right, ri) {
+                pairs.push((li, ri as u32));
+            }
+        }
+    };
+    let n = right.len();
+    if runner.width() <= 1 || n < PARALLEL_MIN_LEFT {
+        let mut pairs = Vec::new();
+        for ri in 0..n {
+            probe_one(ri, &mut pairs);
+        }
+        return pairs;
+    }
+    let tasks = (runner.width() * 4).min(n);
+    let chunk = n.div_ceil(tasks);
+    let chunk_pairs = par_map(runner, tasks, |t| {
+        let lo = t * chunk;
+        let hi = ((t + 1) * chunk).min(n);
+        let mut pairs = Vec::new();
+        for ri in lo..hi {
+            probe_one(ri, &mut pairs);
+        }
+        pairs
+    });
+    chunk_pairs.concat()
+}
+
 /// Materialize stage: gathers the output columns of a pair stream once —
 /// every left column by the left indices, every `New` right column by the
 /// right indices.
@@ -907,5 +1098,81 @@ mod tests {
         let g = glue();
         let par = join_glue_pairs_partitioned(&left_table(), &right_table(), &g, &TestRunner(8));
         assert_eq!(par, join_glue_pairs(&left_table(), &right_table(), &g));
+    }
+
+    /// The full pair stream restricted to pairs touching an appended row
+    /// — the delta-join contract, derivable because `join_glue_pairs` is
+    /// canonically ordered.
+    fn expected_delta(full: &[Pair], left_old: usize, right_old: usize) -> Vec<Pair> {
+        full.iter()
+            .copied()
+            .filter(|&(li, ri)| li as usize >= left_old || ri as usize >= right_old)
+            .collect()
+    }
+
+    #[test]
+    fn delta_join_equals_full_minus_prefix() {
+        let (left, right) = big_tables();
+        let g = glue();
+        let full = join_glue_pairs(&left, &right, &g);
+        assert!(!full.is_empty());
+        for (left_old, right_old) in [
+            (0, 0),
+            (left.len(), right.len()),
+            (left.len() / 2, right.len() / 2),
+            (left.len() - 1, right.len()),
+            (left.len(), right.len() - 3),
+            (17, right.len() - 17),
+        ] {
+            let delta = join_glue_pairs_delta(&left, left_old, &right, right_old, &g);
+            assert_eq!(
+                delta,
+                expected_delta(&full, left_old, right_old),
+                "prefix ({left_old}, {right_old}) diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_join_empty_deltas_emit_nothing() {
+        let (l, r, g) = (left_table(), right_table(), glue());
+        let delta = join_glue_pairs_delta(&l, l.len(), &r, r.len(), &g);
+        assert!(delta.is_empty());
+    }
+
+    #[test]
+    fn delta_join_zero_prefix_is_full_join() {
+        let (l, r, g) = (left_table(), right_table(), glue());
+        assert_eq!(
+            join_glue_pairs_delta(&l, 0, &r, 0, &g),
+            join_glue_pairs(&l, &r, &g)
+        );
+    }
+
+    #[test]
+    fn delta_join_partitioned_is_byte_identical_across_widths() {
+        let (left, right) = big_tables();
+        let g = glue();
+        let (left_old, right_old) = (left.len() / 3, right.len() / 3);
+        let serial = join_glue_pairs_delta(&left, left_old, &right, right_old, &g);
+        assert!(!serial.is_empty());
+        for width in [2, 3, 8] {
+            let par = join_glue_pairs_delta_partitioned(
+                &left,
+                left_old,
+                &right,
+                right_old,
+                &g,
+                &TestRunner(width),
+            );
+            assert_eq!(serial, par, "width {width} diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "left_old beyond")]
+    fn delta_join_prefix_bounds_checked() {
+        let (l, r, g) = (left_table(), right_table(), glue());
+        join_glue_pairs_delta(&l, l.len() + 1, &r, 0, &g);
     }
 }

@@ -45,10 +45,10 @@ pub mod table;
 pub use column::{Column, Value, NULL_IX};
 pub use hash::{EntitySet, FastHasher, FastMap, FastSet};
 pub use join::{
-    distinct_left_values, join_glue, join_glue_nested, join_glue_pairs, join_glue_pairs_nested,
-    join_glue_pairs_partitioned, join_glue_pairs_sort_merge, join_glue_partitioned,
-    join_glue_sort_merge, materialize_pairs, outer_join_glue, BatchRunner, ColumnGlue, Pair,
-    SerialRunner,
+    distinct_left_values, join_glue, join_glue_nested, join_glue_pairs, join_glue_pairs_delta,
+    join_glue_pairs_delta_partitioned, join_glue_pairs_nested, join_glue_pairs_partitioned,
+    join_glue_pairs_sort_merge, join_glue_partitioned, join_glue_sort_merge, materialize_pairs,
+    outer_join_glue, BatchRunner, ColumnGlue, Pair, SerialRunner,
 };
 pub use schema::Schema;
 pub use table::Table;

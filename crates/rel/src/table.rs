@@ -234,6 +234,97 @@ impl Table {
         }
     }
 
+    /// Whether row `i` of `self` equals row `j` of `other` cell-wise.
+    fn rows_equal_cross(&self, i: usize, other: &Table, j: usize) -> bool {
+        self.cols.iter().zip(&other.cols).all(|(a, b)| {
+            a.is_valid(i) == b.is_valid(j)
+                && (!a.is_valid(i) || a.value_unchecked(i) == b.value_unchecked(j))
+        })
+    }
+
+    /// Appends every row of `other` not already present in `self` (first
+    /// occurrence wins across the concatenation, as in [`Table::dedup`]);
+    /// returns the number of rows appended. Existing rows are never
+    /// touched, so on an already-deduped table this equals pushing all of
+    /// `other` and calling `dedup`, without rehashing the prefix — the
+    /// absorb step of the streaming miner's cached realization tables.
+    pub fn extend_dedup(&mut self, other: &Table) -> usize {
+        assert_eq!(
+            self.schema.width(),
+            other.schema.width(),
+            "extend_dedup arity mismatch"
+        );
+        if self.schema.width() == 0 {
+            // Every zero-width row is identical.
+            if self.rows == 0 && other.rows > 0 {
+                self.rows = 1;
+                return 1;
+            }
+            return 0;
+        }
+        if other.rows == 0 {
+            return 0;
+        }
+        let own = self.row_hashes();
+        let incoming = other.row_hashes();
+        // hash → one representative row index per distinct row already in
+        // `self` (appended rows included as they land); collisions chained
+        // through `next` as in `dedup`. Indices refer to `self`.
+        let mut head: FastMap<u64, u32> =
+            FastMap::with_capacity_and_hasher(self.rows + other.rows, <_>::default());
+        let mut next: Vec<u32> = vec![NULL_IX; self.rows + other.rows];
+        // Seed the index with the existing rows. Duplicate prefix rows are
+        // each threaded (harmless — probes stop at the first equal row).
+        for (i, &hash) in own.iter().enumerate() {
+            match head.entry(hash) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(i as u32);
+                }
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    let mut j = *slot.get();
+                    while next[j as usize] != NULL_IX {
+                        j = next[j as usize];
+                    }
+                    next[j as usize] = i as u32;
+                }
+            }
+        }
+        let mut appended = 0usize;
+        for (j, &hash) in incoming.iter().enumerate() {
+            // Probe against rows already in `self` (prefix + prior appends).
+            let is_new = match head.entry(hash) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(self.rows as u32);
+                    true
+                }
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    let mut k = *slot.get();
+                    let dup = loop {
+                        if other.rows_equal_cross(j, self, k as usize) {
+                            break true;
+                        }
+                        if next[k as usize] == NULL_IX {
+                            break false;
+                        }
+                        k = next[k as usize];
+                    };
+                    if !dup {
+                        next[k as usize] = self.rows as u32;
+                    }
+                    !dup
+                }
+            };
+            if is_new {
+                for (c, oc) in self.cols.iter_mut().zip(&other.cols) {
+                    c.push(oc.get(j));
+                }
+                self.rows += 1;
+                appended += 1;
+            }
+        }
+        appended
+    }
+
     /// Selection of the rows that contain at least one null — the partial
     /// realizations in Algorithm 3's final step.
     pub fn rows_with_null(&self) -> Table {
@@ -421,6 +512,87 @@ mod tests {
         t.append_column("@m", marker);
         assert_eq!(t.width(), 3);
         assert_eq!(t.cell(2, 2), v(2));
+    }
+
+    #[test]
+    fn extend_dedup_equals_push_all_then_dedup() {
+        let mut base = Table::from_rows(
+            Schema::new(["a", "b"]),
+            [vec![v(1), v(10)], vec![v(2), None], vec![v(3), v(30)]],
+        );
+        let delta = Table::from_rows(
+            Schema::new(["a", "b"]),
+            [
+                vec![v(2), None],  // duplicate of base
+                vec![v(4), v(40)], // new
+                vec![v(4), v(40)], // duplicate within delta
+                vec![v(1), v(10)], // duplicate of base
+                vec![v(5), None],  // new
+            ],
+        );
+        let mut oracle = base.clone();
+        for r in delta.rows() {
+            oracle.push_row(&r);
+        }
+        oracle.dedup();
+
+        let before: Vec<_> = base.rows().collect();
+        let appended = base.extend_dedup(&delta);
+        assert_eq!(appended, 2);
+        assert_eq!(
+            base.rows().collect::<Vec<_>>(),
+            oracle.rows().collect::<Vec<_>>()
+        );
+        // Prefix rows are untouched, in place.
+        assert_eq!(&base.rows().take(3).collect::<Vec<_>>(), &before);
+    }
+
+    #[test]
+    fn extend_dedup_zero_width() {
+        let mut base = Table::new(Schema::new(Vec::<String>::new()));
+        let mut delta = Table::new(Schema::new(Vec::<String>::new()));
+        delta.push_row(&[]);
+        delta.push_row(&[]);
+        assert_eq!(base.extend_dedup(&delta), 1);
+        assert_eq!(base.len(), 1);
+        assert_eq!(base.extend_dedup(&delta), 0);
+    }
+
+    #[test]
+    fn extend_dedup_empty_delta_is_noop() {
+        let mut base = sample();
+        let delta = Table::new(Schema::new(["p", "t"]));
+        assert_eq!(base.extend_dedup(&delta), 0);
+        assert_eq!(base.len(), 4);
+    }
+
+    #[test]
+    fn extend_dedup_distinguishes_null_from_entity_zero() {
+        let mut base = Table::from_rows(Schema::new(["a"]), [vec![v(0)]]);
+        let delta = Table::from_rows(Schema::new(["a"]), [vec![None], vec![v(0)]]);
+        assert_eq!(base.extend_dedup(&delta), 1);
+        assert_eq!(base.len(), 2);
+        assert_eq!(base.row(1)[0], None);
+    }
+
+    #[test]
+    fn extend_dedup_large_matches_dedup_oracle() {
+        let mut base = Table::new(Schema::new(["a", "b"]));
+        for i in 0..600u32 {
+            base.push_row(&[v(i % 37), v(i % 11)]);
+        }
+        base.dedup();
+        let mut delta = Table::new(Schema::new(["a", "b"]));
+        for i in 0..400u32 {
+            delta.push_row(&[v(i % 41), v(i % 13)]);
+        }
+        let mut oracle = base.clone();
+        for r in delta.rows() {
+            oracle.push_row(&r);
+        }
+        oracle.dedup();
+        base.extend_dedup(&delta);
+        assert_eq!(base, oracle);
     }
 
     #[test]

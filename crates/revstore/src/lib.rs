@@ -21,6 +21,7 @@ pub mod checkpoint;
 pub mod extract;
 pub mod failfs;
 pub mod fault;
+pub mod feed;
 pub mod fetch;
 pub mod reduce;
 pub mod store;
@@ -35,6 +36,7 @@ pub use extract::{
 };
 pub use failfs::{FailKind, FailOp, FailSpec, Failpoint, FailpointFs, MemFs, RealFs, Vfs};
 pub use fault::{mix64, FaultPlan, FaultyStore, GarbleMode};
+pub use feed::{DurableFeed, FeedEvent, RevisionFeed, VecFeed};
 pub use fetch::{backoff_delay_us, FetchError, FetchSource, ResilientFetcher, RetryPolicy};
 pub use reduce::{is_reduced, reduce_actions};
 pub use store::{CrawlStats, PageHistory, Revision, RevisionStore};

@@ -64,6 +64,7 @@ fn main() -> ExitCode {
         "mine" => cmd_mine(&flags),
         "detect" => cmd_detect(&flags),
         "serve" => cmd_serve(&flags).map(|()| ExitCode::SUCCESS),
+        "stream" => cmd_stream(&flags).map(|()| ExitCode::SUCCESS),
         "suggest" => cmd_suggest(&flags).map(|()| ExitCode::SUCCESS),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -90,6 +91,7 @@ USAGE:
   wiclean mine     --corpus FILE [--durability DIR] [--threads N] [--extract MODE] [--out FILE] [FAULT FLAGS]
   wiclean detect   --corpus FILE [--durability DIR] [--threads N] [--extract MODE] [--top K] [FAULT FLAGS]
   wiclean serve    --corpus FILE [--addr HOST:PORT] [--max-conns N] [--threads N] [SERVE FLAGS]
+  wiclean stream   --corpus FILE [--serve HOST:PORT] [--out FILE] [STREAM FLAGS]
   wiclean suggest  --corpus FILE --entity NAME [--edit add|remove] [--rel NAME] [--threads N]
 
 MODE (extraction pipeline, both produce byte-identical output):
@@ -114,6 +116,19 @@ SERVE FLAGS (online suggestion server; see DESIGN.md §7):
                    (both default to the full u32 id space; exceeding a
                    limit rejects the load, it never kills the server)
   --debug-ops on   enable the `panic` wire op (panic-proofing harness)
+
+STREAM FLAGS (incremental streaming miner; see DESIGN.md §8):
+  --grace S        watermark grace period in seconds: a window seals once
+                   an event arrives more than S past its end (default 3600)
+  --refresh-revisions N
+                   incremental refresh cadence: delta-join a window's new
+                   rows after every N arrivals for it (default 64)
+  --shuffle-seed S replay the corpus revisions in a deterministic shuffled
+                   arrival order instead of chronologically
+  --width S        stream window width in seconds (default: mining w_min)
+  --serve HOST:PORT
+                   also run the suggestion server; every sealed window
+                   rebuilds the index and hot-swaps it under live traffic
 
 FAULT FLAGS (crawl-robustness testing):
   --fault-rate R   inject transient fetch faults with probability R (0.0–1.0)
@@ -548,6 +563,159 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     eprintln!("  one request per line, e.g.: {example}");
     handle.wait();
     eprintln!("server stopped");
+    Ok(())
+}
+
+fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
+    use wiclean::core::stream::{wc_result_from_sealed, StreamMiner};
+    use wiclean::revstore::{FeedEvent, RevisionFeed, VecFeed};
+
+    let corpus = load_corpus(flags)?;
+    let mut wc = default_wc_config(threads(flags)?);
+    apply_extract_mode(&mut wc, flags)?;
+    wc.stream.grace = num_flag(flags, "grace", wc.stream.grace)?;
+    wc.stream.refresh_revisions =
+        num_flag(flags, "refresh-revisions", wc.stream.refresh_revisions)?;
+    wc.stream.validate()?;
+    wc.w_min = num_flag(flags, "width", wc.w_min)?;
+
+    // Replay the corpus as a live feed: chronological by default, or a
+    // deterministic out-of-order arrival with --shuffle-seed.
+    let mut events = Vec::new();
+    let mut entities: Vec<_> = corpus.store.entities().collect();
+    entities.sort_by_key(|e| e.as_u32());
+    for e in entities {
+        let Some(history) = corpus.store.peek(e) else {
+            continue;
+        };
+        for r in history.revisions() {
+            events.push(FeedEvent {
+                entity: e,
+                time: r.time,
+                text: r.text.clone(),
+            });
+        }
+    }
+    events.sort_by_key(|e| e.time);
+    let total_events = events.len();
+    let mut feed = match flags.get("shuffle-seed") {
+        Some(v) => {
+            let seed: u64 = v
+                .parse()
+                .map_err(|_| format!("flag --shuffle-seed: cannot parse `{v}`"))?;
+            VecFeed::shuffled(events, seed)
+        }
+        None => VecFeed::new(events),
+    };
+
+    // With --serve, start answering suggestion queries immediately (empty
+    // index, epoch 1) and hot-swap a refreshed index after every seal.
+    let universe = std::sync::Arc::new(corpus.universe.clone());
+    let limits = index_limits(flags)?;
+    let mut handle = match flags.get("serve") {
+        None => None,
+        Some(addr) => {
+            let empty = PatternSet::single_window(
+                corpus.seed_type_id(),
+                wiclean::types::Window::new(0, 0),
+                &[],
+            );
+            let index = PatternIndex::build(&corpus.store, &universe, &wc.miner, &empty, limits)
+                .map_err(|e| e.to_string())?;
+            let config = ServeConfig {
+                addr: addr.clone(),
+                max_connections: num_flag(flags, "max-conns", 64)?,
+                enable_debug_ops: false,
+            };
+            let h = wiclean::serve::serve(config, universe.clone(), index, None)
+                .map_err(|e| format!("cannot bind: {e}"))?;
+            println!("listening on {} (epoch 1: empty index)", h.addr());
+            Some(h)
+        }
+    };
+
+    eprintln!(
+        "streaming {} revisions of `{}` (width {}d, grace {}s, refresh every {})…",
+        total_events,
+        corpus.seed_type,
+        wc.w_min / 86_400,
+        wc.stream.grace,
+        wc.stream.refresh_revisions
+    );
+    let mut sm = StreamMiner::from_wc(&corpus.universe, corpus.seed_type_id(), &wc);
+    // Narrates every window sealed since the last call and, when serving,
+    // rebuilds the suggestion index over all sealed windows and hot-swaps
+    // it under live traffic.
+    let mut published = 0usize;
+    let publish = |sm: &StreamMiner,
+                   handle: &Option<wiclean::serve::ServeHandle>,
+                   published: &mut usize|
+     -> Result<(), String> {
+        for r in &sm.sealed()[*published..] {
+            eprintln!(
+                "  sealed {} → {} patterns ({} most specific)",
+                r.window,
+                r.patterns.len(),
+                r.most_specific().count()
+            );
+        }
+        *published = sm.sealed().len();
+        let Some(h) = handle else { return Ok(()) };
+        let result = wc_result_from_sealed(
+            sm.sealed(),
+            corpus.seed_type_id(),
+            wc.w_min,
+            wc.tau0,
+            sm.late_revisions(),
+        );
+        let set = PatternSet::from_wc_result(&result);
+        let index = PatternIndex::build(sm.store(), &universe, &wc.miner, &set, limits)
+            .map_err(|e| e.to_string())?;
+        let epoch = h.swap_index(index);
+        eprintln!(
+            "  hot-swapped suggestion index: epoch {epoch} ({} patterns)",
+            set.patterns.len()
+        );
+        Ok(())
+    };
+    while let Some(event) = feed.next_event() {
+        if sm.ingest(&event) > 0 {
+            publish(&sm, &handle, &mut published)?;
+        }
+    }
+    if sm.flush() > 0 {
+        publish(&sm, &handle, &mut published)?;
+    }
+
+    let stats = sm.stats().clone();
+    eprintln!(
+        "  stream: {} windows sealed, {} delta rows joined, {} full re-mine fallbacks, {} late revisions, {:.1} ms seal lag",
+        stats.windows_sealed,
+        stats.delta_rows_joined,
+        stats.full_remine_fallbacks,
+        sm.late_revisions(),
+        stats.stream_lag_us as f64 / 1000.0
+    );
+    let result = sm.into_result();
+    let report = WcReport::from_result(&result, &corpus.universe);
+    print_degraded(&report);
+    let json = report.to_json();
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| e.to_string())?;
+            eprintln!("wrote {path}");
+        }
+        None => {
+            if handle.is_none() {
+                println!("{json}");
+            }
+        }
+    }
+    if let Some(h) = handle.as_mut() {
+        eprintln!("  feed drained; serving final epoch until wire `shutdown`");
+        h.wait();
+        eprintln!("server stopped");
+    }
     Ok(())
 }
 
