@@ -10,7 +10,7 @@
 //! contribute realizations, silently deflating every frequency).
 
 use serde::{Deserialize, Serialize};
-use wiclean_revstore::FetchError;
+use wiclean_revstore::{FetchError, ShardLoss, ShardRecoveryReport};
 use wiclean_types::EntityId;
 
 /// One entity the miner had to skip.
@@ -53,6 +53,12 @@ pub struct DegradedCoverage {
     /// result can no longer reflect.
     #[serde(default)]
     pub late_revisions: u64,
+    /// Per-shard losses of an out-of-core corpus recovery: shards whose
+    /// segment lost a torn or corrupt tail when the store was reopened.
+    /// Shards are independent files, so each entry bounds the blast radius
+    /// of one crash to one shard.
+    #[serde(default)]
+    pub shard_losses: Vec<ShardLoss>,
 }
 
 impl DegradedCoverage {
@@ -65,6 +71,7 @@ impl DegradedCoverage {
             && self.wal_bytes_dropped == 0
             && self.checkpoints_rejected == 0
             && self.late_revisions == 0
+            && self.shard_losses.is_empty()
     }
 
     /// Records a skipped entity.
@@ -95,6 +102,8 @@ impl DegradedCoverage {
     pub fn normalize(&mut self) {
         self.lost.sort_by_key(|l| l.entity.as_u32());
         self.lost.dedup();
+        self.shard_losses.sort_by_key(|l| l.shard);
+        self.shard_losses.dedup();
     }
 
     /// Merges another run's losses into this one.
@@ -106,6 +115,7 @@ impl DegradedCoverage {
         self.wal_bytes_dropped += other.wal_bytes_dropped;
         self.checkpoints_rejected += other.checkpoints_rejected;
         self.late_revisions += other.late_revisions;
+        self.shard_losses.extend(other.shard_losses.iter().copied());
         self.normalize();
     }
 
@@ -115,6 +125,14 @@ impl DegradedCoverage {
         self.wal_records_dropped += recovery.records_dropped;
         self.wal_bytes_dropped += recovery.bytes_dropped;
         self.checkpoints_rejected += recovery.checkpoints_rejected;
+    }
+
+    /// Folds a sharded store's recovery into the coverage report: each
+    /// damaged shard lands as its own entry, so a report reader sees which
+    /// segment lost bytes and how its scan ended.
+    pub fn record_shard_recovery(&mut self, recovery: &ShardRecoveryReport) {
+        self.shard_losses.extend(recovery.losses.iter().copied());
+        self.normalize();
     }
 }
 
@@ -138,6 +156,38 @@ mod tests {
         assert_eq!(d.revisions_lost(), 9);
         assert_eq!(d.lost[0].entity, eid(1));
         assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn shard_recovery_lands_per_shard() {
+        use wiclean_revstore::TailOutcome;
+        let mut d = DegradedCoverage::default();
+        let rec = ShardRecoveryReport {
+            shards: 4,
+            records_recovered: 10,
+            losses: vec![
+                ShardLoss {
+                    shard: 2,
+                    records_dropped: 0,
+                    bytes_dropped: 17,
+                    outcome: TailOutcome::TornTail,
+                },
+                ShardLoss {
+                    shard: 0,
+                    records_dropped: 1,
+                    bytes_dropped: 40,
+                    outcome: TailOutcome::CorruptFrame,
+                },
+            ],
+        };
+        d.record_shard_recovery(&rec);
+        assert!(!d.is_empty());
+        assert_eq!(d.shard_losses.len(), 2);
+        assert_eq!(d.shard_losses[0].shard, 0, "normalized by shard id");
+        // Absorbing the same losses again dedups back to two entries.
+        let copy = d.clone();
+        d.absorb(&copy);
+        assert_eq!(d.shard_losses.len(), 2);
     }
 
     #[test]

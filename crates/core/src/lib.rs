@@ -34,6 +34,7 @@ pub mod abstract_action;
 pub mod assist;
 pub mod cache;
 pub mod config;
+pub mod corpus;
 pub mod degraded;
 pub mod interner;
 pub mod miner;
@@ -55,7 +56,11 @@ pub(crate) mod testutil;
 
 pub use abstract_action::{abstractions_of, AbstractAction};
 pub use cache::{MiningCaches, RealizationCache};
-pub use config::{ExpansionMode, JoinImpl, MinerConfig, RefinePolicy, StreamPolicy, WcConfig};
+pub use config::{
+    CorpusBackend, CorpusPolicy, ExpansionMode, JoinImpl, MinerConfig, RefinePolicy, StreamPolicy,
+    WcConfig,
+};
+pub use corpus::{ingest_sharded, open_sharded_corpus, ShardedCorpus};
 pub use degraded::{DegradedCoverage, LostEntity};
 pub use interner::{PatternId, PatternInterner};
 pub use miner::{FoundPattern, MineStats, WindowMiner, WindowResult};

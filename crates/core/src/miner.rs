@@ -141,6 +141,30 @@ pub struct MineStats {
     /// a delta was not append-only (action reduction retracted rows).
     #[serde(default)]
     pub full_remine_fallbacks: u64,
+    /// Valid segment bytes of the on-disk sharded corpus backing this run
+    /// (0 for in-memory corpora) — a gauge, not a rate.
+    #[serde(default)]
+    pub bytes_on_disk: u64,
+    /// Snapshot-cache hits: page histories served without touching a shard
+    /// segment (0 for in-memory corpora).
+    #[serde(default)]
+    pub snapshot_cache_hits: u64,
+    /// Snapshot-cache misses: histories materialized by decoding a frame
+    /// chain from disk.
+    #[serde(default)]
+    pub snapshot_cache_misses: u64,
+    /// Snapshot-cache evictions forced by the memory budget.
+    #[serde(default)]
+    pub snapshot_cache_evictions: u64,
+    /// Delta frames decoded while materializing snapshots (the replay work
+    /// `snapshot_every` bounds per materialization).
+    #[serde(default)]
+    pub delta_chain_replays: u64,
+    /// Times the sharded store handed its segments' resident pages back to
+    /// the kernel because materializations had faulted in more than the
+    /// memory budget (0 for in-memory corpora).
+    #[serde(default)]
+    pub map_residency_releases: u64,
 }
 
 impl MineStats {
@@ -175,6 +199,36 @@ impl MineStats {
         self.windows_sealed += other.windows_sealed;
         self.delta_rows_joined += other.delta_rows_joined;
         self.full_remine_fallbacks += other.full_remine_fallbacks;
+        // A gauge (both sides describe the same on-disk corpus), not a sum.
+        self.bytes_on_disk = self.bytes_on_disk.max(other.bytes_on_disk);
+        self.snapshot_cache_hits += other.snapshot_cache_hits;
+        self.snapshot_cache_misses += other.snapshot_cache_misses;
+        self.snapshot_cache_evictions += other.snapshot_cache_evictions;
+        self.delta_chain_replays += other.delta_chain_replays;
+        self.map_residency_releases += other.map_residency_releases;
+    }
+
+    /// Folds an out-of-core corpus' counter snapshot into this run's stats
+    /// (called once, after mining, with the backing
+    /// [`ShardedStore`](wiclean_revstore::ShardedStore)'s numbers).
+    pub fn stamp_corpus(&mut self, corpus: &wiclean_revstore::CorpusStats) {
+        self.bytes_on_disk = self.bytes_on_disk.max(corpus.bytes_on_disk);
+        self.snapshot_cache_hits += corpus.snapshot_cache_hits;
+        self.snapshot_cache_misses += corpus.snapshot_cache_misses;
+        self.snapshot_cache_evictions += corpus.snapshot_cache_evictions;
+        self.delta_chain_replays += corpus.delta_chain_replays;
+        self.map_residency_releases += corpus.map_residency_releases;
+    }
+
+    /// Share of snapshot-cache lookups served from memory; 0 for in-memory
+    /// corpora (which never look up).
+    pub fn snapshot_cache_hit_rate(&self) -> f64 {
+        let total = self.snapshot_cache_hits + self.snapshot_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.snapshot_cache_hits as f64 / total as f64
+        }
     }
 
     /// Share of executed candidate joins whose output table was never

@@ -4,6 +4,7 @@
 use crate::miner::MineStats;
 use crate::windows::WcResult;
 use serde::{Deserialize, Serialize};
+use wiclean_revstore::ShardLoss;
 use wiclean_types::{Universe, Window};
 
 /// One pattern in a serialized report.
@@ -63,6 +64,9 @@ pub struct DegradedReport {
     /// Revisions that arrived after their stream window sealed.
     #[serde(default)]
     pub late_revisions: u64,
+    /// Per-shard tail losses of an out-of-core corpus recovery.
+    #[serde(default)]
+    pub shard_losses: Vec<ShardLoss>,
 }
 
 impl DegradedReport {
@@ -75,6 +79,7 @@ impl DegradedReport {
             && self.wal_bytes_dropped == 0
             && self.checkpoints_rejected == 0
             && self.late_revisions == 0
+            && self.shard_losses.is_empty()
     }
 }
 
@@ -152,6 +157,7 @@ impl WcReport {
                 wal_bytes_dropped: result.degraded.wal_bytes_dropped,
                 checkpoints_rejected: result.degraded.checkpoints_rejected,
                 late_revisions: result.degraded.late_revisions,
+                shard_losses: result.degraded.shard_losses.clone(),
             },
         }
     }

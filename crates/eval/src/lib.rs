@@ -33,6 +33,9 @@ pub use recovery::{
     render_recovery, run_recovery, FaultClass, RecoveryCell, RecoverySweepReport, ALL_FAULT_CLASSES,
 };
 pub use robustness::{run_robustness, RobustnessCell, RobustnessReport, DEFAULT_FAULT_RATES};
-pub use runtime::{fig4a, fig4b, fig4c, fig4d, preprocess_cache_ablation, CacheRun};
+pub use runtime::{
+    backend_comparison, fig4a, fig4b, fig4c, fig4d, preprocess_cache_ablation, render_corpus_runs,
+    CacheRun, CorpusRun,
+};
 pub use smalldata::{run_smalldata, SmallDataReport};
 pub use streaming::{render_stream_cells, stream_vs_full_remine, StreamCell};

@@ -344,6 +344,125 @@ pub fn render_cache_runs(rows: &[CacheRun]) -> String {
     s
 }
 
+/// One row of the corpus-backend comparison: the same Algorithm 2 search
+/// over the in-memory store or the out-of-core sharded store, with the
+/// disk row's I/O and snapshot-cache counters attached.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusRun {
+    /// `"memory"` or `"disk"`.
+    pub label: String,
+    /// Pattern-mining time.
+    pub mine: Duration,
+    /// Valid segment bytes on disk (0 for the memory backend).
+    pub bytes_on_disk: u64,
+    /// Snapshot-cache hits while mining.
+    pub snapshot_cache_hits: u64,
+    /// Snapshot-cache misses (each one materialized from segment frames).
+    pub snapshot_cache_misses: u64,
+    /// Snapshots evicted to stay under the byte budget.
+    pub snapshot_cache_evictions: u64,
+    /// Delta frames decoded while materializing snapshots.
+    pub delta_chain_replays: u64,
+    /// Patterns discovered (sanity: both rows must agree).
+    pub patterns: usize,
+}
+
+impl CorpusRun {
+    /// Share of snapshot lookups served without touching segment frames.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.snapshot_cache_hits + self.snapshot_cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.snapshot_cache_hits as f64 / total as f64
+    }
+}
+
+/// Corpus-backend comparison: the same window/threshold search over the
+/// plain in-memory store and over an out-of-core sharded store built from
+/// it (delta-encoded segments, byte-budgeted snapshot cache). Discoveries
+/// must be identical; the disk row carries the counters that explain what
+/// the out-of-core path paid for the memory it saved.
+pub fn backend_comparison(seeds: usize, rng: u64, budget_bytes: u64) -> Vec<CorpusRun> {
+    use std::sync::Arc;
+    use wiclean_core::windows::find_windows_and_patterns;
+    use wiclean_core::{ingest_sharded, open_sharded_corpus, MiningPool};
+    use wiclean_revstore::{MemFs, MemoryBudget, ShardPolicy, ShardedStore, SyncPolicy};
+
+    let world = soccer_world(seeds, rng);
+    let wc = crate::quality::default_wc_config(2);
+    let mut out = Vec::new();
+
+    let r = find_windows_and_patterns(&world.store, &world.universe, world.seed_type, &wc);
+    out.push(CorpusRun {
+        label: "memory".to_owned(),
+        mine: r.stats.mine,
+        bytes_on_disk: 0,
+        snapshot_cache_hits: 0,
+        snapshot_cache_misses: 0,
+        snapshot_cache_evictions: 0,
+        delta_chain_replays: 0,
+        patterns: r.discovered.len(),
+    });
+
+    let fs = Arc::new(MemFs::new());
+    let dir = std::path::PathBuf::from("/corpus");
+    let policy = ShardPolicy {
+        sync: SyncPolicy::Never,
+        ..ShardPolicy::default()
+    };
+    let budget = Arc::new(MemoryBudget::new(budget_bytes));
+    {
+        let dest = ShardedStore::create(fs.clone(), &dir, policy, budget.clone()).unwrap();
+        ingest_sharded(&MiningPool::new(2), &world.store, &dest).unwrap();
+    }
+    let corpus = open_sharded_corpus(fs, &dir, policy, budget).unwrap();
+    let mut r = find_windows_and_patterns(&corpus.store, &world.universe, world.seed_type, &wc);
+    corpus.stamp_stats(&mut r.stats);
+    out.push(CorpusRun {
+        label: "disk".to_owned(),
+        mine: r.stats.mine,
+        bytes_on_disk: r.stats.bytes_on_disk,
+        snapshot_cache_hits: r.stats.snapshot_cache_hits,
+        snapshot_cache_misses: r.stats.snapshot_cache_misses,
+        snapshot_cache_evictions: r.stats.snapshot_cache_evictions,
+        delta_chain_replays: r.stats.delta_chain_replays,
+        patterns: r.discovered.len(),
+    });
+    out
+}
+
+/// Renders the corpus-backend comparison rows.
+pub fn render_corpus_runs(rows: &[CorpusRun]) -> String {
+    let mut s = format!(
+        "{:>8} {:>10} {:>12} {:>10} {:>10} {:>10} {:>9} {:>10} {:>9}\n",
+        "backend",
+        "mining(s)",
+        "disk(B)",
+        "hits",
+        "misses",
+        "evicted",
+        "hit-rate",
+        "replays",
+        "patterns"
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:>8} {:>10.3} {:>12} {:>10} {:>10} {:>10} {:>9.3} {:>10} {:>9}\n",
+            r.label,
+            r.mine.as_secs_f64(),
+            r.bytes_on_disk,
+            r.snapshot_cache_hits,
+            r.snapshot_cache_misses,
+            r.snapshot_cache_evictions,
+            r.cache_hit_rate(),
+            r.delta_chain_replays,
+            r.patterns
+        ));
+    }
+    s
+}
+
 /// Renders timed runs as the paper's stacked-bar data (text table), with
 /// the join engine's materialization-saving columns appended.
 pub fn render_timed(rows: &[TimedRun], axis: &str) -> String {
@@ -451,6 +570,24 @@ mod tests {
         let rendered = render_cache_runs(&rows);
         assert!(rendered.contains("hit-rate"));
         assert!(rendered.contains("skip-rate"));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "mining run — run with --release")]
+    fn backend_comparison_finds_identical_patterns() {
+        // A budget small enough to force evictions on a 150-seed world.
+        let rows = backend_comparison(150, 0xD15C, 1 << 20);
+        assert_eq!(rows.len(), 2);
+        let (memory, disk) = (&rows[0], &rows[1]);
+        assert_eq!(memory.label, "memory");
+        assert_eq!(disk.label, "disk");
+        assert_eq!(memory.patterns, disk.patterns, "identical discoveries");
+        assert!(disk.bytes_on_disk > 0);
+        assert!(disk.snapshot_cache_hits + disk.snapshot_cache_misses > 0);
+        assert!(disk.delta_chain_replays > 0, "delta frames were decoded");
+        let rendered = render_corpus_runs(&rows);
+        assert!(rendered.contains("hit-rate"));
+        assert!(rendered.contains("disk"));
     }
 
     #[test]

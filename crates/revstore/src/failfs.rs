@@ -13,6 +13,7 @@
 //! filesystem and recover.
 
 use crate::fault::mix64;
+use crate::mmap::FileMap;
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -45,6 +46,13 @@ pub trait Vfs: Send + Sync {
     fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
     /// Creates `dir` and its parents.
     fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// A read-only byte view of the whole file. The default is an owned
+    /// [`read`](Vfs::read) (so fault injection and in-memory filesystems
+    /// keep working unchanged); [`RealFs`] overrides it with a zero-copy
+    /// `mmap(2)` on Unix.
+    fn map(&self, path: &Path) -> io::Result<FileMap> {
+        Ok(FileMap::from_vec(self.read(path)?))
+    }
 }
 
 /// The real disk.
@@ -109,6 +117,10 @@ impl Vfs for RealFs {
 
     fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
         std::fs::create_dir_all(dir)
+    }
+
+    fn map(&self, path: &Path) -> io::Result<FileMap> {
+        FileMap::map_file(path)
     }
 }
 
@@ -296,6 +308,9 @@ impl<T: Vfs + ?Sized> Vfs for Arc<T> {
     fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
         (**self).create_dir_all(dir)
     }
+    fn map(&self, path: &Path) -> io::Result<FileMap> {
+        (**self).map(path)
+    }
 }
 
 impl<T: Vfs + ?Sized> Vfs for &T {
@@ -331,6 +346,9 @@ impl<T: Vfs + ?Sized> Vfs for &T {
     }
     fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
         (**self).create_dir_all(dir)
+    }
+    fn map(&self, path: &Path) -> io::Result<FileMap> {
+        (**self).map(path)
     }
 }
 

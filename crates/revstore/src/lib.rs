@@ -23,7 +23,9 @@ pub mod failfs;
 pub mod fault;
 pub mod feed;
 pub mod fetch;
+pub mod mmap;
 pub mod reduce;
+pub mod shard;
 pub mod store;
 pub mod wal;
 
@@ -38,7 +40,12 @@ pub use failfs::{FailKind, FailOp, FailSpec, Failpoint, FailpointFs, MemFs, Real
 pub use fault::{mix64, FaultPlan, FaultyStore, GarbleMode};
 pub use feed::{DurableFeed, FeedEvent, RevisionFeed, VecFeed};
 pub use fetch::{backoff_delay_us, FetchError, FetchSource, ResilientFetcher, RetryPolicy};
+pub use mmap::FileMap;
 pub use reduce::{is_reduced, reduce_actions};
+pub use shard::{
+    history_bytes, CorpusStats, MemoryBudget, ShardLoss, ShardPolicy, ShardRecoveryReport,
+    ShardedStore, SnapshotCache, SnapshotCacheStats,
+};
 pub use store::{CrawlStats, PageHistory, Revision, RevisionStore};
 pub use wal::{scan_wal, SyncPolicy, TailOutcome, WalError, WalRecord, WalScan, WalWriter};
 pub use wiclean_wikitext::EditOp;

@@ -1,0 +1,265 @@
+//! Zero-copy file mapping behind the [`Vfs`](crate::failfs::Vfs) trait.
+//!
+//! The sharded store's read path wants byte access to multi-gigabyte
+//! segment files without pulling them into the heap. On Unix and a real
+//! filesystem that is `mmap(2)`: the kernel pages frames in on demand and
+//! evicts them under memory pressure, so materializing one entity's
+//! revision chain touches only its frames. Everywhere else — [`MemFs`]
+//! fault tests, exotic platforms, or an `mmap` refusal — [`FileMap`]
+//! degrades to an owned read of the file through the same `Vfs` methods,
+//! so every caller works against either backing transparently.
+//!
+//! The workspace deliberately vendors no external crates, so the Unix path
+//! declares the two syscall bindings it needs directly; on non-Unix targets
+//! the module compiles to the owned fallback alone.
+//!
+//! [`MemFs`]: crate::failfs::MemFs
+
+use std::io;
+use std::ops::Deref;
+use std::path::Path;
+
+/// A read-only view of a file's bytes: either a private memory mapping
+/// (real filesystems on Unix) or an owned in-heap copy (everything else).
+/// Derefs to `[u8]`; safe to share across threads.
+pub struct FileMap {
+    inner: MapInner,
+}
+
+enum MapInner {
+    Owned(Vec<u8>),
+    #[cfg(unix)]
+    Mapped(unix::Mapping),
+}
+
+impl FileMap {
+    /// Wraps an already-read buffer — the fallback used by [`Vfs::map`]'s
+    /// default implementation and by in-memory filesystems.
+    ///
+    /// [`Vfs::map`]: crate::failfs::Vfs::map
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        Self {
+            inner: MapInner::Owned(data),
+        }
+    }
+
+    /// Memory-maps the file at `path` read-only. Falls back to an owned
+    /// read if mapping is unavailable (empty file, non-Unix target, or the
+    /// kernel refusing the mapping).
+    pub fn map_file(path: &Path) -> io::Result<Self> {
+        #[cfg(unix)]
+        {
+            match unix::Mapping::open(path) {
+                Ok(Some(mapping)) => {
+                    return Ok(Self {
+                        inner: MapInner::Mapped(mapping),
+                    })
+                }
+                Ok(None) => {} // empty file: nothing to map
+                Err(_) => {}   // e.g. mmap refused; fall through to read
+            }
+        }
+        Ok(Self::from_vec(std::fs::read(path)?))
+    }
+
+    /// Whether the view is a real memory mapping (false: owned copy).
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            MapInner::Owned(_) => false,
+            #[cfg(unix)]
+            MapInner::Mapped(_) => true,
+        }
+    }
+
+    /// Drops the mapping's resident pages (`madvise(MADV_DONTNEED)`),
+    /// returning the number of bytes the advice covered (0 for owned
+    /// views, where there is nothing to give back). The view stays fully
+    /// readable — dropped pages fault back in from the file on next
+    /// touch. This is what keeps a long scan over a mapping larger than
+    /// the memory budget from accumulating the whole file in RSS: the
+    /// kernel only evicts file-backed pages under global memory pressure,
+    /// so a store that promises bounded memory has to give them back
+    /// itself.
+    pub fn release_resident(&self) -> u64 {
+        match &self.inner {
+            MapInner::Owned(_) => 0,
+            #[cfg(unix)]
+            MapInner::Mapped(m) => m.release_resident(),
+        }
+    }
+}
+
+impl Deref for FileMap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.inner {
+            MapInner::Owned(data) => data,
+            #[cfg(unix)]
+            MapInner::Mapped(m) => m.as_slice(),
+        }
+    }
+}
+
+#[cfg(unix)]
+mod unix {
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::AsRawFd;
+    use std::path::Path;
+
+    // The two bindings the read path needs; the platform libc is already
+    // linked by the Rust runtime on Unix targets.
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
+    }
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+    /// Frame chains are read by offset, not sequentially — suppress
+    /// readahead so a materialization only faults the pages it touches.
+    const MADV_RANDOM: c_int = 1;
+    /// Discard resident pages; clean file-backed pages re-fault from disk.
+    const MADV_DONTNEED: c_int = 4;
+
+    /// An owned `mmap(2)` region, unmapped on drop.
+    pub(super) struct Mapping {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // The region is immutable (PROT_READ, MAP_PRIVATE) for its whole
+    // lifetime, so shared references to it are safe from any thread.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        /// Maps `path` read-only; `Ok(None)` when the file is empty
+        /// (zero-length mappings are invalid).
+        pub(super) fn open(path: &Path) -> io::Result<Option<Self>> {
+            let file = std::fs::File::open(path)?;
+            let len = file.metadata()?.len() as usize;
+            if len == 0 {
+                return Ok(None);
+            }
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            // MAP_FAILED is (void*)-1.
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            // Advisory only — a refusal costs nothing but readahead.
+            unsafe {
+                madvise(ptr, len, MADV_RANDOM);
+            }
+            Ok(Some(Self {
+                ptr: ptr as *const u8,
+                len,
+            }))
+        }
+
+        pub(super) fn as_slice(&self) -> &[u8] {
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+
+        /// `madvise(MADV_DONTNEED)` over the whole region (mmap returns a
+        /// page-aligned address, so the range is valid as-is). Returns the
+        /// bytes covered; 0 if the kernel refused the advice.
+        pub(super) fn release_resident(&self) -> u64 {
+            let rc = unsafe { madvise(self.ptr as *mut c_void, self.len, MADV_DONTNEED) };
+            if rc == 0 {
+                self.len as u64
+            } else {
+                0
+            }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr as *mut c_void, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_map_derefs_to_bytes() {
+        let m = FileMap::from_vec(vec![1, 2, 3]);
+        assert!(!m.is_mapped());
+        assert_eq!(&m[..], &[1, 2, 3]);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn real_file_maps_and_reads_back() {
+        let dir = std::env::temp_dir().join(format!("wiclean-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg");
+        std::fs::write(&path, b"hello mapping").unwrap();
+        let m = FileMap::map_file(&path).unwrap();
+        assert!(m.is_mapped(), "non-empty real file should mmap");
+        assert_eq!(&m[..], b"hello mapping");
+        drop(m);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn owned_map_releases_nothing() {
+        let m = FileMap::from_vec(vec![7; 64]);
+        assert_eq!(m.release_resident(), 0);
+        assert_eq!(&m[..4], &[7, 7, 7, 7]);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn released_mapping_stays_readable() {
+        let dir = std::env::temp_dir().join(format!("wiclean-mmap-rel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg");
+        let content = vec![0xA5u8; 3 * 4096 + 17];
+        std::fs::write(&path, &content).unwrap();
+        let m = FileMap::map_file(&path).unwrap();
+        assert!(m.is_mapped());
+        assert_eq!(&m[..], &content[..], "touch every page");
+        assert_eq!(m.release_resident(), content.len() as u64);
+        assert_eq!(&m[..], &content[..], "pages fault back in after release");
+        drop(m);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn empty_file_falls_back_to_owned() {
+        let dir = std::env::temp_dir().join(format!("wiclean-mmap0-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg");
+        std::fs::write(&path, b"").unwrap();
+        let m = FileMap::map_file(&path).unwrap();
+        assert!(!m.is_mapped());
+        assert!(m.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -154,12 +154,12 @@ impl From<io::Error> for WalError {
     }
 }
 
-const TAG_FULL: u8 = 0x01;
-const TAG_DELTA: u8 = 0x02;
+pub(crate) const TAG_FULL: u8 = 0x01;
+pub(crate) const TAG_DELTA: u8 = 0x02;
 /// Payloads above this are structurally implausible (a single revision text
 /// is bounded far below); treating a huge decoded length as corruption
 /// stops a bit-flipped length field from swallowing gigabytes.
-const MAX_PAYLOAD: u32 = 1 << 28;
+pub(crate) const MAX_PAYLOAD: u32 = 1 << 28;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -205,7 +205,18 @@ impl<'a> Cursor<'a> {
 /// previous text appended for the same entity in this segment) when that is
 /// strictly smaller.
 fn encode_payload(record: &WalRecord, base: Option<&str>) -> Vec<u8> {
-    let text = record.text.as_bytes();
+    encode_payload_parts(record.entity, record.time, &record.text, base)
+}
+
+/// [`encode_payload`] without requiring an owned [`WalRecord`], so callers
+/// holding borrowed text (the sharded segment writer) avoid a copy.
+pub(crate) fn encode_payload_parts(
+    entity: EntityId,
+    time: Timestamp,
+    text: &str,
+    base: Option<&str>,
+) -> Vec<u8> {
+    let text = text.as_bytes();
     let mut out = Vec::with_capacity(text.len() + 24);
     if let Some(base) = base {
         let base = base.as_bytes();
@@ -221,8 +232,8 @@ fn encode_payload(record: &WalRecord, base: Option<&str>) -> Vec<u8> {
         // it actually saves space.
         if mid.len() + 8 < text.len() {
             out.push(TAG_DELTA);
-            put_u32(&mut out, record.entity.as_u32());
-            put_u64(&mut out, record.time);
+            put_u32(&mut out, entity.as_u32());
+            put_u64(&mut out, time);
             put_u32(&mut out, prefix as u32);
             put_u32(&mut out, suffix as u32);
             put_u32(&mut out, mid.len() as u32);
@@ -231,16 +242,26 @@ fn encode_payload(record: &WalRecord, base: Option<&str>) -> Vec<u8> {
         }
     }
     out.push(TAG_FULL);
-    put_u32(&mut out, record.entity.as_u32());
-    put_u64(&mut out, record.time);
+    put_u32(&mut out, entity.as_u32());
+    put_u64(&mut out, time);
     put_u32(&mut out, text.len() as u32);
     out.extend_from_slice(text);
     out
 }
 
+/// Wraps an encoded payload in a `len:u32 crc:u32` frame header — the unit
+/// appended to WAL and shard segment files alike.
+pub(crate) fn frame_payload(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    put_u32(&mut frame, payload.len() as u32);
+    put_u32(&mut frame, crc32(payload));
+    frame.extend_from_slice(payload);
+    frame
+}
+
 /// Decodes one payload into a record, resolving deltas against `bases`
 /// (previous text per entity, maintained in WAL order) and updating it.
-fn decode_payload(
+pub(crate) fn decode_payload(
     payload: &[u8],
     bases: &mut HashMap<EntityId, String>,
 ) -> Result<WalRecord, String> {

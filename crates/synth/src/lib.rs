@@ -21,6 +21,7 @@
 //! * exact [`truth::GroundTruth`] bookkeeping so the evaluation crate can
 //!   score precision/recall/F1 and error statistics without human experts.
 
+pub mod bulk;
 pub mod config;
 pub mod domain;
 pub mod generator;
@@ -30,9 +31,10 @@ pub mod scenarios;
 pub mod template;
 pub mod truth;
 
+pub use bulk::{build_bulk_universe, BulkConfig, BulkWorld};
 pub use config::SynthConfig;
 pub use domain::DomainSpec;
 pub use generator::{generate, SynthWorld};
-pub use persist::{Corpus, CorpusError};
+pub use persist::{Corpus, CorpusError, CorpusHeader};
 pub use template::{EventTemplate, RoleBinding, TemplateAction, WindowSpec};
 pub use truth::{GroundTruth, PlantedError, PlantedEvent, SpuriousEdit};

@@ -86,6 +86,16 @@ impl Corpus {
     /// tests can fail the write at chosen points. The temporary file is
     /// cleaned up on *every* failure branch — a failed save leaves neither
     /// a truncated corpus nor `.tmp` litter behind.
+    ///
+    /// The JSON is *streamed*: the revision store — by far the largest
+    /// section — is appended page by page in bounded chunks instead of
+    /// being rendered into one giant in-memory string first. Serializing
+    /// the whole corpus at once would briefly hold both the store and its
+    /// JSON rendering resident, a ~2× peak-RSS spike exactly when a big
+    /// generation run is already at its high-water mark. Pages are emitted
+    /// in entity-id order, so the bytes are deterministic for a given
+    /// corpus; the format is unchanged (a streamed file parses with
+    /// [`Corpus::from_json`], and vice versa).
     pub fn save_with(
         &self,
         fs: &impl wiclean_revstore::Vfs,
@@ -94,11 +104,11 @@ impl Corpus {
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
         let tmp = std::path::PathBuf::from(tmp);
-        if let Err(e) = fs.write(&tmp, self.to_json().as_bytes()) {
+        if let Err(e) = self.stream_json(fs, &tmp) {
             // A partial write (disk full, injected fault) may have created
             // the file before erroring.
             fs.remove(&tmp).ok();
-            return Err(e.into());
+            return Err(e);
         }
         if let Err(e) = fs.sync(&tmp) {
             fs.remove(&tmp).ok();
@@ -111,9 +121,112 @@ impl Corpus {
         Ok(())
     }
 
+    /// Streams the corpus JSON to `tmp`, flushing the buffer to the
+    /// filesystem whenever it exceeds a fixed chunk size. Field layout
+    /// mirrors the derived [`Serialize`] impl (the store serializes only
+    /// its `pages`; crawl counters are process-local and skipped).
+    fn stream_json(&self, fs: &impl wiclean_revstore::Vfs, tmp: &Path) -> Result<(), CorpusError> {
+        use std::fmt::Write as _;
+        const FLUSH_BYTES: usize = 4 << 20;
+        fs.write(tmp, b"")?;
+        let mut buf = String::with_capacity(FLUSH_BYTES + (64 << 10));
+        buf.push_str("{\"version\":");
+        let _ = write!(buf, "{}", self.version);
+        buf.push_str(",\"universe\":");
+        buf.push_str(&serde_json::to_string(&self.universe)?);
+        buf.push_str(",\"store\":{\"pages\":{");
+        let mut entities: Vec<wiclean_types::EntityId> = self.store.entities().collect();
+        entities.sort_by_key(|e| e.as_u32());
+        let mut first = true;
+        for entity in entities {
+            let history = self
+                .store
+                .peek(entity)
+                .expect("listed entity has a history");
+            if !first {
+                buf.push(',');
+            }
+            first = false;
+            let _ = write!(buf, "\"{}\":", entity.as_u32());
+            buf.push_str(&serde_json::to_string(history)?);
+            if buf.len() >= FLUSH_BYTES {
+                fs.append(tmp, buf.as_bytes())?;
+                buf.clear();
+            }
+        }
+        buf.push_str("}},\"seed_type\":");
+        buf.push_str(&serde_json::to_string(&self.seed_type)?);
+        buf.push_str(",\"truth\":");
+        buf.push_str(&serde_json::to_string(&self.truth)?);
+        buf.push_str(",\"domain\":");
+        buf.push_str(&serde_json::to_string(&self.domain)?);
+        buf.push_str(",\"synth_config\":");
+        buf.push_str(&serde_json::to_string(&self.synth_config)?);
+        buf.push('}');
+        fs.append(tmp, buf.as_bytes())?;
+        Ok(())
+    }
+
     /// Loads a corpus from a file.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, CorpusError> {
         Self::from_json(&std::fs::read_to_string(path)?)
+    }
+}
+
+/// The corpus' static side — universe and seed type, no revision data —
+/// persisted next to an out-of-core store directory (`universe.json`) so
+/// that `mine --backend disk` can resolve names and types without loading
+/// a full corpus blob. The revisions live in the sharded segment files.
+#[derive(Serialize, Deserialize)]
+pub struct CorpusHeader {
+    /// Format version, shared with [`Corpus`].
+    pub version: u32,
+    /// Vocabulary and entity catalog.
+    pub universe: Universe,
+    /// Name of the seed type to mine for.
+    pub seed_type: String,
+}
+
+impl CorpusHeader {
+    /// Extracts the header of a corpus.
+    pub fn of(corpus: &Corpus) -> Self {
+        Self {
+            version: corpus.version,
+            universe: corpus.universe.clone(),
+            seed_type: corpus.seed_type.clone(),
+        }
+    }
+
+    /// Resolves the seed type id in this header's universe.
+    pub fn seed_type_id(&self) -> TypeId {
+        self.universe
+            .taxonomy()
+            .require(&self.seed_type)
+            .expect("header seed type must exist in its own universe")
+    }
+
+    /// Writes the header atomically (tmp + rename), like [`Corpus::save`].
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CorpusError> {
+        let path = path.as_ref();
+        let json = serde_json::to_string(self)?;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, json.as_bytes())?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Loads a header, validating the version.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CorpusError> {
+        let header: CorpusHeader = serde_json::from_str(&std::fs::read_to_string(path)?)?;
+        if header.version != CORPUS_VERSION {
+            return Err(CorpusError::Version(header.version));
+        }
+        Ok(header)
     }
 }
 
@@ -253,6 +366,34 @@ mod tests {
         let back =
             Corpus::from_json(std::str::from_utf8(&mem.read(&path).unwrap()).unwrap()).unwrap();
         assert_eq!(back.seed_type, corpus.seed_type);
+    }
+
+    #[test]
+    fn streamed_save_parses_identically_to_derived_json() {
+        use std::path::PathBuf;
+        use std::sync::Arc;
+        use wiclean_revstore::{MemFs, Vfs};
+
+        let world = generate(scenarios::politics(), SynthConfig::tiny(38));
+        let corpus = Corpus::from_world(world);
+        let mem = Arc::new(MemFs::new());
+        let dir = PathBuf::from("/out");
+        mem.create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.json");
+        corpus.save_with(&*mem, &path).unwrap();
+        let streamed = String::from_utf8(mem.read(&path).unwrap()).unwrap();
+        let from_stream = Corpus::from_json(&streamed).unwrap();
+        let from_derive = Corpus::from_json(&corpus.to_json()).unwrap();
+        assert_eq!(from_stream.store, from_derive.store);
+        assert_eq!(from_stream.seed_type, from_derive.seed_type);
+        assert_eq!(
+            from_stream.truth.as_ref().unwrap().events.len(),
+            from_derive.truth.as_ref().unwrap().events.len()
+        );
+        assert_eq!(
+            from_stream.universe.entities().len(),
+            from_derive.universe.entities().len()
+        );
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Kill-and-recover integration tests over sharded segment logs.
+//!
+//! The out-of-core corpus must compose with the crash-safety posture of
+//! PR 6: a process death mid-append tears at most one shard's segment
+//! tail, the other shards stay byte-intact, and the loss lands in
+//! [`DegradedCoverage::shard_losses`] — per shard — all the way into the
+//! serialized [`WcReport`]. Mining then completes over the surviving
+//! data instead of aborting.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use wiclean_core::{
+    find_windows_and_patterns, ingest_sharded, open_sharded_corpus, DegradedCoverage, MiningPool,
+    WcConfig, WcReport,
+};
+use wiclean_revstore::{
+    FailKind, FailOp, FailSpec, FailpointFs, MemFs, MemoryBudget, RevisionStore, ShardPolicy,
+    ShardedStore, SyncPolicy, Vfs,
+};
+use wiclean_synth::{build_bulk_universe, BulkConfig};
+use wiclean_types::{WEEK, YEAR};
+
+fn policy() -> ShardPolicy {
+    ShardPolicy {
+        shards: 4,
+        snapshot_every: 4,
+        sync: SyncPolicy::Never,
+        ..ShardPolicy::default()
+    }
+}
+
+fn budget() -> Arc<MemoryBudget> {
+    Arc::new(MemoryBudget::new(4 << 20))
+}
+
+/// The bulk corpus as a plain in-memory store (the differential
+/// reference) — small enough to hold both sides.
+fn reference_store(world: &wiclean_synth::BulkWorld) -> RevisionStore {
+    let mut store = RevisionStore::new();
+    for (entity, history) in world.histories() {
+        for (time, text) in history {
+            store.record(entity, time, text);
+        }
+    }
+    store
+}
+
+#[test]
+fn kill_mid_append_fails_cleanly_and_recovery_serves_a_prefix() {
+    let world = build_bulk_universe(BulkConfig::small(41));
+    let source = reference_store(&world);
+
+    // Simulated process death: the 57th append tears after 5 payload
+    // bytes and the filesystem halts — nothing later lands either.
+    let mem = Arc::new(MemFs::new());
+    let fs = FailpointFs::new(
+        mem.clone(),
+        FailSpec::once(FailOp::Append, 57, FailKind::TornWrite { keep: 5 }),
+    );
+    let dir = PathBuf::from("/corpus");
+    let dest = ShardedStore::create(&fs, &dir, policy(), budget()).unwrap();
+    let pool = MiningPool::new(1);
+    assert!(
+        ingest_sharded(&pool, &source, &dest).is_err(),
+        "the injected kill must surface as an error, not a panic"
+    );
+    drop(dest);
+    drop(fs);
+
+    // Reopen what actually reached "disk". Damage must be confined to
+    // the shard that was mid-append; every materialized revision must be
+    // one the source really contains.
+    let corpus = open_sharded_corpus(mem, &dir, policy(), budget()).unwrap();
+    assert!(corpus.recovery.losses.len() <= 1, "at most the torn shard");
+    for entity in corpus.store.entities() {
+        let got = corpus.store.materialize(entity).unwrap().unwrap();
+        let want = source.peek(entity).unwrap();
+        assert!(got.len() <= want.len());
+        for rev in got.revisions() {
+            assert!(
+                want.revisions().contains(rev),
+                "recovered revision must exist in the source history"
+            );
+        }
+    }
+}
+
+#[test]
+fn torn_shard_is_isolated_and_lands_in_the_report_per_shard() {
+    let world = build_bulk_universe(BulkConfig::small(43));
+    let source = reference_store(&world);
+
+    let mem = Arc::new(MemFs::new());
+    let dir = PathBuf::from("/corpus");
+    {
+        let dest = ShardedStore::create(mem.clone(), &dir, policy(), budget()).unwrap();
+        let pool = MiningPool::new(2);
+        ingest_sharded(&pool, &source, &dest).unwrap();
+    }
+
+    // Tear the tail of one shard — a torn write the moment the power went.
+    let victim = 2u32;
+    let seg = dir.join(format!("shard-{victim:04}.seg"));
+    let len = mem.len(&seg).unwrap();
+    mem.truncate(&seg, len - 7).unwrap();
+
+    let corpus = open_sharded_corpus(mem, &dir, policy(), budget()).unwrap();
+    assert!(!corpus.recovery.is_clean());
+    assert!(corpus.recovery.losses.iter().all(|l| l.shard == victim));
+
+    // Every other shard is byte-identical to the reference.
+    let mut damaged_entities = 0usize;
+    for entity in corpus.store.entities() {
+        let got = corpus.store.materialize(entity).unwrap().unwrap();
+        let want = source.peek(entity).unwrap();
+        if corpus.store.shard_of(entity) == victim {
+            if got.revisions() != want.revisions() {
+                damaged_entities += 1;
+            }
+        } else {
+            assert_eq!(got.revisions(), want.revisions(), "undamaged shard changed");
+        }
+    }
+    assert!(damaged_entities <= 1, "a torn tail costs at most one frame");
+
+    // Mining completes over the recovered store, and the per-shard loss
+    // flows through DegradedCoverage into the serialized report.
+    let wc = WcConfig {
+        w_min: 2 * WEEK,
+        timeline_start: 0,
+        timeline_end: YEAR,
+        threads: 1,
+        ..WcConfig::default()
+    };
+    let mut result =
+        find_windows_and_patterns(&corpus.store, &world.universe, world.seed_type, &wc);
+    corpus.stamp(&mut result.degraded);
+    corpus.stamp_stats(&mut result.stats);
+    assert!(
+        result
+            .discovered
+            .iter()
+            .any(|d| d.pattern.display(&world.universe).contains("current_club")),
+        "the transfer pattern must survive a one-shard tail loss; got {:?}",
+        result
+            .discovered
+            .iter()
+            .map(|d| d.pattern.display(&world.universe))
+            .collect::<Vec<_>>()
+    );
+
+    let report = WcReport::from_result(&result, &world.universe);
+    assert_eq!(report.degraded.shard_losses.len(), 1);
+    assert_eq!(report.degraded.shard_losses[0].shard, victim);
+    assert!(report.stats.bytes_on_disk > 0);
+
+    let back = WcReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(back.degraded.shard_losses, report.degraded.shard_losses);
+    assert_eq!(back.stats.bytes_on_disk, report.stats.bytes_on_disk);
+
+    // A fresh DegradedCoverage stamped directly also reports per shard.
+    let mut degraded = DegradedCoverage::default();
+    corpus.stamp(&mut degraded);
+    assert!(!degraded.is_empty());
+    assert_eq!(degraded.shard_losses[0].shard, victim);
+}

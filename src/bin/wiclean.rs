@@ -19,6 +19,14 @@
 //! crashed), and any records lost to torn or corrupt WAL tails surface in
 //! the degraded-coverage section of the report.
 //!
+//! With `--backend disk`, `ingest` converts a corpus into an out-of-core
+//! sharded store (delta-encoded segment logs, see DESIGN.md §9) and
+//! `mine`/`stream` read revisions from those segments instead of holding
+//! the corpus in memory, materializing page snapshots through a
+//! byte-budgeted cache. Mining output is byte-identical between the two
+//! backends; a shard's torn tail after a crash surfaces per shard in the
+//! degraded-coverage section.
+//!
 //! `serve` is the online half (see `wiclean-serve`): it mines once, builds
 //! the read-optimized suggestion index, and answers editor requests over
 //! newline-delimited JSON on a TCP port until a wire `shutdown` — with the
@@ -27,18 +35,21 @@
 //! and smoke tests.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use wiclean::core::partial::detect_partial_updates;
 use wiclean::core::recover::{open_recovered, RecoveredStore};
 use wiclean::core::report::WcReport;
 use wiclean::core::windows::find_windows_and_patterns;
+use wiclean::core::{ingest_sharded, open_sharded_corpus, MiningPool, ShardedCorpus};
 use wiclean::eval::quality::default_wc_config;
 use wiclean::revstore::{
-    DurabilityPolicy, DurableStore, FaultPlan, FaultyStore, RealFs, ResilientFetcher, RetryPolicy,
-    SyncPolicy,
+    DurabilityPolicy, DurableStore, FaultPlan, FaultyStore, MemoryBudget, RealFs, ResilientFetcher,
+    RetryPolicy, RevisionStore, ShardPolicy, ShardedStore, SyncPolicy,
 };
 use wiclean::serve::{IndexLimits, PatternIndex, PatternSet, ReloadFn, ServeConfig};
-use wiclean::synth::{generate, scenarios, Corpus, SynthConfig};
+use wiclean::synth::{generate, scenarios, Corpus, CorpusHeader, SynthConfig};
 
 /// Distinct exit code for "the crawl circuit breaker opened": results were
 /// still written, but coverage is untrustworthy.
@@ -87,11 +98,13 @@ wiclean — mine Wikipedia-style revision histories for edit patterns
 USAGE:
   wiclean generate --domain <soccer|cinema|politics|software> [--seeds N] [--rng S] --out FILE
   wiclean stats    --corpus FILE
-  wiclean ingest   --corpus FILE --store DIR [DURABILITY FLAGS]
+  wiclean ingest   --corpus FILE --store DIR [DURABILITY FLAGS | CORPUS BACKEND FLAGS]
   wiclean mine     --corpus FILE [--durability DIR] [--threads N] [--extract MODE] [--out FILE] [FAULT FLAGS]
+  wiclean mine     --backend disk --store DIR [--threads N] [--extract MODE] [--out FILE] [CORPUS BACKEND FLAGS]
   wiclean detect   --corpus FILE [--durability DIR] [--threads N] [--extract MODE] [--top K] [FAULT FLAGS]
   wiclean serve    --corpus FILE [--addr HOST:PORT] [--max-conns N] [--threads N] [SERVE FLAGS]
   wiclean stream   --corpus FILE [--serve HOST:PORT] [--out FILE] [STREAM FLAGS]
+  wiclean stream   --backend disk --store DIR [--serve HOST:PORT] [--out FILE] [STREAM FLAGS]
   wiclean suggest  --corpus FILE --entity NAME [--edit add|remove] [--rel NAME] [--threads N]
 
 MODE (extraction pipeline, both produce byte-identical output):
@@ -106,6 +119,27 @@ DURABILITY FLAGS (crash-safe revision store; see also --durability):
   --durability DIR read revisions from the durable store at DIR instead of
                    the corpus, recovering after a crash; records lost to
                    torn/corrupt WAL tails are reported as degraded coverage
+
+CORPUS BACKEND FLAGS (out-of-core sharded store; see DESIGN.md §9):
+  --backend B      `memory` (default): revisions live in RAM, loaded from
+                   --corpus; `disk`: revisions live in delta-encoded
+                   sharded segment logs under --store, materialized
+                   through a byte-budgeted snapshot cache. Mining output
+                   is byte-identical between backends
+  --store DIR      the sharded store directory (`ingest --backend disk`
+                   creates it; `mine`/`stream` open it, recovering any
+                   shard with a torn tail and reporting the loss per
+                   shard as degraded coverage)
+  --shards N       segment files to hash-partition entities across at
+                   ingest (default: 8; an existing store's own shard
+                   count always wins on open)
+  --snapshot-every N
+                   full-text checkpoint frame cadence per entity chain;
+                   revisions in between are stored as line-splice deltas
+                   (default: 16; 1 disables delta encoding)
+  --memory-budget MB
+                   snapshot-cache budget in MiB (default: 256); least
+                   recently used snapshots are evicted past it
 
 SERVE FLAGS (online suggestion server; see DESIGN.md §7):
   --addr HOST:PORT bind address (default: 127.0.0.1:9178; port 0 = OS pick)
@@ -261,22 +295,25 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a `--sync` value into a [`SyncPolicy`].
+fn parse_sync(mode: &str) -> Result<SyncPolicy, String> {
+    match mode {
+        "always" => Ok(SyncPolicy::Always),
+        "never" => Ok(SyncPolicy::Never),
+        other => match other.strip_prefix("every:").map(str::parse) {
+            Some(Ok(n)) => Ok(SyncPolicy::EveryN(n)),
+            _ => Err(format!(
+                "flag --sync: `{other}` is not `always`, `every:N`, or `never`"
+            )),
+        },
+    }
+}
+
 /// Builds the durability policy from the CLI's durability flags.
 fn durability_policy(flags: &HashMap<String, String>) -> Result<DurabilityPolicy, String> {
     let mut policy = DurabilityPolicy::default();
     if let Some(mode) = flags.get("sync") {
-        policy.sync = match mode.as_str() {
-            "always" => SyncPolicy::Always,
-            "never" => SyncPolicy::Never,
-            other => match other.strip_prefix("every:").map(str::parse) {
-                Some(Ok(n)) => SyncPolicy::EveryN(n),
-                _ => {
-                    return Err(format!(
-                        "flag --sync: `{other}` is not `always`, `every:N`, or `never`"
-                    ))
-                }
-            },
-        };
+        policy.sync = parse_sync(mode)?;
     }
     if let Some(n) = flags.get("checkpoint-every") {
         policy.checkpoint_every = n
@@ -309,7 +346,81 @@ fn open_durability(flags: &HashMap<String, String>) -> Result<Option<RecoveredSt
     Ok(Some(rec))
 }
 
+/// Name of the universe/seed-type sidecar inside a sharded store
+/// directory, written at ingest so `mine --backend disk` never needs the
+/// original corpus blob.
+const HEADER_FILE: &str = "universe.json";
+
+/// Whether the corpus backend flags select the out-of-core disk store.
+fn disk_backend(flags: &HashMap<String, String>) -> Result<bool, String> {
+    match flags.get("backend").map(String::as_str) {
+        None | Some("memory") => Ok(false),
+        Some("disk") => Ok(true),
+        Some(other) => Err(format!("flag --backend: `{other}` is not memory|disk")),
+    }
+}
+
+/// Builds the shard policy from the corpus-backend flags.
+fn shard_policy(flags: &HashMap<String, String>) -> Result<ShardPolicy, String> {
+    let mut policy = ShardPolicy {
+        shards: num_flag(flags, "shards", ShardPolicy::default().shards)?,
+        snapshot_every: num_flag(
+            flags,
+            "snapshot-every",
+            ShardPolicy::default().snapshot_every,
+        )?,
+        ..ShardPolicy::default()
+    };
+    if policy.shards == 0 {
+        return Err("flag --shards: must be at least 1".to_owned());
+    }
+    if policy.snapshot_every == 0 {
+        return Err("flag --snapshot-every: must be at least 1".to_owned());
+    }
+    if let Some(mode) = flags.get("sync") {
+        policy.sync = parse_sync(mode)?;
+    }
+    Ok(policy)
+}
+
+/// The snapshot-cache byte budget from `--memory-budget` (MiB).
+fn memory_budget(flags: &HashMap<String, String>) -> Result<Arc<MemoryBudget>, String> {
+    let mib: u64 = num_flag(flags, "memory-budget", 256)?;
+    if mib == 0 {
+        return Err("flag --memory-budget: must be at least 1 MiB".to_owned());
+    }
+    Ok(Arc::new(MemoryBudget::new(mib << 20)))
+}
+
+/// Opens the sharded store named by `--store`, narrating what the
+/// per-shard recovery scan found.
+fn open_disk_corpus(flags: &HashMap<String, String>) -> Result<ShardedCorpus<RealFs>, String> {
+    let dir = flag(flags, "store")?;
+    let corpus = open_sharded_corpus(
+        RealFs,
+        Path::new(dir),
+        shard_policy(flags)?,
+        memory_budget(flags)?,
+    )
+    .map_err(|e| format!("sharded store {dir}: {e}"))?;
+    let r = &corpus.recovery;
+    eprintln!(
+        "  sharded store: {} shards, {} frame records recovered",
+        r.shards, r.records_recovered
+    );
+    for l in &r.losses {
+        eprintln!(
+            "  recovery losses: shard {} dropped {} records / {} bytes ({:?} tail)",
+            l.shard, l.records_dropped, l.bytes_dropped, l.outcome
+        );
+    }
+    Ok(corpus)
+}
+
 fn cmd_ingest(flags: &HashMap<String, String>) -> Result<(), String> {
+    if disk_backend(flags)? {
+        return cmd_ingest_disk(flags);
+    }
     let corpus = load_corpus(flags)?;
     let dir = flag(flags, "store")?;
     let policy = durability_policy(flags)?;
@@ -336,6 +447,38 @@ fn cmd_ingest(flags: &HashMap<String, String>) -> Result<(), String> {
         ds.records_ingested(),
         ds.epoch(),
         ds.checkpoint_failures()
+    );
+    Ok(())
+}
+
+/// `ingest --backend disk`: converts a corpus into an out-of-core sharded
+/// store — delta-encoded segment logs plus the universe sidecar — so
+/// `mine --backend disk` can run without the corpus blob in memory.
+fn cmd_ingest_disk(flags: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(flags)?;
+    let dir = flag(flags, "store")?;
+    let policy = shard_policy(flags)?;
+    let store = ShardedStore::create(RealFs, Path::new(dir), policy, memory_budget(flags)?)
+        .map_err(|e| format!("sharded store {dir}: {e}"))?;
+    eprintln!(
+        "ingesting {} revisions into {dir} ({} shards, snapshot every {}, sync {:?})…",
+        corpus.store.revision_count(),
+        policy.shards,
+        policy.snapshot_every,
+        policy.sync
+    );
+    let pool = MiningPool::new(threads(flags)?);
+    let n = ingest_sharded(&pool, &corpus.store, &store).map_err(|e| e.to_string())?;
+    CorpusHeader::of(&corpus)
+        .save(Path::new(dir).join(HEADER_FILE))
+        .map_err(|e| e.to_string())?;
+    let stats = store.corpus_stats();
+    eprintln!(
+        "wrote {n} revisions: {} bytes on disk ({:.1} bytes/revision), {} full + {} delta frames",
+        stats.bytes_on_disk,
+        stats.bytes_on_disk as f64 / (n.max(1)) as f64,
+        stats.frames_full,
+        stats.frames_delta
     );
     Ok(())
 }
@@ -383,6 +526,12 @@ fn print_degraded(report: &WcReport) {
             d.wal_records_dropped, d.wal_bytes_dropped, d.checkpoints_rejected
         );
     }
+    for l in &d.shard_losses {
+        eprintln!(
+            "    ✗ shard {}: {} records / {} bytes dropped ({:?} tail)",
+            l.shard, l.records_dropped, l.bytes_dropped, l.outcome
+        );
+    }
     for l in d.entities_lost.iter().take(10) {
         eprintln!("    ✗ {} — {}", l.entity, l.reason);
     }
@@ -395,6 +544,9 @@ fn print_degraded(report: &WcReport) {
 }
 
 fn cmd_mine(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
+    if disk_backend(flags)? {
+        return cmd_mine_disk(flags);
+    }
     let corpus = load_corpus(flags)?;
     let mut wc = default_wc_config(threads(flags)?);
     apply_extract_mode(&mut wc, flags)?;
@@ -440,6 +592,55 @@ fn cmd_mine(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     if fetcher.breaker_tripped() {
         eprintln!("warning: crawl circuit breaker tripped — coverage is untrustworthy");
         return Ok(ExitCode::from(EXIT_BREAKER_TRIPPED));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `mine --backend disk`: the same Algorithm 2 search, reading revisions
+/// from the sharded segment logs through the snapshot cache instead of an
+/// in-memory corpus. Output is byte-identical to the memory backend.
+fn cmd_mine_disk(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
+    if num_flag::<f64>(flags, "fault-rate", 0.0)? > 0.0 {
+        return Err(
+            "flag --fault-rate: fault injection applies to the memory backend only".to_owned(),
+        );
+    }
+    let dir = flag(flags, "store")?;
+    let header = CorpusHeader::load(Path::new(dir).join(HEADER_FILE))
+        .map_err(|e| format!("sharded store {dir}: {e}"))?;
+    let mut wc = default_wc_config(threads(flags)?);
+    apply_extract_mode(&mut wc, flags)?;
+    eprintln!("mining `{}` (Algorithm 2, out-of-core)…", header.seed_type);
+    let corpus = open_disk_corpus(flags)?;
+    let mut result =
+        find_windows_and_patterns(&corpus.store, &header.universe, header.seed_type_id(), &wc);
+    corpus.stamp(&mut result.degraded);
+    corpus.stamp_stats(&mut result.stats);
+    eprintln!(
+        "  {} iterations → {} patterns (final width {}d, tau {:.3})",
+        result.iterations,
+        result.discovered.len(),
+        result.final_width / 86_400,
+        result.final_tau
+    );
+    let s = &result.stats;
+    eprintln!(
+        "  corpus: {} bytes on disk, snapshot cache {} hits / {} misses / {} evictions, {} delta frames replayed",
+        s.bytes_on_disk,
+        s.snapshot_cache_hits,
+        s.snapshot_cache_misses,
+        s.snapshot_cache_evictions,
+        s.delta_chain_replays
+    );
+    let report = WcReport::from_result(&result, &header.universe);
+    print_degraded(&report);
+    let json = report.to_json();
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| e.to_string())?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -566,11 +767,50 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// The corpus a `stream` run replays: from the corpus blob (memory
+/// backend), or reassembled from a sharded store directory plus its
+/// universe sidecar (`--backend disk`). A stream replay holds every
+/// revision in its feed regardless of backend, so materializing the
+/// histories here costs no more than the feed itself; the disk backend's
+/// value for `stream` is starting from segment files an `ingest` (or a
+/// crashed one — losses are narrated) left behind.
+fn load_stream_corpus(flags: &HashMap<String, String>) -> Result<Corpus, String> {
+    if !disk_backend(flags)? {
+        return load_corpus(flags);
+    }
+    let dir = flag(flags, "store")?;
+    let header = CorpusHeader::load(Path::new(dir).join(HEADER_FILE))
+        .map_err(|e| format!("sharded store {dir}: {e}"))?;
+    let sharded = open_disk_corpus(flags)?;
+    let mut store = RevisionStore::new();
+    for entity in sharded.store.entities() {
+        let Some(history) = sharded
+            .store
+            .materialize(entity)
+            .map_err(|e| e.to_string())?
+        else {
+            continue;
+        };
+        for r in history.revisions() {
+            store.record(entity, r.time, r.text.clone());
+        }
+    }
+    Ok(Corpus {
+        version: header.version,
+        universe: header.universe,
+        store,
+        seed_type: header.seed_type,
+        truth: None,
+        domain: None,
+        synth_config: None,
+    })
+}
+
 fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
     use wiclean::core::stream::{wc_result_from_sealed, StreamMiner};
     use wiclean::revstore::{FeedEvent, RevisionFeed, VecFeed};
 
-    let corpus = load_corpus(flags)?;
+    let corpus = load_stream_corpus(flags)?;
     let mut wc = default_wc_config(threads(flags)?);
     apply_extract_mode(&mut wc, flags)?;
     wc.stream.grace = num_flag(flags, "grace", wc.stream.grace)?;
