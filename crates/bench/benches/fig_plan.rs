@@ -1,0 +1,259 @@
+//! fig_plan (repo extension) — the adaptive cost-based join planner.
+//!
+//! Sweeps a grid of join shapes — uniform/skewed key distributions ×
+//! left:right size ratios × glue arity — and times the pair stage with the
+//! planner on ([`Planner::pair_join`]: sampled statistics, cost model,
+//! per-shape plan cache) against the planner off (the fixed
+//! [`join_glue_pairs`] dispatch the miner used before). Every cell asserts
+//! the two pair streams byte-identical; the planner's wins come from
+//! picking the cheaper build side and strategy where the fixed dispatch
+//! cannot (e.g. a small probe side against a large build side).
+//!
+//! Results land in `BENCH_plan.json` at the repo root. Set
+//! `WICLEAN_BENCH_FAST=1` for a CI-sized smoke run (no file written, no
+//! perf gates — equivalence is still asserted per cell).
+
+use serde::Serialize;
+use std::time::Instant;
+use wiclean_rel::{
+    join_glue_pairs, ColumnGlue, Pair, Planner, PlannerSettings, Schema, SerialRunner, Table,
+};
+use wiclean_types::EntityId;
+
+/// One cell of the shape grid: a (distribution, ratio, arity) workload
+/// timed planner-off and planner-on.
+#[derive(Serialize)]
+struct Cell {
+    dist: &'static str,
+    ratio: &'static str,
+    arity: usize,
+    left_rows: usize,
+    right_rows: usize,
+    pairs: usize,
+    baseline_ms: f64,
+    planner_ms: f64,
+    /// baseline wall-clock over planner wall-clock.
+    speedup: f64,
+    /// Planner pair stream byte-identical to the fixed dispatch's.
+    identical: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    host_cores: usize,
+    fast_mode: bool,
+    cells: Vec<Cell>,
+    /// Best planner speedup over any skewed cell (acceptance: ≥ 1.3).
+    max_skewed_speedup: f64,
+    /// Worst planner speedup over any cell (acceptance: ≥ 0.95).
+    min_speedup: f64,
+    all_identical: bool,
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Draws a join key: uniform over `keys`, or skewed so half the rows land
+/// in an eighth of the key space (long build chains on the hot keys).
+fn draw_key(r: u64, keys: u32, skewed: bool) -> EntityId {
+    let k = if skewed && r.is_multiple_of(2) {
+        (r >> 8) as u32 % (keys / 8 + 1)
+    } else {
+        (r >> 8) as u32 % keys
+    };
+    EntityId::from_u32(k)
+}
+
+/// A realization-shaped left table: seed column, two join-key columns
+/// (`k1` wide, `k2` narrow), and two more bound variables. Null-free,
+/// like every inner-join realization table.
+fn left_table(rows: usize, keys: u32, skewed: bool, rng: &mut u64) -> Table {
+    let mut t = Table::new(Schema::new(["seed", "k1", "k2", "v3", "v4"]));
+    for i in 0..rows {
+        let seed = EntityId::from_u32(10_000 + (i as u32 % (rows as u32 / 2 + 1)));
+        let r = xorshift(rng);
+        let k1 = draw_key(r, keys, skewed);
+        let k2 = EntityId::from_u32(1_000 + (r >> 40) as u32 % 32);
+        t.push_row(&[
+            Some(seed),
+            Some(k1),
+            Some(k2),
+            Some(EntityId::from_u32(50_000 + (r >> 24) as u32 % 1000)),
+            Some(EntityId::from_u32(60_000 + (r >> 48) as u32 % 1000)),
+        ]);
+    }
+    t
+}
+
+/// The action relation being glued on. Arity 1: `(k1, fresh-entity)`;
+/// arity 2: `(k1, k2)` — both columns equi-glued.
+fn right_table(rows: usize, keys: u32, skewed: bool, arity: usize, rng: &mut u64) -> Table {
+    let mut t = Table::new(Schema::new(if arity == 1 {
+        ["k1r", "fresh"]
+    } else {
+        ["k1r", "k2r"]
+    }));
+    for _ in 0..rows {
+        let r = xorshift(rng);
+        let k1 = draw_key(r, keys, skewed);
+        let second = if arity == 1 {
+            EntityId::from_u32(10_000 + (r >> 32) as u32 % 8000)
+        } else {
+            EntityId::from_u32(1_000 + (r >> 44) as u32 % 32)
+        };
+        t.push_row(&[Some(k1), Some(second)]);
+    }
+    t
+}
+
+fn glue(arity: usize) -> Vec<ColumnGlue> {
+    if arity == 1 {
+        vec![
+            ColumnGlue::Glued(1),
+            ColumnGlue::New {
+                name: "fresh".into(),
+                distinct_from: vec![0],
+            },
+        ]
+    } else {
+        vec![ColumnGlue::Glued(1), ColumnGlue::Glued(2)]
+    }
+}
+
+/// Times two runs interleaved (A, B, A, B, …) and reports each one's
+/// fastest repetition. Interleaving decorrelates slow drift on a shared
+/// host, and the minimum is the robust statistic for identical
+/// CPU-bound work — medians of back-to-back batches showed ±15% jitter
+/// on equal code paths.
+fn timed_pair(
+    reps: usize,
+    a: &mut dyn FnMut() -> Vec<Pair>,
+    b: &mut dyn FnMut() -> Vec<Pair>,
+) -> (f64, f64, Vec<Pair>, Vec<Pair>) {
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out_a = a();
+        best_a = best_a.min(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        out_b = b();
+        best_b = best_b.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best_a, best_b, out_a, out_b)
+}
+
+fn main() {
+    let fast_mode = std::env::var_os("WICLEAN_BENCH_FAST").is_some();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (base, keys, reps) = if fast_mode {
+        (2_000usize, 200u32, 3usize)
+    } else {
+        (8_000, 600, 15)
+    };
+    // left:right row ratios. The fixed dispatch always hash-builds the
+    // right side, so "1:16" (small probe, large build) is where the
+    // planner's build-side choice pays.
+    let ratios: [(&str, usize, usize); 3] = [
+        ("1:16", base / 4, base * 4),
+        ("1:1", base + base / 2, base + base / 2),
+        ("16:1", base * 4, base / 4),
+    ];
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut all_identical = true;
+    for (dist, skewed) in [("uniform", false), ("skewed", true)] {
+        for (ratio, l_rows, r_rows) in ratios {
+            for arity in [1usize, 2] {
+                let mut rng =
+                    0xF1C5_0000_u64 | (skewed as u64) << 16 | (l_rows as u64) << 20 | arity as u64;
+                let left = left_table(l_rows, keys, skewed, &mut rng);
+                let right = right_table(r_rows, keys, skewed, arity, &mut rng);
+                let g = glue(arity);
+
+                // Fresh planner per cell: the first repetition pays the
+                // sampling + cost-model miss, the rest ride the shape
+                // cache — the same amortization mining sees.
+                let planner = Planner::new();
+                let settings = PlannerSettings::default();
+                let (baseline_ms, planner_ms, expected, planned) = timed_pair(
+                    reps,
+                    &mut || join_glue_pairs(&left, &right, &g),
+                    &mut || {
+                        planner
+                            .pair_join(&settings, 1, &left, &right, &g, &SerialRunner)
+                            .0
+                    },
+                );
+                let identical = planned == expected;
+                if !identical {
+                    eprintln!("{dist}/{ratio}/arity{arity}: planner pair stream diverged");
+                    all_identical = false;
+                }
+
+                let speedup = baseline_ms / planner_ms;
+                println!(
+                    "{dist:>8} {ratio:>5} arity={arity}  {l_rows:>6} x {r_rows:>6} rows -> \
+                     {:>8} pairs  off {baseline_ms:>8.2} ms  on {planner_ms:>8.2} ms  \
+                     {speedup:>5.2}x  identical={identical}",
+                    expected.len()
+                );
+                cells.push(Cell {
+                    dist,
+                    ratio,
+                    arity,
+                    left_rows: l_rows,
+                    right_rows: r_rows,
+                    pairs: expected.len(),
+                    baseline_ms,
+                    planner_ms,
+                    speedup,
+                    identical,
+                });
+            }
+        }
+    }
+    assert!(all_identical, "every cell must be byte-identical");
+
+    let max_skewed_speedup = cells
+        .iter()
+        .filter(|c| c.dist == "skewed")
+        .map(|c| c.speedup)
+        .fold(0.0, f64::max);
+    let min_speedup = cells
+        .iter()
+        .map(|c| c.speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!("best skewed-cell speedup {max_skewed_speedup:.2}x, worst cell {min_speedup:.2}x");
+    if !fast_mode {
+        assert!(
+            max_skewed_speedup >= 1.3,
+            "planner must win >= 1.3x on some skewed cell (got {max_skewed_speedup:.2}x)"
+        );
+        assert!(
+            min_speedup >= 0.95,
+            "planner must never lose > 5% on any cell (got {min_speedup:.2}x)"
+        );
+    }
+
+    let report = Report {
+        host_cores,
+        fast_mode,
+        cells,
+        max_skewed_speedup,
+        min_speedup,
+        all_identical,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_plan.json");
+    if fast_mode {
+        println!("fast mode: skipping write of {path}");
+    } else {
+        std::fs::write(path, json + "\n").expect("write BENCH_plan.json");
+        println!("wrote {path}");
+    }
+}

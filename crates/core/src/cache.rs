@@ -51,6 +51,12 @@ pub struct MiningCaches {
     pub actions: Option<Arc<ActionCache>>,
     /// Pattern interner issuing the ids that key `realizations`.
     pub patterns: Arc<PatternInterner>,
+    /// Shared adaptive join planner: per-shape plan cache plus the replan
+    /// epoch. Sharing it across refinement iterations (and the streaming
+    /// miner's refreshes) is what lets Algorithm 2's later iterations
+    /// reuse plans proven by earlier ones. Always present; whether joins
+    /// consult it is [`crate::config::MinerConfig::planner`]'s call.
+    pub planner: Arc<wiclean_rel::Planner>,
 }
 
 impl Default for MiningCaches {
@@ -59,6 +65,7 @@ impl Default for MiningCaches {
             realizations: None,
             actions: None,
             patterns: Arc::new(PatternInterner::new()),
+            planner: Arc::new(wiclean_rel::Planner::new()),
         }
     }
 }
@@ -77,6 +84,7 @@ impl MiningCaches {
                 .use_action_cache
                 .then(|| Arc::new(ActionCache::new())),
             patterns: Arc::new(PatternInterner::new()),
+            planner: Arc::new(wiclean_rel::Planner::new()),
         }
     }
 }

@@ -39,7 +39,7 @@ use std::time::{Duration, Instant};
 use wiclean_rel::{
     distinct_left_values, join_glue, join_glue_nested, join_glue_pairs, join_glue_pairs_nested,
     join_glue_pairs_partitioned, join_glue_pairs_sort_merge, join_glue_sort_merge,
-    materialize_pairs, outer_join_glue, ColumnGlue, Table,
+    materialize_pairs, outer_join_glue, ColumnGlue, SerialRunner, Table,
 };
 use wiclean_revstore::{
     reduce_actions, try_extract_actions_with, ActionCache, CacheLookup, ExtractMode,
@@ -165,6 +165,28 @@ pub struct MineStats {
     /// memory budget (0 for in-memory corpora).
     #[serde(default)]
     pub map_residency_releases: u64,
+    /// Joins whose first plan overshot its output budget and were aborted
+    /// mid-join and re-planned (0 when the adaptive planner is off).
+    #[serde(default)]
+    pub replans: usize,
+    /// Planned joins that reused a cached per-shape plan.
+    #[serde(default)]
+    pub plan_cache_hits: usize,
+    /// Planned joins planned from fresh sampled statistics.
+    #[serde(default)]
+    pub plan_cache_misses: usize,
+    /// Planned joins that ran the serial hash strategy (either build side).
+    #[serde(default)]
+    pub plan_picks_hash: usize,
+    /// Planned joins that ran the sort-merge strategy.
+    #[serde(default)]
+    pub plan_picks_sort_merge: usize,
+    /// Planned joins that ran the nested-loop strategy.
+    #[serde(default)]
+    pub plan_picks_nested: usize,
+    /// Planned joins that ran the radix-partitioned parallel strategy.
+    #[serde(default)]
+    pub plan_picks_partitioned: usize,
 }
 
 impl MineStats {
@@ -206,6 +228,44 @@ impl MineStats {
         self.snapshot_cache_evictions += other.snapshot_cache_evictions;
         self.delta_chain_replays += other.delta_chain_replays;
         self.map_residency_releases += other.map_residency_releases;
+        self.replans += other.replans;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
+        self.plan_picks_hash += other.plan_picks_hash;
+        self.plan_picks_sort_merge += other.plan_picks_sort_merge;
+        self.plan_picks_nested += other.plan_picks_nested;
+        self.plan_picks_partitioned += other.plan_picks_partitioned;
+    }
+
+    /// Folds one planned join's outcome into the counters.
+    pub fn record_plan(&mut self, outcome: &wiclean_rel::PlanOutcome) {
+        if outcome.replanned {
+            self.replans += 1;
+        }
+        if outcome.cache_hit {
+            self.plan_cache_hits += 1;
+        }
+        if outcome.cache_miss {
+            self.plan_cache_misses += 1;
+        }
+        match outcome.picked {
+            wiclean_rel::Strategy::Hash => self.plan_picks_hash += 1,
+            wiclean_rel::Strategy::SortMerge => self.plan_picks_sort_merge += 1,
+            wiclean_rel::Strategy::NestedLoop => self.plan_picks_nested += 1,
+            wiclean_rel::Strategy::Partitioned => self.plan_picks_partitioned += 1,
+        }
+    }
+
+    /// Share of planned joins that reused a cached per-shape plan; 0 when
+    /// the planner never consulted its cache (off, forced, or only
+    /// fast-path joins ran).
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / total as f64
+        }
     }
 
     /// Folds an out-of-core corpus' counter snapshot into this run's stats
@@ -341,6 +401,7 @@ pub struct WindowMiner<'a> {
     action_cache: Option<Arc<ActionCache>>,
     interner: Arc<PatternInterner>,
     pool: Option<Arc<MiningPool>>,
+    planner: Arc<wiclean_rel::Planner>,
 }
 
 /// Internal expansion node: a frequent pattern under construction.
@@ -386,6 +447,9 @@ struct Evaluated {
     rows_probed: usize,
     /// Pairs the pair stage emitted (0 on cache hits).
     pairs_matched: usize,
+    /// What the adaptive planner did for this join (`None` on cache hits
+    /// and when the planner is off).
+    plan: Option<wiclean_rel::PlanOutcome>,
 }
 
 /// What evaluating one [`CandidateSpec`] produced.
@@ -422,6 +486,7 @@ impl<'a> WindowMiner<'a> {
             action_cache: None,
             interner: Arc::new(PatternInterner::new()),
             pool: None,
+            planner: Arc::new(wiclean_rel::Planner::new()),
         }
     }
 
@@ -463,6 +528,15 @@ impl<'a> WindowMiner<'a> {
         self
     }
 
+    /// Attaches a shared adaptive join planner (per-shape plan cache +
+    /// replan epoch): refinement iterations and streaming refreshes
+    /// sharing one planner reuse each other's proven plans. Whether joins
+    /// consult it is governed by [`MinerConfig::planner`].
+    pub fn with_planner(mut self, planner: Arc<wiclean_rel::Planner>) -> Self {
+        self.planner = planner;
+        self
+    }
+
     /// Attaches whatever caches `caches` carries (either cache may be
     /// absent; the pattern interner is always present and keeps the
     /// realization-cache/interner pairing consistent across miners).
@@ -470,6 +544,7 @@ impl<'a> WindowMiner<'a> {
         self.cache = caches.realizations;
         self.action_cache = caches.actions;
         self.interner = caches.patterns;
+        self.planner = caches.planner;
         self
     }
 
@@ -507,6 +582,28 @@ impl<'a> WindowMiner<'a> {
     /// The configuration in use.
     pub fn config(&self) -> &MinerConfig {
         &self.config
+    }
+
+    /// Whether the adaptive planner drives this run's pair stages: on the
+    /// [`JoinImpl::Hash`] path when [`MinerConfig::planner`] enables it,
+    /// or whenever a forced plan is set. The `NestedLoop`/`SortMerge`
+    /// ablations otherwise keep forcing their strategy unplanned.
+    pub(crate) fn planner_active(&self) -> bool {
+        (self.config.planner.enabled && self.config.join_impl == JoinImpl::Hash)
+            || self.config.forced_plan.is_some()
+    }
+
+    /// The per-call planner knobs this config describes.
+    pub(crate) fn planner_settings(&self) -> wiclean_rel::PlannerSettings {
+        wiclean_rel::PlannerSettings {
+            replan_factor: self.config.planner.replan_factor,
+            forced: self.config.forced_plan,
+        }
+    }
+
+    /// The shared adaptive planner.
+    pub(crate) fn planner(&self) -> &Arc<wiclean_rel::Planner> {
+        &self.planner
     }
 
     /// The pattern interner (shared across miners driving one cache).
@@ -1021,6 +1118,7 @@ impl<'a> WindowMiner<'a> {
                         materialized: false,
                         rows_probed: 0,
                         pairs_matched: 0,
+                        plan: None,
                     }));
                 }
             }
@@ -1034,16 +1132,35 @@ impl<'a> WindowMiner<'a> {
         let glue = candidate_glue(self.universe, &parent.wp, &spec.action, spec.target_is_new);
 
         // Pair stage: matching (left, right) row indices, no output rows
-        // built yet. All three strategies emit the same canonical pair
-        // order; the partitioned hash path is byte-identical to the serial
-        // one at any runner width.
-        let pairs = match self.config.join_impl {
-            JoinImpl::Hash => match jpool {
-                Some(jpool) => join_glue_pairs_partitioned(&parent.table, &right, &glue, jpool),
-                None => join_glue_pairs(&parent.table, &right, &glue),
-            },
-            JoinImpl::NestedLoop => join_glue_pairs_nested(&parent.table, &right, &glue),
-            JoinImpl::SortMerge => join_glue_pairs_sort_merge(&parent.table, &right, &glue),
+        // built yet. Every strategy emits the same canonical pair order,
+        // so the adaptive planner's choice — and the fixed-heuristic
+        // fallback when it's disabled — are byte-identical at any runner
+        // width and any plan.
+        let (pairs, plan) = if self.planner_active() {
+            let serial = SerialRunner;
+            let runner: &dyn wiclean_rel::BatchRunner = match jpool {
+                Some(jpool) => jpool,
+                None => &serial,
+            };
+            let (pairs, outcome) = self.planner.pair_join(
+                &self.planner_settings(),
+                seed.index() as u64,
+                &parent.table,
+                &right,
+                &glue,
+                runner,
+            );
+            (pairs, Some(outcome))
+        } else {
+            let pairs = match self.config.join_impl {
+                JoinImpl::Hash => match jpool {
+                    Some(jpool) => join_glue_pairs_partitioned(&parent.table, &right, &glue, jpool),
+                    None => join_glue_pairs(&parent.table, &right, &glue),
+                },
+                JoinImpl::NestedLoop => join_glue_pairs_nested(&parent.table, &right, &glue),
+                JoinImpl::SortMerge => join_glue_pairs_sort_merge(&parent.table, &right, &glue),
+            };
+            (pairs, None)
         };
 
         // Distinct-source fast path: the pattern's source variable is the
@@ -1075,6 +1192,7 @@ impl<'a> WindowMiner<'a> {
             materialized: accepted,
             rows_probed: parent.table.len(),
             pairs_matched: pairs.len(),
+            plan,
         }))
     }
 
@@ -1104,6 +1222,9 @@ impl<'a> WindowMiner<'a> {
             // duplicates were each evaluated against the frozen frontier.
             stats.rows_probed += ev.rows_probed;
             stats.pairs_matched += ev.pairs_matched;
+            if let Some(plan) = &ev.plan {
+                stats.record_plan(plan);
+            }
             if ev.via_cache {
                 stats.cache_hits += 1;
             } else {
@@ -1299,6 +1420,20 @@ impl<'a> WindowMiner<'a> {
             let glue = vec![ColumnGlue::Glued(src_col), tgt_glue];
             table = if outer {
                 outer_join_glue(&table, &right, &glue)
+            } else if self.planner_active() {
+                // Planned path: same shape cache as candidate evaluation,
+                // keyed by the pattern's source type. Outcome counters are
+                // only accrued on the candidate-evaluation path; this
+                // helper has no stats sink.
+                let (pairs, _outcome) = self.planner.pair_join(
+                    &self.planner_settings(),
+                    first.source.ty.index() as u64,
+                    &table,
+                    &right,
+                    &glue,
+                    &SerialRunner,
+                );
+                materialize_pairs(&table, &right, &glue, &pairs)
             } else {
                 match self.config.join_impl {
                     JoinImpl::Hash => join_glue(&table, &right, &glue),
@@ -1516,6 +1651,55 @@ mod tests {
             assert_eq!(a.table.sorted_rows(), b.table.sorted_rows());
         }
         assert_eq!(serial.stats.pairs_matched, par.stats.pairs_matched);
+    }
+
+    /// `rows_probed` / `pairs_matched` are *logical* join-work counters —
+    /// parent rows offered to the pair stage and pairs it matched — so
+    /// every forced (strategy × build side × partition count) plan must
+    /// report totals byte-identical to the default adaptive run.
+    #[test]
+    fn every_strategy_reports_identical_join_counters() {
+        use wiclean_rel::{BuildSide, JoinPlan, Strategy};
+        let fx = soccer_fixture();
+        let baseline = WindowMiner::new(&fx.store, &fx.universe, fx.config())
+            .mine_window(fx.player_ty, &fx.window);
+        assert!(baseline.stats.rows_probed > 0);
+        assert!(baseline.stats.pairs_matched > 0);
+
+        for strategy in [
+            Strategy::Hash,
+            Strategy::SortMerge,
+            Strategy::NestedLoop,
+            Strategy::Partitioned,
+        ] {
+            for build_side in [BuildSide::Left, BuildSide::Right] {
+                for partitions in [0u32, 4] {
+                    let mut config = fx.config();
+                    config.join_threads = 3; // give Partitioned a real pool
+                    config.forced_plan = Some(JoinPlan {
+                        strategy,
+                        build_side,
+                        partitions,
+                    });
+                    let r = WindowMiner::new(&fx.store, &fx.universe, config)
+                        .mine_window(fx.player_ty, &fx.window);
+                    let tag = format!("{strategy:?}/{build_side:?}/p{partitions}");
+                    assert_eq!(
+                        r.stats.rows_probed, baseline.stats.rows_probed,
+                        "rows_probed drifted under {tag}"
+                    );
+                    assert_eq!(
+                        r.stats.pairs_matched, baseline.stats.pairs_matched,
+                        "pairs_matched drifted under {tag}"
+                    );
+                    assert_eq!(r.patterns.len(), baseline.patterns.len(), "{tag}");
+                    for (a, b) in r.patterns.iter().zip(&baseline.patterns) {
+                        assert_eq!(a.pattern, b.pattern, "{tag}");
+                        assert_eq!(a.table.sorted_rows(), b.table.sorted_rows(), "{tag}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

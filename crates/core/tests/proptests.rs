@@ -267,6 +267,17 @@ fn exact_digest(result: &WindowResult) -> String {
     let mut stats = result.stats.clone();
     stats.preprocess = std::time::Duration::ZERO;
     stats.mine = std::time::Duration::ZERO;
+    // Planner counters depend on evaluation interleaving — the per-shape
+    // plan cache is shared across worker threads, so which join pays the
+    // miss (and which plan a replan lands on) varies run to run. The mined
+    // output stays byte-identical regardless; only the counters float.
+    stats.replans = 0;
+    stats.plan_cache_hits = 0;
+    stats.plan_cache_misses = 0;
+    stats.plan_picks_hash = 0;
+    stats.plan_picks_sort_merge = 0;
+    stats.plan_picks_nested = 0;
+    stats.plan_picks_partitioned = 0;
     format!("{:?}|{:?}|{:?}", result.patterns, stats, result.degraded)
 }
 
@@ -722,5 +733,131 @@ proptest! {
             stream_cfg(90, 200, cadence),
             1,
         )?;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Forced-plan differential properties: the adaptive planner's contract is
+// that every (strategy × build side × partition count) produces the same
+// bytes — so a randomly forced plan must mine, stream, and crash-replay
+// identically to the default adaptive choice.
+// ---------------------------------------------------------------------------
+
+use wiclean_rel::{BuildSide, JoinPlan, Strategy as PlanStrategy};
+
+/// Decodes a proptest-drawn plan: any strategy, either build side, and a
+/// partition count covering the whole legal range (0 = derive from the
+/// runner width).
+fn drawn_plan(strategy_ix: usize, build_left: bool, part_ix: usize) -> JoinPlan {
+    JoinPlan {
+        strategy: [
+            PlanStrategy::Hash,
+            PlanStrategy::SortMerge,
+            PlanStrategy::NestedLoop,
+            PlanStrategy::Partitioned,
+        ][strategy_ix],
+        build_side: if build_left {
+            BuildSide::Left
+        } else {
+            BuildSide::Right
+        },
+        partitions: [0u32, 2, 4, 8, 16, 32, 64][part_ix],
+    }
+}
+
+proptest! {
+    // Each case runs real mining; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batch mining under any forced plan is identical to the default
+    /// adaptive plan — same patterns, supports, realization tables, and
+    /// logical join counters — at any thread count.
+    #[test]
+    fn forced_plans_mine_byte_identically(
+        strategy_ix in 0usize..4,
+        build_left in any::<bool>(),
+        part_ix in 0usize..7,
+        threads in 1usize..5,
+    ) {
+        let (u, store, player_ty, window) = transfer_world();
+        let baseline = WindowMiner::new(&store, &u, transfer_config())
+            .mine_window(player_ty, &window);
+        let mut config = transfer_config();
+        config.intra_window_threads = threads;
+        config.join_threads = threads;
+        config.forced_plan = Some(drawn_plan(strategy_ix, build_left, part_ix));
+        let forced = WindowMiner::new(&store, &u, config).mine_window(player_ty, &window);
+        prop_assert_eq!(digest(&baseline), digest(&forced));
+        prop_assert_eq!(baseline.stats.rows_probed, forced.stats.rows_probed);
+        prop_assert_eq!(baseline.stats.pairs_matched, forced.stats.pairs_matched);
+    }
+
+    /// The streaming miner under any forced plan seals every window to the
+    /// batch answer (which mines under the default adaptive plan) at any
+    /// arrival order — forced plans flow through the delta-join path too.
+    #[test]
+    fn forced_plans_stream_byte_identically(
+        strategy_ix in 0usize..4,
+        build_left in any::<bool>(),
+        part_ix in 0usize..7,
+        shuffle_seed in any::<u64>(),
+        cadence in 1u64..4,
+    ) {
+        let (u, store, player_ty, _) = transfer_world();
+        let mut cfg = stream_cfg(90, 200, cadence);
+        cfg.miner.forced_plan = Some(drawn_plan(strategy_ix, build_left, part_ix));
+        assert_stream_matches_batch(
+            &u,
+            player_ty,
+            drain(VecFeed::shuffled(feed_events(&store), shuffle_seed)),
+            cfg,
+            2,
+        )?;
+    }
+
+    /// Crash-replay under a forced plan: a torn WAL write kills the feed,
+    /// recovery replays the delivered prefix, and streaming that replay
+    /// with any forced plan still seals to the batch answer.
+    #[test]
+    fn forced_plans_survive_wal_fault_replay(
+        strategy_ix in 0usize..4,
+        build_left in any::<bool>(),
+        part_ix in 0usize..7,
+        shuffle_seed in any::<u64>(),
+        kill_at in 3u64..40,
+    ) {
+        let (u, store, player_ty, _) = transfer_world();
+        let events = drain(VecFeed::shuffled(feed_events(&store), shuffle_seed));
+        let policy = DurabilityPolicy {
+            sync: SyncPolicy::Always,
+            checkpoint_every: 100_000,
+            delta_encode: true,
+        };
+        let fs = Arc::new(MemFs::new());
+        let spec = FailSpec::once(FailOp::Append, kill_at, FailKind::TornWrite { keep: 5 });
+        let failing = Arc::new(FailpointFs::new(fs.clone(), spec));
+        let mut feed = DurableFeed::create(failing, "/feed", policy).unwrap();
+        let mut delivered = 0usize;
+        for e in events {
+            if feed.push(e.entity, e.time, &e.text).is_err() {
+                break; // torn write: the event was neither logged nor delivered
+            }
+            delivered += 1;
+        }
+        drop(feed); // crash without checkpoint
+
+        let mut replay = DurableFeed::open(fs, "/feed", policy).unwrap();
+        prop_assert_eq!(
+            replay.recovery().records_recovered() as usize,
+            delivered,
+            "recovery returns exactly the delivered prefix"
+        );
+        let mut replayed = Vec::new();
+        while let Some(e) = replay.next_event() {
+            replayed.push(e);
+        }
+        let mut cfg = stream_cfg(90, 200, 2);
+        cfg.miner.forced_plan = Some(drawn_plan(strategy_ix, build_left, part_ix));
+        assert_stream_matches_batch(&u, player_ty, replayed, cfg, 1)?;
     }
 }

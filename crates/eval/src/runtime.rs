@@ -47,6 +47,18 @@ pub struct TimedRun {
     /// materialization saving of the fast path.
     #[serde(default)]
     pub prune_rate: f64,
+    /// Mid-join bailouts that discarded partial work and re-planned.
+    #[serde(default)]
+    pub replans: usize,
+    /// Candidate joins whose plan came from the per-shape plan cache.
+    #[serde(default)]
+    pub plan_cache_hits: usize,
+    /// Candidate joins that sampled statistics and ran the cost model.
+    #[serde(default)]
+    pub plan_cache_misses: usize,
+    /// Share of planned joins served from the plan cache.
+    #[serde(default)]
+    pub plan_cache_hit_rate: f64,
 }
 
 /// The planted transfer window (first two weeks of "August").
@@ -100,6 +112,10 @@ fn timed_variant(
         tables_materialized: result.stats.tables_materialized,
         tables_pruned: result.stats.tables_pruned,
         prune_rate: result.stats.join_prune_rate(),
+        replans: result.stats.replans,
+        plan_cache_hits: result.stats.plan_cache_hits,
+        plan_cache_misses: result.stats.plan_cache_misses,
+        plan_cache_hit_rate: result.stats.plan_cache_hit_rate(),
     }
 }
 
@@ -467,7 +483,7 @@ pub fn render_corpus_runs(rows: &[CorpusRun]) -> String {
 /// the join engine's materialization-saving columns appended.
 pub fn render_timed(rows: &[TimedRun], axis: &str) -> String {
     let mut s = format!(
-        "{axis:>10} {:>12} {:>10} {:>12} {:>12} {:>9} {:>10} {:>8} {:>7} {:>7}\n",
+        "{axis:>10} {:>12} {:>10} {:>12} {:>12} {:>9} {:>10} {:>8} {:>7} {:>7} {:>7} {:>9}\n",
         "algorithm",
         "entities",
         "preproc(s)",
@@ -476,11 +492,13 @@ pub fn render_timed(rows: &[TimedRun], axis: &str) -> String {
         "probed",
         "mat",
         "pruned",
-        "save"
+        "save",
+        "replans",
+        "plan-hit"
     );
     for r in rows {
         s.push_str(&format!(
-            "{:>10} {:>12} {:>10} {:>12.3} {:>12.3} {:>9} {:>10} {:>8} {:>7} {:>6.0}%\n",
+            "{:>10} {:>12} {:>10} {:>12.3} {:>12.3} {:>9} {:>10} {:>8} {:>7} {:>6.0}% {:>7} {:>8.0}%\n",
             r.label,
             r.algorithm,
             r.entities,
@@ -490,7 +508,9 @@ pub fn render_timed(rows: &[TimedRun], axis: &str) -> String {
             r.rows_probed,
             r.tables_materialized,
             r.tables_pruned,
-            r.prune_rate * 100.0
+            r.prune_rate * 100.0,
+            r.replans,
+            r.plan_cache_hit_rate * 100.0
         ));
     }
     s
@@ -518,6 +538,13 @@ pub fn render_parallel(rows: &[ParallelRun]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn render_timed_shows_planner_columns() {
+        let header = render_timed(&[], "seeds");
+        assert!(header.contains("replans"));
+        assert!(header.contains("plan-hit"));
+    }
 
     #[test]
     fn transfer_window_matches_planted_slot() {

@@ -31,6 +31,7 @@ use crate::column::{mix64, Value, NULL_IX};
 use crate::hash::{EntitySet, FastMap};
 use crate::schema::Schema;
 use crate::table::Table;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use wiclean_types::EntityId;
 
@@ -77,6 +78,13 @@ impl BatchRunner for SerialRunner {
     }
 }
 
+/// A pair-stage run exceeded its output budget: the partial work was
+/// discarded and the payload is the (approximate) pair count observed at
+/// the abort — at least one past the budget, an underestimate of the true
+/// output cardinality. See [`crate::plan`] for the re-planning loop that
+/// consumes this.
+pub(crate) type Overflow = usize;
+
 fn output_schema(left: &Table, glue: &[ColumnGlue]) -> Schema {
     let mut schema = left.schema().clone();
     for g in glue {
@@ -87,7 +95,7 @@ fn output_schema(left: &Table, glue: &[ColumnGlue]) -> Schema {
     schema
 }
 
-fn validate(left: &Table, right: &Table, glue: &[ColumnGlue]) {
+pub(crate) fn validate(left: &Table, right: &Table, glue: &[ColumnGlue]) {
     assert_eq!(
         glue.len(),
         right.width(),
@@ -107,16 +115,16 @@ fn validate(left: &Table, right: &Table, glue: &[ColumnGlue]) {
 
 /// The glue spec resolved to column indices: equi-join pairs in glue
 /// order, and new output columns with their `≠` constraint targets.
-struct GluePlan {
+pub(crate) struct GluePlan {
     /// (left column, right column) per `Glued` entry, in glue order.
-    glued: Vec<(usize, usize)>,
+    pub(crate) glued: Vec<(usize, usize)>,
     /// (right column, distinct-from left columns) per `New` entry, in
     /// glue order.
     new_cols: Vec<(usize, Vec<usize>)>,
 }
 
 impl GluePlan {
-    fn new(glue: &[ColumnGlue]) -> Self {
+    pub(crate) fn new(glue: &[ColumnGlue]) -> Self {
         let mut glued = Vec::new();
         let mut new_cols = Vec::new();
         for (j, g) in glue.iter().enumerate() {
@@ -131,18 +139,18 @@ impl GluePlan {
     }
 
     /// The glued-key columns of left row `li`, or `None` if any is null.
-    fn left_key(&self, left: &Table, li: usize) -> Option<JoinKey> {
+    pub(crate) fn left_key(&self, left: &Table, li: usize) -> Option<JoinKey> {
         pack_key(self.glued.iter().map(|&(lc, _)| left.col(lc).get(li)))
     }
 
     /// The glued-key columns of right row `ri`, or `None` if any is null.
-    fn right_key(&self, right: &Table, ri: usize) -> Option<JoinKey> {
+    pub(crate) fn right_key(&self, right: &Table, ri: usize) -> Option<JoinKey> {
         pack_key(self.glued.iter().map(|&(_, rc)| right.col(rc).get(ri)))
     }
 
     /// The `≠` post-filter on a key-matched pair. SQL three-valued logic:
     /// `≠` against a null is vacuously satisfied.
-    fn neq_ok(&self, left: &Table, li: usize, right: &Table, ri: usize) -> bool {
+    pub(crate) fn neq_ok(&self, left: &Table, li: usize, right: &Table, ri: usize) -> bool {
         for (rc, distinct_from) in &self.new_cols {
             let rcol = right.col(*rc);
             if !rcol.is_valid(ri) {
@@ -162,7 +170,7 @@ impl GluePlan {
     /// Whether the pair satisfies all glue conditions (equi + `≠`); used
     /// by the nested-loop strategy, which has no key index. A null never
     /// equi-matches.
-    fn pair_matches(&self, left: &Table, li: usize, right: &Table, ri: usize) -> bool {
+    pub(crate) fn pair_matches(&self, left: &Table, li: usize, right: &Table, ri: usize) -> bool {
         for &(lc, rc) in &self.glued {
             let (l, r) = (left.col(lc), right.col(rc));
             if !l.is_valid(li) || !r.is_valid(ri) || l.value_unchecked(li) != r.value_unchecked(ri)
@@ -222,7 +230,7 @@ pub(crate) fn pack_key(vals: impl Iterator<Item = Value>) -> Option<JoinKey> {
 /// depend on process state (`RandomState` would) — partition assignment
 /// feeds the parallel join whose output is required to be byte-identical
 /// across runs and thread counts.
-fn key_hash(k: &JoinKey) -> u64 {
+pub(crate) fn key_hash(k: &JoinKey) -> u64 {
     match k {
         JoinKey::Small(x) => mix64(x ^ 0x9e37_79b9_7f4a_7c15),
         JoinKey::Big(v) => {
@@ -245,13 +253,29 @@ pub fn join_glue_pairs(left: &Table, right: &Table, glue: &[ColumnGlue]) -> Vec<
     hash_pairs(left, right, &plan)
 }
 
-fn hash_pairs(left: &Table, right: &Table, plan: &GluePlan) -> Vec<Pair> {
+pub(crate) fn hash_pairs(left: &Table, right: &Table, plan: &GluePlan) -> Vec<Pair> {
+    match hash_pairs_capped(left, right, plan, None) {
+        Ok(pairs) => pairs,
+        Err(_) => unreachable!("uncapped join cannot overflow"),
+    }
+}
+
+/// [`hash_pairs`] with an output budget: aborts mid-probe (partial work
+/// discarded) once the pair count exceeds `cap`. `Ok` results are
+/// byte-identical to the uncapped run.
+pub(crate) fn hash_pairs_capped(
+    left: &Table,
+    right: &Table,
+    plan: &GluePlan,
+    cap: Option<usize>,
+) -> Result<Vec<Pair>, Overflow> {
     let mut index: FastMap<JoinKey, Vec<u32>> = FastMap::default();
     for ri in 0..right.len() {
         if let Some(key) = plan.right_key(right, ri) {
             index.entry(key).or_default().push(ri as u32);
         }
     }
+    let cap = cap.unwrap_or(usize::MAX);
     let mut pairs = Vec::new();
     for li in 0..left.len() {
         let Some(key) = plan.left_key(left, li) else {
@@ -265,8 +289,53 @@ fn hash_pairs(left: &Table, right: &Table, plan: &GluePlan) -> Vec<Pair> {
                 pairs.push((li as u32, ri));
             }
         }
+        if pairs.len() > cap {
+            return Err(pairs.len());
+        }
     }
-    pairs
+    Ok(pairs)
+}
+
+/// Build-side-swapped hash pair stage: indexes the **left** relation and
+/// probes with the right — the planner's choice when the left side dwarfs
+/// the right, trading the big build for a probe scan. Probing emits pairs
+/// in right-major order; per-bucket left candidates are ascending and all
+/// `(li, ri)` pairs are distinct, so one final `sort_unstable` restores
+/// exactly the canonical (left row, right row) order of
+/// [`join_glue_pairs`] — byte-identical output (property-tested in
+/// [`crate::plan`]).
+pub(crate) fn hash_pairs_build_left(
+    left: &Table,
+    right: &Table,
+    plan: &GluePlan,
+    cap: Option<usize>,
+) -> Result<Vec<Pair>, Overflow> {
+    let mut index: FastMap<JoinKey, Vec<u32>> = FastMap::default();
+    for li in 0..left.len() {
+        if let Some(key) = plan.left_key(left, li) {
+            index.entry(key).or_default().push(li as u32);
+        }
+    }
+    let cap = cap.unwrap_or(usize::MAX);
+    let mut pairs = Vec::new();
+    for ri in 0..right.len() {
+        let Some(key) = plan.right_key(right, ri) else {
+            continue;
+        };
+        let Some(candidates) = index.get(&key) else {
+            continue;
+        };
+        for &li in candidates {
+            if plan.neq_ok(left, li as usize, right, ri) {
+                pairs.push((li, ri as u32));
+            }
+        }
+        if pairs.len() > cap {
+            return Err(pairs.len());
+        }
+    }
+    pairs.sort_unstable();
+    Ok(pairs)
 }
 
 /// Sort–merge pair stage: both relations are decorated with their glued
@@ -276,7 +345,18 @@ fn hash_pairs(left: &Table, right: &Table, plan: &GluePlan) -> Vec<Pair> {
 pub fn join_glue_pairs_sort_merge(left: &Table, right: &Table, glue: &[ColumnGlue]) -> Vec<Pair> {
     validate(left, right, glue);
     let plan = GluePlan::new(glue);
+    match sort_merge_pairs_capped(left, right, &plan, None) {
+        Ok(pairs) => pairs,
+        Err(_) => unreachable!("uncapped join cannot overflow"),
+    }
+}
 
+pub(crate) fn sort_merge_pairs_capped(
+    left: &Table,
+    right: &Table,
+    plan: &GluePlan,
+    cap: Option<usize>,
+) -> Result<Vec<Pair>, Overflow> {
     let mut lkeys: Vec<(JoinKey, u32)> = (0..left.len())
         .filter_map(|i| plan.left_key(left, i).map(|k| (k, i as u32)))
         .collect();
@@ -286,6 +366,7 @@ pub fn join_glue_pairs_sort_merge(left: &Table, right: &Table, glue: &[ColumnGlu
     lkeys.sort();
     rkeys.sort();
 
+    let cap = cap.unwrap_or(usize::MAX);
     let mut pairs = Vec::new();
     let (mut li, mut ri) = (0usize, 0usize);
     while li < lkeys.len() && ri < rkeys.len() {
@@ -305,6 +386,9 @@ pub fn join_glue_pairs_sort_merge(left: &Table, right: &Table, glue: &[ColumnGlu
                         }
                     }
                 }
+                if pairs.len() > cap {
+                    return Err(pairs.len());
+                }
                 li = lhi;
                 ri = rhi;
             }
@@ -314,7 +398,7 @@ pub fn join_glue_pairs_sort_merge(left: &Table, right: &Table, glue: &[ColumnGlu
     // right side is already ascending, but left rows sharing a key arrive
     // grouped by the sort, not by row number.
     pairs.sort_unstable();
-    pairs
+    Ok(pairs)
 }
 
 /// Nested-loop pair stage over the cross product — the paper's `PM−join`
@@ -322,6 +406,19 @@ pub fn join_glue_pairs_sort_merge(left: &Table, right: &Table, glue: &[ColumnGlu
 pub fn join_glue_pairs_nested(left: &Table, right: &Table, glue: &[ColumnGlue]) -> Vec<Pair> {
     validate(left, right, glue);
     let plan = GluePlan::new(glue);
+    match nested_pairs_capped(left, right, &plan, None) {
+        Ok(pairs) => pairs,
+        Err(_) => unreachable!("uncapped join cannot overflow"),
+    }
+}
+
+pub(crate) fn nested_pairs_capped(
+    left: &Table,
+    right: &Table,
+    plan: &GluePlan,
+    cap: Option<usize>,
+) -> Result<Vec<Pair>, Overflow> {
+    let cap = cap.unwrap_or(usize::MAX);
     let mut pairs = Vec::new();
     for li in 0..left.len() {
         for ri in 0..right.len() {
@@ -329,14 +426,20 @@ pub fn join_glue_pairs_nested(left: &Table, right: &Table, glue: &[ColumnGlue]) 
                 pairs.push((li as u32, ri as u32));
             }
         }
+        if pairs.len() > cap {
+            return Err(pairs.len());
+        }
     }
-    pairs
+    Ok(pairs)
 }
 
 /// Inputs smaller than this on the probe side are not worth fanning out.
-const PARALLEL_MIN_LEFT: usize = 4096;
+/// With the adaptive planner enabled (the default) these two constants are
+/// superseded by its cost model; they remain the fixed-heuristic gate of
+/// [`join_glue_pairs_partitioned`] — the planner-off fallback.
+pub(crate) const PARALLEL_MIN_LEFT: usize = 4096;
 /// Build sides smaller than this are not worth partitioning.
-const PARALLEL_MIN_RIGHT: usize = 512;
+pub(crate) const PARALLEL_MIN_RIGHT: usize = 512;
 
 /// Radix-partitioned parallel hash join pair stage.
 ///
@@ -365,7 +468,11 @@ pub fn join_glue_pairs_partitioned(
 }
 
 /// Runs `f` over `0..n` on the runner and collects results in index order.
-fn par_map<R: Send>(runner: &dyn BatchRunner, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+pub(crate) fn par_map<R: Send>(
+    runner: &dyn BatchRunner,
+    n: usize,
+    f: impl Fn(usize) -> R + Sync,
+) -> Vec<R> {
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     runner.run_batch(n, &|i| {
         let r = f(i);
@@ -383,63 +490,169 @@ fn partitioned_pairs(
     plan: &GluePlan,
     runner: &dyn BatchRunner,
 ) -> Vec<Pair> {
-    let parts = (runner.width() * 2).next_power_of_two().clamp(2, 64);
+    match partitioned_pairs_capped(
+        left,
+        right,
+        plan,
+        runner,
+        default_partitions(runner),
+        false,
+        None,
+    ) {
+        Ok(pairs) => pairs,
+        Err(_) => unreachable!("uncapped join cannot overflow"),
+    }
+}
+
+/// The fixed-heuristic radix fanout: twice the runner width, a power of
+/// two. The adaptive planner may choose any other power of two in `2..=64`.
+pub(crate) fn default_partitions(runner: &dyn BatchRunner) -> usize {
+    (runner.width() * 2).next_power_of_two().clamp(2, 64)
+}
+
+/// Radix-partitioned pair stage with a selectable build side, partition
+/// count, and output budget.
+///
+/// `parts` must be a power of two in `2..=64`. With `build_left = false`
+/// (the classic shape) the right side is scattered and indexed and the
+/// left side probes in contiguous chunks, so pairs come out in canonical
+/// (left row, right row) order directly. With `build_left = true` the
+/// roles swap: the left side is indexed and right-side probe chunks emit
+/// right-major pairs, and one final `sort_unstable` restores the
+/// canonical order — the pair set is identical and pairs are distinct,
+/// so the sorted stream is byte-identical to the build-right stream.
+///
+/// `cap` is the re-planning budget: probe chunks publish their emitted
+/// pair counts to a shared counter and cooperatively abort once the
+/// total exceeds the cap, returning `Err` with the approximate count
+/// observed at abort. The success path is byte-identical to the
+/// uncapped run (the counter never alters what is emitted, only whether
+/// the join runs to completion).
+pub(crate) fn partitioned_pairs_capped(
+    left: &Table,
+    right: &Table,
+    plan: &GluePlan,
+    runner: &dyn BatchRunner,
+    parts: usize,
+    build_left: bool,
+    cap: Option<usize>,
+) -> Result<Vec<Pair>, Overflow> {
+    assert!(
+        parts.is_power_of_two() && (2..=64).contains(&parts),
+        "partition count must be a power of two in 2..=64"
+    );
     let shift = 64 - parts.trailing_zeros();
+    let (build, probe) = if build_left {
+        (left, right)
+    } else {
+        (right, left)
+    };
+    let build_key = |bi: usize| {
+        if build_left {
+            plan.left_key(build, bi)
+        } else {
+            plan.right_key(build, bi)
+        }
+    };
 
     // Scatter the build side: key + radix partition per row, row order
     // preserved within each partition (so per-bucket candidate lists come
     // out ascending, exactly as the serial build produces them).
-    let mut rkeys: Vec<Option<JoinKey>> = Vec::with_capacity(right.len());
+    let mut bkeys: Vec<Option<JoinKey>> = Vec::with_capacity(build.len());
     let mut part_rows: Vec<Vec<u32>> = vec![Vec::new(); parts];
-    for ri in 0..right.len() {
-        let key = plan.right_key(right, ri);
+    for bi in 0..build.len() {
+        let key = build_key(bi);
         if let Some(k) = &key {
-            part_rows[(key_hash(k) >> shift) as usize].push(ri as u32);
+            part_rows[(key_hash(k) >> shift) as usize].push(bi as u32);
         }
-        rkeys.push(key);
+        bkeys.push(key);
     }
 
     // Build one hash index per partition, as a pool batch.
     let indexes: Vec<FastMap<JoinKey, Vec<u32>>> = par_map(runner, parts, |p| {
         let mut index: FastMap<JoinKey, Vec<u32>> = FastMap::default();
-        for &ri in &part_rows[p] {
-            let key = rkeys[ri as usize].clone().expect("scattered row has key");
-            index.entry(key).or_default().push(ri);
+        for &bi in &part_rows[p] {
+            let key = bkeys[bi as usize].clone().expect("scattered row has key");
+            index.entry(key).or_default().push(bi);
         }
         index
     });
 
-    // Probe contiguous left chunks in parallel; concatenating the chunk
-    // results in chunk order restores the serial probe order.
-    let tasks = (runner.width() * 4).min(left.len());
-    let chunk = left.len().div_ceil(tasks);
+    // Probe contiguous chunks of the probe side in parallel; concatenating
+    // the chunk results in chunk order restores the serial probe order.
+    // The budget is enforced cooperatively: each chunk publishes its
+    // emitted count per probe row and bails once the global total exceeds
+    // the cap.
+    let cap_val = cap.unwrap_or(usize::MAX);
+    let emitted = AtomicUsize::new(0);
+    let aborted = AtomicBool::new(false);
+    let tasks = (runner.width() * 4).clamp(1, probe.len().max(1));
+    let chunk = probe.len().div_ceil(tasks).max(1);
     let chunk_pairs: Vec<Vec<Pair>> = par_map(runner, tasks, |t| {
         let lo = t * chunk;
-        let hi = ((t + 1) * chunk).min(left.len());
+        let hi = ((t + 1) * chunk).min(probe.len());
         let mut pairs = Vec::new();
-        for li in lo..hi {
-            let Some(key) = plan.left_key(left, li) else {
+        let mut published = 0usize;
+        for pi in lo..hi {
+            if cap.is_some() && pi % 64 == 0 && aborted.load(Ordering::Relaxed) {
+                return pairs;
+            }
+            let key = if build_left {
+                plan.right_key(probe, pi)
+            } else {
+                plan.left_key(probe, pi)
+            };
+            let Some(key) = key else {
                 continue;
             };
             let index = &indexes[(key_hash(&key) >> shift) as usize];
             let Some(candidates) = index.get(&key) else {
                 continue;
             };
-            for &ri in candidates {
-                if plan.neq_ok(left, li, right, ri as usize) {
-                    pairs.push((li as u32, ri));
+            for &bi in candidates {
+                let (li, ri) = if build_left {
+                    (bi, pi as u32)
+                } else {
+                    (pi as u32, bi)
+                };
+                if plan.neq_ok(left, li as usize, right, ri as usize) {
+                    pairs.push((li, ri));
                 }
+            }
+            if cap.is_some() && pairs.len() - published >= 256 {
+                let total = emitted.fetch_add(pairs.len() - published, Ordering::Relaxed)
+                    + pairs.len()
+                    - published;
+                published = pairs.len();
+                if total > cap_val {
+                    aborted.store(true, Ordering::Relaxed);
+                    return pairs;
+                }
+            }
+        }
+        if cap.is_some() {
+            let total = emitted.fetch_add(pairs.len() - published, Ordering::Relaxed) + pairs.len()
+                - published;
+            if total > cap_val {
+                aborted.store(true, Ordering::Relaxed);
             }
         }
         pairs
     });
 
-    let total = chunk_pairs.iter().map(Vec::len).sum();
+    let total: usize = chunk_pairs.iter().map(Vec::len).sum();
+    if aborted.load(Ordering::Relaxed) || total > cap_val {
+        return Err(total.max(emitted.load(Ordering::Relaxed)));
+    }
     let mut pairs = Vec::with_capacity(total);
     for mut c in chunk_pairs {
         pairs.append(&mut c);
     }
-    pairs
+    if build_left {
+        // Right-major emission within each chunk; restore canonical order.
+        pairs.sort_unstable();
+    }
+    Ok(pairs)
 }
 
 /// Delta-aware pair stage for append-only growth (the streaming miner).

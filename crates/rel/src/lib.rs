@@ -18,6 +18,10 @@
 //!   without materializing at all;
 //! * [`join::join_glue_partitioned`] — the radix-partitioned parallel hash
 //!   join; byte-identical output at any [`BatchRunner`] width;
+//! * [`plan`] — the adaptive cost-based join planner: sampled cardinality
+//!   statistics, a per-(strategy × build side × partition count) cost
+//!   model, runtime re-planning with mid-join bailout, and a per-shape
+//!   plan cache. Byte-identical output at any plan choice;
 //! * [`join::join_glue_nested`] — the identical operator computed by a
 //!   conventional main-memory nested loop (the paper's `PM−join` ablation);
 //! * [`join::outer_join_glue`] — the **full outer join** of Algorithm 3,
@@ -38,6 +42,7 @@
 pub mod column;
 pub mod hash;
 pub mod join;
+pub mod plan;
 pub mod rowstore;
 pub mod schema;
 pub mod table;
@@ -49,6 +54,10 @@ pub use join::{
     join_glue_pairs_delta_partitioned, join_glue_pairs_nested, join_glue_pairs_partitioned,
     join_glue_pairs_sort_merge, join_glue_partitioned, join_glue_sort_merge, materialize_pairs,
     outer_join_glue, BatchRunner, ColumnGlue, Pair, SerialRunner,
+};
+pub use plan::{
+    choose_plan, join_glue_pairs_planned, join_stats, BuildSide, JoinPlan, JoinStats, PlanOutcome,
+    Planner, PlannerSettings, Strategy,
 };
 pub use schema::Schema;
 pub use table::Table;

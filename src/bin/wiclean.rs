@@ -99,17 +99,28 @@ USAGE:
   wiclean generate --domain <soccer|cinema|politics|software> [--seeds N] [--rng S] --out FILE
   wiclean stats    --corpus FILE
   wiclean ingest   --corpus FILE --store DIR [DURABILITY FLAGS | CORPUS BACKEND FLAGS]
-  wiclean mine     --corpus FILE [--durability DIR] [--threads N] [--extract MODE] [--out FILE] [FAULT FLAGS]
-  wiclean mine     --backend disk --store DIR [--threads N] [--extract MODE] [--out FILE] [CORPUS BACKEND FLAGS]
+  wiclean mine     --corpus FILE [--durability DIR] [--threads N] [--extract MODE] [PLANNER FLAGS] [--out FILE] [FAULT FLAGS]
+  wiclean mine     --backend disk --store DIR [--threads N] [--extract MODE] [PLANNER FLAGS] [--out FILE] [CORPUS BACKEND FLAGS]
   wiclean detect   --corpus FILE [--durability DIR] [--threads N] [--extract MODE] [--top K] [FAULT FLAGS]
   wiclean serve    --corpus FILE [--addr HOST:PORT] [--max-conns N] [--threads N] [SERVE FLAGS]
-  wiclean stream   --corpus FILE [--serve HOST:PORT] [--out FILE] [STREAM FLAGS]
-  wiclean stream   --backend disk --store DIR [--serve HOST:PORT] [--out FILE] [STREAM FLAGS]
+  wiclean stream   --corpus FILE [--serve HOST:PORT] [--out FILE] [STREAM FLAGS] [PLANNER FLAGS]
+  wiclean stream   --backend disk --store DIR [--serve HOST:PORT] [--out FILE] [STREAM FLAGS] [PLANNER FLAGS]
   wiclean suggest  --corpus FILE --entity NAME [--edit add|remove] [--rel NAME] [--threads N]
 
 MODE (extraction pipeline, both produce byte-identical output):
   incremental      prediff-gated interned extraction (default)
   full             frozen full-reparse reference path (ablation)
+
+PLANNER FLAGS (adaptive join planning, `mine` and `stream`; all plan
+choices produce byte-identical mining output):
+  --planner on|off `on` (default): per-join sampled statistics + cost
+                   model pick the pair-stage strategy, build side, and
+                   partition count, with mid-join re-planning and a
+                   per-shape plan cache; `off`: the fixed heuristics
+                   (hash build-right, hard-coded parallel gate)
+  --replan-factor F
+                   re-plan a join when its observed output exceeds the
+                   estimate by this factor (> 1.0; default 4.0)
 
 DURABILITY FLAGS (crash-safe revision store; see also --durability):
   --sync MODE      WAL fsync policy: `always`, `every:N`, or `never`
@@ -236,6 +247,31 @@ fn apply_extract_mode(
             "flag --extract: `{other}` is not `incremental` or `full`"
         )),
     }
+}
+
+/// Applies the `--planner` / `--replan-factor` flags to a mining config.
+/// Both produce byte-identical mining output; the planner only changes
+/// how fast the pair stage runs.
+fn apply_planner_flags(
+    wc: &mut wiclean::core::config::WcConfig,
+    flags: &HashMap<String, String>,
+) -> Result<(), String> {
+    match flags.get("planner").map(String::as_str) {
+        None | Some("on") => {}
+        Some("off") => wc.use_adaptive_planner = false,
+        Some(other) => return Err(format!("flag --planner: `{other}` is not on|off")),
+    }
+    if let Some(v) = flags.get("replan-factor") {
+        let factor: f64 = v
+            .parse()
+            .map_err(|_| format!("flag --replan-factor: cannot parse `{v}`"))?;
+        wc.miner.planner.replan_factor = factor;
+        wc.miner
+            .planner
+            .validate()
+            .map_err(|e| format!("flag --replan-factor: {e}"))?;
+    }
+    Ok(())
 }
 
 fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -547,10 +583,11 @@ fn cmd_mine(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
     if disk_backend(flags)? {
         return cmd_mine_disk(flags);
     }
-    let corpus = load_corpus(flags)?;
     let mut wc = default_wc_config(threads(flags)?);
     apply_extract_mode(&mut wc, flags)?;
+    apply_planner_flags(&mut wc, flags)?;
     let (plan, policy) = fault_setup(flags)?;
+    let corpus = load_corpus(flags)?;
     eprintln!("mining `{}` (Algorithm 2)…", corpus.seed_type);
     let recovered = open_durability(flags)?;
     let store = recovered.as_ref().map_or(&corpus.store, |r| &r.store);
@@ -605,11 +642,12 @@ fn cmd_mine_disk(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
             "flag --fault-rate: fault injection applies to the memory backend only".to_owned(),
         );
     }
+    let mut wc = default_wc_config(threads(flags)?);
+    apply_extract_mode(&mut wc, flags)?;
+    apply_planner_flags(&mut wc, flags)?;
     let dir = flag(flags, "store")?;
     let header = CorpusHeader::load(Path::new(dir).join(HEADER_FILE))
         .map_err(|e| format!("sharded store {dir}: {e}"))?;
-    let mut wc = default_wc_config(threads(flags)?);
-    apply_extract_mode(&mut wc, flags)?;
     eprintln!("mining `{}` (Algorithm 2, out-of-core)…", header.seed_type);
     let corpus = open_disk_corpus(flags)?;
     let mut result =
@@ -810,9 +848,10 @@ fn cmd_stream(flags: &HashMap<String, String>) -> Result<(), String> {
     use wiclean::core::stream::{wc_result_from_sealed, StreamMiner};
     use wiclean::revstore::{FeedEvent, RevisionFeed, VecFeed};
 
-    let corpus = load_stream_corpus(flags)?;
     let mut wc = default_wc_config(threads(flags)?);
     apply_extract_mode(&mut wc, flags)?;
+    apply_planner_flags(&mut wc, flags)?;
+    let corpus = load_stream_corpus(flags)?;
     wc.stream.grace = num_flag(flags, "grace", wc.stream.grace)?;
     wc.stream.refresh_revisions =
         num_flag(flags, "refresh-revisions", wc.stream.refresh_revisions)?;
